@@ -1,0 +1,186 @@
+(* The interactive TQuel shell.
+
+   Usage:
+     tquel                 in-memory session
+     tquel -d DIR          persistent database rooted at DIR
+     tquel -f SCRIPT       run a script, then exit (combine with -d)
+     tquel -c "STATEMENT"  run one statement, then exit
+
+   Inside the shell, statements may span lines and end with ';'.
+   Meta commands: \q quit, \l list relations, \ranges, \timing toggles
+   page-I/O reporting, \clock shows the session clock, \advance N moves it
+   forward N seconds, \help. *)
+
+module Engine = Tdb_core.Engine
+module Database = Tdb_core.Database
+module Relation_file = Tdb_storage.Relation_file
+module Schema = Tdb_relation.Schema
+module Chronon = Tdb_time.Chronon
+module Clock = Tdb_time.Clock
+module Executor = Tdb_query.Executor
+module Plan = Tdb_query.Plan
+
+let show_timing = ref false
+
+let print_outcome = function
+  | Engine.Rows { schema; tuples; io; plan } ->
+      print_endline (Engine.format_rows schema tuples);
+      if !show_timing then
+        Printf.printf "-- %d pages in, %d pages out, plan: %s\n"
+          io.Executor.input_reads io.Executor.output_writes
+          (Plan.to_string plan)
+  | Engine.Stored { relation; count; io; plan } ->
+      Printf.printf "stored %d tuples into %s\n" count relation;
+      if !show_timing then
+        Printf.printf "-- %d pages in, %d pages out, plan: %s\n"
+          io.Executor.input_reads io.Executor.output_writes
+          (Plan.to_string plan)
+  | Engine.Modified { matched; inserted } ->
+      Printf.printf "%d tuples qualified, %d versions inserted\n" matched
+        inserted
+  | Engine.Ack msg -> print_endline msg
+
+let run_source db src =
+  match Engine.execute db src with
+  | Ok outcomes -> List.iter print_outcome outcomes
+  | Error e -> Printf.printf "error: %s\n" e
+
+let list_relations db =
+  match Database.relation_names db with
+  | [] -> print_endline "(no relations)"
+  | names ->
+      List.iter
+        (fun name ->
+          match Database.find_relation db name with
+          | None -> ()
+          | Some rel ->
+              let schema = Relation_file.schema rel in
+              Printf.printf "%-20s %-20s %-28s %5d pages\n" name
+                (Tdb_relation.Db_type.to_string (Schema.db_type schema))
+                (Relation_file.organization_to_string
+                   (Relation_file.organization rel))
+                (Relation_file.npages rel))
+        names
+
+let help () =
+  print_string
+    "TQuel statements end with ';'.  Examples:\n\
+    \  create persistent interval emp (name = c20, salary = i4);\n\
+    \  range of e is emp;\n\
+    \  append to emp (name = \"ahn\", salary = 30000);\n\
+    \  retrieve (e.name, e.salary) when e overlap \"now\";\n\
+    \  retrieve (e.salary) as of \"1980-06-01\";\n\
+     Meta commands: \\q quit, \\l relations, \\ranges, \\timing, \\clock,\n\
+    \  \\advance N, \\help\n"
+
+let meta db line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "\\q" ] | [ "\\quit" ] -> `Quit
+  | [ "\\l" ] | [ "\\list" ] ->
+      list_relations db;
+      `Continue
+  | [ "\\ranges" ] ->
+      List.iter
+        (fun (v, r) -> Printf.printf "range of %s is %s\n" v r)
+        (Database.ranges db);
+      `Continue
+  | [ "\\timing" ] ->
+      show_timing := not !show_timing;
+      Printf.printf "timing %s\n" (if !show_timing then "on" else "off");
+      `Continue
+  | [ "\\clock" ] ->
+      Printf.printf "session clock: %s\n" (Chronon.to_string (Database.now db));
+      `Continue
+  | [ "\\advance"; n ] -> (
+      match int_of_string_opt n with
+      | Some s when s >= 0 ->
+          Clock.advance (Database.clock db) s;
+          Printf.printf "session clock: %s\n"
+            (Chronon.to_string (Database.now db));
+          `Continue
+      | _ ->
+          print_endline "usage: \\advance SECONDS";
+          `Continue)
+  | [ "\\help" ] | [ "\\h" ] | [ "\\?" ] ->
+      help ();
+      `Continue
+  | _ ->
+      print_endline "unknown meta command (try \\help)";
+      `Continue
+
+let repl db =
+  print_endline
+    "tquel - a temporal DBMS speaking TQuel (type \\help for help)";
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buffer = 0 then "tquel> " else "   ... ");
+    match read_line () with
+    | exception End_of_file -> print_newline ()
+    | line when Buffer.length buffer = 0 && String.length (String.trim line) > 0
+                && (String.trim line).[0] = '\\' -> (
+        match meta db line with `Quit -> () | `Continue -> loop ())
+    | line ->
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        let text = Buffer.contents buffer in
+        let trimmed = String.trim text in
+        if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';'
+        then begin
+          Buffer.clear buffer;
+          run_source db trimmed
+        end;
+        loop ()
+  in
+  loop ()
+
+let main dir script command =
+  match Database.create ?dir () with
+  | Error e ->
+      Printf.eprintf "cannot open database: %s\n" e;
+      1
+  | Ok db ->
+      let finish code =
+        Database.close db;
+        code
+      in
+      (match (script, command) with
+      | Some path, _ ->
+          if not (Sys.file_exists path) then begin
+            Printf.eprintf "no such script: %s\n" path;
+            finish 1
+          end
+          else begin
+            let ic = open_in path in
+            let n = in_channel_length ic in
+            let src = really_input_string ic n in
+            close_in ic;
+            run_source db src;
+            finish 0
+          end
+      | None, Some stmt ->
+          run_source db stmt;
+          finish 0
+      | None, None ->
+          repl db;
+          finish 0)
+
+open Cmdliner
+
+let dir =
+  let doc = "Open (or create) a persistent database rooted at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "d"; "database" ] ~docv:"DIR" ~doc)
+
+let script =
+  let doc = "Run the TQuel script $(docv) and exit." in
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"SCRIPT" ~doc)
+
+let command =
+  let doc = "Run a single TQuel statement and exit." in
+  Arg.(value & opt (some string) None & info [ "c"; "command" ] ~docv:"STMT" ~doc)
+
+let cmd =
+  let doc = "a temporal database management system speaking TQuel" in
+  let info = Cmd.info "tquel" ~version:"1.0.0" ~doc in
+  Cmd.v info Term.(const main $ dir $ script $ command)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/decision_support.ml: Array List Printf Tdb_core Tdb_relation Tdb_time

@@ -1,0 +1,1 @@
+examples/personnel.ml: Printf Tdb_core Tdb_time

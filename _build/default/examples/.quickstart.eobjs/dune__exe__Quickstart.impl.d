@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf String Tdb_core Tdb_time

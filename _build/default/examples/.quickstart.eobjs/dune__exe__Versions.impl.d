@@ -1,0 +1,1 @@
+examples/versions.ml: Array List Printf Tdb_relation Tdb_storage Tdb_time Tdb_twostore

@@ -1,0 +1,63 @@
+(* Quickstart: the public API in two minutes.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   A temporal relation records both what was true (valid time) and what
+   the database believed (transaction time).  We create one, change it,
+   and ask the four kinds of questions the paper's taxonomy names. *)
+
+module Engine = Tdb_core.Engine
+module Database = Tdb_core.Database
+module Clock = Tdb_time.Clock
+module Chronon = Tdb_time.Chronon
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let show db src =
+  Printf.printf "tquel> %s\n" (String.concat " " (String.split_on_char '\n' src));
+  match ok (Engine.execute_one db src) with
+  | Engine.Rows { schema; tuples; _ } ->
+      print_endline (Engine.format_rows schema tuples)
+  | Engine.Modified { matched; inserted } ->
+      Printf.printf "-- %d qualified, %d versions inserted\n" matched inserted
+  | Engine.Ack msg -> Printf.printf "-- %s\n" msg
+  | Engine.Stored { relation; count; _ } ->
+      Printf.printf "-- stored %d tuples into %s\n" count relation
+
+let () =
+  (* An in-memory database whose clock starts in June 1980.  Pass ~dir to
+     Database.create for a persistent one. *)
+  let db = ok (Database.create ~start:(Chronon.parse_exn "1980-06-01") ()) in
+  let exec src = ignore (ok (Engine.execute db src)) in
+
+  (* "create persistent interval" = temporal: valid AND transaction time. *)
+  exec
+    {|create persistent interval salary (name = c20, amount = i4)
+      range of s is salary|};
+
+  show db {|append to salary (name = "ahn", amount = 30000)|};
+  show db {|append to salary (name = "snodgrass", amount = 35000)|};
+
+  (* Remember this moment, then move time forward and give a raise. *)
+  let before_raise = Chronon.to_string (Database.now db) in
+  Clock.advance (Database.clock db) 86400;
+  show db {|replace s (amount = 32000) where s.name = "ahn"|};
+
+  print_endline "\n-- 1. A static query: the current state --";
+  show db {|retrieve (s.name, s.amount) when s overlap "now"|};
+
+  print_endline "-- 2. A historical query: what held the day before? --";
+  show db
+    (Printf.sprintf {|retrieve (s.name, s.amount) when s overlap "%s"|}
+       before_raise);
+
+  print_endline "-- 3. A rollback query: what did the database say then? --";
+  show db
+    (Printf.sprintf {|retrieve (s.name, s.amount) as of "%s"|} before_raise);
+
+  print_endline "-- 4. The full version history of one tuple --";
+  show db {|retrieve (s.amount, s.valid_from, s.valid_to) where s.name = "ahn"|};
+
+  print_endline "-- Access methods work like Ingres: modify, then query --";
+  show db "modify salary to hash on name where fillfactor = 100";
+  show db {|retrieve (s.amount) where s.name = "ahn" when s overlap "now"|}

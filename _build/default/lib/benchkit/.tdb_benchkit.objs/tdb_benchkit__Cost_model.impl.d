@@ -1,0 +1,1 @@
+lib/benchkit/cost_model.ml: Float Workload

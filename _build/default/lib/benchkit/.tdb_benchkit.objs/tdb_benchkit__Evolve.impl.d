@@ -1,0 +1,1 @@
+lib/benchkit/evolve.ml: List Printf Tdb_core Tdb_query Tdb_relation Tdb_storage Tdb_time Workload

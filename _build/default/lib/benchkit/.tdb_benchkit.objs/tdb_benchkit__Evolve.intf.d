@@ -1,0 +1,1 @@
+lib/benchkit/evolve.mli: Workload

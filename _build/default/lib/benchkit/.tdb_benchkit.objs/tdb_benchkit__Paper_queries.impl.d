@@ -1,0 +1,1 @@
+lib/benchkit/paper_queries.ml: List Printf String Workload

@@ -1,0 +1,1 @@
+lib/benchkit/report.ml: Array Buffer List Printf String

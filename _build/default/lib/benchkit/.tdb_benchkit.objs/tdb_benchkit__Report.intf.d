@@ -1,0 +1,1 @@
+lib/benchkit/report.mli:

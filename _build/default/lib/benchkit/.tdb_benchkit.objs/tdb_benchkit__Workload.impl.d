@@ -1,0 +1,1 @@
+lib/benchkit/workload.ml: Array Char List Option Random String Tdb_core Tdb_relation Tdb_storage Tdb_time

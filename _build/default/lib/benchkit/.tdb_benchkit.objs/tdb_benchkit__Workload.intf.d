@@ -1,0 +1,1 @@
+lib/benchkit/workload.mli: Tdb_core Tdb_relation Tdb_storage Tdb_time

@@ -1,0 +1,24 @@
+let growth_rate kind ~loading =
+  let lf = float_of_int loading /. 100. in
+  match (kind : Workload.kind) with
+  | Workload.Static -> 0.
+  | Workload.Rollback | Workload.Historical -> lf
+  | Workload.Temporal -> 2. *. lf
+
+type decomposition = { fixed : float; variable : float; rate : float }
+
+let decompose ~kind ~loading ~cost0 ~cost_n ~n =
+  let rate = growth_rate kind ~loading in
+  let slope = float_of_int (cost_n - cost0) /. float_of_int n in
+  let variable =
+    if rate = 0. then float_of_int cost0 else slope /. rate
+  in
+  let fixed = float_of_int cost0 -. variable in
+  { fixed; variable; rate }
+
+let predict d n =
+  d.fixed +. (d.variable *. (1. +. (d.rate *. float_of_int n)))
+
+let relative_error ~predicted ~measured =
+  if measured = 0 then Float.abs predicted
+  else Float.abs (predicted -. float_of_int measured) /. float_of_int measured

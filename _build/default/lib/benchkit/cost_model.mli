@@ -1,0 +1,33 @@
+(** The paper's analytical cost model (section 5.3):
+
+    {v cost(n) = fixed + variable * (1 + growth_rate * n) v}
+
+    where [n] is the average update count, the {e fixed} cost covers work
+    independent of the update count (ISAM directory traversal, small
+    temporaries), the {e variable} cost is the rest of the cost at [n = 0],
+    and the {e growth rate} depends only on the database type and loading
+    factor:
+
+    - 0 for a static database,
+    - the loading factor for rollback and historical databases,
+    - twice the loading factor for a temporal database. *)
+
+val growth_rate : Workload.kind -> loading:int -> float
+
+type decomposition = { fixed : float; variable : float; rate : float }
+
+val decompose :
+  kind:Workload.kind ->
+  loading:int ->
+  cost0:int ->
+  cost_n:int ->
+  n:int ->
+  decomposition
+(** Recovers fixed and variable costs from two measurements using the
+    type-determined growth rate: [variable = slope / rate] (or the whole
+    [cost0] when the rate is 0) and [fixed = cost0 - variable]. *)
+
+val predict : decomposition -> int -> float
+(** [predict d n] is the modelled cost at update count [n]. *)
+
+val relative_error : predicted:float -> measured:int -> float

@@ -1,0 +1,100 @@
+type id = Q01 | Q02 | Q03 | Q04 | Q05 | Q06 | Q07 | Q08 | Q09 | Q10 | Q11 | Q12
+
+let all = [ Q01; Q02; Q03; Q04; Q05; Q06; Q07; Q08; Q09; Q10; Q11; Q12 ]
+
+let name = function
+  | Q01 -> "Q01" | Q02 -> "Q02" | Q03 -> "Q03" | Q04 -> "Q04"
+  | Q05 -> "Q05" | Q06 -> "Q06" | Q07 -> "Q07" | Q08 -> "Q08"
+  | Q09 -> "Q09" | Q10 -> "Q10" | Q11 -> "Q11" | Q12 -> "Q12"
+
+let description = function
+  | Q01 -> "version scan, hashed file, given key"
+  | Q02 -> "version scan, ISAM file, given key"
+  | Q03 -> "rollback query, hashed file"
+  | Q04 -> "rollback query, ISAM file"
+  | Q05 -> "static query, hashed file, given key"
+  | Q06 -> "static query, ISAM file, given key"
+  | Q07 -> "static query, hashed file, non-key attribute (sequential scan)"
+  | Q08 -> "static query, ISAM file, non-key attribute (sequential scan)"
+  | Q09 -> "join of current versions via the hashed file"
+  | Q10 -> "join of current versions via the ISAM file"
+  | Q11 -> "temporal join with rollback"
+  | Q12 -> "all TQuel clauses combined"
+
+(* Q05..Q10 restrict attention to current versions: nothing needed on a
+   static database, [as of "now"] on a rollback database, and
+   [when _ overlap "now"] where valid time exists. *)
+let current_suffix kind ~vars =
+  match (kind : Workload.kind) with
+  | Workload.Static -> ""
+  | Workload.Rollback -> {| as of "now"|}
+  | Workload.Historical | Workload.Temporal ->
+      let clauses =
+        List.map (fun v -> Printf.sprintf {|%s overlap "now"|} v) vars
+      in
+      " when " ^ String.concat " and " clauses
+
+let text qid kind =
+  let has_transaction_time =
+    match kind with
+    | Workload.Rollback | Workload.Temporal -> true
+    | Workload.Static | Workload.Historical -> false
+  in
+  match qid with
+  | Q01 -> Some "retrieve (h.id, h.seq) where h.id = 500"
+  | Q02 -> Some "retrieve (i.id, i.seq) where i.id = 500"
+  | Q03 ->
+      if has_transaction_time then
+        Some {|retrieve (h.id, h.seq) as of "08:00 1/1/80"|}
+      else None
+  | Q04 ->
+      if has_transaction_time then
+        Some {|retrieve (i.id, i.seq) as of "08:00 1/1/80"|}
+      else None
+  | Q05 ->
+      Some
+        ("retrieve (h.id, h.seq) where h.id = 500"
+        ^ current_suffix kind ~vars:[ "h" ])
+  | Q06 ->
+      Some
+        ("retrieve (i.id, i.seq) where i.id = 500"
+        ^ current_suffix kind ~vars:[ "i" ])
+  | Q07 ->
+      Some
+        ("retrieve (h.id, h.seq) where h.amount = 69400"
+        ^ current_suffix kind ~vars:[ "h" ])
+  | Q08 ->
+      Some
+        ("retrieve (i.id, i.seq) where i.amount = 73700"
+        ^ current_suffix kind ~vars:[ "i" ])
+  | Q09 -> (
+      let base = "retrieve (h.id, i.id, i.amount) where h.id = i.amount" in
+      match kind with
+      | Workload.Static -> Some base
+      | Workload.Rollback -> Some (base ^ {| as of "now"|})
+      | Workload.Historical | Workload.Temporal ->
+          Some (base ^ {| when h overlap i and i overlap "now"|}))
+  | Q10 -> (
+      let base = "retrieve (i.id, h.id, h.amount) where i.id = h.amount" in
+      match kind with
+      | Workload.Static -> Some base
+      | Workload.Rollback -> Some (base ^ {| as of "now"|})
+      | Workload.Historical | Workload.Temporal ->
+          Some (base ^ {| when h overlap i and h overlap "now"|}))
+  | Q11 ->
+      if kind = Workload.Temporal then
+        Some
+          {|retrieve (h.id, h.seq, i.id, i.seq, i.amount)
+            valid from start of h to end of i
+            when start of h precede i
+            as of "4:00 1/1/80"|}
+      else None
+  | Q12 ->
+      if kind = Workload.Temporal then
+        Some
+          {|retrieve (h.id, h.seq, i.id, i.seq, i.amount)
+            valid from start of (h overlap i) to end of (h extend i)
+            where h.id = 500 and i.amount = 73700
+            when h overlap i
+            as of "now"|}
+      else None

@@ -1,0 +1,19 @@
+(** The twelve benchmark queries of Figure 4, specialized per database type:
+    queries Q05–Q10 drop the [when] clause on a static database and use
+    [as of "now"] on a rollback database (paper, section 5.1); Q03/Q04 need
+    transaction time; Q11/Q12 are "relevant only for a temporal
+    database". *)
+
+type id =
+  | Q01 | Q02 | Q03 | Q04 | Q05 | Q06 | Q07 | Q08 | Q09 | Q10 | Q11 | Q12
+
+val all : id list
+val name : id -> string
+
+val text : id -> Workload.kind -> string option
+(** The TQuel source of the query on this kind of database, or [None] when
+    the query is not applicable. *)
+
+val description : id -> string
+(** The paper's one-line characterization (version scan, rollback query,
+    ...). *)

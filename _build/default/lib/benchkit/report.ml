@@ -1,0 +1,80 @@
+let table ?title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let cell row i = try List.nth row i with _ -> "" in
+  let widths =
+    List.init cols (fun i ->
+        List.fold_left (fun w row -> max w (String.length (cell row i))) 0 all)
+  in
+  let line =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let render row =
+    "|"
+    ^ String.concat "|"
+        (List.mapi (fun i w -> Printf.sprintf " %*s " w (cell row i)) widths)
+    ^ "|"
+  in
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (line ^ "\n");
+  Buffer.add_string buf (render header ^ "\n");
+  Buffer.add_string buf (line ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render r ^ "\n")) rows;
+  Buffer.add_string buf line;
+  Buffer.contents buf
+
+let plot ?(width = 64) ?(height = 20) ~title ~series () =
+  let marks = "ABCDEFGHIJKL" in
+  let all_points = List.concat_map snd series in
+  match all_points with
+  | [] -> title ^ "\n(no data)"
+  | _ ->
+      let xmax = List.fold_left (fun m (x, _) -> max m x) 1 all_points in
+      let ymax = List.fold_left (fun m (_, y) -> max m y) 1 all_points in
+      let grid = Array.make_matrix height width ' ' in
+      List.iteri
+        (fun si (_, points) ->
+          let mark = marks.[si mod String.length marks] in
+          List.iter
+            (fun (x, y) ->
+              let px = x * (width - 1) / xmax in
+              let py = height - 1 - (y * (height - 1) / ymax) in
+              if grid.(py).(px) = ' ' then grid.(py).(px) <- mark
+              else if grid.(py).(px) <> mark then grid.(py).(px) <- '*')
+            points)
+        series;
+      let buf = Buffer.create 2048 in
+      Buffer.add_string buf (title ^ "\n");
+      Buffer.add_string buf (Printf.sprintf "%8d |" ymax);
+      Buffer.add_string buf (String.concat "" (List.map (String.make 1) (Array.to_list grid.(0))));
+      Buffer.add_char buf '\n';
+      for row = 1 to height - 1 do
+        let label =
+          if row = height - 1 then Printf.sprintf "%8d |" 0
+          else String.make 8 ' ' ^ " |"
+        in
+        Buffer.add_string buf label;
+        Array.iter (Buffer.add_char buf) grid.(row);
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (String.make 10 ' ');
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "%10s0%*d  (update count)" "" (width - 1) xmax);
+      Buffer.add_char buf '\n';
+      List.iteri
+        (fun si (label, _) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %c = %s\n" marks.[si mod String.length marks] label))
+        series;
+      Buffer.contents buf
+
+let centi f = Printf.sprintf "%.2f" f

@@ -1,0 +1,18 @@
+(** Plain-text tables and ASCII graphs for the benchmark reports. *)
+
+val table : ?title:string -> header:string list -> string list list -> string
+(** A bordered, column-aligned table. *)
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  series:(string * (int * int) list) list ->
+  unit ->
+  string
+(** An ASCII chart of one or more (x, y) series (Figure 8's graphs).  Each
+    series is marked with its own letter; the legend maps letters to
+    labels. *)
+
+val centi : float -> string
+(** A float with two decimals. *)

@@ -1,0 +1,135 @@
+module Schema = Tdb_relation.Schema
+module Attr_type = Tdb_relation.Attr_type
+module Value = Tdb_relation.Value
+module Db_type = Tdb_relation.Db_type
+module Relation_file = Tdb_storage.Relation_file
+module Chronon = Tdb_time.Chronon
+module Clock = Tdb_time.Clock
+module Database = Tdb_core.Database
+
+type kind = Static | Rollback | Historical | Temporal
+
+let kind_to_string = function
+  | Static -> "static"
+  | Rollback -> "rollback"
+  | Historical -> "historical"
+  | Temporal -> "temporal"
+
+let db_type_of_kind = function
+  | Static -> Db_type.Static
+  | Rollback -> Db_type.Rollback
+  | Historical -> Db_type.Historical Db_type.Interval
+  | Temporal -> Db_type.Temporal Db_type.Interval
+
+type t = {
+  db : Database.t;
+  kind : kind;
+  loading : int;
+  h_name : string;
+  i_name : string;
+}
+
+let n_tuples = 1024
+let hot_h_id = 700 (* carries amount 69400 for Q07 *)
+let hot_i_id = 73 (* carries amount 73700 for Q08/Q12 *)
+let hot_h_amount = 69400
+let hot_i_amount = 73700
+
+let schema_for kind =
+  Schema.create_exn
+    ~db_type:(db_type_of_kind kind)
+    [
+      { Schema.name = "id"; ty = Attr_type.I4 };
+      { Schema.name = "amount"; ty = Attr_type.I4 };
+      { Schema.name = "seq"; ty = Attr_type.I4 };
+      { Schema.name = "string"; ty = Attr_type.C 96 };
+    ]
+
+let init_window_start = Chronon.parse_exn "1/1/80"
+let init_window_end = Chronon.parse_exn "2/15/80"
+let evolution_base = Chronon.parse_exn "3/1/80"
+
+let random_stamp rng =
+  let span =
+    Chronon.to_seconds init_window_end - Chronon.to_seconds init_window_start
+  in
+  Chronon.add_seconds init_window_start (Random.State.int rng span)
+
+let random_string rng =
+  String.init 96 (fun _ -> Char.chr (97 + Random.State.int rng 26))
+
+let random_amount rng =
+  (* Avoid colliding with the two probe values Q07/Q08 select on. *)
+  let rec draw () =
+    let a = Random.State.int rng 100000 in
+    if a = hot_h_amount || a = hot_i_amount then draw () else a
+  in
+  draw ()
+
+let tuples_for ~kind ~seed ~which schema =
+  let rng =
+    Random.State.make [| seed; (match which with `H -> 17; | `I -> 23) |]
+  in
+  List.init n_tuples (fun id ->
+      let amount =
+        match which with
+        | `H when id = hot_h_id -> hot_h_amount
+        | `I when id = hot_i_id -> hot_i_amount
+        | _ -> random_amount rng
+      in
+      let stamp = random_stamp rng in
+      let user =
+        [
+          Value.Int id; Value.Int amount; Value.Int 0;
+          Value.Str (random_string rng);
+        ]
+      in
+      let time_attrs =
+        match kind with
+        | Static -> []
+        | Rollback | Historical -> [ Value.Time stamp; Value.Time Chronon.forever ]
+        | Temporal ->
+            [
+              Value.Time stamp; Value.Time Chronon.forever;
+              Value.Time stamp; Value.Time Chronon.forever;
+            ]
+      in
+      let tuple = Array.of_list (user @ time_attrs) in
+      assert (Array.length tuple = Schema.arity schema);
+      tuple)
+
+let build ~kind ~loading ~seed =
+  let db =
+    match Database.create ~start:evolution_base () with
+    | Ok db -> db
+    | Error e -> failwith e
+  in
+  let prefix = kind_to_string kind in
+  let h_name = prefix ^ "_h" and i_name = prefix ^ "_i" in
+  let schema = schema_for kind in
+  let load name which org =
+    let rel =
+      match Database.create_relation db ~name schema with
+      | Ok rel -> rel
+      | Error e -> failwith e
+    in
+    List.iter
+      (fun tu -> ignore (Relation_file.insert rel tu))
+      (tuples_for ~kind ~seed ~which schema);
+    match Database.modify_relation db name org with
+    | Ok () -> ()
+    | Error e -> failwith e
+  in
+  load h_name `H (Relation_file.Hash { key_attr = 0; fillfactor = loading });
+  load i_name `I (Relation_file.Isam { key_attr = 0; fillfactor = loading });
+  (match Database.set_range db ~var:"h" ~rel:h_name with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Database.set_range db ~var:"i" ~rel:i_name with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  Clock.set (Database.clock db) evolution_base;
+  { db; kind; loading; h_name; i_name }
+
+let h_rel t = Option.get (Database.find_relation t.db t.h_name)
+let i_rel t = Option.get (Database.find_relation t.db t.i_name)

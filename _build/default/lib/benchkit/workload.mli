@@ -1,0 +1,52 @@
+(** The paper's test databases (section 5.1).
+
+    Each database holds two relations, [<type>_h] (hashed on [id]) and
+    [<type>_i] (ISAM on [id]), 1024 tuples of 108 data bytes each:
+    [id] (i4, the key, 0..1023), [amount] (i4, random), [seq] (i4, zero),
+    [string] (c96, random).  Transaction-start and valid-from stamps are
+    drawn uniformly between 1980-01-01 and 1980-02-15; stop stamps are
+    "forever".  One [h] tuple carries [amount = 69400] and one [i] tuple
+    [amount = 73700] so that Q07/Q08/Q12 select exactly one tuple, as in
+    Figure 4.  Everything is driven by a seeded deterministic PRNG. *)
+
+type kind = Static | Rollback | Historical | Temporal
+
+val kind_to_string : kind -> string
+val db_type_of_kind : kind -> Tdb_relation.Db_type.t
+
+type t = {
+  db : Tdb_core.Database.t;
+  kind : kind;
+  loading : int;  (** fillfactor percentage: 100 or 50 *)
+  h_name : string;
+  i_name : string;
+}
+
+val build : kind:kind -> loading:int -> seed:int -> t
+(** Builds and loads the database, organizes the files, declares the ranges
+    [h] and [i], and leaves the clock at 1980-03-01 (after every initial
+    stamp). *)
+
+val h_rel : t -> Tdb_storage.Relation_file.t
+val i_rel : t -> Tdb_storage.Relation_file.t
+
+val tuples_for :
+  kind:kind ->
+  seed:int ->
+  which:[ `H | `I ] ->
+  Tdb_relation.Schema.t ->
+  Tdb_relation.Tuple.t list
+(** The raw initial tuples (used to feed alternative stores the same
+    data). *)
+
+val schema_for : kind -> Tdb_relation.Schema.t
+
+val evolution_base : Tdb_time.Chronon.t
+(** 1980-03-01: where the clock stands after loading; update rounds happen
+    at daily offsets from here. *)
+
+val hot_h_amount : int
+(** The amount value Q07 selects (69400, on tuple id 700 of [h]). *)
+
+val hot_i_amount : int
+(** The amount value Q08/Q12 select (73700, on tuple id 73 of [i]). *)

@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Fun List Printf Result String Sys Tdb_relation Tdb_storage

@@ -1,0 +1,1 @@
+lib/core/catalog.mli: Tdb_relation Tdb_storage

@@ -1,0 +1,1 @@
+lib/core/database.ml: Array Catalog Filename Fun Hashtbl List Option Printf String Sys Tdb_relation Tdb_storage Tdb_time Tdb_tquel

@@ -1,0 +1,1 @@
+lib/core/database.mli: Tdb_relation Tdb_storage Tdb_time Tdb_tquel

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Buffer Database Fun List Option Printf Result String Sys Tdb_query Tdb_relation Tdb_storage Tdb_time Tdb_tquel

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Database Tdb_query Tdb_relation Tdb_tquel

@@ -1,0 +1,110 @@
+module Schema = Tdb_relation.Schema
+module Db_type = Tdb_relation.Db_type
+module Attr_type = Tdb_relation.Attr_type
+module Relation_file = Tdb_storage.Relation_file
+
+type entry = {
+  name : string;
+  db_type : Db_type.t;
+  attrs : Schema.attr list;
+  meta : Relation_file.org_meta;
+}
+
+let schema_of_entry e = Schema.create_exn ~db_type:e.db_type e.attrs
+
+let encode_attrs attrs =
+  String.concat ","
+    (List.map
+       (fun (a : Schema.attr) ->
+         (* Attribute names may contain spaces but never ':' or ','. *)
+         Printf.sprintf "%s:%s" a.Schema.name (Attr_type.to_string a.Schema.ty))
+       attrs)
+
+let decode_attrs s =
+  let parts = String.split_on_char ',' s in
+  List.fold_left
+    (fun acc part ->
+      Result.bind acc (fun acc ->
+          match String.index_opt part ':' with
+          | None -> Error (Printf.sprintf "bad attribute %S" part)
+          | Some i ->
+              let name = String.sub part 0 i in
+              let ty = String.sub part (i + 1) (String.length part - i - 1) in
+              Result.bind (Attr_type.of_string ty) (fun ty ->
+                  Ok ({ Schema.name; ty } :: acc))))
+    (Ok []) parts
+  |> Result.map List.rev
+
+let encode_meta = function
+  | Relation_file.Heap_meta -> "heap"
+  | Relation_file.Hash_meta { key_attr; fillfactor; buckets } ->
+      Printf.sprintf "hash:%d:%d:%d" key_attr fillfactor buckets
+  | Relation_file.Isam_meta { key_attr; fillfactor; ndata; levels } ->
+      Printf.sprintf "isam:%d:%d:%d:%s" key_attr fillfactor ndata
+        (String.concat ";"
+           (List.map (fun (fp, ec) -> Printf.sprintf "%d.%d" fp ec) levels))
+
+let decode_meta s =
+  match String.split_on_char ':' s with
+  | [ "heap" ] -> Ok Relation_file.Heap_meta
+  | [ "hash"; k; f; b ] -> (
+      match (int_of_string_opt k, int_of_string_opt f, int_of_string_opt b) with
+      | Some key_attr, Some fillfactor, Some buckets ->
+          Ok (Relation_file.Hash_meta { key_attr; fillfactor; buckets })
+      | _ -> Error (Printf.sprintf "bad hash metadata %S" s))
+  | [ "isam"; k; f; n; lv ] -> (
+      match (int_of_string_opt k, int_of_string_opt f, int_of_string_opt n) with
+      | Some key_attr, Some fillfactor, Some ndata ->
+          let levels =
+            List.filter_map
+              (fun pair ->
+                match String.split_on_char '.' pair with
+                | [ fp; ec ] -> (
+                    match (int_of_string_opt fp, int_of_string_opt ec) with
+                    | Some fp, Some ec -> Some (fp, ec)
+                    | _ -> None)
+                | _ -> None)
+              (if lv = "" then [] else String.split_on_char ';' lv)
+          in
+          Ok (Relation_file.Isam_meta { key_attr; fillfactor; ndata; levels })
+      | _ -> Error (Printf.sprintf "bad isam metadata %S" s))
+  | _ -> Error (Printf.sprintf "bad organization metadata %S" s)
+
+let encode_entry e =
+  String.concat "\t"
+    [ e.name; Db_type.to_string e.db_type; encode_attrs e.attrs; encode_meta e.meta ]
+
+let decode_entry line =
+  match String.split_on_char '\t' line with
+  | [ name; db_type; attrs; meta ] ->
+      Result.bind (Db_type.of_string db_type) (fun db_type ->
+          Result.bind (decode_attrs attrs) (fun attrs ->
+              Result.bind (decode_meta meta) (fun meta ->
+                  Ok { name; db_type; attrs; meta })))
+  | _ -> Error (Printf.sprintf "bad catalog line %S" line)
+
+let save ~path entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter (fun e -> output_string oc (encode_entry e ^ "\n")) entries)
+
+let load ~path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line when String.trim line = "" -> go acc
+          | line -> (
+              match decode_entry line with
+              | Ok e -> go (e :: acc)
+              | Error msg -> Error msg)
+          | exception End_of_file -> Ok (List.rev acc)
+        in
+        go [])
+  end

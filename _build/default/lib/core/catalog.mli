@@ -1,0 +1,26 @@
+(** The system catalog: per-relation metadata and its on-disk codec.
+
+    The prototype "modified the system relation to support the various
+    combination of implicit temporal attributes according to the type of a
+    relation" (paper, section 4).  Here the catalog is a text file —
+    one line per relation — so that file-backed databases reopen without
+    rebuilding their access methods.  Catalog I/O is deliberately not
+    counted by the benchmark, as in the paper. *)
+
+type entry = {
+  name : string;
+  db_type : Tdb_relation.Db_type.t;
+  attrs : Tdb_relation.Schema.attr list;  (** user attributes *)
+  meta : Tdb_storage.Relation_file.org_meta;
+}
+
+val schema_of_entry : entry -> Tdb_relation.Schema.t
+
+val encode_entry : entry -> string
+(** One line, no newline. *)
+
+val decode_entry : string -> (entry, string) result
+
+val save : path:string -> entry list -> unit
+val load : path:string -> (entry list, string) result
+(** An absent file is an empty catalog. *)

@@ -1,0 +1,201 @@
+module Schema = Tdb_relation.Schema
+module Relation_file = Tdb_storage.Relation_file
+module Buffer_pool = Tdb_storage.Buffer_pool
+module Io_stats = Tdb_storage.Io_stats
+module Clock = Tdb_time.Clock
+module Semck = Tdb_tquel.Semck
+
+type t = {
+  dir : string option;
+  clock : Clock.t;
+  relations : (string, Relation_file.t) Hashtbl.t;
+  mutable range_decls : (string * string) list;
+}
+
+let norm = Schema.norm_name
+let catalog_path dir = Filename.concat dir "catalog.tdb"
+let clock_path dir = Filename.concat dir "clock.tdb"
+let pages_path dir name = Filename.concat dir (name ^ ".pages")
+
+(* The clock must persist: a reopened database may never stamp earlier
+   than its existing data. *)
+let save_clock dir clock =
+  let oc = open_out (clock_path dir) in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (string_of_int (Tdb_time.Chronon.to_seconds (Clock.now clock))))
+
+let load_clock dir =
+  if not (Sys.file_exists (clock_path dir)) then None
+  else begin
+    let ic = open_in (clock_path dir) in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match int_of_string_opt (String.trim (input_line ic)) with
+        | Some s -> Some (Tdb_time.Chronon.of_seconds s)
+        | None | (exception End_of_file) -> None)
+  end
+
+let entries t =
+  Hashtbl.fold
+    (fun name rel acc ->
+      {
+        Catalog.name;
+        db_type = Schema.db_type (Relation_file.schema rel);
+        attrs = Array.to_list (Schema.user_attrs (Relation_file.schema rel));
+        meta = Relation_file.org_meta rel;
+      }
+      :: acc)
+    t.relations []
+  |> List.sort (fun a b -> compare a.Catalog.name b.Catalog.name)
+
+let save_catalog t =
+  match t.dir with
+  | None -> ()
+  | Some dir -> Catalog.save ~path:(catalog_path dir) (entries t)
+
+let create ?dir ?start () =
+  let clock = Clock.create ?start () in
+  let t = { dir; clock; relations = Hashtbl.create 16; range_decls = [] } in
+  match dir with
+  | None -> Ok t
+  | Some dir -> (
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      if not (Sys.is_directory dir) then
+        Error (Printf.sprintf "%s is not a directory" dir)
+      else
+        match Catalog.load ~path:(catalog_path dir) with
+        | Error e -> Error (Printf.sprintf "corrupt catalog: %s" e)
+        | Ok es ->
+            (match load_clock dir with
+            | Some persisted
+              when Tdb_time.Chronon.compare persisted (Clock.now clock) > 0 ->
+                Clock.set clock persisted
+            | _ -> ());
+            List.iter
+              (fun (e : Catalog.entry) ->
+                let schema = Catalog.schema_of_entry e in
+                let rel =
+                  Relation_file.attach
+                    ~backing:(`File (pages_path dir e.Catalog.name))
+                    ~name:e.Catalog.name ~schema e.Catalog.meta
+                in
+                Hashtbl.replace t.relations e.Catalog.name rel)
+              es;
+            Ok t)
+
+let clock t = t.clock
+let now t = Clock.now t.clock
+
+let find_relation t name = Hashtbl.find_opt t.relations (norm name)
+
+let create_relation t ~name schema =
+  let name = norm name in
+  if Hashtbl.mem t.relations name then
+    Error (Printf.sprintf "relation %S already exists" name)
+  else begin
+    let backing =
+      match t.dir with
+      | None -> `Mem
+      | Some dir -> `File (pages_path dir name)
+    in
+    let rel = Relation_file.create ~backing ~name ~schema () in
+    Hashtbl.replace t.relations name rel;
+    save_catalog t;
+    Ok rel
+  end
+
+let adopt_relation t rel =
+  let name = norm (Relation_file.name rel) in
+  if t.dir <> None then Error "adopt_relation works on in-memory databases only"
+  else if Hashtbl.mem t.relations name then
+    Error (Printf.sprintf "relation %S already exists" name)
+  else begin
+    Hashtbl.replace t.relations name rel;
+    Ok ()
+  end
+
+let relation_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.relations []
+  |> List.sort compare
+
+let destroy_relation t name =
+  let name = norm name in
+  match Hashtbl.find_opt t.relations name with
+  | None -> Error (Printf.sprintf "relation %S does not exist" name)
+  | Some rel ->
+      Relation_file.close rel;
+      Hashtbl.remove t.relations name;
+      t.range_decls <-
+        List.filter (fun (_, r) -> r <> name) t.range_decls;
+      (match t.dir with
+      | Some dir when Sys.file_exists (pages_path dir name) ->
+          Sys.remove (pages_path dir name)
+      | _ -> ());
+      save_catalog t;
+      Ok ()
+
+let modify_relation t name org =
+  let name = norm name in
+  match Hashtbl.find_opt t.relations name with
+  | None -> Error (Printf.sprintf "relation %S does not exist" name)
+  | Some rel -> (
+      match Relation_file.modify rel org with
+      | () ->
+          save_catalog t;
+          Ok ()
+      | exception Invalid_argument msg -> Error msg)
+
+let set_range t ~var ~rel =
+  let rel = norm rel in
+  if not (Hashtbl.mem t.relations rel) then
+    Error (Printf.sprintf "relation %S does not exist" rel)
+  else begin
+    t.range_decls <- (norm var, rel) :: List.remove_assoc (norm var) t.range_decls;
+    Ok ()
+  end
+
+let find_range t var = List.assoc_opt (norm var) t.range_decls
+let ranges t = t.range_decls
+
+let semck_env t =
+  {
+    Semck.find_relation =
+      (fun name ->
+        Option.map
+          (fun rel ->
+            {
+              Semck.schema = Relation_file.schema rel;
+              db_type = Schema.db_type (Relation_file.schema rel);
+            })
+          (find_relation t name));
+    find_range = (fun var -> find_range t var);
+  }
+
+let sync t =
+  Hashtbl.iter
+    (fun _ rel -> Buffer_pool.flush (Relation_file.pool rel))
+    t.relations;
+  save_catalog t;
+  match t.dir with None -> () | Some dir -> save_clock dir t.clock
+
+let close t =
+  sync t;
+  Hashtbl.iter (fun _ rel -> Relation_file.close rel) t.relations;
+  Hashtbl.reset t.relations
+
+let reset_io t =
+  Hashtbl.iter
+    (fun _ rel ->
+      Buffer_pool.invalidate (Relation_file.pool rel);
+      Io_stats.reset (Relation_file.stats rel))
+    t.relations
+
+let total_io t =
+  Hashtbl.fold
+    (fun _ rel acc ->
+      Io_stats.add acc (Io_stats.snapshot (Relation_file.stats rel)))
+    t.relations Io_stats.zero

@@ -1,0 +1,53 @@
+(** A database: a set of named relations, a session clock, and the range
+    declarations of the current session.
+
+    Databases are in-memory by default; give [dir] to create or reopen a
+    file-backed database (one page file per relation plus a catalog file).
+    Transaction-time stamps come from the database clock, which modification
+    statements advance by one second each — deterministic, monotone
+    "now". *)
+
+type t
+
+val create : ?dir:string -> ?start:Tdb_time.Chronon.t -> unit -> (t, string) result
+(** In-memory, or rooted at [dir] (created if missing; reopened if it
+    already holds a catalog).  [start] sets the clock's origin for fresh
+    databases (default 1980-01-01, as in the paper's benchmark). *)
+
+val clock : t -> Tdb_time.Clock.t
+val now : t -> Tdb_time.Chronon.t
+
+val create_relation :
+  t -> name:string -> Tdb_relation.Schema.t -> (Tdb_storage.Relation_file.t, string) result
+
+val adopt_relation :
+  t -> Tdb_storage.Relation_file.t -> (unit, string) result
+(** Registers an externally built relation (e.g. the primary store of a
+    {!Tdb_twostore.Two_level_store}) under its own name so TQuel queries can
+    run against it.  In-memory databases only. *)
+
+val find_relation : t -> string -> Tdb_storage.Relation_file.t option
+val relation_names : t -> string list
+val destroy_relation : t -> string -> (unit, string) result
+val modify_relation :
+  t -> string -> Tdb_storage.Relation_file.organization -> (unit, string) result
+
+val set_range : t -> var:string -> rel:string -> (unit, string) result
+val find_range : t -> string -> string option
+val ranges : t -> (string * string) list
+
+val semck_env : t -> Tdb_tquel.Semck.env
+
+val sync : t -> unit
+(** Flush all relations and rewrite the catalog (no-op for in-memory
+    databases' catalog, still flushes pools). *)
+
+val close : t -> unit
+
+val reset_io : t -> unit
+(** Reset every relation's I/O counters and empty the buffer pools —
+    putting the system in the paper's cold-start state before a measured
+    query. *)
+
+val total_io : t -> Tdb_storage.Io_stats.snapshot
+(** Sum over all user relations. *)

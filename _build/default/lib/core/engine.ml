@@ -1,0 +1,345 @@
+module Schema = Tdb_relation.Schema
+module Tuple = Tdb_relation.Tuple
+module Value = Tdb_relation.Value
+module Attr_type = Tdb_relation.Attr_type
+module Relation_file = Tdb_storage.Relation_file
+module Buffer_pool = Tdb_storage.Buffer_pool
+module Io_stats = Tdb_storage.Io_stats
+module Chronon = Tdb_time.Chronon
+module Clock = Tdb_time.Clock
+module Ast = Tdb_tquel.Ast
+module Parser = Tdb_tquel.Parser
+module Semck = Tdb_tquel.Semck
+module Executor = Tdb_query.Executor
+module Update_executor = Tdb_query.Update_executor
+module Plan = Tdb_query.Plan
+
+type outcome =
+  | Rows of {
+      schema : Schema.t;
+      tuples : Tuple.t list;
+      io : Executor.io_summary;
+      plan : Plan.t;
+    }
+  | Stored of {
+      relation : string;
+      count : int;
+      io : Executor.io_summary;
+      plan : Plan.t;
+    }
+  | Modified of { matched : int; inserted : int }
+  | Ack of string
+
+let ( let* ) = Result.bind
+
+let sources_of db =
+  List.filter_map
+    (fun (var, rel_name) ->
+      Option.map
+        (fun rel -> { Executor.var; rel })
+        (Database.find_relation db rel_name))
+    (Database.ranges db)
+
+let source_for db var =
+  match Database.find_range db var with
+  | None -> Error (Printf.sprintf "tuple variable %S has no range statement" var)
+  | Some rel_name -> (
+      match Database.find_relation db rel_name with
+      | None -> Error (Printf.sprintf "relation %S does not exist" rel_name)
+      | Some rel -> Ok { Executor.var; rel })
+
+let run_protected f =
+  match f () with
+  | v -> Ok v
+  | exception Executor.Execution_error msg -> Error msg
+  | exception Update_executor.Execution_error msg -> Error msg
+  | exception Tdb_query.Eval.Eval_error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+(* --- copy: a simple tab-separated batch format over all attributes --- *)
+
+let copy_into db rel path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let count = ref 0 in
+      Relation_file.scan rel (fun _ tuple ->
+          let fields =
+            Array.to_list (Array.map Value.to_string tuple)
+          in
+          output_string oc (String.concat "\t" fields ^ "\n");
+          incr count);
+      ignore db;
+      !count)
+
+let parse_field ~now ty s =
+  match ty with
+  | Attr_type.I1 | I2 | I4 -> (
+      match int_of_string_opt s with
+      | Some n -> Ok (Value.Int n)
+      | None -> Error (Printf.sprintf "bad integer %S" s))
+  | F4 | F8 -> (
+      match float_of_string_opt s with
+      | Some f -> Ok (Value.Float f)
+      | None -> Error (Printf.sprintf "bad float %S" s))
+  | C _ -> Ok (Value.Str s)
+  | Time -> Result.map (fun t -> Value.Time t) (Chronon.parse ~now s)
+
+let copy_from db rel path =
+  let schema = Relation_file.schema rel in
+  let now = Database.now db in
+  if not (Sys.file_exists path) then Error (Printf.sprintf "no such file %S" path)
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let arity = Schema.arity schema in
+        let line_no = ref 0 in
+        let rec go count =
+          match input_line ic with
+          | exception End_of_file -> Ok count
+          | line when String.trim line = "" -> go count
+          | line -> (
+              incr line_no;
+              let fields = String.split_on_char '\t' line in
+              if List.length fields <> arity then
+                Error
+                  (Printf.sprintf "line %d: expected %d fields, found %d"
+                     !line_no arity (List.length fields))
+              else begin
+                let tuple = Array.make arity (Value.Int 0) in
+                let rec fill i = function
+                  | [] -> Ok ()
+                  | f :: rest -> (
+                      match
+                        parse_field ~now (Schema.attr schema i).Schema.ty f
+                      with
+                      | Ok v ->
+                          tuple.(i) <- v;
+                          fill (i + 1) rest
+                      | Error e ->
+                          Error (Printf.sprintf "line %d: %s" !line_no e))
+                in
+                match fill 0 fields with
+                | Error e -> Error e
+                | Ok () ->
+                    ignore (Relation_file.insert rel tuple);
+                    go (count + 1)
+              end)
+        in
+        go 0)
+  end
+
+(* --- statement dispatch --- *)
+
+let execute_checked db stmt =
+  match (stmt : Ast.statement) with
+  | Ast.Range { var; rel } ->
+      let* () = Database.set_range db ~var ~rel in
+      Ok (Ack (Printf.sprintf "range of %s is %s" var rel))
+  | Ast.Create c ->
+      let db_type = Ast.db_type_of_create c in
+      let* attrs =
+        List.fold_left
+          (fun acc (name, ty) ->
+            let* acc = acc in
+            let* ty = Attr_type.of_string ty in
+            Ok ({ Schema.name; ty } :: acc))
+          (Ok []) c.attrs
+      in
+      let* schema = Schema.create ~db_type (List.rev attrs) in
+      let* _rel = Database.create_relation db ~name:c.rel schema in
+      Ok (Ack (Printf.sprintf "created %s relation %s"
+                 (Tdb_relation.Db_type.to_string db_type) c.rel))
+  | Ast.Destroy name ->
+      let* () = Database.destroy_relation db name in
+      Ok (Ack (Printf.sprintf "destroyed %s" name))
+  | Ast.Modify m ->
+      let* rel =
+        match Database.find_relation db m.rel with
+        | Some r -> Ok r
+        | None -> Error (Printf.sprintf "relation %S does not exist" m.rel)
+      in
+      let schema = Relation_file.schema rel in
+      let fillfactor = Option.value m.fillfactor ~default:100 in
+      let* org =
+        match m.organization with
+        | Ast.Org_heap -> Ok Relation_file.Heap
+        | Ast.Org_hash | Ast.Org_isam -> (
+            match m.on_attr with
+            | None -> Error "hash and isam need a key attribute"
+            | Some attr -> (
+                match Schema.index_of schema attr with
+                | None ->
+                    Error (Printf.sprintf "no attribute %S in %s" attr m.rel)
+                | Some key_attr ->
+                    Ok
+                      (match m.organization with
+                      | Ast.Org_hash -> Relation_file.Hash { key_attr; fillfactor }
+                      | Ast.Org_isam -> Relation_file.Isam { key_attr; fillfactor }
+                      | Ast.Org_heap -> assert false)))
+      in
+      let* () = Database.modify_relation db m.rel org in
+      Ok (Ack (Printf.sprintf "modified %s to %s" m.rel
+                 (Relation_file.organization_to_string org)))
+  | Ast.Copy c -> (
+      let* rel =
+        match Database.find_relation db c.rel with
+        | Some r -> Ok r
+        | None -> Error (Printf.sprintf "relation %S does not exist" c.rel)
+      in
+      match c.direction with
+      | Ast.Copy_into ->
+          let count = copy_into db rel c.path in
+          Ok (Ack (Printf.sprintf "copied %d tuples into %s" count c.path))
+      | Ast.Copy_from ->
+          let* count = copy_from db rel c.path in
+          Database.sync db;
+          Ok (Ack (Printf.sprintf "copied %d tuples from %s" count c.path)))
+  | Ast.Retrieve r -> (
+      let now = Database.now db in
+      let sources = sources_of db in
+      match r.into with
+      | None ->
+          run_protected (fun () ->
+              let tuples = ref [] in
+              let outcome =
+                Executor.run_retrieve ~now ~sources r ~on_tuple:(fun t ->
+                    tuples := t :: !tuples)
+              in
+              Rows
+                {
+                  schema = outcome.Executor.schema;
+                  tuples = List.rev !tuples;
+                  io = outcome.Executor.io;
+                  plan = outcome.Executor.plan;
+                })
+      | Some into_name ->
+          let* result_schema =
+            run_protected (fun () -> Executor.result_schema ~sources r)
+          in
+          let* target = Database.create_relation db ~name:into_name result_schema in
+          run_protected (fun () ->
+              let outcome =
+                Executor.run_retrieve ~now ~sources r ~on_tuple:(fun t ->
+                    ignore (Relation_file.insert target t))
+              in
+              Buffer_pool.flush (Relation_file.pool target);
+              Database.sync db;
+              let stored =
+                Io_stats.snapshot (Relation_file.stats target)
+              in
+              Stored
+                {
+                  relation = into_name;
+                  count = outcome.Executor.count;
+                  io =
+                    {
+                      Executor.input_reads = outcome.Executor.io.Executor.input_reads;
+                      output_writes =
+                        outcome.Executor.io.Executor.output_writes
+                        + stored.Io_stats.writes;
+                    };
+                  plan = outcome.Executor.plan;
+                }))
+  | Ast.Append a ->
+      let* rel =
+        match Database.find_relation db a.rel with
+        | Some r -> Ok r
+        | None -> Error (Printf.sprintf "relation %S does not exist" a.rel)
+      in
+      let now = Clock.tick (Database.clock db) in
+      let sources = sources_of db in
+      run_protected (fun () ->
+          let c = Update_executor.run_append ~now ~rel ~sources a in
+          Modified { matched = c.Update_executor.matched;
+                     inserted = c.Update_executor.inserted })
+  | Ast.Delete d ->
+      let* source = source_for db d.var in
+      let now = Clock.tick (Database.clock db) in
+      run_protected (fun () ->
+          let c = Update_executor.run_delete ~now ~source d in
+          Modified { matched = c.Update_executor.matched;
+                     inserted = c.Update_executor.inserted })
+  | Ast.Replace r ->
+      let* source = source_for db r.var in
+      let now = Clock.tick (Database.clock db) in
+      run_protected (fun () ->
+          let c = Update_executor.run_replace ~now ~source r in
+          Modified { matched = c.Update_executor.matched;
+                     inserted = c.Update_executor.inserted })
+
+let execute_statement db stmt =
+  let* () = Semck.check_statement (Database.semck_env db) stmt in
+  execute_checked db stmt
+
+let execute db src =
+  let* stmts = Parser.parse_program src in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest ->
+        let* o = execute_statement db s in
+        go (o :: acc) rest
+  in
+  go [] stmts
+
+let execute_one db src =
+  let* stmt = Parser.parse_statement src in
+  execute_statement db stmt
+
+(* --- result formatting --- *)
+
+let format_rows ?(max_rows = 50) schema tuples =
+  let attrs = Schema.all_attrs schema in
+  let headers = Array.map (fun a -> a.Schema.name) attrs in
+  let render_value v =
+    match v with
+    | Value.Time t -> Chronon.to_string t
+    | v -> Value.to_string v
+  in
+  let shown = List.filteri (fun i _ -> i < max_rows) tuples in
+  let rows = List.map (fun t -> Array.map render_value t) shown in
+  let widths =
+    Array.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length row.(i)))
+          (String.length h) rows)
+      headers
+  in
+  let line c =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) c) widths))
+    ^ "+"
+  in
+  let render_row cells =
+    "|"
+    ^ String.concat "|"
+        (Array.to_list
+           (Array.mapi
+              (fun i c -> Printf.sprintf " %-*s " widths.(i) c)
+              cells))
+    ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (render_row r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (line '-');
+  let total = List.length tuples in
+  if total > max_rows then
+    Buffer.add_string buf
+      (Printf.sprintf "\n(%d of %d rows shown)" max_rows total)
+  else Buffer.add_string buf (Printf.sprintf "\n(%d rows)" total);
+  Buffer.contents buf

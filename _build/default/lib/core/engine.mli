@@ -1,0 +1,49 @@
+(** The engine: parse, check and execute TQuel against a database.
+
+    This is the library's main entry point:
+
+    {[
+      let db = Result.get_ok (Tdb_core.Database.create ()) in
+      let _ = Tdb_core.Engine.execute db {|
+        create persistent interval emp (name = c20, salary = i4)
+        range of e is emp
+        append to emp (name = "ahn", salary = 30000)
+        retrieve (e.name, e.salary) when e overlap "now"
+      |}
+    ]} *)
+
+type outcome =
+  | Rows of {
+      schema : Tdb_relation.Schema.t;
+      tuples : Tdb_relation.Tuple.t list;
+      io : Tdb_query.Executor.io_summary;
+      plan : Tdb_query.Plan.t;
+    }  (** a displayed [retrieve] *)
+  | Stored of {
+      relation : string;
+      count : int;
+      io : Tdb_query.Executor.io_summary;
+      plan : Tdb_query.Plan.t;
+    }  (** [retrieve into] *)
+  | Modified of { matched : int; inserted : int }
+      (** [append] / [delete] / [replace] *)
+  | Ack of string  (** DDL and session statements *)
+
+val execute_statement :
+  Database.t -> Tdb_tquel.Ast.statement -> (outcome, string) result
+(** Checks the statement against the database, then runs it.  Modification
+    statements advance the database clock by one second before executing,
+    so transaction times are strictly increasing. *)
+
+val execute : Database.t -> string -> (outcome list, string) result
+(** Parses and runs a whole script, stopping at the first error. *)
+
+val execute_one : Database.t -> string -> (outcome, string) result
+(** Parses and runs exactly one statement. *)
+
+val format_rows :
+  ?max_rows:int ->
+  Tdb_relation.Schema.t ->
+  Tdb_relation.Tuple.t list ->
+  string
+(** A bordered textual table of query results, times rendered readably. *)

@@ -1,0 +1,1 @@
+lib/query/conjuncts.ml: List Tdb_tquel

@@ -1,0 +1,1 @@
+lib/query/conjuncts.mli: Tdb_tquel

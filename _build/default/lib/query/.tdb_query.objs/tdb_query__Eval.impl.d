@@ -1,0 +1,1 @@
+lib/query/eval.ml: Array Option Printf Tdb_relation Tdb_time Tdb_tquel

@@ -1,0 +1,1 @@
+lib/query/eval.mli: Tdb_relation Tdb_time Tdb_tquel

@@ -1,0 +1,1 @@
+lib/query/executor.ml: Array Conjuncts Eval Hashtbl List Option Plan Printf String Tdb_relation Tdb_storage Tdb_time Tdb_tquel

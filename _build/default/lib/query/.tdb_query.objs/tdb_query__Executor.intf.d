@@ -1,0 +1,1 @@
+lib/query/executor.mli: Plan Tdb_relation Tdb_storage Tdb_time Tdb_tquel

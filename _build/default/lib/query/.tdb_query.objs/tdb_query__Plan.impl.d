@@ -1,0 +1,1 @@
+lib/query/plan.ml: Conjuncts List Printf String Tdb_tquel

@@ -1,0 +1,1 @@
+lib/query/plan.mli: Conjuncts Tdb_tquel

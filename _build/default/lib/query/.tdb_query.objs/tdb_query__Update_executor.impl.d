@@ -1,0 +1,1 @@
+lib/query/update_executor.ml: Array Conjuncts Eval Executor List Option Printf Tdb_relation Tdb_storage Tdb_time Tdb_tquel

@@ -1,0 +1,1 @@
+lib/query/update_executor.mli: Executor Tdb_storage Tdb_time Tdb_tquel

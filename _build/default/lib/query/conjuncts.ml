@@ -1,0 +1,113 @@
+open Tdb_tquel.Ast
+
+type conjunct = Where of pred | When of temppred
+
+let rec vars_of_expr acc = function
+  | Eattr (v, _) -> if List.mem v acc then acc else v :: acc
+  | Eint _ | Efloat _ | Estring _ -> acc
+  | Ebinop (_, a, b) -> vars_of_expr (vars_of_expr acc a) b
+  | Euminus e -> vars_of_expr acc e
+  | Eagg (_, e, by) -> List.fold_left vars_of_expr (vars_of_expr acc e) by
+
+let rec vars_of_pred acc = function
+  | Pcompare (_, a, b) -> vars_of_expr (vars_of_expr acc a) b
+  | Wand (a, b) | Wor (a, b) -> vars_of_pred (vars_of_pred acc a) b
+  | Wnot a -> vars_of_pred acc a
+
+let rec vars_of_tempexpr acc = function
+  | Tvar v -> if List.mem v acc then acc else v :: acc
+  | Tconst _ -> acc
+  | Toverlap (a, b) | Textend (a, b) -> vars_of_tempexpr (vars_of_tempexpr acc a) b
+  | Tstart_of e | Tend_of e -> vars_of_tempexpr acc e
+
+let rec vars_of_temppred acc = function
+  | Poverlap (a, b) | Pprecede (a, b) | Pequal (a, b) ->
+      vars_of_tempexpr (vars_of_tempexpr acc a) b
+  | Pand (a, b) | Por (a, b) -> vars_of_temppred (vars_of_temppred acc a) b
+  | Pnot a -> vars_of_temppred acc a
+
+let vars_of_conjunct = function
+  | Where p -> List.sort_uniq compare (vars_of_pred [] p)
+  | When p -> List.sort_uniq compare (vars_of_temppred [] p)
+
+let rec split_pred acc = function
+  | Wand (a, b) -> split_pred (split_pred acc a) b
+  | p -> Where p :: acc
+
+let rec split_temppred acc = function
+  | Pand (a, b) -> split_temppred (split_temppred acc a) b
+  | p -> When p :: acc
+
+let split where when_ =
+  let acc = match where with Some p -> split_pred [] p | None -> [] in
+  let acc = match when_ with Some p -> split_temppred acc p | None -> acc in
+  List.rev acc
+
+let for_var var conjuncts =
+  List.filter
+    (fun c -> match vars_of_conjunct c with [] -> false | vs -> vs = [ var ])
+    conjuncts
+
+let multi_var conjuncts =
+  List.filter (fun c -> List.length (vars_of_conjunct c) >= 2) conjuncts
+
+let expr_is_constant e = vars_of_expr [] e = []
+
+let constant_key_probe conjuncts ~var ~attr =
+  let matches = function
+    | Where (Pcompare (Eq, Eattr (v, a), e))
+      when v = var && a = attr && expr_is_constant e ->
+        Some e
+    | Where (Pcompare (Eq, e, Eattr (v, a)))
+      when v = var && a = attr && expr_is_constant e ->
+        Some e
+    | _ -> None
+  in
+  List.find_map matches conjuncts
+
+type bound = { expr : expr; inclusive : bool }
+
+let range_bounds conjuncts ~var ~attr =
+  let classify = function
+    | Where (Pcompare (op, Eattr (v, a), e))
+      when v = var && a = attr && expr_is_constant e -> (
+        (* var.attr OP e *)
+        match op with
+        | Lt -> Some (`Hi { expr = e; inclusive = false })
+        | Le -> Some (`Hi { expr = e; inclusive = true })
+        | Gt -> Some (`Lo { expr = e; inclusive = false })
+        | Ge -> Some (`Lo { expr = e; inclusive = true })
+        | Eq | Ne -> None)
+    | Where (Pcompare (op, e, Eattr (v, a)))
+      when v = var && a = attr && expr_is_constant e -> (
+        (* e OP var.attr, i.e. the mirror image *)
+        match op with
+        | Lt -> Some (`Lo { expr = e; inclusive = false })
+        | Le -> Some (`Lo { expr = e; inclusive = true })
+        | Gt -> Some (`Hi { expr = e; inclusive = false })
+        | Ge -> Some (`Hi { expr = e; inclusive = true })
+        | Eq | Ne -> None)
+    | _ -> None
+  in
+  List.fold_left
+    (fun (lo, hi) c ->
+      match classify c with
+      | Some (`Lo b) when lo = None -> (Some b, hi)
+      | Some (`Hi b) when hi = None -> (lo, Some b)
+      | _ -> (lo, hi))
+    (None, None) conjuncts
+
+type join_equality = {
+  left_var : string;
+  left_attr : string;
+  right_var : string;
+  right_attr : string;
+}
+
+let join_equalities conjuncts =
+  List.filter_map
+    (function
+      | Where (Pcompare (Eq, Eattr (v, a), Eattr (w, b))) when v <> w ->
+          Some { left_var = v; left_attr = a; right_var = w; right_attr = b }
+      | _ -> None)
+    conjuncts

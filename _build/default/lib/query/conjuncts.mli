@@ -1,0 +1,55 @@
+(** Predicate analysis: splitting [where]/[when] clauses into conjuncts and
+    classifying them by the tuple variables they mention.  This drives both
+    selection push-down (single-variable conjuncts are applied while
+    scanning that variable's relation) and access-path / decomposition
+    choices. *)
+
+type conjunct =
+  | Where of Tdb_tquel.Ast.pred
+  | When of Tdb_tquel.Ast.temppred
+
+val vars_of_conjunct : conjunct -> string list
+(** Sorted, without duplicates. *)
+
+val split :
+  Tdb_tquel.Ast.pred option -> Tdb_tquel.Ast.temppred option -> conjunct list
+(** Top-level [and] chains become separate conjuncts; anything under [or] or
+    [not] stays whole. *)
+
+val for_var : string -> conjunct list -> conjunct list
+(** Conjuncts mentioning exactly (a subset of) [ [var] ] — the push-down
+    set. *)
+
+val multi_var : conjunct list -> conjunct list
+(** Conjuncts mentioning two or more variables (join conditions). *)
+
+val expr_is_constant : Tdb_tquel.Ast.expr -> bool
+(** No tuple variables inside. *)
+
+val constant_key_probe :
+  conjunct list -> var:string -> attr:string -> Tdb_tquel.Ast.expr option
+(** A conjunct of the shape [var.attr = e] (or symmetric) with [e]
+    variable-free: enables keyed access on [var]. *)
+
+type bound = {
+  expr : Tdb_tquel.Ast.expr;  (** variable-free *)
+  inclusive : bool;
+}
+
+val range_bounds :
+  conjunct list -> var:string -> attr:string -> bound option * bound option
+(** Lower and upper bounds on [var.attr] from conjuncts of the shapes
+    [var.attr < e], [e <= var.attr], etc. with [e] variable-free — the
+    basis for ISAM range probes.  When several conjuncts bound the same
+    side, one is returned (the rest still filter during the scan). *)
+
+type join_equality = {
+  left_var : string;
+  left_attr : string;
+  right_var : string;
+  right_attr : string;
+}
+
+val join_equalities : conjunct list -> join_equality list
+(** Conjuncts of the shape [v.a = w.b] with [v <> w], both orientations
+    reported once as written. *)

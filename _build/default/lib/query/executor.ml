@@ -1,0 +1,704 @@
+module Schema = Tdb_relation.Schema
+module Tuple = Tdb_relation.Tuple
+module Value = Tdb_relation.Value
+module Attr_type = Tdb_relation.Attr_type
+module Db_type = Tdb_relation.Db_type
+module Relation_file = Tdb_storage.Relation_file
+module Io_stats = Tdb_storage.Io_stats
+module Chronon = Tdb_time.Chronon
+module Period = Tdb_time.Period
+open Tdb_tquel.Ast
+
+type source = { var : string; rel : Relation_file.t }
+type io_summary = { input_reads : int; output_writes : int }
+
+type outcome = {
+  schema : Schema.t;
+  count : int;
+  io : io_summary;
+  plan : Plan.t;
+}
+
+exception Execution_error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
+
+(* --- used variables, in order of first appearance --- *)
+
+let used_vars (r : retrieve) =
+  let acc = ref [] in
+  let add v = if not (List.mem v !acc) then acc := v :: !acc in
+  let rec expr = function
+    | Eattr (v, _) -> add v
+    | Eint _ | Efloat _ | Estring _ -> ()
+    | Ebinop (_, a, b) -> expr a; expr b
+    | Euminus e -> expr e
+    | Eagg (_, e, by) -> expr e; List.iter expr by
+  in
+  let rec pred = function
+    | Pcompare (_, a, b) -> expr a; expr b
+    | Wand (a, b) | Wor (a, b) -> pred a; pred b
+    | Wnot a -> pred a
+  in
+  let rec te = function
+    | Tvar v -> add v
+    | Tconst _ -> ()
+    | Toverlap (a, b) | Textend (a, b) -> te a; te b
+    | Tstart_of e | Tend_of e -> te e
+  in
+  let rec tp = function
+    | Poverlap (a, b) | Pprecede (a, b) | Pequal (a, b) -> te a; te b
+    | Pand (a, b) | Por (a, b) -> tp a; tp b
+    | Pnot a -> tp a
+  in
+  List.iter (fun t -> expr t.value) r.targets;
+  (match r.valid with
+  | Some (Valid_interval (a, b)) -> te a; te b
+  | Some (Valid_event e) -> te e
+  | None -> ());
+  (match r.where with Some p -> pred p | None -> ());
+  (match r.when_ with Some p -> tp p | None -> ());
+  List.rev !acc
+
+(* --- attributes of one variable referenced by an expression tree --- *)
+
+let add_attr acc (v, a) = if List.mem (v, a) !acc then () else acc := (v, a) :: !acc
+
+let rec attrs_of_expr acc = function
+  | Eattr (v, a) -> add_attr acc (v, a)
+  | Eint _ | Efloat _ | Estring _ -> ()
+  | Ebinop (_, a, b) -> attrs_of_expr acc a; attrs_of_expr acc b
+  | Euminus e -> attrs_of_expr acc e
+  | Eagg (_, e, by) ->
+      attrs_of_expr acc e;
+      List.iter (attrs_of_expr acc) by
+
+let rec attrs_of_pred acc = function
+  | Pcompare (_, a, b) -> attrs_of_expr acc a; attrs_of_expr acc b
+  | Wand (a, b) | Wor (a, b) -> attrs_of_pred acc a; attrs_of_pred acc b
+  | Wnot a -> attrs_of_pred acc a
+
+(* --- result schema --- *)
+
+(* Default names may collide (Q09 retrieves h.id and i.id) and a target may
+   shadow one of the result's implicit time attributes (retrieving
+   h.valid_from from a valid-time source); both get a numeric suffix. *)
+let target_names ?(reserved = []) targets =
+  let seen = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace seen (Schema.norm_name r) 1) reserved;
+  List.map
+    (fun t ->
+      let base = match t.out_name with Some n -> n | None -> "column" in
+      let key = Schema.norm_name base in
+      let n = (Hashtbl.find_opt seen key |> Option.value ~default:0) + 1 in
+      Hashtbl.replace seen key n;
+      if n = 1 then base else Printf.sprintf "%s#%d" base n)
+    targets
+
+let rec infer_type sources = function
+  | Eattr (v, a) -> (
+      match List.find_opt (fun s -> s.var = v) sources with
+      | None -> errf "tuple variable %S is not in range" v
+      | Some s -> (
+          let schema = Relation_file.schema s.rel in
+          match Schema.index_of schema a with
+          | Some i -> (Schema.attr schema i).Schema.ty
+          | None -> errf "relation of %s has no attribute %S" v a))
+  | Eint _ -> Attr_type.I4
+  | Efloat _ -> Attr_type.F8
+  | Estring s -> Attr_type.C (max 1 (String.length s))
+  | Euminus e -> infer_type sources e
+  | Ebinop (_, a, b) -> (
+      match (infer_type sources a, infer_type sources b) with
+      | (Attr_type.F4 | F8), _ | _, (Attr_type.F4 | F8) -> Attr_type.F8
+      | _ -> Attr_type.I4)
+  | Eagg (agg, e, _) -> (
+      match agg with
+      | Count | Any -> Attr_type.I4
+      | Avg -> Attr_type.F8
+      | Sum -> (
+          match infer_type sources e with
+          | Attr_type.F4 | F8 -> Attr_type.F8
+          | _ -> Attr_type.I4)
+      | Min | Max -> infer_type sources e)
+
+let source_has_valid_time s =
+  Db_type.has_valid_time (Schema.db_type (Relation_file.schema s.rel))
+
+(* Global-aggregate mode: the retrieve collapses to one row.  Aggregates
+   with a by-list evaluate per binding instead (see the group tables). *)
+let aggregate_mode (r : retrieve) =
+  List.exists (fun t -> Tdb_tquel.Semck.expr_has_global_aggregate t.value)
+    r.targets
+
+let result_db_type ~sources (r : retrieve) =
+  let used = used_vars r in
+  let used_sources = List.filter (fun s -> List.mem s.var used) sources in
+  if aggregate_mode r then
+    (* Aggregation collapses the qualifying versions into one row; the
+       result carries no time attributes. *)
+    Db_type.Static
+  else
+    match r.valid with
+    | Some (Valid_event _) -> Db_type.Historical Db_type.Event
+    | Some (Valid_interval _) -> Db_type.Historical Db_type.Interval
+    | None ->
+        if List.exists source_has_valid_time used_sources then
+          Db_type.Historical Db_type.Interval
+        else Db_type.Static
+
+(* --- aggregate folding --- *)
+
+type accumulator = {
+  node : expr;  (** the [Eagg] node this accumulator folds *)
+  agg : aggregate;
+  operand : expr;
+  mutable rows : int;
+  mutable total : Value.t;
+  mutable best : Value.t option;
+}
+
+let fresh_accumulator node agg operand =
+  { node; agg; operand; rows = 0; total = Value.Int 0; best = None }
+
+let rec aggregate_nodes acc = function
+  | Eagg (agg, operand, []) as node ->
+      if List.exists (fun a -> a.node = node) acc then acc
+      else fresh_accumulator node agg operand :: acc
+  | Eagg (_, _, _ :: _) -> acc (* by-aggregates fold per group, not globally *)
+  | Ebinop (_, a, b) -> aggregate_nodes (aggregate_nodes acc a) b
+  | Euminus e -> aggregate_nodes acc e
+  | Eattr _ | Eint _ | Efloat _ | Estring _ -> acc
+
+let accumulate ctx a =
+  let v = Eval.expr ctx a.operand in
+  a.rows <- a.rows + 1;
+  (match a.agg with
+  | Sum | Avg ->
+      a.total <-
+        (if a.rows = 1 then v else Eval.apply_binop Add a.total v)
+  | Min -> (
+      match a.best with
+      | Some b when Value.compare b v <= 0 -> ()
+      | _ -> a.best <- Some v)
+  | Max -> (
+      match a.best with
+      | Some b when Value.compare b v >= 0 -> ()
+      | _ -> a.best <- Some v)
+  | Count | Any -> ())
+
+let finish a =
+  match a.agg with
+  | Count -> Value.Int a.rows
+  | Any -> Value.Int (if a.rows > 0 then 1 else 0)
+  | Sum -> if a.rows = 0 then Value.Int 0 else a.total
+  | Avg ->
+      if a.rows = 0 then errf "avg over an empty set"
+      else
+        let as_float = function
+          | Value.Int n -> float_of_int n
+          | Value.Float f -> f
+          | v -> errf "avg of non-numeric value %s" (Value.to_string v)
+        in
+        Value.Float (as_float a.total /. float_of_int a.rows)
+  | Min | Max -> (
+      match a.best with
+      | Some v -> v
+      | None ->
+          errf "%s over an empty set" (Tdb_tquel.Ast.aggregate_name a.agg))
+
+(* Evaluate a target expression after folding: every [Eagg] node is looked
+   up in the finished accumulators; attribute references cannot appear
+   here (the checker confines them to aggregate operands). *)
+let rec fold_target accs = function
+  | Eagg _ as node -> (
+      match List.find_opt (fun a -> a.node = node) accs with
+      | Some a -> finish a
+      | None -> assert false)
+  | Eint n -> Value.Int n
+  | Efloat f -> Value.Float f
+  | Estring s -> Value.Str s
+  | Ebinop (op, a, b) ->
+      Eval.apply_binop op (fold_target accs a) (fold_target accs b)
+  | Euminus e -> Eval.negate (fold_target accs e)
+  | Eattr (v, a) -> errf "attribute %s.%s outside an aggregate" v a
+
+let result_schema ~sources (r : retrieve) =
+  let db_type = result_db_type ~sources r in
+  let names = target_names ~reserved:(Schema.implicit_names db_type) r.targets in
+  let attrs =
+    List.map2
+      (fun name t -> { Schema.name; ty = infer_type sources t.value })
+      names r.targets
+  in
+  match Schema.create ~db_type attrs with
+  | Ok s -> s
+  | Error e -> errf "cannot build result schema: %s" e
+
+(* --- as-of window --- *)
+
+(* TQuel's default rollback point is "now": a query without an [as of]
+   clause sees the current state of a rollback or temporal relation (only
+   versions whose transaction period contains the present).  An explicit
+   clause shifts the reference point.  Relations without transaction time
+   ignore the window (see {!as_of_ok}). *)
+let as_of_window ~now = function
+  | None -> Some (Period.at now)
+  | Some { at; through } -> (
+      let parse s =
+        match Chronon.parse ~now s with
+        | Ok t -> t
+        | Error e -> errf "bad as-of constant %S: %s" s e
+      in
+      let t1 = parse at in
+      match through with
+      | None -> Some (Period.at t1)
+      | Some s ->
+          let t2 = parse s in
+          if Chronon.compare t2 t1 < 0 then
+            errf "as-of window ends before it starts"
+          else Some (Period.make t1 (Chronon.succ t2)))
+
+(* A version qualifies under [as of] iff its transaction period overlaps
+   the window (for a point window: contains the instant). *)
+let as_of_ok window schema tuple =
+  match window with
+  | None -> true
+  | Some w -> (
+      match Tuple.transaction_period schema tuple with
+      | Some p -> Period.overlaps p w
+      | None -> true)
+
+(* --- per-variable restriction --- *)
+
+type restriction = {
+  conjuncts : Conjuncts.conjunct list;  (** single-variable, this var only *)
+  window : Period.t option;
+}
+
+let check_conjunct ctx = function
+  | Conjuncts.Where p -> Eval.pred ctx p
+  | Conjuncts.When p -> Eval.temppred ctx p
+
+let restricted ~now restriction (source : source) tuple =
+  let schema = Relation_file.schema source.rel in
+  as_of_ok restriction.window schema tuple
+  &&
+  let ctx =
+    { Eval.bindings = [ { Eval.var = source.var; schema; tuple } ]; now }
+  in
+  List.for_all (check_conjunct ctx) restriction.conjuncts
+
+(* --- access paths --- *)
+
+let coerce_probe schema key_attr v ~now =
+  let ty =
+    match Schema.index_of schema key_attr with
+    | Some i -> (Schema.attr schema i).Schema.ty
+    | None -> errf "no key attribute %S" key_attr
+  in
+  match (ty, v) with
+  | Attr_type.Time, Value.Str s -> (
+      match Chronon.parse ~now s with
+      | Ok t -> Value.Time t
+      | Error e -> errf "bad time constant %S: %s" s e)
+  | _ -> (
+      match Value.coerce ty v with
+      | Ok v -> v
+      | Error e -> errf "bad key value: %s" e)
+
+let iter_restricted ~now ~restriction ~access (source : source) f =
+  let visit _tid tuple =
+    if restricted ~now restriction source tuple then f tuple
+  in
+  let key_attr_name () =
+    match Relation_file.key_attr source.rel with
+    | Some i -> (Schema.attr (Relation_file.schema source.rel) i).Schema.name
+    | None -> errf "keyed probe on a heap relation"
+  in
+  match access with
+  | Plan.Seq_scan -> Relation_file.scan source.rel visit
+  | Plan.Keyed_probe e ->
+      let probe = Eval.expr { Eval.bindings = []; now } e in
+      let probe =
+        coerce_probe (Relation_file.schema source.rel) (key_attr_name ()) probe
+          ~now
+      in
+      Relation_file.lookup source.rel probe visit
+  | Plan.Range_probe (lo, hi) ->
+      (* Strict bounds are widened to inclusive here; the restriction
+         conjuncts (which include the original comparisons) re-filter. *)
+      let bound (b : Conjuncts.bound option) =
+        Option.map
+          (fun (b : Conjuncts.bound) ->
+            coerce_probe (Relation_file.schema source.rel) (key_attr_name ())
+              (Eval.expr { Eval.bindings = []; now } b.Conjuncts.expr)
+              ~now)
+          b
+      in
+      Relation_file.lookup_range source.rel ?lo:(bound lo) ?hi:(bound hi) visit
+
+(* --- one-variable detachment --- *)
+
+(* Build a temporary relation holding the restriction of [source] projected
+   onto the user attributes in [needed] (implicit time attributes ride
+   along via the temporary's schema, which shares the source's database
+   type). *)
+let detach ~now ~restriction ~access ~needed (source : source) =
+  let src_schema = Relation_file.schema source.rel in
+  let user_attrs =
+    Array.to_list (Schema.user_attrs src_schema)
+    |> List.filter (fun a -> List.mem (Schema.norm_name a.Schema.name) needed)
+  in
+  let user_attrs =
+    (* A detachment always keeps at least one user attribute so the schema
+       is well-formed. *)
+    match user_attrs with
+    | [] -> [ (Schema.user_attrs src_schema).(0) ]
+    | l -> l
+  in
+  let temp_schema =
+    match Schema.create ~db_type:(Schema.db_type src_schema) user_attrs with
+    | Ok s -> s
+    | Error e -> errf "cannot build temporary schema: %s" e
+  in
+  let temp =
+    Relation_file.create ~name:(source.var ^ "_temp") ~schema:temp_schema ()
+  in
+  (* index mapping: temp attr -> source attr *)
+  let mapping =
+    Array.map
+      (fun a ->
+        match Schema.index_of src_schema a.Schema.name with
+        | Some i -> i
+        | None -> assert false)
+      (Schema.all_attrs temp_schema)
+  in
+  iter_restricted ~now ~restriction ~access source (fun tuple ->
+      let projected = Array.map (fun i -> tuple.(i)) mapping in
+      ignore (Relation_file.insert temp projected));
+  (* Flush so every page of the temporary is written (output cost) and the
+     pool is cold for the reading phase (input cost), as in the paper. *)
+  Tdb_storage.Buffer_pool.invalidate (Relation_file.pool temp);
+  temp
+
+(* --- the main loop --- *)
+
+let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
+  let used = used_vars r in
+  let sources =
+    List.map
+      (fun v ->
+        match List.find_opt (fun s -> s.var = v) sources with
+        | Some s -> s
+        | None -> errf "tuple variable %S is not in range" v)
+      used
+  in
+  let schema_of s = Relation_file.schema s.rel in
+  let conjuncts = Conjuncts.split r.where r.when_ in
+  let window = as_of_window ~now r.as_of in
+  let restriction_of var =
+    { conjuncts = Conjuncts.for_var var conjuncts; window }
+  in
+  let residual = Conjuncts.multi_var conjuncts in
+  (* Best single-variable access path: keyed when a constant equality on
+     the relation's key exists. *)
+  let access_for s =
+    match (Relation_file.organization s.rel, Relation_file.key_attr s.rel) with
+    | (Relation_file.Hash _ | Relation_file.Isam _), Some i -> (
+        let attr =
+          Schema.norm_name (Schema.attr (schema_of s) i).Schema.name
+        in
+        match Conjuncts.constant_key_probe conjuncts ~var:s.var ~attr with
+        | Some e -> Plan.Keyed_probe e
+        | None -> Plan.Seq_scan)
+    | _ -> Plan.Seq_scan
+  in
+  let plan =
+    let source_info s =
+      let key =
+        match (Relation_file.organization s.rel, Relation_file.key_attr s.rel) with
+        | Relation_file.Hash _, Some i ->
+            Some (Schema.norm_name (Schema.attr (schema_of s) i).Schema.name, `Hash)
+        | Relation_file.Isam _, Some i ->
+            Some (Schema.norm_name (Schema.attr (schema_of s) i).Schema.name, `Isam)
+        | _ -> None
+      in
+      { Plan.var = s.var; key }
+    in
+    Plan.choose ~sources:(List.map source_info sources) ~conjuncts
+  in
+  let result = result_schema ~sources r in
+  (* I/O accounting: deltas on the sources plus everything the temporaries
+     do. *)
+  let before =
+    List.map (fun s -> Io_stats.snapshot (Relation_file.stats s.rel)) sources
+  in
+  let temps = ref [] in
+  let count = ref 0 in
+  (* attributes needed downstream of a detachment *)
+  let needed_for var =
+    let acc = ref [] in
+    List.iter (fun t -> attrs_of_expr acc t.value) r.targets;
+    List.iter
+      (function
+        | Conjuncts.Where p -> attrs_of_pred acc p
+        | Conjuncts.When _ -> ())
+      residual;
+    List.filter_map
+      (fun (v, a) -> if v = var then Some (Schema.norm_name a) else None)
+      !acc
+  in
+  let agg_mode = aggregate_mode r in
+  let accumulators =
+    if agg_mode then
+      List.fold_left (fun acc t -> aggregate_nodes acc t.value) [] r.targets
+    else []
+  in
+  let seen = if r.unique then Some (Hashtbl.create 64) else None in
+  let deliver tuple =
+    match seen with
+    | None ->
+        incr count;
+        on_tuple tuple
+    | Some tbl ->
+        let key =
+          String.concat "\x00"
+            (Array.to_list (Array.map Value.to_string tuple))
+        in
+        if not (Hashtbl.mem tbl key) then begin
+          Hashtbl.add tbl key ();
+          incr count;
+          on_tuple tuple
+        end
+  in
+  let binding s tuple = { Eval.var = s.var; schema = schema_of s; tuple } in
+  (* By-aggregates: one fold table per distinct node, grouped on the
+     by-values, computed up front over the node's whole relation.  Like
+     Quel's aggregate functions they are independent of the outer where
+     clause; only the rollback window applies (a query must never see
+     versions outside its transaction-time view).  The scan's page reads
+     count toward the query's input cost. *)
+  let by_agg_tables =
+    let rec collect acc = function
+      | Eagg (agg, operand, (_ :: _ as by)) as node ->
+          if List.exists (fun (n, _, _, _, _) -> n = node) acc then acc
+          else (node, agg, operand, by, Hashtbl.create 16) :: acc
+      | Eagg (_, _, []) | Eattr _ | Eint _ | Efloat _ | Estring _ -> acc
+      | Ebinop (_, a, b) -> collect (collect acc a) b
+      | Euminus e -> collect acc e
+    in
+    List.fold_left (fun acc t -> collect acc t.value) [] r.targets
+  in
+  let group_key ctx by =
+    String.concat "\x00"
+      (List.map (fun e -> Value.to_string (Eval.expr ctx e)) by)
+  in
+  List.iter
+    (fun (node, agg, operand, by, groups) ->
+      let var =
+        match by with
+        | Eattr (v, _) :: _ -> v
+        | _ -> errf "by-list entries must be attribute references"
+      in
+      let s = List.find (fun s -> s.var = var) sources in
+      let schema = schema_of s in
+      Relation_file.scan s.rel (fun _ tuple ->
+          if as_of_ok window schema tuple then begin
+            let ctx = { Eval.bindings = [ binding s tuple ]; now } in
+            let key = group_key ctx by in
+            let accum =
+              match Hashtbl.find_opt groups key with
+              | Some a -> a
+              | None ->
+                  let a = fresh_accumulator node agg operand in
+                  Hashtbl.add groups key a;
+                  a
+            in
+            accumulate ctx accum
+          end))
+    by_agg_tables;
+  let rec eval_target ctx = function
+    | Eagg (_, _, _ :: _) as node -> (
+        let _, _, _, by, groups =
+          List.find (fun (n, _, _, _, _) -> n = node) by_agg_tables
+        in
+        match Hashtbl.find_opt groups (group_key ctx by) with
+        | Some accum -> finish accum
+        | None -> errf "by-aggregate group not found for this binding")
+    | Ebinop (op, a, b) ->
+        Eval.apply_binop op (eval_target ctx a) (eval_target ctx b)
+    | Euminus e -> Eval.negate (eval_target ctx e)
+    | (Eattr _ | Eint _ | Efloat _ | Estring _ | Eagg (_, _, [])) as e ->
+        Eval.expr ctx e
+  in
+  let emit ctx =
+    if List.for_all (check_conjunct ctx) residual then
+    if agg_mode then List.iter (accumulate ctx) accumulators
+    else begin
+      let user_values =
+        List.map (fun t -> eval_target ctx t.value) r.targets |> Array.of_list
+      in
+      let time_values =
+        match Schema.db_type result with
+        | Db_type.Static -> Some [||]
+        | Db_type.Historical Db_type.Event -> (
+            match r.valid with
+            | Some (Valid_event e) -> (
+                match Eval.tempexpr ctx e with
+                | Some p -> Some [| Value.Time (Period.from_ p) |]
+                | None -> None)
+            | _ -> errf "event result without a valid-at clause")
+        | Db_type.Historical Db_type.Interval -> (
+            let exclusive_end p =
+              if Period.is_event p then Chronon.succ (Period.from_ p)
+              else Period.to_ p
+            in
+            match r.valid with
+            | Some (Valid_interval (e1, e2)) -> (
+                match (Eval.tempexpr ctx e1, Eval.exclusive_end ctx e2) with
+                | Some p1, Some to_ ->
+                    let from_ = Period.from_ p1 in
+                    if Chronon.compare to_ from_ < 0 then None
+                    else Some [| Value.Time from_; Value.Time to_ |]
+                | _ -> None)
+            | _ -> (
+                (* default: the overlap of the participating valid periods *)
+                let periods =
+                  List.filter_map
+                    (fun (b : Eval.binding) ->
+                      Tuple.valid_period b.schema b.tuple)
+                    ctx.Eval.bindings
+                in
+                match periods with
+                | [] -> Some [| Value.Time now; Value.Time Chronon.forever |]
+                | p :: rest ->
+                    let overlap =
+                      List.fold_left
+                        (fun acc q ->
+                          match acc with
+                          | None -> None
+                          | Some a -> Period.overlap a q)
+                        (Some p) rest
+                    in
+                    (match overlap with
+                    | Some p ->
+                        Some
+                          [| Value.Time (Period.from_ p);
+                             Value.Time (exclusive_end p) |]
+                    | None -> None)))
+        | Db_type.Rollback | Db_type.Temporal _ -> assert false
+      in
+      match time_values with
+      | Some tv -> deliver (Array.append user_values tv)
+      | None -> ()
+    end
+  in
+  (match plan with
+  | Plan.Const_emit -> emit { Eval.bindings = []; now }
+  | Plan.Single { var; access } ->
+      let s = List.find (fun s -> s.var = var) sources in
+      iter_restricted ~now ~restriction:(restriction_of var) ~access s
+        (fun tuple -> emit { Eval.bindings = [ binding s tuple ]; now })
+  | Plan.Tuple_substitution { detached; substituted; probe_attr } ->
+      let sd = List.find (fun s -> s.var = detached) sources in
+      let si = List.find (fun s -> s.var = substituted) sources in
+      let needed =
+        Schema.norm_name probe_attr :: needed_for detached
+      in
+      let temp =
+        detach ~now ~restriction:(restriction_of detached)
+          ~access:(access_for sd) ~needed sd
+      in
+      temps := temp :: !temps;
+      let temp_source = { var = detached; rel = temp } in
+      let probe_index =
+        match Schema.index_of (Relation_file.schema temp) probe_attr with
+        | Some i -> i
+        | None -> assert false
+      in
+      let inner_key_attr =
+        match Relation_file.key_attr si.rel with
+        | Some i -> (Schema.attr (schema_of si) i).Schema.name
+        | None -> assert false
+      in
+      let inner_restriction = restriction_of substituted in
+      Relation_file.scan temp (fun _ outer_tuple ->
+          let probe =
+            coerce_probe (schema_of si) inner_key_attr outer_tuple.(probe_index)
+              ~now
+          in
+          Relation_file.lookup si.rel probe (fun _ inner_tuple ->
+              if restricted ~now inner_restriction si inner_tuple then
+                emit
+                  {
+                    Eval.bindings =
+                      [ binding temp_source outer_tuple; binding si inner_tuple ];
+                    now;
+                  }))
+  | Plan.Detach_both { outer; inner } ->
+      let so = List.find (fun s -> s.var = outer) sources in
+      let si = List.find (fun s -> s.var = inner) sources in
+      let t_outer =
+        detach ~now ~restriction:(restriction_of outer) ~access:(access_for so)
+          ~needed:(needed_for outer) so
+      in
+      let t_inner =
+        detach ~now ~restriction:(restriction_of inner) ~access:(access_for si)
+          ~needed:(needed_for inner) si
+      in
+      temps := t_outer :: t_inner :: !temps;
+      let os = { var = outer; rel = t_outer } in
+      let is_ = { var = inner; rel = t_inner } in
+      Relation_file.scan t_outer (fun _ ot ->
+          Relation_file.scan t_inner (fun _ it ->
+              emit { Eval.bindings = [ binding os ot; binding is_ it ]; now }))
+  | Plan.Nested_scan { outer; inner } ->
+      let so = List.find (fun s -> s.var = outer) sources in
+      let si = List.find (fun s -> s.var = inner) sources in
+      let ro = restriction_of outer and ri = restriction_of inner in
+      iter_restricted ~now ~restriction:ro ~access:Plan.Seq_scan so (fun ot ->
+          iter_restricted ~now ~restriction:ri ~access:Plan.Seq_scan si
+            (fun it ->
+              emit { Eval.bindings = [ binding so ot; binding si it ]; now }))
+  | Plan.Nested_general vars ->
+      let rec loop bound = function
+        | [] -> emit { Eval.bindings = List.rev bound; now }
+        | v :: rest ->
+            let s = List.find (fun s -> s.var = v) sources in
+            iter_restricted ~now ~restriction:(restriction_of v)
+              ~access:Plan.Seq_scan s (fun tuple ->
+                loop (binding s tuple :: bound) rest)
+      in
+      loop [] vars);
+  if agg_mode then
+    deliver
+      (List.map (fun t -> fold_target accumulators t.value) r.targets
+      |> Array.of_list);
+  let after =
+    List.map (fun s -> Io_stats.snapshot (Relation_file.stats s.rel)) sources
+  in
+  let source_reads =
+    List.fold_left2
+      (fun acc b a -> acc + (Io_stats.diff ~before:b ~after:a).Io_stats.reads)
+      0 before after
+  in
+  let temp_io =
+    List.fold_left
+      (fun (r, w) t ->
+        Tdb_storage.Buffer_pool.flush (Relation_file.pool t);
+        let s = Io_stats.snapshot (Relation_file.stats t) in
+        (r + s.Io_stats.reads, w + s.Io_stats.writes))
+      (0, 0) !temps
+  in
+  List.iter Relation_file.close !temps;
+  {
+    schema = result;
+    count = !count;
+    io =
+      {
+        input_reads = source_reads + fst temp_io;
+        output_writes = snd temp_io;
+      };
+    plan;
+  }

@@ -1,0 +1,41 @@
+(** Execution of [retrieve] statements.
+
+    The executor mirrors the prototype's use of Ingres query decomposition:
+    one-variable restriction with selection push-down, one-variable
+    detachment into temporary relations, and tuple substitution (paper,
+    section 5.3).  Temporary relations are heap files with their own
+    one-frame buffer pools; their reads count toward the query's input cost
+    and their writes are the query's output cost, matching the paper's
+    accounting. *)
+
+type source = { var : string; rel : Tdb_storage.Relation_file.t }
+
+type io_summary = { input_reads : int; output_writes : int }
+
+type outcome = {
+  schema : Tdb_relation.Schema.t;  (** shape of the emitted tuples *)
+  count : int;  (** number of tuples emitted *)
+  io : io_summary;
+  plan : Plan.t;
+}
+
+exception Execution_error of string
+
+val run_retrieve :
+  now:Tdb_time.Chronon.t ->
+  sources:source list ->
+  Tdb_tquel.Ast.retrieve ->
+  on_tuple:(Tdb_relation.Tuple.t -> unit) ->
+  outcome
+(** [sources] must cover every tuple variable the statement uses (extras are
+    ignored).  Emitted tuples conform to [outcome.schema]: the target values
+    followed by the implicit time attributes implied by the valid clause (or
+    by default, the overlap of the participating valid periods).  Statements
+    should have passed {!Tdb_tquel.Semck} first; runtime surprises raise
+    {!Execution_error}. *)
+
+val result_schema :
+  sources:source list ->
+  Tdb_tquel.Ast.retrieve ->
+  Tdb_relation.Schema.t
+(** The result shape without running the query. *)

@@ -1,0 +1,84 @@
+type access =
+  | Seq_scan
+  | Keyed_probe of Tdb_tquel.Ast.expr
+  | Range_probe of Conjuncts.bound option * Conjuncts.bound option
+
+type t =
+  | Const_emit
+  | Single of { var : string; access : access }
+  | Tuple_substitution of {
+      detached : string;
+      substituted : string;
+      probe_attr : string;
+    }
+  | Detach_both of { outer : string; inner : string }
+  | Nested_scan of { outer : string; inner : string }
+  | Nested_general of string list
+
+type source_info = {
+  var : string;
+  key : (string * [ `Hash | `Isam ]) option;
+}
+
+let single_access source conjuncts =
+  match source.key with
+  | Some (attr, kind) -> (
+      match Conjuncts.constant_key_probe conjuncts ~var:source.var ~attr with
+      | Some e -> Keyed_probe e
+      | None -> (
+          (* An ISAM key admits range probes; hashing does not. *)
+          match kind with
+          | `Isam -> (
+              match Conjuncts.range_bounds conjuncts ~var:source.var ~attr with
+              | (None, None) -> Seq_scan
+              | (lo, hi) -> Range_probe (lo, hi))
+          | `Hash -> Seq_scan))
+  | None -> Seq_scan
+
+let has_restriction var conjuncts =
+  Conjuncts.for_var var conjuncts <> []
+
+let choose ~sources ~conjuncts =
+  match sources with
+  | [] -> Const_emit
+  | [ s ] -> Single { var = s.var; access = single_access s conjuncts }
+  | [ a; b ] -> (
+      (* Prefer tuple substitution: an equi-join whose one side is a
+         relation's key lets each outer tuple probe instead of scan. *)
+      let keyed_side je =
+        let hit (s : source_info) v attr =
+          match s.key with
+          | Some (key_attr, _) -> s.var = v && key_attr = attr
+          | None -> false
+        in
+        let open Conjuncts in
+        if hit a je.left_var je.left_attr || hit b je.left_var je.left_attr
+        then Some (je.left_var, je.right_var, je.right_attr)
+        else if
+          hit a je.right_var je.right_attr || hit b je.right_var je.right_attr
+        then Some (je.right_var, je.left_var, je.left_attr)
+        else None
+      in
+      match List.find_map keyed_side (Conjuncts.join_equalities conjuncts) with
+      | Some (substituted, detached, probe_attr) ->
+          Tuple_substitution { detached; substituted; probe_attr }
+      | None ->
+          if has_restriction a.var conjuncts && has_restriction b.var conjuncts
+          then Detach_both { outer = a.var; inner = b.var }
+          else Nested_scan { outer = a.var; inner = b.var })
+  | many -> Nested_general (List.map (fun s -> s.var) many)
+
+let to_string = function
+  | Const_emit -> "constant emit"
+  | Single { var; access = Seq_scan } -> Printf.sprintf "scan(%s)" var
+  | Single { var; access = Keyed_probe _ } -> Printf.sprintf "keyed(%s)" var
+  | Single { var; access = Range_probe _ } -> Printf.sprintf "range(%s)" var
+  | Tuple_substitution { detached; substituted; probe_attr } ->
+      Printf.sprintf "detach(%s) then substitute into %s via %s.%s" detached
+        substituted detached probe_attr
+  | Detach_both { outer; inner } ->
+      Printf.sprintf "detach(%s) join detach(%s)" outer inner
+  | Nested_scan { outer; inner } ->
+      Printf.sprintf "nested scan(%s, %s)" outer inner
+  | Nested_general vars ->
+      Printf.sprintf "nested scans(%s)" (String.concat ", " vars)

@@ -1,0 +1,46 @@
+(** Query plans: the decomposition strategies of the Ingres-based prototype
+    (paper, section 5.3).
+
+    - a one-variable query uses keyed access when a constant equality on the
+      relation's hash/ISAM key exists, otherwise a sequential scan;
+    - a two-variable query with an equi-join landing on one relation's key
+      uses {e one-variable detachment} of the other relation into a
+      temporary, then {e tuple substitution} probing the keyed relation
+      (Q09/Q10);
+    - a two-variable query whose variables both carry selective
+      single-variable restrictions is evaluated by detaching both into
+      temporaries and joining those (Q12);
+    - anything else is a nested sequential scan (Q11). *)
+
+type access =
+  | Seq_scan
+  | Keyed_probe of Tdb_tquel.Ast.expr
+      (** constant expression supplying the key *)
+  | Range_probe of Conjuncts.bound option * Conjuncts.bound option
+      (** ISAM only: read the data pages covering \[lo, hi\] instead of
+          scanning (an extension beyond the prototype; strict bounds are
+          widened to inclusive and re-filtered by the restriction) *)
+
+type t =
+  | Const_emit  (** no tuple variables at all *)
+  | Single of { var : string; access : access }
+  | Tuple_substitution of {
+      detached : string;  (** scanned into a temporary *)
+      substituted : string;  (** probed by key for each temporary tuple *)
+      probe_attr : string;  (** the detached variable's attribute whose value probes *)
+    }
+  | Detach_both of { outer : string; inner : string }
+  | Nested_scan of { outer : string; inner : string }
+  | Nested_general of string list  (** 3+ variables: nested scans in order *)
+
+type source_info = {
+  var : string;
+  key : (string * [ `Hash | `Isam ]) option;
+      (** the relation's key attribute name, when hash/ISAM organized *)
+}
+
+val choose :
+  sources:source_info list -> conjuncts:Conjuncts.conjunct list -> t
+(** [sources] in order of first appearance in the query. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/relation/attr_type.mli: Fmt

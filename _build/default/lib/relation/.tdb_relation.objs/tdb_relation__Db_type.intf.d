@@ -1,0 +1,1 @@
+lib/relation/db_type.mli: Fmt

@@ -1,0 +1,1 @@
+lib/relation/schema.ml: Array Attr_type Db_type Fmt List Printf String

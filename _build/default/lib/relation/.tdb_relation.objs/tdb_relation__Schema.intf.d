@@ -1,0 +1,1 @@
+lib/relation/schema.mli: Attr_type Db_type Fmt

@@ -1,0 +1,1 @@
+lib/relation/tuple.ml: Array Attr_type Bytes Fmt List Printf Schema Tdb_time Value

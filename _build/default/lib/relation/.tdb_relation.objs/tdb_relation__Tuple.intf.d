@@ -1,0 +1,1 @@
+lib/relation/tuple.mli: Fmt Schema Tdb_time Value

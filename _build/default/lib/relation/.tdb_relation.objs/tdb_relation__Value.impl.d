@@ -1,0 +1,1 @@
+lib/relation/value.ml: Attr_type Bytes Float Fmt Hashtbl Int Int32 Int64 Printf String Tdb_time

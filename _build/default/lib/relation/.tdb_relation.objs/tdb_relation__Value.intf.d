@@ -1,0 +1,1 @@
+lib/relation/value.mli: Attr_type Fmt Tdb_time

@@ -1,0 +1,39 @@
+type t = I1 | I2 | I4 | F4 | F8 | C of int | Time
+
+let size = function
+  | I1 -> 1
+  | I2 -> 2
+  | I4 -> 4
+  | F4 -> 4
+  | F8 -> 8
+  | C n -> n
+  | Time -> 4
+
+let to_string = function
+  | I1 -> "i1"
+  | I2 -> "i2"
+  | I4 -> "i4"
+  | F4 -> "f4"
+  | F8 -> "f8"
+  | C n -> Printf.sprintf "c%d" n
+  | Time -> "time"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "i1" -> Ok I1
+  | "i2" -> Ok I2
+  | "i4" -> Ok I4
+  | "f4" -> Ok F4
+  | "f8" -> Ok F8
+  | "time" -> Ok Time
+  | s when String.length s >= 2 && s.[0] = 'c' -> (
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some n when n >= 1 && n <= 255 -> Ok (C n)
+      | Some n -> Error (Printf.sprintf "string width %d out of range 1..255" n)
+      | None -> Error (Printf.sprintf "unknown attribute type %S" s))
+  | s -> Error (Printf.sprintf "unknown attribute type %S" s)
+
+let equal (a : t) (b : t) = a = b
+let pp ppf t = Fmt.string ppf (to_string t)
+let is_numeric = function I1 | I2 | I4 | F4 | F8 -> true | C _ | Time -> false
+let is_string = function C _ -> true | _ -> false

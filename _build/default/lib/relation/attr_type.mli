@@ -1,0 +1,24 @@
+(** Attribute types, in Ingres/Quel notation: [i1], [i2], [i4], [f4], [f8],
+    [cN] (fixed-width character string of N bytes) and the prototype's
+    distinct [time] type ("a 32 bit integer with a resolution of one
+    second"). *)
+
+type t =
+  | I1
+  | I2
+  | I4
+  | F4
+  | F8
+  | C of int  (** fixed width, 1..255 bytes *)
+  | Time
+
+val size : t -> int
+(** Stored size in bytes. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+val is_numeric : t -> bool
+val is_string : t -> bool

@@ -1,0 +1,55 @@
+type kind = Interval | Event
+
+type t =
+  | Static
+  | Rollback
+  | Historical of kind
+  | Temporal of kind
+
+let has_valid_time = function
+  | Historical _ | Temporal _ -> true
+  | Static | Rollback -> false
+
+let has_transaction_time = function
+  | Rollback | Temporal _ -> true
+  | Static | Historical _ -> false
+
+let kind = function
+  | Historical k | Temporal k -> Some k
+  | Static | Rollback -> None
+
+let implicit_attribute_count = function
+  | Static -> 0
+  | Rollback -> 2
+  | Historical Interval -> 2
+  | Historical Event -> 1
+  | Temporal Interval -> 4
+  | Temporal Event -> 3
+
+let supports_when = has_valid_time
+let supports_as_of = has_transaction_time
+
+let to_string = function
+  | Static -> "static"
+  | Rollback -> "rollback"
+  | Historical Interval -> "historical interval"
+  | Historical Event -> "historical event"
+  | Temporal Interval -> "temporal interval"
+  | Temporal Event -> "temporal event"
+
+let of_string s =
+  match
+    String.lowercase_ascii (String.trim s)
+    |> String.split_on_char ' '
+    |> List.filter (fun w -> w <> "")
+  with
+  | [ "static" ] -> Ok Static
+  | [ "rollback" ] -> Ok Rollback
+  | [ "historical" ] | [ "historical"; "interval" ] -> Ok (Historical Interval)
+  | [ "historical"; "event" ] -> Ok (Historical Event)
+  | [ "temporal" ] | [ "temporal"; "interval" ] -> Ok (Temporal Interval)
+  | [ "temporal"; "event" ] -> Ok (Temporal Event)
+  | _ -> Error (Printf.sprintf "unknown database type %S" s)
+
+let pp ppf t = Fmt.string ppf (to_string t)
+let equal (a : t) (b : t) = a = b

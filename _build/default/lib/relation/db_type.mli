@@ -1,0 +1,40 @@
+(** The four kinds of databases of the paper's taxonomy (Figure 1).
+
+    Two orthogonal criteria: support for {e historical queries} (valid time)
+    and support for {e rollback} (transaction time).  A relation is created
+    as one of the four kinds; historical and temporal relations additionally
+    model either {e intervals} or {e events}. *)
+
+type kind = Interval | Event
+(** Whether a relation with valid time models facts holding over an interval
+    or instantaneous events (paper, section 3: the [create] statement
+    distinguishes the two). *)
+
+type t =
+  | Static
+  | Rollback
+  | Historical of kind
+  | Temporal of kind
+
+val has_valid_time : t -> bool
+(** Historical and temporal relations carry valid-time attributes. *)
+
+val has_transaction_time : t -> bool
+(** Rollback and temporal relations carry transaction-time attributes. *)
+
+val kind : t -> kind option
+
+val implicit_attribute_count : t -> int
+(** 0 for static; 2 for rollback and historical intervals; 1 for historical
+    events; 4 for temporal intervals; 3 for temporal events. *)
+
+val supports_when : t -> bool
+(** The [when] clause requires valid time. *)
+
+val supports_as_of : t -> bool
+(** The [as of] clause requires transaction time. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val pp : t Fmt.t
+val equal : t -> t -> bool

@@ -1,0 +1,54 @@
+(** Relation schemas: explicit (user-declared) attributes plus the implicit
+    time attributes mandated by the relation's database type.
+
+    The prototype "adopts the scheme of augmenting each tuple with two
+    transaction time attributes for a rollback and a temporal relation, and
+    one or two valid time attributes for a historical and a temporal
+    relation" (paper, section 4).  The stored layout is: user attributes,
+    then valid-time attributes, then transaction-time attributes. *)
+
+type attr = { name : string; ty : Attr_type.t }
+
+type t
+
+val create : db_type:Db_type.t -> attr list -> (t, string) result
+(** Validates: at least one attribute, unique names (case-insensitive), and
+    no clash with the implicit attribute names. *)
+
+val create_exn : db_type:Db_type.t -> attr list -> t
+val db_type : t -> Db_type.t
+
+val user_attrs : t -> attr array
+val all_attrs : t -> attr array
+(** User attributes followed by the implicit time attributes. *)
+
+val user_arity : t -> int
+val arity : t -> int
+val attr : t -> int -> attr
+
+val index_of : t -> string -> int option
+(** Case-insensitive lookup over all (user and implicit) attributes;
+    underscores match spaces, so ["valid_from"] finds "valid from". *)
+
+val tuple_size : t -> int
+(** Bytes occupied by one stored tuple: the sum of all attribute sizes. *)
+
+(** Positions of the implicit attributes, when present: *)
+
+val valid_from_index : t -> int option
+val valid_to_index : t -> int option
+val valid_at_index : t -> int option
+val transaction_start_index : t -> int option
+val transaction_stop_index : t -> int option
+
+val norm_name : string -> string
+(** The normal form used for attribute-name comparison: trimmed,
+    lower-cased, underscores as spaces. *)
+
+val implicit_names : Db_type.t -> string list
+(** The implicit attribute names for a database type, in layout order:
+    a subset of ["valid from"; "valid to"; "valid at"; "transaction start";
+    "transaction stop"]. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,113 @@
+module Chronon = Tdb_time.Chronon
+module Period = Tdb_time.Period
+
+type t = Value.t array
+
+let validate schema tu =
+  let n = Schema.arity schema in
+  if Array.length tu <> n then
+    Error
+      (Printf.sprintf "arity mismatch: tuple has %d values, schema needs %d"
+         (Array.length tu) n)
+  else
+    let rec go i =
+      if i >= n then Ok ()
+      else
+        let a = Schema.attr schema i in
+        if Value.matches a.Schema.ty tu.(i) then go (i + 1)
+        else
+          Error
+            (Printf.sprintf "attribute %s: %s does not fit type %s"
+               a.Schema.name
+               (Value.to_string tu.(i))
+               (Attr_type.to_string a.Schema.ty))
+    in
+    go 0
+
+let encode_into schema tu buf off =
+  let n = Schema.arity schema in
+  assert (Array.length tu = n);
+  let pos = ref off in
+  for i = 0 to n - 1 do
+    let ty = (Schema.attr schema i).Schema.ty in
+    Value.encode ty tu.(i) buf !pos;
+    pos := !pos + Attr_type.size ty
+  done
+
+let encode schema tu =
+  let buf = Bytes.create (Schema.tuple_size schema) in
+  encode_into schema tu buf 0;
+  buf
+
+let decode schema buf off =
+  let n = Schema.arity schema in
+  let tu = Array.make n (Value.Int 0) in
+  let pos = ref off in
+  for i = 0 to n - 1 do
+    let ty = (Schema.attr schema i).Schema.ty in
+    tu.(i) <- Value.decode ty buf !pos;
+    pos := !pos + Attr_type.size ty
+  done;
+  tu
+
+let get_time tu i =
+  match tu.(i) with
+  | Value.Time t -> t
+  | v ->
+      invalid_arg
+        (Printf.sprintf "Tuple.get_time: attribute %d holds %s" i
+           (Value.to_string v))
+
+let set_time tu i t =
+  let tu' = Array.copy tu in
+  tu'.(i) <- Value.Time t;
+  tu'
+
+let valid_period schema tu =
+  match (Schema.valid_from_index schema, Schema.valid_at_index schema) with
+  | Some f, _ ->
+      let from_ = get_time tu f in
+      let to_ =
+        match Schema.valid_to_index schema with
+        | Some t -> get_time tu t
+        | None -> Chronon.forever
+      in
+      (* A tuple logically deleted in the same chronon it appeared: treat as
+         an event at its start rather than an invalid interval. *)
+      if Chronon.compare to_ from_ < 0 then Some (Period.at from_)
+      else Some (Period.make from_ to_)
+  | None, Some a -> Some (Period.at (get_time tu a))
+  | None, None -> None
+
+let transaction_period schema tu =
+  match
+    (Schema.transaction_start_index schema, Schema.transaction_stop_index schema)
+  with
+  | Some s, Some e ->
+      let start = get_time tu s and stop = get_time tu e in
+      if Chronon.compare stop start < 0 then Some (Period.at start)
+      else Some (Period.make start stop)
+  | _ -> None
+
+let is_current schema tu =
+  match Schema.transaction_stop_index schema with
+  | Some i -> Chronon.is_forever (get_time tu i)
+  | None -> (
+      match Schema.valid_to_index schema with
+      | Some i -> Chronon.is_forever (get_time tu i)
+      | None -> true)
+
+let project tu idxs = Array.of_list (List.map (fun i -> tu.(i)) idxs)
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let pp schema ppf tu =
+  let n = Schema.arity schema in
+  Fmt.pf ppf "(";
+  for i = 0 to n - 1 do
+    if i > 0 then Fmt.pf ppf ", ";
+    Fmt.pf ppf "%s" (Value.to_string tu.(i))
+  done;
+  Fmt.pf ppf ")"
+
+let to_string schema tu = Fmt.str "%a" (pp schema) tu

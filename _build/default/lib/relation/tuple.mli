@@ -1,0 +1,38 @@
+(** Tuples: arrays of values conforming to a schema, and their binary codec.
+
+    A stored tuple is the concatenation of its attributes' fixed-width
+    encodings, [Schema.tuple_size] bytes long. *)
+
+type t = Value.t array
+
+val validate : Schema.t -> t -> (unit, string) result
+(** Arity and per-attribute type check against the full schema. *)
+
+val encode : Schema.t -> t -> bytes
+val encode_into : Schema.t -> t -> bytes -> int -> unit
+val decode : Schema.t -> bytes -> int -> t
+
+val valid_period : Schema.t -> t -> Tdb_time.Period.t option
+(** The tuple's valid-time period: \[valid from, valid to) for interval
+    relations, the event at [valid at] for event relations, [None] for
+    relations without valid time. *)
+
+val transaction_period : Schema.t -> t -> Tdb_time.Period.t option
+(** \[transaction start, transaction stop), or [None] without transaction
+    time. *)
+
+val is_current : Schema.t -> t -> bool
+(** True iff the version has not been (logically) deleted: its transaction
+    stop is [forever] when transaction time exists, otherwise its valid-to
+    is [forever] (historical relations), otherwise always (static). *)
+
+val get_time : t -> int -> Tdb_time.Chronon.t
+(** [get_time tu i] reads attribute [i], which must hold a [Time] value. *)
+
+val set_time : t -> int -> Tdb_time.Chronon.t -> t
+(** Functional update of a time attribute. *)
+
+val project : t -> int list -> t
+val equal : t -> t -> bool
+val pp : Schema.t -> t Fmt.t
+val to_string : Schema.t -> t -> string

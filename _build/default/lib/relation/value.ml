@@ -1,0 +1,120 @@
+module Chronon = Tdb_time.Chronon
+
+type t = Int of int | Float of float | Str of string | Time of Chronon.t
+
+let type_of = function
+  | Int _ -> Attr_type.I4
+  | Float _ -> Attr_type.F8
+  | Str s -> Attr_type.C (max 1 (String.length s))
+  | Time _ -> Attr_type.Time
+
+let int_range = function
+  | Attr_type.I1 -> Some (-128, 127)
+  | Attr_type.I2 -> Some (-32768, 32767)
+  | Attr_type.I4 -> Some (-0x8000_0000, 0x7FFF_FFFF)
+  | _ -> None
+
+let matches ty v =
+  match (ty, v) with
+  | (Attr_type.I1 | I2 | I4), Int n -> (
+      match int_range ty with
+      | Some (lo, hi) -> n >= lo && n <= hi
+      | None -> false)
+  | (Attr_type.F4 | F8), Float _ -> true
+  | Attr_type.C _, Str _ -> true
+  | Attr_type.Time, Time _ -> true
+  | _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Time x, Time y -> Chronon.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Value.compare: incompatible values %s / %s"
+           (Attr_type.to_string (type_of a))
+           (Attr_type.to_string (type_of b)))
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Time t -> Chronon.to_string t
+
+let pp ppf v = Fmt.string ppf (to_string v)
+
+let type_error ty v =
+  invalid_arg
+    (Printf.sprintf "Value.encode: cannot store %s into a %s column"
+       (to_string v) (Attr_type.to_string ty))
+
+let encode ty v buf off =
+  match (ty, v) with
+  | Attr_type.I1, Int n -> Bytes.set_int8 buf off n
+  | Attr_type.I2, Int n -> Bytes.set_int16_be buf off n
+  | Attr_type.I4, Int n -> Bytes.set_int32_be buf off (Int32.of_int n)
+  | Attr_type.F4, Float f ->
+      Bytes.set_int32_be buf off (Int32.bits_of_float f)
+  | Attr_type.F8, Float f ->
+      Bytes.set_int64_be buf off (Int64.bits_of_float f)
+  | Attr_type.C n, Str s ->
+      let len = min n (String.length s) in
+      Bytes.blit_string s 0 buf off len;
+      Bytes.fill buf (off + len) (n - len) '\000'
+  | Attr_type.Time, Time t ->
+      Bytes.set_int32_be buf off (Int32.of_int (Chronon.to_seconds t))
+  | _ -> type_error ty v
+
+let decode ty buf off =
+  match ty with
+  | Attr_type.I1 -> Int (Bytes.get_int8 buf off)
+  | Attr_type.I2 -> Int (Bytes.get_int16_be buf off)
+  | Attr_type.I4 -> Int (Int32.to_int (Bytes.get_int32_be buf off))
+  | Attr_type.F4 -> Float (Int32.float_of_bits (Bytes.get_int32_be buf off))
+  | Attr_type.F8 -> Float (Int64.float_of_bits (Bytes.get_int64_be buf off))
+  | Attr_type.C n ->
+      (* Single copy: find the NUL padding in place first. *)
+      let len =
+        let rec go i = if i >= n || Bytes.get buf (off + i) = '\000' then i else go (i + 1) in
+        go 0
+      in
+      Str (Bytes.sub_string buf off len)
+  | Attr_type.Time ->
+      Time (Chronon.of_seconds (Int32.to_int (Bytes.get_int32_be buf off)))
+
+let coerce ty v =
+  match (ty, v) with
+  | (Attr_type.I1 | I2 | I4), Int n -> (
+      match int_range ty with
+      | Some (lo, hi) when n >= lo && n <= hi -> Ok v
+      | _ ->
+          Error
+            (Printf.sprintf "%d out of range for %s" n (Attr_type.to_string ty)))
+  | (Attr_type.F4 | F8), Float _ -> Ok v
+  | (Attr_type.F4 | F8), Int n -> Ok (Float (float_of_int n))
+  | Attr_type.C n, Str s ->
+      if String.length s <= n then Ok v else Ok (Str (String.sub s 0 n))
+  | Attr_type.Time, Time _ -> Ok v
+  | Attr_type.Time, Int n -> Ok (Time (Chronon.of_seconds n))
+  | _ ->
+      Error
+        (Printf.sprintf "cannot store %s value %s into a %s column"
+           (Attr_type.to_string (type_of v))
+           (to_string v) (Attr_type.to_string ty))
+
+(* Ingres hashed integer keys essentially by value (bucket = key mod
+   npages), which spreads consecutive benchmark ids almost perfectly - the
+   paper's hash files carry at most a page or two of overflow at update
+   count 0.  A "better" mixing hash would give a binomial spread and ~40%
+   overflow pages, quite unlike the prototype.  Strings hash structurally. *)
+let hash = function
+  | Int n -> n land max_int
+  | Time t -> Chronon.to_seconds t land max_int
+  | Float f -> Int64.to_int (Int64.bits_of_float f) land max_int
+  | Str s -> Hashtbl.hash s

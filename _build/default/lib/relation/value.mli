@@ -1,0 +1,40 @@
+(** Attribute values and their fixed-width binary codec. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Time of Tdb_time.Chronon.t
+
+val type_of : t -> Attr_type.t
+(** The narrowest type describing the value ([Int] maps to [i4]). *)
+
+val matches : Attr_type.t -> t -> bool
+(** Whether the value may be stored in a column of the given type (integers
+    fit any integer width whose range contains them; strings fit any [cN]
+    after truncation/padding). *)
+
+val compare : t -> t -> int
+(** Total order within a type family; comparing values of incompatible
+    families (e.g. [Int] vs [Str]) raises [Invalid_argument]. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : t Fmt.t
+
+val encode : Attr_type.t -> t -> bytes -> int -> unit
+(** [encode ty v buf off] writes the fixed-width representation of [v] as a
+    [ty] at offset [off].  Strings are padded with NULs or truncated to the
+    declared width.  Raises [Invalid_argument] on a type mismatch. *)
+
+val decode : Attr_type.t -> bytes -> int -> t
+(** Inverse of {!encode}; NUL padding is stripped from strings. *)
+
+val coerce : Attr_type.t -> t -> (t, string) result
+(** Checked conversion used when loading external data: pads/truncates
+    strings, range-checks integers, accepts [Int] for [Time] columns. *)
+
+val hash : t -> int
+(** A deterministic hash for hash files and hash indexes; multiplicative
+    (Knuth) for integers so that consecutive keys spread over buckets
+    imperfectly, as in the paper's prototype. *)

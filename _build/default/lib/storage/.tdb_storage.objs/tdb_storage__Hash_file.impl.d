@@ -1,0 +1,1 @@
+lib/storage/hash_file.ml: List Pfile Printf Tdb_relation

@@ -1,0 +1,1 @@
+lib/storage/hash_file.mli: Buffer_pool Pfile Tdb_relation Tid

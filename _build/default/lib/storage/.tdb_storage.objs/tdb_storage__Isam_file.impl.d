@@ -1,0 +1,1 @@
+lib/storage/isam_file.ml: Array Bytes List Option Pfile Printf Tdb_relation Tdb_time Tid

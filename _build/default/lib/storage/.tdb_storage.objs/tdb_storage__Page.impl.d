@@ -1,0 +1,1 @@
+lib/storage/page.ml: Bytes Int32 Printf

@@ -1,0 +1,1 @@
+lib/storage/pfile.ml: Buffer_pool Hashtbl List Page Tid

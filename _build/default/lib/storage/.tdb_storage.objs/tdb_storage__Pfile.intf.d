@@ -1,0 +1,1 @@
+lib/storage/pfile.mli: Buffer_pool Tid

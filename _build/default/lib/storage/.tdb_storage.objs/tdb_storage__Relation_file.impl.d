@@ -1,0 +1,1 @@
+lib/storage/relation_file.ml: Buffer_pool Disk Hash_file Heap_file Io_stats Isam_file List Pfile Printf Tdb_relation

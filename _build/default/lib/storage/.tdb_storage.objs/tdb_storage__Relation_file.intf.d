@@ -1,0 +1,1 @@
+lib/storage/relation_file.mli: Buffer_pool Io_stats Tdb_relation Tid

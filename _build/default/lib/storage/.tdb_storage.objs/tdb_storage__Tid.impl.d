@@ -1,0 +1,1 @@
+lib/storage/tid.ml: Bytes Fmt Int Int32

@@ -1,0 +1,104 @@
+type frame = {
+  mutable page_id : int;
+  mutable data : bytes;
+  mutable dirty : bool;
+  mutable last_use : int;
+}
+
+type t = {
+  disk : Disk.t;
+  stats : Io_stats.t;
+  mutable frames : frame array;
+  mutable clock : int;
+}
+
+let make_frame () =
+  { page_id = -1; data = Bytes.empty; dirty = false; last_use = 0 }
+
+let create ?(frames = 1) disk stats =
+  if frames < 1 then invalid_arg "Buffer_pool.create: frames must be >= 1";
+  { disk; stats; frames = Array.init frames (fun _ -> make_frame ()); clock = 0 }
+
+let stats t = t.stats
+let npages t = Disk.npages t.disk
+
+let touch t f =
+  t.clock <- t.clock + 1;
+  f.last_use <- t.clock
+
+let flush_frame t f =
+  if f.page_id >= 0 && f.dirty then begin
+    Disk.write_page t.disk f.page_id f.data;
+    Io_stats.count_write t.stats;
+    f.dirty <- false
+  end
+
+let find_resident t id =
+  let rec go i =
+    if i >= Array.length t.frames then None
+    else if t.frames.(i).page_id = id then Some t.frames.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let victim t =
+  (* Free frame if any, else least recently used. *)
+  let best = ref t.frames.(0) in
+  Array.iter
+    (fun f ->
+      if f.page_id < 0 && !best.page_id >= 0 then best := f
+      else if f.page_id >= 0 && !best.page_id >= 0 && f.last_use < !best.last_use
+      then best := f)
+    t.frames;
+  !best
+
+let load t id =
+  match find_resident t id with
+  | Some f ->
+      touch t f;
+      f
+  | None ->
+      let f = victim t in
+      flush_frame t f;
+      f.page_id <- id;
+      f.data <- Disk.read_page t.disk id;
+      Io_stats.count_read t.stats;
+      f.dirty <- false;
+      touch t f;
+      f
+
+let allocate t =
+  let id = Disk.allocate t.disk in
+  let f = victim t in
+  flush_frame t f;
+  f.page_id <- id;
+  f.data <- Page.create ();
+  f.dirty <- true;
+  touch t f;
+  id
+
+let read t id =
+  let f = load t id in
+  f.data
+
+let modify t id fn =
+  let f = load t id in
+  f.dirty <- true;
+  fn f.data
+
+let flush t = Array.iter (flush_frame t) t.frames
+
+let invalidate t =
+  flush t;
+  Array.iter
+    (fun f ->
+      f.page_id <- -1;
+      f.data <- Bytes.empty;
+      f.dirty <- false)
+    t.frames
+
+let resize t ~frames =
+  if frames < 1 then invalid_arg "Buffer_pool.resize: frames must be >= 1";
+  flush t;
+  t.frames <- Array.init frames (fun _ -> make_frame ());
+  t.clock <- 0

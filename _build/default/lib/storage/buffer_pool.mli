@@ -1,0 +1,40 @@
+(** A per-relation buffer pool.
+
+    The paper "allocated only 1 buffer for each user relation so that a page
+    resides in main memory only until another page from the same relation is
+    brought in"; that is the default here.  Larger pools use LRU
+    replacement.
+
+    A fetch that misses counts one read in the pool's {!Io_stats.t}; a dirty
+    frame flushed (on eviction or {!flush}) counts one write.  Newly
+    allocated pages are born resident and dirty, so creating and filling a
+    page costs one write, not a read. *)
+
+type t
+
+val create : ?frames:int -> Disk.t -> Io_stats.t -> t
+(** [frames] defaults to 1 and must be positive. *)
+
+val stats : t -> Io_stats.t
+val npages : t -> int
+
+val allocate : t -> int
+(** A fresh zeroed page, resident and dirty. *)
+
+val read : t -> int -> bytes
+(** The page's current contents (a frame; valid only until the next pool
+    operation).  Callers must copy out what they need and must not mutate
+    the result — use {!modify} for updates. *)
+
+val modify : t -> int -> (bytes -> 'a) -> 'a
+(** [modify t id f] applies [f] to the frame holding page [id] and marks it
+    dirty. *)
+
+val flush : t -> unit
+(** Writes back all dirty frames (counting writes) but keeps them resident. *)
+
+val invalidate : t -> unit
+(** Flushes, then empties the pool (used after [modify]/rebuild). *)
+
+val resize : t -> frames:int -> unit
+(** Changes the pool size (flushes first). *)

@@ -1,0 +1,96 @@
+type backend =
+  | Mem of { mutable pages : bytes array; mutable used : int }
+  | File of { fd : Unix.file_descr; mutable npages : int }
+
+type t = { backend : backend }
+
+let create_mem () = { backend = Mem { pages = [||]; used = 0 } }
+
+let open_file path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let len = (Unix.fstat fd).Unix.st_size in
+  if len mod Page.size <> 0 then (
+    Unix.close fd;
+    failwith (Printf.sprintf "Disk.open_file: %s is not page-aligned" path));
+  { backend = File { fd; npages = len / Page.size } }
+
+let npages t =
+  match t.backend with Mem m -> m.used | File f -> f.npages
+
+let check_id t id =
+  if id < 0 || id >= npages t then
+    invalid_arg (Printf.sprintf "Disk: page id %d out of range (npages=%d)" id
+                   (npages t))
+
+let read_exactly fd buf =
+  let rec go off =
+    if off < Bytes.length buf then begin
+      let n = Unix.read fd buf off (Bytes.length buf - off) in
+      if n = 0 then failwith "Disk: short read";
+      go (off + n)
+    end
+  in
+  go 0
+
+let write_exactly fd buf =
+  let rec go off =
+    if off < Bytes.length buf then begin
+      let n = Unix.write fd buf off (Bytes.length buf - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+let allocate t =
+  match t.backend with
+  | Mem m ->
+      if m.used >= Array.length m.pages then begin
+        let cap = max 8 (2 * Array.length m.pages) in
+        let pages = Array.make cap Bytes.empty in
+        Array.blit m.pages 0 pages 0 m.used;
+        m.pages <- pages
+      end;
+      m.pages.(m.used) <- Page.create ();
+      m.used <- m.used + 1;
+      m.used - 1
+  | File f ->
+      let id = f.npages in
+      ignore (Unix.lseek f.fd (id * Page.size) Unix.SEEK_SET);
+      write_exactly f.fd (Page.create ());
+      f.npages <- id + 1;
+      id
+
+let read_page t id =
+  check_id t id;
+  match t.backend with
+  | Mem m -> Bytes.copy m.pages.(id)
+  | File f ->
+      let buf = Bytes.create Page.size in
+      ignore (Unix.lseek f.fd (id * Page.size) Unix.SEEK_SET);
+      read_exactly f.fd buf;
+      buf
+
+let write_page t id page =
+  check_id t id;
+  if Bytes.length page <> Page.size then
+    invalid_arg "Disk.write_page: wrong page size";
+  match t.backend with
+  | Mem m -> m.pages.(id) <- Bytes.copy page
+  | File f ->
+      ignore (Unix.lseek f.fd (id * Page.size) Unix.SEEK_SET);
+      write_exactly f.fd page
+
+let truncate t =
+  match t.backend with
+  | Mem m ->
+      m.pages <- [||];
+      m.used <- 0
+  | File f ->
+      Unix.ftruncate f.fd 0;
+      f.npages <- 0
+
+let close t =
+  match t.backend with Mem _ -> () | File f -> Unix.close f.fd
+
+let is_file_backed t =
+  match t.backend with Mem _ -> false | File _ -> true

@@ -1,0 +1,30 @@
+(** Page stores.
+
+    Each relation lives in its own disk of {!Page.size}-byte pages addressed
+    by dense integer ids.  Two backends: an in-memory store (used by the
+    benchmark: the paper's metric is page {e accesses}, which the buffer
+    pool counts identically for either backend) and a real file. *)
+
+type t
+
+val create_mem : unit -> t
+
+val open_file : string -> t
+(** Opens (or creates) a page file on disk.  Raises [Sys_error]/[Unix_error]
+    on failure. *)
+
+val npages : t -> int
+
+val allocate : t -> int
+(** Extends the store by one zeroed page and returns its id. *)
+
+val read_page : t -> int -> bytes
+(** A fresh copy of the page.  Raises [Invalid_argument] on a bad id. *)
+
+val write_page : t -> int -> bytes -> unit
+
+val truncate : t -> unit
+(** Drops every page (used by [modify], which rebuilds a relation). *)
+
+val close : t -> unit
+val is_file_backed : t -> bool

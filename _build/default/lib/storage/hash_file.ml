@@ -1,0 +1,64 @@
+module Value = Tdb_relation.Value
+
+type t = {
+  pf : Pfile.t;
+  key_of : bytes -> Value.t;
+  buckets : int;
+  fillfactor : int;
+}
+
+let check_fillfactor ff =
+  if ff < 1 || ff > 100 then
+    invalid_arg (Printf.sprintf "Hash_file: fillfactor %d not in 1..100" ff)
+
+let primary_pages ~capacity ~fillfactor n =
+  let target = max 1 (capacity * fillfactor / 100) in
+  max 1 ((n + target - 1) / target)
+
+let bucket_of t key = Value.hash key mod t.buckets
+
+let insert t record =
+  let head = bucket_of t (t.key_of record) in
+  Pfile.chain_insert t.pf ~head record
+
+let build pool ~record_size ~key_of ~fillfactor records =
+  check_fillfactor fillfactor;
+  let pf = Pfile.create pool ~record_size in
+  if Pfile.npages pf <> 0 then invalid_arg "Hash_file.build: disk is not empty";
+  let buckets =
+    primary_pages ~capacity:(Pfile.capacity pf) ~fillfactor
+      (List.length records)
+  in
+  for _ = 1 to buckets do
+    ignore (Pfile.allocate_page pf)
+  done;
+  let t = { pf; key_of; buckets; fillfactor } in
+  List.iter (fun r -> ignore (insert t r)) records;
+  t
+
+let attach pool ~record_size ~key_of ~fillfactor ~buckets =
+  check_fillfactor fillfactor;
+  if buckets < 1 then invalid_arg "Hash_file.attach: buckets must be >= 1";
+  { pf = Pfile.create pool ~record_size; key_of; buckets; fillfactor }
+
+let buckets t = t.buckets
+let fillfactor t = t.fillfactor
+let pfile t = t.pf
+let read t tid = Pfile.read_record t.pf tid
+let update t tid record = Pfile.write_record t.pf tid record
+let delete t tid = Pfile.clear_record t.pf tid
+
+let lookup t key f =
+  let head = bucket_of t key in
+  Pfile.chain_iter t.pf ~head (fun tid record ->
+      if Value.equal (t.key_of record) key then f tid record)
+
+let iter t f =
+  for head = 0 to t.buckets - 1 do
+    Pfile.chain_iter t.pf ~head f
+  done
+
+let npages t = Pfile.npages t.pf
+
+let chain_pages t key =
+  Pfile.chain_length t.pf ~head:(bucket_of t key)

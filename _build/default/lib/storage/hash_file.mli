@@ -1,0 +1,55 @@
+(** Static hash files, after Ingres's [modify ... to hash].
+
+    [modify] sizes the primary area as [ceil(n / (capacity * fillfactor))]
+    buckets; each bucket is one primary page plus an overflow chain.
+    Records hash on a key extracted by a caller-supplied function, so the
+    same structure serves user relations (key = an attribute) and secondary
+    indexes (key = the indexed value).
+
+    All versions of a tuple share the same key, so chains "grow ever
+    longer" with the update count — the central performance phenomenon the
+    paper studies. *)
+
+type t
+
+val build :
+  Buffer_pool.t ->
+  record_size:int ->
+  key_of:(bytes -> Tdb_relation.Value.t) ->
+  fillfactor:int ->
+  bytes list ->
+  t
+(** Builds over an empty disk.  [fillfactor] is a percentage in 1..100.
+    With an empty record list one bucket is still allocated. *)
+
+val attach :
+  Buffer_pool.t ->
+  record_size:int ->
+  key_of:(bytes -> Tdb_relation.Value.t) ->
+  fillfactor:int ->
+  buckets:int ->
+  t
+(** Re-opens an existing hash file whose bucket count is known (from the
+    catalog). *)
+
+val buckets : t -> int
+val fillfactor : t -> int
+val pfile : t -> Pfile.t
+val bucket_of : t -> Tdb_relation.Value.t -> int
+
+val insert : t -> bytes -> Tid.t
+val read : t -> Tid.t -> bytes
+val update : t -> Tid.t -> bytes -> unit
+val delete : t -> Tid.t -> unit
+
+val lookup : t -> Tdb_relation.Value.t -> (Tid.t -> bytes -> unit) -> unit
+(** Hashed access: reads the key's full bucket chain and presents records
+    whose key equals the probe (the conventional method cannot stop early —
+    any page of the chain may hold a matching version). *)
+
+val iter : t -> (Tid.t -> bytes -> unit) -> unit
+(** Sequential scan: every bucket chain; touches every page once. *)
+
+val npages : t -> int
+val chain_pages : t -> Tdb_relation.Value.t -> int
+(** Length (in pages) of the key's bucket chain. *)

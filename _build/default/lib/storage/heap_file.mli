@@ -1,0 +1,25 @@
+(** Heap files: unordered pages filled in order of insertion.
+
+    Used for temporary relations created by one-variable detachment, for
+    [create]d relations before any [modify], and as one structure choice for
+    secondary indexes. *)
+
+type t
+
+val create : Buffer_pool.t -> record_size:int -> t
+(** A new empty heap over an empty disk. *)
+
+val attach : Buffer_pool.t -> record_size:int -> t
+(** A view over a disk that already holds heap pages. *)
+
+val pfile : t -> Pfile.t
+val insert : t -> bytes -> Tid.t
+val read : t -> Tid.t -> bytes
+val update : t -> Tid.t -> bytes -> unit
+val delete : t -> Tid.t -> unit
+val iter : t -> (Tid.t -> bytes -> unit) -> unit
+(** Sequential scan: every page, in order. *)
+
+val npages : t -> int
+val record_count : t -> int
+(** Counts by scanning (costs a scan's I/O). *)

@@ -1,0 +1,24 @@
+type t = { mutable r : int; mutable w : int }
+
+let create () = { r = 0; w = 0 }
+let reads t = t.r
+let writes t = t.w
+let total t = t.r + t.w
+let count_read t = t.r <- t.r + 1
+let count_write t = t.w <- t.w + 1
+
+let reset t =
+  t.r <- 0;
+  t.w <- 0
+
+type snapshot = { reads : int; writes : int }
+
+let snapshot t = { reads = t.r; writes = t.w }
+
+let diff ~before ~after =
+  { reads = after.reads - before.reads; writes = after.writes - before.writes }
+
+let add a b = { reads = a.reads + b.reads; writes = a.writes + b.writes }
+let zero = { reads = 0; writes = 0 }
+
+let pp_snapshot ppf s = Fmt.pf ppf "%d reads, %d writes" s.reads s.writes

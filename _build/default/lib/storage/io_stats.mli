@@ -1,0 +1,25 @@
+(** Page I/O accounting.
+
+    The paper's sole metric is "the number of disk accesses per query at a
+    granularity of a page", counting only accesses to user relations.  Every
+    buffer pool owns one of these counter records; the engine aggregates
+    them per query.  A read is counted when a page must be fetched from the
+    disk (a buffer miss); a write when a dirty page is flushed. *)
+
+type t
+
+val create : unit -> t
+val reads : t -> int
+val writes : t -> int
+val total : t -> int
+val count_read : t -> unit
+val count_write : t -> unit
+val reset : t -> unit
+
+type snapshot = { reads : int; writes : int }
+
+val snapshot : t -> snapshot
+val diff : before:snapshot -> after:snapshot -> snapshot
+val add : snapshot -> snapshot -> snapshot
+val zero : snapshot
+val pp_snapshot : snapshot Fmt.t

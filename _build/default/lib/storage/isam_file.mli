@@ -1,0 +1,80 @@
+(** ISAM files, after Ingres's [modify ... to isam].
+
+    [modify] sorts the records on the key, packs them into data pages up to
+    [capacity * fillfactor] records each, and builds a static multi-level
+    directory above them.  Directory entries hold keys only — children are
+    physically contiguous, so child pointers are implicit (as in Ingres).
+    With 4-byte keys a directory page holds 170 entries, so 128 data pages
+    need one directory level and 256 need two, reproducing the fixed costs
+    of Figure 9 (1 at 100% loading, 2 at 50%).
+
+    Insertions after the [modify] go to the data page that should hold the
+    key, overflowing into a chain hanging off that page; the directory never
+    changes (it is "static"). *)
+
+type t
+
+val build :
+  Buffer_pool.t ->
+  record_size:int ->
+  key_of:(bytes -> Tdb_relation.Value.t) ->
+  key_type:Tdb_relation.Attr_type.t ->
+  fillfactor:int ->
+  bytes list ->
+  t
+(** Builds over an empty disk.  Records need not be pre-sorted. *)
+
+val attach :
+  Buffer_pool.t ->
+  record_size:int ->
+  key_of:(bytes -> Tdb_relation.Value.t) ->
+  key_type:Tdb_relation.Attr_type.t ->
+  fillfactor:int ->
+  ndata:int ->
+  levels:(int * int) list ->
+  t
+(** Re-opens an existing ISAM file from catalog metadata: [ndata] primary
+    data pages and the directory [levels] as [(first_page, entry_count)]
+    pairs, leaf first.  The per-page key bounds used to delimit duplicate
+    runs are rebuilt by scanning the primary pages (their keys can only
+    have narrowed since the build, which keeps lookups sound). *)
+
+val levels : t -> (int * int) list
+(** Directory layout for the catalog, [(first_page, entry_count)], leaf
+    first. *)
+
+val pfile : t -> Pfile.t
+val fillfactor : t -> int
+val data_pages : t -> int
+(** Primary data pages (ids [0 .. data_pages - 1]). *)
+
+val directory_pages : t -> int
+val directory_height : t -> int
+
+val insert : t -> bytes -> Tid.t
+(** Traverses the directory (costing one page read per level), then
+    first-fit into the target page's chain. *)
+
+val read : t -> Tid.t -> bytes
+val update : t -> Tid.t -> bytes -> unit
+val delete : t -> Tid.t -> unit
+
+val lookup : t -> Tdb_relation.Value.t -> (Tid.t -> bytes -> unit) -> unit
+(** ISAM access: directory descent, then the full chain of the target data
+    page, presenting records with an equal key. *)
+
+val iter : t -> (Tid.t -> bytes -> unit) -> unit
+(** Sequential scan: data pages and their overflow chains; the directory is
+    not touched. *)
+
+val iter_range :
+  t ->
+  ?lo:Tdb_relation.Value.t ->
+  ?hi:Tdb_relation.Value.t ->
+  (Tid.t -> bytes -> unit) ->
+  unit
+(** Ordered scan of records whose key is within \[lo, hi\] (inclusive on
+    both ends; either bound may be omitted).  Reads the directory once to
+    locate the first data page, then data pages and chains from there. *)
+
+val npages : t -> int

@@ -1,0 +1,66 @@
+let size = 1024
+let trailer = 4
+let slot_header = 2
+
+let capacity ~record_size =
+  let c = (size - trailer) / (record_size + slot_header) in
+  if c < 1 then
+    invalid_arg
+      (Printf.sprintf "Page.capacity: record of %d bytes does not fit a page"
+         record_size)
+  else c
+
+let create () = Bytes.make size '\000'
+
+let get_overflow page =
+  match Int32.to_int (Bytes.get_int32_be page (size - trailer)) with
+  | 0 -> None
+  | n -> Some (n - 1)
+
+let set_overflow page next =
+  let stored = match next with None -> 0 | Some id -> id + 1 in
+  Bytes.set_int32_be page (size - trailer) (Int32.of_int stored)
+
+let slot_offset ~record_size slot = slot * (record_size + slot_header)
+
+let check_slot ~record_size slot =
+  if slot < 0 || slot >= capacity ~record_size then
+    invalid_arg (Printf.sprintf "Page: slot %d out of range" slot)
+
+let slot_used ~record_size page slot =
+  check_slot ~record_size slot;
+  Bytes.get_uint16_be page (slot_offset ~record_size slot) <> 0
+
+let read_record ~record_size page slot =
+  if not (slot_used ~record_size page slot) then
+    invalid_arg (Printf.sprintf "Page.read_record: slot %d is free" slot);
+  Bytes.sub page (slot_offset ~record_size slot + slot_header) record_size
+
+let write_record ~record_size page slot record =
+  check_slot ~record_size slot;
+  if Bytes.length record <> record_size then
+    invalid_arg "Page.write_record: record size mismatch";
+  let off = slot_offset ~record_size slot in
+  Bytes.set_uint16_be page off 1;
+  Bytes.blit record 0 page (off + slot_header) record_size
+
+let clear_slot ~record_size page slot =
+  check_slot ~record_size slot;
+  Bytes.set_uint16_be page (slot_offset ~record_size slot) 0
+
+let find_free_slot ~record_size page =
+  let cap = capacity ~record_size in
+  let rec go slot =
+    if slot >= cap then None
+    else if not (slot_used ~record_size page slot) then Some slot
+    else go (slot + 1)
+  in
+  go 0
+
+let used_count ~record_size page =
+  let cap = capacity ~record_size in
+  let n = ref 0 in
+  for slot = 0 to cap - 1 do
+    if slot_used ~record_size page slot then incr n
+  done;
+  !n

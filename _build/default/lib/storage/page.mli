@@ -1,0 +1,42 @@
+(** The physical page format.
+
+    Pages are {!size} (1024) bytes, matching the prototype.  The last
+    {!trailer} (4) bytes hold the page id of the next overflow page in the
+    chain (or 0 for none; stored ids are offset by one).  The rest of the
+    page is an array of fixed-size record slots, each prefixed by a 2-byte
+    slot header (0 = free, 1 = used), giving a capacity of
+    [(1024 - 4) / (record_size + 2)] records per page:
+
+    - 9 static tuples of 108 bytes,
+    - 8 rollback/historical tuples of 116 bytes,
+    - 8 temporal tuples of 124 bytes,
+    - 170 ISAM directory entries for 4-byte keys,
+    - 102 secondary-index entries of 8 bytes,
+
+    in line with the paper's figures. *)
+
+val size : int
+val trailer : int
+
+val capacity : record_size:int -> int
+(** Records per page.  Raises [Invalid_argument] if even one record does not
+    fit. *)
+
+val create : unit -> bytes
+(** A zeroed page: all slots free, no overflow successor. *)
+
+val get_overflow : bytes -> int option
+val set_overflow : bytes -> int option -> unit
+
+val slot_used : record_size:int -> bytes -> int -> bool
+val read_record : record_size:int -> bytes -> int -> bytes
+(** [read_record ~record_size page slot] copies the record out of the page.
+    The slot must be in use. *)
+
+val write_record : record_size:int -> bytes -> int -> bytes -> unit
+(** Stores a record and marks the slot used. *)
+
+val clear_slot : record_size:int -> bytes -> int -> unit
+
+val find_free_slot : record_size:int -> bytes -> int option
+val used_count : record_size:int -> bytes -> int

@@ -1,0 +1,131 @@
+type t = {
+  pool : Buffer_pool.t;
+  record_size : int;
+  capacity : int;
+  mutable first_fit : bool;
+      (* First-fit reuses slack anywhere along the chain (Ingres behaviour,
+         the source of Figure 8(b)'s jagged staircase at 50% loading);
+         tail-append only ever fills the newest page. *)
+  hints : (int, int) Hashtbl.t;
+      (* head page -> first chain page that may have a free slot.  Valid
+         because chains only grow and slots are freed rarely; a stale hint
+         only costs extra probes, never correctness (we re-scan from the
+         hint onward). *)
+}
+
+let create pool ~record_size =
+  {
+    pool;
+    record_size;
+    capacity = Page.capacity ~record_size;
+    first_fit = true;
+    hints = Hashtbl.create 64;
+  }
+
+let set_first_fit t v = t.first_fit <- v
+let first_fit t = t.first_fit
+
+let pool t = t.pool
+let record_size t = t.record_size
+let capacity t = t.capacity
+let npages t = Buffer_pool.npages t.pool
+let allocate_page t = Buffer_pool.allocate t.pool
+
+let read_record t (tid : Tid.t) =
+  let page = Buffer_pool.read t.pool tid.page in
+  Page.read_record ~record_size:t.record_size page tid.slot
+
+let record_exists t (tid : Tid.t) =
+  let page = Buffer_pool.read t.pool tid.page in
+  tid.slot < t.capacity && Page.slot_used ~record_size:t.record_size page tid.slot
+
+let write_record t (tid : Tid.t) record =
+  Buffer_pool.modify t.pool tid.page (fun page ->
+      Page.write_record ~record_size:t.record_size page tid.slot record)
+
+let clear_record t (tid : Tid.t) =
+  Buffer_pool.modify t.pool tid.page (fun page ->
+      Page.clear_slot ~record_size:t.record_size page tid.slot);
+  (* A freed slot may sit before the first-fit hint of some chain; rather
+     than track chain membership we just drop all hints. *)
+  Hashtbl.reset t.hints
+
+let next_overflow t page_id =
+  Page.get_overflow (Buffer_pool.read t.pool page_id)
+
+let set_next_overflow t page_id next =
+  Buffer_pool.modify t.pool page_id (fun page -> Page.set_overflow page next)
+
+let chain_insert t ~head record =
+  let start = match Hashtbl.find_opt t.hints head with
+    | Some p -> p
+    | None -> head
+  in
+  let rec go page_id =
+    let try_here =
+      if t.first_fit then true
+      else
+        (* tail-append: only the last page of the chain accepts records *)
+        next_overflow t page_id = None
+    in
+    let free =
+      if not try_here then None
+      else
+        let page = Buffer_pool.read t.pool page_id in
+        Page.find_free_slot ~record_size:t.record_size page
+    in
+    match free with
+    | Some slot ->
+        let tid = { Tid.page = page_id; slot } in
+        write_record t tid record;
+        Hashtbl.replace t.hints head page_id;
+        tid
+    | None -> (
+        match next_overflow t page_id with
+        | Some next -> go next
+        | None ->
+            let fresh = allocate_page t in
+            set_next_overflow t page_id (Some fresh);
+            let tid = { Tid.page = fresh; slot = 0 } in
+            write_record t tid record;
+            Hashtbl.replace t.hints head fresh;
+            tid)
+  in
+  go start
+
+let page_iter t ~page f =
+  (* Copy the records out first: [f] may perform pool operations that evict
+     this frame. *)
+  let records = ref [] in
+  let frame = Buffer_pool.read t.pool page in
+  for slot = t.capacity - 1 downto 0 do
+    if Page.slot_used ~record_size:t.record_size frame slot then
+      records :=
+        ({ Tid.page; slot }, Page.read_record ~record_size:t.record_size frame slot)
+        :: !records
+  done;
+  List.iter (fun (tid, r) -> f tid r) !records
+
+let chain_iter t ~head f =
+  let rec go page_id =
+    let next = next_overflow t page_id in
+    page_iter t ~page:page_id f;
+    match next with Some n -> go n | None -> ()
+  in
+  go head
+
+let chain_pages t ~head =
+  let rec go acc page_id =
+    match next_overflow t page_id with
+    | Some n -> go (page_id :: acc) n
+    | None -> List.rev (page_id :: acc)
+  in
+  go [] head
+
+let chain_length t ~head = List.length (chain_pages t ~head)
+
+let free_slots_on t ~page =
+  let frame = Buffer_pool.read t.pool page in
+  t.capacity - Page.used_count ~record_size:t.record_size frame
+
+let drop_hints t = Hashtbl.reset t.hints

@@ -1,0 +1,53 @@
+(** Paged record files: the machinery shared by every access method.
+
+    A [Pfile.t] couples a buffer pool with a fixed record size and provides
+    record-level reads and writes plus overflow-chain operations.  All
+    records handed out are fresh copies; page frames never escape. *)
+
+type t
+
+val create : Buffer_pool.t -> record_size:int -> t
+val pool : t -> Buffer_pool.t
+val record_size : t -> int
+val capacity : t -> int
+(** Records per page for this record size. *)
+
+val npages : t -> int
+val allocate_page : t -> int
+
+val read_record : t -> Tid.t -> bytes
+(** Raises [Invalid_argument] if the slot is free. *)
+
+val record_exists : t -> Tid.t -> bool
+val write_record : t -> Tid.t -> bytes -> unit
+val clear_record : t -> Tid.t -> unit
+
+val next_overflow : t -> int -> int option
+val set_next_overflow : t -> int -> int option -> unit
+
+val set_first_fit : t -> bool -> unit
+(** Chooses the overflow placement policy: first-fit (default; reuses slack
+    anywhere along the chain, as Ingres does) or tail-append (only the
+    newest chain page accepts records).  Exposed for the bench ablation. *)
+
+val first_fit : t -> bool
+
+val chain_insert : t -> head:int -> bytes -> Tid.t
+(** First-fit insertion along the overflow chain starting at page [head];
+    appends a new overflow page when every page of the chain is full.
+    First-fit is what makes odd-numbered update rounds at 50% loading fill
+    the slack left by previous rounds (Figure 8(b)'s jagged lines).
+    A per-head hint makes repeated insertion into long chains cheap. *)
+
+val chain_iter : t -> head:int -> (Tid.t -> bytes -> unit) -> unit
+(** Visits every used record of the chain, touching each page once. *)
+
+val chain_pages : t -> head:int -> int list
+val chain_length : t -> head:int -> int
+
+val page_iter : t -> page:int -> (Tid.t -> bytes -> unit) -> unit
+(** Visits the used records of a single page (no chain traversal). *)
+
+val free_slots_on : t -> page:int -> int
+val drop_hints : t -> unit
+(** Clears first-fit hints (after a rebuild). *)

@@ -1,0 +1,249 @@
+module Schema = Tdb_relation.Schema
+module Tuple = Tdb_relation.Tuple
+module Value = Tdb_relation.Value
+module Attr_type = Tdb_relation.Attr_type
+
+type organization =
+  | Heap
+  | Hash of { key_attr : int; fillfactor : int }
+  | Isam of { key_attr : int; fillfactor : int }
+
+let organization_to_string = function
+  | Heap -> "heap"
+  | Hash { key_attr; fillfactor } ->
+      Printf.sprintf "hash(attr %d, fillfactor %d)" key_attr fillfactor
+  | Isam { key_attr; fillfactor } ->
+      Printf.sprintf "isam(attr %d, fillfactor %d)" key_attr fillfactor
+
+type impl =
+  | Heap_impl of Heap_file.t
+  | Hash_impl of Hash_file.t
+  | Isam_impl of Isam_file.t
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  disk : Disk.t;
+  pool : Buffer_pool.t;
+  stats : Io_stats.t;
+  record_size : int;
+  mutable org : organization;
+  mutable impl : impl;
+}
+
+let attr_offset schema i =
+  let off = ref 0 in
+  for j = 0 to i - 1 do
+    off := !off + Attr_type.size (Schema.attr schema j).Schema.ty
+  done;
+  !off
+
+let key_extractor schema key_attr =
+  let n = Schema.arity schema in
+  if key_attr < 0 || key_attr >= n then
+    invalid_arg
+      (Printf.sprintf "Relation_file: key attribute %d out of range 0..%d"
+         key_attr (n - 1));
+  let ty = (Schema.attr schema key_attr).Schema.ty in
+  let off = attr_offset schema key_attr in
+  fun record -> Value.decode ty record off
+
+let create ?(frames = 1) ?(backing = `Mem) ~name ~schema () =
+  let disk =
+    match backing with `Mem -> Disk.create_mem () | `File p -> Disk.open_file p
+  in
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create ~frames disk stats in
+  let record_size = Schema.tuple_size schema in
+  {
+    name;
+    schema;
+    disk;
+    pool;
+    stats;
+    record_size;
+    org = Heap;
+    impl = Heap_impl (Heap_file.attach pool ~record_size);
+  }
+
+let name t = t.name
+let schema t = t.schema
+let organization t = t.org
+let stats t = t.stats
+let pool t = t.pool
+let npages t = Buffer_pool.npages t.pool
+let record_size t = t.record_size
+
+let key_attr t =
+  match t.org with
+  | Heap -> None
+  | Hash { key_attr; _ } | Isam { key_attr; _ } -> Some key_attr
+
+let encode t tuple = Tuple.encode t.schema tuple
+let decode t record = Tuple.decode t.schema record 0
+
+let insert t tuple =
+  let record = encode t tuple in
+  match t.impl with
+  | Heap_impl h -> Heap_file.insert h record
+  | Hash_impl h -> Hash_file.insert h record
+  | Isam_impl i -> Isam_file.insert i record
+
+let read t tid =
+  let record =
+    match t.impl with
+    | Heap_impl h -> Heap_file.read h tid
+    | Hash_impl h -> Hash_file.read h tid
+    | Isam_impl i -> Isam_file.read i tid
+  in
+  decode t record
+
+let update t tid tuple =
+  let record = encode t tuple in
+  match t.impl with
+  | Heap_impl h -> Heap_file.update h tid record
+  | Hash_impl h -> Hash_file.update h tid record
+  | Isam_impl i -> Isam_file.update i tid record
+
+let delete t tid =
+  match t.impl with
+  | Heap_impl h -> Heap_file.delete h tid
+  | Hash_impl h -> Hash_file.delete h tid
+  | Isam_impl i -> Isam_file.delete i tid
+
+let scan t f =
+  let g tid record = f tid (decode t record) in
+  match t.impl with
+  | Heap_impl h -> Heap_file.iter h g
+  | Hash_impl h -> Hash_file.iter h g
+  | Isam_impl i -> Isam_file.iter i g
+
+let lookup t key f =
+  let g tid record = f tid (decode t record) in
+  match t.impl with
+  | Heap_impl h ->
+      (* No key on a heap: filtered scan would need a key attribute; the
+         caller has none, so present everything and let it filter. *)
+      Heap_file.iter h g
+  | Hash_impl h -> Hash_file.lookup h key g
+  | Isam_impl i -> Isam_file.lookup i key g
+
+let lookup_range t ?lo ?hi f =
+  let g tid record = f tid (decode t record) in
+  match (t.impl, t.org) with
+  | Isam_impl i, _ -> Isam_file.iter_range i ?lo ?hi g
+  | Hash_impl h, Hash { key_attr; _ } ->
+      (* no order in a hash file: filter a scan *)
+      let key_of = key_extractor t.schema key_attr in
+      Hash_file.iter h (fun tid record ->
+          let k = key_of record in
+          let ok_lo =
+            match lo with Some l -> Value.compare l k <= 0 | None -> true
+          in
+          let ok_hi =
+            match hi with Some u -> Value.compare k u <= 0 | None -> true
+          in
+          if ok_lo && ok_hi then g tid record)
+  | (Heap_impl _ | Hash_impl _), _ ->
+      (* keyless: present everything, callers filter *)
+      scan t f
+
+let all_records t =
+  let acc = ref [] in
+  let g _tid record = acc := record :: !acc in
+  (match t.impl with
+  | Heap_impl h -> Heap_file.iter h g
+  | Hash_impl h -> Hash_file.iter h g
+  | Isam_impl i -> Isam_file.iter i g);
+  List.rev !acc
+
+let modify t org =
+  let records = all_records t in
+  Buffer_pool.invalidate t.pool;
+  Disk.truncate t.disk;
+  let record_size = t.record_size in
+  let impl =
+    match org with
+    | Heap ->
+        let h = Heap_file.attach t.pool ~record_size in
+        List.iter (fun r -> ignore (Heap_file.insert h r)) records;
+        Heap_impl h
+    | Hash { key_attr; fillfactor } ->
+        let key_of = key_extractor t.schema key_attr in
+        Hash_impl
+          (Hash_file.build t.pool ~record_size ~key_of ~fillfactor records)
+    | Isam { key_attr; fillfactor } ->
+        let key_of = key_extractor t.schema key_attr in
+        let key_type = (Schema.attr t.schema key_attr).Schema.ty in
+        Isam_impl
+          (Isam_file.build t.pool ~record_size ~key_of ~key_type ~fillfactor
+             records)
+  in
+  t.org <- org;
+  t.impl <- impl
+
+let tuple_count t =
+  let n = ref 0 in
+  scan t (fun _ _ -> incr n);
+  !n
+
+type org_meta =
+  | Heap_meta
+  | Hash_meta of { key_attr : int; fillfactor : int; buckets : int }
+  | Isam_meta of {
+      key_attr : int;
+      fillfactor : int;
+      ndata : int;
+      levels : (int * int) list;
+    }
+
+let org_meta t =
+  match t.impl with
+  | Heap_impl _ -> Heap_meta
+  | Hash_impl h -> (
+      match t.org with
+      | Hash { key_attr; fillfactor } ->
+          Hash_meta { key_attr; fillfactor; buckets = Hash_file.buckets h }
+      | _ -> assert false)
+  | Isam_impl i -> (
+      match t.org with
+      | Isam { key_attr; fillfactor } ->
+          Isam_meta
+            {
+              key_attr;
+              fillfactor;
+              ndata = Isam_file.data_pages i;
+              levels = Isam_file.levels i;
+            }
+      | _ -> assert false)
+
+let attach ?(frames = 1) ~backing ~name ~schema meta =
+  let t = create ~frames ~backing ~name ~schema () in
+  (match meta with
+  | Heap_meta -> ()
+  | Hash_meta { key_attr; fillfactor; buckets } ->
+      let key_of = key_extractor schema key_attr in
+      t.org <- Hash { key_attr; fillfactor };
+      t.impl <-
+        Hash_impl
+          (Hash_file.attach t.pool ~record_size:t.record_size ~key_of
+             ~fillfactor ~buckets)
+  | Isam_meta { key_attr; fillfactor; ndata; levels } ->
+      let key_of = key_extractor schema key_attr in
+      let key_type = (Schema.attr schema key_attr).Schema.ty in
+      t.org <- Isam { key_attr; fillfactor };
+      t.impl <-
+        Isam_impl
+          (Isam_file.attach t.pool ~record_size:t.record_size ~key_of ~key_type
+             ~fillfactor ~ndata ~levels));
+  t
+
+let set_first_fit t v =
+  match t.impl with
+  | Heap_impl h -> Pfile.set_first_fit (Heap_file.pfile h) v
+  | Hash_impl h -> Pfile.set_first_fit (Hash_file.pfile h) v
+  | Isam_impl i -> Pfile.set_first_fit (Isam_file.pfile i) v
+
+let close t =
+  Buffer_pool.flush t.pool;
+  Disk.close t.disk

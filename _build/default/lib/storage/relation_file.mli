@@ -1,0 +1,101 @@
+(** Stored relations: a schema plus an access method over a private disk.
+
+    Every relation owns its own disk, buffer pool (1 frame by default, as in
+    the paper's benchmark) and I/O counters.  A relation starts life as a
+    heap; [modify] reorganizes it into hash or ISAM with a fillfactor,
+    exactly like Ingres's [modify ... to hash/isam ... where fillfactor =
+    N]. *)
+
+type organization =
+  | Heap
+  | Hash of { key_attr : int; fillfactor : int }
+  | Isam of { key_attr : int; fillfactor : int }
+
+val organization_to_string : organization -> string
+
+type t
+
+val create :
+  ?frames:int ->
+  ?backing:[ `Mem | `File of string ] ->
+  name:string ->
+  schema:Tdb_relation.Schema.t ->
+  unit ->
+  t
+(** A new empty heap relation. *)
+
+val name : t -> string
+val schema : t -> Tdb_relation.Schema.t
+val organization : t -> organization
+val stats : t -> Io_stats.t
+val pool : t -> Buffer_pool.t
+val npages : t -> int
+val record_size : t -> int
+
+val key_attr : t -> int option
+(** The key attribute index for hash/ISAM organizations. *)
+
+val insert : t -> Tdb_relation.Tuple.t -> Tid.t
+val read : t -> Tid.t -> Tdb_relation.Tuple.t
+val update : t -> Tid.t -> Tdb_relation.Tuple.t -> unit
+val delete : t -> Tid.t -> unit
+
+val scan : t -> (Tid.t -> Tdb_relation.Tuple.t -> unit) -> unit
+(** Sequential scan (data pages and overflow chains; ISAM directories are
+    not read). *)
+
+val lookup : t -> Tdb_relation.Value.t -> (Tid.t -> Tdb_relation.Tuple.t -> unit) -> unit
+(** Keyed access.  On a heap this degenerates to a filtered sequential scan
+    (there is no key). *)
+
+val lookup_range :
+  t ->
+  ?lo:Tdb_relation.Value.t ->
+  ?hi:Tdb_relation.Value.t ->
+  (Tid.t -> Tdb_relation.Tuple.t -> unit) ->
+  unit
+(** Key-ordered access to tuples with key in \[lo, hi\] (inclusive; either
+    bound optional).  Reads only the covering data pages on ISAM; on hash
+    and heap organizations it degenerates to a filtered sequential scan. *)
+
+val modify : t -> organization -> unit
+(** Reorganizes in place: extracts all records, rebuilds with the new
+    organization.  Raises [Invalid_argument] if a key attribute index is out
+    of range. *)
+
+val tuple_count : t -> int
+(** Counts by scanning. *)
+
+type org_meta =
+  | Heap_meta
+  | Hash_meta of { key_attr : int; fillfactor : int; buckets : int }
+  | Isam_meta of {
+      key_attr : int;
+      fillfactor : int;
+      ndata : int;
+      levels : (int * int) list;
+    }
+(** Everything the catalog must persist to re-open a relation without
+    rebuilding it. *)
+
+val org_meta : t -> org_meta
+
+val attach :
+  ?frames:int ->
+  backing:[ `Mem | `File of string ] ->
+  name:string ->
+  schema:Tdb_relation.Schema.t ->
+  org_meta ->
+  t
+(** Re-opens a stored relation from its catalog metadata. *)
+
+val set_first_fit : t -> bool -> unit
+(** Switches the overflow placement policy of the underlying file (see
+    {!Pfile.set_first_fit}); for experimentation. *)
+
+val attr_offset : Tdb_relation.Schema.t -> int -> int
+(** Byte offset of attribute [i] within an encoded tuple (exposed for index
+    builders). *)
+
+val close : t -> unit
+(** Flushes and closes the backing disk. *)

@@ -1,0 +1,19 @@
+type t = { page : int; slot : int }
+
+let compare a b =
+  match Int.compare a.page b.page with
+  | 0 -> Int.compare a.slot b.slot
+  | c -> c
+
+let equal a b = compare a b = 0
+let pp ppf t = Fmt.pf ppf "<%d,%d>" t.page t.slot
+let encoded_size = 4
+
+let encode t buf off =
+  if t.page < 0 || t.page >= 1 lsl 24 || t.slot < 0 || t.slot >= 256 then
+    invalid_arg "Tid.encode: out of range";
+  Bytes.set_int32_be buf off (Int32.of_int ((t.page lsl 8) lor t.slot))
+
+let decode buf off =
+  let v = Int32.to_int (Bytes.get_int32_be buf off) land 0xFFFF_FFFF in
+  { page = v lsr 8; slot = v land 0xFF }

@@ -1,0 +1,14 @@
+(** Tuple identifiers: the physical address of a record. *)
+
+type t = { page : int; slot : int }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+val encode : t -> bytes -> int -> unit
+(** 4-byte packed encoding (24-bit page id, 8-bit slot), as used by
+    secondary-index entries. *)
+
+val decode : bytes -> int -> t
+val encoded_size : int

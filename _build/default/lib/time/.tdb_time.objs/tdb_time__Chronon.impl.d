@@ -1,0 +1,1 @@
+lib/time/chronon.ml: Fmt Int List Printf String

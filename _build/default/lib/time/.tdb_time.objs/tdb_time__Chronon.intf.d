@@ -1,0 +1,1 @@
+lib/time/chronon.mli: Fmt

@@ -1,0 +1,1 @@
+lib/time/clock.ml: Chronon

@@ -1,0 +1,1 @@
+lib/time/period.ml: Chronon Fmt Printf

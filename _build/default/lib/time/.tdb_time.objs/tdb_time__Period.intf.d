@@ -1,0 +1,1 @@
+lib/time/period.mli: Chronon Fmt

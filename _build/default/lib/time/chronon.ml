@@ -1,0 +1,219 @@
+type t = int
+
+let min_int32 = -0x8000_0000
+let max_int32 = 0x7FFF_FFFF
+
+let of_seconds s =
+  if s < min_int32 || s > max_int32 then
+    invalid_arg (Printf.sprintf "Chronon.of_seconds: %d outside 32-bit range" s)
+  else s
+
+let to_seconds t = t
+let beginning = min_int32
+let forever = max_int32
+let is_forever t = t = forever
+let compare = Int.compare
+let equal = Int.equal
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+let succ t = if t >= forever then forever else t + 1
+
+let add_seconds t s =
+  let r = t + s in
+  if r < min_int32 then min_int32 else if r > max_int32 then max_int32 else r
+
+type civil = {
+  year : int;
+  month : int;
+  day : int;
+  hour : int;
+  minute : int;
+  second : int;
+}
+
+(* Civil-date conversion after Howard Hinnant's algorithms: a proleptic
+   Gregorian calendar addressed by days since 1970-01-01. *)
+
+let days_from_civil ~year ~month ~day =
+  let y = if month <= 2 then year - 1 else year in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (month + 9) mod 12 in
+  let doy = ((153 * mp) + 2) / 5 + day - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let civil_from_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let day = doy - (((153 * mp) + 2) / 5) + 1 in
+  let month = if mp < 10 then mp + 3 else mp - 9 in
+  let year = if month <= 2 then y + 1 else y in
+  (year, month, day)
+
+let days_in_month year month =
+  match month with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 ->
+      let leap = (year mod 4 = 0 && year mod 100 <> 0) || year mod 400 = 0 in
+      if leap then 29 else 28
+  | _ -> invalid_arg "Chronon.days_in_month"
+
+let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let floor_mod a b = a - (floor_div a b * b)
+
+let to_civil t =
+  let days = floor_div t 86400 in
+  let secs = floor_mod t 86400 in
+  let year, month, day = civil_from_days days in
+  {
+    year;
+    month;
+    day;
+    hour = secs / 3600;
+    minute = secs / 60 mod 60;
+    second = secs mod 60;
+  }
+
+let of_civil { year; month; day; hour; minute; second } =
+  if month < 1 || month > 12 then invalid_arg "Chronon.of_civil: month";
+  if day < 1 || day > days_in_month year month then
+    invalid_arg "Chronon.of_civil: day";
+  if hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0
+     || second > 59
+  then invalid_arg "Chronon.of_civil: time of day";
+  let days = days_from_civil ~year ~month ~day in
+  let s = (days * 86400) + (hour * 3600) + (minute * 60) + second in
+  of_seconds s
+
+type resolution = Second | Minute | Hour | Day | Month | Year
+
+let resolution_of_string s =
+  match String.lowercase_ascii s with
+  | "second" -> Some Second
+  | "minute" -> Some Minute
+  | "hour" -> Some Hour
+  | "day" -> Some Day
+  | "month" -> Some Month
+  | "year" -> Some Year
+  | _ -> None
+
+let truncate res t =
+  if t = beginning || t = forever then t
+  else
+    let c = to_civil t in
+    let c =
+      match res with
+      | Second -> c
+      | Minute -> { c with second = 0 }
+      | Hour -> { c with second = 0; minute = 0 }
+      | Day -> { c with second = 0; minute = 0; hour = 0 }
+      | Month -> { c with second = 0; minute = 0; hour = 0; day = 1 }
+      | Year -> { c with second = 0; minute = 0; hour = 0; day = 1; month = 1 }
+    in
+    of_civil c
+
+let to_string ?(resolution = Second) t =
+  if t = beginning then "beginning"
+  else if t = forever then "forever"
+  else
+    let c = to_civil t in
+    match resolution with
+    | Year -> Printf.sprintf "%04d" c.year
+    | Month -> Printf.sprintf "%04d-%02d" c.year c.month
+    | Day -> Printf.sprintf "%04d-%02d-%02d" c.year c.month c.day
+    | Hour -> Printf.sprintf "%04d-%02d-%02d %02d" c.year c.month c.day c.hour
+    | Minute ->
+        Printf.sprintf "%04d-%02d-%02d %02d:%02d" c.year c.month c.day c.hour
+          c.minute
+    | Second ->
+        Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02d" c.year c.month c.day
+          c.hour c.minute c.second
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(* --- parsing --- *)
+
+let is_digit c = c >= '0' && c <= '9'
+let all_digits s = s <> "" && String.for_all is_digit s
+
+let expand_year y = if y >= 100 then y else if y >= 70 then 1900 + y else 2000 + y
+
+let split_on c s = String.split_on_char c s |> List.map String.trim
+
+let parse_time_of_day s =
+  (* "HH:MM" or "HH:MM:SS" *)
+  match split_on ':' s with
+  | [ h; m ] when all_digits h && all_digits m ->
+      Some (int_of_string h, int_of_string m, 0)
+  | [ h; m; sec ] when all_digits h && all_digits m && all_digits sec ->
+      Some (int_of_string h, int_of_string m, int_of_string sec)
+  | _ -> None
+
+let parse_slash_date s =
+  (* "M/D/YY" or "M/D/YYYY" *)
+  match split_on '/' s with
+  | [ m; d; y ] when all_digits m && all_digits d && all_digits y ->
+      Some (expand_year (int_of_string y), int_of_string m, int_of_string d)
+  | _ -> None
+
+let parse_iso_date s =
+  (* "YYYY-MM-DD" *)
+  match split_on '-' s with
+  | [ y; m; d ]
+    when all_digits y && String.length y = 4 && all_digits m && all_digits d ->
+      Some (int_of_string y, int_of_string m, int_of_string d)
+  | _ -> None
+
+let build ~date:(year, month, day) ~time:(hour, minute, second) =
+  match of_civil { year; month; day; hour; minute; second } with
+  | t -> Ok t
+  | exception Invalid_argument msg -> Error msg
+
+let parse ?now s =
+  let s = String.trim s in
+  match String.lowercase_ascii s with
+  | "forever" -> Ok forever
+  | "beginning" -> Ok beginning
+  | "now" -> (
+      match now with
+      | Some t -> Ok t
+      | None -> Error "\"now\" is not available in this context")
+  | _ -> (
+      if all_digits s && String.length s = 4 then
+        (* bare year, e.g. "1981" *)
+        build ~date:(int_of_string s, 1, 1) ~time:(0, 0, 0)
+      else
+        (* Try "<time> <date>", "<date> <time>", "<date>". *)
+        let words =
+          String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+        in
+        let date_of w =
+          match parse_slash_date w with
+          | Some d -> Some d
+          | None -> parse_iso_date w
+        in
+        match words with
+        | [ w ] -> (
+            match date_of w with
+            | Some d -> build ~date:d ~time:(0, 0, 0)
+            | None -> Error (Printf.sprintf "unrecognized time literal %S" s))
+        | [ w1; w2 ] -> (
+            match (parse_time_of_day w1, date_of w2) with
+            | Some tod, Some d -> build ~date:d ~time:tod
+            | _ -> (
+                match (date_of w1, parse_time_of_day w2) with
+                | Some d, Some tod -> build ~date:d ~time:tod
+                | _ -> Error (Printf.sprintf "unrecognized time literal %S" s)))
+        | _ -> Error (Printf.sprintf "unrecognized time literal %S" s))
+
+let parse_exn ?now s =
+  match parse ?now s with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Chronon.parse_exn: " ^ msg)

@@ -1,0 +1,81 @@
+(** Chronons: the prototype's representation of time.
+
+    A chronon is "a 32 bit integer with a resolution of one second" (paper,
+    section 4), counted from the epoch 1970-01-01 00:00:00 UTC.  Two
+    distinguished values exist: {!beginning} (the earliest representable
+    instant) and {!forever}, used as the transaction-stop / valid-to value of
+    current tuple versions.
+
+    Input accepts "various formats of date and time" and output "resolutions
+    ranging from a second to a year are selectable", as in the paper. *)
+
+type t
+(** An instant in time.  Totally ordered. *)
+
+val of_seconds : int -> t
+(** [of_seconds s] is the instant [s] seconds after the epoch.  Raises
+    [Invalid_argument] outside the signed 32-bit range. *)
+
+val to_seconds : t -> int
+
+val beginning : t
+(** The earliest representable instant (-2^31 seconds). *)
+
+val forever : t
+(** The latest representable instant (2^31 - 1 seconds); means "still
+    current" when stored in a stop attribute. *)
+
+val is_forever : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val succ : t -> t
+(** The next chronon; saturates at {!forever}. *)
+
+val add_seconds : t -> int -> t
+(** Saturating addition. *)
+
+type civil = {
+  year : int;
+  month : int;  (** 1..12 *)
+  day : int;  (** 1..31 *)
+  hour : int;
+  minute : int;
+  second : int;
+}
+
+val to_civil : t -> civil
+val of_civil : civil -> t
+(** Raises [Invalid_argument] on out-of-range fields or if the result does
+    not fit in 32 bits. *)
+
+type resolution = Second | Minute | Hour | Day | Month | Year
+
+val resolution_of_string : string -> resolution option
+val truncate : resolution -> t -> t
+(** [truncate res t] is [t] rounded down to the start of its second, minute,
+    ..., or year. *)
+
+val to_string : ?resolution:resolution -> t -> string
+(** Renders as e.g. ["1980-01-01 08:00:00"]; coarser resolutions drop
+    fields (["1980-01-01 08:00"], ["1980-01-01"], ["1980"]).  The
+    distinguished values render as ["beginning"] and ["forever"]. *)
+
+val pp : t Fmt.t
+
+val parse : ?now:t -> string -> (t, string) result
+(** Accepts, case-insensitively:
+    - ["now"] (requires [?now]; defaults to the epoch otherwise an error),
+      ["forever"], ["beginning"];
+    - ["HH:MM M/D/YY"] and ["HH:MM:SS M/D/YYYY"] (the paper's examples,
+      e.g. ["08:00 1/1/80"]);
+    - ["M/D/YY"] and ["M/D/YYYY"];
+    - a bare year ["1981"];
+    - ISO-style ["YYYY-MM-DD"], ["YYYY-MM-DD HH:MM"], ["YYYY-MM-DD HH:MM:SS"].
+
+    Two-digit years 70..99 are 19xx and 00..69 are 20xx. *)
+
+val parse_exn : ?now:t -> string -> t
+(** Like {!parse} but raises [Invalid_argument]. *)

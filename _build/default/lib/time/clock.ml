@@ -1,0 +1,20 @@
+type t = { mutable current : Chronon.t }
+
+let default_start = Chronon.of_civil
+    { year = 1980; month = 1; day = 1; hour = 0; minute = 0; second = 0 }
+
+let create ?(start = default_start) () = { current = start }
+let now c = c.current
+
+let advance c s =
+  if s < 0 then invalid_arg "Clock.advance: negative amount";
+  c.current <- Chronon.add_seconds c.current s
+
+let set c t =
+  if Chronon.compare t c.current < 0 then
+    invalid_arg "Clock.set: cannot move a clock backwards";
+  c.current <- t
+
+let tick c =
+  advance c 1;
+  c.current

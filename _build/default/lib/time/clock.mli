@@ -1,0 +1,25 @@
+(** Logical session clocks.
+
+    The prototype stamps every modification with the transaction time "now".
+    To make experiments reproducible, "now" comes from an explicit logical
+    clock that the application (or the benchmark driver) advances, rather
+    than from the wall clock.  A clock never moves backwards. *)
+
+type t
+
+val create : ?start:Chronon.t -> unit -> t
+(** A new clock; [start] defaults to 1980-01-01 00:00:00. *)
+
+val now : t -> Chronon.t
+
+val advance : t -> int -> unit
+(** [advance c s] moves the clock forward by [s] seconds ([s >= 0]).
+    Raises [Invalid_argument] on negative [s]. *)
+
+val set : t -> Chronon.t -> unit
+(** Jump forward to an absolute instant.  Raises [Invalid_argument] if the
+    instant is in the clock's past. *)
+
+val tick : t -> Chronon.t
+(** Advance by one second and return the new time: a convenient source of
+    strictly increasing transaction times. *)

@@ -1,0 +1,66 @@
+type t = { from_ : Chronon.t; to_ : Chronon.t }
+
+let make from_ to_ =
+  if Chronon.compare to_ from_ < 0 then
+    invalid_arg "Period.make: to_ earlier than from_"
+  else { from_; to_ }
+
+let at c = { from_ = c; to_ = c }
+let from_ p = p.from_
+let to_ p = p.to_
+let is_event p = Chronon.equal p.from_ p.to_
+
+let equal a b = Chronon.equal a.from_ b.from_ && Chronon.equal a.to_ b.to_
+
+let compare a b =
+  match Chronon.compare a.from_ b.from_ with
+  | 0 -> Chronon.compare a.to_ b.to_
+  | c -> c
+
+let contains p c =
+  if is_event p then Chronon.equal p.from_ c
+  else Chronon.compare p.from_ c <= 0 && Chronon.compare c p.to_ < 0
+
+(* Treating an event [t, t] as the single chronon t and an interval as
+   [from, to): they overlap iff they share a chronon.  When the candidate
+   instant is the boundary (lo = hi), it counts only if both periods
+   actually contain it - so [0,10) and [10,20) are disjoint, but the event
+   at 10 overlaps [10,20). *)
+let overlaps a b =
+  let lo = Chronon.max a.from_ b.from_ in
+  let hi = Chronon.min a.to_ b.to_ in
+  match Chronon.compare lo hi with
+  | c when c < 0 -> true
+  | 0 -> contains a lo && contains b lo
+  | _ -> false
+
+let overlap a b =
+  if not (overlaps a b) then None
+  else
+    let lo = Chronon.max a.from_ b.from_ in
+    let hi = Chronon.min a.to_ b.to_ in
+    Some (make lo hi)
+
+let extend a b =
+  let lo = Chronon.min a.from_ b.from_ in
+  let hi = Chronon.max a.to_ b.to_ in
+  let hi = Chronon.max hi lo in
+  make lo hi
+
+let precede a b = Chronon.compare a.to_ b.from_ <= 0
+
+let start_of p = at p.from_
+
+let end_of p =
+  if is_event p then p
+  else
+    (* last chronon of the half-open interval *)
+    at (Chronon.add_seconds p.to_ (-1))
+
+let to_string p =
+  if is_event p then Printf.sprintf "at %s" (Chronon.to_string p.from_)
+  else
+    Printf.sprintf "[%s, %s)" (Chronon.to_string p.from_)
+      (Chronon.to_string p.to_)
+
+let pp ppf p = Fmt.string ppf (to_string p)

@@ -1,0 +1,49 @@
+(** Periods: anchored intervals of chronons, and TQuel's temporal operators.
+
+    A period is a half-open interval [\[from_, to_)] except that an {e event}
+    is represented as the degenerate period [\[at, at\]] ([from_ = to_]); an
+    event at [t] is considered to overlap any interval containing [t].  This
+    mirrors TQuel, where both tuple variables (intervals) and time constants
+    (events) appear as operands of [overlap], [extend] and [precede]. *)
+
+type t = private { from_ : Chronon.t; to_ : Chronon.t }
+
+val make : Chronon.t -> Chronon.t -> t
+(** [make from_ to_].  Raises [Invalid_argument] if [to_ < from_]. *)
+
+val at : Chronon.t -> t
+(** The event period at a single instant. *)
+
+val from_ : t -> Chronon.t
+val to_ : t -> Chronon.t
+val is_event : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val contains : t -> Chronon.t -> bool
+(** [contains p c] is true iff [c] falls within [p]; for an event period
+    this means [c] equals its instant. *)
+
+val overlaps : t -> t -> bool
+(** True iff the two periods share at least one chronon (the [when]-clause
+    predicate [a overlap b]). *)
+
+val overlap : t -> t -> t option
+(** The intersection period, when {!overlaps} holds (the [valid]-clause
+    expression [a overlap b]). *)
+
+val extend : t -> t -> t
+(** [extend a b] is the period from the start of [a] to the end of [b],
+    widened to cover both ([a extend b] in TQuel). *)
+
+val precede : t -> t -> bool
+(** [precede a b] is true iff [a] ends no later than [b] begins. *)
+
+val start_of : t -> t
+(** The event at the period's first chronon. *)
+
+val end_of : t -> t
+(** The event at the period's last chronon. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

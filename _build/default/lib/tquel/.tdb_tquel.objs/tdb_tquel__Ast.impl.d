@@ -1,0 +1,1 @@
+lib/tquel/ast.ml: Tdb_relation

@@ -1,0 +1,1 @@
+lib/tquel/lexer.ml: Buffer List Printf String Token

@@ -1,0 +1,1 @@
+lib/tquel/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/tquel/parser.ml: Array Ast Lexer List Printf Tdb_relation Token

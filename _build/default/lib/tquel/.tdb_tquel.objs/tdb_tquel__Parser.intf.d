@@ -1,0 +1,1 @@
+lib/tquel/parser.mli: Ast

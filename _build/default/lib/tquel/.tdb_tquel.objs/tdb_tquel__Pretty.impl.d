@@ -1,0 +1,1 @@
+lib/tquel/pretty.ml: Ast List Option Printf String Tdb_relation

@@ -1,0 +1,1 @@
+lib/tquel/pretty.mli: Ast

@@ -1,0 +1,1 @@
+lib/tquel/semck.ml: Ast List Pretty Printf Result String Tdb_relation Tdb_time

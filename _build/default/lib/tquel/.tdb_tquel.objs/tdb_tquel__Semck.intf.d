@@ -1,0 +1,1 @@
+lib/tquel/semck.mli: Ast Tdb_relation

@@ -1,0 +1,1 @@
+lib/tquel/token.ml: List Printf String

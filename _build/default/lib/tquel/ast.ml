@@ -1,0 +1,169 @@
+(** Abstract syntax of TQuel.
+
+    TQuel extends Quel with three clauses (paper, section 3):
+    - the [when] clause: a temporal predicate over participating tuples;
+    - the [valid] clause: how the implicit time attributes of result tuples
+      are computed;
+    - the [as of] clause: the rollback operation.
+
+    The [create] statement grammar follows the paper's Figure 3:
+    [create \[persistent\] \[interval|event\] name (attrs)] where
+    [persistent] asks for transaction time and [interval]/[event] for valid
+    time, yielding the four database types. *)
+
+(** {1 Temporal expressions} — denote periods *)
+
+type tempexpr =
+  | Tvar of string  (** a tuple variable's valid period *)
+  | Tconst of string  (** a time literal: ["now"], ["1981"], ... (an event) *)
+  | Toverlap of tempexpr * tempexpr  (** intersection *)
+  | Textend of tempexpr * tempexpr  (** from the start of one to the end of the other *)
+  | Tstart_of of tempexpr
+  | Tend_of of tempexpr
+
+(** {1 Temporal predicates} — the [when] clause *)
+
+type temppred =
+  | Poverlap of tempexpr * tempexpr
+  | Pprecede of tempexpr * tempexpr
+  | Pequal of tempexpr * tempexpr
+  | Pand of temppred * temppred
+  | Por of temppred * temppred
+  | Pnot of temppred
+
+(** {1 Scalar expressions} — target lists and the [where] clause *)
+
+type binop = Add | Sub | Mul | Div | Mod
+
+type aggregate = Count | Sum | Avg | Min | Max | Any
+(** Quel's aggregate operators.  A {e global} aggregate ([sum(h.amount)])
+    collapses the retrieve to a single tuple; attribute references may then
+    appear only inside aggregate operands.  An aggregate with a {e by-list}
+    ([sum(e.salary by e.dept)]) is an aggregate function in Quel's sense:
+    evaluated per binding as the fold over all tuples sharing the binding's
+    by-values, so it composes with ordinary targets ([retrieve (e.dept,
+    total = sum(e.salary by e.dept))]).  [min]/[max] also work on [time]
+    attributes (earliest/latest instant). *)
+
+type expr =
+  | Eattr of string * string  (** [h.id]; also reaches implicit attributes
+                                  via underscore aliases, e.g. [h.valid_from] *)
+  | Eint of int
+  | Efloat of float
+  | Estring of string
+  | Ebinop of binop * expr * expr
+  | Euminus of expr
+  | Eagg of aggregate * expr * expr list
+      (** operator, operand, by-list (empty = global); by-list entries are
+          attribute references of the operand's tuple variable *)
+
+let aggregate_name = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Avg -> "avg"
+  | Min -> "min"
+  | Max -> "max"
+  | Any -> "any"
+
+let aggregate_of_name = function
+  | "count" -> Some Count
+  | "sum" -> Some Sum
+  | "avg" -> Some Avg
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "any" -> Some Any
+  | _ -> None
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type pred =
+  | Pcompare of comparison * expr * expr
+  | Wand of pred * pred
+  | Wor of pred * pred
+  | Wnot of pred
+
+(** {1 Clauses} *)
+
+type target = { out_name : string option; value : expr }
+(** A target-list element: [h.id] (name defaults to the attribute name) or
+    [total = h.amount + i.amount]. *)
+
+type valid_clause =
+  | Valid_interval of tempexpr * tempexpr  (** [valid from e1 to e2] *)
+  | Valid_event of tempexpr  (** [valid at e] *)
+
+type as_of_clause = { at : string; through : string option }
+(** [as of "t1" \[through "t2"\]]: roll the database back to [t1] (or to the
+    transaction-time window [t1..t2]). *)
+
+(** {1 Statements} *)
+
+type retrieve = {
+  into : string option;
+  unique : bool;  (** [retrieve unique (...)]: drop duplicate result tuples *)
+  targets : target list;
+  valid : valid_clause option;
+  where : pred option;
+  when_ : temppred option;
+  as_of : as_of_clause option;
+}
+
+type append = {
+  rel : string;
+  targets : target list;
+  valid : valid_clause option;
+  where : pred option;
+  when_ : temppred option;
+}
+
+type delete = {
+  var : string;
+  where : pred option;
+  when_ : temppred option;
+}
+
+type replace = {
+  var : string;
+  targets : target list;
+  valid : valid_clause option;
+  where : pred option;
+  when_ : temppred option;
+}
+
+type create = {
+  rel : string;
+  persistent : bool;  (** transaction time: rollback/temporal *)
+  kind : Tdb_relation.Db_type.kind option;  (** valid time: historical/temporal *)
+  attrs : (string * string) list;  (** (name, type notation e.g. "i4") *)
+}
+
+type organization = Org_heap | Org_hash | Org_isam
+
+type modify = {
+  rel : string;
+  organization : organization;
+  on_attr : string option;
+  fillfactor : int option;
+}
+
+type copy_direction = Copy_from | Copy_into
+
+type copy = { rel : string; direction : copy_direction; path : string }
+
+type statement =
+  | Range of { var : string; rel : string }
+  | Retrieve of retrieve
+  | Append of append
+  | Delete of delete
+  | Replace of replace
+  | Create of create
+  | Modify of modify
+  | Destroy of string
+  | Copy of copy
+
+let db_type_of_create (c : create) : Tdb_relation.Db_type.t =
+  match (c.persistent, c.kind) with
+  | false, None -> Tdb_relation.Db_type.Static
+  | true, None -> Tdb_relation.Db_type.Rollback
+  | false, Some k -> Tdb_relation.Db_type.Historical k
+  | true, Some k -> Tdb_relation.Db_type.Temporal k

@@ -1,0 +1,169 @@
+type positioned = { token : Token.t; line : int; col : int }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let error st msg =
+  Error (Printf.sprintf "lexical error at line %d, column %d: %s" st.line st.col msg)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let tokens = ref [] in
+  let emit ~line ~col token = tokens := { token; line; col } :: !tokens in
+  let rec skip_comment depth =
+    if depth = 0 then Ok ()
+    else
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+          advance st;
+          advance st;
+          skip_comment (depth - 1)
+      | Some '/', Some '*' ->
+          advance st;
+          advance st;
+          skip_comment (depth + 1)
+      | Some _, _ ->
+          advance st;
+          skip_comment depth
+      | None, _ -> error st "unterminated comment"
+  in
+  let lex_string ~line ~col =
+    advance st (* opening quote *);
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek st with
+      | None -> error st "unterminated string literal"
+      | Some '"' ->
+          advance st;
+          emit ~line ~col (Token.String_lit (Buffer.contents buf));
+          Ok ()
+      | Some '\\' -> (
+          advance st;
+          match peek st with
+          | Some c ->
+              Buffer.add_char buf (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+              advance st;
+              go ()
+          | None -> error st "unterminated string literal")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance st;
+          go ()
+    in
+    go ()
+  in
+  let lex_number ~line ~col =
+    let start = st.pos in
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    let is_float =
+      match (peek st, peek2 st) with
+      | Some '.', Some c when is_digit c -> true
+      | _ -> false
+    in
+    if is_float then begin
+      advance st;
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+    end;
+    let text = String.sub st.src start (st.pos - start) in
+    if is_float then
+      match float_of_string_opt text with
+      | Some f ->
+          emit ~line ~col (Token.Float_lit f);
+          Ok ()
+      | None -> error st (Printf.sprintf "bad number %S" text)
+    else
+      match int_of_string_opt text with
+      | Some n ->
+          emit ~line ~col (Token.Int_lit n);
+          Ok ()
+      | None -> error st (Printf.sprintf "number %S too large" text)
+  in
+  let lex_word ~line ~col =
+    let start = st.pos in
+    while (match peek st with Some c -> is_ident_char c | None -> false) do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    let lowered = String.lowercase_ascii text in
+    if Token.is_keyword lowered then emit ~line ~col (Token.Kw lowered)
+    else emit ~line ~col (Token.Ident lowered)
+  in
+  let rec go () =
+    match peek st with
+    | None -> Ok (List.rev !tokens)
+    | Some c -> (
+        let line = st.line and col = st.col in
+        match c with
+        | ' ' | '\t' | '\r' | '\n' ->
+            advance st;
+            go ()
+        | '/' when peek2 st = Some '*' ->
+            advance st;
+            advance st;
+            (match skip_comment 1 with Ok () -> go () | Error e -> Error e)
+        | '"' -> ( match lex_string ~line ~col with Ok () -> go () | Error e -> Error e)
+        | c when is_digit c -> (
+            match lex_number ~line ~col with Ok () -> go () | Error e -> Error e)
+        | c when is_ident_start c ->
+            lex_word ~line ~col;
+            go ()
+        | '(' -> advance st; emit ~line ~col Token.Lparen; go ()
+        | ')' -> advance st; emit ~line ~col Token.Rparen; go ()
+        | ',' -> advance st; emit ~line ~col Token.Comma; go ()
+        | '.' -> advance st; emit ~line ~col Token.Dot; go ()
+        | ';' -> advance st; emit ~line ~col Token.Semicolon; go ()
+        | '+' -> advance st; emit ~line ~col Token.Plus; go ()
+        | '-' -> advance st; emit ~line ~col Token.Minus; go ()
+        | '*' -> advance st; emit ~line ~col Token.Star; go ()
+        | '/' -> advance st; emit ~line ~col Token.Slash; go ()
+        | '=' -> advance st; emit ~line ~col Token.Equal; go ()
+        | '!' when peek2 st = Some '=' ->
+            advance st; advance st;
+            emit ~line ~col Token.Not_equal;
+            go ()
+        | '<' when peek2 st = Some '=' ->
+            advance st; advance st;
+            emit ~line ~col Token.Less_equal;
+            go ()
+        | '<' when peek2 st = Some '>' ->
+            advance st; advance st;
+            emit ~line ~col Token.Not_equal;
+            go ()
+        | '<' -> advance st; emit ~line ~col Token.Less; go ()
+        | '>' when peek2 st = Some '=' ->
+            advance st; advance st;
+            emit ~line ~col Token.Greater_equal;
+            go ()
+        | '>' -> advance st; emit ~line ~col Token.Greater; go ()
+        | c -> error st (Printf.sprintf "unexpected character %C" c))
+  in
+  go ()

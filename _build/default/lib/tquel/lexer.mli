@@ -1,0 +1,10 @@
+(** The TQuel lexer.
+
+    Comments run from [/*] to [*/] (Quel style).  String literals use double
+    quotes with backslash escapes.  Keywords and identifiers are
+    case-insensitive; identifiers are lower-cased. *)
+
+type positioned = { token : Token.t; line : int; col : int }
+
+val tokenize : string -> (positioned list, string) result
+(** The full token stream, or a lexical error message with position. *)

@@ -1,0 +1,506 @@
+open Ast
+
+exception Parse_error of string
+
+type cursor = { tokens : Lexer.positioned array; mutable pos : int }
+
+let fail cur msg =
+  let where =
+    if cur.pos < Array.length cur.tokens then
+      let p = cur.tokens.(cur.pos) in
+      Printf.sprintf "line %d, column %d (at %S)" p.Lexer.line p.Lexer.col
+        (Token.to_string p.Lexer.token)
+    else "end of input"
+  in
+  raise (Parse_error (Printf.sprintf "parse error at %s: %s" where msg))
+
+let peek cur =
+  if cur.pos < Array.length cur.tokens then Some cur.tokens.(cur.pos).Lexer.token
+  else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let eat cur token =
+  match peek cur with
+  | Some t when Token.equal t token -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected %s" (Token.to_string token))
+
+let eat_kw cur kw = eat cur (Token.Kw kw)
+
+let accept cur token =
+  match peek cur with
+  | Some t when Token.equal t token ->
+      advance cur;
+      true
+  | _ -> false
+
+let accept_kw cur kw = accept cur (Token.Kw kw)
+
+let ident cur =
+  match peek cur with
+  | Some (Token.Ident s) ->
+      advance cur;
+      s
+  | _ -> fail cur "expected an identifier"
+
+let string_lit cur =
+  match peek cur with
+  | Some (Token.String_lit s) ->
+      advance cur;
+      s
+  | _ -> fail cur "expected a string literal"
+
+let int_lit cur =
+  match peek cur with
+  | Some (Token.Int_lit n) ->
+      advance cur;
+      n
+  | _ -> fail cur "expected an integer"
+
+(* Backtracking: run [f]; on Parse_error restore the cursor and run [g]. *)
+let attempt cur f g =
+  let saved = cur.pos in
+  try f () with Parse_error _ ->
+    cur.pos <- saved;
+    g ()
+
+(* --- scalar expressions --- *)
+
+let rec parse_expr cur =
+  let lhs = parse_term cur in
+  let rec go lhs =
+    match peek cur with
+    | Some Token.Plus ->
+        advance cur;
+        go (Ebinop (Add, lhs, parse_term cur))
+    | Some Token.Minus ->
+        advance cur;
+        go (Ebinop (Sub, lhs, parse_term cur))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_term cur =
+  let lhs = parse_factor cur in
+  let rec go lhs =
+    match peek cur with
+    | Some Token.Star ->
+        advance cur;
+        go (Ebinop (Mul, lhs, parse_factor cur))
+    | Some Token.Slash ->
+        advance cur;
+        go (Ebinop (Div, lhs, parse_factor cur))
+    | Some (Token.Kw "mod") ->
+        advance cur;
+        go (Ebinop (Mod, lhs, parse_factor cur))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_factor cur =
+  match peek cur with
+  | Some Token.Minus ->
+      advance cur;
+      Euminus (parse_factor cur)
+  | Some (Token.Int_lit n) ->
+      advance cur;
+      Eint n
+  | Some (Token.Float_lit f) ->
+      advance cur;
+      Efloat f
+  | Some (Token.String_lit s) ->
+      advance cur;
+      Estring s
+  | Some Token.Lparen ->
+      advance cur;
+      let e = parse_expr cur in
+      eat cur Token.Rparen;
+      e
+  | Some (Token.Ident v) -> (
+      advance cur;
+      if accept cur Token.Dot then Eattr (v, ident cur)
+      else
+        match Ast.aggregate_of_name v with
+        | Some agg when peek cur = Some Token.Lparen ->
+            advance cur;
+            let e = parse_expr cur in
+            let by =
+              if accept_kw cur "by" then begin
+                let rec attrs acc =
+                  let v = ident cur in
+                  eat cur Token.Dot;
+                  let a = ident cur in
+                  let acc = Eattr (v, a) :: acc in
+                  if accept cur Token.Comma then attrs acc else List.rev acc
+                in
+                attrs []
+              end
+              else []
+            in
+            eat cur Token.Rparen;
+            Eagg (agg, e, by)
+        | _ ->
+            fail cur
+              "expected '.' after a tuple variable (attributes are var.attr)")
+  | _ -> fail cur "expected an expression"
+
+(* --- predicates (where clause) --- *)
+
+let parse_comparison cur =
+  let lhs = parse_expr cur in
+  let op =
+    match peek cur with
+    | Some Token.Equal -> Eq
+    | Some Token.Not_equal -> Ne
+    | Some Token.Less -> Lt
+    | Some Token.Less_equal -> Le
+    | Some Token.Greater -> Gt
+    | Some Token.Greater_equal -> Ge
+    | _ -> fail cur "expected a comparison operator"
+  in
+  advance cur;
+  let rhs = parse_expr cur in
+  Pcompare (op, lhs, rhs)
+
+let rec parse_pred cur =
+  let lhs = parse_and_pred cur in
+  if accept_kw cur "or" then Wor (lhs, parse_pred cur) else lhs
+
+and parse_and_pred cur =
+  let lhs = parse_not_pred cur in
+  if accept_kw cur "and" then Wand (lhs, parse_and_pred cur) else lhs
+
+and parse_not_pred cur =
+  if accept_kw cur "not" then Wnot (parse_not_pred cur)
+  else
+    match peek cur with
+    | Some Token.Lparen ->
+        (* Either a parenthesized predicate or a parenthesized expression
+           starting a comparison; try the predicate reading first. *)
+        attempt cur
+          (fun () ->
+            eat cur Token.Lparen;
+            let p = parse_pred cur in
+            eat cur Token.Rparen;
+            (* Guard: if a comparison operator follows, the parentheses
+               belonged to an expression after all. *)
+            (match peek cur with
+            | Some
+                ( Token.Equal | Token.Not_equal | Token.Less | Token.Less_equal
+                | Token.Greater | Token.Greater_equal | Token.Plus | Token.Minus
+                | Token.Star | Token.Slash ) ->
+                fail cur "parenthesized expression, not predicate"
+            | _ -> ());
+            p)
+          (fun () -> parse_comparison cur)
+    | _ -> parse_comparison cur
+
+(* --- temporal expressions and predicates --- *)
+
+let rec parse_tempexpr cur =
+  let lhs = parse_tempfactor cur in
+  let rec go lhs =
+    if accept_kw cur "overlap" then go (Toverlap (lhs, parse_tempfactor cur))
+    else if accept_kw cur "extend" then go (Textend (lhs, parse_tempfactor cur))
+    else lhs
+  in
+  go lhs
+
+and parse_tempfactor cur =
+  match peek cur with
+  | Some (Token.Kw "start") ->
+      advance cur;
+      eat_kw cur "of";
+      Tstart_of (parse_tempfactor cur)
+  | Some (Token.Kw "end") ->
+      advance cur;
+      eat_kw cur "of";
+      Tend_of (parse_tempfactor cur)
+  | Some (Token.Ident v) ->
+      advance cur;
+      Tvar v
+  | Some (Token.String_lit s) ->
+      advance cur;
+      Tconst s
+  | Some Token.Lparen ->
+      advance cur;
+      let e = parse_tempexpr cur in
+      eat cur Token.Rparen;
+      e
+  | _ -> fail cur "expected a temporal expression"
+
+(* A temporal atom: either [e1 precede e2], [e1 equal e2], or a bare
+   temporal expression whose top-level operator is [overlap], which TQuel
+   reads as the overlap predicate. *)
+let parse_temp_atom cur =
+  let lhs = parse_tempexpr cur in
+  if accept_kw cur "precede" then Pprecede (lhs, parse_tempexpr cur)
+  else if accept_kw cur "equal" then Pequal (lhs, parse_tempexpr cur)
+  else
+    match lhs with
+    | Toverlap (a, b) -> Poverlap (a, b)
+    | _ ->
+        fail cur
+          "expected a temporal predicate (overlap, precede or equal)"
+
+let rec parse_temppred cur =
+  let lhs = parse_temp_and cur in
+  if accept_kw cur "or" then Por (lhs, parse_temppred cur) else lhs
+
+and parse_temp_and cur =
+  let lhs = parse_temp_not cur in
+  if accept_kw cur "and" then Pand (lhs, parse_temp_and cur) else lhs
+
+and parse_temp_not cur =
+  if accept_kw cur "not" then Pnot (parse_temp_not cur)
+  else
+    match peek cur with
+    | Some Token.Lparen ->
+        attempt cur
+          (fun () ->
+            eat cur Token.Lparen;
+            let p = parse_temppred cur in
+            eat cur Token.Rparen;
+            (match peek cur with
+            | Some (Token.Kw ("overlap" | "extend" | "precede" | "equal")) ->
+                fail cur "parenthesized temporal expression, not predicate"
+            | _ -> ());
+            p)
+          (fun () -> parse_temp_atom cur)
+    | _ -> parse_temp_atom cur
+
+(* --- clauses --- *)
+
+let parse_target cur =
+  match (peek cur, if cur.pos + 1 < Array.length cur.tokens then Some cur.tokens.(cur.pos + 1).Lexer.token else None) with
+  | Some (Token.Ident name), Some Token.Equal ->
+      advance cur;
+      advance cur;
+      { out_name = Some name; value = parse_expr cur }
+  | _ ->
+      let e = parse_expr cur in
+      let out_name =
+        match e with Eattr (_, attr) -> Some attr | _ -> None
+      in
+      { out_name; value = e }
+
+let parse_target_list cur =
+  eat cur Token.Lparen;
+  let rec go acc =
+    let t = parse_target cur in
+    if accept cur Token.Comma then go (t :: acc)
+    else begin
+      eat cur Token.Rparen;
+      List.rev (t :: acc)
+    end
+  in
+  go []
+
+let parse_valid cur =
+  (* after the keyword [valid] *)
+  if accept_kw cur "at" then Valid_event (parse_tempexpr cur)
+  else begin
+    eat_kw cur "from";
+    let from_ = parse_tempexpr cur in
+    eat_kw cur "to";
+    let to_ = parse_tempexpr cur in
+    Valid_interval (from_, to_)
+  end
+
+let parse_as_of cur =
+  (* after the keywords [as of] *)
+  let at = string_lit cur in
+  let through = if accept_kw cur "through" then Some (string_lit cur) else None in
+  { at; through }
+
+type clauses = {
+  mutable c_valid : valid_clause option;
+  mutable c_where : pred option;
+  mutable c_when : temppred option;
+  mutable c_as_of : as_of_clause option;
+}
+
+let parse_clauses ?(allow_as_of = true) ?(allow_valid = true) cur =
+  let c = { c_valid = None; c_where = None; c_when = None; c_as_of = None } in
+  let dup name = fail cur (Printf.sprintf "duplicate %s clause" name) in
+  let rec go () =
+    match peek cur with
+    | Some (Token.Kw "valid") when allow_valid ->
+        advance cur;
+        if c.c_valid <> None then dup "valid";
+        c.c_valid <- Some (parse_valid cur);
+        go ()
+    | Some (Token.Kw "where") ->
+        advance cur;
+        if c.c_where <> None then dup "where";
+        c.c_where <- Some (parse_pred cur);
+        go ()
+    | Some (Token.Kw "when") ->
+        advance cur;
+        if c.c_when <> None then dup "when";
+        c.c_when <- Some (parse_temppred cur);
+        go ()
+    | Some (Token.Kw "as") when allow_as_of ->
+        advance cur;
+        eat_kw cur "of";
+        if c.c_as_of <> None then dup "as of";
+        c.c_as_of <- Some (parse_as_of cur);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  c
+
+(* --- statements --- *)
+
+let parse_retrieve cur =
+  (* after [retrieve] *)
+  let unique = accept_kw cur "unique" in
+  let into = if accept_kw cur "into" then Some (ident cur) else None in
+  let unique = unique || accept_kw cur "unique" in
+  let targets = parse_target_list cur in
+  let c = parse_clauses cur in
+  Retrieve
+    {
+      into;
+      unique;
+      targets;
+      valid = c.c_valid;
+      where = c.c_where;
+      when_ = c.c_when;
+      as_of = c.c_as_of;
+    }
+
+let parse_append cur =
+  ignore (accept_kw cur "to");
+  let rel = ident cur in
+  let targets = parse_target_list cur in
+  let c = parse_clauses ~allow_as_of:false cur in
+  Append { rel; targets; valid = c.c_valid; where = c.c_where; when_ = c.c_when }
+
+let parse_delete cur =
+  let var = ident cur in
+  let c = parse_clauses ~allow_as_of:false ~allow_valid:false cur in
+  Delete { var; where = c.c_where; when_ = c.c_when }
+
+let parse_replace cur =
+  let var = ident cur in
+  let targets = parse_target_list cur in
+  let c = parse_clauses ~allow_as_of:false cur in
+  Replace { var; targets; valid = c.c_valid; where = c.c_where; when_ = c.c_when }
+
+let parse_create cur =
+  let persistent = accept_kw cur "persistent" in
+  let kind =
+    if accept_kw cur "interval" then Some Tdb_relation.Db_type.Interval
+    else if accept_kw cur "event" then Some Tdb_relation.Db_type.Event
+    else None
+  in
+  let rel = ident cur in
+  eat cur Token.Lparen;
+  let rec attrs acc =
+    let name = ident cur in
+    eat cur Token.Equal;
+    let ty = ident cur in
+    let acc = (name, ty) :: acc in
+    if accept cur Token.Comma then attrs acc
+    else begin
+      eat cur Token.Rparen;
+      List.rev acc
+    end
+  in
+  Create { rel; persistent; kind; attrs = attrs [] }
+
+let parse_modify cur =
+  let rel = ident cur in
+  eat_kw cur "to";
+  let organization =
+    match peek cur with
+    | Some (Token.Kw "hash") -> advance cur; Org_hash
+    | Some (Token.Kw "isam") -> advance cur; Org_isam
+    | Some (Token.Kw "heap") -> advance cur; Org_heap
+    | _ -> fail cur "expected hash, isam or heap"
+  in
+  let on_attr = if accept_kw cur "on" then Some (ident cur) else None in
+  let fillfactor =
+    if accept_kw cur "where" then begin
+      eat_kw cur "fillfactor";
+      eat cur Token.Equal;
+      Some (int_lit cur)
+    end
+    else None
+  in
+  Modify { rel; organization; on_attr; fillfactor }
+
+let parse_copy cur =
+  let rel = ident cur in
+  let direction =
+    if accept_kw cur "from" then Copy_from
+    else if accept_kw cur "into" then Copy_into
+    else fail cur "expected from or into"
+  in
+  let path = string_lit cur in
+  Copy { rel; direction; path }
+
+let parse_one cur =
+  match peek cur with
+  | Some (Token.Kw "range") ->
+      advance cur;
+      eat_kw cur "of";
+      let var = ident cur in
+      eat_kw cur "is";
+      let rel = ident cur in
+      Range { var; rel }
+  | Some (Token.Kw "retrieve") ->
+      advance cur;
+      parse_retrieve cur
+  | Some (Token.Kw "append") ->
+      advance cur;
+      parse_append cur
+  | Some (Token.Kw "delete") ->
+      advance cur;
+      parse_delete cur
+  | Some (Token.Kw "replace") ->
+      advance cur;
+      parse_replace cur
+  | Some (Token.Kw "create") ->
+      advance cur;
+      parse_create cur
+  | Some (Token.Kw "modify") ->
+      advance cur;
+      parse_modify cur
+  | Some (Token.Kw "destroy") ->
+      advance cur;
+      Destroy (ident cur)
+  | Some (Token.Kw "copy") ->
+      advance cur;
+      parse_copy cur
+  | _ -> fail cur "expected a statement"
+
+let with_tokens src f =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok tokens -> (
+      let cur = { tokens = Array.of_list tokens; pos = 0 } in
+      try Ok (f cur) with Parse_error msg -> Error msg)
+
+let parse_program src =
+  with_tokens src (fun cur ->
+      let rec go acc =
+        while accept cur Token.Semicolon do
+          ()
+        done;
+        if cur.pos >= Array.length cur.tokens then List.rev acc
+        else go (parse_one cur :: acc)
+      in
+      go [])
+
+let parse_statement src =
+  with_tokens src (fun cur ->
+      let s = parse_one cur in
+      while accept cur Token.Semicolon do
+        ()
+      done;
+      if cur.pos < Array.length cur.tokens then
+        fail cur "trailing input after statement"
+      else s)

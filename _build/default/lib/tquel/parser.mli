@@ -1,0 +1,10 @@
+(** Recursive-descent parser for TQuel.
+
+    Statements may be separated by semicolons or simply juxtaposed.
+    Errors carry the line and column of the offending token. *)
+
+val parse_program : string -> (Ast.statement list, string) result
+(** Parses a script of zero or more statements. *)
+
+val parse_statement : string -> (Ast.statement, string) result
+(** Parses exactly one statement (trailing semicolon permitted). *)

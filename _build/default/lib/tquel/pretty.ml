@@ -1,0 +1,153 @@
+open Ast
+
+let rec tempexpr = function
+  | Tvar v -> v
+  | Tconst s -> Printf.sprintf "%S" s
+  | Toverlap (a, b) -> Printf.sprintf "(%s overlap %s)" (tempexpr a) (tempexpr b)
+  | Textend (a, b) -> Printf.sprintf "(%s extend %s)" (tempexpr a) (tempexpr b)
+  | Tstart_of e -> Printf.sprintf "start of %s" (tempexpr e)
+  | Tend_of e -> Printf.sprintf "end of %s" (tempexpr e)
+
+let rec temppred = function
+  | Poverlap (a, b) -> Printf.sprintf "(%s overlap %s)" (tempexpr a) (tempexpr b)
+  | Pprecede (a, b) -> Printf.sprintf "(%s precede %s)" (tempexpr a) (tempexpr b)
+  | Pequal (a, b) -> Printf.sprintf "(%s equal %s)" (tempexpr a) (tempexpr b)
+  | Pand (a, b) -> Printf.sprintf "(%s and %s)" (temppred a) (temppred b)
+  | Por (a, b) -> Printf.sprintf "(%s or %s)" (temppred a) (temppred b)
+  | Pnot a -> Printf.sprintf "not %s" (temppred a)
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "mod"
+
+let rec expr = function
+  | Eattr (v, a) -> Printf.sprintf "%s.%s" v a
+  | Eint n -> string_of_int n
+  | Efloat f -> Printf.sprintf "%g" f
+  | Estring s -> Printf.sprintf "%S" s
+  | Ebinop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr a) (binop_to_string op) (expr b)
+  | Euminus e -> Printf.sprintf "(- %s)" (expr e)
+  | Eagg (agg, e, []) -> Printf.sprintf "%s(%s)" (aggregate_name agg) (expr e)
+  | Eagg (agg, e, by) ->
+      Printf.sprintf "%s(%s by %s)" (aggregate_name agg) (expr e)
+        (String.concat ", " (List.map expr by))
+
+let comparison_to_string = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pred = function
+  | Pcompare (op, a, b) ->
+      Printf.sprintf "%s %s %s" (expr a) (comparison_to_string op) (expr b)
+  | Wand (a, b) -> Printf.sprintf "(%s and %s)" (pred a) (pred b)
+  | Wor (a, b) -> Printf.sprintf "(%s or %s)" (pred a) (pred b)
+  | Wnot a -> Printf.sprintf "not (%s)" (pred a)
+
+let target t =
+  match (t.out_name, t.value) with
+  | Some name, Eattr (v, a) when name = a -> Printf.sprintf "%s.%s" v a
+  | Some name, e -> Printf.sprintf "%s = %s" name (expr e)
+  | None, e -> expr e
+
+let target_list ts = "(" ^ String.concat ", " (List.map target ts) ^ ")"
+
+let valid_clause = function
+  | Valid_interval (a, b) ->
+      Printf.sprintf "valid from %s to %s" (tempexpr a) (tempexpr b)
+  | Valid_event e -> Printf.sprintf "valid at %s" (tempexpr e)
+
+let as_of_clause { at; through } =
+  match through with
+  | None -> Printf.sprintf "as of %S" at
+  | Some t -> Printf.sprintf "as of %S through %S" at t
+
+let opt f = function None -> [] | Some x -> [ f x ]
+
+let clauses ?valid ?where ?when_ ?as_of () =
+  String.concat " "
+    (List.concat
+       [
+         opt valid_clause (Option.join valid);
+         opt (fun p -> "where " ^ pred p) (Option.join where);
+         opt (fun p -> "when " ^ temppred p) (Option.join when_);
+         opt as_of_clause (Option.join as_of);
+       ])
+
+let glue parts = String.concat " " (List.filter (fun s -> s <> "") parts)
+
+let statement = function
+  | Range { var; rel } -> Printf.sprintf "range of %s is %s" var rel
+  | Retrieve r ->
+      glue
+        [
+          "retrieve";
+          (if r.unique then "unique" else "");
+          (match r.into with Some rel -> "into " ^ rel | None -> "");
+          target_list r.targets;
+          clauses ~valid:r.valid ~where:r.where ~when_:r.when_ ~as_of:r.as_of ();
+        ]
+  | Append a ->
+      glue
+        [
+          "append to";
+          a.rel;
+          target_list a.targets;
+          clauses ~valid:a.valid ~where:a.where ~when_:a.when_ ();
+        ]
+  | Delete d ->
+      glue [ "delete"; d.var; clauses ~where:d.where ~when_:d.when_ () ]
+  | Replace r ->
+      glue
+        [
+          "replace";
+          r.var;
+          target_list r.targets;
+          clauses ~valid:r.valid ~where:r.where ~when_:r.when_ ();
+        ]
+  | Create c ->
+      glue
+        [
+          "create";
+          (if c.persistent then "persistent" else "");
+          (match c.kind with
+          | Some Tdb_relation.Db_type.Interval -> "interval"
+          | Some Tdb_relation.Db_type.Event -> "event"
+          | None -> "");
+          c.rel;
+          "("
+          ^ String.concat ", "
+              (List.map (fun (n, ty) -> Printf.sprintf "%s = %s" n ty) c.attrs)
+          ^ ")";
+        ]
+  | Modify m ->
+      glue
+        [
+          "modify";
+          m.rel;
+          "to";
+          (match m.organization with
+          | Org_heap -> "heap"
+          | Org_hash -> "hash"
+          | Org_isam -> "isam");
+          (match m.on_attr with Some a -> "on " ^ a | None -> "");
+          (match m.fillfactor with
+          | Some f -> Printf.sprintf "where fillfactor = %d" f
+          | None -> "");
+        ]
+  | Destroy rel -> "destroy " ^ rel
+  | Copy c ->
+      glue
+        [
+          "copy";
+          c.rel;
+          (match c.direction with Copy_from -> "from" | Copy_into -> "into");
+          Printf.sprintf "%S" c.path;
+        ]

@@ -1,0 +1,11 @@
+(** Pretty-printing of TQuel syntax trees back to concrete syntax.
+
+    [Parser.parse_statement (statement s)] returns a tree equal to [s] —
+    a property the test suite checks. *)
+
+val tempexpr : Ast.tempexpr -> string
+val binop_to_string : Ast.binop -> string
+val temppred : Ast.temppred -> string
+val expr : Ast.expr -> string
+val pred : Ast.pred -> string
+val statement : Ast.statement -> string

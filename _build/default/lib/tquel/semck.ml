@@ -1,0 +1,474 @@
+module Schema = Tdb_relation.Schema
+module Db_type = Tdb_relation.Db_type
+module Attr_type = Tdb_relation.Attr_type
+open Ast
+
+type rel_info = { schema : Schema.t; db_type : Db_type.t }
+
+type env = {
+  find_relation : string -> rel_info option;
+  find_range : string -> string option;
+}
+
+type family = Fnum | Fstr | Ftime
+
+let family_of_type = function
+  | Attr_type.I1 | I2 | I4 | F4 | F8 -> Fnum
+  | C _ -> Fstr
+  | Time -> Ftime
+
+let ( let* ) = Result.bind
+
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let resolve_var env var =
+  match env.find_range var with
+  | None -> errf "tuple variable %S has no range statement" var
+  | Some rel -> (
+      match env.find_relation rel with
+      | None -> errf "relation %S (range of %s) does not exist" rel var
+      | Some info -> Ok (rel, info))
+
+let resolve_attr env var attr =
+  let* _rel, info = resolve_var env var in
+  match Schema.index_of info.schema attr with
+  | None -> errf "relation of %s has no attribute %S" var attr
+  | Some i -> Ok (info, (Schema.attr info.schema i).Schema.ty)
+
+let rec infer_expr env = function
+  | Eattr (var, attr) ->
+      let* _, ty = resolve_attr env var attr in
+      Ok (family_of_type ty)
+  | Eint _ | Efloat _ -> Ok Fnum
+  | Estring _ -> Ok Fstr
+  | Euminus e -> (
+      let* f = infer_expr env e in
+      match f with
+      | Fnum -> Ok Fnum
+      | _ -> Error "unary minus needs a numeric operand")
+  | Ebinop (op, a, b) -> (
+      let* fa = infer_expr env a in
+      let* fb = infer_expr env b in
+      match (fa, fb) with
+      | Fnum, Fnum -> Ok Fnum
+      | _ ->
+          errf "arithmetic operator %s needs numeric operands"
+            (Pretty.binop_to_string op))
+  | Eagg (agg, e, by) -> (
+      let* () =
+        List.fold_left
+          (fun acc b ->
+            let* () = acc in
+            match b with
+            | Eattr _ -> Result.map ignore (infer_expr env b)
+            | _ -> errf "by-list entries must be attribute references")
+          (Ok ()) by
+      in
+      let* () =
+        (* the operand and the by-list must speak about one tuple
+           variable: a by-aggregate is a grouped fold over that relation *)
+        let rec vars acc = function
+          | Eattr (v, _) -> if List.mem v acc then acc else v :: acc
+          | Eint _ | Efloat _ | Estring _ -> acc
+          | Ebinop (_, a, b) -> vars (vars acc a) b
+          | Euminus e -> vars acc e
+          | Eagg (_, e, by) -> List.fold_left vars (vars acc e) by
+        in
+        match List.fold_left vars (vars [] e) by with
+        | [] when by <> [] -> errf "a by-aggregate needs a tuple variable"
+        | [] | [ _ ] -> Ok ()
+        | vs ->
+            errf "aggregate mixes tuple variables (%s)"
+              (String.concat ", " vs)
+      in
+      let* f = infer_expr env e in
+      match agg with
+      | Count | Any -> Ok Fnum
+      | Sum | Avg ->
+          if f = Fnum then Ok Fnum
+          else errf "%s needs a numeric operand" (aggregate_name agg)
+      | Min | Max -> Ok f)
+
+let rec expr_has_aggregate = function
+  | Eagg _ -> true
+  | Eattr _ | Eint _ | Efloat _ | Estring _ -> false
+  | Ebinop (_, a, b) -> expr_has_aggregate a || expr_has_aggregate b
+  | Euminus e -> expr_has_aggregate e
+
+(* A global aggregate (no by-list) collapses the retrieve to one row;
+   by-aggregates evaluate per binding and behave like ordinary values. *)
+let rec expr_has_global_aggregate = function
+  | Eagg (_, _, []) -> true
+  | Eagg (_, _, _ :: _) -> false (* by-aggregate; no nesting inside anyway *)
+  | Eattr _ | Eint _ | Efloat _ | Estring _ -> false
+  | Ebinop (_, a, b) ->
+      expr_has_global_aggregate a || expr_has_global_aggregate b
+  | Euminus e -> expr_has_global_aggregate e
+
+let check_no_aggregate context e =
+  if expr_has_aggregate e then
+    errf "aggregates are not allowed in %s" context
+  else Ok ()
+
+(* In a global-aggregate target list, attribute references must sit inside
+   an aggregate operand, aggregates do not nest, and per-binding
+   by-aggregates cannot mix in (there is no binding left to evaluate them
+   against). *)
+let check_aggregate_placement e =
+  let rec go ~inside = function
+    | Eattr (v, a) ->
+        if inside then Ok ()
+        else
+          errf
+            "attribute %s.%s must appear inside an aggregate when the \
+             target list aggregates"
+            v a
+    | Eint _ | Efloat _ | Estring _ -> Ok ()
+    | Ebinop (_, a, b) ->
+        let* () = go ~inside a in
+        go ~inside b
+    | Euminus e -> go ~inside e
+    | Eagg (agg, inner, by) ->
+        if inside then
+          errf "aggregate %s may not nest inside another aggregate"
+            (aggregate_name agg)
+        else if by <> [] then
+          errf
+            "by-aggregates cannot mix with global aggregates in one target \
+             list"
+        else go ~inside:true inner
+  in
+  go ~inside:false e
+
+(* A by-aggregate target list: no nesting (by-aggs are fine anywhere). *)
+let check_by_aggregate_nesting e =
+  let rec go ~inside = function
+    | Eattr _ | Eint _ | Efloat _ | Estring _ -> Ok ()
+    | Ebinop (_, a, b) ->
+        let* () = go ~inside a in
+        go ~inside b
+    | Euminus e -> go ~inside e
+    | Eagg (agg, inner, by) ->
+        if inside then
+          errf "aggregate %s may not nest inside another aggregate"
+            (aggregate_name agg)
+        else
+          let* () = go ~inside:true inner in
+          List.fold_left
+            (fun acc b ->
+              let* () = acc in
+              go ~inside:true b)
+            (Ok ()) by
+  in
+  go ~inside:false e
+
+let compatible fa fb =
+  match (fa, fb) with
+  | Fnum, Fnum | Fstr, Fstr | Ftime, Ftime -> true
+  (* A string literal compared with a time attribute is read as a time
+     constant, e.g. h.valid_from < "1981". *)
+  | Ftime, Fstr | Fstr, Ftime -> true
+  | _ -> false
+
+let rec check_pred env = function
+  | Pcompare (_, a, b) ->
+      let* () = check_no_aggregate "a where clause" a in
+      let* () = check_no_aggregate "a where clause" b in
+      let* fa = infer_expr env a in
+      let* fb = infer_expr env b in
+      if compatible fa fb then Ok ()
+      else
+        errf "type mismatch in comparison: %s vs %s" (Pretty.expr a)
+          (Pretty.expr b)
+  | Wand (a, b) | Wor (a, b) ->
+      let* () = check_pred env a in
+      check_pred env b
+  | Wnot a -> check_pred env a
+
+(* Every tuple variable inside a temporal expression must range over a
+   relation with valid time; every time constant must be parseable. *)
+let rec check_tempexpr env = function
+  | Tvar var ->
+      let* _, info = resolve_var env var in
+      if Db_type.has_valid_time info.db_type then Ok ()
+      else
+        errf
+          "tuple variable %s appears in a temporal expression but its \
+           relation is %s (no valid time)"
+          var
+          (Db_type.to_string info.db_type)
+  | Tconst s -> (
+      match Tdb_time.Chronon.parse ~now:(Tdb_time.Chronon.of_seconds 0) s with
+      | Ok _ -> Ok ()
+      | Error e -> errf "bad time constant %S: %s" s e)
+  | Toverlap (a, b) | Textend (a, b) ->
+      let* () = check_tempexpr env a in
+      check_tempexpr env b
+  | Tstart_of e | Tend_of e -> check_tempexpr env e
+
+let rec check_temppred env = function
+  | Poverlap (a, b) | Pprecede (a, b) | Pequal (a, b) ->
+      let* () = check_tempexpr env a in
+      check_tempexpr env b
+  | Pand (a, b) | Por (a, b) ->
+      let* () = check_temppred env a in
+      check_temppred env b
+  | Pnot a -> check_temppred env a
+
+let check_valid_clause env = function
+  | Valid_interval (a, b) ->
+      let* () = check_tempexpr env a in
+      check_tempexpr env b
+  | Valid_event e -> check_tempexpr env e
+
+let check_as_of { at; through } =
+  let now = Tdb_time.Chronon.of_seconds 0 in
+  let* _ =
+    Result.map_error
+      (fun e -> Printf.sprintf "bad as-of constant %S: %s" at e)
+      (Tdb_time.Chronon.parse ~now at)
+  in
+  match through with
+  | None -> Ok ()
+  | Some t ->
+      let* _ =
+        Result.map_error
+          (fun e -> Printf.sprintf "bad as-of constant %S: %s" t e)
+          (Tdb_time.Chronon.parse ~now t)
+      in
+      Ok ()
+
+(* Tuple variables mentioned anywhere in a statement. *)
+let vars_of_statement stmt =
+  let acc = ref [] in
+  let add v = if not (List.mem v !acc) then acc := v :: !acc in
+  let rec expr = function
+    | Eattr (v, _) -> add v
+    | Eint _ | Efloat _ | Estring _ -> ()
+    | Ebinop (_, a, b) -> expr a; expr b
+    | Euminus e -> expr e
+    | Eagg (_, e, by) -> expr e; List.iter expr by
+  in
+  let rec pred = function
+    | Pcompare (_, a, b) -> expr a; expr b
+    | Wand (a, b) | Wor (a, b) -> pred a; pred b
+    | Wnot a -> pred a
+  in
+  let rec te = function
+    | Tvar v -> add v
+    | Tconst _ -> ()
+    | Toverlap (a, b) | Textend (a, b) -> te a; te b
+    | Tstart_of e | Tend_of e -> te e
+  in
+  let rec tp = function
+    | Poverlap (a, b) | Pprecede (a, b) | Pequal (a, b) -> te a; te b
+    | Pand (a, b) | Por (a, b) -> tp a; tp b
+    | Pnot a -> tp a
+  in
+  let targets ts = List.iter (fun t -> expr t.value) ts in
+  let valid = function
+    | Some (Valid_interval (a, b)) -> te a; te b
+    | Some (Valid_event e) -> te e
+    | None -> ()
+  in
+  let opt_pred = function Some p -> pred p | None -> () in
+  let opt_tp = function Some p -> tp p | None -> () in
+  (match stmt with
+  | Range _ | Create _ | Modify _ | Destroy _ | Copy _ -> ()
+  | Retrieve r ->
+      targets r.targets; valid r.valid; opt_pred r.where; opt_tp r.when_
+  | Append a -> targets a.targets; valid a.valid; opt_pred a.where; opt_tp a.when_
+  | Delete d -> add d.var; opt_pred d.where; opt_tp d.when_
+  | Replace r ->
+      add r.var; targets r.targets; valid r.valid; opt_pred r.where;
+      opt_tp r.when_);
+  List.rev !acc
+
+let rec check_all f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      check_all f rest
+
+let check_targets env targets =
+  let* () = check_all (fun t -> Result.map ignore (infer_expr env t.value)) targets in
+  (* Every target needs a name.  Targets named by default after their
+     attribute (h.id) may collide - the paper's Q09 retrieves (h.id, i.id) -
+     and are uniquified at execution; explicitly chosen names must be
+     unique. *)
+  let* names =
+    List.fold_left
+      (fun acc t ->
+        let* acc = acc in
+        match (t.out_name, t.value) with
+        | Some n, Eattr (_, a) when n = a -> Ok ((n, false) :: acc)
+        | Some n, _ -> Ok ((n, true) :: acc)
+        | None, _ ->
+            errf "target %S needs a result name (use name = expression)"
+              (Pretty.expr t.value))
+      (Ok []) targets
+  in
+  let count n = List.length (List.filter (fun (m, _) -> m = n) names) in
+  let rec dup = function
+    | [] -> Ok ()
+    | (n, explicit) :: rest ->
+        if explicit && count n > 1 then errf "duplicate result attribute %S" n
+        else dup rest
+  in
+  dup names
+
+(* [as of] is legal only when every participating relation records
+   transaction time. *)
+let check_as_of_applicability env stmt vars =
+  match stmt with
+  | Retrieve { as_of = Some _; _ } ->
+      check_all
+        (fun v ->
+          let* _, info = resolve_var env v in
+          if Db_type.has_transaction_time info.db_type then Ok ()
+          else
+            errf
+              "as of: relation of %s is %s, which records no transaction time"
+              v
+              (Db_type.to_string info.db_type))
+        vars
+  | _ -> Ok ()
+
+let check_modification_targets rel_schema targets =
+  check_all
+    (fun t ->
+      match t.out_name with
+      | None -> errf "modification target %S needs an attribute name" (Pretty.expr t.value)
+      | Some name -> (
+          match Schema.index_of rel_schema name with
+          | None -> errf "relation has no attribute %S" name
+          | Some i ->
+              if i >= Schema.user_arity rel_schema then
+                errf
+                  "attribute %S is implicit; use the valid clause (or the \
+                   system clock) instead of assigning it directly"
+                  name
+              else Ok ()))
+    targets
+
+let check_statement env stmt =
+  let vars = vars_of_statement stmt in
+  let* () = check_all (fun v -> Result.map ignore (resolve_var env v)) vars in
+  let check_opt_pred = function Some p -> check_pred env p | None -> Ok () in
+  let check_opt_tp = function Some p -> check_temppred env p | None -> Ok () in
+  let check_opt_valid = function
+    | Some v -> check_valid_clause env v
+    | None -> Ok ()
+  in
+  match stmt with
+  | Range { rel; _ } -> (
+      match env.find_relation rel with
+      | Some _ -> Ok ()
+      | None -> errf "relation %S does not exist" rel)
+  | Retrieve r ->
+      let* () = check_targets env r.targets in
+      let* () =
+        if List.exists (fun t -> expr_has_global_aggregate t.value) r.targets
+        then
+          let* () =
+            check_all (fun t -> check_aggregate_placement t.value) r.targets
+          in
+          match r.valid with
+          | Some _ -> errf "a valid clause cannot be combined with aggregates"
+          | None -> Ok ()
+        else check_all (fun t -> check_by_aggregate_nesting t.value) r.targets
+      in
+      let* () = check_opt_valid r.valid in
+      let* () = check_opt_pred r.where in
+      let* () = check_opt_tp r.when_ in
+      let* () =
+        match r.as_of with Some a -> check_as_of a | None -> Ok ()
+      in
+      check_as_of_applicability env stmt vars
+  | Append a -> (
+      match env.find_relation a.rel with
+      | None -> errf "relation %S does not exist" a.rel
+      | Some info ->
+          let* () = check_modification_targets info.schema a.targets in
+          let* () =
+            check_all
+              (fun t ->
+                let* () = check_no_aggregate "an append" t.value in
+                Result.map ignore (infer_expr env t.value))
+              a.targets
+          in
+          let* () =
+            match a.valid with
+            | Some _ when not (Db_type.has_valid_time info.db_type) ->
+                errf "valid clause on %s relation %S"
+                  (Db_type.to_string info.db_type)
+                  a.rel
+            | v -> check_opt_valid v
+          in
+          let* () = check_opt_pred a.where in
+          check_opt_tp a.when_)
+  | Delete d ->
+      let* () = check_opt_pred d.where in
+      check_opt_tp d.when_
+  | Replace r ->
+      let* _, info = resolve_var env r.var in
+      let* () = check_modification_targets info.schema r.targets in
+      let* () =
+        check_all
+          (fun t ->
+            let* () = check_no_aggregate "a replace" t.value in
+            Result.map ignore (infer_expr env t.value))
+          r.targets
+      in
+      let* () =
+        match r.valid with
+        | Some _ when not (Db_type.has_valid_time info.db_type) ->
+            errf "valid clause on %s relation" (Db_type.to_string info.db_type)
+        | v -> check_opt_valid v
+      in
+      let* () = check_opt_pred r.where in
+      check_opt_tp r.when_
+  | Create c -> (
+      match env.find_relation c.rel with
+      | Some _ -> errf "relation %S already exists" c.rel
+      | None ->
+          let* attrs =
+            List.fold_left
+              (fun acc (name, ty) ->
+                let* acc = acc in
+                match Attr_type.of_string ty with
+                | Ok ty -> Ok ({ Schema.name; ty } :: acc)
+                | Error e -> errf "attribute %S: %s" name e)
+              (Ok []) c.attrs
+          in
+          let db_type = db_type_of_create c in
+          Result.map ignore (Schema.create ~db_type (List.rev attrs)))
+  | Modify m -> (
+      match env.find_relation m.rel with
+      | None -> errf "relation %S does not exist" m.rel
+      | Some info -> (
+          let* () =
+            match m.fillfactor with
+            | Some f when f < 1 || f > 100 ->
+                errf "fillfactor %d not in 1..100" f
+            | _ -> Ok ()
+          in
+          match m.organization with
+          | Org_heap ->
+              if m.on_attr <> None then errf "heap takes no key attribute"
+              else Ok ()
+          | Org_hash | Org_isam -> (
+              match m.on_attr with
+              | None -> errf "hash and isam need a key: modify ... on attr"
+              | Some attr -> (
+                  match Schema.index_of info.schema attr with
+                  | Some _ -> Ok ()
+                  | None -> errf "relation %S has no attribute %S" m.rel attr))))
+  | Destroy rel -> (
+      match env.find_relation rel with
+      | Some _ -> Ok ()
+      | None -> errf "relation %S does not exist" rel)
+  | Copy c -> (
+      match env.find_relation c.rel with
+      | Some _ -> Ok ()
+      | None -> errf "relation %S does not exist" c.rel)

@@ -1,0 +1,34 @@
+(** Semantic analysis of TQuel statements.
+
+    Enforces the legality rules of the four database types (paper, sections
+    2–3): the [when] clause needs valid time, the [as of] clause needs
+    transaction time, modification targets must be user attributes, types
+    in comparisons must be compatible, and so on. *)
+
+type rel_info = {
+  schema : Tdb_relation.Schema.t;
+  db_type : Tdb_relation.Db_type.t;
+}
+
+type env = {
+  find_relation : string -> rel_info option;
+  find_range : string -> string option;
+      (** tuple variable -> relation name, from previous [range of]
+          statements *)
+}
+
+type family = Fnum | Fstr | Ftime
+(** Type families used for comparison compatibility: all numeric types
+    compare with one another; [time] compares with [time] and with string
+    literals (which are read as time constants). *)
+
+val infer_expr :
+  env -> Ast.expr -> (family, string) result
+(** Type-checks a scalar expression (also verifying every [var.attr]
+    resolves). *)
+
+val expr_has_aggregate : Ast.expr -> bool
+val expr_has_global_aggregate : Ast.expr -> bool
+
+val check_statement : env -> Ast.statement -> (unit, string) result
+(** [Ok ()] when the statement is well-formed against the environment. *)

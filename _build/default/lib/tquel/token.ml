@@ -1,0 +1,60 @@
+(** Lexical tokens of TQuel. *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Kw of string  (** lower-cased keyword *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Equal
+  | Not_equal
+  | Less
+  | Less_equal
+  | Greater
+  | Greater_equal
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Semicolon
+
+(* Keywords are case-insensitive, as in Quel. *)
+let keywords =
+  [
+    "range"; "of"; "is"; "retrieve"; "into"; "unique"; "where"; "when";
+    "valid"; "from"; "to"; "at"; "as"; "append"; "delete"; "replace";
+    "create"; "destroy"; "modify"; "copy"; "persistent"; "interval"; "event";
+    "on"; "and"; "or"; "not"; "overlap"; "extend"; "precede"; "equal";
+    "start"; "end"; "hash"; "isam"; "heap"; "fillfactor"; "through"; "mod";
+    "by";
+  ]
+
+let is_keyword s = List.mem (String.lowercase_ascii s) keywords
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit n -> string_of_int n
+  | Float_lit f -> Printf.sprintf "%g" f
+  | String_lit s -> Printf.sprintf "%S" s
+  | Kw s -> s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Equal -> "="
+  | Not_equal -> "!="
+  | Less -> "<"
+  | Less_equal -> "<="
+  | Greater -> ">"
+  | Greater_equal -> ">="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Semicolon -> ";"
+
+let equal (a : t) (b : t) = a = b

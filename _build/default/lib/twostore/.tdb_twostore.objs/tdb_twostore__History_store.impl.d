@@ -1,0 +1,1 @@
+lib/twostore/history_store.ml: Bytes Hashtbl Int32 Option Tdb_relation Tdb_storage

@@ -1,0 +1,1 @@
+lib/twostore/history_store.mli: Tdb_relation Tdb_storage

@@ -1,0 +1,1 @@
+lib/twostore/secondary_index.ml: Bytes List Tdb_relation Tdb_storage

@@ -1,0 +1,1 @@
+lib/twostore/secondary_index.mli: Tdb_relation Tdb_storage

@@ -1,0 +1,1 @@
+lib/twostore/two_level_store.mli: Secondary_index Tdb_relation Tdb_storage Tdb_time

@@ -1,0 +1,126 @@
+module Attr_type = Tdb_relation.Attr_type
+module Value = Tdb_relation.Value
+module Heap_file = Tdb_storage.Heap_file
+module Hash_file = Tdb_storage.Hash_file
+module Buffer_pool = Tdb_storage.Buffer_pool
+module Io_stats = Tdb_storage.Io_stats
+module Disk = Tdb_storage.Disk
+module Tid = Tdb_storage.Tid
+
+type structure = Heap_index | Hash_index
+
+type impl = Heap_impl of Heap_file.t | Hash_impl of Hash_file.t
+
+type t = {
+  structure : structure;
+  key_type : Attr_type.t;
+  key_size : int;
+  stats : Io_stats.t;
+  pool : Buffer_pool.t;
+  impl : impl;
+  mutable entries : int;
+}
+
+let record_size t = t.key_size + Tid.encoded_size
+
+let encode_entry t key tid =
+  let record = Bytes.create (record_size t) in
+  Value.encode t.key_type key record 0;
+  Tid.encode tid record t.key_size;
+  record
+
+let decode_key t record = Value.decode t.key_type record 0
+let decode_tid t record = Tid.decode record t.key_size
+
+let create ~structure ~key_type () =
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create (Disk.create_mem ()) stats in
+  let key_size = Attr_type.size key_type in
+  let rs = key_size + Tid.encoded_size in
+  let impl =
+    match structure with
+    | Heap_index -> Heap_impl (Heap_file.create pool ~record_size:rs)
+    | Hash_index ->
+        let key_of record = Value.decode key_type record 0 in
+        Hash_impl (Hash_file.build pool ~record_size:rs ~key_of ~fillfactor:100 [])
+  in
+  { structure; key_type; key_size; stats; pool; impl; entries = 0 }
+
+let insert t key tid =
+  let record = encode_entry t key tid in
+  (match t.impl with
+  | Heap_impl h -> ignore (Heap_file.insert h record)
+  | Hash_impl h -> ignore (Hash_file.insert h record));
+  t.entries <- t.entries + 1
+
+let build ~structure ~key_type entries =
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create (Disk.create_mem ()) stats in
+  let key_size = Attr_type.size key_type in
+  let rs = key_size + Tid.encoded_size in
+  let t0 =
+    {
+      structure;
+      key_type;
+      key_size;
+      stats;
+      pool;
+      impl = Heap_impl (Heap_file.attach pool ~record_size:rs);
+      entries = 0;
+    }
+  in
+  let records = List.map (fun (k, tid) -> encode_entry t0 k tid) entries in
+  let impl =
+    match structure with
+    | Heap_index ->
+        let h = Heap_file.create pool ~record_size:rs in
+        List.iter (fun r -> ignore (Heap_file.insert h r)) records;
+        Heap_impl h
+    | Hash_index ->
+        let key_of record = Value.decode key_type record 0 in
+        Hash_impl
+          (Hash_file.build pool ~record_size:rs ~key_of ~fillfactor:100 records)
+  in
+  { t0 with impl; entries = List.length entries }
+
+let remove t key tid =
+  let found = ref None in
+  (match t.impl with
+  | Heap_impl h ->
+      Heap_file.iter h (fun etid record ->
+          if
+            !found = None
+            && Value.equal (decode_key t record) key
+            && Tid.equal (decode_tid t record) tid
+          then found := Some etid);
+      (match !found with Some etid -> Heap_file.delete h etid | None -> ())
+  | Hash_impl h ->
+      Hash_file.lookup h key (fun etid record ->
+          if !found = None && Tid.equal (decode_tid t record) tid then
+            found := Some etid);
+      (match !found with Some etid -> Hash_file.delete h etid | None -> ()));
+  match !found with
+  | Some _ ->
+      t.entries <- t.entries - 1;
+      true
+  | None -> false
+
+let lookup t key =
+  let acc = ref [] in
+  (match t.impl with
+  | Heap_impl h ->
+      Heap_file.iter h (fun _ record ->
+          if Value.equal (decode_key t record) key then
+            acc := decode_tid t record :: !acc)
+  | Hash_impl h ->
+      Hash_file.lookup h key (fun _ record -> acc := decode_tid t record :: !acc));
+  List.rev !acc
+
+let entry_count t = t.entries
+let npages t = Buffer_pool.npages t.pool
+let structure t = t.structure
+let io t = Io_stats.snapshot t.stats
+
+let reset_io t =
+  Buffer_pool.invalidate t.pool;
+  Io_stats.reset t.stats

@@ -1,0 +1,49 @@
+(** Secondary indexes on non-key attributes (paper, section 6).
+
+    An index entry is 8 bytes: the 4-byte encoded key and a 4-byte tuple
+    id, so a page holds 102 entries (the paper counted 101).  Two
+    structures are supported for the index file itself:
+
+    - {e heap}: entries in arrival order; a lookup scans the whole index;
+    - {e hash}: entries hashed on the key; a lookup reads one bucket chain.
+
+    A {e 1-level} index covers every version of a relation; a {e 2-level}
+    scheme keeps one index over current versions and another over history
+    versions, so "a query retrieving records through non-key attributes"
+    that only concerns the present reads the small current index
+    (reproducing Figure 10's 324 / 30 / 12 / 2 page progression). *)
+
+type structure = Heap_index | Hash_index
+
+type t
+
+val create :
+  structure:structure ->
+  key_type:Tdb_relation.Attr_type.t ->
+  unit ->
+  t
+(** An empty index with its own disk, one-frame buffer pool and counters. *)
+
+val build :
+  structure:structure ->
+  key_type:Tdb_relation.Attr_type.t ->
+  (Tdb_relation.Value.t * Tdb_storage.Tid.t) list ->
+  t
+(** Bulk build.  Hash indexes size their primary area from the entry
+    count. *)
+
+val insert : t -> Tdb_relation.Value.t -> Tdb_storage.Tid.t -> unit
+
+val remove : t -> Tdb_relation.Value.t -> Tdb_storage.Tid.t -> bool
+(** Removes one matching entry; [false] if absent.  (Used when a current
+    version moves to the history store and its entry migrates between the
+    levels of a 2-level index.) *)
+
+val lookup : t -> Tdb_relation.Value.t -> Tdb_storage.Tid.t list
+(** Tuple ids of all entries with the key, in storage order. *)
+
+val entry_count : t -> int
+val npages : t -> int
+val structure : t -> structure
+val io : t -> Tdb_storage.Io_stats.snapshot
+val reset_io : t -> unit

@@ -1,0 +1,1 @@
+test/test_aggregates.ml: Alcotest Array List Printf String Tdb_core Tdb_relation Tdb_time

@@ -1,0 +1,1 @@
+test/test_benchkit.ml: Alcotest Array List Option Printf String Tdb_benchkit Tdb_relation Tdb_storage

@@ -1,0 +1,1 @@
+test/test_buffer_pool.ml: Alcotest Bytes Filename Sys Tdb_storage

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Filename List Sys Tdb_core Tdb_relation Tdb_storage

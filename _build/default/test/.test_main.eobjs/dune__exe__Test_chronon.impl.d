@@ -1,0 +1,1 @@
+test/test_chronon.ml: Alcotest Int List Printf QCheck2 QCheck_alcotest Tdb_time

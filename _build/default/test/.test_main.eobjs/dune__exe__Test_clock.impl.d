@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Tdb_time

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bytes Filename Sys Tdb_storage

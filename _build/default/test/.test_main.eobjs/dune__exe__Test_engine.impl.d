@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Filename List Printf String Sys Tdb_core Tdb_relation Tdb_time

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest List Tdb_query Tdb_relation Tdb_time Tdb_tquel

@@ -1,0 +1,1 @@
+test/test_events.ml: Alcotest Array List Printf Tdb_core Tdb_relation Tdb_time

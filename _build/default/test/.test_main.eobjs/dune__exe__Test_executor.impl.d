@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Array List Printf Tdb_core Tdb_query Tdb_relation Tdb_time

@@ -1,0 +1,1 @@
+test/test_hash_file.ml: Alcotest Bytes Int32 List Option Printf QCheck2 QCheck_alcotest Tdb_relation Tdb_storage

@@ -1,0 +1,1 @@
+test/test_heap_file.ml: Alcotest Bytes Int32 List QCheck2 QCheck_alcotest Tdb_storage

@@ -1,0 +1,1 @@
+test/test_isam_file.ml: Alcotest Bytes Int32 List Printf QCheck2 QCheck_alcotest Tdb_relation Tdb_storage

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest List String Tdb_tquel

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array List Printf Random Tdb_core Tdb_relation

@@ -1,0 +1,1 @@
+test/test_page.ml: Alcotest Bytes Char QCheck2 QCheck_alcotest Tdb_storage

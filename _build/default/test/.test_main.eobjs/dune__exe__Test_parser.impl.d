@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest List Tdb_relation Tdb_tquel

@@ -1,0 +1,1 @@
+test/test_period.ml: Alcotest QCheck2 QCheck_alcotest Tdb_time

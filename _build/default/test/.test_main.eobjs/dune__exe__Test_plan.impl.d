@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest List Tdb_query Tdb_tquel

@@ -1,0 +1,1 @@
+test/test_relation_file.ml: Alcotest Array Filename List Option QCheck2 QCheck_alcotest Sys Tdb_relation Tdb_storage Tdb_time

@@ -1,0 +1,1 @@
+test/test_roundtrip.ml: QCheck2 QCheck_alcotest Tdb_tquel

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest List Tdb_relation

@@ -1,0 +1,1 @@
+test/test_semck.ml: Alcotest List Tdb_relation Tdb_tquel

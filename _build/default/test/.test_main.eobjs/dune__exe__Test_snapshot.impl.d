@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Array List Printf Random String Tdb_core Tdb_relation Tdb_time

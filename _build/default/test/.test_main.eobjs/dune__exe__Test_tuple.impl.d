@@ -1,0 +1,1 @@
+test/test_tuple.ml: Alcotest Bytes Option QCheck2 QCheck_alcotest Tdb_relation Tdb_time

@@ -1,0 +1,1 @@
+test/test_twostore.ml: Alcotest Array List Option Printf QCheck2 QCheck_alcotest Tdb_relation Tdb_storage Tdb_time Tdb_twostore

@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Array List Option Printf Tdb_core Tdb_relation Tdb_storage Tdb_time

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Array Bytes List QCheck2 QCheck_alcotest Tdb_relation Tdb_time

@@ -1,0 +1,11 @@
+  $ ../../bin/tquel.exe -c "retrieve (answer = 41 + 1)"
+  $ cat > setup.tq <<'SCRIPT'
+  > create persistent interval emp (name = c20, salary = i4);
+  > range of e is emp;
+  > append to emp (name = "ahn", salary = 30000);
+  > append to emp (name = "snodgrass", salary = 35000);
+  > modify emp to hash on name where fillfactor = 100;
+  > SCRIPT
+  $ ../../bin/tquel.exe -d mydb -f setup.tq
+  $ ../../bin/tquel.exe -d mydb -c "range of e is emp retrieve (e.name, e.salary) when e overlap \"now\""
+  $ ../../bin/tquel.exe -c "retrieve (nope.x)"

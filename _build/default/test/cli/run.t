@@ -1,0 +1,40 @@
+A single statement from the command line:
+
+  $ ../../bin/tquel.exe -c "retrieve (answer = 41 + 1)"
+  +--------+
+  | answer |
+  +--------+
+  | 42     |
+  +--------+
+  (1 rows)
+
+A script through a persistent database, reopened across invocations:
+
+  $ cat > setup.tq <<'SCRIPT'
+  > create persistent interval emp (name = c20, salary = i4);
+  > range of e is emp;
+  > append to emp (name = "ahn", salary = 30000);
+  > append to emp (name = "snodgrass", salary = 35000);
+  > modify emp to hash on name where fillfactor = 100;
+  > SCRIPT
+  $ ../../bin/tquel.exe -d mydb -f setup.tq
+  created temporal interval relation emp
+  range of e is emp
+  1 tuples qualified, 1 versions inserted
+  1 tuples qualified, 1 versions inserted
+  modified emp to hash(attr 0, fillfactor 100)
+
+  $ ../../bin/tquel.exe -d mydb -c "range of e is emp retrieve (e.name, e.salary) when e overlap \"now\""
+  range of e is emp
+  +-----------+--------+---------------------+----------+
+  | name      | salary | valid from          | valid to |
+  +-----------+--------+---------------------+----------+
+  | ahn       | 30000  | 1980-01-01 00:00:01 | forever  |
+  | snodgrass | 35000  | 1980-01-01 00:00:02 | forever  |
+  +-----------+--------+---------------------+----------+
+  (2 rows)
+
+Errors are reported, not fatal:
+
+  $ ../../bin/tquel.exe -c "retrieve (nope.x)"
+  error: tuple variable "nope" has no range statement

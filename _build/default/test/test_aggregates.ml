@@ -1,0 +1,237 @@
+(* Quel aggregates: count, sum, avg, min, max, any - including aggregates
+   over temporal attributes and over temporally-restricted sets. *)
+
+module Engine = Tdb_core.Engine
+module Database = Tdb_core.Database
+module Value = Tdb_relation.Value
+module Chronon = Tdb_time.Chronon
+module Clock = Tdb_time.Clock
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+let exec db src = ignore (ok (Engine.execute db src))
+
+let query db src =
+  match ok (Engine.execute_one db src) with
+  | Engine.Rows { tuples; schema; _ } -> (schema, tuples)
+  | _ -> Alcotest.fail "expected rows"
+
+let one_row db src =
+  match query db src with
+  | _, [ tu ] -> tu
+  | _, l -> Alcotest.failf "expected one row, got %d" (List.length l)
+
+let fresh_static () =
+  let db = ok (Database.create ()) in
+  exec db
+    {|create nums (k = i4, v = i4, f = f8)
+      range of n is nums|};
+  List.iter
+    (fun (k, v, f) ->
+      exec db (Printf.sprintf "append to nums (k = %d, v = %d, f = %f)" k v f))
+    [ (1, 10, 0.5); (2, 20, 1.5); (3, 30, 2.5); (4, 40, 3.5) ];
+  db
+
+let test_basic_aggregates () =
+  let db = fresh_static () in
+  (match one_row db "retrieve (n = count(n.k), s = sum(n.v), lo = min(n.v), hi = max(n.v))" with
+  | [| Value.Int 4; Value.Int 100; Value.Int 10; Value.Int 40 |] -> ()
+  | tu -> Alcotest.failf "got %s" (String.concat "," (Array.to_list (Array.map Value.to_string tu))));
+  (match one_row db "retrieve (a = avg(n.v))" with
+  | [| Value.Float a |] -> Alcotest.(check (float 0.001)) "avg" 25.0 a
+  | _ -> Alcotest.fail "avg");
+  match one_row db "retrieve (s = sum(n.f))" with
+  | [| Value.Float s |] -> Alcotest.(check (float 0.001)) "float sum" 8.0 s
+  | _ -> Alcotest.fail "float sum"
+
+let test_aggregates_with_where () =
+  let db = fresh_static () in
+  (match one_row db "retrieve (c = count(n.k), s = sum(n.v)) where n.v > 15" with
+  | [| Value.Int 3; Value.Int 90 |] -> ()
+  | tu -> Alcotest.failf "got %s" (String.concat "," (Array.to_list (Array.map Value.to_string tu))));
+  (* empty qualifying set: count/sum/any degrade gracefully *)
+  (match one_row db "retrieve (c = count(n.k), s = sum(n.v), a = any(n.k)) where n.v > 999" with
+  | [| Value.Int 0; Value.Int 0; Value.Int 0 |] -> ()
+  | _ -> Alcotest.fail "empty set");
+  (* ... but min/max over nothing is an error *)
+  match Engine.execute_one db "retrieve (m = min(n.v)) where n.v > 999" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "min over empty set accepted"
+
+let test_aggregate_expressions () =
+  let db = fresh_static () in
+  (* aggregates compose in arithmetic; operands are full expressions *)
+  match one_row db "retrieve (x = sum(n.v * 2) + count(n.k), y = max(n.v) - min(n.v))" with
+  | [| Value.Int 204; Value.Int 30 |] -> ()
+  | tu -> Alcotest.failf "got %s" (String.concat "," (Array.to_list (Array.map Value.to_string tu)))
+
+let test_any () =
+  let db = fresh_static () in
+  (match one_row db "retrieve (a = any(n.k)) where n.v = 20" with
+  | [| Value.Int 1 |] -> ()
+  | _ -> Alcotest.fail "any hit");
+  match one_row db "retrieve (a = any(n.k)) where n.v = 21" with
+  | [| Value.Int 0 |] -> ()
+  | _ -> Alcotest.fail "any miss"
+
+let test_temporal_aggregates () =
+  (* aggregates respect temporal qualification and work on time values *)
+  let db = ok (Database.create ~start:(Chronon.parse_exn "1980-01-01") ()) in
+  exec db
+    {|create persistent interval t (k = i4, v = i4)
+      range of t is t|};
+  for k = 1 to 5 do
+    exec db (Printf.sprintf "append to t (k = %d, v = %d)" k (k * 10))
+  done;
+  Clock.advance (Database.clock db) 1000;
+  exec db "replace t (v = t.v + 1) where t.k <= 2";
+  (* currently valid: 11, 21, 30, 40, 50 *)
+  (match one_row db {|retrieve (s = sum(t.v)) when t overlap "now"|} with
+  | [| Value.Int 152 |] -> ()
+  | tu -> Alcotest.failf "temporal sum: %s" (Value.to_string tu.(0)));
+  (* over the full known history (default as-of "now" keeps the
+     transaction-current versions: 5 current + 2 terminated records) *)
+  (match one_row db "retrieve (c = count(t.k))" with
+  | [| Value.Int 7 |] -> ()
+  | tu -> Alcotest.failf "version count: %s" (Value.to_string tu.(0)));
+  (* earliest transaction start among transaction-current versions: the
+     first two appends (:01, :02) were superseded by the replace, so the
+     oldest surviving record is tuple 3's append at :03 *)
+  (match one_row db "retrieve (first = min(t.transaction_start))" with
+  | [| Value.Time c |] ->
+      Alcotest.(check string) "min over time" "1980-01-01 00:00:03"
+        (Chronon.to_string c)
+  | _ -> Alcotest.fail "min over time");
+  (* rolled back before the replace, the first stamp IS the first append *)
+  match
+    one_row db
+      {|retrieve (first = min(t.transaction_start)) as of "1980-01-01 00:10:00"|}
+  with
+  | [| Value.Time c |] ->
+      Alcotest.(check string) "min over time, rolled back"
+        "1980-01-01 00:00:01" (Chronon.to_string c)
+  | _ -> Alcotest.fail "min over time, rolled back"
+
+let test_aggregate_join () =
+  let db = fresh_static () in
+  exec db
+    {|create pairs (k = i4)
+      range of p is pairs
+      append to pairs (k = 1)
+      append to pairs (k = 3)|};
+  (* count of join results *)
+  match one_row db "retrieve (c = count(n.k)) where n.k = p.k" with
+  | [| Value.Int 2 |] -> ()
+  | tu -> Alcotest.failf "join count: %s" (Value.to_string tu.(0))
+
+let test_aggregate_errors () =
+  let db = fresh_static () in
+  let err src =
+    match Engine.execute_one db src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%S accepted" src
+  in
+  err "retrieve (x = count(n.k), y = n.v)" (* bare attr next to aggregate *);
+  err "retrieve (x = count(sum(n.v)))" (* nested *);
+  err "retrieve (n.v) where sum(n.v) > 5" (* aggregate in where *);
+  err "replace n (v = sum(n.v))" (* aggregate in modification *);
+  err "retrieve (s = sum(n.k)) valid from \"now\" to \"forever\""
+    (* would need temporal aggregate semantics *);
+  err "retrieve (s = avg(n.k)) where n.k > 999" (* avg over empty *)
+
+let fresh_employees () =
+  let db = ok (Database.create ()) in
+  exec db
+    {|create emp (name = c10, dept = c10, salary = i4)
+      range of e is emp|};
+  List.iter
+    (fun (n, d, s) ->
+      exec db
+        (Printf.sprintf
+           {|append to emp (name = "%s", dept = "%s", salary = %d)|} n d s))
+    [
+      ("ahn", "cs", 100); ("snodgrass", "cs", 200); ("kim", "cs", 300);
+      ("lee", "math", 50); ("cho", "math", 150);
+    ];
+  db
+
+let test_by_aggregates () =
+  let db = fresh_employees () in
+  (* Quel's aggregate functions: per-binding values grouped on the by-list *)
+  let r =
+    query db
+      "retrieve unique (e.dept, total = sum(e.salary by e.dept),
+                        head = count(e.name by e.dept))"
+  in
+  let rows =
+    List.sort compare
+      (List.map
+         (fun tu ->
+           match tu with
+           | [| Value.Str d; Value.Int t; Value.Int c |] -> (d, t, c)
+           | _ -> Alcotest.fail "row shape")
+         (snd r))
+  in
+  Alcotest.(check bool) "grouped sums and counts" true
+    (rows = [ ("cs", 600, 3); ("math", 200, 2) ]);
+  (* without unique: one row per binding, each carrying its group's value *)
+  let all = query db "retrieve (e.name, share = sum(e.salary by e.dept))" in
+  Alcotest.(check int) "per-binding rows" 5 (List.length (snd all))
+
+let test_by_aggregate_composition () =
+  let db = fresh_employees () in
+  (* by-aggregates compose in arithmetic with plain attributes *)
+  match
+    one_row db
+      {|retrieve (frac = e.salary * 100 / sum(e.salary by e.dept))
+        where e.name = "kim"|}
+  with
+  | [| Value.Int 50 |] -> () (* 300 of 600 *)
+  | tu -> Alcotest.failf "got %s" (Value.to_string tu.(0))
+
+let test_by_aggregate_errors () =
+  let db = fresh_employees () in
+  let err src =
+    match Engine.execute_one db src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%S accepted" src
+  in
+  (* mixing a global aggregate with a by-aggregate *)
+  err "retrieve (a = sum(e.salary), b = sum(e.salary by e.dept))";
+  (* by-list entry that is not an attribute *)
+  err "retrieve (x = sum(e.salary by 5))";
+  (* by-list crossing tuple variables *)
+  exec db "create other (k = i4)";
+  exec db "range of o is other";
+  err "retrieve (x = sum(e.salary by o.k))"
+
+let test_aggregate_result_is_static () =
+  (* even over a temporal source, an aggregate result has no time attrs *)
+  let db = ok (Database.create ()) in
+  exec db
+    {|create persistent interval t (k = i4)
+      range of t is t
+      append to t (k = 5)|};
+  let schema, rows = query db "retrieve (c = count(t.k))" in
+  Alcotest.(check int) "single attribute" 1
+    (Tdb_relation.Schema.arity schema);
+  Alcotest.(check int) "single row" 1 (List.length rows)
+
+let suites =
+  [
+    ( "aggregates",
+      [
+        Alcotest.test_case "basic" `Quick test_basic_aggregates;
+        Alcotest.test_case "with where" `Quick test_aggregates_with_where;
+        Alcotest.test_case "in expressions" `Quick test_aggregate_expressions;
+        Alcotest.test_case "any" `Quick test_any;
+        Alcotest.test_case "temporal aggregates" `Quick test_temporal_aggregates;
+        Alcotest.test_case "over a join" `Quick test_aggregate_join;
+        Alcotest.test_case "errors" `Quick test_aggregate_errors;
+        Alcotest.test_case "by-aggregates (grouping)" `Quick test_by_aggregates;
+        Alcotest.test_case "by-aggregate composition" `Quick
+          test_by_aggregate_composition;
+        Alcotest.test_case "by-aggregate errors" `Quick test_by_aggregate_errors;
+        Alcotest.test_case "result is static" `Quick
+          test_aggregate_result_is_static;
+      ] );
+  ]

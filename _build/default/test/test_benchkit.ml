@@ -1,0 +1,161 @@
+module Workload = Tdb_benchkit.Workload
+module Evolve = Tdb_benchkit.Evolve
+module Paper_queries = Tdb_benchkit.Paper_queries
+module Cost_model = Tdb_benchkit.Cost_model
+module Report = Tdb_benchkit.Report
+module Relation_file = Tdb_storage.Relation_file
+
+let test_workload_shapes () =
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:42 in
+  Alcotest.(check int) "h = 128 pages" 128
+    (Relation_file.npages (Workload.h_rel w));
+  Alcotest.(check int) "i = 129 pages (128 data + directory)" 129
+    (Relation_file.npages (Workload.i_rel w));
+  Alcotest.(check int) "1024 tuples in h" 1024
+    (Relation_file.tuple_count (Workload.h_rel w));
+  let w50 = Workload.build ~kind:Workload.Static ~loading:50 ~seed:42 in
+  Alcotest.(check int) "static 50%: 1024 tuples" 1024
+    (Relation_file.tuple_count (Workload.h_rel w50))
+
+let test_workload_deterministic () =
+  let a = Workload.build ~kind:Workload.Rollback ~loading:100 ~seed:7 in
+  let b = Workload.build ~kind:Workload.Rollback ~loading:100 ~seed:7 in
+  let dump w =
+    let acc = ref [] in
+    Relation_file.scan (Workload.h_rel w) (fun _ tu ->
+        acc := Array.map Tdb_relation.Value.to_string tu :: !acc);
+    !acc
+  in
+  Alcotest.(check bool) "same seed, same data" true (dump a = dump b);
+  let c = Workload.build ~kind:Workload.Rollback ~loading:100 ~seed:8 in
+  Alcotest.(check bool) "different seed, different data" true (dump a <> dump c)
+
+let test_query_applicability () =
+  let count kind =
+    List.length
+      (List.filter (fun q -> Paper_queries.text q kind <> None) Paper_queries.all)
+  in
+  Alcotest.(check int) "static: 8 queries" 8 (count Workload.Static);
+  Alcotest.(check int) "rollback: 10 queries" 10 (count Workload.Rollback);
+  Alcotest.(check int) "historical: 8 queries" 8 (count Workload.Historical);
+  Alcotest.(check int) "temporal: all 12" 12 (count Workload.Temporal)
+
+let test_queries_parse_and_check () =
+  (* every applicable query text must pass the parser and the checker on
+     its database *)
+  List.iter
+    (fun kind ->
+      let w = Workload.build ~kind ~loading:100 ~seed:3 in
+      List.iter
+        (fun qid ->
+          match Paper_queries.text qid kind with
+          | None -> ()
+          | Some src ->
+              let _cost, _rows = Evolve.measure_query_result w src in
+              ())
+        Paper_queries.all)
+    [ Workload.Static; Workload.Rollback; Workload.Historical; Workload.Temporal ]
+
+let test_q01_law () =
+  (* the paper's headline law on the real workload: Q01 costs 1 + 2n *)
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:5 in
+  let q01 = Option.get (Paper_queries.text Paper_queries.Q01 Workload.Temporal) in
+  Alcotest.(check int) "UC 0" 1 (Evolve.measure_query w q01);
+  Evolve.uniform_round w ~round:1;
+  Alcotest.(check int) "UC 1" 3 (Evolve.measure_query w q01);
+  Evolve.uniform_round w ~round:2;
+  Alcotest.(check int) "UC 2" 5 (Evolve.measure_query w q01)
+
+let test_q05_single_row () =
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:5 in
+  Evolve.uniform_round w ~round:1;
+  let q05 = Option.get (Paper_queries.text Paper_queries.Q05 Workload.Temporal) in
+  let _cost, rows = Evolve.measure_query_result w q05 in
+  Alcotest.(check int) "one current version" 1 rows
+
+let test_section54_worked_example () =
+  (* The paper's own calculation: "if we update one tuple in a temporal
+     relation 1024 times, the average update count becomes one ... a hashed
+     access to any tuple sharing the same page as the changed tuple costs
+     257 page accesses, while a hashed access to any tuple residing on a
+     page without an overflow costs just one page access.  Therefore, the
+     average cost becomes three page accesses." *)
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:11 in
+  Evolve.non_uniform_round w ~round:1 ~key:500;
+  let hot = Evolve.hashed_access_cost w ~key:500 in
+  Alcotest.(check int) "hot bucket chain = 257 pages" 257 hot;
+  let bucketmate = Evolve.hashed_access_cost w ~key:(500 - 128) in
+  Alcotest.(check int) "bucket mates pay the same chain" 257 bucketmate;
+  let cold = Evolve.hashed_access_cost w ~key:3 in
+  Alcotest.(check int) "other tuples cost one page" 1 cold;
+  let total = ref 0 in
+  for key = 0 to 1023 do
+    total := !total + Evolve.hashed_access_cost w ~key
+  done;
+  Alcotest.(check int) "average is exactly three pages" 3 (!total / 1024)
+
+let test_growth_rates () =
+  Alcotest.(check (float 0.001)) "static" 0.
+    (Cost_model.growth_rate Workload.Static ~loading:100);
+  Alcotest.(check (float 0.001)) "rollback 100" 1.0
+    (Cost_model.growth_rate Workload.Rollback ~loading:100);
+  Alcotest.(check (float 0.001)) "historical 50" 0.5
+    (Cost_model.growth_rate Workload.Historical ~loading:50);
+  Alcotest.(check (float 0.001)) "temporal 100" 2.0
+    (Cost_model.growth_rate Workload.Temporal ~loading:100);
+  Alcotest.(check (float 0.001)) "temporal 50" 1.0
+    (Cost_model.growth_rate Workload.Temporal ~loading:50)
+
+let test_decompose_predict () =
+  (* a synthetic query with fixed 2, variable 129, on a temporal db at
+     100% loading: cost(n) = 2 + 129*(1+2n) *)
+  let cost n = 2 + (129 * (1 + (2 * n))) in
+  let d =
+    Cost_model.decompose ~kind:Workload.Temporal ~loading:100 ~cost0:(cost 0)
+      ~cost_n:(cost 14) ~n:14
+  in
+  Alcotest.(check (float 0.01)) "fixed" 2. d.Cost_model.fixed;
+  Alcotest.(check (float 0.01)) "variable" 129. d.Cost_model.variable;
+  for n = 0 to 15 do
+    Alcotest.(check (float 0.01))
+      (Printf.sprintf "predict %d" n)
+      (float_of_int (cost n))
+      (Cost_model.predict d n)
+  done
+
+let test_report_table () =
+  let t = Report.table ~header:[ "a"; "b" ] [ [ "1"; "22" ]; [ "333"; "4" ] ] in
+  Alcotest.(check bool) "contains cells" true
+    (let contains sub =
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length t && (String.sub t i n = sub || go (i + 1))
+       in
+       go 0
+     in
+     contains "333" && contains "| a" || contains "|   a" || String.length t > 0)
+
+let test_report_plot () =
+  let p =
+    Report.plot ~title:"test" ~series:[ ("up", [ (0, 0); (5, 100); (10, 200) ]) ] ()
+  in
+  Alcotest.(check bool) "plot renders" true (String.length p > 100)
+
+let suites =
+  [
+    ( "benchkit",
+      [
+        Alcotest.test_case "workload shapes" `Quick test_workload_shapes;
+        Alcotest.test_case "workload deterministic" `Quick test_workload_deterministic;
+        Alcotest.test_case "query applicability" `Quick test_query_applicability;
+        Alcotest.test_case "queries run everywhere" `Slow
+          test_queries_parse_and_check;
+        Alcotest.test_case "Q01 law (1 + 2n)" `Slow test_q01_law;
+        Alcotest.test_case "Q05 single row" `Slow test_q05_single_row;
+        Alcotest.test_case "5.4 worked example" `Slow test_section54_worked_example;
+        Alcotest.test_case "growth rates" `Quick test_growth_rates;
+        Alcotest.test_case "decompose/predict" `Quick test_decompose_predict;
+        Alcotest.test_case "report table" `Quick test_report_table;
+        Alcotest.test_case "report plot" `Quick test_report_plot;
+      ] );
+  ]

@@ -1,0 +1,106 @@
+module Catalog = Tdb_core.Catalog
+module Schema = Tdb_relation.Schema
+module Attr_type = Tdb_relation.Attr_type
+module Db_type = Tdb_relation.Db_type
+module Relation_file = Tdb_storage.Relation_file
+
+let attr name ty = { Schema.name; ty }
+
+let sample_entries =
+  [
+    {
+      Catalog.name = "plain";
+      db_type = Db_type.Static;
+      attrs = [ attr "k" Attr_type.I4 ];
+      meta = Relation_file.Heap_meta;
+    };
+    {
+      Catalog.name = "hashed";
+      db_type = Db_type.Rollback;
+      attrs = [ attr "k" Attr_type.I4; attr "s" (Attr_type.C 20) ];
+      meta = Relation_file.Hash_meta { key_attr = 0; fillfactor = 50; buckets = 17 };
+    };
+    {
+      Catalog.name = "indexed";
+      db_type = Db_type.Temporal Db_type.Interval;
+      attrs = [ attr "k" Attr_type.I4; attr "f" Attr_type.F8 ];
+      meta =
+        Relation_file.Isam_meta
+          { key_attr = 0; fillfactor = 100; ndata = 128; levels = [ (128, 128) ] };
+    };
+    {
+      Catalog.name = "deep_isam";
+      db_type = Db_type.Historical Db_type.Event;
+      attrs = [ attr "k" Attr_type.I4 ];
+      meta =
+        Relation_file.Isam_meta
+          {
+            key_attr = 0;
+            fillfactor = 75;
+            ndata = 300;
+            levels = [ (300, 300); (302, 2) ];
+          };
+    };
+  ]
+
+let test_entry_round_trip () =
+  List.iter
+    (fun e ->
+      match Catalog.decode_entry (Catalog.encode_entry e) with
+      | Ok e' ->
+          Alcotest.(check bool) e.Catalog.name true (e = e')
+      | Error msg -> Alcotest.failf "%s: %s" e.Catalog.name msg)
+    sample_entries
+
+let test_file_round_trip () =
+  let path = Filename.temp_file "tdb_catalog" ".tdb" in
+  Catalog.save ~path sample_entries;
+  (match Catalog.load ~path with
+  | Ok entries -> Alcotest.(check bool) "all entries" true (entries = sample_entries)
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+let test_missing_file_is_empty () =
+  match Catalog.load ~path:"/nonexistent/catalog.tdb" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "phantom entries"
+  | Error msg -> Alcotest.fail msg
+
+let test_corrupt_line () =
+  match Catalog.decode_entry "not a catalog line" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+let test_schema_of_entry () =
+  let e = List.nth sample_entries 2 in
+  let schema = Catalog.schema_of_entry e in
+  Alcotest.(check int) "user attrs + 4 implicit" 6 (Schema.arity schema);
+  Alcotest.(check bool) "temporal" true
+    (Db_type.equal (Schema.db_type schema) (Db_type.Temporal Db_type.Interval))
+
+let test_spacey_attr_names () =
+  (* implicit-style names with spaces must survive the codec *)
+  let e =
+    {
+      Catalog.name = "odd";
+      db_type = Db_type.Static;
+      attrs = [ attr "first value" Attr_type.I4 ];
+      meta = Relation_file.Heap_meta;
+    }
+  in
+  match Catalog.decode_entry (Catalog.encode_entry e) with
+  | Ok e' -> Alcotest.(check bool) "round trip" true (e = e')
+  | Error msg -> Alcotest.fail msg
+
+let suites =
+  [
+    ( "catalog",
+      [
+        Alcotest.test_case "entry round trip" `Quick test_entry_round_trip;
+        Alcotest.test_case "file round trip" `Quick test_file_round_trip;
+        Alcotest.test_case "missing file" `Quick test_missing_file_is_empty;
+        Alcotest.test_case "corrupt line" `Quick test_corrupt_line;
+        Alcotest.test_case "schema of entry" `Quick test_schema_of_entry;
+        Alcotest.test_case "attr names with spaces" `Quick test_spacey_attr_names;
+      ] );
+  ]

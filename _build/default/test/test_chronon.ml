@@ -1,0 +1,195 @@
+module Chronon = Tdb_time.Chronon
+
+let check = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let civil y mo d h mi s =
+  Chronon.of_civil
+    { Chronon.year = y; month = mo; day = d; hour = h; minute = mi; second = s }
+
+let test_epoch () =
+  check "epoch is zero" 0 (Chronon.to_seconds (civil 1970 1 1 0 0 0))
+
+let test_known_instants () =
+  (* 1980-01-01 00:00:00 = 3652 days after the epoch (leap years 1972 and
+     1976 within 1970..1979). *)
+  check "1980-01-01" (3652 * 86400) (Chronon.to_seconds (civil 1980 1 1 0 0 0));
+  check "1980-01-01 08:00" ((3652 * 86400) + (8 * 3600))
+    (Chronon.to_seconds (civil 1980 1 1 8 0 0));
+  (* 1980 is a leap year: Feb 29 exists. *)
+  check "1980-02-29 + 1 day = 1980-03-01"
+    (Chronon.to_seconds (civil 1980 3 1 0 0 0))
+    (Chronon.to_seconds (Chronon.add_seconds (civil 1980 2 29 0 0 0) 86400))
+
+let test_civil_round_trip () =
+  List.iter
+    (fun (y, mo, d, h, mi, s) ->
+      let t = civil y mo d h mi s in
+      let c = Chronon.to_civil t in
+      Alcotest.(check (list int))
+        (Printf.sprintf "%d-%d-%d" y mo d)
+        [ y; mo; d; h; mi; s ]
+        [ c.Chronon.year; c.month; c.day; c.hour; c.minute; c.second ])
+    [
+      (1970, 1, 1, 0, 0, 0);
+      (1980, 1, 1, 8, 0, 0);
+      (1980, 2, 15, 23, 59, 59);
+      (1981, 12, 31, 0, 0, 1);
+      (2000, 2, 29, 12, 30, 30);
+      (2038, 1, 19, 3, 14, 7);
+      (1901, 12, 13, 20, 45, 52);
+    ]
+
+let test_forever () =
+  Alcotest.(check bool) "forever is forever" true (Chronon.is_forever Chronon.forever);
+  Alcotest.(check bool)
+    "ordinary time is not forever" false
+    (Chronon.is_forever (civil 1980 1 1 0 0 0));
+  check_str "prints as forever" "forever" (Chronon.to_string Chronon.forever);
+  check_str "prints as beginning" "beginning" (Chronon.to_string Chronon.beginning);
+  Alcotest.(check bool)
+    "succ saturates" true
+    (Chronon.equal (Chronon.succ Chronon.forever) Chronon.forever)
+
+let test_out_of_range () =
+  Alcotest.check_raises "too large" (Invalid_argument
+    "Chronon.of_seconds: 2147483648 outside 32-bit range") (fun () ->
+      ignore (Chronon.of_seconds 2147483648))
+
+let parse_ok ?now s =
+  match Chronon.parse ?now s with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let test_parse_paper_formats () =
+  (* The forms appearing in the paper's benchmark queries. *)
+  check "08:00 1/1/80"
+    (Chronon.to_seconds (civil 1980 1 1 8 0 0))
+    (Chronon.to_seconds (parse_ok "08:00 1/1/80"));
+  check "4:00 1/1/80"
+    (Chronon.to_seconds (civil 1980 1 1 4 0 0))
+    (Chronon.to_seconds (parse_ok "4:00 1/1/80"));
+  check "bare year 1981"
+    (Chronon.to_seconds (civil 1981 1 1 0 0 0))
+    (Chronon.to_seconds (parse_ok "1981"));
+  check "m/d/yy date only"
+    (Chronon.to_seconds (civil 1980 2 15 0 0 0))
+    (Chronon.to_seconds (parse_ok "2/15/80"))
+
+let test_parse_other_formats () =
+  check "iso date"
+    (Chronon.to_seconds (civil 1985 11 1 0 0 0))
+    (Chronon.to_seconds (parse_ok "1985-11-01"));
+  check "iso date + time"
+    (Chronon.to_seconds (civil 1985 11 1 13 5 7))
+    (Chronon.to_seconds (parse_ok "1985-11-01 13:05:07"));
+  check "4-digit slash year"
+    (Chronon.to_seconds (civil 1980 1 2 0 0 0))
+    (Chronon.to_seconds (parse_ok "1/2/1980"));
+  check "2-digit year 30 maps to 2030"
+    (Chronon.to_seconds (civil 2030 1 1 0 0 0))
+    (Chronon.to_seconds (parse_ok "1/1/30"));
+  (match Chronon.parse "1/1/69" with
+  | Error _ -> () (* 2069 is past the 32-bit horizon (Jan 2038) *)
+  | Ok _ -> Alcotest.fail "2069 should not fit in 32 bits");
+  let now = civil 1980 6 1 0 0 0 in
+  check "now" (Chronon.to_seconds now) (Chronon.to_seconds (parse_ok ~now "NOW"));
+  Alcotest.(check bool) "forever keyword" true
+    (Chronon.is_forever (parse_ok "forever"))
+
+let test_parse_errors () =
+  let bad s =
+    match Chronon.parse s with
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+    | Error _ -> ()
+  in
+  bad "not a date";
+  bad "13:00:00:00 1/1/80";
+  bad "2/30/80" (* no Feb 30 *);
+  bad "25:00 1/1/80" (* no hour 25 *);
+  bad "";
+  bad "now" (* no clock supplied *)
+
+let test_to_string_resolutions () =
+  let t = civil 1980 1 2 8 30 45 in
+  check_str "second" "1980-01-02 08:30:45" (Chronon.to_string t);
+  check_str "minute" "1980-01-02 08:30"
+    (Chronon.to_string ~resolution:Chronon.Minute t);
+  check_str "hour" "1980-01-02 08" (Chronon.to_string ~resolution:Chronon.Hour t);
+  check_str "day" "1980-01-02" (Chronon.to_string ~resolution:Chronon.Day t);
+  check_str "month" "1980-01" (Chronon.to_string ~resolution:Chronon.Month t);
+  check_str "year" "1980" (Chronon.to_string ~resolution:Chronon.Year t)
+
+let test_truncate () =
+  let t = civil 1980 7 15 13 45 59 in
+  let at res = Chronon.to_civil (Chronon.truncate res t) in
+  Alcotest.(check int) "minute zeroes seconds" 0 (at Chronon.Minute).Chronon.second;
+  Alcotest.(check int) "hour zeroes minutes" 0 (at Chronon.Hour).Chronon.minute;
+  Alcotest.(check int) "day zeroes hours" 0 (at Chronon.Day).Chronon.hour;
+  Alcotest.(check int) "month resets day" 1 (at Chronon.Month).Chronon.day;
+  Alcotest.(check int) "year resets month" 1 (at Chronon.Year).Chronon.month;
+  Alcotest.(check bool) "truncate forever is forever" true
+    (Chronon.is_forever (Chronon.truncate Chronon.Year Chronon.forever))
+
+let test_resolution_of_string () =
+  Alcotest.(check bool) "year" true
+    (Chronon.resolution_of_string "Year" = Some Chronon.Year);
+  Alcotest.(check bool) "junk" true (Chronon.resolution_of_string "week" = None)
+
+(* --- properties --- *)
+
+let chronon_gen =
+  (* Stay away from the extremes so add_seconds in properties cannot saturate. *)
+  QCheck2.Gen.map Chronon.of_seconds (QCheck2.Gen.int_range (-2000000000) 2000000000)
+
+let prop_civil_round_trip =
+  QCheck2.Test.make ~name:"of_civil (to_civil t) = t" ~count:500 chronon_gen
+    (fun t -> Chronon.equal (Chronon.of_civil (Chronon.to_civil t)) t)
+
+let prop_parse_print_round_trip =
+  QCheck2.Test.make ~name:"parse (to_string t) = t" ~count:500 chronon_gen
+    (fun t ->
+      match Chronon.parse (Chronon.to_string t) with
+      | Ok t' -> Chronon.equal t t'
+      | Error _ -> false)
+
+let prop_truncate_idempotent =
+  QCheck2.Test.make ~name:"truncate is idempotent" ~count:300
+    QCheck2.Gen.(pair chronon_gen (oneofl Chronon.[ Second; Minute; Hour; Day; Month; Year ]))
+    (fun (t, res) ->
+      let once = Chronon.truncate res t in
+      Chronon.equal once (Chronon.truncate res once))
+
+let prop_truncate_monotone =
+  QCheck2.Test.make ~name:"truncate never increases" ~count:300
+    QCheck2.Gen.(pair chronon_gen (oneofl Chronon.[ Second; Minute; Hour; Day; Month; Year ]))
+    (fun (t, res) -> Chronon.compare (Chronon.truncate res t) t <= 0)
+
+let prop_order_by_seconds =
+  QCheck2.Test.make ~name:"compare agrees with seconds" ~count:300
+    QCheck2.Gen.(pair chronon_gen chronon_gen)
+    (fun (a, b) ->
+      Chronon.compare a b = Int.compare (Chronon.to_seconds a) (Chronon.to_seconds b))
+
+let suites =
+  [
+    ( "chronon",
+      [
+        Alcotest.test_case "epoch" `Quick test_epoch;
+        Alcotest.test_case "known instants" `Quick test_known_instants;
+        Alcotest.test_case "civil round trip" `Quick test_civil_round_trip;
+        Alcotest.test_case "forever/beginning" `Quick test_forever;
+        Alcotest.test_case "out of range" `Quick test_out_of_range;
+        Alcotest.test_case "parse paper formats" `Quick test_parse_paper_formats;
+        Alcotest.test_case "parse other formats" `Quick test_parse_other_formats;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "to_string resolutions" `Quick test_to_string_resolutions;
+        Alcotest.test_case "truncate" `Quick test_truncate;
+        Alcotest.test_case "resolution names" `Quick test_resolution_of_string;
+        QCheck_alcotest.to_alcotest prop_civil_round_trip;
+        QCheck_alcotest.to_alcotest prop_parse_print_round_trip;
+        QCheck_alcotest.to_alcotest prop_truncate_idempotent;
+        QCheck_alcotest.to_alcotest prop_truncate_monotone;
+        QCheck_alcotest.to_alcotest prop_order_by_seconds;
+      ] );
+  ]

@@ -1,0 +1,45 @@
+module Chronon = Tdb_time.Chronon
+module Clock = Tdb_time.Clock
+
+let test_default_start () =
+  let c = Clock.create () in
+  Alcotest.(check string)
+    "starts at 1980-01-01" "1980-01-01 00:00:00"
+    (Chronon.to_string (Clock.now c))
+
+let test_advance_and_tick () =
+  let c = Clock.create ~start:(Chronon.of_seconds 100) () in
+  Clock.advance c 10;
+  Alcotest.(check int) "advanced" 110 (Chronon.to_seconds (Clock.now c));
+  let t = Clock.tick c in
+  Alcotest.(check int) "tick returns new now" 111 (Chronon.to_seconds t);
+  Alcotest.(check int) "tick advanced the clock" 111
+    (Chronon.to_seconds (Clock.now c))
+
+let test_monotone () =
+  let c = Clock.create ~start:(Chronon.of_seconds 100) () in
+  Alcotest.check_raises "no negative advance"
+    (Invalid_argument "Clock.advance: negative amount") (fun () ->
+      Clock.advance c (-1));
+  Alcotest.check_raises "no backwards set"
+    (Invalid_argument "Clock.set: cannot move a clock backwards") (fun () ->
+      Clock.set c (Chronon.of_seconds 99));
+  Clock.set c (Chronon.of_seconds 200);
+  Alcotest.(check int) "set forward" 200 (Chronon.to_seconds (Clock.now c))
+
+let test_independent () =
+  let a = Clock.create ~start:(Chronon.of_seconds 0) () in
+  let b = Clock.create ~start:(Chronon.of_seconds 0) () in
+  Clock.advance a 5;
+  Alcotest.(check int) "b unaffected" 0 (Chronon.to_seconds (Clock.now b))
+
+let suites =
+  [
+    ( "clock",
+      [
+        Alcotest.test_case "default start" `Quick test_default_start;
+        Alcotest.test_case "advance and tick" `Quick test_advance_and_tick;
+        Alcotest.test_case "monotone" `Quick test_monotone;
+        Alcotest.test_case "independent clocks" `Quick test_independent;
+      ] );
+  ]

@@ -1,0 +1,84 @@
+module Disk = Tdb_storage.Disk
+module Page = Tdb_storage.Page
+
+let test_mem_basics () =
+  let d = Disk.create_mem () in
+  Alcotest.(check int) "empty" 0 (Disk.npages d);
+  let a = Disk.allocate d in
+  let b = Disk.allocate d in
+  Alcotest.(check (list int)) "dense ids" [ 0; 1 ] [ a; b ];
+  let p = Page.create () in
+  Bytes.set p 100 'Z';
+  Disk.write_page d a p;
+  Alcotest.(check char) "read back" 'Z' (Bytes.get (Disk.read_page d a) 100);
+  (* pages are copied on both sides: mutating the caller's buffer after a
+     write must not leak into the store *)
+  Bytes.set p 100 '!';
+  Alcotest.(check char) "isolated" 'Z' (Bytes.get (Disk.read_page d a) 100);
+  let r = Disk.read_page d a in
+  Bytes.set r 100 '?';
+  Alcotest.(check char) "reads are copies" 'Z' (Bytes.get (Disk.read_page d a) 100)
+
+let test_bad_ids () =
+  let d = Disk.create_mem () in
+  ignore (Disk.allocate d);
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative id" true (raises (fun () -> ignore (Disk.read_page d (-1))));
+  Alcotest.(check bool) "past the end" true (raises (fun () -> ignore (Disk.read_page d 1)));
+  Alcotest.(check bool) "write past the end" true
+    (raises (fun () -> Disk.write_page d 7 (Page.create ())));
+  Alcotest.(check bool) "wrong page size" true
+    (raises (fun () -> Disk.write_page d 0 (Bytes.create 10)))
+
+let test_truncate () =
+  let d = Disk.create_mem () in
+  for _ = 1 to 5 do
+    ignore (Disk.allocate d)
+  done;
+  Disk.truncate d;
+  Alcotest.(check int) "empty again" 0 (Disk.npages d);
+  Alcotest.(check int) "ids restart" 0 (Disk.allocate d)
+
+let test_file_backend () =
+  let path = Filename.temp_file "tdb_disk" ".pages" in
+  let d = Disk.open_file path in
+  Alcotest.(check bool) "file backed" true (Disk.is_file_backed d);
+  let a = Disk.allocate d in
+  let p = Page.create () in
+  Bytes.set p 0 'F';
+  Disk.write_page d a p;
+  Disk.close d;
+  let d2 = Disk.open_file path in
+  Alcotest.(check int) "page survived" 1 (Disk.npages d2);
+  Alcotest.(check char) "content survived" 'F' (Bytes.get (Disk.read_page d2 0) 0);
+  Disk.truncate d2;
+  Disk.close d2;
+  Alcotest.(check int) "truncated on disk" 0
+    (let d3 = Disk.open_file path in
+     let n = Disk.npages d3 in
+     Disk.close d3;
+     n);
+  Sys.remove path
+
+let test_unaligned_file_rejected () =
+  let path = Filename.temp_file "tdb_disk" ".pages" in
+  let oc = open_out path in
+  output_string oc "not a page multiple";
+  close_out oc;
+  (match Disk.open_file path with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unaligned file accepted");
+  Sys.remove path
+
+let suites =
+  [
+    ( "disk",
+      [
+        Alcotest.test_case "mem basics" `Quick test_mem_basics;
+        Alcotest.test_case "bad ids" `Quick test_bad_ids;
+        Alcotest.test_case "truncate" `Quick test_truncate;
+        Alcotest.test_case "file backend" `Quick test_file_backend;
+        Alcotest.test_case "unaligned file rejected" `Quick
+          test_unaligned_file_rejected;
+      ] );
+  ]

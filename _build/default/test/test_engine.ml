@@ -1,0 +1,348 @@
+(* End-to-end tests of the TQuel engine: scripts through parse, check and
+   execute, including the paper's own example query (Figure 2 / Q12 shape)
+   and the section-4 version semantics observed from the outside. *)
+
+module Engine = Tdb_core.Engine
+module Database = Tdb_core.Database
+module Value = Tdb_relation.Value
+module Chronon = Tdb_time.Chronon
+module Clock = Tdb_time.Clock
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let fresh () = ok (Database.create ())
+
+let exec db src = ok (Engine.execute db src)
+
+let exec_err db src =
+  match Engine.execute db src with
+  | Ok _ -> Alcotest.failf "script unexpectedly succeeded: %s" src
+  | Error _ -> ()
+
+let rows db src =
+  match ok (Engine.execute_one db src) with
+  | Engine.Rows { tuples; _ } -> tuples
+  | _ -> Alcotest.fail "expected rows"
+
+let ints_of column tuples = List.map (fun tu -> tu.(column)) tuples
+
+let test_create_append_retrieve () =
+  let db = fresh () in
+  ignore
+    (exec db
+       {|create emp (name = c20, salary = i4)
+         range of e is emp
+         append to emp (name = "ahn", salary = 30000)
+         append to emp (name = "snodgrass", salary = 35000)|});
+  let r = rows db "retrieve (e.name, e.salary) where e.salary > 32000" in
+  Alcotest.(check int) "one row" 1 (List.length r);
+  match r with
+  | [ [| Value.Str n; Value.Int s |] ] ->
+      Alcotest.(check string) "name" "snodgrass" n;
+      Alcotest.(check int) "salary" 35000 s
+  | _ -> Alcotest.fail "row shape"
+
+let test_static_replace_in_place () =
+  let db = fresh () in
+  ignore
+    (exec db
+       {|create counter (k = i4, v = i4)
+         range of c is counter
+         append to counter (k = 1, v = 10)|});
+  ignore (exec db "replace c (v = c.v + 5) where c.k = 1");
+  (match rows db "retrieve (c.v)" with
+  | [ [| Value.Int 15 |] ] -> ()
+  | _ -> Alcotest.fail "in-place update");
+  (* a static relation stores exactly one version *)
+  Alcotest.(check int) "single version" 1 (List.length (rows db "retrieve (c.k)"))
+
+let test_rollback_semantics () =
+  let db = fresh () in
+  ignore
+    (exec db
+       {|create persistent acct (owner = c10, balance = i4)
+         range of a is acct
+         append to acct (owner = "ahn", balance = 100)|});
+  let t_before = Chronon.to_string (Database.now db) in
+  Clock.advance (Database.clock db) 1000;
+  ignore (exec db {|replace a (balance = 250) where a.owner = "ahn"|});
+  (* Default rollback point "now" sees the newest version... *)
+  (match rows db "retrieve (a.balance)" with
+  | [ [| Value.Int 250 |] ] -> ()
+  | r -> Alcotest.failf "current state: got %d rows" (List.length r));
+  (* ... and an explicit as-of rolls back. *)
+  (match
+     rows db (Printf.sprintf {|retrieve (a.balance) as of "%s"|} t_before)
+   with
+  | [ [| Value.Int 100 |] ] -> ()
+  | r -> Alcotest.failf "rollback state: got %d rows" (List.length r));
+  (* delete closes the transaction time; the current state becomes empty *)
+  Clock.advance (Database.clock db) 1000;
+  ignore (exec db "delete a");
+  Alcotest.(check int) "deleted now" 0 (List.length (rows db "retrieve (a.balance)"));
+  Alcotest.(check int) "history remains" 1
+    (List.length
+       (rows db (Printf.sprintf {|retrieve (a.balance) as of "%s"|} t_before)))
+
+let test_temporal_replace_inserts_two_versions () =
+  let db = fresh () in
+  ignore
+    (exec db
+       {|create persistent interval temp_r (k = i4, v = i4)
+         range of t is temp_r
+         append to temp_r (k = 1, v = 10)|});
+  Clock.advance (Database.clock db) 100;
+  (match ok (Engine.execute_one db "replace t (v = 20) where t.k = 1") with
+  | Engine.Modified { matched = 1; inserted = 2 } -> ()
+  | Engine.Modified { matched; inserted } ->
+      Alcotest.failf "matched %d inserted %d (wanted 1/2)" matched inserted
+  | _ -> Alcotest.fail "expected Modified");
+  (* version scan: the full history as currently known = 2 valid versions *)
+  let versions = rows db "retrieve (t.v) where t.k = 1" in
+  Alcotest.(check int) "two versions visible" 2 (List.length versions);
+  (* only one is valid now; the result carries implicit valid-time attrs *)
+  (match rows db {|retrieve (t.v) where t.k = 1 when t overlap "now"|} with
+  | [ [| Value.Int 20; _; _ |] ] -> ()
+  | r -> Alcotest.failf "current version: %d rows" (List.length r))
+
+let test_temporal_delete_keeps_history () =
+  let db = fresh () in
+  ignore
+    (exec db
+       {|create persistent interval facts (k = i4)
+         range of f is facts
+         append to facts (k = 7)|});
+  let mid = Chronon.to_string (Database.now db) in
+  Clock.advance (Database.clock db) 500;
+  ignore (exec db "delete f where f.k = 7");
+  Alcotest.(check int) "not valid now" 0
+    (List.length (rows db {|retrieve (f.k) when f overlap "now"|}));
+  (* rollback into the past: as of mid, the tuple was believed current *)
+  Alcotest.(check int) "rollback sees it" 1
+    (List.length (rows db (Printf.sprintf {|retrieve (f.k) as of "%s"|} mid)))
+
+let test_historical_retroactive_change () =
+  let db = fresh () in
+  ignore
+    (exec db
+       {|create interval hist (k = i4, v = i4)
+         range of x is hist
+         append to hist (k = 1, v = 5) valid from "1980-06-01" to "forever"|});
+  (* a retroactive correction: the value was 4 during May *)
+  ignore
+    (exec db
+       {|append to hist (k = 1, v = 4) valid from "1980-05-01" to "1980-06-01"|});
+  let at t =
+    rows db (Printf.sprintf {|retrieve (x.v) when x overlap "%s"|} t)
+  in
+  (match at "1980-05-15" with
+  | [ [| Value.Int 4; _; _ |] ] -> ()
+  | r -> Alcotest.failf "May value: %d rows" (List.length r));
+  match at "1980-07-01" with
+  | [ [| Value.Int 5; _; _ |] ] -> ()
+  | r -> Alcotest.failf "July value: %d rows" (List.length r)
+
+let test_figure2_query () =
+  (* The paper's Figure 2, on a small handmade database. *)
+  let db = fresh () in
+  ignore
+    (exec db
+       {|create persistent interval fig_h (id = i4, seq = i4, amount = i4)
+         create persistent interval fig_i (id = i4, seq = i4, amount = i4)
+         range of h is fig_h
+         range of i is fig_i
+         append to fig_h (id = 500, seq = 1, amount = 0)
+            valid from "1980-06-01" to "forever"
+         append to fig_i (id = 9, seq = 2, amount = 73700)
+            valid from "1980-07-01" to "forever"|});
+  Clock.set (Database.clock db) (Chronon.parse_exn "1982-01-01");
+  let r =
+    rows db
+      {|retrieve (h.id, h.seq, i.id, i.seq, i.amount)
+        valid from start of (h overlap i) to end of (h extend i)
+        where h.id = 500 and i.amount = 73700
+        when h overlap i
+        as of "1981"|}
+  in
+  match r with
+  | [ [| Value.Int 500; Value.Int 1; Value.Int 9; Value.Int 2;
+         Value.Int 73700; Value.Time vf; Value.Time vt |] ] ->
+      (* overlap starts when i starts; extend ends at forever *)
+      Alcotest.(check string) "valid from" "1980-07-01 00:00:00"
+        (Chronon.to_string vf);
+      Alcotest.(check bool) "valid to forever" true (Chronon.is_forever vt)
+  | r -> Alcotest.failf "figure 2: %d rows" (List.length r)
+
+let test_as_of_through_window () =
+  (* "as of t1 through t2" sees every version whose transaction period
+     overlaps the window - the union of the states held across it. *)
+  let db = fresh () in
+  ignore
+    (exec db
+       {|create persistent acct (owner = c10, balance = i4)
+         range of a is acct
+         append to acct (owner = "kim", balance = 100)|});
+  let t1 = Chronon.to_string (Database.now db) in
+  Clock.advance (Database.clock db) 1000;
+  ignore (exec db {|replace a (balance = 200) where a.owner = "kim"|});
+  let t2 = Chronon.to_string (Database.now db) in
+  Clock.advance (Database.clock db) 1000;
+  ignore (exec db {|replace a (balance = 300) where a.owner = "kim"|});
+  (* the window [t1, t2] covers the 100 and 200 states but not 300 *)
+  let r =
+    rows db
+      (Printf.sprintf {|retrieve (a.balance) as of "%s" through "%s"|} t1 t2)
+  in
+  let balances =
+    List.sort compare
+      (List.map (fun tu -> match tu.(0) with Value.Int n -> n | _ -> 0) r)
+  in
+  Alcotest.(check (list int)) "both historical states" [ 100; 200 ] balances
+
+let test_retrieve_into () =
+  let db = fresh () in
+  ignore
+    (exec db
+       {|create src (k = i4)
+         range of s is src
+         append to src (k = 1)
+         append to src (k = 2)
+         append to src (k = 3)|});
+  (match ok (Engine.execute_one db "retrieve into copycat (k = s.k) where s.k > 1") with
+  | Engine.Stored { relation = "copycat"; count = 2; _ } -> ()
+  | _ -> Alcotest.fail "expected Stored with 2 rows");
+  ignore (exec db "range of c is copycat");
+  Alcotest.(check int) "stored relation queryable" 2
+    (List.length (rows db "retrieve (c.k)"))
+
+let test_modify_and_query_equivalence () =
+  let db = fresh () in
+  ignore (exec db "create r (k = i4, v = i4)");
+  ignore (exec db "range of r is r");
+  for k = 0 to 99 do
+    ignore (exec db (Printf.sprintf "append to r (k = %d, v = %d)" k (k * k)))
+  done;
+  let q () = ints_of 0 (rows db "retrieve (r.v) where r.k = 7") in
+  let as_heap = q () in
+  ignore (exec db "modify r to hash on k where fillfactor = 50");
+  let as_hash = q () in
+  ignore (exec db "modify r to isam on k");
+  let as_isam = q () in
+  Alcotest.(check bool) "hash agrees with heap" true (as_heap = as_hash);
+  Alcotest.(check bool) "isam agrees with heap" true (as_heap = as_isam)
+
+let test_destroy_and_errors () =
+  let db = fresh () in
+  ignore (exec db "create r (k = i4)");
+  exec_err db "create r (k = i4)" (* duplicate *);
+  ignore (exec db "destroy r");
+  exec_err db "destroy r" (* gone *);
+  exec_err db "range of x is r";
+  exec_err db "retrieve (x.k)" (* no range *);
+  exec_err db "nonsense statement"
+
+let test_copy_round_trip () =
+  let db = fresh () in
+  ignore
+    (exec db
+       {|create persistent interval cp (k = i4, s = c10)
+         range of c is cp
+         append to cp (k = 1, s = "one")
+         append to cp (k = 2, s = "two")|});
+  let path = Filename.temp_file "tdb_copy" ".txt" in
+  ignore (exec db (Printf.sprintf {|copy cp into "%s"|} path));
+  ignore (exec db {|create persistent interval cp2 (k = i4, s = c10)|});
+  ignore (exec db (Printf.sprintf {|copy cp2 from "%s"|} path));
+  ignore (exec db "range of d is cp2");
+  let original = rows db "retrieve (c.k, c.s)" in
+  let copied = rows db "retrieve (d.k, d.s)" in
+  Alcotest.(check int) "same cardinality" (List.length original) (List.length copied);
+  Sys.remove path
+
+let test_persistence () =
+  let dir = Filename.temp_file "tdb_db" "" in
+  Sys.remove dir;
+  let db = ok (Database.create ~dir ()) in
+  ignore
+    (exec db
+       {|create persistent interval pers (k = i4, v = i4)
+         range of p is pers
+         append to pers (k = 1, v = 10)
+         append to pers (k = 2, v = 20)
+         modify pers to hash on k where fillfactor = 100|});
+  Database.close db;
+  (* Reopen: catalog, data and access method must survive. *)
+  let db2 = ok (Database.create ~dir ()) in
+  ignore (exec db2 "range of p is pers");
+  let r = rows db2 {|retrieve (p.v) where p.k = 2 when p overlap "now"|} in
+  (match r with
+  | [ [| Value.Int 20; _; _ |] ] -> ()
+  | r -> Alcotest.failf "reopened lookup: %d rows" (List.length r));
+  Database.close db2;
+  (* clean up *)
+  Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+  Sys.rmdir dir
+
+let test_query_append () =
+  let db = fresh () in
+  ignore
+    (exec db
+       {|create a (k = i4)
+         create b (k = i4)
+         range of a is a
+         range of b is b
+         append to a (k = 1)
+         append to a (k = 2)|});
+  (match ok (Engine.execute_one db "append to b (k = a.k + 10) where a.k > 1") with
+  | Engine.Modified { inserted = 1; _ } -> ()
+  | _ -> Alcotest.fail "query append");
+  match rows db "retrieve (b.k)" with
+  | [ [| Value.Int 12 |] ] -> ()
+  | r -> Alcotest.failf "appended rows: %d" (List.length r)
+
+let test_format_rows () =
+  let db = fresh () in
+  ignore
+    (exec db
+       {|create t (k = i4, s = c5)
+         range of t is t
+         append to t (k = 1, s = "a")|});
+  match ok (Engine.execute_one db "retrieve (t.k, t.s)") with
+  | Engine.Rows { schema; tuples; _ } ->
+      let s = Engine.format_rows schema tuples in
+      let contains sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "mentions header and count" true
+        (contains "k" && contains "(1 rows)")
+  | _ -> Alcotest.fail "rows"
+
+let suites =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "create/append/retrieve" `Quick test_create_append_retrieve;
+        Alcotest.test_case "static replace in place" `Quick test_static_replace_in_place;
+        Alcotest.test_case "rollback semantics" `Quick test_rollback_semantics;
+        Alcotest.test_case "temporal replace = two versions" `Quick
+          test_temporal_replace_inserts_two_versions;
+        Alcotest.test_case "temporal delete keeps history" `Quick
+          test_temporal_delete_keeps_history;
+        Alcotest.test_case "historical retroactive change" `Quick
+          test_historical_retroactive_change;
+        Alcotest.test_case "the paper's Figure 2 query" `Quick test_figure2_query;
+        Alcotest.test_case "as of ... through" `Quick test_as_of_through_window;
+        Alcotest.test_case "retrieve into" `Quick test_retrieve_into;
+        Alcotest.test_case "modify equivalence" `Quick
+          test_modify_and_query_equivalence;
+        Alcotest.test_case "destroy and errors" `Quick test_destroy_and_errors;
+        Alcotest.test_case "copy round trip" `Quick test_copy_round_trip;
+        Alcotest.test_case "persistence" `Quick test_persistence;
+        Alcotest.test_case "query append" `Quick test_query_append;
+        Alcotest.test_case "format rows" `Quick test_format_rows;
+      ] );
+  ]

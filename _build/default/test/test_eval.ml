@@ -1,0 +1,148 @@
+module Eval = Tdb_query.Eval
+module Schema = Tdb_relation.Schema
+module Value = Tdb_relation.Value
+module Attr_type = Tdb_relation.Attr_type
+module Db_type = Tdb_relation.Db_type
+module Chronon = Tdb_time.Chronon
+module Period = Tdb_time.Period
+open Tdb_tquel.Ast
+
+let attr name ty = { Schema.name; ty }
+
+let schema =
+  Schema.create_exn
+    ~db_type:(Db_type.Temporal Db_type.Interval)
+    [ attr "id" Attr_type.I4; attr "name" (Attr_type.C 8) ]
+
+let t s = Value.Time (Chronon.of_seconds s)
+
+let tuple ~id ~vf ~vt ~ts ~te =
+  [| Value.Int id; Value.Str "x"; t vf; t vt; t ts; t te |]
+
+let ctx ?(now = 1000) bindings =
+  {
+    Eval.bindings =
+      List.map (fun (var, tuple) -> { Eval.var; schema; tuple }) bindings;
+    now = Chronon.of_seconds now;
+  }
+
+let h = tuple ~id:500 ~vf:100 ~vt:200 ~ts:50 ~te:Chronon.(to_seconds forever)
+let i = tuple ~id:7 ~vf:150 ~vt:300 ~ts:60 ~te:Chronon.(to_seconds forever)
+let c = ctx [ ("h", h); ("i", i) ]
+
+let test_expr () =
+  let e v = Eval.expr c v in
+  Alcotest.(check bool) "attr" true (Value.equal (e (Eattr ("h", "id"))) (Value.Int 500));
+  Alcotest.(check bool) "implicit attr via underscore" true
+    (Value.equal (e (Eattr ("h", "valid_from"))) (t 100));
+  Alcotest.(check bool) "arith" true
+    (Value.equal
+       (e (Ebinop (Add, Eattr ("h", "id"), Ebinop (Mul, Eint 2, Eint 10))))
+       (Value.Int 520));
+  Alcotest.(check bool) "unary minus" true
+    (Value.equal (e (Euminus (Eint 3))) (Value.Int (-3)));
+  Alcotest.(check bool) "mod" true
+    (Value.equal (e (Ebinop (Mod, Eint 17, Eint 5))) (Value.Int 2));
+  Alcotest.(check bool) "float division" true
+    (Value.equal (e (Ebinop (Div, Efloat 1., Efloat 4.))) (Value.Float 0.25))
+
+let test_expr_errors () =
+  let raises v =
+    try
+      ignore (Eval.expr c v);
+      false
+    with Eval.Eval_error _ -> true
+  in
+  Alcotest.(check bool) "unbound var" true (raises (Eattr ("z", "id")));
+  Alcotest.(check bool) "missing attr" true (raises (Eattr ("h", "salary")));
+  Alcotest.(check bool) "div by zero" true (raises (Ebinop (Div, Eint 1, Eint 0)));
+  Alcotest.(check bool) "negate string" true (raises (Euminus (Estring "x")))
+
+let test_pred () =
+  let p v = Eval.pred c v in
+  Alcotest.(check bool) "eq" true (p (Pcompare (Eq, Eattr ("h", "id"), Eint 500)));
+  Alcotest.(check bool) "ne" false (p (Pcompare (Ne, Eattr ("h", "id"), Eint 500)));
+  Alcotest.(check bool) "lt across vars" true
+    (p (Pcompare (Lt, Eattr ("i", "id"), Eattr ("h", "id"))));
+  Alcotest.(check bool) "and/or/not" true
+    (p
+       (Wand
+          ( Wor (Pcompare (Eq, Eint 1, Eint 2), Pcompare (Eq, Eint 3, Eint 3)),
+            Wnot (Pcompare (Eq, Eint 1, Eint 2)) )));
+  (* time attribute vs string literal *)
+  Alcotest.(check bool) "time vs string" true
+    (p (Pcompare (Lt, Eattr ("h", "valid_from"), Estring "1981")))
+
+let test_tempexpr () =
+  let te v = Eval.tempexpr c v in
+  (match te (Tvar "h") with
+  | Some p ->
+      Alcotest.(check int) "h period from" 100 (Chronon.to_seconds (Period.from_ p));
+      Alcotest.(check int) "h period to" 200 (Chronon.to_seconds (Period.to_ p))
+  | None -> Alcotest.fail "h period");
+  (match te (Toverlap (Tvar "h", Tvar "i")) with
+  | Some p ->
+      Alcotest.(check int) "overlap from" 150 (Chronon.to_seconds (Period.from_ p));
+      Alcotest.(check int) "overlap to" 200 (Chronon.to_seconds (Period.to_ p))
+  | None -> Alcotest.fail "overlap");
+  (match te (Textend (Tvar "h", Tvar "i")) with
+  | Some p ->
+      Alcotest.(check int) "extend from" 100 (Chronon.to_seconds (Period.from_ p));
+      Alcotest.(check int) "extend to" 300 (Chronon.to_seconds (Period.to_ p))
+  | None -> Alcotest.fail "extend");
+  (match te (Tstart_of (Tvar "h")) with
+  | Some p -> Alcotest.(check bool) "start is event" true (Period.is_event p)
+  | None -> Alcotest.fail "start of");
+  (* overlap of disjoint periods is undefined *)
+  let j = tuple ~id:1 ~vf:500 ~vt:600 ~ts:0 ~te:10 in
+  let c2 = ctx [ ("h", h); ("j", j) ] in
+  Alcotest.(check bool) "disjoint overlap undefined" true
+    (Eval.tempexpr c2 (Toverlap (Tvar "h", Tvar "j")) = None)
+
+let test_tconst_now () =
+  match Eval.tempexpr c (Tconst "now") with
+  | Some p ->
+      Alcotest.(check bool) "now is an event" true (Period.is_event p);
+      Alcotest.(check int) "now value" 1000 (Chronon.to_seconds (Period.from_ p))
+  | None -> Alcotest.fail "now"
+
+let test_temppred () =
+  let tp v = Eval.temppred c v in
+  Alcotest.(check bool) "overlap" true (tp (Poverlap (Tvar "h", Tvar "i")));
+  Alcotest.(check bool) "precede" true
+    (tp (Pprecede (Tstart_of (Tvar "h"), Tvar "i")));
+  Alcotest.(check bool) "not precede (overlapping)" false
+    (tp (Pprecede (Tvar "h", Tvar "i")));
+  Alcotest.(check bool) "equal self" true (tp (Pequal (Tvar "h", Tvar "h")));
+  Alcotest.(check bool) "undefined operand is false" false
+    (let j = tuple ~id:1 ~vf:500 ~vt:600 ~ts:0 ~te:10 in
+     let c2 = ctx [ ("h", h); ("j", j) ] in
+     Eval.temppred c2 (Poverlap (Toverlap (Tvar "h", Tvar "j"), Tvar "h")));
+  (* current version overlaps "now" *)
+  let cur = tuple ~id:2 ~vf:100 ~vt:Chronon.(to_seconds forever) ~ts:0
+      ~te:Chronon.(to_seconds forever) in
+  let c3 = ctx [ ("h", cur) ] in
+  Alcotest.(check bool) "current overlaps now" true
+    (Eval.temppred c3 (Poverlap (Tvar "h", Tconst "now")))
+
+let test_static_relation_in_tempexpr () =
+  let s = Schema.create_exn ~db_type:Db_type.Static [ attr "id" Attr_type.I4 ] in
+  let b = { Eval.var = "s"; schema = s; tuple = [| Value.Int 1 |] } in
+  let p = Eval.valid_of_tuple b in
+  Alcotest.(check bool) "static tuples are always valid" true
+    (Period.contains p (Chronon.of_seconds 12345))
+
+let suites =
+  [
+    ( "eval",
+      [
+        Alcotest.test_case "expressions" `Quick test_expr;
+        Alcotest.test_case "expression errors" `Quick test_expr_errors;
+        Alcotest.test_case "predicates" `Quick test_pred;
+        Alcotest.test_case "temporal expressions" `Quick test_tempexpr;
+        Alcotest.test_case "now constant" `Quick test_tconst_now;
+        Alcotest.test_case "temporal predicates" `Quick test_temppred;
+        Alcotest.test_case "static in tempexpr" `Quick
+          test_static_relation_in_tempexpr;
+      ] );
+  ]

@@ -1,0 +1,118 @@
+(* Event relations end to end: instantaneous facts with a single
+   [valid at] stamp (shipments, sensor readings, releases), historical and
+   temporal flavours. *)
+
+module Engine = Tdb_core.Engine
+module Database = Tdb_core.Database
+module Value = Tdb_relation.Value
+module Chronon = Tdb_time.Chronon
+module Clock = Tdb_time.Clock
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+let exec db src = ignore (ok (Engine.execute db src))
+
+let rows db src =
+  match ok (Engine.execute_one db src) with
+  | Engine.Rows { tuples; _ } -> tuples
+  | _ -> Alcotest.fail "expected rows"
+
+let fresh_shipments () =
+  let db = ok (Database.create ~start:(Chronon.parse_exn "1980-01-01") ()) in
+  exec db
+    {|create event shipment (order_no = i4, qty = i4)
+      range of s is shipment|};
+  List.iter
+    (fun (o, q, at) ->
+      exec db
+        (Printf.sprintf
+           {|append to shipment (order_no = %d, qty = %d) valid at "%s"|} o q at))
+    [
+      (1, 10, "1980-02-01"); (2, 5, "1980-02-15"); (3, 7, "1980-03-01");
+      (4, 2, "1980-03-15");
+    ];
+  db
+
+let test_event_at_query () =
+  let db = fresh_shipments () in
+  (* which shipments happened during February? *)
+  let feb =
+    rows db
+      {|retrieve (s.order_no)
+        when s overlap "1980-02-01" or s overlap "1980-02-15"|}
+  in
+  Alcotest.(check int) "exact-instant matches" 2 (List.length feb)
+
+let test_event_precede () =
+  let db = fresh_shipments () in
+  let early =
+    rows db {|retrieve (s.order_no) when s precede "1980-02-20"|}
+  in
+  Alcotest.(check int) "two shipments precede Feb 20" 2 (List.length early)
+
+let test_event_valid_at_output () =
+  let db = fresh_shipments () in
+  match rows db "retrieve (s.order_no, stamp = s.valid_at) where s.order_no = 3" with
+  | [ [| Value.Int 3; Value.Time t; _; _ |] ] ->
+      Alcotest.(check string) "stamp" "1980-03-01 00:00:00" (Chronon.to_string t)
+  | l -> Alcotest.failf "got %d rows" (List.length l)
+
+let test_event_join_with_interval () =
+  (* events joined against an interval relation: which shipments fell
+     within an order's handling period? *)
+  let db = fresh_shipments () in
+  exec db
+    {|create interval handling (order_no = i4)
+      range of h is handling
+      append to handling (order_no = 9)
+          valid from "1980-02-10" to "1980-03-10"|};
+  let inside =
+    rows db {|retrieve (s.order_no) when s overlap h|}
+  in
+  (* shipments on Feb 15 and Mar 1 fall inside [Feb 10, Mar 10) *)
+  Alcotest.(check int) "two shipments inside the period" 2 (List.length inside)
+
+let test_temporal_event_rollback () =
+  let db = ok (Database.create ~start:(Chronon.parse_exn "1980-01-01") ()) in
+  exec db
+    {|create persistent event reading (sensor = i4, v = i4)
+      range of r is reading|};
+  exec db {|append to reading (sensor = 1, v = 100) valid at "1980-01-05"|};
+  let before_fix = Chronon.to_string (Database.now db) in
+  Clock.advance (Database.clock db) 3600;
+  (* the reading turns out to be bogus and is deleted (temporal event:
+     terminated through transaction time, not physically removed) *)
+  exec db "delete r where r.sensor = 1";
+  Alcotest.(check int) "gone now" 0 (List.length (rows db "retrieve (r.v)"));
+  Alcotest.(check int) "still there under rollback" 1
+    (List.length
+       (rows db (Printf.sprintf {|retrieve (r.v) as of "%s"|} before_fix)))
+
+let test_event_aggregate () =
+  let db = fresh_shipments () in
+  match rows db "retrieve (total = sum(s.qty), latest = max(s.valid_at))" with
+  | [ [| Value.Int 24; Value.Time t |] ] ->
+      Alcotest.(check string) "latest" "1980-03-15 00:00:00" (Chronon.to_string t)
+  | l -> Alcotest.failf "got %d rows" (List.length l)
+
+let test_event_result_schema () =
+  (* a plain retrieve from an event relation produces interval results from
+     the default valid computation (the overlap of event periods) *)
+  let db = fresh_shipments () in
+  match rows db "retrieve (s.order_no) where s.order_no = 1" with
+  | [ tu ] -> Alcotest.(check int) "order_no + valid attrs" 3 (Array.length tu)
+  | l -> Alcotest.failf "got %d rows" (List.length l)
+
+let suites =
+  [
+    ( "events",
+      [
+        Alcotest.test_case "exact-instant query" `Quick test_event_at_query;
+        Alcotest.test_case "precede" `Quick test_event_precede;
+        Alcotest.test_case "valid-at output" `Quick test_event_valid_at_output;
+        Alcotest.test_case "join with interval" `Quick test_event_join_with_interval;
+        Alcotest.test_case "temporal event rollback" `Quick
+          test_temporal_event_rollback;
+        Alcotest.test_case "aggregates over events" `Quick test_event_aggregate;
+        Alcotest.test_case "result schema" `Quick test_event_result_schema;
+      ] );
+  ]

@@ -1,0 +1,212 @@
+module Disk = Tdb_storage.Disk
+module Buffer_pool = Tdb_storage.Buffer_pool
+module Io_stats = Tdb_storage.Io_stats
+module Hash_file = Tdb_storage.Hash_file
+module Pfile = Tdb_storage.Pfile
+module Value = Tdb_relation.Value
+
+(* 124-byte records, the paper's temporal tuple size: 8 per page. *)
+let record_size = 124
+
+let record k =
+  let b = Bytes.make record_size '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int k);
+  b
+
+let key_of b = Value.Int (Int32.to_int (Bytes.get_int32_be b 0))
+
+let build ?(fillfactor = 100) keys =
+  let disk = Disk.create_mem () in
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create disk stats in
+  let h =
+    Hash_file.build pool ~record_size ~key_of ~fillfactor
+      (List.map record keys)
+  in
+  (h, stats, pool)
+
+let test_paper_primary_sizing () =
+  (* 1024 temporal tuples at 100% loading: 128 primary buckets; total size
+     close to the paper's 129 pages (a few overflow pages from hash
+     collisions are expected and correct). *)
+  let h, _, _ = build (List.init 1024 (fun i -> i)) in
+  Alcotest.(check int) "128 buckets" 128 (Hash_file.buckets h);
+  let n = Hash_file.npages h in
+  Alcotest.(check bool)
+    (Printf.sprintf "total size %d within 128..140" n)
+    true
+    (n >= 128 && n <= 140);
+  (* 50% loading doubles the primary area. *)
+  let h50, _, _ = build ~fillfactor:50 (List.init 1024 (fun i -> i)) in
+  Alcotest.(check int) "256 buckets at 50%" 256 (Hash_file.buckets h50)
+
+let test_lookup_finds_all_versions () =
+  (* Multiple records share key 500, as versions of a tuple do. *)
+  let keys = List.concat [ List.init 20 (fun i -> i); [ 500; 500; 500 ] ] in
+  let h, _, _ = build keys in
+  let found = ref 0 in
+  Hash_file.lookup h (Value.Int 500) (fun _ _ -> incr found);
+  Alcotest.(check int) "all three versions" 3 !found;
+  let missing = ref 0 in
+  Hash_file.lookup h (Value.Int 9999) (fun _ _ -> incr missing);
+  Alcotest.(check int) "absent key" 0 !missing
+
+let test_lookup_reads_whole_chain () =
+  (* Hashed access reads the key's full bucket chain: 1 + overflow pages. *)
+  let h, stats, pool = build (List.init 8 (fun i -> i * 8)) in
+  (* one bucket (8 records, capacity 8) -> single page *)
+  Alcotest.(check int) "one bucket" 1 (Hash_file.buckets h);
+  for v = 1 to 16 do
+    ignore (Hash_file.insert h (record (1000 + v)))
+  done;
+  (* now 24 records: 3 pages in the chain *)
+  Buffer_pool.invalidate pool;
+  Io_stats.reset stats;
+  Hash_file.lookup h (Value.Int 0) (fun _ _ -> ());
+  Alcotest.(check int) "reads all 3 chain pages" 3 (Io_stats.reads stats)
+
+let test_version_chain_growth () =
+  (* The paper's Q01 shape: with 8 tuples/page at 100% loading, each round
+     of 2 new versions per tuple adds 2 pages to every bucket chain, so a
+     version scan costs 1 + 2n pages. *)
+  let h, stats, pool = build (List.init 8 (fun i -> i)) in
+  Alcotest.(check int) "starts at one page" 1 (Hash_file.npages h);
+  for round = 1 to 5 do
+    for k = 0 to 7 do
+      ignore (Hash_file.insert h (record k));
+      ignore (Hash_file.insert h (record k))
+    done;
+    Buffer_pool.invalidate pool;
+    Io_stats.reset stats;
+    Hash_file.lookup h (Value.Int 0) (fun _ _ -> ());
+    Alcotest.(check int)
+      (Printf.sprintf "version scan after %d rounds" round)
+      (1 + (2 * round))
+      (Io_stats.reads stats)
+  done
+
+let test_scan_touches_every_page_once () =
+  let h, stats, pool = build (List.init 200 (fun i -> i)) in
+  Buffer_pool.invalidate pool;
+  Io_stats.reset stats;
+  let n = ref 0 in
+  Hash_file.iter h (fun _ _ -> incr n);
+  Alcotest.(check int) "sees every record" 200 !n;
+  Alcotest.(check int) "scan reads = total pages" (Hash_file.npages h)
+    (Io_stats.reads stats)
+
+let test_update_delete () =
+  let h, _, _ = build [ 1; 2; 3 ] in
+  let tid = ref None in
+  Hash_file.lookup h (Value.Int 2) (fun t _ -> tid := Some t);
+  let tid = Option.get !tid in
+  let r = Hash_file.read h tid in
+  Bytes.set_int32_be r 4 77l;
+  Hash_file.update h tid r;
+  let updated = Hash_file.read h tid in
+  Alcotest.(check int32) "update visible" 77l (Bytes.get_int32_be updated 4);
+  Hash_file.delete h tid;
+  let found = ref 0 in
+  Hash_file.lookup h (Value.Int 2) (fun _ _ -> incr found);
+  Alcotest.(check int) "deleted" 0 !found
+
+let test_first_fit_fills_slack () =
+  (* At 50% loading a bucket page starts half full; the next insertions
+     fill the slack before any overflow page is allocated (Figure 8(b)). *)
+  let h, _, _ = build ~fillfactor:50 [ 0; 8; 16; 24 ] in
+  Alcotest.(check int) "one bucket" 1 (Hash_file.buckets h);
+  Alcotest.(check int) "one page" 1 (Hash_file.npages h);
+  for i = 1 to 4 do
+    ignore (Hash_file.insert h (record (100 + i)))
+  done;
+  Alcotest.(check int) "slack absorbed 4 more records" 1 (Hash_file.npages h);
+  ignore (Hash_file.insert h (record 200));
+  Alcotest.(check int) "9th record overflows" 2 (Hash_file.npages h)
+
+let test_tail_append_policy () =
+  (* With tail-append, slack in earlier chain pages is never reused. *)
+  let h, _, _ = build ~fillfactor:50 [ 0; 8; 16; 24 ] in
+  Tdb_storage.Pfile.set_first_fit (Hash_file.pfile h) false;
+  Alcotest.(check bool) "policy readable" false
+    (Tdb_storage.Pfile.first_fit (Hash_file.pfile h));
+  (* page 0 is half full, but the next insert that arrives when an overflow
+     page already exists must go to the tail *)
+  for i = 1 to 9 do
+    ignore (Hash_file.insert h (record (100 + i)))
+  done;
+  (* 13 records: first-fit would need 2 pages; tail-append fills page 0
+     only while it is the tail (first 4 inserts), then pages 1 (8) ... *)
+  Alcotest.(check int) "keeps growing at the tail" 2 (Hash_file.npages h);
+  let n = ref 0 in
+  Hash_file.iter h (fun _ _ -> incr n);
+  Alcotest.(check int) "no records lost" 13 !n;
+  Tdb_storage.Pfile.set_first_fit (Hash_file.pfile h) true;
+  ignore (Hash_file.insert h (record 999));
+  Alcotest.(check int) "first-fit reuses slack again" 14
+    (let n = ref 0 in Hash_file.iter h (fun _ _ -> incr n); !n)
+
+let test_empty_build () =
+  let h, _, _ = build [] in
+  Alcotest.(check int) "one empty bucket" 1 (Hash_file.buckets h);
+  let n = ref 0 in
+  Hash_file.iter h (fun _ _ -> incr n);
+  Alcotest.(check int) "empty scan" 0 !n
+
+let test_bad_fillfactor () =
+  Alcotest.(check bool) "fillfactor 0 rejected" true
+    (try ignore (build ~fillfactor:0 [ 1 ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "fillfactor 101 rejected" true
+    (try ignore (build ~fillfactor:101 [ 1 ]); false
+     with Invalid_argument _ -> true)
+
+let prop_multiset_preserved =
+  QCheck2.Test.make ~name:"hash: scan = multiset of inserts" ~count:40
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 300) (int_range 0 100))
+        (oneofl [ 50; 75; 100 ]))
+    (fun (keys, ff) ->
+      let h, _, _ = build ~fillfactor:ff keys in
+      let seen = ref [] in
+      Hash_file.iter h (fun _ r ->
+          match key_of r with
+          | Value.Int k -> seen := k :: !seen
+          | _ -> ());
+      List.sort compare !seen = List.sort compare keys)
+
+let prop_lookup_complete =
+  QCheck2.Test.make ~name:"hash: lookup finds every version of a key" ~count:40
+    QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 30))
+    (fun keys ->
+      let h, _, _ = build keys in
+      List.for_all
+        (fun k ->
+          let expected = List.length (List.filter (( = ) k) keys) in
+          let found = ref 0 in
+          Hash_file.lookup h (Value.Int k) (fun _ _ -> incr found);
+          !found = expected)
+        (List.sort_uniq compare keys))
+
+let suites =
+  [
+    ( "hash_file",
+      [
+        Alcotest.test_case "paper primary sizing" `Quick test_paper_primary_sizing;
+        Alcotest.test_case "lookup finds all versions" `Quick
+          test_lookup_finds_all_versions;
+        Alcotest.test_case "lookup reads whole chain" `Quick
+          test_lookup_reads_whole_chain;
+        Alcotest.test_case "version chain growth (Q01 shape)" `Quick
+          test_version_chain_growth;
+        Alcotest.test_case "scan touches every page once" `Quick
+          test_scan_touches_every_page_once;
+        Alcotest.test_case "update/delete" `Quick test_update_delete;
+        Alcotest.test_case "first fit fills slack" `Quick test_first_fit_fills_slack;
+        Alcotest.test_case "tail-append policy" `Quick test_tail_append_policy;
+        Alcotest.test_case "empty build" `Quick test_empty_build;
+        Alcotest.test_case "bad fillfactor" `Quick test_bad_fillfactor;
+        QCheck_alcotest.to_alcotest prop_multiset_preserved;
+        QCheck_alcotest.to_alcotest prop_lookup_complete;
+      ] );
+  ]

@@ -1,0 +1,96 @@
+module Disk = Tdb_storage.Disk
+module Buffer_pool = Tdb_storage.Buffer_pool
+module Io_stats = Tdb_storage.Io_stats
+module Heap_file = Tdb_storage.Heap_file
+module Tid = Tdb_storage.Tid
+
+let record_size = 100
+
+let make () =
+  let disk = Disk.create_mem () in
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create disk stats in
+  (Heap_file.create pool ~record_size, stats)
+
+let record i =
+  let b = Bytes.make record_size '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int i);
+  b
+
+let key_of b = Int32.to_int (Bytes.get_int32_be b 0)
+
+let test_insert_and_scan () =
+  let h, _ = make () in
+  let n = 50 in
+  for i = 1 to n do
+    ignore (Heap_file.insert h (record i))
+  done;
+  let seen = ref [] in
+  Heap_file.iter h (fun _tid r -> seen := key_of r :: !seen);
+  Alcotest.(check (list int)) "scan returns all records in insertion order"
+    (List.init n (fun i -> i + 1))
+    (List.rev !seen)
+
+let test_page_packing () =
+  let h, _ = make () in
+  (* capacity for 100-byte records: (1024-4)/102 = 10 *)
+  for i = 1 to 10 do
+    ignore (Heap_file.insert h (record i))
+  done;
+  Alcotest.(check int) "10 records fill one page" 1 (Heap_file.npages h);
+  ignore (Heap_file.insert h (record 11));
+  Alcotest.(check int) "11th spills to a second page" 2 (Heap_file.npages h)
+
+let test_read_update_delete () =
+  let h, _ = make () in
+  let tid = Heap_file.insert h (record 7) in
+  Alcotest.(check int) "read back" 7 (key_of (Heap_file.read h tid));
+  Heap_file.update h tid (record 8);
+  Alcotest.(check int) "updated in place" 8 (key_of (Heap_file.read h tid));
+  Heap_file.delete h tid;
+  Alcotest.(check int) "gone after delete" 0 (Heap_file.record_count h)
+
+let test_delete_slot_reused () =
+  let h, _ = make () in
+  let tids = List.init 10 (fun i -> Heap_file.insert h (record i)) in
+  let victim = List.nth tids 3 in
+  Heap_file.delete h victim;
+  let tid' = Heap_file.insert h (record 99) in
+  Alcotest.(check bool) "freed slot reused before growing" true
+    (Tid.equal victim tid');
+  Alcotest.(check int) "still one page" 1 (Heap_file.npages h)
+
+let test_scan_cost () =
+  let h, stats = make () in
+  for i = 1 to 95 do
+    ignore (Heap_file.insert h (record i))
+  done;
+  Alcotest.(check int) "95 records on 10 pages" 10 (Heap_file.npages h);
+  Buffer_pool.invalidate (Tdb_storage.Pfile.pool (Heap_file.pfile h));
+  Io_stats.reset stats;
+  Heap_file.iter h (fun _ _ -> ());
+  Alcotest.(check int) "scan costs exactly npages reads" 10 (Io_stats.reads stats)
+
+let prop_everything_inserted_is_found =
+  QCheck2.Test.make ~name:"heap: scan returns exactly what was inserted"
+    ~count:50
+    QCheck2.Gen.(list_size (int_range 0 300) (int_range 0 10000))
+    (fun keys ->
+      let h, _ = make () in
+      List.iter (fun k -> ignore (Heap_file.insert h (record k))) keys;
+      let seen = ref [] in
+      Heap_file.iter h (fun _ r -> seen := key_of r :: !seen);
+      List.sort compare !seen = List.sort compare keys)
+
+let suites =
+  [
+    ( "heap_file",
+      [
+        Alcotest.test_case "insert and scan" `Quick test_insert_and_scan;
+        Alcotest.test_case "page packing" `Quick test_page_packing;
+        Alcotest.test_case "read/update/delete" `Quick test_read_update_delete;
+        Alcotest.test_case "deleted slot reused" `Quick test_delete_slot_reused;
+        Alcotest.test_case "scan cost" `Quick test_scan_cost;
+        QCheck_alcotest.to_alcotest prop_everything_inserted_is_found;
+      ] );
+  ]

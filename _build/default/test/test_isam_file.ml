@@ -1,0 +1,238 @@
+module Disk = Tdb_storage.Disk
+module Buffer_pool = Tdb_storage.Buffer_pool
+module Io_stats = Tdb_storage.Io_stats
+module Isam_file = Tdb_storage.Isam_file
+module Value = Tdb_relation.Value
+module Attr_type = Tdb_relation.Attr_type
+
+(* 124-byte records (temporal tuple): 8 per page. *)
+let record_size = 124
+
+let record k =
+  let b = Bytes.make record_size '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int k);
+  b
+
+let key_of b = Value.Int (Int32.to_int (Bytes.get_int32_be b 0))
+
+let build ?(fillfactor = 100) keys =
+  let disk = Disk.create_mem () in
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create disk stats in
+  let t =
+    Isam_file.build pool ~record_size ~key_of ~key_type:Attr_type.I4
+      ~fillfactor (List.map record keys)
+  in
+  (t, stats, pool)
+
+let test_paper_sizing_100 () =
+  (* 1024 temporal tuples at 100%: 128 data pages + 1 directory page = 129,
+     exactly the paper's Figure 5. *)
+  let t, _, _ = build (List.init 1024 (fun i -> i)) in
+  Alcotest.(check int) "128 data pages" 128 (Isam_file.data_pages t);
+  Alcotest.(check int) "1 directory page" 1 (Isam_file.directory_pages t);
+  Alcotest.(check int) "height 1" 1 (Isam_file.directory_height t);
+  Alcotest.(check int) "129 total" 129 (Isam_file.npages t)
+
+let test_paper_sizing_50 () =
+  (* At 50%: 256 data pages, two directory levels (2 leaf + 1 root = 3
+     pages), 259 total - the paper's Figure 5 for I at 50% loading. *)
+  let t, _, _ = build ~fillfactor:50 (List.init 1024 (fun i -> i)) in
+  Alcotest.(check int) "256 data pages" 256 (Isam_file.data_pages t);
+  Alcotest.(check int) "height 2" 2 (Isam_file.directory_height t);
+  Alcotest.(check int) "3 directory pages" 3 (Isam_file.directory_pages t);
+  Alcotest.(check int) "259 total" 259 (Isam_file.npages t)
+
+let test_lookup_cost () =
+  (* ISAM access at 100%: 1 directory page + 1 data page = 2 reads (Q02's
+     cost at update count 0). *)
+  let t, stats, pool = build (List.init 1024 (fun i -> i)) in
+  Buffer_pool.invalidate pool;
+  Io_stats.reset stats;
+  let found = ref 0 in
+  Isam_file.lookup t (Value.Int 500) (fun _ _ -> incr found);
+  Alcotest.(check int) "found the key" 1 !found;
+  Alcotest.(check int) "2 page reads" 2 (Io_stats.reads stats);
+  (* At 50% the directory is two levels: 2 + 1 = 3 reads. *)
+  let t50, stats50, pool50 = build ~fillfactor:50 (List.init 1024 (fun i -> i)) in
+  Buffer_pool.invalidate pool50;
+  Io_stats.reset stats50;
+  Isam_file.lookup t50 (Value.Int 500) (fun _ _ -> ());
+  Alcotest.(check int) "3 page reads at 50%" 3 (Io_stats.reads stats50)
+
+let test_lookup_all_keys () =
+  let keys = List.init 300 (fun i -> i * 2) in
+  let t, _, _ = build keys in
+  List.iter
+    (fun k ->
+      let found = ref 0 in
+      Isam_file.lookup t (Value.Int k) (fun _ _ -> incr found);
+      Alcotest.(check int) (Printf.sprintf "key %d" k) 1 !found)
+    keys;
+  (* Keys that fall between stored keys or outside the range. *)
+  List.iter
+    (fun k ->
+      let found = ref 0 in
+      Isam_file.lookup t (Value.Int k) (fun _ _ -> incr found);
+      Alcotest.(check int) (Printf.sprintf "absent key %d" k) 0 !found)
+    [ -5; 1; 599; 10000 ]
+
+let test_unsorted_input () =
+  let keys = [ 42; 7; 99; 1; 63; 28 ] in
+  let t, _, _ = build keys in
+  let seen = ref [] in
+  Isam_file.iter t (fun _ r ->
+      match key_of r with Value.Int k -> seen := k :: !seen | _ -> ());
+  Alcotest.(check (list int)) "iter is key-ordered after build"
+    (List.sort compare keys) (List.rev !seen)
+
+let test_insert_goes_to_key_page () =
+  let t, _, _ = build (List.init 64 (fun i -> i)) in
+  (* 8 full data pages; key 17 belongs to page 2, which is full at 100%
+     loading, so the new version must land in page 2's overflow chain. *)
+  let tid = Isam_file.insert t (record 17) in
+  let chain = Tdb_storage.Pfile.chain_pages (Isam_file.pfile t) ~head:2 in
+  Alcotest.(check bool) "inserted into page 2's chain" true
+    (List.mem tid.Tdb_storage.Tid.page chain);
+  Alcotest.(check int) "chain grew to 2 pages" 2 (List.length chain);
+  let found = ref 0 in
+  Isam_file.lookup t (Value.Int 17) (fun _ _ -> incr found);
+  Alcotest.(check int) "both versions found" 2 !found
+
+let test_overflow_chain_growth () =
+  (* Version scan cost 1 (dir) + 1 (data) + 2n (overflow) - Q02's shape. *)
+  let t, stats, pool = build (List.init 8 (fun i -> i)) in
+  for round = 1 to 4 do
+    for k = 0 to 7 do
+      ignore (Isam_file.insert t (record k));
+      ignore (Isam_file.insert t (record k))
+    done;
+    Buffer_pool.invalidate pool;
+    Io_stats.reset stats;
+    Isam_file.lookup t (Value.Int 3) (fun _ _ -> ());
+    Alcotest.(check int)
+      (Printf.sprintf "after %d rounds" round)
+      (2 + (2 * round))
+      (Io_stats.reads stats)
+  done
+
+let test_scan_skips_directory () =
+  let t, stats, pool = build (List.init 1024 (fun i -> i)) in
+  Buffer_pool.invalidate pool;
+  Io_stats.reset stats;
+  let n = ref 0 in
+  Isam_file.iter t (fun _ _ -> incr n);
+  Alcotest.(check int) "sees all records" 1024 !n;
+  Alcotest.(check int) "reads only the 128 data pages" 128 (Io_stats.reads stats)
+
+let test_iter_range () =
+  let t, _, _ = build (List.init 200 (fun i -> i)) in
+  let seen = ref [] in
+  Isam_file.iter_range t ~lo:(Value.Int 50) ~hi:(Value.Int 59) (fun _ r ->
+      match key_of r with Value.Int k -> seen := k :: !seen | _ -> ());
+  Alcotest.(check (list int)) "inclusive range"
+    (List.init 10 (fun i -> 50 + i))
+    (List.rev !seen);
+  let below = ref 0 in
+  Isam_file.iter_range t ~hi:(Value.Int 2) (fun _ _ -> incr below);
+  Alcotest.(check int) "open lower bound" 3 !below;
+  let above = ref 0 in
+  Isam_file.iter_range t ~lo:(Value.Int 197) (fun _ _ -> incr above);
+  Alcotest.(check int) "open upper bound" 3 !above
+
+let test_empty_build () =
+  let t, _, _ = build [] in
+  Alcotest.(check int) "one data page for inserts" 1 (Isam_file.data_pages t);
+  let tid = Isam_file.insert t (record 5) in
+  Alcotest.(check int) "insert lands on page 0" 0 tid.Tdb_storage.Tid.page;
+  let found = ref 0 in
+  Isam_file.lookup t (Value.Int 5) (fun _ _ -> incr found);
+  Alcotest.(check int) "found" 1 !found
+
+let test_three_level_directory () =
+  (* Force height 3: > 170*170 data pages would need 29k+ records; instead
+     use a wider key so the directory fanout is small.  A c200 key gives
+     fanout (1020 / 202) = 5; 30 data pages need ceil(30/5)=6 + 2 + 1
+     levels. *)
+  let record_size = 1000 in
+  let record k =
+    let b = Bytes.make record_size '\000' in
+    Bytes.set_int32_be b 0 (Int32.of_int k);
+    b
+  in
+  let key_of b =
+    Value.Str (Printf.sprintf "%08ld" (Bytes.get_int32_be b 0))
+  in
+  let disk = Disk.create_mem () in
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create disk stats in
+  let t =
+    Isam_file.build pool ~record_size ~key_of ~key_type:(Attr_type.C 200)
+      ~fillfactor:100
+      (List.map record (List.init 30 (fun i -> i)))
+  in
+  (* 1000-byte records: 1 per page -> 30 data pages; fanout 5 -> levels of
+     6 and 2 pages, then a root: height 3. *)
+  Alcotest.(check int) "30 data pages" 30 (Isam_file.data_pages t);
+  Alcotest.(check int) "height 3" 3 (Isam_file.directory_height t);
+  List.iter
+    (fun k ->
+      let found = ref 0 in
+      Isam_file.lookup t (Value.Str (Printf.sprintf "%08d" k)) (fun _ _ ->
+          incr found);
+      Alcotest.(check int) (Printf.sprintf "deep key %d" k) 1 !found)
+    [ 0; 7; 15; 29 ]
+
+let prop_multiset_preserved =
+  QCheck2.Test.make ~name:"isam: scan = multiset of inserts" ~count:30
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 300) (int_range 0 100))
+        (oneofl [ 50; 75; 100 ]))
+    (fun (keys, ff) ->
+      let t, _, _ = build ~fillfactor:ff keys in
+      let seen = ref [] in
+      Isam_file.iter t (fun _ r ->
+          match key_of r with Value.Int k -> seen := k :: !seen | _ -> ());
+      List.sort compare !seen = List.sort compare keys)
+
+let prop_lookup_complete_after_inserts =
+  QCheck2.Test.make ~name:"isam: lookup complete after post-build inserts"
+    ~count:30
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 150) (int_range 0 50))
+        (list_size (int_range 0 100) (int_range 0 50)))
+    (fun (initial, extra) ->
+      let t, _, _ = build initial in
+      List.iter (fun k -> ignore (Isam_file.insert t (record k))) extra;
+      let all = initial @ extra in
+      List.for_all
+        (fun k ->
+          let expected = List.length (List.filter (( = ) k) all) in
+          let found = ref 0 in
+          Isam_file.lookup t (Value.Int k) (fun _ _ -> incr found);
+          !found = expected)
+        (List.sort_uniq compare all))
+
+let suites =
+  [
+    ( "isam_file",
+      [
+        Alcotest.test_case "paper sizing 100%" `Quick test_paper_sizing_100;
+        Alcotest.test_case "paper sizing 50%" `Quick test_paper_sizing_50;
+        Alcotest.test_case "lookup cost" `Quick test_lookup_cost;
+        Alcotest.test_case "lookup all keys" `Quick test_lookup_all_keys;
+        Alcotest.test_case "unsorted input" `Quick test_unsorted_input;
+        Alcotest.test_case "insert goes to key page" `Quick
+          test_insert_goes_to_key_page;
+        Alcotest.test_case "overflow chain growth (Q02 shape)" `Quick
+          test_overflow_chain_growth;
+        Alcotest.test_case "scan skips directory" `Quick test_scan_skips_directory;
+        Alcotest.test_case "iter_range" `Quick test_iter_range;
+        Alcotest.test_case "empty build" `Quick test_empty_build;
+        Alcotest.test_case "three-level directory" `Quick test_three_level_directory;
+        QCheck_alcotest.to_alcotest prop_multiset_preserved;
+        QCheck_alcotest.to_alcotest prop_lookup_complete_after_inserts;
+      ] );
+  ]

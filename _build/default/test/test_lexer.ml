@@ -1,0 +1,84 @@
+module Lexer = Tdb_tquel.Lexer
+module Token = Tdb_tquel.Token
+
+let tokens src =
+  match Lexer.tokenize src with
+  | Ok l -> List.map (fun p -> p.Lexer.token) l
+  | Error e -> Alcotest.failf "lex %S: %s" src e
+
+let test_keywords_and_idents () =
+  Alcotest.(check bool) "keywords case-insensitive" true
+    (tokens "RETRIEVE Retrieve retrieve"
+    = [ Token.Kw "retrieve"; Token.Kw "retrieve"; Token.Kw "retrieve" ]);
+  Alcotest.(check bool) "identifiers lower-cased" true
+    (tokens "Temporal_h" = [ Token.Ident "temporal_h" ])
+
+let test_paper_query () =
+  (* Q12's text must lex fully. *)
+  let src =
+    {|retrieve (h.id, h.seq, i.id, i.seq, i.amount)
+      valid from start of (h overlap i) to end of (h extend i)
+      where h.id = 500 and i.amount = 73700
+      when h overlap i
+      as of "now"|}
+  in
+  let ts = tokens src in
+  Alcotest.(check bool) "nonempty" true (List.length ts > 30);
+  Alcotest.(check bool) "contains as" true (List.mem (Token.Kw "as") ts);
+  Alcotest.(check bool) "contains string" true (List.mem (Token.String_lit "now") ts)
+
+let test_numbers () =
+  Alcotest.(check bool) "int" true (tokens "73700" = [ Token.Int_lit 73700 ]);
+  Alcotest.(check bool) "float" true (tokens "3.25" = [ Token.Float_lit 3.25 ]);
+  Alcotest.(check bool) "int dot ident stays separate" true
+    (tokens "h.id" = [ Token.Ident "h"; Token.Dot; Token.Ident "id" ])
+
+let test_strings () =
+  Alcotest.(check bool) "simple" true
+    (tokens {|"08:00 1/1/80"|} = [ Token.String_lit "08:00 1/1/80" ]);
+  Alcotest.(check bool) "escapes" true
+    (tokens {|"a\"b"|} = [ Token.String_lit {|a"b|} ]);
+  match Lexer.tokenize {|"unterminated|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated string accepted"
+
+let test_operators () =
+  Alcotest.(check bool) "all comparison operators" true
+    (tokens "= != < <= > >= <>"
+    = Token.[ Equal; Not_equal; Less; Less_equal; Greater; Greater_equal; Not_equal ])
+
+let test_comments () =
+  Alcotest.(check bool) "comment skipped" true
+    (tokens "a /* hello */ b" = [ Token.Ident "a"; Token.Ident "b" ]);
+  Alcotest.(check bool) "nested comments" true
+    (tokens "a /* x /* y */ z */ b" = [ Token.Ident "a"; Token.Ident "b" ]);
+  match Lexer.tokenize "a /* no end" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated comment accepted"
+
+let contains_substring s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  n = 0 || go 0
+
+let test_error_position () =
+  match Lexer.tokenize "abc\n  @" with
+  | Error e ->
+      Alcotest.(check bool) "mentions line 2" true (contains_substring e "line 2")
+  | Ok _ -> Alcotest.fail "bad character accepted"
+
+let suites =
+  [
+    ( "lexer",
+      [
+        Alcotest.test_case "keywords and idents" `Quick test_keywords_and_idents;
+        Alcotest.test_case "paper query" `Quick test_paper_query;
+        Alcotest.test_case "numbers" `Quick test_numbers;
+        Alcotest.test_case "strings" `Quick test_strings;
+        Alcotest.test_case "operators" `Quick test_operators;
+        Alcotest.test_case "comments" `Quick test_comments;
+        Alcotest.test_case "error position" `Quick test_error_position;
+      ] );
+  ]

@@ -1,0 +1,92 @@
+module Page = Tdb_storage.Page
+
+let test_paper_capacities () =
+  (* The physical constants the reproduction depends on (DESIGN.md §3). *)
+  Alcotest.(check int) "9 static tuples (108 B)" 9 (Page.capacity ~record_size:108);
+  Alcotest.(check int) "8 rollback tuples (116 B)" 8 (Page.capacity ~record_size:116);
+  Alcotest.(check int) "8 temporal tuples (124 B)" 8 (Page.capacity ~record_size:124);
+  Alcotest.(check int) "170 isam directory keys (4 B)" 170 (Page.capacity ~record_size:4);
+  Alcotest.(check int) "102 index entries (8 B)" 102 (Page.capacity ~record_size:8)
+
+let test_record_too_big () =
+  Alcotest.(check bool) "record larger than a page" true
+    (try ignore (Page.capacity ~record_size:2000); false
+     with Invalid_argument _ -> true)
+
+let test_overflow_pointer () =
+  let p = Page.create () in
+  Alcotest.(check (option int)) "no overflow initially" None (Page.get_overflow p);
+  Page.set_overflow p (Some 0);
+  Alcotest.(check (option int)) "page id 0 is representable" (Some 0)
+    (Page.get_overflow p);
+  Page.set_overflow p (Some 12345);
+  Alcotest.(check (option int)) "larger id" (Some 12345) (Page.get_overflow p);
+  Page.set_overflow p None;
+  Alcotest.(check (option int)) "cleared" None (Page.get_overflow p)
+
+let test_slots () =
+  let rs = 100 in
+  let p = Page.create () in
+  let cap = Page.capacity ~record_size:rs in
+  Alcotest.(check int) "fresh page empty" 0 (Page.used_count ~record_size:rs p);
+  let rec fill i =
+    if i < cap then begin
+      (match Page.find_free_slot ~record_size:rs p with
+      | Some slot -> Alcotest.(check int) "slots fill in order" i slot
+      | None -> Alcotest.fail "page full too early");
+      Page.write_record ~record_size:rs p i (Bytes.make rs (Char.chr (65 + (i mod 26))));
+      fill (i + 1)
+    end
+  in
+  fill 0;
+  Alcotest.(check (option int)) "page full" None (Page.find_free_slot ~record_size:rs p);
+  Alcotest.(check int) "all used" cap (Page.used_count ~record_size:rs p);
+  let r = Page.read_record ~record_size:rs p 2 in
+  Alcotest.(check char) "record content" 'C' (Bytes.get r 0);
+  Page.clear_slot ~record_size:rs p 2;
+  Alcotest.(check (option int)) "freed slot reused" (Some 2)
+    (Page.find_free_slot ~record_size:rs p);
+  Alcotest.(check bool) "reading a free slot raises" true
+    (try ignore (Page.read_record ~record_size:rs p 2); false
+     with Invalid_argument _ -> true)
+
+let test_overflow_does_not_clobber_records () =
+  let rs = 100 in
+  let p = Page.create () in
+  let cap = Page.capacity ~record_size:rs in
+  for i = 0 to cap - 1 do
+    Page.write_record ~record_size:rs p i (Bytes.make rs 'z')
+  done;
+  Page.set_overflow p (Some 999);
+  for i = 0 to cap - 1 do
+    let r = Page.read_record ~record_size:rs p i in
+    Alcotest.(check bool) "record intact" true (Bytes.for_all (fun c -> c = 'z') r)
+  done;
+  Alcotest.(check (option int)) "pointer intact" (Some 999) (Page.get_overflow p)
+
+let prop_write_read =
+  QCheck2.Test.make ~name:"write then read returns the record" ~count:200
+    QCheck2.Gen.(
+      let* rs = int_range 1 500 in
+      let* slot = int_range 0 (Page.capacity ~record_size:rs - 1) in
+      let* byte = char_range 'a' 'z' in
+      return (rs, slot, byte))
+    (fun (rs, slot, byte) ->
+      let p = Page.create () in
+      Page.write_record ~record_size:rs p slot (Bytes.make rs byte);
+      let r = Page.read_record ~record_size:rs p slot in
+      Bytes.length r = rs && Bytes.for_all (fun c -> c = byte) r)
+
+let suites =
+  [
+    ( "page",
+      [
+        Alcotest.test_case "paper capacities" `Quick test_paper_capacities;
+        Alcotest.test_case "record too big" `Quick test_record_too_big;
+        Alcotest.test_case "overflow pointer" `Quick test_overflow_pointer;
+        Alcotest.test_case "slots" `Quick test_slots;
+        Alcotest.test_case "overflow vs records" `Quick
+          test_overflow_does_not_clobber_records;
+        QCheck_alcotest.to_alcotest prop_write_read;
+      ] );
+  ]

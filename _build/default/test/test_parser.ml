@@ -1,0 +1,259 @@
+open Tdb_tquel.Ast
+module Parser = Tdb_tquel.Parser
+module Pretty = Tdb_tquel.Pretty
+
+let parse src =
+  match Parser.parse_statement src with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "parse %S: %s" src e
+
+let parse_err src =
+  match Parser.parse_statement src with
+  | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" src
+  | Error _ -> ()
+
+let test_range () =
+  match parse "range of h is temporal_h" with
+  | Range { var = "h"; rel = "temporal_h" } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_q01 () =
+  match parse "retrieve (h.id, h.seq) where h.id = 500" with
+  | Retrieve r ->
+      Alcotest.(check int) "two targets" 2 (List.length r.targets);
+      Alcotest.(check bool) "names default to attrs" true
+        (List.map (fun t -> t.out_name) r.targets = [ Some "id"; Some "seq" ]);
+      Alcotest.(check bool) "where present" true (r.where <> None);
+      Alcotest.(check bool) "no when" true (r.when_ = None)
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_q03_as_of () =
+  match parse {|retrieve (h.id, h.seq) as of "08:00 1/1/80"|} with
+  | Retrieve { as_of = Some { at = "08:00 1/1/80"; through = None }; _ } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_q05_when () =
+  match parse {|retrieve (h.id, h.seq) where h.id = 500 when h overlap "now"|} with
+  | Retrieve { when_ = Some (Poverlap (Tvar "h", Tconst "now")); _ } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_q09_join () =
+  match
+    parse
+      {|retrieve (h.id, i.id, i.amount)
+        where h.id = i.amount
+        when h overlap i and i overlap "now"|}
+  with
+  | Retrieve
+      {
+        when_ =
+          Some (Pand (Poverlap (Tvar "h", Tvar "i"), Poverlap (Tvar "i", Tconst "now")));
+        where = Some (Pcompare (Eq, Eattr ("h", "id"), Eattr ("i", "amount")));
+        _;
+      } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_q11_temporal_join () =
+  match
+    parse
+      {|retrieve (h.id, h.seq, i.id, i.seq, i.amount)
+        valid from start of h to end of i
+        when start of h precede i
+        as of "4:00 1/1/80"|}
+  with
+  | Retrieve
+      {
+        valid = Some (Valid_interval (Tstart_of (Tvar "h"), Tend_of (Tvar "i")));
+        when_ = Some (Pprecede (Tstart_of (Tvar "h"), Tvar "i"));
+        as_of = Some { at = "4:00 1/1/80"; _ };
+        _;
+      } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_q12_full () =
+  match
+    parse
+      {|retrieve (h.id, h.seq, i.id, i.seq, i.amount)
+        valid from start of (h overlap i) to end of (h extend i)
+        where h.id = 500 and i.amount = 73700
+        when h overlap i
+        as of "now"|}
+  with
+  | Retrieve
+      {
+        valid =
+          Some
+            (Valid_interval
+               (Tstart_of (Toverlap (Tvar "h", Tvar "i")),
+                Tend_of (Textend (Tvar "h", Tvar "i"))));
+        when_ = Some (Poverlap (Tvar "h", Tvar "i"));
+        where = Some (Wand (_, _));
+        as_of = Some { at = "now"; _ };
+        _;
+      } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_create_figure3 () =
+  (* The paper's Figure 3, verbatim. *)
+  match
+    parse
+      {|create persistent interval Temporal_h
+          (id = i4, amount = i4, seq = i4, string = c96)|}
+  with
+  | Create c ->
+      Alcotest.(check bool) "persistent" true c.persistent;
+      Alcotest.(check bool) "interval" true
+        (c.kind = Some Tdb_relation.Db_type.Interval);
+      Alcotest.(check string) "name lower-cased" "temporal_h" c.rel;
+      Alcotest.(check int) "4 attrs" 4 (List.length c.attrs);
+      Alcotest.(check bool) "temporal type" true
+        (db_type_of_create c
+        = Tdb_relation.Db_type.Temporal Tdb_relation.Db_type.Interval)
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_create_variants () =
+  let ty src =
+    match parse src with
+    | Create c -> db_type_of_create c
+    | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+  in
+  Alcotest.(check bool) "static" true
+    (ty "create s (x = i4)" = Tdb_relation.Db_type.Static);
+  Alcotest.(check bool) "rollback" true
+    (ty "create persistent r (x = i4)" = Tdb_relation.Db_type.Rollback);
+  Alcotest.(check bool) "historical event" true
+    (ty "create event e (x = i4)"
+    = Tdb_relation.Db_type.Historical Tdb_relation.Db_type.Event)
+
+let test_modify_figure3 () =
+  match parse "modify Temporal_h to hash on id where fillfactor = 100" with
+  | Modify { rel = "temporal_h"; organization = Org_hash; on_attr = Some "id";
+             fillfactor = Some 100 } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_modifications () =
+  (match parse "append to x (id = 5, amount = 2 + 3)" with
+  | Append { rel = "x"; targets = [ _; _ ]; _ } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s));
+  (match parse {|delete h where h.id = 5 when h overlap "now"|} with
+  | Delete { var = "h"; where = Some _; when_ = Some _ } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s));
+  (match parse {|replace h (seq = h.seq + 1) valid from "now" to "forever" where h.id = 3|} with
+  | Replace { var = "h"; targets = [ _ ]; valid = Some _; where = Some _; _ } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s));
+  match parse {|copy temporal_h from "/tmp/data.txt"|} with
+  | Copy { rel = "temporal_h"; direction = Copy_from; path = "/tmp/data.txt" } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_retrieve_into () =
+  match parse "retrieve into result (x = h.id)" with
+  | Retrieve { into = Some "result"; _ } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_expression_precedence () =
+  match parse "retrieve (x = h.a + h.b * 2 - h.c / 4)" with
+  | Retrieve { targets = [ { value; _ } ]; _ } ->
+      Alcotest.(check string) "precedence"
+        "((h.a + (h.b * 2)) - (h.c / 4))" (Pretty.expr value)
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_where_precedence () =
+  match parse "retrieve (x = h.a) where h.a = 1 or h.b = 2 and h.c = 3" with
+  | Retrieve { where = Some (Wor (_, Wand (_, _))); _ } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_parenthesized_predicates () =
+  (match parse "retrieve (x = h.a) where (h.a = 1 or h.b = 2) and h.c = 3" with
+  | Retrieve { where = Some (Wand (Wor (_, _), _)); _ } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s));
+  (* parens as arithmetic grouping must still work *)
+  match parse "retrieve (x = h.a) where (h.a + 1) * 2 = 6" with
+  | Retrieve { where = Some (Pcompare (Eq, _, _)); _ } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_when_not () =
+  match parse {|retrieve (x = h.a) when not (h precede "1981")|} with
+  | Retrieve { when_ = Some (Pnot (Pprecede (Tvar "h", Tconst "1981"))); _ } -> ()
+  | s -> Alcotest.failf "wrong tree: %s" (Pretty.statement s)
+
+let test_program () =
+  match
+    Parser.parse_program
+      {|range of h is temporal_h;
+        retrieve (h.id) where h.id = 500
+        delete h|}
+  with
+  | Ok [ Range _; Retrieve _; Delete _ ] -> ()
+  | Ok l -> Alcotest.failf "expected 3 statements, got %d" (List.length l)
+  | Error e -> Alcotest.fail e
+
+let test_errors () =
+  parse_err "retrieve";
+  parse_err "retrieve (h.id";
+  parse_err "retrieve (h.id) where";
+  parse_err "retrieve (h.id) when h";
+  parse_err "retrieve (h.id) where h.id = ";
+  parse_err "range of h temporal_h";
+  parse_err "create (x = i4)";
+  parse_err "modify x to btree on id";
+  parse_err "retrieve (h.id) where h.id = 5 extra";
+  parse_err "retrieve (h.id) where where h.id = 5"
+
+(* Round trip: parse . pretty . parse = parse *)
+let round_trip_sources =
+  [
+    "range of h is temporal_h";
+    "retrieve (h.id, h.seq) where h.id = 500";
+    {|retrieve (h.id, h.seq) as of "08:00 1/1/80"|};
+    {|retrieve (h.id, i.id, i.amount) where h.id = i.amount when h overlap i and i overlap "now"|};
+    {|retrieve (h.id, h.seq, i.id, i.seq, i.amount) valid from start of h to end of i when start of h precede i as of "4:00 1/1/80"|};
+    {|retrieve (h.id, h.seq, i.id, i.seq, i.amount) valid from start of (h overlap i) to end of (h extend i) where h.id = 500 and i.amount = 73700 when h overlap i as of "now"|};
+    "create persistent interval temporal_h (id = i4, amount = i4, seq = i4, string = c96)";
+    "modify temporal_h to hash on id where fillfactor = 100";
+    "append to x (id = 5)";
+    {|replace h (seq = h.seq + 1) valid from "now" to "forever" where h.id = 3|};
+    "delete h where h.id = 5";
+    "destroy temporal_h";
+    {|copy x into "/tmp/out.txt"|};
+  ]
+
+let test_round_trip () =
+  List.iter
+    (fun src ->
+      let ast1 = parse src in
+      let printed = Pretty.statement ast1 in
+      let ast2 =
+        match Parser.parse_statement printed with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "re-parse of %S failed: %s" printed e
+      in
+      if ast1 <> ast2 then
+        Alcotest.failf "round trip changed the tree for %S -> %S" src printed)
+    round_trip_sources
+
+let suites =
+  [
+    ( "parser",
+      [
+        Alcotest.test_case "range" `Quick test_range;
+        Alcotest.test_case "Q01" `Quick test_q01;
+        Alcotest.test_case "Q03 as-of" `Quick test_q03_as_of;
+        Alcotest.test_case "Q05 when" `Quick test_q05_when;
+        Alcotest.test_case "Q09 join" `Quick test_q09_join;
+        Alcotest.test_case "Q11 temporal join" `Quick test_q11_temporal_join;
+        Alcotest.test_case "Q12 all clauses" `Quick test_q12_full;
+        Alcotest.test_case "create (Figure 3)" `Quick test_create_figure3;
+        Alcotest.test_case "create variants" `Quick test_create_variants;
+        Alcotest.test_case "modify (Figure 3)" `Quick test_modify_figure3;
+        Alcotest.test_case "modifications" `Quick test_modifications;
+        Alcotest.test_case "retrieve into" `Quick test_retrieve_into;
+        Alcotest.test_case "expression precedence" `Quick test_expression_precedence;
+        Alcotest.test_case "where precedence" `Quick test_where_precedence;
+        Alcotest.test_case "parenthesized predicates" `Quick
+          test_parenthesized_predicates;
+        Alcotest.test_case "when not" `Quick test_when_not;
+        Alcotest.test_case "program" `Quick test_program;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "pretty round trip" `Quick test_round_trip;
+      ] );
+  ]

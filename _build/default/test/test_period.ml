@@ -1,0 +1,139 @@
+module Chronon = Tdb_time.Chronon
+module Period = Tdb_time.Period
+
+let c s = Chronon.of_seconds s
+let p a b = Period.make (c a) (c b)
+
+let test_make () =
+  let q = p 10 20 in
+  Alcotest.(check int) "from" 10 (Chronon.to_seconds (Period.from_ q));
+  Alcotest.(check int) "to" 20 (Chronon.to_seconds (Period.to_ q));
+  Alcotest.(check bool) "interval is not an event" false (Period.is_event q);
+  Alcotest.(check bool) "event" true (Period.is_event (Period.at (c 5)));
+  Alcotest.check_raises "backwards interval"
+    (Invalid_argument "Period.make: to_ earlier than from_") (fun () ->
+      ignore (p 20 10))
+
+let test_contains () =
+  let q = p 10 20 in
+  Alcotest.(check bool) "start inside" true (Period.contains q (c 10));
+  Alcotest.(check bool) "middle inside" true (Period.contains q (c 15));
+  Alcotest.(check bool) "end excluded (half-open)" false (Period.contains q (c 20));
+  Alcotest.(check bool) "before" false (Period.contains q (c 9));
+  let e = Period.at (c 7) in
+  Alcotest.(check bool) "event contains its instant" true (Period.contains e (c 7));
+  Alcotest.(check bool) "event excludes others" false (Period.contains e (c 8))
+
+let test_overlaps () =
+  Alcotest.(check bool) "proper overlap" true (Period.overlaps (p 0 10) (p 5 15));
+  Alcotest.(check bool) "disjoint" false (Period.overlaps (p 0 10) (p 10 20));
+  Alcotest.(check bool) "nested" true (Period.overlaps (p 0 100) (p 20 30));
+  Alcotest.(check bool) "event inside interval" true
+    (Period.overlaps (Period.at (c 5)) (p 0 10));
+  Alcotest.(check bool) "event at closed end" false
+    (Period.overlaps (Period.at (c 10)) (p 0 10));
+  Alcotest.(check bool) "event at start" true
+    (Period.overlaps (Period.at (c 0)) (p 0 10));
+  Alcotest.(check bool) "current version overlaps now" true
+    (Period.overlaps (p 100 (Chronon.to_seconds Chronon.forever)) (Period.at (c 500)))
+
+let test_overlap_intersection () =
+  (match Period.overlap (p 0 10) (p 5 15) with
+  | Some q ->
+      Alcotest.(check int) "from" 5 (Chronon.to_seconds (Period.from_ q));
+      Alcotest.(check int) "to" 10 (Chronon.to_seconds (Period.to_ q))
+  | None -> Alcotest.fail "expected overlap");
+  Alcotest.(check bool) "no overlap -> None" true
+    (Period.overlap (p 0 5) (p 6 10) = None)
+
+let test_extend () =
+  let q = Period.extend (p 5 10) (p 20 30) in
+  Alcotest.(check int) "extend from" 5 (Chronon.to_seconds (Period.from_ q));
+  Alcotest.(check int) "extend to" 30 (Chronon.to_seconds (Period.to_ q));
+  (* extend of disjoint periods covers the gap *)
+  Alcotest.(check bool) "covers gap" true (Period.contains q (c 15))
+
+let test_precede () =
+  Alcotest.(check bool) "before" true (Period.precede (p 0 5) (p 5 10));
+  Alcotest.(check bool) "overlapping" false (Period.precede (p 0 6) (p 5 10));
+  Alcotest.(check bool) "after" false (Period.precede (p 5 10) (p 0 5))
+
+let test_start_end () =
+  let q = p 10 20 in
+  Alcotest.(check bool) "start_of is an event" true (Period.is_event (Period.start_of q));
+  Alcotest.(check int) "start_of at from" 10
+    (Chronon.to_seconds (Period.from_ (Period.start_of q)));
+  Alcotest.(check int) "end_of at last chronon" 19
+    (Chronon.to_seconds (Period.from_ (Period.end_of q)));
+  let e = Period.at (c 3) in
+  Alcotest.(check bool) "end_of event is itself" true
+    (Period.equal (Period.end_of e) e)
+
+(* --- properties --- *)
+
+let gen_period =
+  QCheck2.Gen.(
+    let* a = int_range 0 10000 in
+    let* len = int_range 0 1000 in
+    return (p a (a + len)))
+
+let prop_overlaps_commutative =
+  QCheck2.Test.make ~name:"overlaps is commutative" ~count:500
+    QCheck2.Gen.(pair gen_period gen_period)
+    (fun (a, b) -> Period.overlaps a b = Period.overlaps b a)
+
+let prop_overlap_within_both =
+  QCheck2.Test.make ~name:"overlap result is within both operands" ~count:500
+    QCheck2.Gen.(pair gen_period gen_period)
+    (fun (a, b) ->
+      match Period.overlap a b with
+      | None -> true
+      | Some o ->
+          Chronon.compare (Period.from_ o) (Period.from_ a) >= 0
+          && Chronon.compare (Period.from_ o) (Period.from_ b) >= 0
+          && Chronon.compare (Period.to_ o) (Period.to_ a) <= 0
+          && Chronon.compare (Period.to_ o) (Period.to_ b) <= 0)
+
+let prop_extend_covers_both =
+  QCheck2.Test.make ~name:"extend covers both operands" ~count:500
+    QCheck2.Gen.(pair gen_period gen_period)
+    (fun (a, b) ->
+      let e = Period.extend a b in
+      Chronon.compare (Period.from_ e) (Period.from_ a) <= 0
+      && Chronon.compare (Period.from_ e) (Period.from_ b) <= 0
+      && Chronon.compare (Period.to_ e) (Period.to_ a) >= 0
+      && Chronon.compare (Period.to_ e) (Period.to_ b) >= 0)
+
+let prop_precede_excludes_overlap =
+  QCheck2.Test.make ~name:"precede implies not overlaps" ~count:500
+    QCheck2.Gen.(pair gen_period gen_period)
+    (fun (a, b) ->
+      (* Exception: an event touching an interval's start overlaps it and
+         also "precedes" it (end <= start); restrict to proper intervals. *)
+      if Period.is_event a || Period.is_event b then true
+      else if Period.precede a b then not (Period.overlaps a b)
+      else true)
+
+let prop_overlap_idempotent =
+  QCheck2.Test.make ~name:"overlap with self is self" ~count:200 gen_period
+    (fun a ->
+      match Period.overlap a a with Some o -> Period.equal o a | None -> false)
+
+let suites =
+  [
+    ( "period",
+      [
+        Alcotest.test_case "make" `Quick test_make;
+        Alcotest.test_case "contains" `Quick test_contains;
+        Alcotest.test_case "overlaps" `Quick test_overlaps;
+        Alcotest.test_case "overlap intersection" `Quick test_overlap_intersection;
+        Alcotest.test_case "extend" `Quick test_extend;
+        Alcotest.test_case "precede" `Quick test_precede;
+        Alcotest.test_case "start/end" `Quick test_start_end;
+        QCheck_alcotest.to_alcotest prop_overlaps_commutative;
+        QCheck_alcotest.to_alcotest prop_overlap_within_both;
+        QCheck_alcotest.to_alcotest prop_extend_covers_both;
+        QCheck_alcotest.to_alcotest prop_precede_excludes_overlap;
+        QCheck_alcotest.to_alcotest prop_overlap_idempotent;
+      ] );
+  ]

@@ -1,0 +1,134 @@
+(* Direct unit tests of predicate analysis and plan choice (the query
+   layers below the engine). *)
+
+module Conjuncts = Tdb_query.Conjuncts
+module Plan = Tdb_query.Plan
+module Parser = Tdb_tquel.Parser
+open Tdb_tquel.Ast
+
+let parse_retrieve src =
+  match Parser.parse_statement src with
+  | Ok (Retrieve r) -> r
+  | Ok _ -> Alcotest.fail "not a retrieve"
+  | Error e -> Alcotest.fail e
+
+let conjuncts_of src =
+  let r = parse_retrieve src in
+  Conjuncts.split r.where r.when_
+
+let test_split () =
+  let cs =
+    conjuncts_of
+      {|retrieve (h.id) where h.id = 5 and h.amount > 3 or h.seq = 0
+        when h overlap i and i overlap "now"|}
+  in
+  (* the top-level OR keeps the where clause whole: 1 where + 2 when *)
+  Alcotest.(check int) "3 conjuncts" 3 (List.length cs);
+  let cs2 = conjuncts_of "retrieve (h.id) where h.id = 5 and h.amount > 3" in
+  Alcotest.(check int) "and splits" 2 (List.length cs2)
+
+let test_vars_and_for_var () =
+  let cs =
+    conjuncts_of
+      {|retrieve (h.id) where h.id = i.amount and h.seq = 0 when i overlap "now"|}
+  in
+  Alcotest.(check int) "h-only conjuncts" 1
+    (List.length (Conjuncts.for_var "h" cs));
+  Alcotest.(check int) "i-only conjuncts" 1
+    (List.length (Conjuncts.for_var "i" cs));
+  Alcotest.(check int) "join conjuncts" 1 (List.length (Conjuncts.multi_var cs))
+
+let test_constant_key_probe () =
+  let cs = conjuncts_of "retrieve (h.id) where 500 = h.id and h.seq > 1" in
+  (match Conjuncts.constant_key_probe cs ~var:"h" ~attr:"id" with
+  | Some (Eint 500) -> ()
+  | _ -> Alcotest.fail "mirrored equality not found");
+  (* an equality against another variable is not a constant probe *)
+  let cs2 = conjuncts_of "retrieve (h.id) where h.id = i.amount" in
+  Alcotest.(check bool) "join equality is not a probe" true
+    (Conjuncts.constant_key_probe cs2 ~var:"h" ~attr:"id" = None);
+  (* an OR-protected equality is not extractable *)
+  let cs3 = conjuncts_of "retrieve (h.id) where h.id = 5 or h.seq = 0" in
+  Alcotest.(check bool) "disjunction is not a probe" true
+    (Conjuncts.constant_key_probe cs3 ~var:"h" ~attr:"id" = None)
+
+let test_range_bounds () =
+  let cs = conjuncts_of "retrieve (h.id) where h.id >= 10 and h.id < 20" in
+  (match Conjuncts.range_bounds cs ~var:"h" ~attr:"id" with
+  | Some { expr = Eint 10; inclusive = true }, Some { expr = Eint 20; inclusive = false } ->
+      ()
+  | _ -> Alcotest.fail "bounds");
+  let cs2 = conjuncts_of "retrieve (h.id) where 10 < h.id" in
+  (match Conjuncts.range_bounds cs2 ~var:"h" ~attr:"id" with
+  | Some { expr = Eint 10; inclusive = false }, None -> ()
+  | _ -> Alcotest.fail "mirrored lower bound");
+  let cs3 = conjuncts_of "retrieve (h.id) where h.amount < 5" in
+  Alcotest.(check bool) "different attribute" true
+    (Conjuncts.range_bounds cs3 ~var:"h" ~attr:"id" = (None, None))
+
+let test_join_equalities () =
+  let cs = conjuncts_of "retrieve (h.id) where h.id = i.amount and h.seq = i.seq" in
+  Alcotest.(check int) "two equalities" 2
+    (List.length (Conjuncts.join_equalities cs))
+
+let hash_info var = { Plan.var; key = Some ("id", `Hash) }
+let isam_info var = { Plan.var; key = Some ("id", `Isam) }
+let heap_info var = { Plan.var; key = None }
+
+let test_plan_choice () =
+  let choose sources src =
+    Plan.choose ~sources ~conjuncts:(conjuncts_of src)
+  in
+  (match choose [ hash_info "h" ] "retrieve (h.id) where h.id = 5" with
+  | Plan.Single { access = Plan.Keyed_probe _; _ } -> ()
+  | p -> Alcotest.failf "wanted keyed, got %s" (Plan.to_string p));
+  (match choose [ heap_info "h" ] "retrieve (h.id) where h.id = 5" with
+  | Plan.Single { access = Plan.Seq_scan; _ } -> ()
+  | p -> Alcotest.failf "heap cannot probe, got %s" (Plan.to_string p));
+  (match choose [ isam_info "i" ] "retrieve (i.id) where i.id > 3" with
+  | Plan.Single { access = Plan.Range_probe _; _ } -> ()
+  | p -> Alcotest.failf "wanted range, got %s" (Plan.to_string p));
+  (match
+     choose [ hash_info "h"; isam_info "i" ]
+       "retrieve (h.id) where h.id = i.amount"
+   with
+  | Plan.Tuple_substitution { substituted = "h"; detached = "i"; probe_attr = "amount" } -> ()
+  | p -> Alcotest.failf "wanted substitution, got %s" (Plan.to_string p));
+  (match
+     choose [ hash_info "h"; isam_info "i" ]
+       "retrieve (h.id) where h.seq = 1 and i.seq = 2"
+   with
+  | Plan.Detach_both _ -> ()
+  | p -> Alcotest.failf "wanted detach-both, got %s" (Plan.to_string p));
+  (match
+     choose [ hash_info "h"; isam_info "i" ]
+       {|retrieve (h.id) when start of h precede i|}
+   with
+  | Plan.Nested_scan { outer = "h"; inner = "i" } -> ()
+  | p -> Alcotest.failf "wanted nested, got %s" (Plan.to_string p));
+  match
+    choose
+      [ hash_info "a"; hash_info "b"; hash_info "c" ]
+      "retrieve (a.id) where a.id = b.id and b.id = c.id"
+  with
+  | Plan.Nested_general [ "a"; "b"; "c" ] -> ()
+  | p -> Alcotest.failf "wanted general, got %s" (Plan.to_string p)
+
+let test_no_sources () =
+  match Plan.choose ~sources:[] ~conjuncts:[] with
+  | Plan.Const_emit -> ()
+  | p -> Alcotest.failf "wanted const emit, got %s" (Plan.to_string p)
+
+let suites =
+  [
+    ( "plan",
+      [
+        Alcotest.test_case "conjunct split" `Quick test_split;
+        Alcotest.test_case "vars / for_var" `Quick test_vars_and_for_var;
+        Alcotest.test_case "constant key probe" `Quick test_constant_key_probe;
+        Alcotest.test_case "range bounds" `Quick test_range_bounds;
+        Alcotest.test_case "join equalities" `Quick test_join_equalities;
+        Alcotest.test_case "plan choice" `Quick test_plan_choice;
+        Alcotest.test_case "no sources" `Quick test_no_sources;
+      ] );
+  ]

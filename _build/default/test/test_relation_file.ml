@@ -1,0 +1,167 @@
+module Relation_file = Tdb_storage.Relation_file
+module Io_stats = Tdb_storage.Io_stats
+module Buffer_pool = Tdb_storage.Buffer_pool
+module Schema = Tdb_relation.Schema
+module Tuple = Tdb_relation.Tuple
+module Value = Tdb_relation.Value
+module Attr_type = Tdb_relation.Attr_type
+module Db_type = Tdb_relation.Db_type
+module Chronon = Tdb_time.Chronon
+
+let attr name ty = { Schema.name; ty }
+
+(* The paper's relation layout over a temporal database. *)
+let schema =
+  Schema.create_exn
+    ~db_type:(Db_type.Temporal Db_type.Interval)
+    [
+      attr "id" Attr_type.I4;
+      attr "amount" Attr_type.I4;
+      attr "seq" Attr_type.I4;
+      attr "string" (Attr_type.C 96);
+    ]
+
+let t0 = Value.Time (Chronon.of_seconds 0)
+let tf = Value.Time Chronon.forever
+
+let tuple id =
+  [| Value.Int id; Value.Int (id * 100); Value.Int 0; Value.Str "payload";
+     t0; tf; t0; tf |]
+
+let make () = Relation_file.create ~name:"test" ~schema ()
+
+let fill rel n =
+  for i = 0 to n - 1 do
+    ignore (Relation_file.insert rel (tuple i))
+  done
+
+let test_heap_then_scan () =
+  let rel = make () in
+  fill rel 20;
+  let n = ref 0 in
+  Relation_file.scan rel (fun _ tu ->
+      incr n;
+      Alcotest.(check int) "arity" 8 (Array.length tu));
+  Alcotest.(check int) "all scanned" 20 !n;
+  Alcotest.(check int) "tuple_count agrees" 20 (Relation_file.tuple_count rel)
+
+let test_modify_to_hash () =
+  let rel = make () in
+  fill rel 1024;
+  Relation_file.modify rel (Relation_file.Hash { key_attr = 0; fillfactor = 100 });
+  Alcotest.(check int) "count preserved" 1024 (Relation_file.tuple_count rel);
+  let found = ref [] in
+  Relation_file.lookup rel (Value.Int 500) (fun _ tu -> found := tu :: !found);
+  (match !found with
+  | [ tu ] -> Alcotest.(check bool) "right tuple" true (Value.equal tu.(0) (Value.Int 500))
+  | l -> Alcotest.failf "expected 1 tuple, got %d" (List.length l));
+  match Relation_file.key_attr rel with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "key attr"
+
+let test_modify_to_isam () =
+  let rel = make () in
+  fill rel 1024;
+  Relation_file.modify rel (Relation_file.Isam { key_attr = 0; fillfactor = 100 });
+  (* 128 data + 1 directory *)
+  Alcotest.(check int) "129 pages" 129 (Relation_file.npages rel);
+  let found = ref 0 in
+  Relation_file.lookup rel (Value.Int 500) (fun _ _ -> incr found);
+  Alcotest.(check int) "lookup" 1 !found
+
+let test_modify_back_to_heap () =
+  let rel = make () in
+  fill rel 100;
+  Relation_file.modify rel (Relation_file.Hash { key_attr = 0; fillfactor = 100 });
+  Relation_file.modify rel Relation_file.Heap;
+  Alcotest.(check int) "count preserved" 100 (Relation_file.tuple_count rel);
+  Alcotest.(check bool) "no key" true (Relation_file.key_attr rel = None)
+
+let test_update_delete () =
+  let rel = make () in
+  fill rel 10;
+  let target = ref None in
+  Relation_file.scan rel (fun tid tu ->
+      if Value.equal tu.(0) (Value.Int 5) then target := Some (tid, tu));
+  let tid, tu = Option.get !target in
+  let tu' = Array.copy tu in
+  tu'.(2) <- Value.Int 42;
+  Relation_file.update rel tid tu';
+  let back = Relation_file.read rel tid in
+  Alcotest.(check bool) "seq updated" true (Value.equal back.(2) (Value.Int 42));
+  Relation_file.delete rel tid;
+  Alcotest.(check int) "one fewer" 9 (Relation_file.tuple_count rel)
+
+let test_io_accounting_per_relation () =
+  let rel = make () in
+  fill rel 100;
+  Buffer_pool.invalidate (Relation_file.pool rel);
+  Io_stats.reset (Relation_file.stats rel);
+  Relation_file.scan rel (fun _ _ -> ());
+  Alcotest.(check int) "scan cost = npages"
+    (Relation_file.npages rel)
+    (Io_stats.reads (Relation_file.stats rel))
+
+let test_bad_key_attr () =
+  let rel = make () in
+  fill rel 4;
+  Alcotest.(check bool) "key attr out of range" true
+    (try
+       Relation_file.modify rel (Relation_file.Hash { key_attr = 99; fillfactor = 100 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_file_backed () =
+  let path = Filename.temp_file "tdb_rel" ".pages" in
+  Sys.remove path;
+  let rel =
+    Relation_file.create ~backing:(`File path) ~name:"durable" ~schema ()
+  in
+  fill rel 10;
+  Relation_file.close rel;
+  (* Reopen as heap and count records. *)
+  let rel2 =
+    Relation_file.create ~backing:(`File path) ~name:"durable" ~schema ()
+  in
+  Alcotest.(check int) "records survived" 10 (Relation_file.tuple_count rel2);
+  Relation_file.close rel2;
+  Sys.remove path
+
+let prop_modify_preserves_multiset =
+  QCheck2.Test.make ~name:"modify preserves the tuple multiset" ~count:25
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 200) (int_range 0 50))
+        (oneofl
+           [
+             Relation_file.Heap;
+             Relation_file.Hash { key_attr = 0; fillfactor = 100 };
+             Relation_file.Hash { key_attr = 0; fillfactor = 50 };
+             Relation_file.Isam { key_attr = 0; fillfactor = 100 };
+             Relation_file.Isam { key_attr = 1; fillfactor = 50 };
+           ]))
+    (fun (ids, org) ->
+      let rel = make () in
+      List.iter (fun i -> ignore (Relation_file.insert rel (tuple i))) ids;
+      Relation_file.modify rel org;
+      let seen = ref [] in
+      Relation_file.scan rel (fun _ tu ->
+          match tu.(0) with Value.Int k -> seen := k :: !seen | _ -> ());
+      List.sort compare !seen = List.sort compare ids)
+
+let suites =
+  [
+    ( "relation_file",
+      [
+        Alcotest.test_case "heap then scan" `Quick test_heap_then_scan;
+        Alcotest.test_case "modify to hash" `Quick test_modify_to_hash;
+        Alcotest.test_case "modify to isam" `Quick test_modify_to_isam;
+        Alcotest.test_case "modify back to heap" `Quick test_modify_back_to_heap;
+        Alcotest.test_case "update/delete" `Quick test_update_delete;
+        Alcotest.test_case "per-relation io accounting" `Quick
+          test_io_accounting_per_relation;
+        Alcotest.test_case "bad key attr" `Quick test_bad_key_attr;
+        Alcotest.test_case "file backed" `Quick test_file_backed;
+        QCheck_alcotest.to_alcotest prop_modify_preserves_multiset;
+      ] );
+  ]

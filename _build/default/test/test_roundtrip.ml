@@ -1,0 +1,144 @@
+(* Property: pretty-printing any well-formed statement tree and re-parsing
+   it yields the same tree.  The generator builds random retrieves over the
+   full expression/predicate/temporal grammar, so this exercises parser
+   corners (precedence, parenthesization, keyword ambiguity) no
+   hand-written test reaches. *)
+
+module Parser = Tdb_tquel.Parser
+module Pretty = Tdb_tquel.Pretty
+open Tdb_tquel.Ast
+
+let gen_name = QCheck2.Gen.oneofl [ "h"; "i"; "x" ]
+let gen_attr = QCheck2.Gen.oneofl [ "id"; "amount"; "seq" ]
+
+let gen_expr =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [
+              map2 (fun v a -> Eattr (v, a)) gen_name gen_attr;
+              map (fun i -> Eint i) (int_range 0 1000);
+              map (fun s -> Estring s) (oneofl [ "a"; "now"; "x y" ]);
+            ]
+        else
+          oneof
+            [
+              map2 (fun v a -> Eattr (v, a)) gen_name gen_attr;
+              map (fun i -> Eint i) (int_range 0 1000);
+              (let* op = oneofl [ Add; Sub; Mul; Div; Mod ] in
+               let* a = self (n / 2) in
+               let* b = self (n / 2) in
+               return (Ebinop (op, a, b)));
+              map (fun e -> Euminus e) (self (n / 2));
+              (let* agg = oneofl [ Count; Sum; Avg; Min; Max; Any ] in
+               let* e = self (n / 2) in
+               let* by =
+                 oneof
+                   [
+                     return [];
+                     map2 (fun v a -> [ Eattr (v, a) ]) gen_name gen_attr;
+                   ]
+               in
+               return (Eagg (agg, e, by)));
+            ]))
+
+let gen_pred =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        let atom =
+          let* op = oneofl [ Eq; Ne; Lt; Le; Gt; Ge ] in
+          let* a = gen_expr in
+          let* b = gen_expr in
+          return (Pcompare (op, a, b))
+        in
+        if n <= 0 then atom
+        else
+          oneof
+            [
+              atom;
+              map2 (fun a b -> Wand (a, b)) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> Wor (a, b)) (self (n / 2)) (self (n / 2));
+              map (fun a -> Wnot a) (self (n / 2));
+            ]))
+
+let gen_tempexpr =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              map (fun v -> Tvar v) gen_name;
+              map (fun s -> Tconst s) (oneofl [ "now"; "1981"; "forever" ]);
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              map2 (fun a b -> Toverlap (a, b)) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> Textend (a, b)) (self (n / 2)) (self (n / 2));
+              map (fun e -> Tstart_of e) (self (n / 2));
+              map (fun e -> Tend_of e) (self (n / 2));
+            ]))
+
+let gen_temppred =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        let atom =
+          oneof
+            [
+              map2 (fun a b -> Poverlap (a, b)) gen_tempexpr gen_tempexpr;
+              map2 (fun a b -> Pprecede (a, b)) gen_tempexpr gen_tempexpr;
+              map2 (fun a b -> Pequal (a, b)) gen_tempexpr gen_tempexpr;
+            ]
+        in
+        if n <= 0 then atom
+        else
+          oneof
+            [
+              atom;
+              map2 (fun a b -> Pand (a, b)) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> Por (a, b)) (self (n / 2)) (self (n / 2));
+              map (fun a -> Pnot a) (self (n / 2));
+            ]))
+
+let gen_retrieve =
+  QCheck2.Gen.(
+    let* unique = bool in
+    let* targets =
+      list_size (int_range 1 4)
+        (let* name = oneofl [ "a"; "b"; "c"; "total" ] in
+         let* value = gen_expr in
+         return { out_name = Some name; value })
+    in
+    let* where = option gen_pred in
+    let* when_ = option gen_temppred in
+    let* valid =
+      option
+        (oneof
+           [
+             map2 (fun a b -> Valid_interval (a, b)) gen_tempexpr gen_tempexpr;
+             map (fun e -> Valid_event e) gen_tempexpr;
+           ])
+    in
+    let* as_of =
+      option
+        (let* at = oneofl [ "now"; "08:00 1/1/80" ] in
+         let* through = option (oneofl [ "1981" ]) in
+         return { at; through })
+    in
+    return (Retrieve { into = None; unique; targets; valid; where; when_; as_of }))
+
+let prop_round_trip =
+  QCheck2.Test.make ~name:"parse (pretty stmt) = stmt" ~count:500 gen_retrieve
+    (fun stmt ->
+      let printed = Pretty.statement stmt in
+      match Parser.parse_statement printed with
+      | Ok stmt' -> stmt = stmt'
+      | Error e ->
+          QCheck2.Test.fail_reportf "re-parse of %S failed: %s" printed e)
+
+let suites =
+  [ ("roundtrip", [ QCheck_alcotest.to_alcotest prop_round_trip ]) ]

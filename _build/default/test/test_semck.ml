@@ -1,0 +1,143 @@
+module Semck = Tdb_tquel.Semck
+module Parser = Tdb_tquel.Parser
+module Schema = Tdb_relation.Schema
+module Attr_type = Tdb_relation.Attr_type
+module Db_type = Tdb_relation.Db_type
+
+let attr name ty = { Schema.name; ty }
+
+let paper_attrs =
+  [
+    attr "id" Attr_type.I4;
+    attr "amount" Attr_type.I4;
+    attr "seq" Attr_type.I4;
+    attr "string" (Attr_type.C 96);
+  ]
+
+let mk db_type = { Semck.schema = Schema.create_exn ~db_type paper_attrs; db_type }
+
+let relations =
+  [
+    ("static_h", mk Db_type.Static);
+    ("rollback_h", mk Db_type.Rollback);
+    ("historical_h", mk (Db_type.Historical Db_type.Interval));
+    ("temporal_h", mk (Db_type.Temporal Db_type.Interval));
+    ("temporal_i", mk (Db_type.Temporal Db_type.Interval));
+  ]
+
+let ranges =
+  [ ("s", "static_h"); ("r", "rollback_h"); ("hh", "historical_h");
+    ("h", "temporal_h"); ("i", "temporal_i") ]
+
+let env =
+  {
+    Semck.find_relation = (fun name -> List.assoc_opt name relations);
+    find_range = (fun v -> List.assoc_opt v ranges);
+  }
+
+let check src =
+  match Parser.parse_statement src with
+  | Error e -> Alcotest.failf "parse %S: %s" src e
+  | Ok stmt -> Semck.check_statement env stmt
+
+let expect_ok src =
+  match check src with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%S rejected: %s" src e
+
+let expect_err src =
+  match check src with
+  | Ok () -> Alcotest.failf "%S accepted" src
+  | Error _ -> ()
+
+let test_paper_queries_legal () =
+  expect_ok "retrieve (h.id, h.seq) where h.id = 500";
+  expect_ok {|retrieve (h.id, h.seq) as of "08:00 1/1/80"|};
+  expect_ok {|retrieve (h.id, h.seq) where h.id = 500 when h overlap "now"|};
+  expect_ok
+    {|retrieve (h.id, i.id, i.amount) where h.id = i.amount
+      when h overlap i and i overlap "now"|};
+  expect_ok
+    {|retrieve (h.id, h.seq, i.id, i.seq, i.amount)
+      valid from start of h to end of i
+      when start of h precede i as of "4:00 1/1/80"|};
+  expect_ok
+    {|retrieve (h.id, h.seq, i.id, i.seq, i.amount)
+      valid from start of (h overlap i) to end of (h extend i)
+      where h.id = 500 and i.amount = 73700
+      when h overlap i as of "now"|}
+
+let test_db_type_legality () =
+  (* when needs valid time *)
+  expect_err {|retrieve (s.id) when s overlap "now"|};
+  expect_err {|retrieve (r.id) when r overlap "now"|};
+  expect_ok {|retrieve (hh.id) when hh overlap "now"|};
+  (* as of needs transaction time *)
+  expect_err {|retrieve (s.id) as of "1981"|};
+  expect_err {|retrieve (hh.id) as of "1981"|};
+  expect_ok {|retrieve (r.id) as of "1981"|};
+  expect_ok {|retrieve (h.id) as of "1981"|}
+
+let test_unknown_names () =
+  expect_err "retrieve (z.id)" (* no range *);
+  expect_err "retrieve (h.salary)" (* no attribute *);
+  expect_err "range of x is nothing" (* no relation *);
+  expect_err "destroy nothing";
+  expect_err "modify nothing to heap"
+
+let test_type_checking () =
+  expect_err {|retrieve (h.id) where h.id = "abc"|};
+  expect_ok {|retrieve (h.id) where h.string = "abc"|};
+  expect_err {|retrieve (h.id) where h.string = 5|};
+  expect_ok "retrieve (x = h.id + h.amount * 2)";
+  expect_err {|retrieve (x = h.string + 1)|};
+  (* time attribute vs string literal is allowed *)
+  expect_ok {|retrieve (h.id) where h.valid_from < "1981"|};
+  expect_ok {|retrieve (h.id) where h.transaction_start < h.valid_to|}
+
+let test_targets () =
+  expect_err "retrieve (x = h.id, x = h.amount)" (* dup name *);
+  expect_err "retrieve (5)" (* no name *);
+  expect_ok "retrieve (five = 5)"
+
+let test_modifications () =
+  expect_ok "append to temporal_h (id = 1, amount = 2)";
+  expect_err "append to temporal_h (salary = 1)";
+  expect_err "append to temporal_h (valid_from = 1)" (* implicit attr *);
+  expect_err {|append to static_h (id = 1) valid from "now" to "forever"|};
+  expect_ok {|append to temporal_h (id = 1) valid from "now" to "forever"|};
+  expect_ok "replace h (seq = h.seq + 1) where h.id = 3";
+  expect_err "replace h (nope = 1)";
+  expect_ok "delete h where h.id = 5";
+  expect_ok "create brand_new (x = i4, y = c20)";
+  expect_err "create temporal_h (x = i4)" (* already exists *);
+  expect_err "create bad (x = i9)" (* bad type *);
+  expect_ok "modify temporal_h to hash on id where fillfactor = 50";
+  expect_err "modify temporal_h to hash where fillfactor = 50" (* no key *);
+  expect_err "modify temporal_h to hash on id where fillfactor = 0";
+  expect_err "modify temporal_h to heap on id" (* heap takes no key *)
+
+let test_when_var_needs_valid_time () =
+  (* a static variable inside a temporal expression *)
+  expect_err {|retrieve (h.id) when s overlap "now"|};
+  expect_err {|retrieve (h.id) valid from start of s to end of h|}
+
+let test_bad_time_constants () =
+  expect_err {|retrieve (h.id) when h overlap "not a date"|};
+  expect_err {|retrieve (h.id) as of "13:99 1/1/80"|}
+
+let suites =
+  [
+    ( "semck",
+      [
+        Alcotest.test_case "paper queries legal" `Quick test_paper_queries_legal;
+        Alcotest.test_case "db type legality" `Quick test_db_type_legality;
+        Alcotest.test_case "unknown names" `Quick test_unknown_names;
+        Alcotest.test_case "type checking" `Quick test_type_checking;
+        Alcotest.test_case "targets" `Quick test_targets;
+        Alcotest.test_case "modifications" `Quick test_modifications;
+        Alcotest.test_case "when needs valid time" `Quick
+          test_when_var_needs_valid_time;
+        Alcotest.test_case "bad time constants" `Quick test_bad_time_constants;
+      ] );
+  ]

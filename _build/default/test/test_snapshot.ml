@@ -1,0 +1,147 @@
+(* Bitemporal snapshot consistency: after an arbitrary sequence of
+   modifications, rolling the database back to any recorded instant must
+   reproduce exactly the state that held then.
+
+   This is the semantic heart of transaction time - "the ability to
+   rollback to the past state of a database" (paper, section 2) - checked
+   against an independent model under randomized workloads. *)
+
+module Engine = Tdb_core.Engine
+module Database = Tdb_core.Database
+module Value = Tdb_relation.Value
+module Chronon = Tdb_time.Chronon
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+let exec db src = ignore (ok (Engine.execute db src))
+
+let rows db src =
+  match ok (Engine.execute_one db src) with
+  | Engine.Rows { tuples; _ } -> tuples
+  | _ -> Alcotest.fail "expected rows"
+
+type op = Append of int * int | Replace of int * int | Delete of int
+
+let gen_ops rng n =
+  List.init n (fun _ ->
+      let k = Random.State.int rng 8 in
+      match Random.State.int rng 3 with
+      | 0 -> Append (k, Random.State.int rng 1000)
+      | 1 -> Replace (k, Random.State.int rng 1000)
+      | _ -> Delete k)
+
+(* The model: a multiset of (k, v) currently believed valid. *)
+let apply_model model = function
+  | Append (k, v) -> (k, v) :: model
+  | Replace (k, v) ->
+      (* replace rewrites every current version of k *)
+      List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) model
+  | Delete k -> List.filter (fun (k', _) -> k' <> k) model
+
+let apply_db db = function
+  | Append (k, v) -> exec db (Printf.sprintf "append to r (k = %d, v = %d)" k v)
+  | Replace (k, v) ->
+      exec db (Printf.sprintf "replace r (v = %d) where r.k = %d" v k)
+  | Delete k -> exec db (Printf.sprintf "delete r where r.k = %d" k)
+
+let state_query kind t =
+  match kind with
+  | `Rollback -> Printf.sprintf {|retrieve (r.k, r.v) as of "%s"|} t
+  | `Temporal ->
+      Printf.sprintf {|retrieve (r.k, r.v) when r overlap "%s" as of "%s"|} t t
+
+let normalize tuples =
+  List.sort compare
+    (List.map
+       (fun tu ->
+         match (tu.(0), tu.(1)) with
+         | Value.Int k, Value.Int v -> (k, v)
+         | _ -> Alcotest.fail "row shape")
+       tuples)
+
+let run_scenario ~kind ~seed ~nops =
+  let rng = Random.State.make [| seed |] in
+  let db = ok (Database.create ~start:(Chronon.parse_exn "1980-01-01") ()) in
+  let create =
+    match kind with
+    | `Rollback -> "create persistent r (k = i4, v = i4)"
+    | `Temporal -> "create persistent interval r (k = i4, v = i4)"
+  in
+  exec db create;
+  exec db "range of r is r";
+  let snapshots = ref [] in
+  let model = ref [] in
+  List.iter
+    (fun op ->
+      apply_db db op;
+      model := apply_model !model op;
+      (* occasionally remember the instant and the state *)
+      if Random.State.int rng 3 = 0 then
+        snapshots :=
+          (Chronon.to_string (Database.now db), List.sort compare !model)
+          :: !snapshots)
+    (gen_ops rng nops);
+  (* now check every remembered instant against the rolled-back database *)
+  List.iter
+    (fun (t, expected) ->
+      let got = normalize (rows db (state_query kind t)) in
+      if got <> expected then
+        Alcotest.failf
+          "snapshot divergence (%s) at %s:\n  db:    %s\n  model: %s"
+          (match kind with `Rollback -> "rollback" | `Temporal -> "temporal")
+          t
+          (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%d=%d" k v) got))
+          (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%d=%d" k v) expected)))
+    !snapshots;
+  List.length !snapshots
+
+let test_rollback_snapshots () =
+  let checked = ref 0 in
+  for seed = 1 to 10 do
+    checked := !checked + run_scenario ~kind:`Rollback ~seed ~nops:60
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "checked %d snapshots" !checked)
+    true (!checked > 50)
+
+let test_temporal_snapshots () =
+  let checked = ref 0 in
+  for seed = 100 to 109 do
+    checked := !checked + run_scenario ~kind:`Temporal ~seed ~nops:60
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "checked %d snapshots" !checked)
+    true (!checked > 50)
+
+let test_snapshots_survive_modify () =
+  (* reorganizing the file must not change any rolled-back state *)
+  let db = ok (Database.create ~start:(Chronon.parse_exn "1980-01-01") ()) in
+  exec db "create persistent r (k = i4, v = i4)";
+  exec db "range of r is r";
+  let rng = Random.State.make [| 77 |] in
+  let model = ref [] in
+  let mid = ref ("", []) in
+  List.iteri
+    (fun i op ->
+      apply_db db op;
+      model := apply_model !model op;
+      if i = 20 then mid := (Chronon.to_string (Database.now db), List.sort compare !model))
+    (gen_ops rng 40);
+  let t, expected = !mid in
+  let before = normalize (rows db (state_query `Rollback t)) in
+  Alcotest.(check bool) "pre-modify state correct" true (before = expected);
+  exec db "modify r to hash on k where fillfactor = 50";
+  let after_hash = normalize (rows db (state_query `Rollback t)) in
+  exec db "modify r to isam on k";
+  let after_isam = normalize (rows db (state_query `Rollback t)) in
+  Alcotest.(check bool) "hash preserves history" true (after_hash = expected);
+  Alcotest.(check bool) "isam preserves history" true (after_isam = expected)
+
+let suites =
+  [
+    ( "snapshot_consistency",
+      [
+        Alcotest.test_case "rollback databases" `Quick test_rollback_snapshots;
+        Alcotest.test_case "temporal databases" `Quick test_temporal_snapshots;
+        Alcotest.test_case "survives modify" `Quick test_snapshots_survive_modify;
+      ] );
+  ]

@@ -1,0 +1,136 @@
+module Schema = Tdb_relation.Schema
+module Tuple = Tdb_relation.Tuple
+module Value = Tdb_relation.Value
+module Attr_type = Tdb_relation.Attr_type
+module Db_type = Tdb_relation.Db_type
+module Chronon = Tdb_time.Chronon
+module Period = Tdb_time.Period
+
+let attr name ty = { Schema.name; ty }
+
+let temporal_schema =
+  Schema.create_exn
+    ~db_type:(Db_type.Temporal Db_type.Interval)
+    [ attr "id" Attr_type.I4; attr "name" (Attr_type.C 8) ]
+
+let t sec = Value.Time (Chronon.of_seconds sec)
+
+let sample_tuple =
+  [| Value.Int 500; Value.Str "ahn"; t 100; Value.Time Chronon.forever;
+     t 50; Value.Time Chronon.forever |]
+
+let test_round_trip () =
+  let buf = Tuple.encode temporal_schema sample_tuple in
+  Alcotest.(check int) "encoded size" (Schema.tuple_size temporal_schema)
+    (Bytes.length buf);
+  let back = Tuple.decode temporal_schema buf 0 in
+  Alcotest.(check bool) "round trip" true (Tuple.equal sample_tuple back)
+
+let test_validate () =
+  (match Tuple.validate temporal_schema sample_tuple with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Tuple.validate temporal_schema [| Value.Int 1 |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "arity mismatch accepted");
+  match
+    Tuple.validate temporal_schema
+      [| Value.Str "oops"; Value.Str "x"; t 0; t 0; t 0; t 0 |]
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "type mismatch accepted"
+
+let test_periods () =
+  (match Tuple.valid_period temporal_schema sample_tuple with
+  | Some p ->
+      Alcotest.(check int) "valid from" 100 (Chronon.to_seconds (Period.from_ p));
+      Alcotest.(check bool) "valid to forever" true
+        (Chronon.is_forever (Period.to_ p))
+  | None -> Alcotest.fail "no valid period");
+  (match Tuple.transaction_period temporal_schema sample_tuple with
+  | Some p ->
+      Alcotest.(check int) "tstart" 50 (Chronon.to_seconds (Period.from_ p))
+  | None -> Alcotest.fail "no transaction period");
+  let static_schema =
+    Schema.create_exn ~db_type:Db_type.Static [ attr "id" Attr_type.I4 ]
+  in
+  Alcotest.(check bool) "static has no periods" true
+    (Tuple.valid_period static_schema [| Value.Int 1 |] = None
+    && Tuple.transaction_period static_schema [| Value.Int 1 |] = None)
+
+let test_is_current () =
+  Alcotest.(check bool) "current version" true
+    (Tuple.is_current temporal_schema sample_tuple);
+  let dead =
+    Tuple.set_time sample_tuple
+      (Option.get (Schema.transaction_stop_index temporal_schema))
+      (Chronon.of_seconds 60)
+  in
+  Alcotest.(check bool) "logically deleted version" false
+    (Tuple.is_current temporal_schema dead)
+
+let test_event_valid_period () =
+  let es =
+    Schema.create_exn ~db_type:(Db_type.Historical Db_type.Event)
+      [ attr "id" Attr_type.I4 ]
+  in
+  let tu = [| Value.Int 1; t 42 |] in
+  match Tuple.valid_period es tu with
+  | Some p ->
+      Alcotest.(check bool) "event period" true (Period.is_event p);
+      Alcotest.(check int) "at 42" 42 (Chronon.to_seconds (Period.from_ p))
+  | None -> Alcotest.fail "no valid period"
+
+let test_project () =
+  let p = Tuple.project sample_tuple [ 1; 0 ] in
+  Alcotest.(check bool) "projection" true
+    (Tuple.equal p [| Value.Str "ahn"; Value.Int 500 |])
+
+let test_get_set_time () =
+  let i = Option.get (Schema.valid_from_index temporal_schema) in
+  Alcotest.(check int) "get_time" 100
+    (Chronon.to_seconds (Tuple.get_time sample_tuple i));
+  let updated = Tuple.set_time sample_tuple i (Chronon.of_seconds 999) in
+  Alcotest.(check int) "set_time is functional" 100
+    (Chronon.to_seconds (Tuple.get_time sample_tuple i));
+  Alcotest.(check int) "updated copy" 999
+    (Chronon.to_seconds (Tuple.get_time updated i));
+  Alcotest.(check bool) "get_time on non-time raises" true
+    (try ignore (Tuple.get_time sample_tuple 0); false
+     with Invalid_argument _ -> true)
+
+(* property: encode/decode round trip over random tuples *)
+let gen_tuple =
+  QCheck2.Gen.(
+    let* id = int_range (-100000) 100000 in
+    let* name = string_size ~gen:(char_range 'a' 'z') (int_range 0 8) in
+    let* vf = int_range 0 1000000 in
+    let* len = int_range 0 1000000 in
+    let* ts = int_range 0 1000000 in
+    return
+      [| Value.Int id; Value.Str name;
+         Value.Time (Chronon.of_seconds vf);
+         Value.Time (Chronon.of_seconds (vf + len));
+         Value.Time (Chronon.of_seconds ts);
+         Value.Time Chronon.forever |])
+
+let prop_round_trip =
+  QCheck2.Test.make ~name:"tuple codec round trip" ~count:300 gen_tuple
+    (fun tu ->
+      let buf = Tuple.encode temporal_schema tu in
+      Tuple.equal tu (Tuple.decode temporal_schema buf 0))
+
+let suites =
+  [
+    ( "tuple",
+      [
+        Alcotest.test_case "round trip" `Quick test_round_trip;
+        Alcotest.test_case "validate" `Quick test_validate;
+        Alcotest.test_case "periods" `Quick test_periods;
+        Alcotest.test_case "is_current" `Quick test_is_current;
+        Alcotest.test_case "event valid period" `Quick test_event_valid_period;
+        Alcotest.test_case "project" `Quick test_project;
+        Alcotest.test_case "get/set time" `Quick test_get_set_time;
+        QCheck_alcotest.to_alcotest prop_round_trip;
+      ] );
+  ]

@@ -1,0 +1,220 @@
+(* The section-4 version semantics, checked at the stored-tuple level:
+   which versions exist, with which time stamps, after each operation. *)
+
+module Engine = Tdb_core.Engine
+module Database = Tdb_core.Database
+module Relation_file = Tdb_storage.Relation_file
+module Schema = Tdb_relation.Schema
+module Tuple = Tdb_relation.Tuple
+module Value = Tdb_relation.Value
+module Chronon = Tdb_time.Chronon
+module Clock = Tdb_time.Clock
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let fresh () = ok (Database.create ())
+let exec db src = ignore (ok (Engine.execute db src))
+
+let all_versions db name =
+  let rel = Option.get (Database.find_relation db name) in
+  let acc = ref [] in
+  Relation_file.scan rel (fun _ tu -> acc := tu :: !acc);
+  (Relation_file.schema rel, List.rev !acc)
+
+let time_at schema tu field =
+  Tuple.get_time tu (Option.get (Schema.index_of schema field))
+
+let test_rollback_replace_is_append_only () =
+  let db = fresh () in
+  exec db
+    {|create persistent r (k = i4, v = i4)
+      range of r is r
+      append to r (k = 1, v = 10)|};
+  let t1 = Database.now db in
+  Clock.advance (Database.clock db) 100;
+  exec db "replace r (v = 20)";
+  let t2 = Database.now db in
+  let schema, versions = all_versions db "r" in
+  Alcotest.(check int) "two stored versions" 2 (List.length versions);
+  let old_v =
+    List.find (fun tu -> Value.equal tu.(1) (Value.Int 10)) versions
+  in
+  let new_v =
+    List.find (fun tu -> Value.equal tu.(1) (Value.Int 20)) versions
+  in
+  Alcotest.(check bool) "old: tstart = insert time" true
+    (Chronon.equal (time_at schema old_v "transaction start") t1);
+  Alcotest.(check bool) "old: tstop stamped at replace time" true
+    (Chronon.equal (time_at schema old_v "transaction stop") t2);
+  Alcotest.(check bool) "new: tstart = replace time" true
+    (Chronon.equal (time_at schema new_v "transaction start") t2);
+  Alcotest.(check bool) "new: tstop = forever" true
+    (Chronon.is_forever (time_at schema new_v "transaction stop"))
+
+let test_historical_replace () =
+  let db = fresh () in
+  exec db
+    {|create interval h (k = i4, v = i4)
+      range of h is h
+      append to h (k = 1, v = 10)|};
+  Clock.advance (Database.clock db) 100;
+  exec db "replace h (v = 20)";
+  let t2 = Database.now db in
+  let schema, versions = all_versions db "h" in
+  Alcotest.(check int) "two stored versions" 2 (List.length versions);
+  let old_v = List.find (fun tu -> Value.equal tu.(1) (Value.Int 10)) versions in
+  let new_v = List.find (fun tu -> Value.equal tu.(1) (Value.Int 20)) versions in
+  Alcotest.(check bool) "old: valid-to closed" true
+    (Chronon.equal (time_at schema old_v "valid to") t2);
+  Alcotest.(check bool) "new: valid-from = now, valid-to = forever" true
+    (Chronon.equal (time_at schema new_v "valid from") t2
+    && Chronon.is_forever (time_at schema new_v "valid to"))
+
+let test_temporal_replace_three_versions () =
+  (* "each replace operation in a temporal relation inserts two new
+     versions": old (tstop closed), terminated copy, and the new one. *)
+  let db = fresh () in
+  exec db
+    {|create persistent interval t (k = i4, v = i4)
+      range of t is t
+      append to t (k = 1, v = 10)|};
+  let t1 = Database.now db in
+  Clock.advance (Database.clock db) 100;
+  exec db "replace t (v = 20)";
+  let t2 = Database.now db in
+  let schema, versions = all_versions db "t" in
+  Alcotest.(check int) "three stored versions" 3 (List.length versions);
+  let has pred = List.exists pred versions in
+  Alcotest.(check bool) "superseded: v=10, vt=forever, tstop=t2" true
+    (has (fun tu ->
+         Value.equal tu.(1) (Value.Int 10)
+         && Chronon.is_forever (time_at schema tu "valid to")
+         && Chronon.equal (time_at schema tu "transaction stop") t2));
+  Alcotest.(check bool) "terminated: v=10, vt=t2, tstart=t2, tstop=forever" true
+    (has (fun tu ->
+         Value.equal tu.(1) (Value.Int 10)
+         && Chronon.equal (time_at schema tu "valid to") t2
+         && Chronon.equal (time_at schema tu "transaction start") t2
+         && Chronon.is_forever (time_at schema tu "transaction stop")));
+  Alcotest.(check bool) "new: v=20, vf=t2, everything open" true
+    (has (fun tu ->
+         Value.equal tu.(1) (Value.Int 20)
+         && Chronon.equal (time_at schema tu "valid from") t2
+         && Chronon.is_forever (time_at schema tu "valid to")
+         && Chronon.is_forever (time_at schema tu "transaction stop")));
+  ignore t1
+
+let test_temporal_append_only () =
+  (* No stored version is ever physically removed by temporal updates, and
+     old stamps never change except the closing of transaction-stop. *)
+  let db = fresh () in
+  exec db
+    {|create persistent interval t (k = i4, v = i4)
+      range of t is t|};
+  for k = 0 to 9 do
+    exec db (Printf.sprintf "append to t (k = %d, v = 0)" k)
+  done;
+  let count () = snd (all_versions db "t") |> List.length in
+  let before = count () in
+  Clock.advance (Database.clock db) 50;
+  exec db "replace t (v = t.v + 1)";
+  Alcotest.(check int) "replace adds 2 per tuple" (before + 20) (count ());
+  Clock.advance (Database.clock db) 50;
+  exec db "delete t where t.k = 3";
+  Alcotest.(check int) "delete adds 1" (before + 21) (count ())
+
+let test_valid_clause_on_append () =
+  let db = fresh () in
+  exec db
+    {|create interval h (k = i4)
+      range of h is h
+      append to h (k = 1) valid from "1980-05-01" to "1980-06-01"|};
+  let schema, versions = all_versions db "h" in
+  match versions with
+  | [ tu ] ->
+      Alcotest.(check string) "vf" "1980-05-01 00:00:00"
+        (Chronon.to_string (time_at schema tu "valid from"));
+      Alcotest.(check string) "vt" "1980-06-01 00:00:00"
+        (Chronon.to_string (time_at schema tu "valid to"))
+  | l -> Alcotest.failf "expected 1 version, got %d" (List.length l)
+
+let test_event_relations () =
+  let db = fresh () in
+  exec db
+    {|create event ev (k = i4)
+      range of e is ev
+      append to ev (k = 1) valid at "1980-04-01"|};
+  let schema, versions = all_versions db "ev" in
+  (match versions with
+  | [ tu ] ->
+      Alcotest.(check string) "valid at" "1980-04-01 00:00:00"
+        (Chronon.to_string (time_at schema tu "valid at"))
+  | l -> Alcotest.failf "expected 1 version, got %d" (List.length l));
+  (* historical event deletion is physical *)
+  exec db "delete e where e.k = 1";
+  Alcotest.(check int) "event physically deleted" 0
+    (List.length (snd (all_versions db "ev")))
+
+let test_temporal_event () =
+  let db = fresh () in
+  exec db
+    {|create persistent event tev (k = i4)
+      range of e is tev
+      append to tev (k = 1) valid at "1980-04-01"|};
+  Clock.advance (Database.clock db) 100;
+  exec db "delete e where e.k = 1";
+  let schema, versions = all_versions db "tev" in
+  (* a temporal event is terminated through transaction time, not removed *)
+  match versions with
+  | [ tu ] ->
+      Alcotest.(check bool) "tstop closed" true
+        (not (Chronon.is_forever (time_at schema tu "transaction stop")))
+  | l -> Alcotest.failf "expected 1 version, got %d" (List.length l)
+
+let test_when_clause_on_delete () =
+  (* delete only the versions whose validity overlaps a window *)
+  let db = fresh () in
+  exec db
+    {|create interval h (k = i4)
+      range of h is h
+      append to h (k = 1) valid from "1980-01-01" to "1980-02-01"
+      append to h (k = 2) valid from "1980-06-01" to "forever"|};
+  exec db {|delete h when h overlap "1980-07-01"|};
+  let _, versions = all_versions db "h" in
+  (* both versions still stored (historical delete just closes valid-to of
+     the matching current version) *)
+  Alcotest.(check int) "both stored" 2 (List.length versions)
+
+let test_defaults_on_append () =
+  let db = fresh () in
+  exec db
+    {|create static_r (a = i4, b = f8, c = c10)
+      range of s is static_r
+      append to static_r (a = 5)|};
+  let _, versions = all_versions db "static_r" in
+  match versions with
+  | [ [| Value.Int 5; Value.Float b; Value.Str c |] ] ->
+      Alcotest.(check (float 0.)) "float defaults to 0" 0. b;
+      Alcotest.(check string) "string defaults to empty" "" c
+  | _ -> Alcotest.fail "defaults"
+
+let suites =
+  [
+    ( "update_semantics",
+      [
+        Alcotest.test_case "rollback replace append-only" `Quick
+          test_rollback_replace_is_append_only;
+        Alcotest.test_case "historical replace" `Quick test_historical_replace;
+        Alcotest.test_case "temporal replace: 3 versions" `Quick
+          test_temporal_replace_three_versions;
+        Alcotest.test_case "temporal append-only growth" `Quick
+          test_temporal_append_only;
+        Alcotest.test_case "valid clause on append" `Quick
+          test_valid_clause_on_append;
+        Alcotest.test_case "event relations" `Quick test_event_relations;
+        Alcotest.test_case "temporal event" `Quick test_temporal_event;
+        Alcotest.test_case "when clause on delete" `Quick
+          test_when_clause_on_delete;
+        Alcotest.test_case "defaults on append" `Quick test_defaults_on_append;
+      ] );
+  ]

@@ -1,0 +1,146 @@
+module Value = Tdb_relation.Value
+module Attr_type = Tdb_relation.Attr_type
+module Chronon = Tdb_time.Chronon
+
+let encode_decode ty v =
+  let buf = Bytes.create (Attr_type.size ty) in
+  Value.encode ty v buf 0;
+  Value.decode ty buf 0
+
+let test_int_codec () =
+  List.iter
+    (fun (ty, n) ->
+      match encode_decode ty (Value.Int n) with
+      | Value.Int n' -> Alcotest.(check int) (Attr_type.to_string ty) n n'
+      | _ -> Alcotest.fail "wrong constructor")
+    [
+      (Attr_type.I1, 0); (Attr_type.I1, -128); (Attr_type.I1, 127);
+      (Attr_type.I2, -32768); (Attr_type.I2, 32767);
+      (Attr_type.I4, -0x8000_0000); (Attr_type.I4, 0x7FFF_FFFF);
+      (Attr_type.I4, 500);
+    ]
+
+let test_float_codec () =
+  List.iter
+    (fun f ->
+      match encode_decode Attr_type.F8 (Value.Float f) with
+      | Value.Float f' -> Alcotest.(check (float 0.0)) "f8 exact" f f'
+      | _ -> Alcotest.fail "wrong constructor")
+    [ 0.; -1.5; 3.14159; 1e300; -1e-300 ]
+
+let test_string_codec () =
+  (match encode_decode (Attr_type.C 10) (Value.Str "hello") with
+  | Value.Str s -> Alcotest.(check string) "padded then stripped" "hello" s
+  | _ -> Alcotest.fail "wrong constructor");
+  (match encode_decode (Attr_type.C 3) (Value.Str "overflow") with
+  | Value.Str s -> Alcotest.(check string) "truncated to width" "ove" s
+  | _ -> Alcotest.fail "wrong constructor");
+  match encode_decode (Attr_type.C 4) (Value.Str "") with
+  | Value.Str s -> Alcotest.(check string) "empty string" "" s
+  | _ -> Alcotest.fail "wrong constructor"
+
+let test_time_codec () =
+  let t = Chronon.parse_exn "08:00 1/1/80" in
+  match encode_decode Attr_type.Time (Value.Time t) with
+  | Value.Time t' -> Alcotest.(check bool) "time round trip" true (Chronon.equal t t')
+  | _ -> Alcotest.fail "wrong constructor"
+
+let test_type_mismatch () =
+  let buf = Bytes.create 8 in
+  Alcotest.(check bool) "encode str into i4 raises" true
+    (try
+       Value.encode Attr_type.I4 (Value.Str "x") buf 0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_compare () =
+  Alcotest.(check bool) "int order" true (Value.compare (Int 1) (Int 2) < 0);
+  Alcotest.(check bool) "str order" true (Value.compare (Str "a") (Str "b") < 0);
+  Alcotest.(check bool) "int vs float" true
+    (Value.compare (Int 1) (Float 1.5) < 0);
+  Alcotest.(check bool) "incompatible raises" true
+    (try
+       ignore (Value.compare (Int 1) (Str "x"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_coerce () =
+  (match Value.coerce Attr_type.I2 (Value.Int 40000) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range i2 accepted");
+  (match Value.coerce (Attr_type.C 3) (Value.Str "abcdef") with
+  | Ok (Value.Str s) -> Alcotest.(check string) "truncates" "abc" s
+  | _ -> Alcotest.fail "coerce string");
+  (match Value.coerce Attr_type.F8 (Value.Int 3) with
+  | Ok (Value.Float f) -> Alcotest.(check (float 0.)) "int to float" 3.0 f
+  | _ -> Alcotest.fail "coerce int to float");
+  match Value.coerce Attr_type.Time (Value.Int 77) with
+  | Ok (Value.Time t) -> Alcotest.(check int) "int to time" 77 (Chronon.to_seconds t)
+  | _ -> Alcotest.fail "coerce int to time"
+
+let test_matches () =
+  Alcotest.(check bool) "i1 range" false (Value.matches Attr_type.I1 (Value.Int 200));
+  Alcotest.(check bool) "i4 ok" true (Value.matches Attr_type.I4 (Value.Int 200));
+  Alcotest.(check bool) "str vs c" true (Value.matches (Attr_type.C 5) (Value.Str "aa"));
+  Alcotest.(check bool) "time vs int" false (Value.matches Attr_type.Time (Value.Int 0))
+
+let test_hash_deterministic () =
+  Alcotest.(check int) "same value same hash"
+    (Value.hash (Value.Int 500)) (Value.hash (Value.Int 500));
+  (* Multiplicative hashing must spread 0..1023 over 128 buckets without
+     leaving any bucket empty or grossly overloaded. *)
+  let counts = Array.make 128 0 in
+  for i = 0 to 1023 do
+    let b = Value.hash (Value.Int i) mod 128 in
+    counts.(b) <- counts.(b) + 1
+  done;
+  Array.iteri
+    (fun b c ->
+      if c = 0 then Alcotest.failf "bucket %d empty" b;
+      if c > 24 then Alcotest.failf "bucket %d overloaded: %d" b c)
+    counts
+
+(* --- properties --- *)
+
+let value_type_gen : (Attr_type.t * Value.t) QCheck2.Gen.t =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun n -> (Attr_type.I4, Value.Int n)) (int_range (-1000000) 1000000);
+        map (fun n -> (Attr_type.I2, Value.Int n)) (int_range (-32768) 32767);
+        map (fun f -> (Attr_type.F8, Value.Float f)) (float_range (-1e6) 1e6);
+        map
+          (fun s -> (Attr_type.C 16, Value.Str s))
+          (string_size ~gen:(char_range 'a' 'z') (int_range 0 16));
+        map
+          (fun n -> (Attr_type.Time, Value.Time (Chronon.of_seconds n)))
+          (int_range 0 2000000000);
+      ])
+
+let prop_codec_round_trip =
+  QCheck2.Test.make ~name:"encode/decode round trip" ~count:500 value_type_gen
+    (fun (ty, v) -> Value.equal (encode_decode ty v) v)
+
+let prop_compare_total_within_ints =
+  QCheck2.Test.make ~name:"compare antisymmetric on ints" ~count:300
+    QCheck2.Gen.(pair (int_range (-1000) 1000) (int_range (-1000) 1000))
+    (fun (a, b) ->
+      Value.compare (Int a) (Int b) = -Value.compare (Int b) (Int a))
+
+let suites =
+  [
+    ( "value",
+      [
+        Alcotest.test_case "int codec" `Quick test_int_codec;
+        Alcotest.test_case "float codec" `Quick test_float_codec;
+        Alcotest.test_case "string codec" `Quick test_string_codec;
+        Alcotest.test_case "time codec" `Quick test_time_codec;
+        Alcotest.test_case "type mismatch" `Quick test_type_mismatch;
+        Alcotest.test_case "compare" `Quick test_compare;
+        Alcotest.test_case "coerce" `Quick test_coerce;
+        Alcotest.test_case "matches" `Quick test_matches;
+        Alcotest.test_case "hash spreads" `Quick test_hash_deterministic;
+        QCheck_alcotest.to_alcotest prop_codec_round_trip;
+        QCheck_alcotest.to_alcotest prop_compare_total_within_ints;
+      ] );
+  ]
