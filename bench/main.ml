@@ -437,15 +437,15 @@ let build_fig10 (conv_w : Workload.t) =
   let query_db =
     match Database.create ~start:after_evolution () with
     | Ok db -> db
-    | Error e -> failwith e
+    | Error e -> Tdb_storage.Tdb_error.internal "bench setup: %s" e
   in
   let adopt rel var =
     (match Database.adopt_relation query_db rel with
     | Ok () -> ()
-    | Error e -> failwith e);
+    | Error e -> Tdb_storage.Tdb_error.internal "bench setup: %s" e);
     match Database.set_range query_db ~var ~rel:(Relation_file.name rel) with
     | Ok () -> ()
-    | Error e -> failwith e
+    | Error e -> Tdb_storage.Tdb_error.internal "bench setup: %s" e
   in
   adopt (Two_level_store.primary store_h_clustered) "h";
   adopt (Two_level_store.primary store_i_clustered) "i";
@@ -547,8 +547,8 @@ let measure_query_db db src =
   Database.reset_io db;
   match Engine.execute db src with
   | Ok [ Engine.Rows { io; _ } ] -> io.Tdb_query.Executor.input_reads
-  | Ok _ -> failwith "expected rows"
-  | Error e -> failwith e
+  | Ok _ -> Tdb_storage.Tdb_error.internal "expected rows: %s" src
+  | Error e -> Tdb_storage.Tdb_error.internal "bench query failed: %s" e
 
 let figure10 conv env =
   print_endline "== Figure 10: Improvements for the temporal database ==";
@@ -803,7 +803,7 @@ let timing (temporal100_w : Workload.t) env =
 
 (* ------------------------------------------------------------------ *)
 
-let () =
+let run () =
   let t0 = Unix.gettimeofday () in
   let timed label f =
     let s = Unix.gettimeofday () in
@@ -850,3 +850,12 @@ let () =
    with e ->
      Printf.printf "(timing section skipped: %s)\n\n" (Printexc.to_string e));
   Printf.printf "Total benchmark time: %.1f s\n" (Unix.gettimeofday () -. t0)
+
+(* Storage-level failures — corruption, I/O — stop the benchmark with a
+   class-specific exit code and a one-line message, never a backtrace. *)
+let () =
+  let module Tdb_error = Tdb_storage.Tdb_error in
+  try run ()
+  with Tdb_error.Error (cls, msg) ->
+    Printf.eprintf "fatal %s\n" (Tdb_error.message cls msg);
+    exit (Tdb_error.exit_code cls)

@@ -13,7 +13,9 @@
 
 module Engine = Tdb_core.Engine
 module Database = Tdb_core.Database
+module Tdb_error = Tdb_core.Tdb_error
 module Relation_file = Tdb_storage.Relation_file
+module Disk = Tdb_storage.Disk
 module Schema = Tdb_relation.Schema
 module Chronon = Tdb_time.Chronon
 module Clock = Tdb_time.Clock
@@ -42,8 +44,12 @@ let print_outcome = function
 
 let run_source db src =
   match Engine.execute db src with
-  | Ok outcomes -> List.iter print_outcome outcomes
-  | Error e -> Printf.printf "error: %s\n" e
+  | Ok outcomes ->
+      List.iter print_outcome outcomes;
+      true
+  | Error e ->
+      Printf.printf "error: %s\n" e;
+      false
 
 let list_relations db =
   match Database.relation_names db with
@@ -127,18 +133,28 @@ let repl db =
         if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';'
         then begin
           Buffer.clear buffer;
-          run_source db trimmed
+          ignore (run_source db trimmed)
         end;
         loop ()
   in
   loop ()
 
-let main dir script command =
+let warn_recoveries db =
+  List.iter
+    (fun (name, r) ->
+      Printf.eprintf "warning: recovered relation %s: %s\n%!" name
+        (Format.asprintf "%a" Disk.pp_recovery r))
+    (Database.recoveries db)
+
+let statement_exit ok = if ok then 0 else Tdb_error.exit_code Tdb_error.Query
+
+let run_session dir script command =
   match Database.create ?dir () with
   | Error e ->
       Printf.eprintf "cannot open database: %s\n" e;
       1
   | Ok db ->
+      warn_recoveries db;
       let finish code =
         Database.close db;
         code
@@ -154,15 +170,20 @@ let main dir script command =
             let n = in_channel_length ic in
             let src = really_input_string ic n in
             close_in ic;
-            run_source db src;
-            finish 0
+            finish (statement_exit (run_source db src))
           end
-      | None, Some stmt ->
-          run_source db stmt;
-          finish 0
+      | None, Some stmt -> finish (statement_exit (run_source db stmt))
       | None, None ->
           repl db;
           finish 0)
+
+(* Storage-level failures — corruption, I/O — stop the process with a
+   class-specific exit code and a one-line message, never a backtrace. *)
+let main dir script command =
+  try run_session dir script command
+  with Tdb_error.Error (cls, msg) ->
+    Printf.eprintf "fatal %s\n" (Tdb_error.message cls msg);
+    Tdb_error.exit_code cls
 
 open Cmdliner
 

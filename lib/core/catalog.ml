@@ -84,11 +84,11 @@ let decode_entry line =
   | _ -> Error (Printf.sprintf "bad catalog line %S" line)
 
 let save ~path entries =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      List.iter (fun e -> output_string oc (encode_entry e ^ "\n")) entries)
+  (* Atomically: the catalog is the database's identity — a crash during
+     an in-place rewrite would orphan every relation. *)
+  let buf = Buffer.create 256 in
+  List.iter (fun e -> Buffer.add_string buf (encode_entry e ^ "\n")) entries;
+  Tdb_storage.Atomic_file.write ~path ~content:(Buffer.contents buf)
 
 let load ~path =
   if not (Sys.file_exists path) then Ok []

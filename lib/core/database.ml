@@ -2,14 +2,19 @@ module Schema = Tdb_relation.Schema
 module Relation_file = Tdb_storage.Relation_file
 module Buffer_pool = Tdb_storage.Buffer_pool
 module Io_stats = Tdb_storage.Io_stats
+module Disk = Tdb_storage.Disk
+module Fault = Tdb_storage.Fault
+module Atomic_file = Tdb_storage.Atomic_file
 module Clock = Tdb_time.Clock
 module Semck = Tdb_tquel.Semck
 
 type t = {
   dir : string option;
+  fault : Fault.t option;
   clock : Clock.t;
   relations : (string, Relation_file.t) Hashtbl.t;
   mutable range_decls : (string * string) list;
+  mutable recoveries : (string * Disk.recovery) list;
 }
 
 let norm = Schema.norm_name
@@ -18,14 +23,12 @@ let clock_path dir = Filename.concat dir "clock.tdb"
 let pages_path dir name = Filename.concat dir (name ^ ".pages")
 
 (* The clock must persist: a reopened database may never stamp earlier
-   than its existing data. *)
+   than its existing data.  Written atomically — a torn clock would
+   otherwise reset the whole database's notion of "now". *)
 let save_clock dir clock =
-  let oc = open_out (clock_path dir) in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc
-        (string_of_int (Tdb_time.Chronon.to_seconds (Clock.now clock))))
+  Atomic_file.write ~path:(clock_path dir)
+    ~content:
+      (string_of_int (Tdb_time.Chronon.to_seconds (Clock.now clock)))
 
 let load_clock dir =
   if not (Sys.file_exists (clock_path dir)) then None
@@ -57,9 +60,18 @@ let save_catalog t =
   | None -> ()
   | Some dir -> Catalog.save ~path:(catalog_path dir) (entries t)
 
-let create ?dir ?start () =
+let create ?dir ?fault ?start () =
   let clock = Clock.create ?start () in
-  let t = { dir; clock; relations = Hashtbl.create 16; range_decls = [] } in
+  let t =
+    {
+      dir;
+      fault;
+      clock;
+      relations = Hashtbl.create 16;
+      range_decls = [];
+      recoveries = [];
+    }
+  in
   match dir with
   | None -> Ok t
   | Some dir -> (
@@ -75,17 +87,27 @@ let create ?dir ?start () =
               when Tdb_time.Chronon.compare persisted (Clock.now clock) > 0 ->
                 Clock.set clock persisted
             | _ -> ());
+            (* Recovery-on-open: each relation file is validated (and a
+               torn tail repaired) as it is attached.  Unrepairable
+               corruption propagates as [Tdb_error.Error]. *)
             List.iter
               (fun (e : Catalog.entry) ->
                 let schema = Catalog.schema_of_entry e in
                 let rel =
-                  Relation_file.attach
+                  Relation_file.attach ?fault
                     ~backing:(`File (pages_path dir e.Catalog.name))
                     ~name:e.Catalog.name ~schema e.Catalog.meta
                 in
+                (match Relation_file.recovery rel with
+                | Some r when Disk.recovery_repaired r ->
+                    t.recoveries <- (e.Catalog.name, r) :: t.recoveries
+                | _ -> ());
                 Hashtbl.replace t.relations e.Catalog.name rel)
               es;
+            t.recoveries <- List.rev t.recoveries;
             Ok t)
+
+let recoveries t = t.recoveries
 
 let clock t = t.clock
 let now t = Clock.now t.clock
@@ -102,7 +124,7 @@ let create_relation t ~name schema =
       | None -> `Mem
       | Some dir -> `File (pages_path dir name)
     in
-    let rel = Relation_file.create ~backing ~name ~schema () in
+    let rel = Relation_file.create ~backing ?fault:t.fault ~name ~schema () in
     Hashtbl.replace t.relations name rel;
     save_catalog t;
     Ok rel
@@ -176,15 +198,19 @@ let semck_env t =
   }
 
 let sync t =
-  Hashtbl.iter
-    (fun _ rel -> Buffer_pool.flush (Relation_file.pool rel))
-    t.relations;
+  (* Data pages first (flush + fsync + epoch bump), then the metadata that
+     describes them, each file replaced atomically. *)
+  Hashtbl.iter (fun _ rel -> Relation_file.sync rel) t.relations;
   save_catalog t;
   match t.dir with None -> () | Some dir -> save_clock dir t.clock
 
 let close t =
   sync t;
   Hashtbl.iter (fun _ rel -> Relation_file.close rel) t.relations;
+  Hashtbl.reset t.relations
+
+let abandon t =
+  Hashtbl.iter (fun _ rel -> Relation_file.abandon rel) t.relations;
   Hashtbl.reset t.relations
 
 let reset_io t =

@@ -9,10 +9,29 @@
 
 type t
 
-val create : ?dir:string -> ?start:Tdb_time.Chronon.t -> unit -> (t, string) result
+val create :
+  ?dir:string ->
+  ?fault:Tdb_storage.Fault.t ->
+  ?start:Tdb_time.Chronon.t ->
+  unit ->
+  (t, string) result
 (** In-memory, or rooted at [dir] (created if missing; reopened if it
     already holds a catalog).  [start] sets the clock's origin for fresh
-    databases (default 1980-01-01, as in the paper's benchmark). *)
+    databases (default 1980-01-01, as in the paper's benchmark).
+
+    Reopening runs a recovery pass over every relation file: checksums are
+    validated, torn tails truncated, dangling overflow pointers cleared;
+    what was repaired is reported by {!recoveries}.  Damage that cannot be
+    repaired (a checksum failure that is not a torn tail, a file shorter
+    than its catalog accounting) raises {!Tdb_storage.Tdb_error.Error}
+    with class [Corruption].
+
+    [fault] attaches a deterministic fault-injection plan to every
+    relation file opened by this database — the crash-consistency
+    harness's entry point. *)
+
+val recoveries : t -> (string * Tdb_storage.Disk.recovery) list
+(** Relations whose backing file needed repair at open, oldest first. *)
 
 val clock : t -> Tdb_time.Clock.t
 val now : t -> Tdb_time.Chronon.t
@@ -39,10 +58,14 @@ val ranges : t -> (string * string) list
 val semck_env : t -> Tdb_tquel.Semck.env
 
 val sync : t -> unit
-(** Flush all relations and rewrite the catalog (no-op for in-memory
-    databases' catalog, still flushes pools). *)
+(** Checkpoint: flush and fsync all relations, then atomically rewrite the
+    catalog and clock files (in-memory databases only flush pools). *)
 
 val close : t -> unit
+
+val abandon : t -> unit
+(** Drops every relation's file descriptor {e without} flushing or
+    syncing — simulated process death, for the fault-injection harness. *)
 
 val reset_io : t -> unit
 (** Reset every relation's I/O counters and empty the buffer pools —

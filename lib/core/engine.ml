@@ -48,6 +48,11 @@ let source_for db var =
       | None -> Error (Printf.sprintf "relation %S does not exist" rel_name)
       | Some rel -> Ok { Executor.var; rel })
 
+(* Query-class failures become [Error] results: the statement was bad, the
+   database is fine.  Corruption / Io / Internal errors propagate as
+   [Tdb_error.Error] so the boundary (CLI, bench) can stop with a
+   class-specific exit code instead of misreporting storage damage as a
+   query problem. *)
 let run_protected f =
   match f () with
   | v -> Ok v
@@ -55,6 +60,7 @@ let run_protected f =
   | exception Update_executor.Execution_error msg -> Error msg
   | exception Tdb_query.Eval.Eval_error msg -> Error msg
   | exception Invalid_argument msg -> Error msg
+  | exception Tdb_error.Error (Tdb_error.Query, msg) -> Error msg
 
 (* --- copy: a simple tab-separated batch format over all attributes --- *)
 

@@ -1,0 +1,4 @@
+(* Re-export of the storage layer's structured error type so engine-level
+   code and the CLI can speak of [Tdb_core.Tdb_error] without reaching
+   into [Tdb_storage]. *)
+include Tdb_storage.Tdb_error

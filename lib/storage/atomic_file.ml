@@ -1,0 +1,39 @@
+let fsync_dir dir =
+  (* Persist the rename itself.  Directory fsync is not portable
+     everywhere; failing to do it narrows durability, never safety. *)
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let write ~path ~content =
+  let tmp = path ^ ".tmp" in
+  (match
+     Unix.openfile tmp
+       [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+       0o644
+   with
+  | exception Unix.Unix_error (e, op, _) ->
+      Tdb_error.io "%s: %s during %s" tmp (Unix.error_message e) op
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let buf = Bytes.unsafe_of_string content in
+          let rec go off =
+            if off < Bytes.length buf then
+              go (off + Unix.write fd buf off (Bytes.length buf - off))
+          in
+          (try
+             go 0;
+             Unix.fsync fd
+           with Unix.Unix_error (e, op, _) ->
+             (try Sys.remove tmp with Sys_error _ -> ());
+             Tdb_error.io "%s: %s during %s" tmp (Unix.error_message e) op)));
+  (try Unix.rename tmp path
+   with Unix.Unix_error (e, op, _) ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     Tdb_error.io "rename %s -> %s: %s during %s" tmp path
+       (Unix.error_message e) op);
+  fsync_dir (Filename.dirname path)

@@ -1,0 +1,9 @@
+(** Atomic small-file replacement for metadata (catalog, clock).
+
+    [write ~path content] writes [content] to [path ^ ".tmp"], fsyncs it,
+    renames it over [path], then fsyncs the directory.  A crash at any
+    point leaves either the old file or the new one — never a partially
+    written mixture, which is what the previous in-place writers risked.
+    Raises {!Tdb_error.Io} on failure (the temp file is removed). *)
+
+val write : path:string -> content:string -> unit

@@ -60,10 +60,16 @@ let load t id =
   | None ->
       let f = victim t in
       flush_frame t f;
-      f.page_id <- id;
-      f.data <- Disk.read_page t.disk id;
-      Io_stats.count_read t.stats;
+      (* Empty the frame before the read: if the disk raises (checksum
+         failure, I/O error), the frame must not claim to hold page [id]
+         with the evicted page's bytes still in it. *)
+      f.page_id <- -1;
+      f.data <- Bytes.empty;
       f.dirty <- false;
+      let data = Disk.read_page t.disk id in
+      Io_stats.count_read t.stats;
+      f.page_id <- id;
+      f.data <- data;
       touch t f;
       f
 
@@ -87,6 +93,10 @@ let modify t id fn =
   fn f.data
 
 let flush t = Array.iter (flush_frame t) t.frames
+
+let sync t =
+  flush t;
+  Disk.fsync t.disk
 
 let invalidate t =
   flush t;

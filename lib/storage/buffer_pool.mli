@@ -33,6 +33,9 @@ val modify : t -> int -> (bytes -> 'a) -> 'a
 val flush : t -> unit
 (** Writes back all dirty frames (counting writes) but keeps them resident. *)
 
+val sync : t -> unit
+(** {!flush}, then fsyncs the backing disk: the checkpoint primitive. *)
+
 val invalidate : t -> unit
 (** Flushes, then empties the pool (used after [modify]/rebuild). *)
 

@@ -1,0 +1,26 @@
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc32.update: range out of bounds";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (Bytes.unsafe_get buf i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let digest ?(pos = 0) ?len buf =
+  let len = match len with Some l -> l | None -> Bytes.length buf - pos in
+  update 0 buf ~pos ~len
+
+let string s = digest (Bytes.unsafe_of_string s)

@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3).  Used for page checksums; values fit in 32 bits
+    and are always non-negative OCaml ints. *)
+
+val update : int -> bytes -> pos:int -> len:int -> int
+(** [update crc buf ~pos ~len] extends a running checksum over a byte
+    range.  Raises [Invalid_argument] if the range is out of bounds. *)
+
+val digest : ?pos:int -> ?len:int -> bytes -> int
+(** Checksum of a byte range (defaults: the whole buffer). *)
+
+val string : string -> int

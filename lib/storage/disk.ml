@@ -1,18 +1,141 @@
-type backend =
-  | Mem of { mutable pages : bytes array; mutable used : int }
-  | File of { fd : Unix.file_descr; mutable npages : int }
+type mem_store = { mutable pages : bytes array; mutable used : int }
 
-type t = { backend : backend }
+type file_store = {
+  fd : Unix.file_descr;
+  mutable npages : int;
+  path : string;
+}
 
-let create_mem () = { backend = Mem { pages = [||]; used = 0 } }
+type backend = Mem of mem_store | File of file_store
 
-let open_file path =
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  let len = (Unix.fstat fd).Unix.st_size in
-  if len mod Page.size <> 0 then (
-    Unix.close fd;
-    failwith (Printf.sprintf "Disk.open_file: %s is not page-aligned" path));
-  { backend = File { fd; npages = len / Page.size } }
+type recovery = {
+  pages_scanned : int;
+  tail_bytes_dropped : int;
+  torn_pages_dropped : int;
+  overflows_cleared : int;
+  max_epoch : int;
+}
+
+let recovery_repaired r =
+  r.tail_bytes_dropped > 0 || r.torn_pages_dropped > 0
+  || r.overflows_cleared > 0
+
+let pp_recovery ppf r =
+  Fmt.pf ppf "scanned %d page(s)" r.pages_scanned;
+  if r.tail_bytes_dropped > 0 then
+    Fmt.pf ppf ", dropped %d unaligned trailing byte(s)" r.tail_bytes_dropped;
+  if r.torn_pages_dropped > 0 then
+    Fmt.pf ppf ", truncated %d torn page(s)" r.torn_pages_dropped;
+  if r.overflows_cleared > 0 then
+    Fmt.pf ppf ", cleared %d dangling overflow pointer(s)" r.overflows_cleared
+
+type t = {
+  backend : backend;
+  fault : Fault.t option;
+  mutable epoch : int;
+  mutable recovery : recovery option;
+}
+
+let describe t =
+  match t.backend with Mem _ -> "<mem>" | File f -> f.path
+
+let epoch t = t.epoch
+let set_epoch t e = t.epoch <- e
+let bump_epoch t = t.epoch <- t.epoch + 1
+let recovery_report t = t.recovery
+
+let wrap_unix path f =
+  try f ()
+  with Unix.Unix_error (e, op, _) ->
+    Tdb_error.io "%s: %s during %s" path (Unix.error_message e) op
+
+(* Raw page I/O on a file descriptor: no fault injection, no checksum
+   interpretation.  Used by the runtime paths (below a fault filter) and by
+   recovery (which must see the bytes as they are). *)
+
+let raw_read_exactly fd buf ~len =
+  let rec go off =
+    if off < len then begin
+      let n = Unix.read fd buf off (len - off) in
+      if n = 0 then
+        Tdb_error.io "short read: got %d of %d bytes (truncated file?)" off len;
+      go (off + n)
+    end
+  in
+  go 0
+
+let raw_write_exactly fd buf ~len =
+  let rec go off =
+    if off < len then go (off + Unix.write fd buf off (len - off))
+  in
+  go 0
+
+let raw_read_page fd id buf =
+  ignore (Unix.lseek fd (id * Page.size) Unix.SEEK_SET);
+  raw_read_exactly fd buf ~len:Page.size
+
+let raw_write_page fd id buf ~len =
+  ignore (Unix.lseek fd (id * Page.size) Unix.SEEK_SET);
+  raw_write_exactly fd buf ~len
+
+(* --- fault-filtered primitives ------------------------------------- *)
+
+let faulty_read t ~len =
+  match t.fault with
+  | None -> `Ok
+  | Some f -> (
+      match Fault.on_read f ~len with
+      | `Ok -> `Ok
+      | `Eio -> Tdb_error.io "%s: injected EIO on read" (describe t)
+      | `Short n -> `Short n)
+
+let fetch_page t id =
+  match t.backend with
+  | Mem m -> (
+      match faulty_read t ~len:Page.size with
+      | `Ok -> Bytes.copy m.pages.(id)
+      | `Short n ->
+          Tdb_error.io "%s: short read: got %d of %d bytes" (describe t) n
+            Page.size)
+  | File f ->
+      let buf = Bytes.create Page.size in
+      wrap_unix f.path (fun () ->
+          match faulty_read t ~len:Page.size with
+          | `Ok -> raw_read_page f.fd id buf
+          | `Short n ->
+              (* deliver the prefix the kernel managed, then fail as a
+                 real short read would *)
+              ignore (Unix.lseek f.fd (id * Page.size) Unix.SEEK_SET);
+              if n > 0 then raw_read_exactly f.fd buf ~len:n;
+              Tdb_error.io "%s: short read: got %d of %d bytes" f.path n
+                Page.size);
+      buf
+
+(* Writes a sealed page image through the fault filter.  [write_prefix n]
+   must persist the first [n] bytes of the image. *)
+let faulty_write t ~write_prefix sealed =
+  let len = Bytes.length sealed in
+  match t.fault with
+  | None -> write_prefix len
+  | Some f -> (
+      match Fault.on_write f ~len with
+      | `Ok -> write_prefix len
+      | `Eio -> Tdb_error.io "%s: injected EIO on write" (describe t)
+      | `Torn n -> write_prefix n
+      | `Crash n ->
+          write_prefix n;
+          raise Fault.Crashed
+      | `Crash_after ->
+          write_prefix len;
+          raise Fault.Crashed)
+
+let create_mem ?fault () =
+  {
+    backend = Mem { pages = [||]; used = 0 };
+    fault;
+    epoch = 0;
+    recovery = None;
+  }
 
 let npages t =
   match t.backend with Mem m -> m.used | File f -> f.npages
@@ -22,24 +145,18 @@ let check_id t id =
     invalid_arg (Printf.sprintf "Disk: page id %d out of range (npages=%d)" id
                    (npages t))
 
-let read_exactly fd buf =
-  let rec go off =
-    if off < Bytes.length buf then begin
-      let n = Unix.read fd buf off (Bytes.length buf - off) in
-      if n = 0 then failwith "Disk: short read";
-      go (off + n)
-    end
-  in
-  go 0
+let seal_copy t page =
+  let sealed = Bytes.copy page in
+  Page.seal ~epoch:t.epoch sealed;
+  sealed
 
-let write_exactly fd buf =
-  let rec go off =
-    if off < Bytes.length buf then begin
-      let n = Unix.write fd buf off (Bytes.length buf - off) in
-      go (off + n)
-    end
-  in
-  go 0
+let mem_store m id sealed n =
+  (* a torn write leaves the old bytes beyond the torn prefix *)
+  if n = Bytes.length sealed then m.pages.(id) <- sealed
+  else begin
+    let dst = m.pages.(id) in
+    Bytes.blit sealed 0 dst 0 n
+  end
 
 let allocate t =
   match t.backend with
@@ -50,35 +167,42 @@ let allocate t =
         Array.blit m.pages 0 pages 0 m.used;
         m.pages <- pages
       end;
-      m.pages.(m.used) <- Page.create ();
-      m.used <- m.used + 1;
-      m.used - 1
+      let id = m.used in
+      m.pages.(id) <- Page.create ();
+      m.used <- id + 1;
+      let sealed = seal_copy t (Page.create ()) in
+      faulty_write t sealed ~write_prefix:(fun n -> mem_store m id sealed n);
+      id
   | File f ->
       let id = f.npages in
-      ignore (Unix.lseek f.fd (id * Page.size) Unix.SEEK_SET);
-      write_exactly f.fd (Page.create ());
+      let sealed = seal_copy t (Page.create ()) in
+      wrap_unix f.path (fun () ->
+          faulty_write t sealed ~write_prefix:(fun n ->
+              if n > 0 then raw_write_page f.fd id sealed ~len:n));
       f.npages <- id + 1;
       id
 
 let read_page t id =
   check_id t id;
-  match t.backend with
-  | Mem m -> Bytes.copy m.pages.(id)
-  | File f ->
-      let buf = Bytes.create Page.size in
-      ignore (Unix.lseek f.fd (id * Page.size) Unix.SEEK_SET);
-      read_exactly f.fd buf;
-      buf
+  let buf = fetch_page t id in
+  if not (Page.check buf) then
+    Tdb_error.corruption
+      "%s: page %d failed its checksum (stored epoch %d)" (describe t) id
+      (Page.get_epoch buf);
+  buf
 
 let write_page t id page =
   check_id t id;
   if Bytes.length page <> Page.size then
     invalid_arg "Disk.write_page: wrong page size";
+  let sealed = seal_copy t page in
   match t.backend with
-  | Mem m -> m.pages.(id) <- Bytes.copy page
+  | Mem m ->
+      faulty_write t sealed ~write_prefix:(fun n -> mem_store m id sealed n)
   | File f ->
-      ignore (Unix.lseek f.fd (id * Page.size) Unix.SEEK_SET);
-      write_exactly f.fd page
+      wrap_unix f.path (fun () ->
+          faulty_write t sealed ~write_prefix:(fun n ->
+              if n > 0 then raw_write_page f.fd id sealed ~len:n))
 
 let truncate t =
   match t.backend with
@@ -86,11 +210,107 @@ let truncate t =
       m.pages <- [||];
       m.used <- 0
   | File f ->
-      Unix.ftruncate f.fd 0;
+      wrap_unix f.path (fun () -> Unix.ftruncate f.fd 0);
       f.npages <- 0
+
+let fsync t =
+  match t.backend with
+  | Mem _ -> ()
+  | File f -> wrap_unix f.path (fun () -> Unix.fsync f.fd)
 
 let close t =
   match t.backend with Mem _ -> () | File f -> Unix.close f.fd
 
 let is_file_backed t =
   match t.backend with Mem _ -> false | File _ -> true
+
+(* --- recovery ------------------------------------------------------- *)
+
+let run_recovery t ~tail_bytes =
+  match t.backend with
+  | Mem _ -> ()
+  | File f ->
+      wrap_unix f.path (fun () ->
+          if tail_bytes > 0 then Unix.ftruncate f.fd (f.npages * Page.size);
+          let n = f.npages in
+          let buf = Bytes.create Page.size in
+          let overflow = Array.make (max n 1) None in
+          let max_epoch = ref 0 in
+          let bad = ref [] in
+          for id = 0 to n - 1 do
+            raw_read_page f.fd id buf;
+            if Page.check buf then begin
+              max_epoch := max !max_epoch (Page.get_epoch buf);
+              overflow.(id) <- Page.get_overflow buf
+            end
+            else bad := id :: !bad
+          done;
+          let torn =
+            match List.rev !bad with
+            | [] -> 0
+            | first_bad :: _ ->
+                (* Only a contiguous tail of bad pages is explainable as a
+                   torn append; a bad page with intact pages after it is
+                   damage we cannot undo without a log. *)
+                if List.length !bad = n - first_bad then begin
+                  Unix.ftruncate f.fd (first_bad * Page.size);
+                  f.npages <- first_bad;
+                  n - first_bad
+                end
+                else
+                  Tdb_error.corruption
+                    "%s: page %d failed its checksum but later pages are \
+                     intact; not a torn tail, refusing to repair"
+                    f.path first_bad
+          in
+          let cleared = ref 0 in
+          for id = 0 to f.npages - 1 do
+            match overflow.(id) with
+            | Some next when next >= f.npages ->
+                raw_read_page f.fd id buf;
+                Page.set_overflow buf None;
+                Page.seal ~epoch:(Page.get_epoch buf) buf;
+                raw_write_page f.fd id buf ~len:Page.size;
+                incr cleared
+            | _ -> ()
+          done;
+          if tail_bytes > 0 || torn > 0 || !cleared > 0 then Unix.fsync f.fd;
+          t.epoch <- !max_epoch + 1;
+          t.recovery <-
+            Some
+              {
+                pages_scanned = n;
+                tail_bytes_dropped = tail_bytes;
+                torn_pages_dropped = torn;
+                overflows_cleared = !cleared;
+                max_epoch = !max_epoch;
+              })
+
+let open_file ?fault ?(recover = false) path =
+  let fd =
+    try
+      Unix.openfile path
+        [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ]
+        0o644
+    with Unix.Unix_error (e, op, _) ->
+      Tdb_error.io "%s: %s during %s" path (Unix.error_message e) op
+  in
+  let len = (Unix.fstat fd).Unix.st_size in
+  let tail = len mod Page.size in
+  if tail <> 0 && not recover then begin
+    Unix.close fd;
+    Tdb_error.corruption
+      "%s: size %d is not page-aligned (%d trailing bytes); reopen with \
+       recovery to truncate the torn tail"
+      path len tail
+  end;
+  let t =
+    {
+      backend = File { fd; npages = len / Page.size; path };
+      fault;
+      epoch = 0;
+      recovery = None;
+    }
+  in
+  if recover then run_recovery t ~tail_bytes:tail;
+  t

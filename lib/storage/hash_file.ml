@@ -39,6 +39,15 @@ let build pool ~record_size ~key_of ~fillfactor records =
 let attach pool ~record_size ~key_of ~fillfactor ~buckets =
   check_fillfactor fillfactor;
   if buckets < 1 then invalid_arg "Hash_file.attach: buckets must be >= 1";
+  (* [build] materializes every primary bucket page up front, so a healthy
+     stored hash file can never be shorter than its bucket count; one that
+     is lost part of its primary area (e.g. to a torn-tail truncation). *)
+  let npages = Buffer_pool.npages pool in
+  if npages < buckets then
+    Tdb_error.corruption
+      "hash file has %d page(s) but needs %d primary bucket page(s); the \
+       primary area was truncated"
+      npages buckets;
   { pf = Pfile.create pool ~record_size; key_of; buckets; fillfactor }
 
 let buckets t = t.buckets

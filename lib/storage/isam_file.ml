@@ -125,6 +125,22 @@ let build pool ~record_size ~key_of ~key_type ~fillfactor records =
 let attach pool ~record_size ~key_of ~key_type ~fillfactor ~ndata ~levels =
   check_fillfactor fillfactor;
   if ndata < 1 then invalid_arg "Isam_file.attach: ndata must be >= 1";
+  (* The catalog's page accounting must fit inside the stored file: a file
+     shorter than its primary area or directory extent lost pages (e.g. to
+     a torn-tail truncation) and cannot be served. *)
+  let npages = Buffer_pool.npages pool in
+  let dir_cap = Page.capacity ~record_size:(Attr_type.size key_type) in
+  let required =
+    List.fold_left
+      (fun acc (first_page, entry_count) ->
+        max acc (first_page + ((entry_count + dir_cap - 1) / dir_cap)))
+      ndata levels
+  in
+  if npages < required then
+    Tdb_error.corruption
+      "isam file has %d page(s) but its catalog metadata needs %d (data \
+       pages + directory); the file was truncated"
+      npages required;
   let pf = Pfile.create pool ~record_size in
   let dir = Pfile.create pool ~record_size:(Attr_type.size key_type) in
   let zero =

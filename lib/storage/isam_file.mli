@@ -4,7 +4,7 @@
     [capacity * fillfactor] records each, and builds a static multi-level
     directory above them.  Directory entries hold keys only — children are
     physically contiguous, so child pointers are implicit (as in Ingres).
-    With 4-byte keys a directory page holds 170 entries, so 128 data pages
+    With 4-byte keys a directory page holds 168 entries, so 128 data pages
     need one directory level and 256 need two, reproducing the fixed costs
     of Figure 9 (1 at 100% loading, 2 at 50%).
 

@@ -1,5 +1,16 @@
 let size = 1024
-let trailer = 4
+
+(* Trailer layout, from the end of the page backwards:
+     [size-12 .. size-9]  overflow page id + 1 (0 = none)
+     [size-8  .. size-5]  write epoch (checkpoint generation of the writer)
+     [size-4  .. size-1]  CRC-32 of bytes [0, size-4)  *)
+let checksum_bytes = 4
+let epoch_bytes = 4
+let overflow_bytes = 4
+let trailer = overflow_bytes + epoch_bytes + checksum_bytes
+let overflow_offset = size - trailer
+let epoch_offset = size - checksum_bytes - epoch_bytes
+let checksum_offset = size - checksum_bytes
 let slot_header = 2
 
 let capacity ~record_size =
@@ -13,13 +24,28 @@ let capacity ~record_size =
 let create () = Bytes.make size '\000'
 
 let get_overflow page =
-  match Int32.to_int (Bytes.get_int32_be page (size - trailer)) with
+  match Int32.to_int (Bytes.get_int32_be page overflow_offset) with
   | 0 -> None
   | n -> Some (n - 1)
 
 let set_overflow page next =
   let stored = match next with None -> 0 | Some id -> id + 1 in
-  Bytes.set_int32_be page (size - trailer) (Int32.of_int stored)
+  Bytes.set_int32_be page overflow_offset (Int32.of_int stored)
+
+let get_epoch page =
+  Int32.to_int (Bytes.get_int32_be page epoch_offset) land 0xFFFFFFFF
+
+let stored_checksum page =
+  Int32.to_int (Bytes.get_int32_be page checksum_offset) land 0xFFFFFFFF
+
+let seal ~epoch page =
+  Bytes.set_int32_be page epoch_offset (Int32.of_int epoch);
+  Bytes.set_int32_be page checksum_offset
+    (Int32.of_int (Crc32.digest page ~pos:0 ~len:checksum_offset))
+
+let check page =
+  Bytes.length page = size
+  && stored_checksum page = Crc32.digest page ~pos:0 ~len:checksum_offset
 
 let slot_offset ~record_size slot = slot * (record_size + slot_header)
 

@@ -48,9 +48,11 @@ let key_extractor schema key_attr =
   let off = attr_offset schema key_attr in
   fun record -> Value.decode ty record off
 
-let create ?(frames = 1) ?(backing = `Mem) ~name ~schema () =
+let make ~frames ~backing ~fault ~recover ~name ~schema =
   let disk =
-    match backing with `Mem -> Disk.create_mem () | `File p -> Disk.open_file p
+    match backing with
+    | `Mem -> Disk.create_mem ?fault ()
+    | `File p -> Disk.open_file ?fault ~recover p
   in
   let stats = Io_stats.create () in
   let pool = Buffer_pool.create ~frames disk stats in
@@ -65,6 +67,9 @@ let create ?(frames = 1) ?(backing = `Mem) ~name ~schema () =
     org = Heap;
     impl = Heap_impl (Heap_file.attach pool ~record_size);
   }
+
+let create ?(frames = 1) ?(backing = `Mem) ?fault ~name ~schema () =
+  make ~frames ~backing ~fault ~recover:false ~name ~schema
 
 let name t = t.name
 let schema t = t.schema
@@ -217,8 +222,8 @@ let org_meta t =
             }
       | _ -> assert false)
 
-let attach ?(frames = 1) ~backing ~name ~schema meta =
-  let t = create ~frames ~backing ~name ~schema () in
+let attach ?(frames = 1) ?fault ?(recover = true) ~backing ~name ~schema meta =
+  let t = make ~frames ~backing ~fault ~recover ~name ~schema in
   (match meta with
   | Heap_meta -> ()
   | Hash_meta { key_attr; fillfactor; buckets } ->
@@ -244,6 +249,16 @@ let set_first_fit t v =
   | Hash_impl h -> Pfile.set_first_fit (Hash_file.pfile h) v
   | Isam_impl i -> Pfile.set_first_fit (Isam_file.pfile i) v
 
+let recovery t = Disk.recovery_report t.disk
+
+let sync t =
+  Buffer_pool.sync t.pool;
+  (* checkpoint boundary: pages written from here on carry the next epoch *)
+  Disk.bump_epoch t.disk
+
 let close t =
   Buffer_pool.flush t.pool;
+  Disk.fsync t.disk;
   Disk.close t.disk
+
+let abandon t = Disk.close t.disk

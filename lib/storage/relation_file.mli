@@ -18,11 +18,13 @@ type t
 val create :
   ?frames:int ->
   ?backing:[ `Mem | `File of string ] ->
+  ?fault:Fault.t ->
   name:string ->
   schema:Tdb_relation.Schema.t ->
   unit ->
   t
-(** A new empty heap relation. *)
+(** A new empty heap relation.  [fault] attaches a fault-injection plan to
+    the backing disk (see {!Fault}). *)
 
 val name : t -> string
 val schema : t -> Tdb_relation.Schema.t
@@ -82,12 +84,22 @@ val org_meta : t -> org_meta
 
 val attach :
   ?frames:int ->
+  ?fault:Fault.t ->
+  ?recover:bool ->
   backing:[ `Mem | `File of string ] ->
   name:string ->
   schema:Tdb_relation.Schema.t ->
   org_meta ->
   t
-(** Re-opens a stored relation from its catalog metadata. *)
+(** Re-opens a stored relation from its catalog metadata.  By default
+    ([recover] = true) the backing file goes through the disk's recovery
+    pass first (torn tails truncated, checksums validated — see
+    {!Disk.open_file}); the findings are available via {!recovery}.
+    Raises {!Tdb_error.Error} with class [Corruption] if the file is
+    damaged beyond repair or too short for the catalog's accounting. *)
+
+val recovery : t -> Disk.recovery option
+(** The recovery report from {!attach}, if a pass ran and found work. *)
 
 val set_first_fit : t -> bool -> unit
 (** Switches the overflow placement policy of the underlying file (see
@@ -97,5 +109,13 @@ val attr_offset : Tdb_relation.Schema.t -> int -> int
 (** Byte offset of attribute [i] within an encoded tuple (exposed for index
     builders). *)
 
+val sync : t -> unit
+(** Flushes the pool, fsyncs the backing file, and advances the write
+    epoch: the per-relation checkpoint. *)
+
 val close : t -> unit
-(** Flushes and closes the backing disk. *)
+(** Flushes, fsyncs and closes the backing disk. *)
+
+val abandon : t -> unit
+(** Closes the backing file descriptor {e without} flushing — the
+    simulated-crash teardown used by the fault-injection harness. *)

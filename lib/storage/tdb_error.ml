@@ -1,0 +1,24 @@
+type err_class = Corruption | Io | Query | Internal
+
+exception Error of err_class * string
+
+let class_to_string = function
+  | Corruption -> "corruption"
+  | Io -> "io"
+  | Query -> "query"
+  | Internal -> "internal"
+
+(* Exit codes for the CLI and bench: 0 ok, 1 usage, then one per class. *)
+let exit_code = function Query -> 2 | Corruption -> 3 | Io -> 4 | Internal -> 5
+
+let error cls fmt =
+  Printf.ksprintf (fun msg -> raise (Error (cls, msg))) fmt
+
+let corruption fmt = error Corruption fmt
+let io fmt = error Io fmt
+let query fmt = error Query fmt
+let internal fmt = error Internal fmt
+
+let message cls msg = Printf.sprintf "%s error: %s" (class_to_string cls) msg
+
+let describe = function Error (cls, msg) -> Some (cls, msg) | _ -> None

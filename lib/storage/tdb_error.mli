@@ -1,0 +1,35 @@
+(** Structured engine errors.
+
+    Everything the storage and query layers can fail with is funnelled into
+    one exception carrying an error class, so boundaries (CLI, bench,
+    tests) can react by class — print and continue for a bad query, stop
+    with a distinct exit code for corruption — instead of matching on
+    [Failure] strings or letting backtraces escape. *)
+
+type err_class =
+  | Corruption  (** stored bytes fail validation: checksums, torn tails *)
+  | Io  (** the environment failed us: short reads, EIO, ENOSPC *)
+  | Query  (** the request was unserviceable; the database is fine *)
+  | Internal  (** invariant broken; a bug in this system *)
+
+exception Error of err_class * string
+
+val class_to_string : err_class -> string
+
+val exit_code : err_class -> int
+(** Process exit code for a fatal error of this class (2..5; 1 is reserved
+    for usage errors). *)
+
+val error : err_class -> ('a, unit, string, 'b) format4 -> 'a
+(** [error cls fmt ...] raises {!Error} with a formatted message. *)
+
+val corruption : ('a, unit, string, 'b) format4 -> 'a
+val io : ('a, unit, string, 'b) format4 -> 'a
+val query : ('a, unit, string, 'b) format4 -> 'a
+val internal : ('a, unit, string, 'b) format4 -> 'a
+
+val message : err_class -> string -> string
+(** Human-readable ["<class> error: <msg>"]. *)
+
+val describe : exn -> (err_class * string) option
+(** [Some (cls, msg)] for {!Error}, [None] for any other exception. *)

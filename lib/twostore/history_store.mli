@@ -13,7 +13,7 @@
       [ceil(k / capacity)] reads.
 
     Records are a stored tuple plus a 4-byte back-pointer, so a page holds
-    [floor(1020 / (tuple_size + 6))] versions — 7 temporal tuples, matching
+    [floor(1012 / (tuple_size + 6))] versions — 7 temporal tuples, matching
     the paper's "28 history versions into 4 pages". *)
 
 type t

@@ -1,7 +1,7 @@
 (** Secondary indexes on non-key attributes (paper, section 6).
 
     An index entry is 8 bytes: the 4-byte encoded key and a 4-byte tuple
-    id, so a page holds 102 entries (the paper counted 101).  Two
+    id, so a page holds 101 entries, exactly the paper's count.  Two
     structures are supported for the index file itself:
 
     - {e heap}: entries in arrival order; a lookup scans the whole index;

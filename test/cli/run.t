@@ -34,7 +34,34 @@ A script through a persistent database, reopened across invocations:
   +-----------+--------+---------------------+----------+
   (2 rows)
 
-Errors are reported, not fatal:
+Errors are reported, not fatal, but a failed statement exits non-zero
+(2 = query error):
 
   $ ../../bin/tquel.exe -c "retrieve (nope.x)"
   error: tuple variable "nope" has no range statement
+  [2]
+
+A crash that tears the tail of a page file is repaired on reopen, with a
+warning on stderr:
+
+  $ printf 'torn half-page from a crashed write' >> mydb/emp.pages
+  $ ../../bin/tquel.exe -d mydb -c "range of e is emp retrieve (e.name) when e overlap \"now\""
+  warning: recovered relation emp: scanned 1 page(s), dropped 35 unaligned trailing byte(s)
+  range of e is emp
+  +-----------+---------------------+----------+
+  | name      | valid from          | valid to |
+  +-----------+---------------------+----------+
+  | ahn       | 1980-01-01 00:00:01 | forever  |
+  | snodgrass | 1980-01-01 00:00:02 | forever  |
+  +-----------+---------------------+----------+
+  (2 rows)
+
+A flipped byte in a data page is detected, never served as tuple data.
+(Here the damaged page is the file's only page, so recovery truncates it
+as a torn tail — and attaching the hash file then refuses the truncated
+primary area.  Either way: corruption, exit 3.)
+
+  $ printf '\377' | dd of=mydb/emp.pages bs=1 seek=100 count=1 conv=notrunc status=none
+  $ ../../bin/tquel.exe -d mydb -c "range of e is emp retrieve (e.name)"
+  fatal corruption error: hash file has 0 page(s) but needs 1 primary bucket page(s); the primary area was truncated
+  [3]

@@ -2,6 +2,8 @@ module Disk = Tdb_storage.Disk
 module Buffer_pool = Tdb_storage.Buffer_pool
 module Io_stats = Tdb_storage.Io_stats
 module Page = Tdb_storage.Page
+module Fault = Tdb_storage.Fault
+module Tdb_error = Tdb_storage.Tdb_error
 
 let make ?(frames = 1) () =
   let disk = Disk.create_mem () in
@@ -111,6 +113,40 @@ let test_file_backed_round_trip () =
   Disk.close disk2;
   Sys.remove path
 
+let test_failed_read_does_not_poison_frame () =
+  (* An injected EIO on the fetch must not leave a stale or half-filled
+     frame claiming to hold the page: the retry must hit the disk again
+     and succeed. *)
+  let fault = Fault.create ~eio_read_at:1 () in
+  let disk = Disk.create_mem ~fault () in
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create ~frames:1 disk stats in
+  let a = Buffer_pool.allocate pool in
+  Buffer_pool.modify pool a (fun page -> Bytes.set page 0 'V');
+  let _b = Buffer_pool.allocate pool in
+  (* a was evicted; this read is disk-read #1 and fails *)
+  (match Buffer_pool.read pool a with
+  | exception Tdb_error.Error (Tdb_error.Io, _) -> ()
+  | _ -> Alcotest.fail "injected EIO not raised");
+  let page = Buffer_pool.read pool a in
+  Alcotest.(check char) "retry refetches and succeeds" 'V' (Bytes.get page 0);
+  Alcotest.(check int) "both attempts hit the disk" 2 (Fault.reads fault)
+
+let test_sync_reaches_disk () =
+  let path = Filename.temp_file "tdb_test" ".pages" in
+  let disk = Disk.open_file path in
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create disk stats in
+  let a = Buffer_pool.allocate pool in
+  Buffer_pool.modify pool a (fun page -> Bytes.set page 3 'S');
+  Buffer_pool.sync pool;
+  Disk.close disk;
+  let disk2 = Disk.open_file path in
+  Alcotest.(check char) "synced byte on disk" 'S'
+    (Bytes.get (Disk.read_page disk2 0) 3);
+  Disk.close disk2;
+  Sys.remove path
+
 let suites =
   [
     ( "buffer_pool",
@@ -125,5 +161,8 @@ let suites =
         Alcotest.test_case "LRU with 2 frames" `Quick test_lru_with_multiple_frames;
         Alcotest.test_case "sequential scan cost" `Quick test_sequential_scan_cost;
         Alcotest.test_case "file-backed round trip" `Quick test_file_backed_round_trip;
+        Alcotest.test_case "failed read does not poison frame" `Quick
+          test_failed_read_does_not_poison_frame;
+        Alcotest.test_case "sync reaches disk" `Quick test_sync_reaches_disk;
       ] );
   ]

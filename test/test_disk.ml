@@ -1,5 +1,6 @@
 module Disk = Tdb_storage.Disk
 module Page = Tdb_storage.Page
+module Tdb_error = Tdb_storage.Tdb_error
 
 let test_mem_basics () =
   let d = Disk.create_mem () in
@@ -66,8 +67,109 @@ let test_unaligned_file_rejected () =
   output_string oc "not a page multiple";
   close_out oc;
   (match Disk.open_file path with
-  | exception Failure _ -> ()
+  | exception Tdb_error.Error (Tdb_error.Corruption, _) -> ()
   | _ -> Alcotest.fail "unaligned file accepted");
+  Sys.remove path
+
+let with_pages n f =
+  let path = Filename.temp_file "tdb_disk" ".pages" in
+  let d = Disk.open_file path in
+  for i = 0 to n - 1 do
+    let id = Disk.allocate d in
+    let p = Page.create () in
+    Bytes.set p 0 (Char.chr (65 + i));
+    Disk.write_page d id p
+  done;
+  Disk.close d;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let append_bytes path s =
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let test_recover_unaligned_tail () =
+  with_pages 3 (fun path ->
+      append_bytes path "torn tail from a crashed write";
+      let d = Disk.open_file ~recover:true path in
+      Alcotest.(check int) "pages survive" 3 (Disk.npages d);
+      (match Disk.recovery_report d with
+      | Some r ->
+          Alcotest.(check bool) "repair reported" true
+            (Disk.recovery_repaired r);
+          Alcotest.(check int) "tail bytes dropped" 30 r.Disk.tail_bytes_dropped
+      | None -> Alcotest.fail "no recovery report");
+      Alcotest.(check char) "first page intact" 'A'
+        (Bytes.get (Disk.read_page d 0) 0);
+      Alcotest.(check char) "last page intact" 'C'
+        (Bytes.get (Disk.read_page d 2) 0);
+      Disk.close d;
+      (* The repair is durable: a strict reopen succeeds. *)
+      let d2 = Disk.open_file path in
+      Alcotest.(check int) "clean after repair" 3 (Disk.npages d2);
+      Disk.close d2)
+
+let flip_byte path ~pos =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+let test_bit_flip_detected () =
+  with_pages 3 (fun path ->
+      (* Flip a byte in the middle page: not a torn tail, so neither the
+         strict open (at read time) nor recovery may serve it as data. *)
+      flip_byte path ~pos:(Page.size + 100);
+      let d = Disk.open_file path in
+      Alcotest.(check char) "good page still served" 'A'
+        (Bytes.get (Disk.read_page d 0) 0);
+      (match Disk.read_page d 1 with
+      | exception Tdb_error.Error (Tdb_error.Corruption, _) -> ()
+      | _ -> Alcotest.fail "bit flip served as tuple data");
+      Disk.close d;
+      match Disk.open_file ~recover:true path with
+      | exception Tdb_error.Error (Tdb_error.Corruption, _) -> ()
+      | d ->
+          Disk.close d;
+          Alcotest.fail "recovery accepted mid-file corruption")
+
+let test_recover_torn_tail_page () =
+  with_pages 3 (fun path ->
+      (* Corrupt the LAST page: recovery may truncate it. *)
+      flip_byte path ~pos:((2 * Page.size) + 100);
+      let d = Disk.open_file ~recover:true path in
+      Alcotest.(check int) "torn tail page dropped" 2 (Disk.npages d);
+      (match Disk.recovery_report d with
+      | Some r ->
+          Alcotest.(check int) "one page dropped" 1 r.Disk.torn_pages_dropped
+      | None -> Alcotest.fail "no recovery report");
+      Alcotest.(check char) "survivors intact" 'B'
+        (Bytes.get (Disk.read_page d 1) 0);
+      Disk.close d)
+
+let test_epoch_stamps () =
+  let d = Disk.create_mem () in
+  let id = Disk.allocate d in
+  Disk.write_page d id (Page.create ());
+  Alcotest.(check int) "initial epoch" (Disk.epoch d)
+    (Page.get_epoch (Disk.read_page d id));
+  Disk.bump_epoch d;
+  Disk.write_page d id (Page.create ());
+  Alcotest.(check int) "bumped epoch stamped" (Disk.epoch d)
+    (Page.get_epoch (Disk.read_page d id))
+
+let test_fsync_smoke () =
+  let d = Disk.create_mem () in
+  Disk.fsync d;
+  let path = Filename.temp_file "tdb_disk" ".pages" in
+  let f = Disk.open_file path in
+  ignore (Disk.allocate f);
+  Disk.fsync f;
+  Disk.close f;
   Sys.remove path
 
 let suites =
@@ -80,5 +182,12 @@ let suites =
         Alcotest.test_case "file backend" `Quick test_file_backend;
         Alcotest.test_case "unaligned file rejected" `Quick
           test_unaligned_file_rejected;
+        Alcotest.test_case "recover unaligned tail" `Quick
+          test_recover_unaligned_tail;
+        Alcotest.test_case "bit flip detected" `Quick test_bit_flip_detected;
+        Alcotest.test_case "recover torn tail page" `Quick
+          test_recover_torn_tail_page;
+        Alcotest.test_case "epoch stamps" `Quick test_epoch_stamps;
+        Alcotest.test_case "fsync smoke" `Quick test_fsync_smoke;
       ] );
   ]

@@ -1,0 +1,317 @@
+(* Fault injection and crash consistency.
+
+   The centrepiece is the crash-at-every-write harness: a reference run
+   counts the page writes a small TQuel workload performs, then the
+   workload is replayed once per write position with a plan that kills
+   the process right after that write.  Every crash site must reopen to
+   a checksum-clean database whose contents are a prefix of the appended
+   sequence — never a suffix, never garbage. *)
+
+module Disk = Tdb_storage.Disk
+module Page = Tdb_storage.Page
+module Fault = Tdb_storage.Fault
+module Tdb_error = Tdb_storage.Tdb_error
+module Database = Tdb_core.Database
+module Engine = Tdb_core.Engine
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tdb_fault_%d_%d" (Unix.getpid ()) !counter)
+    in
+    Sys.mkdir dir 0o755;
+    dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* --- determinism ------------------------------------------------------- *)
+
+let test_determinism () =
+  (* The same seed must tear the same writes at the same lengths. *)
+  let torn_lengths seed =
+    let fault = Fault.create ~seed ~torn_write_at:3 () in
+    let acc = ref [] in
+    for _ = 1 to 5 do
+      (match Fault.on_write fault ~len:Page.size with
+      | `Torn n -> acc := n :: !acc
+      | `Ok -> ()
+      | _ -> Alcotest.fail "unexpected fault decision")
+    done;
+    !acc
+  in
+  Alcotest.(check (list int)) "same seed, same tears" (torn_lengths 42)
+    (torn_lengths 42);
+  let torn a = List.length (torn_lengths a) in
+  Alcotest.(check int) "exactly one tear per plan" 1 (torn 42);
+  Alcotest.(check int) "other seeds tear once too" 1 (torn 43)
+
+let test_counter_plan_is_transparent () =
+  let fault = Fault.create () in
+  for _ = 1 to 4 do
+    match Fault.on_write fault ~len:Page.size with
+    | `Ok -> ()
+    | _ -> Alcotest.fail "counting plan must not inject"
+  done;
+  (match Fault.on_read fault ~len:Page.size with
+  | `Ok -> ()
+  | _ -> Alcotest.fail "counting plan must not inject");
+  Alcotest.(check int) "writes counted" 4 (Fault.writes fault);
+  Alcotest.(check int) "reads counted" 1 (Fault.reads fault)
+
+let test_dead_plan_raises () =
+  let fault = Fault.create ~crash_after_write:1 () in
+  (match Fault.on_write fault ~len:Page.size with
+  | `Crash_after -> ()
+  | _ -> Alcotest.fail "expected crash-after on write 1");
+  Alcotest.(check bool) "plan dead" true (Fault.is_dead fault);
+  (match Fault.on_write fault ~len:Page.size with
+  | exception Fault.Crashed -> ()
+  | _ -> Alcotest.fail "dead plan accepted a write");
+  match Fault.on_read fault ~len:Page.size with
+  | exception Fault.Crashed -> ()
+  | _ -> Alcotest.fail "dead plan accepted a read"
+
+(* --- the workload ------------------------------------------------------ *)
+
+let n_appends = 12
+
+let setup_src =
+  "create persistent interval emp (name = c20, salary = i4);\n\
+   range of e is emp;"
+
+let append_src i =
+  Printf.sprintf "append to emp (name = \"w%03d\", salary = %d);" i (1000 + i)
+
+let must_ok db src =
+  match Engine.execute db src with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("statement failed: " ^ e)
+
+(* Runs setup + appends, checkpointing after each append so every append
+   reaches the disk (otherwise the buffer pool absorbs the whole workload
+   and only the final flush writes pages).  Returns whether the plan
+   killed the process part-way.  Statements after the crash are not
+   attempted: the process is dead. *)
+let run_workload db =
+  try
+    must_ok db setup_src;
+    for i = 1 to n_appends do
+      (match Engine.execute db (append_src i) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("append failed: " ^ e));
+      Database.sync db
+    done;
+    `Ran
+  with Fault.Crashed -> `Crashed
+
+(* The committed names, in scan order. *)
+let surviving_names db =
+  match Engine.execute db "range of e is emp; retrieve (e.name);" with
+  | Ok outcomes ->
+      List.concat_map
+        (function
+          | Engine.Rows { tuples; _ } ->
+              List.map
+                (fun t ->
+                  match t.(0) with
+                  | Tdb_relation.Value.Str s -> s
+                  | v -> Tdb_relation.Value.to_string v)
+                tuples
+          | _ -> [])
+        outcomes
+  | Error e -> Alcotest.fail ("survivor scan failed: " ^ e)
+
+let expected_prefix k = List.init k (fun i -> Printf.sprintf "w%03d" (i + 1))
+
+let is_prefix_of_appends names =
+  names = expected_prefix (List.length names)
+
+(* Counts the page writes the full workload performs against real files. *)
+let count_workload_writes () =
+  with_dir (fun dir ->
+      let fault = Fault.create () in
+      match Database.create ~dir ~fault () with
+      | Error e -> Alcotest.fail e
+      | Ok db ->
+          (match run_workload db with
+          | `Ran -> ()
+          | `Crashed -> Alcotest.fail "counting run crashed");
+          Database.close db;
+          Fault.writes fault)
+
+(* --- crash at every write --------------------------------------------- *)
+
+let test_crash_after_every_write () =
+  let total_writes = count_workload_writes () in
+  Alcotest.(check bool)
+    (Printf.sprintf "workload performs enough writes (%d)" total_writes)
+    true
+    (total_writes >= n_appends);
+  for k = 1 to total_writes do
+    with_dir (fun dir ->
+        (* Run until the crash... *)
+        let fault = Fault.create ~crash_after_write:k () in
+        (match Database.create ~dir ~fault () with
+        | Error e -> Alcotest.fail e
+        | Ok db ->
+            (match run_workload db with `Ran | `Crashed -> ());
+            Database.abandon db);
+        (* ...then reopen without faults, as a fresh process would. *)
+        match Database.create ~dir () with
+        | Error e ->
+            Alcotest.fail (Printf.sprintf "crash at write %d: reopen: %s" k e)
+        | Ok db ->
+            List.iter
+              (fun (name, r) ->
+                Alcotest.fail
+                  (Printf.sprintf
+                     "crash at write %d: page-atomic crash needed repair of \
+                      %s: %s"
+                     k name
+                     (Format.asprintf "%a" Disk.pp_recovery r)))
+              (Database.recoveries db);
+            let names = surviving_names db in
+            Alcotest.(check bool)
+              (Printf.sprintf
+                 "crash at write %d: %d survivors form a prefix" k
+                 (List.length names))
+              true
+              (is_prefix_of_appends names);
+            Database.close db)
+  done
+
+let test_torn_crash_recovers_or_refuses () =
+  (* The torn-crash model: the k-th write persists only a prefix of the
+     page.  Reopening must either repair (torn tail) or refuse
+     (mid-file damage) — never serve unverified bytes. *)
+  let total_writes = count_workload_writes () in
+  let repaired = ref 0 in
+  let refused = ref 0 in
+  for k = 1 to total_writes do
+    with_dir (fun dir ->
+        let fault = Fault.create ~seed:(0xC0FFEE + k) ~crash_at_write:k () in
+        (match Database.create ~dir ~fault () with
+        | Error e -> Alcotest.fail e
+        | Ok db ->
+            (match run_workload db with `Ran | `Crashed -> ());
+            Database.abandon db);
+        match Database.create ~dir () with
+        | exception Tdb_error.Error (Tdb_error.Corruption, _) -> incr refused
+        | Error e ->
+            Alcotest.fail (Printf.sprintf "torn write %d: reopen: %s" k e)
+        | Ok db ->
+            if Database.recoveries db <> [] then incr repaired;
+            let names = surviving_names db in
+            Alcotest.(check bool)
+              (Printf.sprintf "torn write %d: clean prefix" k)
+              true
+              (is_prefix_of_appends names);
+            Database.close db)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "some torn tails were repaired (%d repaired, %d refused)"
+       !repaired !refused)
+    true (!repaired > 0)
+
+(* --- checksum end to end ----------------------------------------------- *)
+
+let test_flipped_byte_never_served () =
+  (* Flip one byte in the data page file of a closed database; reopening
+     and scanning must report Corruption, not altered tuples. *)
+  with_dir (fun dir ->
+      (match Database.create ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok db ->
+          must_ok db setup_src;
+          for i = 1 to 3 do
+            must_ok db (append_src i)
+          done;
+          Database.close db);
+      let path = Filename.concat dir "emp.pages" in
+      let size = (Unix.stat path).Unix.st_size in
+      Alcotest.(check bool) "data file has pages" true (size >= Page.size);
+      (* Middle of the first page: tuple payload, not the trailer. *)
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      ignore (Unix.lseek fd 40 Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x10));
+      ignore (Unix.lseek fd 40 Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1);
+      Unix.close fd;
+      match Database.create ~dir () with
+      | exception Tdb_error.Error (Tdb_error.Corruption, _) -> ()
+      | Error _ -> Alcotest.fail "corruption misreported as a soft error"
+      | Ok db -> (
+          (* A single bad page that happens to be the tail may have been
+             truncated by recovery; in that case the flip must not appear
+             in the data.  Otherwise the scan must raise Corruption. *)
+          match surviving_names db with
+          | names ->
+              Database.close db;
+              Alcotest.(check bool) "served names untainted" true
+                (is_prefix_of_appends names)
+          | exception Tdb_error.Error (Tdb_error.Corruption, _) ->
+              Database.abandon db))
+
+let test_eio_read_surfaces_as_io_error () =
+  with_dir (fun dir ->
+      (match Database.create ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok db ->
+          must_ok db setup_src;
+          for i = 1 to 3 do
+            must_ok db (append_src i)
+          done;
+          Database.close db);
+      let fault = Fault.create ~eio_read_at:1 () in
+      match Database.create ~dir ~fault () with
+      | Error e -> Alcotest.fail e
+      | Ok db -> (
+          match surviving_names db with
+          | exception Tdb_error.Error (Tdb_error.Io, _) ->
+              Database.abandon db
+          | _ ->
+              Database.abandon db;
+              Alcotest.fail "injected EIO did not surface as an Io error"))
+
+let test_exit_codes_distinct () =
+  let open Tdb_error in
+  let codes = List.map exit_code [ Query; Corruption; Io; Internal ] in
+  Alcotest.(check (list int)) "stable class exit codes" [ 2; 3; 4; 5 ] codes;
+  Alcotest.(check int) "distinct" (List.length codes)
+    (List.length (List.sort_uniq compare codes))
+
+let suites =
+  [
+    ( "fault",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "counter plan transparent" `Quick
+          test_counter_plan_is_transparent;
+        Alcotest.test_case "dead plan raises" `Quick test_dead_plan_raises;
+        Alcotest.test_case "crash after every write" `Quick
+          test_crash_after_every_write;
+        Alcotest.test_case "torn crash recovers or refuses" `Quick
+          test_torn_crash_recovers_or_refuses;
+        Alcotest.test_case "flipped byte never served" `Quick
+          test_flipped_byte_never_served;
+        Alcotest.test_case "EIO surfaces as Io" `Quick
+          test_eio_read_surfaces_as_io_error;
+        Alcotest.test_case "exit codes" `Quick test_exit_codes_distinct;
+      ] );
+  ]

@@ -33,13 +33,13 @@ let test_insert_and_scan () =
 
 let test_page_packing () =
   let h, _ = make () in
-  (* capacity for 100-byte records: (1024-4)/102 = 10 *)
-  for i = 1 to 10 do
+  (* capacity for 100-byte records: (1024-12)/102 = 9 *)
+  for i = 1 to 9 do
     ignore (Heap_file.insert h (record i))
   done;
-  Alcotest.(check int) "10 records fill one page" 1 (Heap_file.npages h);
-  ignore (Heap_file.insert h (record 11));
-  Alcotest.(check int) "11th spills to a second page" 2 (Heap_file.npages h)
+  Alcotest.(check int) "9 records fill one page" 1 (Heap_file.npages h);
+  ignore (Heap_file.insert h (record 10));
+  Alcotest.(check int) "10th spills to a second page" 2 (Heap_file.npages h)
 
 let test_read_update_delete () =
   let h, _ = make () in
@@ -52,7 +52,7 @@ let test_read_update_delete () =
 
 let test_delete_slot_reused () =
   let h, _ = make () in
-  let tids = List.init 10 (fun i -> Heap_file.insert h (record i)) in
+  let tids = List.init 9 (fun i -> Heap_file.insert h (record i)) in
   let victim = List.nth tids 3 in
   Heap_file.delete h victim;
   let tid' = Heap_file.insert h (record 99) in
@@ -62,10 +62,10 @@ let test_delete_slot_reused () =
 
 let test_scan_cost () =
   let h, stats = make () in
-  for i = 1 to 95 do
+  for i = 1 to 86 do
     ignore (Heap_file.insert h (record i))
   done;
-  Alcotest.(check int) "95 records on 10 pages" 10 (Heap_file.npages h);
+  Alcotest.(check int) "86 records on 10 pages" 10 (Heap_file.npages h);
   Buffer_pool.invalidate (Tdb_storage.Pfile.pool (Heap_file.pfile h));
   Io_stats.reset stats;
   Heap_file.iter h (fun _ _ -> ());

@@ -5,8 +5,40 @@ let test_paper_capacities () =
   Alcotest.(check int) "9 static tuples (108 B)" 9 (Page.capacity ~record_size:108);
   Alcotest.(check int) "8 rollback tuples (116 B)" 8 (Page.capacity ~record_size:116);
   Alcotest.(check int) "8 temporal tuples (124 B)" 8 (Page.capacity ~record_size:124);
-  Alcotest.(check int) "170 isam directory keys (4 B)" 170 (Page.capacity ~record_size:4);
-  Alcotest.(check int) "102 index entries (8 B)" 102 (Page.capacity ~record_size:8)
+  Alcotest.(check int) "168 isam directory keys (4 B)" 168 (Page.capacity ~record_size:4);
+  Alcotest.(check int) "101 index entries (8 B)" 101 (Page.capacity ~record_size:8)
+
+let test_seal_and_check () =
+  let p = Page.create () in
+  Alcotest.(check bool) "fresh page does not verify" false (Page.check p);
+  Page.seal ~epoch:7 p;
+  Alcotest.(check bool) "sealed page verifies" true (Page.check p);
+  Alcotest.(check int) "epoch stamped" 7 (Page.get_epoch p);
+  (* Any single flipped bit in the covered region must break the checksum. *)
+  for pos = 0 to 20 do
+    let byte = pos * 48 mod (Page.size - 4) in
+    Bytes.set p byte (Char.chr (Char.code (Bytes.get p byte) lxor 1));
+    Alcotest.(check bool)
+      (Printf.sprintf "bit flip at byte %d detected" byte)
+      false (Page.check p);
+    Bytes.set p byte (Char.chr (Char.code (Bytes.get p byte) lxor 1));
+    Alcotest.(check bool) "restored page verifies again" true (Page.check p)
+  done
+
+let test_seal_covers_payload_and_trailer () =
+  let rs = 100 in
+  let p = Page.create () in
+  Page.write_record ~record_size:rs p 0 (Bytes.make rs 'q');
+  Page.set_overflow p (Some 42);
+  Page.seal ~epoch:3 p;
+  Alcotest.(check bool) "verifies with payload" true (Page.check p);
+  Page.set_overflow p (Some 43);
+  Alcotest.(check bool) "changing the overflow pointer breaks the seal" false
+    (Page.check p);
+  Page.set_overflow p (Some 42);
+  Alcotest.(check bool) "restoring it heals the seal" true (Page.check p);
+  Alcotest.(check int) "payload survived sealing" (Char.code 'q')
+    (Char.code (Bytes.get (Page.read_record ~record_size:rs p 0) 0))
 
 let test_record_too_big () =
   Alcotest.(check bool) "record larger than a page" true
@@ -82,6 +114,9 @@ let suites =
     ( "page",
       [
         Alcotest.test_case "paper capacities" `Quick test_paper_capacities;
+        Alcotest.test_case "seal and check" `Quick test_seal_and_check;
+        Alcotest.test_case "seal covers payload+trailer" `Quick
+          test_seal_covers_payload_and_trailer;
         Alcotest.test_case "record too big" `Quick test_record_too_big;
         Alcotest.test_case "overflow pointer" `Quick test_overflow_pointer;
         Alcotest.test_case "slots" `Quick test_slots;
