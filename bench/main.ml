@@ -16,7 +16,14 @@
      timing    - bechamel wall-clock micro-benchmarks (one per figure)
 
    The paper's metric is page I/O with one buffer per user relation; wall
-   clock appears only in the timing section. *)
+   clock appears only in the timing section.
+
+   Flags:
+     --smoke      evolve to UC 3 instead of 15 and skip the slow sections
+                  (s5.4, ablations, bechamel timing) - a CI-sized run
+     --json PATH  write a machine-readable result document to PATH:
+                  per-section wall time and peak heap words, the full
+                  cost grid, and an engine metrics snapshot *)
 
 module Workload = Tdb_benchkit.Workload
 module Evolve = Tdb_benchkit.Evolve
@@ -36,8 +43,22 @@ module Attr_type = Tdb_relation.Attr_type
 module Chronon = Tdb_time.Chronon
 
 let seed = 850331 (* the TR number, for luck *)
-let max_uc = 15
-let report_uc = 14
+
+(* Flags are read before the constants below: top-level bindings evaluate
+   in order, so a smoke run shrinks the whole grid. *)
+let smoke = Array.exists (( = ) "--smoke") (Sys.argv : string array)
+
+let json_path =
+  let path = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--json" && i + 1 < Array.length Sys.argv then
+        path := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !path
+
+let max_uc = if smoke then 3 else 15
+let report_uc = if smoke then 2 else 14
 
 (* ------------------------------------------------------------------ *)
 (* Data collection: the full grid of 8 databases evolved to UC 15.    *)
@@ -802,15 +823,92 @@ let timing (temporal100_w : Workload.t) env =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Section timing and the --json result document                       *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Tdb_obs.Json
+
+(* Every figure-sized unit of work runs under [timed]: wall clock and the
+   peak heap size (GC top_heap_words, a high-water mark) go to stderr for
+   the human eye and into the --json document for machines. *)
+type section = { s_label : string; s_wall : float; s_peak_words : int }
+
+let sections : section list ref = ref []
+
+let timed label f =
+  let s = Unix.gettimeofday () in
+  let v = f () in
+  let wall = Unix.gettimeofday () -. s in
+  let peak = (Gc.quick_stat ()).Gc.top_heap_words in
+  sections := { s_label = label; s_wall = wall; s_peak_words = peak } :: !sections;
+  Printf.eprintf "[bench] %-24s %6.1f s  peak %7dk words\n%!" label wall
+    (peak / 1000);
+  v
+
+let json_of_run (r : run) =
+  let cell c =
+    Json.Obj
+      [
+        ("h_pages", Json.int c.h_pages);
+        ("i_pages", Json.int c.i_pages);
+        ( "costs",
+          Json.Obj
+            (List.map
+               (fun (qid, cost) -> (Paper_queries.name qid, Json.int cost))
+               c.costs) );
+      ]
+  in
+  (* Static databases are measured once; don't repeat the UC-0 cell. *)
+  let cells =
+    if r.kind = Workload.Static then [ r.cells.(0) ]
+    else Array.to_list r.cells
+  in
+  Json.Obj
+    [
+      ("kind", Json.Str (Workload.kind_to_string r.kind));
+      ("loading", Json.int r.loading);
+      ("cells", Json.List (List.map cell cells));
+    ]
+
+let result_document ~total_s runs =
+  Json.Obj
+    [
+      ( "meta",
+        Json.Obj
+          [
+            ("benchmark", Json.Str "ahn-snodgrass-sigmod-1986");
+            ("seed", Json.int seed);
+            ("smoke", Json.Bool smoke);
+            ("max_uc", Json.int max_uc);
+            ("report_uc", Json.int report_uc);
+            ("total_wall_s", Json.Num total_s);
+          ] );
+      ( "sections",
+        Json.List
+          (List.rev_map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("label", Json.Str s.s_label);
+                   ("wall_s", Json.Num s.s_wall);
+                   ("peak_words", Json.int s.s_peak_words);
+                 ])
+             !sections) );
+      ("grid", Json.List (List.map json_of_run runs));
+      ("metrics", Tdb_obs.Metric.to_json ());
+    ]
+
+let write_json path doc =
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "[bench] wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 
 let run () =
   let t0 = Unix.gettimeofday () in
-  let timed label f =
-    let s = Unix.gettimeofday () in
-    let v = f () in
-    Printf.eprintf "[bench] %-24s %6.1f s\n%!" label (Unix.gettimeofday () -. s);
-    v
-  in
   print_endline
     "Reproducing Ahn & Snodgrass, \"Performance Evaluation of a Temporal\n\
      Database Management System\" (SIGMOD 1986).\n";
@@ -839,17 +937,24 @@ let run () =
   figure8 ~temporal100 ~rollback50;
   figure9 runs;
   model_validation runs;
-  timed "section 5.4" section54;
+  if smoke then print_endline "(smoke run: s5.4, ablations and timing skipped)\n"
+  else timed "section 5.4" section54;
   let env = timed "figure 10 build" (fun () -> build_fig10 temporal100_w) in
   timed "figure 10" (fun () -> figure10 temporal100 env);
-  timed "ablations" (fun () ->
-      ablation_buffers temporal100_w;
-      ablation_crossover runs;
-      ablation_overflow_placement ());
-  (try timed "timing" (fun () -> timing temporal100_w env)
-   with e ->
-     Printf.printf "(timing section skipped: %s)\n\n" (Printexc.to_string e));
-  Printf.printf "Total benchmark time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  if not smoke then begin
+    timed "ablations" (fun () ->
+        ablation_buffers temporal100_w;
+        ablation_crossover runs;
+        ablation_overflow_placement ());
+    try timed "timing" (fun () -> timing temporal100_w env)
+    with e ->
+      Printf.printf "(timing section skipped: %s)\n\n" (Printexc.to_string e)
+  end;
+  let total_s = Unix.gettimeofday () -. t0 in
+  Option.iter
+    (fun path -> write_json path (result_document ~total_s runs))
+    json_path;
+  Printf.printf "Total benchmark time: %.1f s\n" total_s
 
 (* Storage-level failures — corruption, I/O — stop the benchmark with a
    class-specific exit code and a one-line message, never a backtrace. *)

@@ -9,7 +9,11 @@
    Inside the shell, statements may span lines and end with ';'.
    Meta commands: \q quit, \l list relations, \ranges, \timing toggles
    page-I/O reporting, \clock shows the session clock, \advance N moves it
-   forward N seconds, \help. *)
+   forward N seconds, \metrics [json|reset] dumps engine metrics, \help.
+
+   Prefixing input with "profile" enables span tracing for just that
+   input and prints each statement's operator tree with per-node page I/O
+   and wall time; --profile keeps tracing on for the whole session. *)
 
 module Engine = Tdb_core.Engine
 module Database = Tdb_core.Database
@@ -24,25 +28,49 @@ module Plan = Tdb_query.Plan
 
 let show_timing = ref false
 
-let print_outcome = function
-  | Engine.Rows { schema; tuples; io; plan } ->
+let trace_of = function
+  | Engine.Rows { trace; _ }
+  | Engine.Stored { trace; _ }
+  | Engine.Modified { trace; _ } ->
+      trace
+  | Engine.Ack _ -> None
+
+let print_outcome outcome =
+  (match outcome with
+  | Engine.Rows { schema; tuples; io; plan; _ } ->
       print_endline (Engine.format_rows schema tuples);
       if !show_timing then
         Printf.printf "-- %d pages in, %d pages out, plan: %s\n"
           io.Executor.input_reads io.Executor.output_writes
           (Plan.to_string plan)
-  | Engine.Stored { relation; count; io; plan } ->
+  | Engine.Stored { relation; count; io; plan; _ } ->
       Printf.printf "stored %d tuples into %s\n" count relation;
       if !show_timing then
         Printf.printf "-- %d pages in, %d pages out, plan: %s\n"
           io.Executor.input_reads io.Executor.output_writes
           (Plan.to_string plan)
-  | Engine.Modified { matched; inserted } ->
+  | Engine.Modified { matched; inserted; _ } ->
       Printf.printf "%d tuples qualified, %d versions inserted\n" matched
         inserted
-  | Engine.Ack msg -> print_endline msg
+  | Engine.Ack msg -> print_endline msg);
+  match trace_of outcome with
+  | Some node when Tdb_obs.Trace.enabled () ->
+      print_string (Tdb_obs.Trace.render node)
+  | _ -> ()
 
-let run_source db src =
+(* "profile <statements>" runs the rest of the input with span tracing
+   enabled for just that input. *)
+let strip_profile src =
+  let t = String.trim src in
+  let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  if
+    String.length t > 8
+    && String.lowercase_ascii (String.sub t 0 7) = "profile"
+    && is_space t.[7]
+  then Some (String.sub t 8 (String.length t - 8))
+  else None
+
+let run_plain db src =
   match Engine.execute db src with
   | Ok outcomes ->
       List.iter print_outcome outcomes;
@@ -50,6 +78,16 @@ let run_source db src =
   | Error e ->
       Printf.printf "error: %s\n" e;
       false
+
+let run_source db src =
+  match strip_profile src with
+  | None -> run_plain db src
+  | Some rest ->
+      let prev = Tdb_obs.Trace.enabled () in
+      Tdb_obs.Trace.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Tdb_obs.Trace.set_enabled prev)
+        (fun () -> run_plain db rest)
 
 let list_relations db =
   match Database.relation_names db with
@@ -76,8 +114,10 @@ let help () =
     \  append to emp (name = \"ahn\", salary = 30000);\n\
     \  retrieve (e.name, e.salary) when e overlap \"now\";\n\
     \  retrieve (e.salary) as of \"1980-06-01\";\n\
+     Prefix any input with 'profile' to print its operator trace tree:\n\
+    \  profile retrieve (e.name) when e overlap \"now\";\n\
      Meta commands: \\q quit, \\l relations, \\ranges, \\timing, \\clock,\n\
-    \  \\advance N, \\help\n"
+    \  \\advance N, \\metrics [json|reset], \\help\n"
 
 let meta db line =
   match String.split_on_char ' ' (String.trim line) with
@@ -107,6 +147,19 @@ let meta db line =
       | _ ->
           print_endline "usage: \\advance SECONDS";
           `Continue)
+  | [ "\\metrics" ] ->
+      print_endline
+        (Tdb_benchkit.Report.table ~title:"engine metrics"
+           ~header:[ "metric"; "kind"; "value" ]
+           (Tdb_obs.Metric.table ()));
+      `Continue
+  | [ "\\metrics"; "json" ] ->
+      print_endline (Tdb_obs.Json.to_string (Tdb_obs.Metric.to_json ()));
+      `Continue
+  | [ "\\metrics"; "reset" ] ->
+      Tdb_obs.Metric.reset_all ();
+      print_endline "metrics reset";
+      `Continue
   | [ "\\help" ] | [ "\\h" ] | [ "\\?" ] ->
       help ();
       `Continue
@@ -179,7 +232,8 @@ let run_session dir script command =
 
 (* Storage-level failures — corruption, I/O — stop the process with a
    class-specific exit code and a one-line message, never a backtrace. *)
-let main dir script command =
+let main dir script command profile =
+  if profile then Tdb_obs.Trace.set_enabled true;
   try run_session dir script command
   with Tdb_error.Error (cls, msg) ->
     Printf.eprintf "fatal %s\n" (Tdb_error.message cls msg);
@@ -199,9 +253,16 @@ let command =
   let doc = "Run a single TQuel statement and exit." in
   Arg.(value & opt (some string) None & info [ "c"; "command" ] ~docv:"STMT" ~doc)
 
+let profile =
+  let doc =
+    "Enable span tracing for the whole session: every statement prints its \
+     operator trace tree (page I/O and wall time per operator)."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let cmd =
   let doc = "a temporal database management system speaking TQuel" in
   let info = Cmd.info "tquel" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const main $ dir $ script $ command)
+  Cmd.v info Term.(const main $ dir $ script $ command $ profile)
 
 let () = exit (Cmd.eval' cmd)

@@ -18,7 +18,7 @@ let show db src =
   match ok (Engine.execute_one db src) with
   | Engine.Rows { schema; tuples; _ } ->
       print_endline (Engine.format_rows schema tuples)
-  | Engine.Modified { matched; inserted } ->
+  | Engine.Modified { matched; inserted; _ } ->
       Printf.printf "-- %d qualified, %d versions inserted\n" matched inserted
   | Engine.Ack msg -> Printf.printf "-- %s\n" msg
   | Engine.Stored { relation; count; _ } ->

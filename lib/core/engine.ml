@@ -13,6 +13,8 @@ module Semck = Tdb_tquel.Semck
 module Executor = Tdb_query.Executor
 module Update_executor = Tdb_query.Update_executor
 module Plan = Tdb_query.Plan
+module Metric = Tdb_obs.Metric
+module Trace = Tdb_obs.Trace
 
 type outcome =
   | Rows of {
@@ -20,14 +22,16 @@ type outcome =
       tuples : Tuple.t list;
       io : Executor.io_summary;
       plan : Plan.t;
+      trace : Trace.node option;
     }
   | Stored of {
       relation : string;
       count : int;
       io : Executor.io_summary;
       plan : Plan.t;
+      trace : Trace.node option;
     }
-  | Modified of { matched : int; inserted : int }
+  | Modified of { matched : int; inserted : int; trace : Trace.node option }
   | Ack of string
 
 let ( let* ) = Result.bind
@@ -221,6 +225,7 @@ let execute_checked db stmt =
                   tuples = List.rev !tuples;
                   io = outcome.Executor.io;
                   plan = outcome.Executor.plan;
+                  trace = outcome.Executor.trace;
                 })
       | Some into_name ->
           let* result_schema =
@@ -249,6 +254,7 @@ let execute_checked db stmt =
                         + stored.Io_stats.writes;
                     };
                   plan = outcome.Executor.plan;
+                  trace = outcome.Executor.trace;
                 }))
   | Ast.Append a ->
       let* rel =
@@ -261,25 +267,51 @@ let execute_checked db stmt =
       run_protected (fun () ->
           let c = Update_executor.run_append ~now ~rel ~sources a in
           Modified { matched = c.Update_executor.matched;
-                     inserted = c.Update_executor.inserted })
+                     inserted = c.Update_executor.inserted;
+                     trace = c.Update_executor.trace })
   | Ast.Delete d ->
       let* source = source_for db d.var in
       let now = Clock.tick (Database.clock db) in
       run_protected (fun () ->
           let c = Update_executor.run_delete ~now ~source d in
           Modified { matched = c.Update_executor.matched;
-                     inserted = c.Update_executor.inserted })
+                     inserted = c.Update_executor.inserted;
+                     trace = c.Update_executor.trace })
   | Ast.Replace r ->
       let* source = source_for db r.var in
       let now = Clock.tick (Database.clock db) in
       run_protected (fun () ->
           let c = Update_executor.run_replace ~now ~source r in
           Modified { matched = c.Update_executor.matched;
-                     inserted = c.Update_executor.inserted })
+                     inserted = c.Update_executor.inserted;
+                     trace = c.Update_executor.trace })
+
+let statement_kind = function
+  | Ast.Range _ -> "range"
+  | Ast.Create _ -> "create"
+  | Ast.Destroy _ -> "destroy"
+  | Ast.Modify _ -> "modify"
+  | Ast.Copy _ -> "copy"
+  | Ast.Retrieve _ -> "retrieve"
+  | Ast.Append _ -> "append"
+  | Ast.Delete _ -> "delete"
+  | Ast.Replace _ -> "replace"
 
 let execute_statement db stmt =
   let* () = Semck.check_statement (Database.semck_env db) stmt in
-  execute_checked db stmt
+  if not (Metric.enabled ()) then execute_checked db stmt
+  else begin
+    let kind = statement_kind stmt in
+    Metric.incr
+      (Metric.counter ~labels:[ ("kind", kind) ] "tdb_engine_statements_total");
+    let t0 = Metric.now_s () in
+    let result = execute_checked db stmt in
+    Metric.observe
+      (Metric.histogram ~labels:[ ("kind", kind) ]
+         "tdb_engine_statement_seconds")
+      (Metric.now_s () -. t0);
+    result
+  end
 
 let execute db src =
   let* stmts = Parser.parse_program src in

@@ -18,14 +18,20 @@ type outcome =
       tuples : Tdb_relation.Tuple.t list;
       io : Tdb_query.Executor.io_summary;
       plan : Tdb_query.Plan.t;
+      trace : Tdb_obs.Trace.node option;
     }  (** a displayed [retrieve] *)
   | Stored of {
       relation : string;
       count : int;
       io : Tdb_query.Executor.io_summary;
       plan : Tdb_query.Plan.t;
+      trace : Tdb_obs.Trace.node option;
     }  (** [retrieve into] *)
-  | Modified of { matched : int; inserted : int }
+  | Modified of {
+      matched : int;
+      inserted : int;
+      trace : Tdb_obs.Trace.node option;
+    }
       (** [append] / [delete] / [replace] *)
   | Ack of string  (** DDL and session statements *)
 

@@ -1,0 +1,29 @@
+(** A minimal JSON value, emitter and parser.
+
+    Deliberately tiny: just enough to serialize metric dumps and bench
+    results, and to parse them back for round-trip tests.  No external
+    dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** [int n] is [Num (float_of_int n)]. *)
+
+val to_string : t -> string
+(** Compact rendering.  Integral numbers print without a decimal point;
+    non-finite numbers degrade to [null] (JSON has no inf/nan). *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for files meant to be read by people. *)
+
+val parse : string -> (t, string) result
+(** Standard JSON.  Errors carry a character offset. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object fields compare order-sensitively. *)

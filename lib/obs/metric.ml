@@ -1,0 +1,202 @@
+let on = ref true
+let set_enabled b = on := b
+let enabled () = !on
+
+let now_s = Unix.gettimeofday
+
+type counter = {
+  c_gated : bool;
+  mutable c_count : int;
+}
+
+type gauge = { mutable g_value : float }
+
+(* Buckets 0..32 have upper bound 2^(i-16); bucket 33 is +Inf. *)
+let buckets = 34
+
+let bucket_le i = if i >= buckets - 1 then infinity else 2.0 ** float_of_int (i - 16)
+
+let bucket_index v =
+  if not (v <= bucket_le (buckets - 2)) then buckets - 1
+  else begin
+    let i = ref 0 in
+    while v > bucket_le !i do
+      incr i
+    done;
+    !i
+  end
+
+type histogram = {
+  h_buckets : int array; (* length [buckets] *)
+  mutable h_sum : float;
+  mutable h_count : int;
+  mutable h_max : float;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type entry = { name : string; labels : (string * string) list; metric : metric }
+
+let registry : entry list ref = ref []
+
+let find name labels =
+  List.find_opt (fun e -> e.name = name && e.labels = labels) !registry
+
+let register name labels metric =
+  registry := { name; labels; metric } :: !registry
+
+let raw () = { c_gated = false; c_count = 0 }
+
+let counter ?(labels = []) name =
+  match find name labels with
+  | Some { metric = Counter c; _ } -> c
+  | Some _ -> invalid_arg (name ^ " is registered as a different metric kind")
+  | None ->
+      let c = { c_gated = true; c_count = 0 } in
+      register name labels (Counter c);
+      c
+
+let gauge ?(labels = []) name =
+  match find name labels with
+  | Some { metric = Gauge g; _ } -> g
+  | Some _ -> invalid_arg (name ^ " is registered as a different metric kind")
+  | None ->
+      let g = { g_value = 0.0 } in
+      register name labels (Gauge g);
+      g
+
+let histogram ?(labels = []) name =
+  match find name labels with
+  | Some { metric = Histogram h; _ } -> h
+  | Some _ -> invalid_arg (name ^ " is registered as a different metric kind")
+  | None ->
+      let h =
+        { h_buckets = Array.make buckets 0; h_sum = 0.0; h_count = 0;
+          h_max = neg_infinity }
+      in
+      register name labels (Histogram h);
+      h
+
+let incr c = if (not c.c_gated) || !on then c.c_count <- c.c_count + 1
+let add c n = if (not c.c_gated) || !on then c.c_count <- c.c_count + n
+let count c = c.c_count
+let reset_counter c = c.c_count <- 0
+
+let set_gauge g v = if !on then g.g_value <- v
+let gauge_value g = g.g_value
+
+let observe h v =
+  if !on then begin
+    let i = bucket_index v in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_count <- h.h_count + 1;
+    if v > h.h_max then h.h_max <- v
+  end
+
+(* --- dump --- *)
+
+type value = Int of int | Float of float
+
+type record = { name : string; labels : (string * string) list; value : value }
+
+let le_label le =
+  if le = infinity then "+Inf"
+  else if Float.is_integer le && Float.abs le < 1e15 then
+    Printf.sprintf "%.0f" le
+  else Printf.sprintf "%g" le
+
+let entries () =
+  List.sort
+    (fun (a : entry) (b : entry) ->
+      match compare a.name b.name with 0 -> compare a.labels b.labels | c -> c)
+    !registry
+
+let dump () =
+  List.concat_map
+    (fun (e : entry) ->
+      match e.metric with
+      | Counter c -> [ { name = e.name; labels = e.labels; value = Int c.c_count } ]
+      | Gauge g -> [ { name = e.name; labels = e.labels; value = Float g.g_value } ]
+      | Histogram h ->
+          let cumulative = ref 0 in
+          let bucket_records = ref [] in
+          for i = 0 to buckets - 1 do
+            cumulative := !cumulative + h.h_buckets.(i);
+            if h.h_buckets.(i) > 0 || i = buckets - 1 then
+              bucket_records :=
+                {
+                  name = e.name ^ "_bucket";
+                  labels = e.labels @ [ ("le", le_label (bucket_le i)) ];
+                  value = Int !cumulative;
+                }
+                :: !bucket_records
+          done;
+          List.rev !bucket_records
+          @ [
+              { name = e.name ^ "_count"; labels = e.labels; value = Int h.h_count };
+              {
+                name = e.name ^ "_sum";
+                labels = e.labels;
+                value = Float (if h.h_count = 0 then 0.0 else h.h_sum);
+              };
+            ])
+    (entries ())
+
+let labels_str labels =
+  match labels with
+  | [] -> ""
+  | ls ->
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) ls)
+      ^ "}"
+
+let table () =
+  List.map
+    (fun (e : entry) ->
+      let name = e.name ^ labels_str e.labels in
+      match e.metric with
+      | Counter c -> [ name; "counter"; string_of_int c.c_count ]
+      | Gauge g -> [ name; "gauge"; Printf.sprintf "%g" g.g_value ]
+      | Histogram h ->
+          let summary =
+            if h.h_count = 0 then "count=0"
+            else
+              Printf.sprintf "count=%d mean=%.4g max=%.4g" h.h_count
+                (h.h_sum /. float_of_int h.h_count)
+                h.h_max
+          in
+          [ name; "histogram"; summary ])
+    (entries ())
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("name", Json.Str r.name);
+             ( "labels",
+               Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) r.labels) );
+             ( "value",
+               match r.value with
+               | Int n -> Json.int n
+               | Float f -> Json.Num f );
+           ])
+       (dump ()))
+
+let reset_all () =
+  List.iter
+    (fun (e : entry) ->
+      match e.metric with
+      | Counter c -> c.c_count <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+          Array.fill h.h_buckets 0 buckets 0;
+          h.h_sum <- 0.0;
+          h.h_count <- 0;
+          h.h_max <- neg_infinity)
+    !registry

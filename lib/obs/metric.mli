@@ -1,0 +1,84 @@
+(** Engine metrics: counters, gauges and log-scaled latency histograms.
+
+    Two kinds of counter coexist:
+
+    - {b raw} counters ([raw]) always count and live outside the registry.
+      They back [Io_stats], the paper's page-I/O instrument, which must
+      keep exact numbers whether or not observability is enabled.
+    - {b registered} metrics ([counter], [gauge], [histogram]) appear in
+      [dump]/[table] and are gated on [enabled ()]: when disabled, the
+      hot path is a single branch and no state changes. *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+(** Registered metrics observe only while enabled (default: enabled). *)
+
+(** {1 Raw counters} *)
+
+val raw : unit -> counter
+(** An anonymous, ungated counter: [incr] always counts.  Not registered;
+    never appears in [dump]. *)
+
+(** {1 Registered metrics} *)
+
+val counter : ?labels:(string * string) list -> string -> counter
+(** Registered counter; same [(name, labels)] returns the same counter. *)
+
+val gauge : ?labels:(string * string) list -> string -> gauge
+
+val histogram : ?labels:(string * string) list -> string -> histogram
+(** Log2-bucketed histogram: bucket upper bounds are powers of two from
+    2^-16 (~15 us if observing seconds) to 2^16, plus a +Inf bucket. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val reset_counter : counter -> unit
+(** Zero one counter (works on raw counters too, unlike [reset_all]). *)
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+
+(** {1 Histogram geometry} (exposed for tests) *)
+
+val buckets : int
+(** Number of buckets, including the +Inf bucket. *)
+
+val bucket_le : int -> float
+(** Upper bound of bucket [i]; [bucket_le (buckets - 1)] is [infinity]. *)
+
+val bucket_index : float -> int
+(** The bucket a value falls into: smallest [i] with [v <= bucket_le i]. *)
+
+(** {1 Dump} *)
+
+type value = Int of int | Float of float
+type record = { name : string; labels : (string * string) list; value : value }
+
+val dump : unit -> record list
+(** Prometheus-style flat records.  Histograms expand to cumulative
+    [_bucket] records (with an ["le"] label, non-empty buckets plus
+    +Inf), a [_count] and a [_sum]. *)
+
+val table : unit -> string list list
+(** [[name; labels; value]] rows for [Benchkit.Report.table]-style
+    printing; histograms render as one summary row. *)
+
+val to_json : unit -> Json.t
+(** [dump] as a JSON list of [{name; labels; value}] objects. *)
+
+val reset_all : unit -> unit
+(** Zero every registered metric (raw counters are untouched). *)
+
+(** {1 Clock} *)
+
+val now_s : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); exposed so libraries that
+    do not link [unix] can still time spans. *)

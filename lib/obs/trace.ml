@@ -1,0 +1,184 @@
+type node = {
+  id : int;
+  name : string;
+  mutable attrs : (string * string) list;
+  mutable reads : int;
+  mutable writes : int;
+  mutable tuples : int;
+  mutable started : float;
+  mutable elapsed : float;
+  mutable children : node list;
+}
+
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+let dummy =
+  {
+    id = -1;
+    name = "<disabled>";
+    attrs = [];
+    reads = 0;
+    writes = 0;
+    tuples = 0;
+    started = 0.0;
+    elapsed = 0.0;
+    children = [];
+  }
+
+let is_real n = n != dummy
+let result n = if is_real n then Some n else None
+
+let next_id = ref 0
+
+let fresh name =
+  let id = !next_id in
+  incr next_id;
+  {
+    id;
+    name;
+    attrs = [];
+    reads = 0;
+    writes = 0;
+    tuples = 0;
+    started = Metric.now_s ();
+    elapsed = 0.0;
+    children = [];
+  }
+
+(* The current-span stack.  Innermost span at the head. *)
+let stack : node list ref = ref []
+
+let start name =
+  if not !on then dummy
+  else begin
+    let n = fresh name in
+    (match !stack with
+    | parent :: _ -> parent.children <- n :: parent.children
+    | [] -> ());
+    stack := n :: !stack;
+    n
+  end
+
+let finish n =
+  if is_real n then begin
+    let now = Metric.now_s () in
+    (* Pop until (and including) [n]: anything above it was left open by
+       an exception unwinding through [within]. *)
+    let rec pop () =
+      match !stack with
+      | [] -> ()
+      | top :: rest ->
+          stack := rest;
+          top.elapsed <- top.elapsed +. (now -. top.started);
+          if top != n then pop ()
+    in
+    pop ()
+  end
+
+let within name f =
+  let n = start name in
+  Fun.protect ~finally:(fun () -> finish n) (fun () -> f n)
+
+let branch parent name =
+  if (not !on) || not (is_real parent) then dummy
+  else begin
+    let n = fresh name in
+    n.elapsed <- 0.0;
+    parent.children <- n :: parent.children;
+    n
+  end
+
+let enter n =
+  if is_real n then begin
+    n.started <- Metric.now_s ();
+    stack := n :: !stack
+  end
+
+let exit n =
+  if is_real n then
+    match !stack with
+    | top :: rest when top == n ->
+        stack := rest;
+        top.elapsed <- top.elapsed +. (Metric.now_s () -. top.started)
+    | _ -> ()
+
+let note_read () =
+  match !stack with [] -> () | n :: _ -> n.reads <- n.reads + 1
+
+let note_write () =
+  match !stack with [] -> () | n :: _ -> n.writes <- n.writes + 1
+
+let add_tuples n k = if is_real n then n.tuples <- n.tuples + k
+let set_attr n k v = if is_real n then n.attrs <- (k, v) :: n.attrs
+let children n = List.rev n.children
+
+let rec total_reads n =
+  List.fold_left (fun acc c -> acc + total_reads c) n.reads n.children
+
+let rec total_writes n =
+  List.fold_left (fun acc c -> acc + total_writes c) n.writes n.children
+
+let describe n =
+  let attrs =
+    match List.rev n.attrs with
+    | [] -> ""
+    | ls ->
+        " "
+        ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+  in
+  let tuples = if n.tuples > 0 then Printf.sprintf ", %d tuples" n.tuples else "" in
+  Printf.sprintf "%s%s  [%d in, %d out%s; %.2f ms]" n.name attrs n.reads
+    n.writes tuples (1000.0 *. n.elapsed)
+
+let render root =
+  let buf = Buffer.create 256 in
+  let rec go prefix child_prefix n =
+    Buffer.add_string buf prefix;
+    Buffer.add_string buf (describe n);
+    Buffer.add_char buf '\n';
+    let cs = children n in
+    let last = List.length cs - 1 in
+    List.iteri
+      (fun i c ->
+        if i = last then
+          go (child_prefix ^ "`- ") (child_prefix ^ "   ") c
+        else go (child_prefix ^ "|- ") (child_prefix ^ "|  ") c)
+      cs
+  in
+  go "" "" root;
+  Buffer.add_string buf
+    (Printf.sprintf "total: %d pages in, %d pages out\n" (total_reads root)
+       (total_writes root));
+  Buffer.contents buf
+
+(* --- event log --- *)
+
+type event = {
+  seq : int;
+  at : float;
+  ev_name : string;
+  ev_attrs : (string * string) list;
+}
+
+let event_capacity = 512
+let ring : event option array = Array.make event_capacity None
+let event_seq = ref 0
+
+let event ?(attrs = []) name =
+  if Metric.enabled () then begin
+    let s = !event_seq in
+    incr event_seq;
+    ring.(s mod event_capacity) <-
+      Some { seq = s; at = Metric.now_s (); ev_name = name; ev_attrs = attrs }
+  end
+
+let events () =
+  Array.to_list ring
+  |> List.filter_map Fun.id
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+let clear_events () =
+  Array.fill ring 0 event_capacity None;
+  event_seq := 0

@@ -1,0 +1,89 @@
+(** Lightweight span tracer with per-span page-I/O attribution and a
+    ring-buffer event log.
+
+    Spans form a tree.  A global stack tracks the {e current} span;
+    [note_read]/[note_write] (called from the storage layer's page-I/O
+    counters) charge one page to the innermost active span, which gives
+    exact per-operator I/O attribution without extra bookkeeping at the
+    call sites.
+
+    Tracing is off by default.  When disabled every constructor returns
+    the shared [dummy] node and every operation is a single branch, so
+    the engine's page counts are untouched. *)
+
+type node = {
+  id : int;
+  name : string;
+  mutable attrs : (string * string) list;
+  mutable reads : int;
+  mutable writes : int;
+  mutable tuples : int;
+  mutable started : float;
+  mutable elapsed : float;  (** seconds, accumulated over enter/exit *)
+  mutable children : node list;  (** reverse order; see [children] *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val start : string -> node
+(** Open a span as a child of the current span (or as a root) and make it
+    current.  Returns [dummy] when disabled. *)
+
+val finish : node -> unit
+(** Close the span, popping it (and, defensively, anything opened above
+    it that escaped via an exception) off the current stack. *)
+
+val within : string -> (node -> 'a) -> 'a
+(** [within name f] = [start]; run [f]; [finish] (exception-safe). *)
+
+val branch : node -> string -> node
+(** A child span that is {e not} made current — use with [enter]/[exit]
+    to re-activate one span many times (e.g. the inner side of a nested
+    loop), accumulating I/O and elapsed time across activations. *)
+
+val enter : node -> unit
+val exit : node -> unit
+
+val note_read : unit -> unit
+val note_write : unit -> unit
+(** Charge one page read/write to the current span; no-op with no span. *)
+
+val add_tuples : node -> int -> unit
+val set_attr : node -> string -> string -> unit
+
+val is_real : node -> bool
+(** [false] exactly for the shared disabled-path [dummy] node. *)
+
+val result : node -> node option
+(** [Some n] if real, [None] for [dummy] — for storing in outcomes. *)
+
+val children : node -> node list
+(** In creation order. *)
+
+val total_reads : node -> int
+val total_writes : node -> int
+(** Subtree sums, root included. *)
+
+val render : node -> string
+(** An indented tree: per node its page I/O, tuple count and wall time,
+    with subtree totals on the root line. *)
+
+(** {1 Event log} *)
+
+type event = {
+  seq : int;
+  at : float;
+  ev_name : string;
+  ev_attrs : (string * string) list;
+}
+
+val event : ?attrs:(string * string) list -> string -> unit
+(** Append to the ring buffer (capacity {!event_capacity}).  Gated on
+    [Metric.enabled], not on span tracing. *)
+
+val event_capacity : int
+val events : unit -> event list
+(** Oldest first; at most [event_capacity]. *)
+
+val clear_events : unit -> unit

@@ -5,6 +5,7 @@ module Attr_type = Tdb_relation.Attr_type
 module Db_type = Tdb_relation.Db_type
 module Relation_file = Tdb_storage.Relation_file
 module Io_stats = Tdb_storage.Io_stats
+module Trace = Tdb_obs.Trace
 module Chronon = Tdb_time.Chronon
 module Period = Tdb_time.Period
 open Tdb_tquel.Ast
@@ -17,6 +18,7 @@ type outcome = {
   count : int;
   io : io_summary;
   plan : Plan.t;
+  trace : Trace.node option;
 }
 
 exception Execution_error of string
@@ -374,13 +376,15 @@ let detach ~now ~restriction ~access ~needed (source : source) =
         | None -> assert false)
       (Schema.all_attrs temp_schema)
   in
+  let inserted = ref 0 in
   iter_restricted ~now ~restriction ~access source (fun tuple ->
       let projected = Array.map (fun i -> tuple.(i)) mapping in
-      ignore (Relation_file.insert temp projected));
+      ignore (Relation_file.insert temp projected);
+      incr inserted);
   (* Flush so every page of the temporary is written (output cost) and the
      pool is cold for the reading phase (input cost), as in the paper. *)
   Tdb_storage.Buffer_pool.invalidate (Relation_file.pool temp);
-  temp
+  (temp, !inserted)
 
 (* --- the main loop --- *)
 
@@ -494,6 +498,13 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
     String.concat "\x00"
       (List.map (fun e -> Value.to_string (Eval.expr ctx e)) by)
   in
+  (* The root span covers everything that performs page I/O on behalf of
+     this query: the by-aggregate pre-scans, the plan operators, and the
+     final flush of the temporaries.  [Io_stats] charges every page to the
+     innermost active span, so the tree's read total equals the query's
+     [input_reads]. *)
+  let qnode = Trace.start ("retrieve " ^ Plan.to_string plan) in
+  Fun.protect ~finally:(fun () -> Trace.finish qnode) @@ fun () ->
   List.iter
     (fun (node, agg, operand, by, groups) ->
       let var =
@@ -503,20 +514,22 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
       in
       let s = List.find (fun s -> s.var = var) sources in
       let schema = schema_of s in
-      Relation_file.scan s.rel (fun _ tuple ->
-          if as_of_ok window schema tuple then begin
-            let ctx = { Eval.bindings = [ binding s tuple ]; now } in
-            let key = group_key ctx by in
-            let accum =
-              match Hashtbl.find_opt groups key with
-              | Some a -> a
-              | None ->
-                  let a = fresh_accumulator node agg operand in
-                  Hashtbl.add groups key a;
-                  a
-            in
-            accumulate ctx accum
-          end))
+      Trace.within (Printf.sprintf "agg-scan(%s)" var) (fun tn ->
+          Relation_file.scan s.rel (fun _ tuple ->
+              if as_of_ok window schema tuple then begin
+                Trace.add_tuples tn 1;
+                let ctx = { Eval.bindings = [ binding s tuple ]; now } in
+                let key = group_key ctx by in
+                let accum =
+                  match Hashtbl.find_opt groups key with
+                  | Some a -> a
+                  | None ->
+                      let a = fresh_accumulator node agg operand in
+                      Hashtbl.add groups key a;
+                      a
+                in
+                accumulate ctx accum
+              end)))
     by_agg_tables;
   let rec eval_target ctx = function
     | Eagg (_, _, _ :: _) as node -> (
@@ -594,12 +607,28 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
       | None -> ()
     end
   in
+  let access_label var = function
+    | Plan.Seq_scan -> Printf.sprintf "scan(%s)" var
+    | Plan.Keyed_probe _ -> Printf.sprintf "probe(%s)" var
+    | Plan.Range_probe _ -> Printf.sprintf "range(%s)" var
+  in
+  let traced_detach ~restriction ~access ~needed s =
+    Trace.within (Printf.sprintf "detach(%s)" s.var) (fun tn ->
+        Trace.set_attr tn "access" (access_label s.var access);
+        let temp, inserted = detach ~now ~restriction ~access ~needed s in
+        Trace.add_tuples tn inserted;
+        temp)
+  in
   (match plan with
-  | Plan.Const_emit -> emit { Eval.bindings = []; now }
+  | Plan.Const_emit ->
+      Trace.within "emit" (fun _ -> emit { Eval.bindings = []; now })
   | Plan.Single { var; access } ->
       let s = List.find (fun s -> s.var = var) sources in
-      iter_restricted ~now ~restriction:(restriction_of var) ~access s
-        (fun tuple -> emit { Eval.bindings = [ binding s tuple ]; now })
+      Trace.within (access_label var access) (fun tn ->
+          iter_restricted ~now ~restriction:(restriction_of var) ~access s
+            (fun tuple ->
+              Trace.add_tuples tn 1;
+              emit { Eval.bindings = [ binding s tuple ]; now }))
   | Plan.Tuple_substitution { detached; substituted; probe_attr } ->
       let sd = List.find (fun s -> s.var = detached) sources in
       let si = List.find (fun s -> s.var = substituted) sources in
@@ -607,7 +636,7 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
         Schema.norm_name probe_attr :: needed_for detached
       in
       let temp =
-        detach ~now ~restriction:(restriction_of detached)
+        traced_detach ~restriction:(restriction_of detached)
           ~access:(access_for sd) ~needed sd
       in
       temps := temp :: !temps;
@@ -623,54 +652,103 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
         | None -> assert false
       in
       let inner_restriction = restriction_of substituted in
-      Relation_file.scan temp (fun _ outer_tuple ->
-          let probe =
-            coerce_probe (schema_of si) inner_key_attr outer_tuple.(probe_index)
-              ~now
+      Trace.within (Printf.sprintf "substitute(%s)" substituted) (fun tn ->
+          let pn =
+            Trace.branch tn
+              (Printf.sprintf "probe(%s.%s)" substituted
+                 (Schema.norm_name inner_key_attr))
           in
-          Relation_file.lookup si.rel probe (fun _ inner_tuple ->
-              if restricted ~now inner_restriction si inner_tuple then
-                emit
-                  {
-                    Eval.bindings =
-                      [ binding temp_source outer_tuple; binding si inner_tuple ];
-                    now;
-                  }))
+          Relation_file.scan temp (fun _ outer_tuple ->
+              Trace.add_tuples tn 1;
+              let probe =
+                coerce_probe (schema_of si) inner_key_attr
+                  outer_tuple.(probe_index) ~now
+              in
+              Trace.enter pn;
+              Relation_file.lookup si.rel probe (fun _ inner_tuple ->
+                  if restricted ~now inner_restriction si inner_tuple then begin
+                    Trace.add_tuples pn 1;
+                    emit
+                      {
+                        Eval.bindings =
+                          [
+                            binding temp_source outer_tuple;
+                            binding si inner_tuple;
+                          ];
+                        now;
+                      }
+                  end);
+              Trace.exit pn))
   | Plan.Detach_both { outer; inner } ->
       let so = List.find (fun s -> s.var = outer) sources in
       let si = List.find (fun s -> s.var = inner) sources in
       let t_outer =
-        detach ~now ~restriction:(restriction_of outer) ~access:(access_for so)
-          ~needed:(needed_for outer) so
+        traced_detach ~restriction:(restriction_of outer)
+          ~access:(access_for so) ~needed:(needed_for outer) so
       in
       let t_inner =
-        detach ~now ~restriction:(restriction_of inner) ~access:(access_for si)
-          ~needed:(needed_for inner) si
+        traced_detach ~restriction:(restriction_of inner)
+          ~access:(access_for si) ~needed:(needed_for inner) si
       in
       temps := t_outer :: t_inner :: !temps;
       let os = { var = outer; rel = t_outer } in
       let is_ = { var = inner; rel = t_inner } in
-      Relation_file.scan t_outer (fun _ ot ->
-          Relation_file.scan t_inner (fun _ it ->
-              emit { Eval.bindings = [ binding os ot; binding is_ it ]; now }))
+      Trace.within (Printf.sprintf "join(%s,%s)" outer inner) (fun tn ->
+          let inn = Trace.branch tn (Printf.sprintf "scan(%s)" inner) in
+          Relation_file.scan t_outer (fun _ ot ->
+              Trace.add_tuples tn 1;
+              Trace.enter inn;
+              Relation_file.scan t_inner (fun _ it ->
+                  Trace.add_tuples inn 1;
+                  emit { Eval.bindings = [ binding os ot; binding is_ it ]; now });
+              Trace.exit inn))
   | Plan.Nested_scan { outer; inner } ->
       let so = List.find (fun s -> s.var = outer) sources in
       let si = List.find (fun s -> s.var = inner) sources in
       let ro = restriction_of outer and ri = restriction_of inner in
-      iter_restricted ~now ~restriction:ro ~access:Plan.Seq_scan so (fun ot ->
-          iter_restricted ~now ~restriction:ri ~access:Plan.Seq_scan si
-            (fun it ->
-              emit { Eval.bindings = [ binding so ot; binding si it ]; now }))
-  | Plan.Nested_general vars ->
-      let rec loop bound = function
-        | [] -> emit { Eval.bindings = List.rev bound; now }
-        | v :: rest ->
-            let s = List.find (fun s -> s.var = v) sources in
-            iter_restricted ~now ~restriction:(restriction_of v)
-              ~access:Plan.Seq_scan s (fun tuple ->
-                loop (binding s tuple :: bound) rest)
-      in
-      loop [] vars);
+      Trace.within (Printf.sprintf "scan(%s)" outer) (fun on_ ->
+          let inn = Trace.branch on_ (Printf.sprintf "scan(%s)" inner) in
+          iter_restricted ~now ~restriction:ro ~access:Plan.Seq_scan so
+            (fun ot ->
+              Trace.add_tuples on_ 1;
+              Trace.enter inn;
+              iter_restricted ~now ~restriction:ri ~access:Plan.Seq_scan si
+                (fun it ->
+                  Trace.add_tuples inn 1;
+                  emit { Eval.bindings = [ binding so ot; binding si it ]; now });
+              Trace.exit inn))
+  | Plan.Nested_general [] -> emit { Eval.bindings = []; now }
+  | Plan.Nested_general (v1 :: rest) ->
+      Trace.within (Printf.sprintf "scan(%s)" v1) (fun n1 ->
+          (* One span per variable, nested to mirror the loop structure;
+             inner spans are re-entered once per enclosing binding. *)
+          let rec build parent = function
+            | [] -> []
+            | v :: tl ->
+                let n = Trace.branch parent (Printf.sprintf "scan(%s)" v) in
+                (v, n) :: build n tl
+          in
+          let rec loop bound = function
+            | [] -> emit { Eval.bindings = List.rev bound; now }
+            | (v, node, outermost) :: tl ->
+                let s = List.find (fun s -> s.var = v) sources in
+                let visit tuple =
+                  Trace.add_tuples node 1;
+                  loop (binding s tuple :: bound) tl
+                in
+                if outermost then
+                  iter_restricted ~now ~restriction:(restriction_of v)
+                    ~access:Plan.Seq_scan s visit
+                else begin
+                  Trace.enter node;
+                  iter_restricted ~now ~restriction:(restriction_of v)
+                    ~access:Plan.Seq_scan s visit;
+                  Trace.exit node
+                end
+          in
+          loop []
+            ((v1, n1, true)
+            :: List.map (fun (v, n) -> (v, n, false)) (build n1 rest))));
   if agg_mode then
     deliver
       (List.map (fun t -> fold_target accumulators t.value) r.targets
@@ -701,4 +779,5 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
         output_writes = snd temp_io;
       };
     plan;
+    trace = Trace.result qnode;
   }

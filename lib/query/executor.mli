@@ -17,6 +17,9 @@ type outcome = {
   count : int;  (** number of tuples emitted *)
   io : io_summary;
   plan : Plan.t;
+  trace : Tdb_obs.Trace.node option;
+      (** per-operator span tree when tracing is enabled; its summed page
+          reads equal [io.input_reads] *)
 }
 
 exception Execution_error of string

@@ -5,11 +5,12 @@ module Attr_type = Tdb_relation.Attr_type
 module Db_type = Tdb_relation.Db_type
 module Relation_file = Tdb_storage.Relation_file
 module Tid = Tdb_storage.Tid
+module Trace = Tdb_obs.Trace
 module Chronon = Tdb_time.Chronon
 module Period = Tdb_time.Period
 open Tdb_tquel.Ast
 
-type counts = { matched : int; inserted : int }
+type counts = { matched : int; inserted : int; trace : Trace.node option }
 
 exception Execution_error of string
 
@@ -154,6 +155,8 @@ let insert_version ~now ~valid ctx rel user_values =
   ignore (Relation_file.insert rel tuple)
 
 let run_append ~now ~rel ~sources (a : append) =
+  let qnode = Trace.start "append" in
+  Fun.protect ~finally:(fun () -> Trace.finish qnode) @@ fun () ->
   let has_vars =
     List.exists
       (fun t ->
@@ -174,7 +177,7 @@ let run_append ~now ~rel ~sources (a : append) =
     let user_values = constant_user_values ~now rel a.targets in
     insert_version ~now ~valid:a.valid { Eval.bindings = []; now } rel
       user_values;
-    { matched = 1; inserted = 1 }
+    { matched = 1; inserted = 1; trace = Trace.result qnode }
   end
   else begin
     (* Query append: run the body as a retrieve, then insert each result. *)
@@ -234,7 +237,8 @@ let run_append ~now ~rel ~sources (a : append) =
             rel user_values;
           incr inserted)
     in
-    { matched = outcome2.Executor.count; inserted = !inserted }
+    { matched = outcome2.Executor.count; inserted = !inserted;
+      trace = Trace.result qnode }
   end
 
 (* --- delete --- *)
@@ -245,6 +249,8 @@ let set_time_at rel tid tuple idx value =
   tuple'
 
 let run_delete ~now ~(source : Executor.source) (d : delete) =
+  let qnode = Trace.start "delete" in
+  Fun.protect ~finally:(fun () -> Trace.finish qnode) @@ fun () ->
   let rel = source.rel in
   let schema = Relation_file.schema rel in
   let victims = collect_qualifying ~now ~source ~where:d.where ~when_:d.when_ in
@@ -293,11 +299,14 @@ let run_delete ~now ~(source : Executor.source) (d : delete) =
                  transaction-stop stamp; no new version is needed. *)
               ()))
     victims;
-  { matched = List.length victims; inserted = !inserted }
+  { matched = List.length victims; inserted = !inserted;
+    trace = Trace.result qnode }
 
 (* --- replace --- *)
 
 let run_replace ~now ~(source : Executor.source) (r : replace) =
+  let qnode = Trace.start "replace" in
+  Fun.protect ~finally:(fun () -> Trace.finish qnode) @@ fun () ->
   let rel = source.rel in
   let schema = Relation_file.schema rel in
   let victims = collect_qualifying ~now ~source ~where:r.where ~when_:r.when_ in
@@ -377,4 +386,5 @@ let run_replace ~now ~(source : Executor.source) (r : replace) =
           insert_version ~now ~valid:r.valid ctx rel user_values;
           incr inserted)
     victims;
-  { matched = List.length victims; inserted = !inserted }
+  { matched = List.length victims; inserted = !inserted;
+    trace = Trace.result qnode }

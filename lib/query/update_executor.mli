@@ -16,7 +16,11 @@
     can only be physically deleted, a temporal event is terminated through
     its transaction time. *)
 
-type counts = { matched : int; inserted : int }
+type counts = {
+  matched : int;
+  inserted : int;
+  trace : Tdb_obs.Trace.node option;
+}
 
 exception Execution_error of string
 

@@ -22,14 +22,19 @@ let create ?(frames = 1) disk stats =
 let stats t = t.stats
 let npages t = Disk.npages t.disk
 
+let m_hits = Tdb_obs.Metric.counter "tdb_pool_hits_total"
+let m_misses = Tdb_obs.Metric.counter "tdb_pool_misses_total"
+let m_evictions = Tdb_obs.Metric.counter "tdb_pool_evictions_total"
+
 let touch t f =
   t.clock <- t.clock + 1;
   f.last_use <- t.clock
 
-let flush_frame t f =
+let flush_frame ~on_evict t f =
   if f.page_id >= 0 && f.dirty then begin
     Disk.write_page t.disk f.page_id f.data;
-    Io_stats.count_write t.stats;
+    if on_evict then Io_stats.count_eviction_write t.stats
+    else Io_stats.count_sync_write t.stats;
     f.dirty <- false
   end
 
@@ -55,11 +60,14 @@ let victim t =
 let load t id =
   match find_resident t id with
   | Some f ->
+      Tdb_obs.Metric.incr m_hits;
       touch t f;
       f
   | None ->
+      Tdb_obs.Metric.incr m_misses;
       let f = victim t in
-      flush_frame t f;
+      if f.page_id >= 0 then Tdb_obs.Metric.incr m_evictions;
+      flush_frame ~on_evict:true t f;
       (* Empty the frame before the read: if the disk raises (checksum
          failure, I/O error), the frame must not claim to hold page [id]
          with the evicted page's bytes still in it. *)
@@ -76,7 +84,8 @@ let load t id =
 let allocate t =
   let id = Disk.allocate t.disk in
   let f = victim t in
-  flush_frame t f;
+  if f.page_id >= 0 then Tdb_obs.Metric.incr m_evictions;
+  flush_frame ~on_evict:true t f;
   f.page_id <- id;
   f.data <- Page.create ();
   f.dirty <- true;
@@ -92,7 +101,7 @@ let modify t id fn =
   f.dirty <- true;
   fn f.data
 
-let flush t = Array.iter (flush_frame t) t.frames
+let flush t = Array.iter (flush_frame ~on_evict:false t) t.frames
 
 let sync t =
   flush t;

@@ -6,9 +6,11 @@
     replacement.
 
     A fetch that misses counts one read in the pool's {!Io_stats.t}; a dirty
-    frame flushed (on eviction or {!flush}) counts one write.  Newly
+    frame flushed counts one write — an {e eviction} write when forced out
+    to make room, a {e sync} write on explicit {!flush}/{!sync}.  Newly
     allocated pages are born resident and dirty, so creating and filling a
-    page costs one write, not a read. *)
+    page costs one write, not a read.  Hits, misses and evictions also feed
+    the [tdb_pool_*] observability counters. *)
 
 type t
 

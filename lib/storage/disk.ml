@@ -1,3 +1,19 @@
+let m_fsyncs = Tdb_obs.Metric.counter "tdb_disk_fsyncs_total"
+
+let m_checksum_failures =
+  Tdb_obs.Metric.counter "tdb_disk_checksum_failures_total"
+
+let m_recoveries = Tdb_obs.Metric.counter "tdb_recovery_runs_total"
+
+let m_recovered_torn =
+  Tdb_obs.Metric.counter "tdb_recovery_torn_pages_total"
+
+let m_recovered_tail_bytes =
+  Tdb_obs.Metric.counter "tdb_recovery_tail_bytes_total"
+
+let m_recovered_overflows =
+  Tdb_obs.Metric.counter "tdb_recovery_overflows_cleared_total"
+
 type mem_store = { mutable pages : bytes array; mutable used : int }
 
 type file_store = {
@@ -185,10 +201,14 @@ let allocate t =
 let read_page t id =
   check_id t id;
   let buf = fetch_page t id in
-  if not (Page.check buf) then
+  if not (Page.check buf) then begin
+    Tdb_obs.Metric.incr m_checksum_failures;
+    Tdb_obs.Trace.event "checksum_failure"
+      ~attrs:[ ("file", describe t); ("page", string_of_int id) ];
     Tdb_error.corruption
       "%s: page %d failed its checksum (stored epoch %d)" (describe t) id
-      (Page.get_epoch buf);
+      (Page.get_epoch buf)
+  end;
   buf
 
 let write_page t id page =
@@ -216,7 +236,9 @@ let truncate t =
 let fsync t =
   match t.backend with
   | Mem _ -> ()
-  | File f -> wrap_unix f.path (fun () -> Unix.fsync f.fd)
+  | File f ->
+      Tdb_obs.Metric.incr m_fsyncs;
+      wrap_unix f.path (fun () -> Unix.fsync f.fd)
 
 let close t =
   match t.backend with Mem _ -> () | File f -> Unix.close f.fd
@@ -276,6 +298,19 @@ let run_recovery t ~tail_bytes =
           done;
           if tail_bytes > 0 || torn > 0 || !cleared > 0 then Unix.fsync f.fd;
           t.epoch <- !max_epoch + 1;
+          Tdb_obs.Metric.incr m_recoveries;
+          Tdb_obs.Metric.add m_recovered_torn torn;
+          Tdb_obs.Metric.add m_recovered_tail_bytes tail_bytes;
+          Tdb_obs.Metric.add m_recovered_overflows !cleared;
+          if tail_bytes > 0 || torn > 0 || !cleared > 0 then
+            Tdb_obs.Trace.event "recovery_repair"
+              ~attrs:
+                [
+                  ("file", f.path);
+                  ("tail_bytes", string_of_int tail_bytes);
+                  ("torn_pages", string_of_int torn);
+                  ("overflows_cleared", string_of_int !cleared);
+                ];
           t.recovery <-
             Some
               {

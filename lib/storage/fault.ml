@@ -1,5 +1,12 @@
 exception Crashed
 
+let m_injected kind =
+  Tdb_obs.Metric.counter ~labels:[ ("kind", kind) ] "tdb_fault_injections_total"
+
+let inject kind =
+  Tdb_obs.Metric.incr (m_injected kind);
+  Tdb_obs.Trace.event "fault_injected" ~attrs:[ ("kind", kind) ]
+
 type t = {
   seed : int;
   mutable reads : int;
@@ -59,8 +66,14 @@ let torn_bytes t n ~len =
 let on_read t ~len =
   check_alive t;
   t.reads <- t.reads + 1;
-  if t.eio_read_at = Some t.reads then `Eio
-  else if t.short_read_at = Some t.reads then `Short (mix t t.reads mod len)
+  if t.eio_read_at = Some t.reads then begin
+    inject "eio_read";
+    `Eio
+  end
+  else if t.short_read_at = Some t.reads then begin
+    inject "short_read";
+    `Short (mix t t.reads mod len)
+  end
   else `Ok
 
 let on_write t ~len =
@@ -68,12 +81,20 @@ let on_write t ~len =
   t.writes <- t.writes + 1;
   if t.crash_at_write = Some t.writes then begin
     t.dead <- true;
+    inject "crash_at_write";
     `Crash (torn_bytes t t.writes ~len)
   end
   else if t.crash_after_write = Some t.writes then begin
     t.dead <- true;
+    inject "crash_after_write";
     `Crash_after
   end
-  else if t.torn_write_at = Some t.writes then `Torn (torn_bytes t t.writes ~len)
-  else if t.eio_write_at = Some t.writes then `Eio
+  else if t.torn_write_at = Some t.writes then begin
+    inject "torn_write";
+    `Torn (torn_bytes t t.writes ~len)
+  end
+  else if t.eio_write_at = Some t.writes then begin
+    inject "eio_write";
+    `Eio
+  end
   else `Ok

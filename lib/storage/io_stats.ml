@@ -1,24 +1,63 @@
-type t = { mutable r : int; mutable w : int }
+(* A compatibility shim over [Tdb_obs.Metric] raw counters.
 
-let create () = { r = 0; w = 0 }
-let reads t = t.r
-let writes t = t.w
-let total t = t.r + t.w
-let count_read t = t.r <- t.r + 1
-let count_write t = t.w <- t.w + 1
+   The per-pool counters are raw (ungated): the paper's page-I/O numbers
+   must stay exact whether or not observability is enabled.  Each count
+   additionally feeds the registered global counters (gated, one branch
+   when disabled) and charges the page to the current trace span. *)
+
+module Metric = Tdb_obs.Metric
+module Trace = Tdb_obs.Trace
+
+type t = {
+  r : Metric.counter;
+  ev_w : Metric.counter;  (* writes forced by eviction *)
+  sy_w : Metric.counter;  (* writes from explicit flush/sync *)
+}
+
+let global_reads = Metric.counter "tdb_io_page_reads_total"
+
+let global_eviction_writes =
+  Metric.counter ~labels:[ ("kind", "eviction") ] "tdb_io_page_writes_total"
+
+let global_sync_writes =
+  Metric.counter ~labels:[ ("kind", "sync") ] "tdb_io_page_writes_total"
+
+let create () = { r = Metric.raw (); ev_w = Metric.raw (); sy_w = Metric.raw () }
+let reads t = Metric.count t.r
+let eviction_writes t = Metric.count t.ev_w
+let sync_writes t = Metric.count t.sy_w
+let writes t = eviction_writes t + sync_writes t
+let total t = reads t + writes t
+
+let count_read t =
+  Metric.incr t.r;
+  Metric.incr global_reads;
+  Trace.note_read ()
+
+let count_eviction_write t =
+  Metric.incr t.ev_w;
+  Metric.incr global_eviction_writes;
+  Trace.note_write ()
+
+let count_sync_write t =
+  Metric.incr t.sy_w;
+  Metric.incr global_sync_writes;
+  Trace.note_write ()
+
+(* Historical name; before the eviction/sync split every write went
+   through here.  Kept for call sites that flush outside the pool. *)
+let count_write = count_sync_write
 
 let reset t =
-  t.r <- 0;
-  t.w <- 0
+  Metric.reset_counter t.r;
+  Metric.reset_counter t.ev_w;
+  Metric.reset_counter t.sy_w
 
 type snapshot = { reads : int; writes : int }
 
-let snapshot t = { reads = t.r; writes = t.w }
-
-let diff ~before ~after =
-  { reads = after.reads - before.reads; writes = after.writes - before.writes }
-
-let add a b = { reads = a.reads + b.reads; writes = a.writes + b.writes }
+let snapshot t = { reads = reads t; writes = writes t }
+let map2 f a b = { reads = f a.reads b.reads; writes = f a.writes b.writes }
+let diff ~before ~after = map2 (fun b a -> a - b) before after
+let add = map2 ( + )
 let zero = { reads = 0; writes = 0 }
-
 let pp_snapshot ppf s = Fmt.pf ppf "%d reads, %d writes" s.reads s.writes

@@ -4,16 +4,32 @@
     granularity of a page", counting only accesses to user relations.  Every
     buffer pool owns one of these counter records; the engine aggregates
     them per query.  A read is counted when a page must be fetched from the
-    disk (a buffer miss); a write when a dirty page is flushed. *)
+    disk (a buffer miss); a write when a dirty page is flushed — split by
+    cause into eviction writes and explicit sync writes.
+
+    Since PR 2 this is a thin shim over [Tdb_obs.Metric]: the per-pool
+    counters are raw obs counters (always exact, never gated), and every
+    count also feeds the registered global [tdb_io_*] metrics and the
+    current trace span, which is how per-operator I/O attribution works. *)
 
 type t
 
 val create : unit -> t
 val reads : t -> int
+
 val writes : t -> int
+(** Total writes = [eviction_writes] + [sync_writes]. *)
+
+val eviction_writes : t -> int
+val sync_writes : t -> int
 val total : t -> int
 val count_read : t -> unit
+val count_eviction_write : t -> unit
+val count_sync_write : t -> unit
+
 val count_write : t -> unit
+(** Alias for {!count_sync_write} (the historical single counter). *)
+
 val reset : t -> unit
 
 type snapshot = { reads : int; writes : int }

@@ -13,6 +13,12 @@ type t = {
          hint onward). *)
 }
 
+let m_overflow_pages =
+  Tdb_obs.Metric.counter "tdb_storage_overflow_pages_total"
+
+let h_chain_length =
+  Tdb_obs.Metric.histogram "tdb_storage_chain_length_pages"
+
 let create pool ~record_size =
   {
     pool;
@@ -85,6 +91,7 @@ let chain_insert t ~head record =
         | Some next -> go next
         | None ->
             let fresh = allocate_page t in
+            Tdb_obs.Metric.incr m_overflow_pages;
             set_next_overflow t page_id (Some fresh);
             let tid = { Tid.page = fresh; slot = 0 } in
             write_record t tid record;
@@ -107,12 +114,16 @@ let page_iter t ~page f =
   List.iter (fun (tid, r) -> f tid r) !records
 
 let chain_iter t ~head f =
-  let rec go page_id =
+  (* The page count observed here doubles as the chain-length sample: the
+     walk happens anyway, so the histogram costs no extra I/O. *)
+  let rec go pages page_id =
     let next = next_overflow t page_id in
     page_iter t ~page:page_id f;
-    match next with Some n -> go n | None -> ()
+    match next with Some n -> go (pages + 1) n | None -> pages
   in
-  go head
+  let pages = go 1 head in
+  if Tdb_obs.Metric.enabled () then
+    Tdb_obs.Metric.observe h_chain_length (float_of_int pages)
 
 let chain_pages t ~head =
   let rec go acc page_id =

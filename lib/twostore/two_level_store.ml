@@ -103,7 +103,13 @@ let append t ~now tuple =
   let tid = Relation_file.insert t.primary tuple in
   index_current_insert t tuple tid
 
+let m_history_appends =
+  Tdb_obs.Metric.counter "tdb_twostore_history_appends_total"
+
+let m_migrations = Tdb_obs.Metric.counter "tdb_twostore_migrations_total"
+
 let push_history t ~cluster ~tuple ~prev =
+  Tdb_obs.Metric.incr m_history_appends;
   let htid =
     History_store.push t.history ~cluster
       ~tuple:(Tuple.encode t.schema tuple)
@@ -116,6 +122,7 @@ let push_history t ~cluster ~tuple ~prev =
    store: the superseded version (transaction time closed at [now]) and the
    "validity ended at now" version the temporal delete semantics insert. *)
 let retire t ~now ~tid ~old_tuple =
+  Tdb_obs.Metric.incr m_migrations;
   let cluster = old_tuple.(t.key_index) in
   let prev = Hashtbl.find_opt t.heads tid in
   let superseded = Tuple.set_time old_tuple t.tstop now in

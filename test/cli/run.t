@@ -34,6 +34,22 @@ A script through a persistent database, reopened across invocations:
   +-----------+--------+---------------------+----------+
   (2 rows)
 
+Prefixing the input with "profile" prints each statement's operator
+trace tree with per-operator page I/O (wall times normalized here):
+
+  $ ../../bin/tquel.exe -d mydb -c "profile range of e is emp retrieve (e.name) when e overlap \"now\"" | sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/'
+  range of e is emp
+  +-----------+---------------------+----------+
+  | name      | valid from          | valid to |
+  +-----------+---------------------+----------+
+  | ahn       | 1980-01-01 00:00:01 | forever  |
+  | snodgrass | 1980-01-01 00:00:02 | forever  |
+  +-----------+---------------------+----------+
+  (2 rows)
+  retrieve scan(e)  [0 in, 0 out; _ ms]
+  `- scan(e)  [1 in, 0 out, 2 tuples; _ ms]
+  total: 1 pages in, 0 pages out
+
 Errors are reported, not fatal, but a failed statement exits non-zero
 (2 = query error):
 

@@ -132,6 +132,26 @@ let test_failed_read_does_not_poison_frame () =
   Alcotest.(check char) "retry refetches and succeeds" 'V' (Bytes.get page 0);
   Alcotest.(check int) "both attempts hit the disk" 2 (Fault.reads fault)
 
+let test_write_split_by_cause () =
+  (* The single write counter of the paper splits into eviction writes and
+     sync writes; the two causes must always sum to the total. *)
+  let pool, stats = make () in
+  let a = Buffer_pool.allocate pool in
+  Buffer_pool.modify pool a (fun page -> Bytes.set page 0 'a');
+  let _b = Buffer_pool.allocate pool in
+  (* a evicted dirty *)
+  Alcotest.(check int) "eviction write" 1 (Io_stats.eviction_writes stats);
+  Alcotest.(check int) "no sync write yet" 0 (Io_stats.sync_writes stats);
+  Buffer_pool.flush pool;
+  (* b flushed dirty in place *)
+  Alcotest.(check int) "flush is a sync write" 1 (Io_stats.sync_writes stats);
+  Alcotest.(check int) "eviction count unchanged" 1
+    (Io_stats.eviction_writes stats);
+  Alcotest.(check int) "causes sum to the total"
+    (Io_stats.writes stats)
+    (Io_stats.eviction_writes stats + Io_stats.sync_writes stats);
+  Alcotest.(check int) "total is 2" 2 (Io_stats.writes stats)
+
 let test_sync_reaches_disk () =
   let path = Filename.temp_file "tdb_test" ".pages" in
   let disk = Disk.open_file path in
@@ -163,6 +183,7 @@ let suites =
         Alcotest.test_case "file-backed round trip" `Quick test_file_backed_round_trip;
         Alcotest.test_case "failed read does not poison frame" `Quick
           test_failed_read_does_not_poison_frame;
+        Alcotest.test_case "write split by cause" `Quick test_write_split_by_cause;
         Alcotest.test_case "sync reaches disk" `Quick test_sync_reaches_disk;
       ] );
   ]

@@ -93,8 +93,8 @@ let test_temporal_replace_inserts_two_versions () =
          append to temp_r (k = 1, v = 10)|});
   Clock.advance (Database.clock db) 100;
   (match ok (Engine.execute_one db "replace t (v = 20) where t.k = 1") with
-  | Engine.Modified { matched = 1; inserted = 2 } -> ()
-  | Engine.Modified { matched; inserted } ->
+  | Engine.Modified { matched = 1; inserted = 2; _ } -> ()
+  | Engine.Modified { matched; inserted; _ } ->
       Alcotest.failf "matched %d inserted %d (wanted 1/2)" matched inserted
   | _ -> Alcotest.fail "expected Modified");
   (* version scan: the full history as currently known = 2 valid versions *)

@@ -1,0 +1,316 @@
+module Metric = Tdb_obs.Metric
+module Trace = Tdb_obs.Trace
+module Json = Tdb_obs.Json
+module Workload = Tdb_benchkit.Workload
+module Evolve = Tdb_benchkit.Evolve
+module Paper_queries = Tdb_benchkit.Paper_queries
+module Database = Tdb_core.Database
+module Engine = Tdb_core.Engine
+
+(* Global observability state is shared across the whole test binary:
+   every test restores the enabled flags it touched. *)
+let with_flags ~metrics ~tracing f =
+  let m = Metric.enabled () and t = Trace.enabled () in
+  Metric.set_enabled metrics;
+  Trace.set_enabled tracing;
+  Fun.protect
+    ~finally:(fun () ->
+      Metric.set_enabled m;
+      Trace.set_enabled t)
+    f
+
+(* --- histogram geometry --- *)
+
+let test_bucket_boundaries () =
+  Alcotest.(check int) "34 buckets" 34 Metric.buckets;
+  Alcotest.(check (float 0.)) "bucket 16 tops at 1.0" 1.0 (Metric.bucket_le 16);
+  Alcotest.(check (float 0.)) "bucket 17 tops at 2.0" 2.0 (Metric.bucket_le 17);
+  Alcotest.(check (float 0.))
+    "bucket 0 tops at 2^-16"
+    (2.0 ** -16.)
+    (Metric.bucket_le 0);
+  Alcotest.(check bool)
+    "last bucket is +Inf" true
+    (Metric.bucket_le (Metric.buckets - 1) = infinity);
+  for i = 1 to Metric.buckets - 1 do
+    Alcotest.(check bool)
+      "upper bounds strictly increase" true
+      (Metric.bucket_le (i - 1) < Metric.bucket_le i)
+  done
+
+let test_bucket_index () =
+  (* le is inclusive: a value exactly on a boundary lands in that bucket *)
+  Alcotest.(check int) "1.0 -> bucket 16" 16 (Metric.bucket_index 1.0);
+  Alcotest.(check int) "just above 1.0 -> 17" 17 (Metric.bucket_index 1.000001);
+  Alcotest.(check int) "0.75 -> bucket 16" 16 (Metric.bucket_index 0.75);
+  Alcotest.(check int) "0.5 -> bucket 15" 15 (Metric.bucket_index 0.5);
+  Alcotest.(check int) "tiny -> bucket 0" 0 (Metric.bucket_index 1e-9);
+  Alcotest.(check int) "zero -> bucket 0" 0 (Metric.bucket_index 0.);
+  Alcotest.(check int)
+    "2^16 is the last finite bucket" (Metric.buckets - 2)
+    (Metric.bucket_index 65536.);
+  Alcotest.(check int)
+    "beyond 2^16 -> +Inf bucket" (Metric.buckets - 1)
+    (Metric.bucket_index 1e9);
+  Alcotest.(check int)
+    "nan -> +Inf bucket" (Metric.buckets - 1)
+    (Metric.bucket_index nan);
+  (* every finite bound classifies into its own bucket *)
+  for i = 0 to Metric.buckets - 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "bound of bucket %d" i)
+      i
+      (Metric.bucket_index (Metric.bucket_le i))
+  done
+
+let test_histogram_dump_cumulative () =
+  with_flags ~metrics:true ~tracing:false @@ fun () ->
+  let h = Metric.histogram "test_obs_hist_seconds" in
+  Metric.observe h 0.5;
+  Metric.observe h 0.5;
+  Metric.observe h 3.0;
+  let recs =
+    List.filter
+      (fun (r : Metric.record) ->
+        String.length r.name >= 13
+        && String.sub r.name 0 13 = "test_obs_hist")
+      (Metric.dump ())
+  in
+  let bucket le =
+    List.find_map
+      (fun (r : Metric.record) ->
+        if
+          r.name = "test_obs_hist_seconds_bucket"
+          && List.assoc_opt "le" r.labels = Some le
+        then match r.value with Metric.Int n -> Some n | _ -> None
+        else None)
+      recs
+  in
+  Alcotest.(check (option int)) "le=0.5 holds 2" (Some 2) (bucket "0.5");
+  Alcotest.(check (option int)) "le=4 holds all 3" (Some 3) (bucket "4");
+  Alcotest.(check (option int)) "le=+Inf holds all 3" (Some 3) (bucket "+Inf");
+  let count =
+    List.find_map
+      (fun (r : Metric.record) ->
+        if r.name = "test_obs_hist_seconds_count" then
+          match r.value with Metric.Int n -> Some n | _ -> None
+        else None)
+      recs
+  in
+  Alcotest.(check (option int)) "count" (Some 3) count
+
+(* --- counters and gating --- *)
+
+let test_counter_gating () =
+  with_flags ~metrics:true ~tracing:false @@ fun () ->
+  let c = Metric.counter "test_obs_gated_total" in
+  Metric.reset_counter c;
+  Metric.incr c;
+  Metric.set_enabled false;
+  Metric.incr c;
+  Metric.incr c;
+  Metric.set_enabled true;
+  Alcotest.(check int) "disabled increments dropped" 1 (Metric.count c);
+  let r = Metric.raw () in
+  Metric.set_enabled false;
+  Metric.incr r;
+  Metric.set_enabled true;
+  Alcotest.(check int) "raw counters never gate" 1 (Metric.count r)
+
+let test_registry_identity () =
+  let a = Metric.counter "test_obs_same_total" ~labels:[ ("k", "v") ] in
+  let b = Metric.counter "test_obs_same_total" ~labels:[ ("k", "v") ] in
+  Metric.reset_counter a;
+  Metric.incr a;
+  Alcotest.(check int) "same name+labels is the same counter" 1 (Metric.count b)
+
+(* --- JSON --- *)
+
+let roundtrip name v =
+  (match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) (name ^ " (compact)") true (Json.equal v v')
+  | Error e -> Alcotest.fail (name ^ ": " ^ e));
+  match Json.parse (Json.to_string_pretty v) with
+  | Ok v' -> Alcotest.(check bool) (name ^ " (pretty)") true (Json.equal v v')
+  | Error e -> Alcotest.fail (name ^ ": " ^ e)
+
+let test_json_roundtrip () =
+  roundtrip "scalars"
+    (Json.List
+       [ Json.Null; Json.Bool true; Json.Bool false; Json.int 42;
+         Json.Num (-0.125); Json.Num 1e15; Json.Str "plain" ]);
+  roundtrip "escapes"
+    (Json.Str "quote \" backslash \\ newline \n tab \t control \x01");
+  roundtrip "nesting"
+    (Json.Obj
+       [
+         ("empty_list", Json.List []);
+         ("empty_obj", Json.Obj []);
+         ("deep", Json.List [ Json.Obj [ ("k", Json.List [ Json.int 1 ]) ] ]);
+       ]);
+  Alcotest.(check string)
+    "integral floats print as integers" "[5,-3,0]"
+    (Json.to_string (Json.List [ Json.int 5; Json.int (-3); Json.Num 0. ]));
+  Alcotest.(check string)
+    "non-finite degrades to null" "[null,null]"
+    (Json.to_string (Json.List [ Json.Num infinity; Json.Num nan ]))
+
+let test_metrics_json_roundtrip () =
+  with_flags ~metrics:true ~tracing:false @@ fun () ->
+  Metric.incr (Metric.counter "test_obs_json_total");
+  let doc = Metric.to_json () in
+  match Json.parse (Json.to_string doc) with
+  | Ok v -> Alcotest.(check bool) "metrics dump" true (Json.equal doc v)
+  | Error e -> Alcotest.fail e
+
+(* --- spans --- *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_span_nesting_and_order () =
+  with_flags ~metrics:true ~tracing:true @@ fun () ->
+  let root = Trace.start "root" in
+  Trace.within "first" (fun _ -> Trace.note_read ());
+  Trace.within "second" (fun n ->
+      Trace.note_read ();
+      Trace.note_read ();
+      Trace.within "inner" (fun _ -> Trace.note_write ());
+      Alcotest.(check int) "second's own reads" 2 n.Trace.reads);
+  let probe = Trace.branch root "probe" in
+  for _ = 1 to 3 do
+    Trace.enter probe;
+    Trace.note_read ();
+    Trace.exit probe
+  done;
+  Trace.finish root;
+  Alcotest.(check (list string))
+    "children in creation order" [ "first"; "second"; "probe" ]
+    (List.map (fun (n : Trace.node) -> n.Trace.name) (Trace.children root));
+  Alcotest.(check int) "subtree reads" 6 (Trace.total_reads root);
+  Alcotest.(check int) "subtree writes" 1 (Trace.total_writes root);
+  Alcotest.(check int) "branch accumulated activations" 3 probe.Trace.reads;
+  let rendered = Trace.render root in
+  Alcotest.(check bool) "render mentions totals" true
+    (contains rendered "total: 6 pages in, 1 pages out")
+
+let test_disabled_spans_are_free () =
+  with_flags ~metrics:true ~tracing:false @@ fun () ->
+  let n = Trace.start "off" in
+  Alcotest.(check bool) "dummy node" false (Trace.is_real n);
+  Alcotest.(check bool) "no result" true (Trace.result n = None);
+  Trace.note_read ();
+  Trace.note_write ();
+  Trace.finish n;
+  Alcotest.(check int) "dummy accumulates nothing" 0 (Trace.total_reads n)
+
+let test_event_ring () =
+  with_flags ~metrics:true ~tracing:false @@ fun () ->
+  Trace.clear_events ();
+  for i = 1 to Trace.event_capacity + 10 do
+    Trace.event ~attrs:[ ("i", string_of_int i) ] "tick"
+  done;
+  let evs = Trace.events () in
+  Alcotest.(check int) "capped at capacity" Trace.event_capacity
+    (List.length evs);
+  let seqs = List.map (fun (e : Trace.event) -> e.Trace.seq) evs in
+  Alcotest.(check bool) "oldest-first, contiguous" true
+    (seqs = List.init (List.length seqs) (fun i -> List.hd seqs + i));
+  Trace.clear_events ();
+  Metric.set_enabled false;
+  Trace.event "dropped";
+  Alcotest.(check int) "gated when metrics disabled" 0
+    (List.length (Trace.events ()))
+
+(* --- engine integration --- *)
+
+let q05 kind =
+  match Paper_queries.text Paper_queries.Q05 kind with
+  | Some src -> src
+  | None -> Alcotest.fail "Q05 undefined for kind"
+
+let test_disabled_metrics_same_page_counts () =
+  (* The acceptance bar: the observability layer must not perturb the
+     paper's numbers.  Identical cold-cache page counts with the registry
+     enabled and disabled. *)
+  let measure ~metrics ~tracing =
+    with_flags ~metrics ~tracing @@ fun () ->
+    let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:99 in
+    List.map
+      (fun qid ->
+        match Paper_queries.text qid Workload.Temporal with
+        | Some src -> Evolve.measure_query w src
+        | None -> -1)
+      Paper_queries.[ Q01; Q03; Q05; Q07; Q09; Q11 ]
+  in
+  let on = measure ~metrics:true ~tracing:false in
+  let off = measure ~metrics:false ~tracing:false in
+  let traced = measure ~metrics:true ~tracing:true in
+  Alcotest.(check (list int)) "metrics off: identical page counts" on off;
+  Alcotest.(check (list int)) "tracing on: identical page counts" on traced
+
+let test_q05_span_sum_equals_io_total () =
+  (* profile on Q05: the summed per-operator reads of the span tree must
+     equal the executor's Io_stats total. *)
+  with_flags ~metrics:true ~tracing:true @@ fun () ->
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:7 in
+  Database.reset_io w.Workload.db;
+  match Engine.execute w.Workload.db (q05 Workload.Temporal) with
+  | Ok [ Engine.Rows { io; trace = Some node; _ } ] ->
+      Alcotest.(check bool) "some pages were read" true
+        (io.Tdb_query.Executor.input_reads > 0);
+      Alcotest.(check int) "span tree sums to the Io_stats total"
+        io.Tdb_query.Executor.input_reads (Trace.total_reads node);
+      Alcotest.(check int) "writes attributed too"
+        io.Tdb_query.Executor.output_writes (Trace.total_writes node)
+  | Ok [ Engine.Rows { trace = None; _ } ] ->
+      Alcotest.fail "tracing enabled but no trace attached"
+  | Ok _ -> Alcotest.fail "expected a single Rows outcome"
+  | Error e -> Alcotest.fail e
+
+let test_nested_query_span_sum () =
+  (* Same invariant on a join (nested-loop plan, branch/enter/exit path). *)
+  with_flags ~metrics:true ~tracing:true @@ fun () ->
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:7 in
+  match Paper_queries.text Paper_queries.Q11 Workload.Temporal with
+  | None -> Alcotest.fail "Q11 undefined"
+  | Some src -> (
+      Database.reset_io w.Workload.db;
+      match Engine.execute w.Workload.db src with
+      | Ok [ Engine.Rows { io; trace = Some node; _ } ] ->
+          Alcotest.(check int) "join span tree sums to the Io_stats total"
+            io.Tdb_query.Executor.input_reads (Trace.total_reads node);
+          Alcotest.(check bool) "tree has operator children" true
+            (Trace.children node <> [])
+      | Ok _ -> Alcotest.fail "expected a traced Rows outcome"
+      | Error e -> Alcotest.fail e)
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "histogram bucket boundaries" `Quick
+          test_bucket_boundaries;
+        Alcotest.test_case "histogram bucket index" `Quick test_bucket_index;
+        Alcotest.test_case "histogram cumulative dump" `Quick
+          test_histogram_dump_cumulative;
+        Alcotest.test_case "counter gating" `Quick test_counter_gating;
+        Alcotest.test_case "registry identity" `Quick test_registry_identity;
+        Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "metrics json round-trip" `Quick
+          test_metrics_json_roundtrip;
+        Alcotest.test_case "span nesting and order" `Quick
+          test_span_nesting_and_order;
+        Alcotest.test_case "disabled spans are free" `Quick
+          test_disabled_spans_are_free;
+        Alcotest.test_case "event ring buffer" `Quick test_event_ring;
+        Alcotest.test_case "disabled metrics: same page counts" `Quick
+          test_disabled_metrics_same_page_counts;
+        Alcotest.test_case "q05 span sum = io total" `Quick
+          test_q05_span_sum_equals_io_total;
+        Alcotest.test_case "nested query span sum" `Quick
+          test_nested_query_span_sum;
+      ] );
+  ]
