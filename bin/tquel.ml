@@ -9,7 +9,8 @@
    Inside the shell, statements may span lines and end with ';'.
    Meta commands: \q quit, \l list relations, \ranges, \timing toggles
    page-I/O reporting, \clock shows the session clock, \advance N moves it
-   forward N seconds, \metrics [json|reset] dumps engine metrics, \help.
+   forward N seconds, \metrics [json|reset] dumps engine metrics, \explain
+   shows a retrieve's plan without running it, \help.
 
    Prefixing input with "profile" enables span tracing for just that
    input and prints each statement's operator tree with per-node page I/O
@@ -117,7 +118,9 @@ let help () =
      Prefix any input with 'profile' to print its operator trace tree:\n\
     \  profile retrieve (e.name) when e overlap \"now\";\n\
      Meta commands: \\q quit, \\l relations, \\ranges, \\timing, \\clock,\n\
-    \  \\advance N, \\metrics [json|reset], \\help\n"
+    \  \\advance N, \\metrics [json|reset], \\explain STMT, \\help\n\
+     \\explain shows a retrieve's plan (fence[...] marks temporal pruning)\n\
+     without running it.\n"
 
 let meta db line =
   match String.split_on_char ' ' (String.trim line) with
@@ -159,6 +162,22 @@ let meta db line =
   | [ "\\metrics"; "reset" ] ->
       Tdb_obs.Metric.reset_all ();
       print_endline "metrics reset";
+      `Continue
+  | "\\explain" :: rest when rest <> [] ->
+      let stmt = String.concat " " rest in
+      let stmt =
+        (* tolerate a trailing ';' as in ordinary statements *)
+        let t = String.trim stmt in
+        if String.length t > 0 && t.[String.length t - 1] = ';' then
+          String.sub t 0 (String.length t - 1)
+        else t
+      in
+      (match Engine.explain db stmt with
+      | Ok plan -> Printf.printf "plan: %s\n" plan
+      | Error e -> Printf.printf "error: %s\n" e);
+      `Continue
+  | [ "\\explain" ] ->
+      print_endline "usage: \\explain RETRIEVE-STATEMENT";
       `Continue
   | [ "\\help" ] | [ "\\h" ] | [ "\\?" ] ->
       help ();

@@ -154,9 +154,12 @@ let destroy_relation t name =
       t.range_decls <-
         List.filter (fun (_, r) -> r <> name) t.range_decls;
       (match t.dir with
-      | Some dir when Sys.file_exists (pages_path dir name) ->
-          Sys.remove (pages_path dir name)
-      | _ -> ());
+      | Some dir ->
+          let pages = pages_path dir name in
+          if Sys.file_exists pages then Sys.remove pages;
+          let fences = pages ^ ".fences" in
+          if Sys.file_exists fences then Sys.remove fences
+      | None -> ());
       save_catalog t;
       Ok ()
 

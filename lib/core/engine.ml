@@ -313,6 +313,20 @@ let execute_statement db stmt =
     result
   end
 
+(* The plan a retrieve would run, without running it (the CLI's
+   [\explain]).  Fence refinements show which time dimensions the storage
+   layer will prune on. *)
+let explain db src =
+  let* stmt = Parser.parse_statement src in
+  let* () = Semck.check_statement (Database.semck_env db) stmt in
+  match stmt with
+  | Ast.Retrieve r ->
+      run_protected (fun () ->
+          Plan.to_string (Executor.plan_retrieve ~sources:(sources_of db) r))
+  | stmt ->
+      Ok (Printf.sprintf "%s: no plan (only retrieve statements are planned)"
+            (statement_kind stmt))
+
 let execute db src =
   let* stmts = Parser.parse_program src in
   let rec go acc = function

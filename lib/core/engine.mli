@@ -47,6 +47,11 @@ val execute : Database.t -> string -> (outcome list, string) result
 val execute_one : Database.t -> string -> (outcome, string) result
 (** Parses and runs exactly one statement. *)
 
+val explain : Database.t -> string -> (string, string) result
+(** Parses and checks one statement and describes the plan a [retrieve]
+    would execute — including fence refinements showing which time
+    dimensions the storage layer will prune on — without running it. *)
+
 val format_rows :
   ?max_rows:int ->
   Tdb_relation.Schema.t ->

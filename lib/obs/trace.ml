@@ -4,6 +4,7 @@ type node = {
   mutable attrs : (string * string) list;
   mutable reads : int;
   mutable writes : int;
+  mutable skips : int;
   mutable tuples : int;
   mutable started : float;
   mutable elapsed : float;
@@ -21,6 +22,7 @@ let dummy =
     attrs = [];
     reads = 0;
     writes = 0;
+    skips = 0;
     tuples = 0;
     started = 0.0;
     elapsed = 0.0;
@@ -41,6 +43,7 @@ let fresh name =
     attrs = [];
     reads = 0;
     writes = 0;
+    skips = 0;
     tuples = 0;
     started = Metric.now_s ();
     elapsed = 0.0;
@@ -110,6 +113,9 @@ let note_read () =
 let note_write () =
   match !stack with [] -> () | n :: _ -> n.writes <- n.writes + 1
 
+let note_skip k =
+  match !stack with [] -> () | n :: _ -> n.skips <- n.skips + k
+
 let add_tuples n k = if is_real n then n.tuples <- n.tuples + k
 let set_attr n k v = if is_real n then n.attrs <- (k, v) :: n.attrs
 let children n = List.rev n.children
@@ -120,6 +126,9 @@ let rec total_reads n =
 let rec total_writes n =
   List.fold_left (fun acc c -> acc + total_writes c) n.writes n.children
 
+let rec total_skips n =
+  List.fold_left (fun acc c -> acc + total_skips c) n.skips n.children
+
 let describe n =
   let attrs =
     match List.rev n.attrs with
@@ -129,8 +138,11 @@ let describe n =
         ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
   in
   let tuples = if n.tuples > 0 then Printf.sprintf ", %d tuples" n.tuples else "" in
-  Printf.sprintf "%s%s  [%d in, %d out%s; %.2f ms]" n.name attrs n.reads
-    n.writes tuples (1000.0 *. n.elapsed)
+  let skips =
+    if n.skips > 0 then Printf.sprintf ", %d pruned" n.skips else ""
+  in
+  Printf.sprintf "%s%s  [%d in, %d out%s%s; %.2f ms]" n.name attrs n.reads
+    n.writes skips tuples (1000.0 *. n.elapsed)
 
 let render root =
   let buf = Buffer.create 256 in
@@ -148,9 +160,13 @@ let render root =
       cs
   in
   go "" "" root;
+  let skips = total_skips root in
+  let pruned =
+    if skips > 0 then Printf.sprintf ", %d pages pruned" skips else ""
+  in
   Buffer.add_string buf
-    (Printf.sprintf "total: %d pages in, %d pages out\n" (total_reads root)
-       (total_writes root));
+    (Printf.sprintf "total: %d pages in, %d pages out%s\n" (total_reads root)
+       (total_writes root) pruned);
   Buffer.contents buf
 
 (* --- event log --- *)

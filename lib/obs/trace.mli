@@ -17,6 +17,7 @@ type node = {
   mutable attrs : (string * string) list;
   mutable reads : int;
   mutable writes : int;
+  mutable skips : int;  (** pages skipped by temporal pruning *)
   mutable tuples : int;
   mutable started : float;
   mutable elapsed : float;  (** seconds, accumulated over enter/exit *)
@@ -49,6 +50,10 @@ val note_read : unit -> unit
 val note_write : unit -> unit
 (** Charge one page read/write to the current span; no-op with no span. *)
 
+val note_skip : int -> unit
+(** Charge [k] pruned (skipped-without-reading) pages to the current
+    span; no-op with no span. *)
+
 val add_tuples : node -> int -> unit
 val set_attr : node -> string -> string -> unit
 
@@ -63,6 +68,7 @@ val children : node -> node list
 
 val total_reads : node -> int
 val total_writes : node -> int
+val total_skips : node -> int
 (** Subtree sums, root included. *)
 
 val render : node -> string

@@ -97,6 +97,14 @@ let range_bounds conjuncts ~var ~attr =
       | _ -> (lo, hi))
     (None, None) conjuncts
 
+let overlap_constant conjuncts ~var =
+  let matches = function
+    | When (Poverlap (Tvar v, Tconst c)) when v = var -> Some c
+    | When (Poverlap (Tconst c, Tvar v)) when v = var -> Some c
+    | _ -> None
+  in
+  List.find_map matches conjuncts
+
 type join_equality = {
   left_var : string;
   left_attr : string;

@@ -43,6 +43,12 @@ val range_bounds :
     basis for ISAM range probes.  When several conjuncts bound the same
     side, one is returned (the rest still filter during the scan). *)
 
+val overlap_constant : conjunct list -> var:string -> string option
+(** A conjunct of the shape [when var overlap "c"] (or mirrored) with a
+    constant event: bounds the variable's valid time, enabling fence
+    pruning on the valid dimension.  The conjunct itself still filters
+    exactly during the scan. *)
+
 type join_equality = {
   left_var : string;
   left_attr : string;

@@ -309,6 +309,25 @@ let coerce_probe schema key_attr v ~now =
       | Ok v -> v
       | Error e -> errf "bad key value: %s" e)
 
+(* Resolve a [Time_fence] refinement into the storage layer's window: the
+   transaction dimension is the query's as-of window, the valid dimension
+   the constant [when] bound.  Pruning on either is sound because the
+   restriction re-applies the exact tests ([as_of_ok], the when conjunct)
+   to every surviving tuple. *)
+let resolve_window ~now ~restriction ~transaction ~valid_const =
+  let valid =
+    Option.map
+      (fun s ->
+        match Chronon.parse ~now s with
+        | Ok t -> Period.at t
+        | Error e -> errf "bad time constant %S: %s" s e)
+      valid_const
+  in
+  let transaction = if transaction then restriction.window else None in
+  match (transaction, valid) with
+  | None, None -> None
+  | _ -> Some { Tdb_storage.Time_fence.transaction; valid }
+
 let iter_restricted ~now ~restriction ~access (source : source) f =
   let visit _tid tuple =
     if restricted ~now restriction source tuple then f tuple
@@ -318,27 +337,33 @@ let iter_restricted ~now ~restriction ~access (source : source) f =
     | Some i -> (Schema.attr (Relation_file.schema source.rel) i).Schema.name
     | None -> errf "keyed probe on a heap relation"
   in
-  match access with
-  | Plan.Seq_scan -> Relation_file.scan source.rel visit
-  | Plan.Keyed_probe e ->
-      let probe = Eval.expr { Eval.bindings = []; now } e in
-      let probe =
-        coerce_probe (Relation_file.schema source.rel) (key_attr_name ()) probe
-          ~now
-      in
-      Relation_file.lookup source.rel probe visit
-  | Plan.Range_probe (lo, hi) ->
-      (* Strict bounds are widened to inclusive here; the restriction
-         conjuncts (which include the original comparisons) re-filter. *)
-      let bound (b : Conjuncts.bound option) =
-        Option.map
-          (fun (b : Conjuncts.bound) ->
-            coerce_probe (Relation_file.schema source.rel) (key_attr_name ())
-              (Eval.expr { Eval.bindings = []; now } b.Conjuncts.expr)
-              ~now)
-          b
-      in
-      Relation_file.lookup_range source.rel ?lo:(bound lo) ?hi:(bound hi) visit
+  let rec go ?window = function
+    | Plan.Seq_scan -> Relation_file.scan ?window source.rel visit
+    | Plan.Keyed_probe e ->
+        let probe = Eval.expr { Eval.bindings = []; now } e in
+        let probe =
+          coerce_probe (Relation_file.schema source.rel) (key_attr_name ())
+            probe ~now
+        in
+        Relation_file.lookup ?window source.rel probe visit
+    | Plan.Range_probe (lo, hi) ->
+        (* Strict bounds are widened to inclusive here; the restriction
+           conjuncts (which include the original comparisons) re-filter. *)
+        let bound (b : Conjuncts.bound option) =
+          Option.map
+            (fun (b : Conjuncts.bound) ->
+              coerce_probe (Relation_file.schema source.rel) (key_attr_name ())
+                (Eval.expr { Eval.bindings = []; now } b.Conjuncts.expr)
+                ~now)
+            b
+        in
+        Relation_file.lookup_range ?window source.rel ?lo:(bound lo)
+          ?hi:(bound hi) visit
+    | Plan.Time_fence { transaction; valid_const; base } ->
+        let window = resolve_window ~now ~restriction ~transaction ~valid_const in
+        go ?window base
+  in
+  go access
 
 (* --- one-variable detachment --- *)
 
@@ -388,17 +413,40 @@ let detach ~now ~restriction ~access ~needed (source : source) =
 
 (* --- the main loop --- *)
 
-let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
-  let used = used_vars r in
-  let sources =
-    List.map
-      (fun v ->
-        match List.find_opt (fun s -> s.var = v) sources with
-        | Some s -> s
-        | None -> errf "tuple variable %S is not in range" v)
-      used
+let schema_of s = Relation_file.schema s.rel
+
+let source_info s =
+  let key =
+    match (Relation_file.organization s.rel, Relation_file.key_attr s.rel) with
+    | Relation_file.Hash _, Some i ->
+        Some (Schema.norm_name (Schema.attr (schema_of s) i).Schema.name, `Hash)
+    | Relation_file.Isam _, Some i ->
+        Some (Schema.norm_name (Schema.attr (schema_of s) i).Schema.name, `Isam)
+    | _ -> None
   in
-  let schema_of s = Relation_file.schema s.rel in
+  let dbt = Schema.db_type (schema_of s) in
+  {
+    Plan.var = s.var;
+    key;
+    transaction_time = Db_type.has_transaction_time dbt;
+    valid_time = Db_type.has_valid_time dbt;
+  }
+
+let ordered_sources ~sources r =
+  List.map
+    (fun v ->
+      match List.find_opt (fun s -> s.var = v) sources with
+      | Some s -> s
+      | None -> errf "tuple variable %S is not in range" v)
+    (used_vars r)
+
+let plan_retrieve ~sources (r : retrieve) =
+  let sources = ordered_sources ~sources r in
+  let conjuncts = Conjuncts.split r.where r.when_ in
+  Plan.choose ~sources:(List.map source_info sources) ~conjuncts
+
+let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
+  let sources = ordered_sources ~sources r in
   let conjuncts = Conjuncts.split r.where r.when_ in
   let window = as_of_window ~now r.as_of in
   let restriction_of var =
@@ -406,32 +454,27 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
   in
   let residual = Conjuncts.multi_var conjuncts in
   (* Best single-variable access path: keyed when a constant equality on
-     the relation's key exists. *)
+     the relation's key exists — fence-refined like every other access. *)
   let access_for s =
-    match (Relation_file.organization s.rel, Relation_file.key_attr s.rel) with
-    | (Relation_file.Hash _ | Relation_file.Isam _), Some i -> (
-        let attr =
-          Schema.norm_name (Schema.attr (schema_of s) i).Schema.name
-        in
-        match Conjuncts.constant_key_probe conjuncts ~var:s.var ~attr with
-        | Some e -> Plan.Keyed_probe e
-        | None -> Plan.Seq_scan)
-    | _ -> Plan.Seq_scan
-  in
-  let plan =
-    let source_info s =
-      let key =
-        match (Relation_file.organization s.rel, Relation_file.key_attr s.rel) with
-        | Relation_file.Hash _, Some i ->
-            Some (Schema.norm_name (Schema.attr (schema_of s) i).Schema.name, `Hash)
-        | Relation_file.Isam _, Some i ->
-            Some (Schema.norm_name (Schema.attr (schema_of s) i).Schema.name, `Isam)
-        | _ -> None
-      in
-      { Plan.var = s.var; key }
+    let info = source_info s in
+    let base =
+      match info.Plan.key with
+      | Some (attr, _) -> (
+          match Conjuncts.constant_key_probe conjuncts ~var:s.var ~attr with
+          | Some e -> Plan.Keyed_probe e
+          | None -> Plan.Seq_scan)
+      | None -> Plan.Seq_scan
     in
-    Plan.choose ~sources:(List.map source_info sources) ~conjuncts
+    Plan.refine_access info conjuncts base
   in
+  let fenced_scan s = Plan.refine_access (source_info s) conjuncts Plan.Seq_scan in
+  let fence_window_for s ~restriction =
+    match Plan.fence_spec (source_info s) conjuncts with
+    | Some (transaction, valid_const) ->
+        resolve_window ~now ~restriction ~transaction ~valid_const
+    | None -> None
+  in
+  let plan = Plan.choose ~sources:(List.map source_info sources) ~conjuncts in
   let result = result_schema ~sources r in
   (* I/O accounting: deltas on the sources plus everything the temporaries
      do. *)
@@ -607,10 +650,12 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
       | None -> ()
     end
   in
-  let access_label var = function
+  let rec access_label var = function
     | Plan.Seq_scan -> Printf.sprintf "scan(%s)" var
     | Plan.Keyed_probe _ -> Printf.sprintf "probe(%s)" var
     | Plan.Range_probe _ -> Printf.sprintf "range(%s)" var
+    | Plan.Time_fence { base; _ } ->
+        Printf.sprintf "fence(%s)" (access_label var base)
   in
   let traced_detach ~restriction ~access ~needed s =
     Trace.within (Printf.sprintf "detach(%s)" s.var) (fun tn ->
@@ -652,6 +697,7 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
         | None -> assert false
       in
       let inner_restriction = restriction_of substituted in
+      let inner_window = fence_window_for si ~restriction:inner_restriction in
       Trace.within (Printf.sprintf "substitute(%s)" substituted) (fun tn ->
           let pn =
             Trace.branch tn
@@ -665,7 +711,8 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
                   outer_tuple.(probe_index) ~now
               in
               Trace.enter pn;
-              Relation_file.lookup si.rel probe (fun _ inner_tuple ->
+              Relation_file.lookup ?window:inner_window si.rel probe
+                (fun _ inner_tuple ->
                   if restricted ~now inner_restriction si inner_tuple then begin
                     Trace.add_tuples pn 1;
                     emit
@@ -708,24 +755,29 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
       let ro = restriction_of outer and ri = restriction_of inner in
       Trace.within (Printf.sprintf "scan(%s)" outer) (fun on_ ->
           let inn = Trace.branch on_ (Printf.sprintf "scan(%s)" inner) in
-          iter_restricted ~now ~restriction:ro ~access:Plan.Seq_scan so
+          iter_restricted ~now ~restriction:ro ~access:(fenced_scan so) so
             (fun ot ->
               Trace.add_tuples on_ 1;
               Trace.enter inn;
-              iter_restricted ~now ~restriction:ri ~access:Plan.Seq_scan si
+              iter_restricted ~now ~restriction:ri ~access:(fenced_scan si) si
                 (fun it ->
                   Trace.add_tuples inn 1;
                   emit { Eval.bindings = [ binding so ot; binding si it ]; now });
               Trace.exit inn))
-  | Plan.Nested_general [] -> emit { Eval.bindings = []; now }
-  | Plan.Nested_general (v1 :: rest) ->
-      Trace.within (Printf.sprintf "scan(%s)" v1) (fun n1 ->
+  | Plan.Nested_general { vars = []; _ } -> emit { Eval.bindings = []; now }
+  | Plan.Nested_general { vars = v1 :: rest; probe } ->
+      let label v =
+        match probe with
+        | Some p when p.Plan.probe_var = v -> Printf.sprintf "probe(%s)" v
+        | _ -> Printf.sprintf "scan(%s)" v
+      in
+      Trace.within (label v1) (fun n1 ->
           (* One span per variable, nested to mirror the loop structure;
              inner spans are re-entered once per enclosing binding. *)
           let rec build parent = function
             | [] -> []
             | v :: tl ->
-                let n = Trace.branch parent (Printf.sprintf "scan(%s)" v) in
+                let n = Trace.branch parent (label v) in
                 (v, n) :: build n tl
           in
           let rec loop bound = function
@@ -736,13 +788,42 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
                   Trace.add_tuples node 1;
                   loop (binding s tuple :: bound) tl
                 in
-                if outermost then
-                  iter_restricted ~now ~restriction:(restriction_of v)
-                    ~access:Plan.Seq_scan s visit
+                let run () =
+                  match probe with
+                  | Some p when p.Plan.probe_var = v && tl = [] ->
+                      (* Innermost variable: probe its key with the value
+                         bound by the enclosing equi-join variable (the
+                         tuple substitution move, one binding at a time). *)
+                      let b =
+                        List.find
+                          (fun (b : Eval.binding) -> b.Eval.var = p.Plan.from_var)
+                          bound
+                      in
+                      let idx =
+                        match Schema.index_of b.Eval.schema p.Plan.from_attr with
+                        | Some i -> i
+                        | None ->
+                            errf "probe attribute %s.%s not found"
+                              p.Plan.from_var p.Plan.from_attr
+                      in
+                      let restriction = restriction_of v in
+                      let probe_val =
+                        coerce_probe (schema_of s) p.Plan.probe_attr
+                          b.Eval.tuple.(idx) ~now
+                      in
+                      let window = fence_window_for s ~restriction in
+                      Relation_file.lookup ?window s.rel probe_val
+                        (fun _ tuple ->
+                          if restricted ~now restriction s tuple then
+                            visit tuple)
+                  | _ ->
+                      iter_restricted ~now ~restriction:(restriction_of v)
+                        ~access:(fenced_scan s) s visit
+                in
+                if outermost then run ()
                 else begin
                   Trace.enter node;
-                  iter_restricted ~now ~restriction:(restriction_of v)
-                    ~access:Plan.Seq_scan s visit;
+                  run ();
                   Trace.exit node
                 end
           in

@@ -37,6 +37,10 @@ val run_retrieve :
     should have passed {!Tdb_tquel.Semck} first; runtime surprises raise
     {!Execution_error}. *)
 
+val plan_retrieve : sources:source list -> Tdb_tquel.Ast.retrieve -> Plan.t
+(** The plan {!run_retrieve} would execute, without running it (drives the
+    CLI's [\explain]). *)
+
 val result_schema :
   sources:source list ->
   Tdb_tquel.Ast.retrieve ->

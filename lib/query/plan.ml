@@ -2,6 +2,18 @@ type access =
   | Seq_scan
   | Keyed_probe of Tdb_tquel.Ast.expr
   | Range_probe of Conjuncts.bound option * Conjuncts.bound option
+  | Time_fence of {
+      transaction : bool;
+      valid_const : string option;
+      base : access;
+    }
+
+type inner_probe = {
+  probe_var : string;
+  probe_attr : string;
+  from_var : string;
+  from_attr : string;
+}
 
 type t =
   | Const_emit
@@ -13,30 +25,94 @@ type t =
     }
   | Detach_both of { outer : string; inner : string }
   | Nested_scan of { outer : string; inner : string }
-  | Nested_general of string list
+  | Nested_general of { vars : string list; probe : inner_probe option }
 
 type source_info = {
   var : string;
   key : (string * [ `Hash | `Isam ]) option;
+  transaction_time : bool;
+  valid_time : bool;
 }
 
+(* Which fence dimensions can prune this source: the transaction window
+   applies to every query over a relation with transaction time (the
+   default rollback point is "now"); the valid dimension needs an
+   extractable [when var overlap "c"] bound. *)
+let fence_spec source conjuncts =
+  let transaction = source.transaction_time in
+  let valid_const =
+    if source.valid_time then
+      Conjuncts.overlap_constant conjuncts ~var:source.var
+    else None
+  in
+  if transaction || valid_const <> None then Some (transaction, valid_const)
+  else None
+
+let refine_access source conjuncts access =
+  match fence_spec source conjuncts with
+  | Some (transaction, valid_const) ->
+      Time_fence { transaction; valid_const; base = access }
+  | None -> access
+
 let single_access source conjuncts =
-  match source.key with
-  | Some (attr, kind) -> (
-      match Conjuncts.constant_key_probe conjuncts ~var:source.var ~attr with
-      | Some e -> Keyed_probe e
-      | None -> (
-          (* An ISAM key admits range probes; hashing does not. *)
-          match kind with
-          | `Isam -> (
-              match Conjuncts.range_bounds conjuncts ~var:source.var ~attr with
-              | (None, None) -> Seq_scan
-              | (lo, hi) -> Range_probe (lo, hi))
-          | `Hash -> Seq_scan))
-  | None -> Seq_scan
+  let base =
+    match source.key with
+    | Some (attr, kind) -> (
+        match Conjuncts.constant_key_probe conjuncts ~var:source.var ~attr with
+        | Some e -> Keyed_probe e
+        | None -> (
+            (* An ISAM key admits range probes; hashing does not. *)
+            match kind with
+            | `Isam -> (
+                match Conjuncts.range_bounds conjuncts ~var:source.var ~attr with
+                | (None, None) -> Seq_scan
+                | (lo, hi) -> Range_probe (lo, hi))
+            | `Hash -> Seq_scan))
+    | None -> Seq_scan
+  in
+  refine_access source conjuncts base
 
 let has_restriction var conjuncts =
   Conjuncts.for_var var conjuncts <> []
+
+(* The innermost variable of a 3+-variable nest reuses the tuple
+   substitution idea: when an equi-join lands on its key and the other
+   side is an enclosing variable, each enclosing binding probes instead
+   of scanning. *)
+let innermost_probe sources conjuncts =
+  match List.rev sources with
+  | [] -> None
+  | innermost :: outers -> (
+      match innermost.key with
+      | None -> None
+      | Some (key_attr, _) ->
+          let outer_var v = List.exists (fun s -> s.var = v) outers in
+          let hit (je : Conjuncts.join_equality) =
+            if
+              je.left_var = innermost.var && je.left_attr = key_attr
+              && outer_var je.right_var
+            then
+              Some
+                {
+                  probe_var = innermost.var;
+                  probe_attr = key_attr;
+                  from_var = je.right_var;
+                  from_attr = je.right_attr;
+                }
+            else if
+              je.right_var = innermost.var && je.right_attr = key_attr
+              && outer_var je.left_var
+            then
+              Some
+                {
+                  probe_var = innermost.var;
+                  probe_attr = key_attr;
+                  from_var = je.left_var;
+                  from_attr = je.left_attr;
+                }
+            else None
+          in
+          List.find_map hit (Conjuncts.join_equalities conjuncts))
 
 let choose ~sources ~conjuncts =
   match sources with
@@ -66,13 +142,31 @@ let choose ~sources ~conjuncts =
           if has_restriction a.var conjuncts && has_restriction b.var conjuncts
           then Detach_both { outer = a.var; inner = b.var }
           else Nested_scan { outer = a.var; inner = b.var })
-  | many -> Nested_general (List.map (fun s -> s.var) many)
+  | many ->
+      Nested_general
+        {
+          vars = List.map (fun s -> s.var) many;
+          probe = innermost_probe many conjuncts;
+        }
+
+let rec access_to_string var = function
+  | Seq_scan -> Printf.sprintf "scan(%s)" var
+  | Keyed_probe _ -> Printf.sprintf "keyed(%s)" var
+  | Range_probe _ -> Printf.sprintf "range(%s)" var
+  | Time_fence { transaction; valid_const; base } ->
+      let dims =
+        (if transaction then [ "tx" ] else [])
+        @
+        match valid_const with
+        | Some c -> [ Printf.sprintf "valid@%S" c ]
+        | None -> []
+      in
+      Printf.sprintf "fence[%s](%s)" (String.concat "," dims)
+        (access_to_string var base)
 
 let to_string = function
   | Const_emit -> "constant emit"
-  | Single { var; access = Seq_scan } -> Printf.sprintf "scan(%s)" var
-  | Single { var; access = Keyed_probe _ } -> Printf.sprintf "keyed(%s)" var
-  | Single { var; access = Range_probe _ } -> Printf.sprintf "range(%s)" var
+  | Single { var; access } -> access_to_string var access
   | Tuple_substitution { detached; substituted; probe_attr } ->
       Printf.sprintf "detach(%s) then substitute into %s via %s.%s" detached
         substituted detached probe_attr
@@ -80,5 +174,10 @@ let to_string = function
       Printf.sprintf "detach(%s) join detach(%s)" outer inner
   | Nested_scan { outer; inner } ->
       Printf.sprintf "nested scan(%s, %s)" outer inner
-  | Nested_general vars ->
-      Printf.sprintf "nested scans(%s)" (String.concat ", " vars)
+  | Nested_general { vars; probe } -> (
+      Printf.sprintf "nested scans(%s)%s" (String.concat ", " vars)
+        (match probe with
+        | Some p ->
+            Printf.sprintf " with %s probed via %s.%s" p.probe_var p.from_var
+              p.from_attr
+        | None -> ""))

@@ -10,7 +10,15 @@
     - a two-variable query whose variables both carry selective
       single-variable restrictions is evaluated by detaching both into
       temporaries and joining those (Q12);
-    - anything else is a nested sequential scan (Q11). *)
+    - anything else is a nested sequential scan (Q11), except that the
+      innermost variable of a 3+-variable nest is probed by key when an
+      equi-join allows it.
+
+    Any access over a relation with transaction or valid time is wrapped in
+    a {!access.Time_fence} refinement: the executor pushes the query's
+    rollback window (and any constant [when] bound) into the storage layer,
+    which skips pages whose time fences prove no qualifying version —
+    without changing which tuples the access yields after filtering. *)
 
 type access =
   | Seq_scan
@@ -20,6 +28,22 @@ type access =
       (** ISAM only: read the data pages covering \[lo, hi\] instead of
           scanning (an extension beyond the prototype; strict bounds are
           widened to inclusive and re-filtered by the restriction) *)
+  | Time_fence of {
+      transaction : bool;
+          (** push the as-of window into page fences (the source has
+              transaction time) *)
+      valid_const : string option;
+          (** constant bound on valid time from a [when var overlap "c"]
+              conjunct *)
+      base : access;  (** never itself [Time_fence] *)
+    }
+
+type inner_probe = {
+  probe_var : string;  (** innermost variable, keyed on [probe_attr] *)
+  probe_attr : string;
+  from_var : string;  (** enclosing variable supplying the probe value *)
+  from_attr : string;
+}
 
 type t =
   | Const_emit  (** no tuple variables at all *)
@@ -31,16 +55,30 @@ type t =
     }
   | Detach_both of { outer : string; inner : string }
   | Nested_scan of { outer : string; inner : string }
-  | Nested_general of string list  (** 3+ variables: nested scans in order *)
+  | Nested_general of { vars : string list; probe : inner_probe option }
+      (** 3+ variables: nested scans in order; the innermost is probed by
+          key when an equi-join with an enclosing variable lands on it *)
 
 type source_info = {
   var : string;
   key : (string * [ `Hash | `Isam ]) option;
       (** the relation's key attribute name, when hash/ISAM organized *)
+  transaction_time : bool;
+  valid_time : bool;
 }
 
 val choose :
   sources:source_info list -> conjuncts:Conjuncts.conjunct list -> t
 (** [sources] in order of first appearance in the query. *)
 
+val refine_access :
+  source_info -> Conjuncts.conjunct list -> access -> access
+(** Wraps [access] in {!access.Time_fence} when the source's time
+    dimensions admit pruning; identity otherwise. *)
+
+val fence_spec :
+  source_info -> Conjuncts.conjunct list -> (bool * string option) option
+(** [(transaction, valid_const)] when either fence dimension applies. *)
+
 val to_string : t -> string
+val access_to_string : string -> access -> string

@@ -10,6 +10,10 @@ type t = {
   stats : Io_stats.t;
   mutable frames : frame array;
   mutable clock : int;
+  resident : (int, frame) Hashtbl.t;
+      (* page id -> frame, for every frame with page_id >= 0.  Keeps
+         residency checks O(1) instead of O(frames); every page_id
+         transition below updates it in the same step. *)
 }
 
 let make_frame () =
@@ -17,7 +21,13 @@ let make_frame () =
 
 let create ?(frames = 1) disk stats =
   if frames < 1 then invalid_arg "Buffer_pool.create: frames must be >= 1";
-  { disk; stats; frames = Array.init frames (fun _ -> make_frame ()); clock = 0 }
+  {
+    disk;
+    stats;
+    frames = Array.init frames (fun _ -> make_frame ());
+    clock = 0;
+    resident = Hashtbl.create (max 16 (2 * frames));
+  }
 
 let stats t = t.stats
 let npages t = Disk.npages t.disk
@@ -38,13 +48,10 @@ let flush_frame ~on_evict t f =
     f.dirty <- false
   end
 
-let find_resident t id =
-  let rec go i =
-    if i >= Array.length t.frames then None
-    else if t.frames.(i).page_id = id then Some t.frames.(i)
-    else go (i + 1)
-  in
-  go 0
+let find_resident t id = Hashtbl.find_opt t.resident id
+
+let unbind t f =
+  if f.page_id >= 0 then Hashtbl.remove t.resident f.page_id
 
 let victim t =
   (* Free frame if any, else least recently used. *)
@@ -71,6 +78,7 @@ let load t id =
       (* Empty the frame before the read: if the disk raises (checksum
          failure, I/O error), the frame must not claim to hold page [id]
          with the evicted page's bytes still in it. *)
+      unbind t f;
       f.page_id <- -1;
       f.data <- Bytes.empty;
       f.dirty <- false;
@@ -78,6 +86,7 @@ let load t id =
       Io_stats.count_read t.stats;
       f.page_id <- id;
       f.data <- data;
+      Hashtbl.replace t.resident id f;
       touch t f;
       f
 
@@ -86,9 +95,11 @@ let allocate t =
   let f = victim t in
   if f.page_id >= 0 then Tdb_obs.Metric.incr m_evictions;
   flush_frame ~on_evict:true t f;
+  unbind t f;
   f.page_id <- id;
   f.data <- Page.create ();
   f.dirty <- true;
+  Hashtbl.replace t.resident id f;
   touch t f;
   id
 
@@ -109,6 +120,7 @@ let sync t =
 
 let invalidate t =
   flush t;
+  Hashtbl.reset t.resident;
   Array.iter
     (fun f ->
       f.page_id <- -1;
@@ -119,5 +131,6 @@ let invalidate t =
 let resize t ~frames =
   if frames < 1 then invalid_arg "Buffer_pool.resize: frames must be >= 1";
   flush t;
+  Hashtbl.reset t.resident;
   t.frames <- Array.init frames (fun _ -> make_frame ());
   t.clock <- 0

@@ -57,14 +57,14 @@ let read t tid = Pfile.read_record t.pf tid
 let update t tid record = Pfile.write_record t.pf tid record
 let delete t tid = Pfile.clear_record t.pf tid
 
-let lookup t key f =
+let lookup ?window t key f =
   let head = bucket_of t key in
-  Pfile.chain_iter t.pf ~head (fun tid record ->
+  Pfile.chain_iter ?window t.pf ~head (fun tid record ->
       if Value.equal (t.key_of record) key then f tid record)
 
-let iter t f =
+let iter ?window t f =
   for head = 0 to t.buckets - 1 do
-    Pfile.chain_iter t.pf ~head f
+    Pfile.chain_iter ?window t.pf ~head f
   done
 
 let npages t = Pfile.npages t.pf

@@ -42,13 +42,21 @@ val read : t -> Tid.t -> bytes
 val update : t -> Tid.t -> bytes -> unit
 val delete : t -> Tid.t -> unit
 
-val lookup : t -> Tdb_relation.Value.t -> (Tid.t -> bytes -> unit) -> unit
+val lookup :
+  ?window:Time_fence.window ->
+  t ->
+  Tdb_relation.Value.t ->
+  (Tid.t -> bytes -> unit) ->
+  unit
 (** Hashed access: reads the key's full bucket chain and presents records
     whose key equals the probe (the conventional method cannot stop early —
-    any page of the chain may hold a matching version). *)
+    any page of the chain may hold a matching version).  With [?window],
+    chain pages whose time fence cannot overlap the window are skipped. *)
 
-val iter : t -> (Tid.t -> bytes -> unit) -> unit
-(** Sequential scan: every bucket chain; touches every page once. *)
+val iter :
+  ?window:Time_fence.window -> t -> (Tid.t -> bytes -> unit) -> unit
+(** Sequential scan: every bucket chain; touches every page once (minus
+    fence-skipped pages under [?window]). *)
 
 val npages : t -> int
 val chain_pages : t -> Tdb_relation.Value.t -> int

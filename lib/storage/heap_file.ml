@@ -55,9 +55,9 @@ let delete t tid =
   Pfile.clear_record t.pf tid;
   if tid.Tid.page < t.fill_hint then t.fill_hint <- tid.Tid.page
 
-let iter t f =
+let iter ?window t f =
   for page = 0 to Pfile.npages t.pf - 1 do
-    Pfile.page_iter t.pf ~page f
+    Pfile.page_iter ?window t.pf ~page f
   done
 
 let npages t = Pfile.npages t.pf

@@ -17,8 +17,10 @@ val insert : t -> bytes -> Tid.t
 val read : t -> Tid.t -> bytes
 val update : t -> Tid.t -> bytes -> unit
 val delete : t -> Tid.t -> unit
-val iter : t -> (Tid.t -> bytes -> unit) -> unit
-(** Sequential scan: every page, in order. *)
+val iter :
+  ?window:Time_fence.window -> t -> (Tid.t -> bytes -> unit) -> unit
+(** Sequential scan: every page, in order; with [?window], pages whose
+    time fence cannot overlap the window are skipped without a read. *)
 
 val npages : t -> int
 val record_count : t -> int

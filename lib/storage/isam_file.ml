@@ -233,7 +233,7 @@ let read t tid = Pfile.read_record t.pf tid
 let update t tid record = Pfile.write_record t.pf tid record
 let delete t tid = Pfile.clear_record t.pf tid
 
-let lookup t key f =
+let lookup ?window t key f =
   let start = locate_data_page t key in
   (* Scan forward through every page whose build-time first key does not
      exceed the probe: a duplicate run can span several primary pages.
@@ -242,19 +242,19 @@ let lookup t key f =
     if page < t.ndata
        && (page = start || Value.compare t.first_keys.(page) key <= 0)
     then begin
-      Pfile.chain_iter t.pf ~head:page (fun tid record ->
+      Pfile.chain_iter ?window t.pf ~head:page (fun tid record ->
           if Value.equal (t.key_of record) key then f tid record);
       go (page + 1)
     end
   in
   go start
 
-let iter t f =
+let iter ?window t f =
   for page = 0 to t.ndata - 1 do
-    Pfile.chain_iter t.pf ~head:page f
+    Pfile.chain_iter ?window t.pf ~head:page f
   done
 
-let iter_range t ?lo ?hi f =
+let iter_range ?window t ?lo ?hi f =
   let first =
     match lo with Some k -> locate_data_page t k | None -> 0
   in
@@ -275,7 +275,7 @@ let iter_range t ?lo ?hi f =
   in
   let page = ref first in
   while !page < t.ndata && page_may_qualify !page do
-    Pfile.chain_iter t.pf ~head:!page (fun tid record ->
+    Pfile.chain_iter ?window t.pf ~head:!page (fun tid record ->
         if in_range (t.key_of record) then f tid record);
     incr page
   done

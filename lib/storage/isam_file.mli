@@ -59,15 +59,23 @@ val read : t -> Tid.t -> bytes
 val update : t -> Tid.t -> bytes -> unit
 val delete : t -> Tid.t -> unit
 
-val lookup : t -> Tdb_relation.Value.t -> (Tid.t -> bytes -> unit) -> unit
+val lookup :
+  ?window:Time_fence.window ->
+  t ->
+  Tdb_relation.Value.t ->
+  (Tid.t -> bytes -> unit) ->
+  unit
 (** ISAM access: directory descent, then the full chain of the target data
-    page, presenting records with an equal key. *)
+    page, presenting records with an equal key.  With [?window], chain
+    pages whose time fence cannot overlap the window are skipped. *)
 
-val iter : t -> (Tid.t -> bytes -> unit) -> unit
+val iter :
+  ?window:Time_fence.window -> t -> (Tid.t -> bytes -> unit) -> unit
 (** Sequential scan: data pages and their overflow chains; the directory is
-    not touched. *)
+    not touched.  [?window] enables fence skipping as in {!lookup}. *)
 
 val iter_range :
+  ?window:Time_fence.window ->
   t ->
   ?lo:Tdb_relation.Value.t ->
   ?hi:Tdb_relation.Value.t ->

@@ -1,3 +1,16 @@
+type fencing = {
+  stamp : bytes -> Time_fence.stamp;
+  fences : (int, Time_fence.t) Hashtbl.t;
+      (* page -> fence over every record ever written there.  A missing
+         entry means no record was written since fencing was enabled, i.e.
+         the page is empty (callers must rebuild after attaching to a
+         non-empty file), so it is skippable under any window. *)
+  links : (int, int) Hashtbl.t;
+      (* page -> overflow successor, mirrored from the page trailers so a
+         skip-scan can follow a chain past a pruned page without reading
+         it.  A missing entry means no successor. *)
+}
+
 type t = {
   pool : Buffer_pool.t;
   record_size : int;
@@ -11,6 +24,7 @@ type t = {
          because chains only grow and slots are freed rarely; a stale hint
          only costs extra probes, never correctness (we re-scan from the
          hint onward). *)
+  mutable fencing : fencing option;
 }
 
 let m_overflow_pages =
@@ -26,7 +40,66 @@ let create pool ~record_size =
     capacity = Page.capacity ~record_size;
     first_fit = true;
     hints = Hashtbl.create 64;
+    fencing = None;
   }
+
+(* --- time fences --- *)
+
+let enable_fences t ~stamp =
+  t.fencing <-
+    Some { stamp; fences = Hashtbl.create 64; links = Hashtbl.create 16 }
+
+let fences_enabled t = Option.is_some t.fencing
+
+let fence_of t page =
+  match t.fencing with
+  | None -> None
+  | Some fc -> Hashtbl.find_opt fc.fences page
+
+let set_fence t page fence =
+  match t.fencing with
+  | None -> ()
+  | Some fc -> Hashtbl.replace fc.fences page fence
+
+let cached_link t page =
+  match t.fencing with
+  | None -> None
+  | Some fc -> Hashtbl.find_opt fc.links page
+
+let set_cached_link t page next =
+  match t.fencing with
+  | None -> ()
+  | Some fc -> (
+      match next with
+      | Some n -> Hashtbl.replace fc.links page n
+      | None -> Hashtbl.remove fc.links page)
+
+let stamp_record (fc : fencing) page record =
+  let fence =
+    match Hashtbl.find_opt fc.fences page with
+    | Some f -> f
+    | None ->
+        let f = Time_fence.empty () in
+        Hashtbl.replace fc.fences page f;
+        f
+  in
+  Time_fence.note fence (fc.stamp record)
+
+(* Whether a fence-bounded walk may skip [page] without reading it.
+   Missing fence = no record written = empty page = always skippable. *)
+let skippable t window page =
+  match (t.fencing, window) with
+  | Some fc, Some w
+    when Time_fence.pruning_enabled ()
+         && not (Time_fence.window_is_unbounded w) ->
+      Time_fence.note_check ();
+      let admits =
+        match Hashtbl.find_opt fc.fences page with
+        | Some f -> Time_fence.may_overlap f w
+        | None -> false
+      in
+      not admits
+  | _ -> false
 
 let set_first_fit t v = t.first_fit <- v
 let first_fit t = t.first_fit
@@ -47,7 +120,13 @@ let record_exists t (tid : Tid.t) =
 
 let write_record t (tid : Tid.t) record =
   Buffer_pool.modify t.pool tid.page (fun page ->
-      Page.write_record ~record_size:t.record_size page tid.slot record)
+      Page.write_record ~record_size:t.record_size page tid.slot record);
+  (* Every record write widens the page fence; in-place updates keep the
+     old rectangle too (fences never shrink), which is what makes them
+     safe against any later read. *)
+  match t.fencing with
+  | Some fc -> stamp_record fc tid.page record
+  | None -> ()
 
 let clear_record t (tid : Tid.t) =
   Buffer_pool.modify t.pool tid.page (fun page ->
@@ -60,7 +139,8 @@ let next_overflow t page_id =
   Page.get_overflow (Buffer_pool.read t.pool page_id)
 
 let set_next_overflow t page_id next =
-  Buffer_pool.modify t.pool page_id (fun page -> Page.set_overflow page next)
+  Buffer_pool.modify t.pool page_id (fun page -> Page.set_overflow page next);
+  set_cached_link t page_id next
 
 let chain_insert t ~head record =
   let start = match Hashtbl.find_opt t.hints head with
@@ -100,30 +180,69 @@ let chain_insert t ~head record =
   in
   go start
 
-let page_iter t ~page f =
-  (* Copy the records out first: [f] may perform pool operations that evict
-     this frame. *)
-  let records = ref [] in
-  let frame = Buffer_pool.read t.pool page in
-  for slot = t.capacity - 1 downto 0 do
-    if Page.slot_used ~record_size:t.record_size frame slot then
-      records :=
-        ({ Tid.page; slot }, Page.read_record ~record_size:t.record_size frame slot)
-        :: !records
-  done;
-  List.iter (fun (tid, r) -> f tid r) !records
+let page_iter ?window t ~page f =
+  if skippable t window page then Time_fence.note_skipped 1
+  else begin
+    (* Copy the records out first: [f] may perform pool operations that
+       evict this frame. *)
+    let records = ref [] in
+    let frame = Buffer_pool.read t.pool page in
+    for slot = t.capacity - 1 downto 0 do
+      if Page.slot_used ~record_size:t.record_size frame slot then
+        records :=
+          ({ Tid.page; slot },
+           Page.read_record ~record_size:t.record_size frame slot)
+          :: !records
+    done;
+    List.iter (fun (tid, r) -> f tid r) !records
+  end
 
-let chain_iter t ~head f =
+let chain_iter ?window t ~head f =
   (* The page count observed here doubles as the chain-length sample: the
-     walk happens anyway, so the histogram costs no extra I/O. *)
+     walk happens anyway, so the histogram costs no extra I/O.  Pruned
+     pages still count as chain length — the chain's shape is unchanged;
+     we just follow the mirrored link instead of reading the trailer. *)
   let rec go pages page_id =
-    let next = next_overflow t page_id in
-    page_iter t ~page:page_id f;
+    let next =
+      if skippable t window page_id then begin
+        Time_fence.note_skipped 1;
+        cached_link t page_id
+      end
+      else begin
+        let next = next_overflow t page_id in
+        page_iter t ~page:page_id f;
+        next
+      end
+    in
     match next with Some n -> go (pages + 1) n | None -> pages
   in
   let pages = go 1 head in
   if Tdb_obs.Metric.enabled () then
     Tdb_obs.Metric.observe h_chain_length (float_of_int pages)
+
+let rebuild_page_fence t ~page =
+  match t.fencing with
+  | None -> ()
+  | Some fc ->
+      set_cached_link t page (next_overflow t page);
+      page_iter t ~page (fun _tid record -> stamp_record fc page record)
+
+let rebuild_chain_fences t ~head =
+  let rec go page_id =
+    rebuild_page_fence t ~page:page_id;
+    match cached_link t page_id with Some n -> go n | None -> ()
+  in
+  if fences_enabled t then go head
+
+let fence_entries t =
+  match t.fencing with
+  | None -> []
+  | Some fc -> Hashtbl.fold (fun page f acc -> (page, f) :: acc) fc.fences []
+
+let link_entries t =
+  match t.fencing with
+  | None -> []
+  | Some fc -> Hashtbl.fold (fun page n acc -> (page, n) :: acc) fc.links []
 
 let chain_pages t ~head =
   let rec go acc page_id =

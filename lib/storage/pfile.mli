@@ -39,15 +39,52 @@ val chain_insert : t -> head:int -> bytes -> Tid.t
     the slack left by previous rounds (Figure 8(b)'s jagged lines).
     A per-head hint makes repeated insertion into long chains cheap. *)
 
-val chain_iter : t -> head:int -> (Tid.t -> bytes -> unit) -> unit
-(** Visits every used record of the chain, touching each page once. *)
+val chain_iter :
+  ?window:Time_fence.window -> t -> head:int -> (Tid.t -> bytes -> unit) -> unit
+(** Visits every used record of the chain, touching each page once.  With
+    [?window] (and fencing enabled, pruning on), pages whose fence cannot
+    overlap the window are skipped without being read: the walk follows
+    the mirrored overflow link and charges the page to the prune
+    counters.  Visit order of the surviving records is unchanged. *)
 
 val chain_pages : t -> head:int -> int list
 val chain_length : t -> head:int -> int
 
-val page_iter : t -> page:int -> (Tid.t -> bytes -> unit) -> unit
-(** Visits the used records of a single page (no chain traversal). *)
+val page_iter :
+  ?window:Time_fence.window -> t -> page:int -> (Tid.t -> bytes -> unit) -> unit
+(** Visits the used records of a single page (no chain traversal); with
+    [?window], the page may be fence-skipped as in {!chain_iter}. *)
 
 val free_slots_on : t -> page:int -> int
 val drop_hints : t -> unit
 (** Clears first-fit hints (after a rebuild). *)
+
+(** {1 Time fences}
+
+    Optional per-page pruning metadata (see {!Time_fence}).  When enabled,
+    every {!write_record} widens the written page's fence with the
+    record's stamp and every {!set_next_overflow} mirrors the overflow
+    link, so fence-bounded walks can skip pages without reading them.
+    Enabling fences over a file that already holds records requires a
+    rebuild pass ({!rebuild_page_fence} / {!rebuild_chain_fences}) or a
+    reload of a persisted summary ({!set_fence} / {!set_cached_link}):
+    a page without a fence entry is treated as empty and skipped. *)
+
+val enable_fences : t -> stamp:(bytes -> Time_fence.stamp) -> unit
+val fences_enabled : t -> bool
+
+val fence_of : t -> int -> Time_fence.t option
+val set_fence : t -> int -> Time_fence.t -> unit
+
+val cached_link : t -> int -> int option
+val set_cached_link : t -> int -> int option -> unit
+
+val rebuild_page_fence : t -> page:int -> unit
+(** Re-derive one page's fence (and mirrored link) from its records. *)
+
+val rebuild_chain_fences : t -> head:int -> unit
+(** {!rebuild_page_fence} along a whole overflow chain. *)
+
+val fence_entries : t -> (int * Time_fence.t) list
+val link_entries : t -> (int * int) list
+(** Snapshots for persisting the per-relation fence summary. *)

@@ -2,6 +2,7 @@ module Schema = Tdb_relation.Schema
 module Tuple = Tdb_relation.Tuple
 module Value = Tdb_relation.Value
 module Attr_type = Tdb_relation.Attr_type
+module Chronon = Tdb_time.Chronon
 
 type organization =
   | Heap
@@ -29,6 +30,11 @@ type t = {
   record_size : int;
   mutable org : organization;
   mutable impl : impl;
+  stamp : (bytes -> Time_fence.stamp) option;
+      (* derived from the schema's implicit time attributes; [None] for a
+         static relation, which then keeps no fences *)
+  sidecar : string option;
+      (* where the fence summary persists for file-backed relations *)
 }
 
 let attr_offset schema i =
@@ -48,6 +54,53 @@ let key_extractor schema key_attr =
   let off = attr_offset schema key_attr in
   fun record -> Value.decode ty record off
 
+(* Decode one implicit time attribute straight out of the record bytes,
+   without materialising the whole tuple. *)
+let time_getter schema i =
+  let off = attr_offset schema i in
+  fun record ->
+    match Value.decode Attr_type.Time record off with
+    | Value.Time t -> t
+    | _ -> assert false
+
+let stamp_extractor schema =
+  let transaction =
+    match
+      (Schema.transaction_start_index schema,
+       Schema.transaction_stop_index schema)
+    with
+    | Some s, Some e ->
+        let gs = time_getter schema s and ge = time_getter schema e in
+        Some (fun record -> Some (gs record, ge record))
+    | _ -> None
+  in
+  let valid =
+    match (Schema.valid_from_index schema, Schema.valid_at_index schema) with
+    | Some f, _ ->
+        let gf = time_getter schema f in
+        let gt =
+          match Schema.valid_to_index schema with
+          | Some i -> time_getter schema i
+          | None -> fun _ -> Chronon.forever
+        in
+        Some (fun record -> Some (gf record, gt record))
+    | None, Some a ->
+        let ga = time_getter schema a in
+        (* an event: Time_fence.stamp normalises (v, v) to [v, succ v) *)
+        Some (fun record -> let v = ga record in Some (v, v))
+    | None, None -> None
+  in
+  match (transaction, valid) with
+  | None, None -> None (* static relation: nothing to fence on *)
+  | _ ->
+      let tr = Option.value transaction ~default:(fun _ -> None) in
+      let va = Option.value valid ~default:(fun _ -> None) in
+      Some
+        (fun record ->
+          Time_fence.stamp ~transaction:(tr record) ~valid:(va record))
+
+let sidecar_path pages_path = pages_path ^ ".fences"
+
 let make ~frames ~backing ~fault ~recover ~name ~schema =
   let disk =
     match backing with
@@ -66,10 +119,151 @@ let make ~frames ~backing ~fault ~recover ~name ~schema =
     record_size;
     org = Heap;
     impl = Heap_impl (Heap_file.attach pool ~record_size);
+    stamp = stamp_extractor schema;
+    sidecar =
+      (match backing with `Mem -> None | `File p -> Some (sidecar_path p));
   }
 
+let data_pf t =
+  match t.impl with
+  | Heap_impl h -> Heap_file.pfile h
+  | Hash_impl h -> Hash_file.pfile h
+  | Isam_impl i -> Isam_file.pfile i
+
+(* The chain heads of the data area: every record lives on a chain rooted
+   at one of these (heap pages have no chains, so each page is its own
+   head).  Directory pages of an ISAM file are excluded — they hold keys,
+   not records, and are never fence-checked. *)
+let data_heads t =
+  match t.impl with
+  | Heap_impl h -> Heap_file.npages h
+  | Hash_impl h -> Hash_file.buckets h
+  | Isam_impl i -> Isam_file.data_pages i
+
+let rebuild_fences t =
+  let pf = data_pf t in
+  for head = 0 to data_heads t - 1 do
+    Pfile.rebuild_chain_fences pf ~head
+  done
+
+(* --- persisted fence summary (the "<name>.pages.fences" sidecar) ---
+
+   The summary is only trusted when it provably describes the page file as
+   stored: the page count must match and no page may carry an epoch newer
+   than the one recorded at summary-write time (pages written after the
+   summary was taken get a newer stamp, and [Disk.epoch] at open is one
+   past the newest stamp found).  A recovery pass that repaired anything
+   also invalidates it.  Anything suspicious falls back to a rebuild scan,
+   which is always sound. *)
+
+let write_sidecar t ~epoch =
+  match (t.sidecar, t.stamp) with
+  | Some path, Some _ when Pfile.fences_enabled (data_pf t) ->
+      let pf = data_pf t in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "tdbfences 1\n";
+      Buffer.add_string buf (Printf.sprintf "epoch %d\n" epoch);
+      Buffer.add_string buf
+        (Printf.sprintf "npages %d\n" (Disk.npages t.disk));
+      List.iter
+        (fun (page, fence) ->
+          Buffer.add_string buf
+            (Printf.sprintf "page %d %s\n" page
+               (String.concat " " (Time_fence.to_fields fence))))
+        (List.sort compare (Pfile.fence_entries pf));
+      List.iter
+        (fun (page, next) ->
+          Buffer.add_string buf (Printf.sprintf "link %d %d\n" page next))
+        (List.sort compare (Pfile.link_entries pf));
+      Atomic_file.write ~path ~content:(Buffer.contents buf)
+  | _ -> ()
+
+let load_sidecar t path =
+  let pf = data_pf t in
+  (* Only trust the summary when a recovery pass ran cleanly: the pass is
+     what establishes [Disk.epoch] (one past the newest page stamp), which
+     the staleness check below relies on. *)
+  let clean_pass =
+    match Disk.recovery_report t.disk with
+    | Some r -> not (Disk.recovery_repaired r)
+    | None -> false
+  in
+  if (not clean_pass) || not (Sys.file_exists path) then false
+  else begin
+    let ic = open_in path in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | line -> go (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+    in
+    match lines with
+    | magic :: epoch_line :: npages_line :: rest
+      when magic = "tdbfences 1" -> (
+        let field prefix line =
+          match String.split_on_char ' ' line with
+          | [ p; v ] when p = prefix -> int_of_string_opt v
+          | _ -> None
+        in
+        match (field "epoch" epoch_line, field "npages" npages_line) with
+        | Some epoch, Some npages
+          when npages = Disk.npages t.disk && Disk.epoch t.disk <= epoch ->
+            let ok = ref true in
+            List.iter
+              (fun line ->
+                match String.split_on_char ' ' line with
+                | "page" :: page :: fields -> (
+                    match
+                      (int_of_string_opt page, Time_fence.of_fields fields)
+                    with
+                    | Some page, Some fence -> Pfile.set_fence pf page fence
+                    | _ -> ok := false)
+                | [ "link"; page; next ] -> (
+                    match (int_of_string_opt page, int_of_string_opt next) with
+                    | Some page, Some next ->
+                        Pfile.set_cached_link pf page (Some next)
+                    | _ -> ok := false)
+                | _ -> ok := false)
+              rest;
+            !ok
+        | _ -> false)
+    | _ -> false
+  end
+
+(* Enable fencing on the current impl's data pfile.  For a non-empty file
+   the fences must describe the stored records before any window-bounded
+   walk runs: load the persisted summary when it is provably current,
+   otherwise rebuild by scanning (the recovery path). *)
+let init_fences t =
+  match t.stamp with
+  | None -> ()
+  | Some stamp ->
+      let pf = data_pf t in
+      Pfile.enable_fences pf ~stamp;
+      if Disk.npages t.disk > 0 then begin
+        let loaded =
+          match t.sidecar with
+          | Some path -> (
+              match load_sidecar t path with
+              | true -> true
+              | false | (exception _) ->
+                  (* a half-parsed summary may have planted entries *)
+                  Pfile.enable_fences pf ~stamp;
+                  false)
+          | None -> false
+        in
+        if not loaded then rebuild_fences t
+      end
+
 let create ?(frames = 1) ?(backing = `Mem) ?fault ~name ~schema () =
-  make ~frames ~backing ~fault ~recover:false ~name ~schema
+  let t = make ~frames ~backing ~fault ~recover:false ~name ~schema in
+  init_fences t;
+  t
 
 let name t = t.name
 let schema t = t.schema
@@ -116,31 +310,31 @@ let delete t tid =
   | Hash_impl h -> Hash_file.delete h tid
   | Isam_impl i -> Isam_file.delete i tid
 
-let scan t f =
+let scan ?window t f =
   let g tid record = f tid (decode t record) in
   match t.impl with
-  | Heap_impl h -> Heap_file.iter h g
-  | Hash_impl h -> Hash_file.iter h g
-  | Isam_impl i -> Isam_file.iter i g
+  | Heap_impl h -> Heap_file.iter ?window h g
+  | Hash_impl h -> Hash_file.iter ?window h g
+  | Isam_impl i -> Isam_file.iter ?window i g
 
-let lookup t key f =
+let lookup ?window t key f =
   let g tid record = f tid (decode t record) in
   match t.impl with
   | Heap_impl h ->
       (* No key on a heap: filtered scan would need a key attribute; the
          caller has none, so present everything and let it filter. *)
-      Heap_file.iter h g
-  | Hash_impl h -> Hash_file.lookup h key g
-  | Isam_impl i -> Isam_file.lookup i key g
+      Heap_file.iter ?window h g
+  | Hash_impl h -> Hash_file.lookup ?window h key g
+  | Isam_impl i -> Isam_file.lookup ?window i key g
 
-let lookup_range t ?lo ?hi f =
+let lookup_range ?window t ?lo ?hi f =
   let g tid record = f tid (decode t record) in
   match (t.impl, t.org) with
-  | Isam_impl i, _ -> Isam_file.iter_range i ?lo ?hi g
+  | Isam_impl i, _ -> Isam_file.iter_range ?window i ?lo ?hi g
   | Hash_impl h, Hash { key_attr; _ } ->
       (* no order in a hash file: filter a scan *)
       let key_of = key_extractor t.schema key_attr in
-      Hash_file.iter h (fun tid record ->
+      Hash_file.iter ?window h (fun tid record ->
           let k = key_of record in
           let ok_lo =
             match lo with Some l -> Value.compare l k <= 0 | None -> true
@@ -151,7 +345,7 @@ let lookup_range t ?lo ?hi f =
           if ok_lo && ok_hi then g tid record)
   | (Heap_impl _ | Hash_impl _), _ ->
       (* keyless: present everything, callers filter *)
-      scan t f
+      scan ?window t f
 
 let all_records t =
   let acc = ref [] in
@@ -185,7 +379,9 @@ let modify t org =
              records)
   in
   t.org <- org;
-  t.impl <- impl
+  t.impl <- impl;
+  (* the rebuild created fresh pfiles; re-derive their fences *)
+  init_fences t
 
 let tuple_count t =
   let n = ref 0 in
@@ -241,6 +437,7 @@ let attach ?(frames = 1) ?fault ?(recover = true) ~backing ~name ~schema meta =
         Isam_impl
           (Isam_file.attach t.pool ~record_size:t.record_size ~key_of ~key_type
              ~fillfactor ~ndata ~levels));
+  init_fences t;
   t
 
 let set_first_fit t v =
@@ -250,15 +447,24 @@ let set_first_fit t v =
   | Isam_impl i -> Pfile.set_first_fit (Isam_file.pfile i) v
 
 let recovery t = Disk.recovery_report t.disk
+let fences_enabled t = Pfile.fences_enabled (data_pf t)
+let fence_sidecar t = t.sidecar
 
 let sync t =
   Buffer_pool.sync t.pool;
   (* checkpoint boundary: pages written from here on carry the next epoch *)
-  Disk.bump_epoch t.disk
+  Disk.bump_epoch t.disk;
+  (* The summary records the post-bump epoch: any later page write stamps
+     that epoch onto a page, which makes the stored summary provably stale
+     at the next open (Disk.epoch will be past it) and forces a rebuild. *)
+  write_sidecar t ~epoch:(Disk.epoch t.disk)
 
 let close t =
   Buffer_pool.flush t.pool;
   Disk.fsync t.disk;
+  (* Pages flushed here carry the current epoch, so at the next open
+     [Disk.epoch] is one past it: record that as the summary's epoch. *)
+  write_sidecar t ~epoch:(Disk.epoch t.disk + 1);
   Disk.close t.disk
 
 let abandon t = Disk.close t.disk

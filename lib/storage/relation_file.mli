@@ -42,15 +42,25 @@ val read : t -> Tid.t -> Tdb_relation.Tuple.t
 val update : t -> Tid.t -> Tdb_relation.Tuple.t -> unit
 val delete : t -> Tid.t -> unit
 
-val scan : t -> (Tid.t -> Tdb_relation.Tuple.t -> unit) -> unit
+val scan :
+  ?window:Time_fence.window -> t -> (Tid.t -> Tdb_relation.Tuple.t -> unit) -> unit
 (** Sequential scan (data pages and overflow chains; ISAM directories are
-    not read). *)
+    not read).  With [?window], data pages whose time fence cannot hold a
+    record overlapping the window are skipped without being read and
+    charged to the prune counters; the surviving tuples and their order
+    are exactly those of the unbounded scan that satisfy the window. *)
 
-val lookup : t -> Tdb_relation.Value.t -> (Tid.t -> Tdb_relation.Tuple.t -> unit) -> unit
+val lookup :
+  ?window:Time_fence.window ->
+  t ->
+  Tdb_relation.Value.t ->
+  (Tid.t -> Tdb_relation.Tuple.t -> unit) ->
+  unit
 (** Keyed access.  On a heap this degenerates to a filtered sequential scan
-    (there is no key). *)
+    (there is no key).  [?window] fence-skips as in {!scan}. *)
 
 val lookup_range :
+  ?window:Time_fence.window ->
   t ->
   ?lo:Tdb_relation.Value.t ->
   ?hi:Tdb_relation.Value.t ->
@@ -58,7 +68,8 @@ val lookup_range :
   unit
 (** Key-ordered access to tuples with key in \[lo, hi\] (inclusive; either
     bound optional).  Reads only the covering data pages on ISAM; on hash
-    and heap organizations it degenerates to a filtered sequential scan. *)
+    and heap organizations it degenerates to a filtered sequential scan.
+    [?window] fence-skips as in {!scan}. *)
 
 val modify : t -> organization -> unit
 (** Reorganizes in place: extracts all records, rebuilds with the new
@@ -109,12 +120,24 @@ val attr_offset : Tdb_relation.Schema.t -> int -> int
 (** Byte offset of attribute [i] within an encoded tuple (exposed for index
     builders). *)
 
+val stamp_extractor :
+  Tdb_relation.Schema.t -> (bytes -> Time_fence.stamp) option
+(** The fence stamp derived from a schema's implicit time attributes, read
+    straight from encoded record bytes; [None] for a static schema (also
+    used by the two-level store's history file). *)
+
+val fences_enabled : t -> bool
+val fence_sidecar : t -> string option
+(** Where the fence summary persists, for file-backed relations. *)
+
 val sync : t -> unit
-(** Flushes the pool, fsyncs the backing file, and advances the write
-    epoch: the per-relation checkpoint. *)
+(** Flushes the pool, fsyncs the backing file, advances the write epoch
+    (the per-relation checkpoint), and persists the fence summary sidecar
+    so the next open can skip the rebuild scan. *)
 
 val close : t -> unit
-(** Flushes, fsyncs and closes the backing disk. *)
+(** Flushes, fsyncs and closes the backing disk (persisting the fence
+    summary first). *)
 
 val abandon : t -> unit
 (** Closes the backing file descriptor {e without} flushing — the

@@ -2,7 +2,25 @@ module Pfile = Tdb_storage.Pfile
 module Tid = Tdb_storage.Tid
 module Page = Tdb_storage.Page
 module Buffer_pool = Tdb_storage.Buffer_pool
+module Time_fence = Tdb_storage.Time_fence
 module Value = Tdb_relation.Value
+module Chronon = Tdb_time.Chronon
+module Period = Tdb_time.Period
+
+(* A time-ordered run of pages: fresh pages are only ever allocated to the
+   newest segment, so segment creation times — and hence [push_lo] — are
+   non-decreasing and an [as of] query can binary-search to its covering
+   boundary instead of scanning the whole store.  Placement tails survive
+   segment turnover (clustering versions of one tuple into a minimum
+   number of pages takes priority); a push landing on an older segment's
+   tail page widens that segment's push range and fence. *)
+type segment = {
+  first_page : int;
+  mutable last_page : int;
+  mutable push_lo : Chronon.t;
+  mutable push_hi : Chronon.t;
+  fence : Time_fence.t;
+}
 
 type t = {
   pf : Pfile.t;
@@ -14,18 +32,42 @@ type t = {
   mutable fill_tail : int;
       (** simple policy: the page currently receiving appends (-1 before
           the first) *)
+  stamp : (bytes -> Time_fence.stamp) option;
+  segment_pages : int;
+  mutable segments : segment list;  (** newest first *)
+  page_seg : (int, segment) Hashtbl.t;  (** page -> owning segment *)
 }
 
 let ptr_size = 4
 
-let create pool ~tuple_size ~clustered =
+let create ?stamp ?(segment_pages = 16) pool ~tuple_size ~clustered =
   let pf = Pfile.create pool ~record_size:(tuple_size + ptr_size) in
   if Pfile.npages pf <> 0 then
     invalid_arg "History_store.create: disk is not empty";
-  { pf; tuple_size; clustered; cluster_tail = Hashtbl.create 64; fill_tail = -1 }
+  if segment_pages < 1 then
+    invalid_arg "History_store.create: segment_pages must be >= 1";
+  (match stamp with
+  | Some stamp -> Pfile.enable_fences pf ~stamp
+  | None -> ());
+  {
+    pf;
+    tuple_size;
+    clustered;
+    cluster_tail = Hashtbl.create 64;
+    fill_tail = -1;
+    stamp;
+    segment_pages;
+    segments = [];
+    page_seg = Hashtbl.create 64;
+  }
 
 let clustered t = t.clustered
 let npages t = Pfile.npages t.pf
+
+let segment_ranges t =
+  List.rev_map (fun s -> (s.first_page, s.last_page)) t.segments
+
+let segment_count t = List.length t.segments
 
 let encode t tuple prev =
   let record = Bytes.create (t.tuple_size + ptr_size) in
@@ -67,33 +109,70 @@ let write_at t page record =
       Some tid
   | None -> None
 
-let push t ~cluster ~tuple ~prev =
+let segment_width s = s.last_page - s.first_page + 1
+
+let allocate_segment_page t ~now =
+  let page = Pfile.allocate_page t.pf in
+  let seg =
+    match t.segments with
+    | s :: _ when segment_width s < t.segment_pages ->
+        s.last_page <- page;
+        s
+    | _ ->
+        let s =
+          {
+            first_page = page;
+            last_page = page;
+            push_lo = now;
+            push_hi = now;
+            fence = Time_fence.empty ();
+          }
+        in
+        t.segments <- s :: t.segments;
+        s
+  in
+  Hashtbl.replace t.page_seg page seg;
+  page
+
+let note_push t ~now ~page record =
+  let s = Hashtbl.find t.page_seg page in
+  if Chronon.compare now s.push_lo < 0 then s.push_lo <- now;
+  if Chronon.compare now s.push_hi > 0 then s.push_hi <- now;
+  match t.stamp with
+  | Some stamp -> Time_fence.note s.fence (stamp record)
+  | None -> ()
+
+let push t ~now ~cluster ~tuple ~prev =
   let record = encode t tuple prev in
-  if t.clustered then begin
-    let try_tail =
-      match Hashtbl.find_opt t.cluster_tail cluster with
-      | Some page -> write_at t page record
-      | None -> None
-    in
-    match try_tail with
-    | Some tid -> tid
-    | None ->
-        let page = Pfile.allocate_page t.pf in
-        Hashtbl.replace t.cluster_tail cluster page;
-        let tid = Option.get (write_at t page record) in
-        tid
-  end
-  else begin
-    let try_tail =
-      if t.fill_tail >= 0 then write_at t t.fill_tail record else None
-    in
-    match try_tail with
-    | Some tid -> tid
-    | None ->
-        let page = Pfile.allocate_page t.pf in
-        t.fill_tail <- page;
-        Option.get (write_at t page record)
-  end
+  let tid =
+    if t.clustered then begin
+      let try_tail =
+        match Hashtbl.find_opt t.cluster_tail cluster with
+        | Some page -> write_at t page record
+        | None -> None
+      in
+      match try_tail with
+      | Some tid -> tid
+      | None ->
+          let page = allocate_segment_page t ~now in
+          Hashtbl.replace t.cluster_tail cluster page;
+          let tid = Option.get (write_at t page record) in
+          tid
+    end
+    else begin
+      let try_tail =
+        if t.fill_tail >= 0 then write_at t t.fill_tail record else None
+      in
+      match try_tail with
+      | Some tid -> tid
+      | None ->
+          let page = allocate_segment_page t ~now in
+          t.fill_tail <- page;
+          Option.get (write_at t page record)
+    end
+  in
+  note_push t ~now ~page:tid.Tid.page record;
+  tid
 
 let read t tid = decode t (Pfile.read_record t.pf tid)
 
@@ -111,3 +190,46 @@ let iter t f =
   for page = 0 to Pfile.npages t.pf - 1 do
     Pfile.page_iter t.pf ~page (fun tid record -> f tid (fst (decode t record)))
   done
+
+(* [as of at]: visit (at least) every version whose transaction period
+   overlaps [at], in store order.
+
+   The segments' push-time ranges are non-decreasing, so a binary search
+   finds the boundary: segments pushed entirely at or before [at] (the
+   prefix) hold the terminated versions that may satisfy the rollback and
+   must be walked (their pages still get individual fence checks —
+   superseded-only pages have max tstop <= at and drop out); segments
+   pushed after [at] (the suffix) can only qualify through a version that
+   {e started} at or before [at], which the segment fence decides without
+   touching any page.  Even if the caller's clock ever ran backwards the
+   result stays sound: prefix segments are read, and fence checks do not
+   depend on push order. *)
+let as_of_iter t ~at f =
+  let segs = Array.of_list (List.rev t.segments) in
+  let n = Array.length segs in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Chronon.compare segs.(mid).push_lo at <= 0 then lo := mid + 1
+    else hi := mid
+  done;
+  let boundary = !lo in
+  let window =
+    { Time_fence.transaction = Some (Period.at at); valid = None }
+  in
+  let prune = Time_fence.pruning_enabled () && Option.is_some t.stamp in
+  Array.iteri
+    (fun i s ->
+      let segment_skippable =
+        i >= boundary && prune
+        &&
+        (Time_fence.note_check ();
+         not (Time_fence.may_overlap s.fence window))
+      in
+      if segment_skippable then Time_fence.note_skipped (segment_width s)
+      else
+        for page = s.first_page to s.last_page do
+          Pfile.page_iter ~window t.pf ~page (fun tid record ->
+              f tid (fst (decode t record)))
+        done)
+    segs

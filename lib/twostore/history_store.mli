@@ -14,26 +14,48 @@
 
     Records are a stored tuple plus a 4-byte back-pointer, so a page holds
     [floor(1012 / (tuple_size + 6))] versions — 7 temporal tuples, matching
-    the paper's "28 history versions into 4 pages". *)
+    the paper's "28 history versions into 4 pages".
+
+    Pages are additionally grouped into {e time-ordered segments}: fresh
+    pages are only ever allocated to the newest segment, so segment
+    creation times are non-decreasing and {!as_of_iter} can binary-search
+    to the covering boundary and fence-skip later segments wholesale.
+    Placement tails survive segment turnover — clustering keeps priority —
+    so a push landing on an older segment's tail page widens that
+    segment's push range and fence instead. *)
 
 type t
 
 val create :
-  Tdb_storage.Buffer_pool.t -> tuple_size:int -> clustered:bool -> t
-(** Over an empty disk. *)
+  ?stamp:(bytes -> Tdb_storage.Time_fence.stamp) ->
+  ?segment_pages:int ->
+  Tdb_storage.Buffer_pool.t ->
+  tuple_size:int ->
+  clustered:bool ->
+  t
+(** Over an empty disk.  [stamp] (usually
+    [Relation_file.stamp_extractor schema]) enables page and segment time
+    fences; without it {!as_of_iter} reads every page.  [segment_pages]
+    (default 16) is the segment page budget. *)
 
 val clustered : t -> bool
 val npages : t -> int
 
+val segment_count : t -> int
+val segment_ranges : t -> (int * int) list
+(** Oldest first, as [(first_page, last_page)] inclusive page ranges. *)
+
 val push :
   t ->
+  now:Tdb_time.Chronon.t ->
   cluster:Tdb_relation.Value.t ->
   tuple:bytes ->
   prev:Tdb_storage.Tid.t option ->
   Tdb_storage.Tid.t
 (** Stores a version whose next-older version is [prev]; returns its
     address (the new chain head).  [cluster] identifies the tuple for the
-    clustered policy (ignored by the simple one). *)
+    clustered policy (ignored by the simple one); [now] is the push time
+    recorded against the receiving segment. *)
 
 val read : t -> Tdb_storage.Tid.t -> bytes * Tdb_storage.Tid.t option
 (** The stored tuple and its back-pointer. *)
@@ -47,3 +69,13 @@ val walk :
 
 val iter : t -> (Tdb_storage.Tid.t -> bytes -> unit) -> unit
 (** Full sequential scan of the store. *)
+
+val as_of_iter :
+  t -> at:Tdb_time.Chronon.t -> (Tdb_storage.Tid.t -> bytes -> unit) -> unit
+(** Rollback access: visits at least every version whose transaction
+    period overlaps [at], in store order.  Binary-searches the segments'
+    push-time ranges to the covering boundary; segments pushed after [at]
+    are skipped wholesale when their fence proves no version started by
+    [at], and surviving segments still fence-check each page.  Presented
+    versions are a superset of the qualifying ones — callers apply the
+    exact overlap test; with pruning off this is a full scan. *)

@@ -39,7 +39,8 @@ let primary t = t.primary
 let history_pages t = History_store.npages t.history
 let primary_pages t = Relation_file.npages t.primary
 
-let create ?(name = "primary") ~schema ~organization ~clustered tuples =
+let create ?(name = "primary") ?segment_pages ~schema ~organization ~clustered
+    tuples =
   (match Schema.db_type schema with
   | Db_type.Temporal Db_type.Interval -> ()
   | ty ->
@@ -60,7 +61,10 @@ let create ?(name = "primary") ~schema ~organization ~clustered tuples =
   let history_stats = Io_stats.create () in
   let history_pool = Buffer_pool.create (Disk.create_mem ()) history_stats in
   let history =
-    History_store.create history_pool ~tuple_size:(Schema.tuple_size schema)
+    History_store.create
+      ?stamp:(Relation_file.stamp_extractor schema)
+      ?segment_pages history_pool
+      ~tuple_size:(Schema.tuple_size schema)
       ~clustered
   in
   {
@@ -108,10 +112,10 @@ let m_history_appends =
 
 let m_migrations = Tdb_obs.Metric.counter "tdb_twostore_migrations_total"
 
-let push_history t ~cluster ~tuple ~prev =
+let push_history t ~now ~cluster ~tuple ~prev =
   Tdb_obs.Metric.incr m_history_appends;
   let htid =
-    History_store.push t.history ~cluster
+    History_store.push t.history ~now ~cluster
       ~tuple:(Tuple.encode t.schema tuple)
       ~prev
   in
@@ -126,12 +130,12 @@ let retire t ~now ~tid ~old_tuple =
   let cluster = old_tuple.(t.key_index) in
   let prev = Hashtbl.find_opt t.heads tid in
   let superseded = Tuple.set_time old_tuple t.tstop now in
-  let head1 = push_history t ~cluster ~tuple:superseded ~prev in
+  let head1 = push_history t ~now ~cluster ~tuple:superseded ~prev in
   let terminated = Array.copy old_tuple in
   terminated.(t.valid_to) <- Value.Time now;
   terminated.(t.tstart) <- Value.Time now;
   terminated.(t.tstop) <- Value.Time Chronon.forever;
-  push_history t ~cluster ~tuple:terminated ~prev:(Some head1)
+  push_history t ~now ~cluster ~tuple:terminated ~prev:(Some head1)
 
 let replace t ~now ~key update =
   let victims = ref [] in
@@ -183,6 +187,21 @@ let version_scan t key f =
 let scan_all t f =
   current_scan t f;
   History_store.iter t.history (fun _ tuple_bytes ->
+      f (Tuple.decode t.schema tuple_bytes 0))
+
+(* Rollback access: both stores restricted to versions whose transaction
+   period can overlap [at].  Presents a superset of the qualifying
+   versions (callers filter exactly, as with [scan_all]); pruning only
+   removes pages whose fences prove no version on them qualifies. *)
+let as_of_scan t ~at f =
+  let window =
+    {
+      Tdb_storage.Time_fence.transaction = Some (Tdb_time.Period.at at);
+      valid = None;
+    }
+  in
+  Relation_file.scan ~window t.primary (fun _ tu -> f tu);
+  History_store.as_of_iter t.history ~at (fun _ tuple_bytes ->
       f (Tuple.decode t.schema tuple_bytes 0))
 
 let fetch_current t tid = Relation_file.read t.primary tid

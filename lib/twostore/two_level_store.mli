@@ -16,6 +16,7 @@ type t
 
 val create :
   ?name:string ->
+  ?segment_pages:int ->
   schema:Tdb_relation.Schema.t ->
   organization:Tdb_storage.Relation_file.organization ->
   clustered:bool ->
@@ -23,7 +24,8 @@ val create :
   t
 (** Bulk-loads the given current versions into the primary store.  Raises
     [Invalid_argument] unless the schema is temporal-interval and the
-    organization is keyed (hash or ISAM). *)
+    organization is keyed (hash or ISAM).  [segment_pages] sets the
+    history store's time-segment page budget (see {!History_store}). *)
 
 val schema : t -> Tdb_relation.Schema.t
 val primary : t -> Tdb_storage.Relation_file.t
@@ -62,6 +64,15 @@ val version_scan :
 
 val scan_all : t -> (Tdb_relation.Tuple.t -> unit) -> unit
 (** Every version in both stores (rollback and temporal-join queries). *)
+
+val as_of_scan :
+  t -> at:Tdb_time.Chronon.t -> (Tdb_relation.Tuple.t -> unit) -> unit
+(** Rollback access: every version whose transaction period can overlap
+    [at] — a fence-pruned superset of the qualifying versions (callers
+    apply the exact overlap test, as with {!scan_all}).  The primary
+    store skip-scans on page fences; the history store binary-searches
+    its time segments (see {!History_store.as_of_iter}).  With pruning
+    off this reads exactly what {!scan_all} reads. *)
 
 val fetch_current : t -> Tdb_storage.Tid.t -> Tdb_relation.Tuple.t
 (** Read one current version by address (for secondary indexes). *)

@@ -46,9 +46,18 @@ trace tree with per-operator page I/O (wall times normalized here):
   | snodgrass | 1980-01-01 00:00:02 | forever  |
   +-----------+---------------------+----------+
   (2 rows)
-  retrieve scan(e)  [0 in, 0 out; _ ms]
-  `- scan(e)  [1 in, 0 out, 2 tuples; _ ms]
+  retrieve fence[tx,valid@"now"](scan(e))  [0 in, 0 out; _ ms]
+  `- fence(scan(e))  [1 in, 0 out, 2 tuples; _ ms]
   total: 1 pages in, 0 pages out
+
+\explain describes a retrieve's plan without running it; fence[...] marks
+the time dimensions the storage layer will prune on:
+
+  $ printf '%s\n' 'range of e is emp;' '\explain retrieve (e.name) when e overlap "now";' | ../../bin/tquel.exe -d mydb | sed -e 's/ *$//'
+  tquel - a temporal DBMS speaking TQuel (type \help for help)
+  tquel> range of e is emp
+  tquel> plan: fence[tx,valid@"now"](scan(e))
+  tquel>
 
 Errors are reported, not fatal, but a failed statement exits non-zero
 (2 = query error):

@@ -52,11 +52,11 @@ let cost_of db src = (query db src).io.Executor.input_reads
 
 let test_plan_selection () =
   let db = small_temporal () in
-  Alcotest.(check string) "keyed hash probe" "keyed(h)"
+  Alcotest.(check string) "keyed hash probe" "fence[tx](keyed(h))"
     (plan_of db "retrieve (h.id) where h.id = 5");
-  Alcotest.(check string) "keyed isam probe" "keyed(i)"
+  Alcotest.(check string) "keyed isam probe" "fence[tx](keyed(i))"
     (plan_of db "retrieve (i.id) where i.id = 5");
-  Alcotest.(check string) "non-key predicate scans" "scan(h)"
+  Alcotest.(check string) "non-key predicate scans" "fence[tx](scan(h))"
     (plan_of db "retrieve (h.id) where h.amount = 50");
   Alcotest.(check string) "tuple substitution (Q09 shape)"
     "detach(i) then substitute into h via i.amount"
@@ -179,7 +179,7 @@ let test_as_of_filters_per_relation () =
 let test_range_probe () =
   let db = small_temporal () in
   (* 64 tuples, 8/page over ISAM: keys 16..23 live on data page 2 *)
-  Alcotest.(check string) "range plan chosen" "range(i)"
+  Alcotest.(check string) "range plan chosen" "fence[tx](range(i))"
     (plan_of db "retrieve (i.id) where i.id >= 16 and i.id <= 23");
   let r = query db "retrieve (i.id) where i.id >= 16 and i.id <= 23" in
   Alcotest.(check int) "8 tuples in range" 8 (List.length r.tuples);
@@ -194,7 +194,7 @@ let test_range_probe () =
   Alcotest.(check bool) "cheaper than a scan"
     true (r3.io.Executor.input_reads < 8);
   (* ranges against the hash key cannot avoid the scan *)
-  Alcotest.(check string) "hash key range still scans" "scan(h)"
+  Alcotest.(check string) "hash key range still scans" "fence[tx](scan(h))"
     (plan_of db "retrieve (h.id) where h.id >= 16 and h.id <= 23");
   (* a range query agrees with the equivalent scan *)
   let scanned = query db "retrieve (i.id) where i.amount >= 0 and i.id >= 16 and i.id <= 23" in

@@ -71,9 +71,15 @@ let test_join_equalities () =
   Alcotest.(check int) "two equalities" 2
     (List.length (Conjuncts.join_equalities cs))
 
-let hash_info var = { Plan.var; key = Some ("id", `Hash) }
-let isam_info var = { Plan.var; key = Some ("id", `Isam) }
-let heap_info var = { Plan.var; key = None }
+let static_info var key =
+  { Plan.var; key; transaction_time = false; valid_time = false }
+
+let hash_info var = static_info var (Some ("id", `Hash))
+let isam_info var = static_info var (Some ("id", `Isam))
+let heap_info var = static_info var None
+
+let temporal_hash_info var =
+  { Plan.var; key = Some ("id", `Hash); transaction_time = true; valid_time = true }
 
 let test_plan_choice () =
   let choose sources src =
@@ -111,8 +117,63 @@ let test_plan_choice () =
       [ hash_info "a"; hash_info "b"; hash_info "c" ]
       "retrieve (a.id) where a.id = b.id and b.id = c.id"
   with
-  | Plan.Nested_general [ "a"; "b"; "c" ] -> ()
-  | p -> Alcotest.failf "wanted general, got %s" (Plan.to_string p)
+  | Plan.Nested_general
+      { vars = [ "a"; "b"; "c" ];
+        probe = Some { probe_var = "c"; probe_attr = "id"; from_var = "b"; _ } }
+    -> ()
+  | p -> Alcotest.failf "wanted general with probe, got %s" (Plan.to_string p)
+
+let test_nested_general_no_probe () =
+  (* no equi-join lands on the innermost key: every level scans *)
+  match
+    Plan.choose
+      ~sources:[ hash_info "a"; hash_info "b"; heap_info "c" ]
+      ~conjuncts:(conjuncts_of "retrieve (a.id) where a.id = b.id and b.seq = c.seq")
+  with
+  | Plan.Nested_general { vars = [ "a"; "b"; "c" ]; probe = None } -> ()
+  | p -> Alcotest.failf "wanted general without probe, got %s" (Plan.to_string p)
+
+let test_time_fence_refinement () =
+  (* a temporal source's access is fence-wrapped; a static one's is not *)
+  (match
+     Plan.choose
+       ~sources:[ temporal_hash_info "h" ]
+       ~conjuncts:(conjuncts_of {|retrieve (h.id) when h overlap "now"|})
+   with
+  | Plan.Single
+      { access =
+          Plan.Time_fence
+            { transaction = true; valid_const = Some "now"; base = Plan.Seq_scan };
+        _ } -> ()
+  | p -> Alcotest.failf "wanted fenced scan, got %s" (Plan.to_string p));
+  (match
+     Plan.choose
+       ~sources:[ temporal_hash_info "h" ]
+       ~conjuncts:(conjuncts_of "retrieve (h.id) where h.id = 5")
+   with
+  | Plan.Single
+      { access =
+          Plan.Time_fence
+            { transaction = true; valid_const = None; base = Plan.Keyed_probe _ };
+        _ } -> ()
+  | p -> Alcotest.failf "wanted fenced probe, got %s" (Plan.to_string p));
+  match
+    Plan.choose ~sources:[ hash_info "h" ]
+      ~conjuncts:(conjuncts_of "retrieve (h.id) where h.seq = 1")
+  with
+  | Plan.Single { access = Plan.Seq_scan; _ } -> ()
+  | p -> Alcotest.failf "static source must not be fenced, got %s" (Plan.to_string p)
+
+let test_overlap_constant () =
+  let cs = conjuncts_of {|retrieve (h.id) when h overlap "1985-01-01" and h precede i|} in
+  Alcotest.(check (option string)) "extracted" (Some "1985-01-01")
+    (Conjuncts.overlap_constant cs ~var:"h");
+  Alcotest.(check (option string)) "no bound on i" None
+    (Conjuncts.overlap_constant cs ~var:"i");
+  (* mirrored orientation *)
+  let cs2 = conjuncts_of {|retrieve (h.id) when "now" overlap h|} in
+  Alcotest.(check (option string)) "mirrored" (Some "now")
+    (Conjuncts.overlap_constant cs2 ~var:"h")
 
 let test_no_sources () =
   match Plan.choose ~sources:[] ~conjuncts:[] with
@@ -129,6 +190,11 @@ let suites =
         Alcotest.test_case "range bounds" `Quick test_range_bounds;
         Alcotest.test_case "join equalities" `Quick test_join_equalities;
         Alcotest.test_case "plan choice" `Quick test_plan_choice;
+        Alcotest.test_case "nested general without probe" `Quick
+          test_nested_general_no_probe;
+        Alcotest.test_case "time fence refinement" `Quick
+          test_time_fence_refinement;
+        Alcotest.test_case "overlap constant" `Quick test_overlap_constant;
         Alcotest.test_case "no sources" `Quick test_no_sources;
       ] );
   ]
