@@ -31,8 +31,14 @@
                   (s5.4, ablations, bechamel timing) - a CI-sized run
      --json PATH  write a machine-readable result document to PATH:
                   per-section wall time and peak heap words, the full
-                  cost grid, the pruning experiment, and an engine
-                  metrics snapshot *)
+                  cost grid, the pruning experiment, the executor
+                  throughput section and an engine metrics snapshot
+     --throughput-baseline PATH
+                  after measuring throughput, record the tuples/sec of
+                  this build under the current update count in PATH
+                  (merging with any other update counts already there);
+                  later runs load the file and report their speedup
+                  against it *)
 
 module Workload = Tdb_benchkit.Workload
 module Evolve = Tdb_benchkit.Evolve
@@ -60,14 +66,17 @@ let seed = 850331 (* the TR number, for luck *)
    in order, so a smoke run shrinks the whole grid. *)
 let smoke = Array.exists (( = ) "--smoke") (Sys.argv : string array)
 
-let json_path =
+let flag_value name =
   let path = ref None in
   Array.iteri
     (fun i a ->
-      if a = "--json" && i + 1 < Array.length Sys.argv then
+      if a = name && i + 1 < Array.length Sys.argv then
         path := Some Sys.argv.(i + 1))
     Sys.argv;
   !path
+
+let json_path = flag_value "--json"
+let throughput_baseline_path = flag_value "--throughput-baseline"
 
 let max_uc = if smoke then 3 else 15
 let report_uc = if smoke then 2 else 14
@@ -470,15 +479,15 @@ let build_fig10 (conv_w : Workload.t) =
   let query_db =
     match Database.create ~start:after_evolution () with
     | Ok db -> db
-    | Error e -> Tdb_storage.Tdb_error.internal "bench setup: %s" e
+    | Error e -> Tdb_error.internal "bench setup: %s" e
   in
   let adopt rel var =
     (match Database.adopt_relation query_db rel with
     | Ok () -> ()
-    | Error e -> Tdb_storage.Tdb_error.internal "bench setup: %s" e);
+    | Error e -> Tdb_error.internal "bench setup: %s" e);
     match Database.set_range query_db ~var ~rel:(Relation_file.name rel) with
     | Ok () -> ()
-    | Error e -> Tdb_storage.Tdb_error.internal "bench setup: %s" e
+    | Error e -> Tdb_error.internal "bench setup: %s" e
   in
   adopt (Two_level_store.primary store_h_clustered) "h";
   adopt (Two_level_store.primary store_i_clustered) "i";
@@ -580,8 +589,8 @@ let measure_query_db db src =
   Database.reset_io db;
   match Engine.execute db src with
   | Ok [ Engine.Rows { io; _ } ] -> io.Tdb_query.Executor.input_reads
-  | Ok _ -> Tdb_storage.Tdb_error.internal "expected rows: %s" src
-  | Error e -> Tdb_storage.Tdb_error.internal "bench query failed: %s" e
+  | Ok _ -> Tdb_error.internal "expected rows: %s" src
+  | Error e -> Tdb_error.internal "bench query failed: %s" e
 
 let figure10 conv env =
   print_endline "== Figure 10: Improvements for the temporal database ==";
@@ -925,6 +934,176 @@ let timing (temporal100_w : Workload.t) env =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Executor throughput: tuples/sec and wall time per query             *)
+(* ------------------------------------------------------------------ *)
+
+(* The page-I/O grid is invariant under executor changes by construction;
+   this section measures what those changes are allowed to move: wall
+   time.  Each query runs repeatedly on the evolved temporal database
+   (pruning off, like the grid, so scans do the paper's full work) and the
+   best run is kept — the minimum is the least noisy estimator on a warm
+   cache.  A committed baseline file maps "uc<N>" to tuples/sec per query,
+   so any build can report its speedup against the build that wrote it. *)
+
+type throughput = {
+  tp_qid : Paper_queries.id;
+  tp_tuples : int;  (* result tuples per run *)
+  tp_reads : int;  (* page reads per run, for the record *)
+  tp_wall_s : float;  (* best single-run wall time *)
+  tp_per_s : float;  (* result tuples per second at the best run *)
+}
+
+let throughput_queries =
+  Paper_queries.[ Q01; Q03; Q04; Q07; Q09; Q11 ]
+
+let throughput_measure (w : Workload.t) qid =
+  let src = Option.get (Paper_queries.text qid Workload.Temporal) in
+  let tp_reads, tp_tuples = Evolve.measure_query_result w src in
+  let best = ref infinity in
+  let runs = ref 0 in
+  let deadline = Unix.gettimeofday () +. 0.4 in
+  while !runs < 3 || (!runs < 200 && Unix.gettimeofday () < deadline) do
+    let t0 = Unix.gettimeofday () in
+    ignore (Evolve.measure_query_result w src);
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    incr runs
+  done;
+  {
+    tp_qid = qid;
+    tp_tuples;
+    tp_reads;
+    tp_wall_s = !best;
+    tp_per_s = float_of_int (max 1 tp_tuples) /. !best;
+  }
+
+let throughput_baseline_key = Printf.sprintf "uc%d" max_uc
+let throughput_baseline_file = "bench/throughput_baseline.json"
+
+(* baseline: query name -> tuples/sec, from the committed file, for this
+   run's update count.  Missing file, bad parse, missing key: no columns. *)
+let throughput_baseline () =
+  if not (Sys.file_exists throughput_baseline_file) then None
+  else
+    let ic = open_in_bin throughput_baseline_file in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse content with
+    | Error _ -> None
+    | Ok (Json.Obj entries) -> (
+        match List.assoc_opt throughput_baseline_key entries with
+        | Some (Json.Obj qs) ->
+            Some
+              (List.filter_map
+                 (function q, Json.Num v -> Some (q, v) | _ -> None)
+                 qs)
+        | _ -> None)
+    | Ok _ -> None
+
+let write_throughput_baseline path results =
+  (* merge: keep other update counts' entries, replace this one's *)
+  let existing =
+    if not (Sys.file_exists path) then []
+    else
+      let ic = open_in_bin path in
+      let content =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Json.parse content with Ok (Json.Obj e) -> e | _ -> []
+  in
+  let entry =
+    Json.Obj
+      (List.map
+         (fun r -> (Paper_queries.name r.tp_qid, Json.Num r.tp_per_s))
+         results)
+  in
+  let merged =
+    (throughput_baseline_key, entry)
+    :: List.remove_assoc throughput_baseline_key existing
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty (Json.Obj (List.sort compare merged)));
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "[bench] wrote throughput baseline %s (%s)\n%!" path
+    throughput_baseline_key
+
+let throughput_section (w : Workload.t) =
+  print_endline "== Throughput: tuples/sec per query (temporal 100%) ==";
+  let results = List.map (throughput_measure w) throughput_queries in
+  let baseline = throughput_baseline () in
+  let rows =
+    List.map
+      (fun r ->
+        let base =
+          Option.bind baseline
+            (List.assoc_opt (Paper_queries.name r.tp_qid))
+        in
+        [
+          Paper_queries.name r.tp_qid;
+          string_of_int r.tp_tuples;
+          string_of_int r.tp_reads;
+          Printf.sprintf "%.2f" (r.tp_wall_s *. 1e3);
+          Printf.sprintf "%.0f" r.tp_per_s;
+          (match base with Some b -> Printf.sprintf "%.0f" b | None -> "-");
+          (match base with
+          | Some b when b > 0. -> Printf.sprintf "%.2fx" (r.tp_per_s /. b)
+          | _ -> "-");
+        ])
+      results
+  in
+  print_endline
+    (Report.table
+       ~header:
+         [ "Query"; "tuples"; "pages"; "best ms"; "tuples/s";
+           "baseline"; "speedup" ]
+       rows);
+  print_endline
+    "(best of repeated runs; 'baseline' is the committed pre-refactor\n\
+    \ tuples/sec for this update count, 'speedup' this build against it)";
+  print_newline ();
+  Option.iter
+    (fun path -> write_throughput_baseline path results)
+    throughput_baseline_path;
+  results
+
+let json_of_throughput results =
+  let baseline = throughput_baseline () in
+  Json.Obj
+    [
+      ("baseline_key", Json.Str throughput_baseline_key);
+      ( "queries",
+        Json.List
+          (List.map
+             (fun r ->
+               let base =
+                 Option.bind baseline
+                   (List.assoc_opt (Paper_queries.name r.tp_qid))
+               in
+               Json.Obj
+                 [
+                   ("query", Json.Str (Paper_queries.name r.tp_qid));
+                   ("tuples", Json.int r.tp_tuples);
+                   ("reads", Json.int r.tp_reads);
+                   ("wall_s", Json.Num r.tp_wall_s);
+                   ("tuples_per_s", Json.Num r.tp_per_s);
+                   ( "baseline_tuples_per_s",
+                     match base with Some b -> Json.Num b | None -> Json.Null
+                   );
+                   ( "speedup",
+                     match base with
+                     | Some b when b > 0. -> Json.Num (r.tp_per_s /. b)
+                     | _ -> Json.Null );
+                 ])
+             results) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Section timing and the --json result document                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -970,7 +1149,7 @@ let json_of_run (r : run) =
       ("cells", Json.List (List.map cell cells));
     ]
 
-let result_document ~total_s ~pruning runs =
+let result_document ~total_s ~pruning ~throughput runs =
   Json.Obj
     [
       ( "meta",
@@ -996,6 +1175,7 @@ let result_document ~total_s ~pruning runs =
              !sections) );
       ("grid", Json.List (List.map json_of_run runs));
       ("pruning", json_of_pruning pruning);
+      ("throughput", json_of_throughput throughput);
       ("metrics", Tdb_obs.Metric.to_json ());
     ]
 
@@ -1043,6 +1223,7 @@ let run () =
   figure8 ~temporal100 ~rollback50;
   figure9 runs;
   model_validation runs;
+  let throughput = timed "throughput" (fun () -> throughput_section temporal100_w) in
   if smoke then print_endline "(smoke run: s5.4, ablations and timing skipped)\n"
   else timed "section 5.4" section54;
   let env = timed "figure 10 build" (fun () -> build_fig10 temporal100_w) in
@@ -1060,14 +1241,14 @@ let run () =
   end;
   let total_s = Unix.gettimeofday () -. t0 in
   Option.iter
-    (fun path -> write_json path (result_document ~total_s ~pruning runs))
+    (fun path ->
+      write_json path (result_document ~total_s ~pruning ~throughput runs))
     json_path;
   Printf.printf "Total benchmark time: %.1f s\n" total_s
 
 (* Storage-level failures — corruption, I/O — stop the benchmark with a
    class-specific exit code and a one-line message, never a backtrace. *)
 let () =
-  let module Tdb_error = Tdb_storage.Tdb_error in
   try run ()
   with Tdb_error.Error (cls, msg) ->
     Printf.eprintf "fatal %s\n" (Tdb_error.message cls msg);

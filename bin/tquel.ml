@@ -18,7 +18,6 @@
 
 module Engine = Tdb_core.Engine
 module Database = Tdb_core.Database
-module Tdb_error = Tdb_core.Tdb_error
 module Relation_file = Tdb_storage.Relation_file
 module Disk = Tdb_storage.Disk
 module Schema = Tdb_relation.Schema

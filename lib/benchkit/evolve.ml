@@ -8,7 +8,7 @@ let run db src =
   match Engine.execute db src with
   | Ok outcomes -> outcomes
   | Error e ->
-      Tdb_storage.Tdb_error.internal "benchmark statement failed: %s\n%s" e src
+      Tdb_error.internal "benchmark statement failed: %s\n%s" e src
 
 let uniform_round (w : Workload.t) ~round =
   let at = Chronon.add_seconds Workload.evolution_base (round * 86400) in
@@ -36,7 +36,7 @@ let measure_query_result (w : Workload.t) src =
   match run w.Workload.db src with
   | [ Engine.Rows { io; tuples; _ } ] ->
       (io.Tdb_query.Executor.input_reads, List.length tuples)
-  | _ -> Tdb_storage.Tdb_error.internal "expected a single retrieve: %s" src
+  | _ -> Tdb_error.internal "expected a single retrieve: %s" src
 
 let measure_query w src = fst (measure_query_result w src)
 

@@ -40,9 +40,9 @@ let run_query db src =
   | Ok [ Engine.Rows { io; tuples; _ } ] ->
       (io.Tdb_query.Executor.input_reads, tuples)
   | Ok _ ->
-      Tdb_storage.Tdb_error.internal "pruning: expected a single retrieve: %s"
+      Tdb_error.internal "pruning: expected a single retrieve: %s"
         src
-  | Error e -> Tdb_storage.Tdb_error.internal "pruning query failed: %s" e
+  | Error e -> Tdb_error.internal "pruning query failed: %s" e
 
 let measure (w : Workload.t) src =
   let cost_off, rows_off =

@@ -102,7 +102,7 @@ let build ~kind ~loading ~seed =
   let db =
     match Database.create ~start:evolution_base () with
     | Ok db -> db
-    | Error e -> Tdb_storage.Tdb_error.internal "workload setup: %s" e
+    | Error e -> Tdb_error.internal "workload setup: %s" e
   in
   let prefix = kind_to_string kind in
   let h_name = prefix ^ "_h" and i_name = prefix ^ "_i" in
@@ -111,23 +111,23 @@ let build ~kind ~loading ~seed =
     let rel =
       match Database.create_relation db ~name schema with
       | Ok rel -> rel
-      | Error e -> Tdb_storage.Tdb_error.internal "workload setup: %s" e
+      | Error e -> Tdb_error.internal "workload setup: %s" e
     in
     List.iter
       (fun tu -> ignore (Relation_file.insert rel tu))
       (tuples_for ~kind ~seed ~which schema);
     match Database.modify_relation db name org with
     | Ok () -> ()
-    | Error e -> Tdb_storage.Tdb_error.internal "workload setup: %s" e
+    | Error e -> Tdb_error.internal "workload setup: %s" e
   in
   load h_name `H (Relation_file.Hash { key_attr = 0; fillfactor = loading });
   load i_name `I (Relation_file.Isam { key_attr = 0; fillfactor = loading });
   (match Database.set_range db ~var:"h" ~rel:h_name with
   | Ok () -> ()
-  | Error e -> Tdb_storage.Tdb_error.internal "workload setup: %s" e);
+  | Error e -> Tdb_error.internal "workload setup: %s" e);
   (match Database.set_range db ~var:"i" ~rel:i_name with
   | Ok () -> ()
-  | Error e -> Tdb_storage.Tdb_error.internal "workload setup: %s" e);
+  | Error e -> Tdb_error.internal "workload setup: %s" e);
   Clock.set (Database.clock db) evolution_base;
   { db; kind; loading; h_name; i_name }
 

@@ -23,7 +23,7 @@ val create :
     validated, torn tails truncated, dangling overflow pointers cleared;
     what was repaired is reported by {!recoveries}.  Damage that cannot be
     repaired (a checksum failure that is not a torn tail, a file shorter
-    than its catalog accounting) raises {!Tdb_storage.Tdb_error.Error}
+    than its catalog accounting) raises {!Tdb_error.Error}
     with class [Corruption].
 
     [fault] attaches a deterministic fault-injection plan to every

@@ -314,15 +314,20 @@ let execute_statement db stmt =
   end
 
 (* The plan a retrieve would run, without running it (the CLI's
-   [\explain]).  Fence refinements show which time dimensions the storage
-   layer will prune on. *)
+   [\explain]): the decomposition plan, then the batch pipeline it
+   lowers to.  Fence refinements show which time dimensions the storage
+   layer will prune on; the pipeline stages carry the same labels the
+   trace spans use. *)
 let explain db src =
   let* stmt = Parser.parse_statement src in
   let* () = Semck.check_statement (Database.semck_env db) stmt in
   match stmt with
   | Ast.Retrieve r ->
       run_protected (fun () ->
-          Plan.to_string (Executor.plan_retrieve ~sources:(sources_of db) r))
+          let sources = sources_of db in
+          let plan = Executor.plan_retrieve ~sources r in
+          let pipe = Executor.pipeline_retrieve ~sources r in
+          Plan.to_string plan ^ "\n" ^ Tdb_query.Pipeline.to_string pipe)
   | stmt ->
       Ok (Printf.sprintf "%s: no plan (only retrieve statements are planned)"
             (statement_kind stmt))

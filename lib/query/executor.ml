@@ -5,6 +5,7 @@ module Attr_type = Tdb_relation.Attr_type
 module Db_type = Tdb_relation.Db_type
 module Relation_file = Tdb_storage.Relation_file
 module Io_stats = Tdb_storage.Io_stats
+module Cursor = Tdb_storage.Cursor
 module Trace = Tdb_obs.Trace
 module Chronon = Tdb_time.Chronon
 module Period = Tdb_time.Period
@@ -282,14 +283,29 @@ let check_conjunct ctx = function
   | Conjuncts.Where p -> Eval.pred ctx p
   | Conjuncts.When p -> Eval.temppred ctx p
 
-let restricted ~now restriction (source : source) tuple =
-  let schema = Relation_file.schema source.rel in
-  as_of_ok restriction.window schema tuple
-  &&
-  let ctx =
-    { Eval.bindings = [ { Eval.var = source.var; schema; tuple } ]; now }
-  in
-  List.for_all (check_conjunct ctx) restriction.conjuncts
+(* The pushed-down single-variable conjuncts as a tuple predicate, with
+   everything per-source hoisted out of the record loop. *)
+let conjuncts_check ~now restriction (source : source) =
+  match restriction.conjuncts with
+  | [] -> fun _ -> true
+  | conjuncts ->
+      let schema = Relation_file.schema source.rel in
+      fun tuple ->
+        let ctx =
+          { Eval.bindings = [ { Eval.var = source.var; schema; tuple } ]; now }
+        in
+        List.for_all (check_conjunct ctx) conjuncts
+
+(* The raw-record as-of test: [Tuple.transaction_period]'s overlap check
+   replayed over the encoded bytes (see
+   {!Relation_file.transaction_overlaps}), so versions outside the
+   rollback window are refuted before paying for a full decode.  [None]
+   exactly when [as_of_ok] passes every tuple — no window, or a schema
+   without transaction time. *)
+let prefilter_of ~restriction (source : source) =
+  match (restriction.window, Relation_file.transaction_overlaps source.rel) with
+  | Some w, Some overlaps -> Some (overlaps w)
+  | _ -> None
 
 (* --- access paths --- *)
 
@@ -328,24 +344,23 @@ let resolve_window ~now ~restriction ~transaction ~valid_const =
   | None, None -> None
   | _ -> Some { Tdb_storage.Time_fence.transaction; valid }
 
-let iter_restricted ~now ~restriction ~access (source : source) f =
-  let visit _tid tuple =
-    if restricted ~now restriction source tuple then f tuple
-  in
+(* Resolve a plan access into the storage layer's unified batch cursor. *)
+let cursor_of_access ~now ~restriction ~access (source : source) =
   let key_attr_name () =
     match Relation_file.key_attr source.rel with
     | Some i -> (Schema.attr (Relation_file.schema source.rel) i).Schema.name
     | None -> errf "keyed probe on a heap relation"
   in
   let rec go ?window = function
-    | Plan.Seq_scan -> Relation_file.scan ?window source.rel visit
+    | Plan.Seq_scan ->
+        Relation_file.cursor ?window source.rel Relation_file.Full_scan
     | Plan.Keyed_probe e ->
         let probe = Eval.expr { Eval.bindings = []; now } e in
         let probe =
           coerce_probe (Relation_file.schema source.rel) (key_attr_name ())
             probe ~now
         in
-        Relation_file.lookup ?window source.rel probe visit
+        Relation_file.cursor ?window source.rel (Relation_file.Key_lookup probe)
     | Plan.Range_probe (lo, hi) ->
         (* Strict bounds are widened to inclusive here; the restriction
            conjuncts (which include the original comparisons) re-filter. *)
@@ -357,13 +372,47 @@ let iter_restricted ~now ~restriction ~access (source : source) f =
                 ~now)
             b
         in
-        Relation_file.lookup_range ?window source.rel ?lo:(bound lo)
-          ?hi:(bound hi) visit
+        Relation_file.cursor ?window source.rel
+          (Relation_file.Key_range { lo = bound lo; hi = bound hi })
     | Plan.Time_fence { transaction; valid_const; base } ->
         let window = resolve_window ~now ~restriction ~transaction ~valid_const in
         go ?window base
   in
   go access
+
+(* Apply the full single-variable restriction to one raw record: the
+   as-of test straight on the bytes when possible (skipping the decode of
+   refuted versions entirely — with a window, that check decides alone,
+   so no [as_of_ok] re-test is needed), then the pushed-down conjuncts on
+   the decoded tuple.  Built once per source and partially applied, so
+   repeated probes (the inner side of a join) pay none of the setup. *)
+let restricted_visitor ~now ~restriction (source : source) =
+  let decode = Relation_file.decode source.rel in
+  let keep = conjuncts_check ~now restriction source in
+  match prefilter_of ~restriction source with
+  | Some alive ->
+      fun f _tid record ->
+        if alive record then begin
+          let tuple = decode record in
+          if keep tuple then f tuple
+        end
+  | None ->
+      fun f _tid record ->
+        let tuple = decode record in
+        if keep tuple then f tuple
+
+let iter_restricted ~now ~restriction ~access (source : source) f =
+  Cursor.iter
+    (cursor_of_access ~now ~restriction ~access source)
+    (restricted_visitor ~now ~restriction source f)
+
+(* A keyed probe under an already-resolved window (the inner side of a
+   tuple substitution); [visit] is a {!restricted_visitor} partial
+   application, built once for the whole join. *)
+let iter_probe ~window (source : source) probe visit =
+  Cursor.iter
+    (Relation_file.cursor ?window source.rel (Relation_file.Key_lookup probe))
+    visit
 
 (* --- one-variable detachment --- *)
 
@@ -440,10 +489,194 @@ let ordered_sources ~sources r =
       | None -> errf "tuple variable %S is not in range" v)
     (used_vars r)
 
+(* Best single-variable access path: keyed when a constant equality on
+   the relation's key exists — fence-refined like every other access. *)
+let access_for conjuncts s =
+  let info = source_info s in
+  let base =
+    match info.Plan.key with
+    | Some (attr, _) -> (
+        match Conjuncts.constant_key_probe conjuncts ~var:s.var ~attr with
+        | Some e -> Plan.Keyed_probe e
+        | None -> Plan.Seq_scan)
+    | None -> Plan.Seq_scan
+  in
+  Plan.refine_access info conjuncts base
+
+let fenced_scan conjuncts s =
+  Plan.refine_access (source_info s) conjuncts Plan.Seq_scan
+
+(* --- the batched operator pipeline --- *)
+
+(* A row is the bindings accumulated so far, outermost variable first. *)
+type row = Eval.binding list
+
+type sink = { push : row array -> unit; close : unit -> unit }
+
+(* Accumulate rows into batches of [Pipeline.batch_size] before pushing
+   them downstream; [flush] sends a final short batch. *)
+let row_batcher down =
+  let cap = Pipeline.batch_size in
+  let buf = Array.make cap [] in
+  let n = ref 0 in
+  let flush () =
+    if !n > 0 then begin
+      let batch = Array.sub buf 0 !n in
+      n := 0;
+      down.push batch
+    end
+  in
+  let push row =
+    buf.(!n) <- row;
+    incr n;
+    if !n = cap then flush ()
+  in
+  (push, flush)
+
+(* A stage that may yield several output rows per input row (nested inner
+   scans, keyed probes): its span is entered for each input batch, so the
+   inner access's page I/O lands on it, and its output is re-batched. *)
+let expand_stage span expand down =
+  let push_out, flush = row_batcher down in
+  {
+    push =
+      (fun rows ->
+        Trace.enter span;
+        Array.iter
+          (fun r ->
+            expand r (fun r' ->
+                Trace.add_tuples span 1;
+                push_out r'))
+          rows;
+        Trace.exit span);
+    close =
+      (fun () ->
+        flush ();
+        down.close ());
+  }
+
+(* The residual (multi-variable) conjuncts, applied batch-at-a-time; a
+   shrunk batch flows on without re-batching. *)
+let filter_stage ~now residual span down =
+  {
+    push =
+      (fun rows ->
+        Trace.enter span;
+        let keep =
+          List.filter
+            (fun r ->
+              List.for_all
+                (check_conjunct { Eval.bindings = r; now })
+                residual)
+            (Array.to_list rows)
+        in
+        (match keep with
+        | [] -> ()
+        | _ ->
+            let out = Array.of_list keep in
+            Trace.add_tuples span (Array.length out);
+            down.push out);
+        Trace.exit span);
+    close = down.close;
+  }
+
+let emit_stage span emit_row =
+  {
+    push =
+      (fun rows ->
+        Trace.enter span;
+        Trace.add_tuples span (Array.length rows);
+        Array.iter emit_row rows;
+        Trace.exit span);
+    close = (fun () -> ());
+  }
+
+(* The pipeline a plan runs as — shared by the executor (span labels) and
+   [\explain] (rendering), so both name the same operators. *)
+let build_pipeline ~sources ~conjuncts (r : retrieve) plan =
+  let residual = Conjuncts.multi_var conjuncts in
+  let agg = aggregate_mode r in
+  let find v = List.find (fun s -> s.var = v) sources in
+  let label v access = Plan.access_to_string v access in
+  let key_name s =
+    match Relation_file.key_attr s.rel with
+    | Some i -> Schema.norm_name (Schema.attr (schema_of s) i).Schema.name
+    | None -> "?"
+  in
+  let tail =
+    (if residual = [] then [] else [ Pipeline.Filter (List.length residual) ])
+    @ [ Pipeline.Emit agg ]
+  in
+  match plan with
+  | Plan.Const_emit | Plan.Nested_general { vars = []; _ } ->
+      { Pipeline.detaches = []; stages = [ Pipeline.Emit agg ] }
+  | Plan.Single { var; access } ->
+      { Pipeline.detaches = []; stages = Pipeline.Scan (label var access) :: tail }
+  | Plan.Tuple_substitution { detached; substituted; probe_attr } ->
+      {
+        Pipeline.detaches = [ label detached (access_for conjuncts (find detached)) ];
+        stages =
+          Pipeline.Scan (Printf.sprintf "scan(%s')" detached)
+          :: Pipeline.Probe
+               (Printf.sprintf "%s.%s<-%s.%s" substituted
+                  (key_name (find substituted))
+                  detached
+                  (Schema.norm_name probe_attr))
+          :: tail;
+      }
+  | Plan.Detach_both { outer; inner } ->
+      {
+        Pipeline.detaches =
+          [
+            label outer (access_for conjuncts (find outer));
+            label inner (access_for conjuncts (find inner));
+          ];
+        stages =
+          Pipeline.Scan (Printf.sprintf "scan(%s')" outer)
+          :: Pipeline.Nest (Printf.sprintf "scan(%s')" inner)
+          :: tail;
+      }
+  | Plan.Nested_scan { outer; inner } ->
+      {
+        Pipeline.detaches = [];
+        stages =
+          Pipeline.Scan (label outer (fenced_scan conjuncts (find outer)))
+          :: Pipeline.Nest (label inner (fenced_scan conjuncts (find inner)))
+          :: tail;
+      }
+  | Plan.Nested_general { vars = v1 :: rest; probe } ->
+      let stage_for v ~innermost =
+        match probe with
+        | Some p when p.Plan.probe_var = v && innermost ->
+            Pipeline.Probe
+              (Printf.sprintf "%s.%s<-%s.%s" v
+                 (Schema.norm_name p.Plan.probe_attr)
+                 p.Plan.from_var
+                 (Schema.norm_name p.Plan.from_attr))
+        | _ -> Pipeline.Nest (label v (fenced_scan conjuncts (find v)))
+      in
+      let rec mids = function
+        | [] -> []
+        | [ v ] -> [ stage_for v ~innermost:true ]
+        | v :: tl -> stage_for v ~innermost:false :: mids tl
+      in
+      {
+        Pipeline.detaches = [];
+        stages =
+          Pipeline.Scan (label v1 (fenced_scan conjuncts (find v1)))
+          :: (mids rest @ tail);
+      }
+
 let plan_retrieve ~sources (r : retrieve) =
   let sources = ordered_sources ~sources r in
   let conjuncts = Conjuncts.split r.where r.when_ in
   Plan.choose ~sources:(List.map source_info sources) ~conjuncts
+
+let pipeline_retrieve ~sources (r : retrieve) =
+  let sources = ordered_sources ~sources r in
+  let conjuncts = Conjuncts.split r.where r.when_ in
+  let plan = Plan.choose ~sources:(List.map source_info sources) ~conjuncts in
+  build_pipeline ~sources ~conjuncts r plan
 
 let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
   let sources = ordered_sources ~sources r in
@@ -453,21 +686,8 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
     { conjuncts = Conjuncts.for_var var conjuncts; window }
   in
   let residual = Conjuncts.multi_var conjuncts in
-  (* Best single-variable access path: keyed when a constant equality on
-     the relation's key exists — fence-refined like every other access. *)
-  let access_for s =
-    let info = source_info s in
-    let base =
-      match info.Plan.key with
-      | Some (attr, _) -> (
-          match Conjuncts.constant_key_probe conjuncts ~var:s.var ~attr with
-          | Some e -> Plan.Keyed_probe e
-          | None -> Plan.Seq_scan)
-      | None -> Plan.Seq_scan
-    in
-    Plan.refine_access info conjuncts base
-  in
-  let fenced_scan s = Plan.refine_access (source_info s) conjuncts Plan.Seq_scan in
+  let access_for = access_for conjuncts in
+  let fenced_scan = fenced_scan conjuncts in
   let fence_window_for s ~restriction =
     match Plan.fence_spec (source_info s) conjuncts with
     | Some (transaction, valid_const) ->
@@ -475,6 +695,7 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
     | None -> None
   in
   let plan = Plan.choose ~sources:(List.map source_info sources) ~conjuncts in
+  let pipe = build_pipeline ~sources ~conjuncts r plan in
   let result = result_schema ~sources r in
   (* I/O accounting: deltas on the sources plus everything the temporaries
      do. *)
@@ -588,8 +809,10 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
     | (Eattr _ | Eint _ | Efloat _ | Estring _ | Eagg (_, _, [])) as e ->
         Eval.expr ctx e
   in
-  let emit ctx =
-    if List.for_all (check_conjunct ctx) residual then
+  (* Deliver one row (the residual conjuncts were applied by the filter
+     stage; a row that reaches here joins the result). *)
+  let emit_row (row : row) =
+    let ctx = { Eval.bindings = row; now } in
     if agg_mode then List.iter (accumulate ctx) accumulators
     else begin
       let user_values =
@@ -650,30 +873,59 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
       | None -> ()
     end
   in
-  let rec access_label var = function
-    | Plan.Seq_scan -> Printf.sprintf "scan(%s)" var
-    | Plan.Keyed_probe _ -> Printf.sprintf "probe(%s)" var
-    | Plan.Range_probe _ -> Printf.sprintf "range(%s)" var
-    | Plan.Time_fence { base; _ } ->
-        Printf.sprintf "fence(%s)" (access_label var base)
+  (* The Filter?/Emit tail of the pipeline, with spans chained under
+     [parent] so the span tree mirrors the stage order. *)
+  let tail_sink parent =
+    let tail =
+      List.filter
+        (function Pipeline.Filter _ | Pipeline.Emit _ -> true | _ -> false)
+        pipe.Pipeline.stages
+    in
+    match tail with
+    | [ (Pipeline.Emit _ as e) ] ->
+        emit_stage (Trace.branch parent (Pipeline.stage_label e)) emit_row
+    | [ (Pipeline.Filter _ as fl); (Pipeline.Emit _ as e) ] ->
+        let fspan = Trace.branch parent (Pipeline.stage_label fl) in
+        let espan = Trace.branch fspan (Pipeline.stage_label e) in
+        filter_stage ~now residual fspan (emit_stage espan emit_row)
+    | _ -> assert false
   in
-  let traced_detach ~restriction ~access ~needed s =
-    Trace.within (Printf.sprintf "detach(%s)" s.var) (fun tn ->
-        Trace.set_attr tn "access" (access_label s.var access);
+  let traced_detach ~restriction ~access ~needed label s =
+    Trace.within (Pipeline.detach_label label) (fun tn ->
         let temp, inserted = detach ~now ~restriction ~access ~needed s in
         Trace.add_tuples tn inserted;
         temp)
   in
+  let scan_stage_label () =
+    match pipe.Pipeline.stages with
+    | Pipeline.Scan l :: _ -> l
+    | _ -> assert false
+  in
+  let stage_at i = List.nth pipe.Pipeline.stages i in
+  let detach_access_label i = List.nth pipe.Pipeline.detaches i in
+  (* Drive rows from a source iterator through the pipeline: the scan span
+     stays entered for the whole drive (so its cursor's page pulls charge
+     to it); downstream stages enter their spans once per batch. *)
+  let drive label build_rest produce =
+    Trace.within label (fun span ->
+        let sink = build_rest span in
+        let push, flush = row_batcher sink in
+        produce span push;
+        flush ();
+        sink.close ())
+  in
   (match plan with
-  | Plan.Const_emit ->
-      Trace.within "emit" (fun _ -> emit { Eval.bindings = []; now })
+  | Plan.Const_emit | Plan.Nested_general { vars = []; _ } ->
+      let sink = tail_sink qnode in
+      sink.push [| [] |];
+      sink.close ()
   | Plan.Single { var; access } ->
       let s = List.find (fun s -> s.var = var) sources in
-      Trace.within (access_label var access) (fun tn ->
+      drive (scan_stage_label ()) tail_sink (fun span push ->
           iter_restricted ~now ~restriction:(restriction_of var) ~access s
             (fun tuple ->
-              Trace.add_tuples tn 1;
-              emit { Eval.bindings = [ binding s tuple ]; now }))
+              Trace.add_tuples span 1;
+              push [ binding s tuple ]))
   | Plan.Tuple_substitution { detached; substituted; probe_attr } ->
       let sd = List.find (fun s -> s.var = detached) sources in
       let si = List.find (fun s -> s.var = substituted) sources in
@@ -682,7 +934,7 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
       in
       let temp =
         traced_detach ~restriction:(restriction_of detached)
-          ~access:(access_for sd) ~needed sd
+          ~access:(access_for sd) ~needed (detach_access_label 0) sd
       in
       temps := temp :: !temps;
       let temp_source = { var = detached; rel = temp } in
@@ -698,138 +950,137 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
       in
       let inner_restriction = restriction_of substituted in
       let inner_window = fence_window_for si ~restriction:inner_restriction in
-      Trace.within (Printf.sprintf "substitute(%s)" substituted) (fun tn ->
-          let pn =
-            Trace.branch tn
-              (Printf.sprintf "probe(%s.%s)" substituted
-                 (Schema.norm_name inner_key_attr))
+      let inner_visit =
+        restricted_visitor ~now ~restriction:inner_restriction si
+      in
+      drive (scan_stage_label ())
+        (fun scan_span ->
+          let pspan =
+            Trace.branch scan_span (Pipeline.stage_label (stage_at 1))
           in
-          Relation_file.scan temp (fun _ outer_tuple ->
-              Trace.add_tuples tn 1;
+          expand_stage pspan
+            (fun row push' ->
+              let outer_tuple = (List.hd row).Eval.tuple in
               let probe =
                 coerce_probe (schema_of si) inner_key_attr
                   outer_tuple.(probe_index) ~now
               in
-              Trace.enter pn;
-              Relation_file.lookup ?window:inner_window si.rel probe
-                (fun _ inner_tuple ->
-                  if restricted ~now inner_restriction si inner_tuple then begin
-                    Trace.add_tuples pn 1;
-                    emit
-                      {
-                        Eval.bindings =
-                          [
-                            binding temp_source outer_tuple;
-                            binding si inner_tuple;
-                          ];
-                        now;
-                      }
-                  end);
-              Trace.exit pn))
+              iter_probe ~window:inner_window si probe
+                (inner_visit (fun inner_tuple ->
+                     push' (row @ [ binding si inner_tuple ]))))
+            (tail_sink pspan))
+        (fun span push ->
+          Relation_file.scan temp (fun _ ot ->
+              Trace.add_tuples span 1;
+              push [ binding temp_source ot ]))
   | Plan.Detach_both { outer; inner } ->
       let so = List.find (fun s -> s.var = outer) sources in
       let si = List.find (fun s -> s.var = inner) sources in
       let t_outer =
         traced_detach ~restriction:(restriction_of outer)
-          ~access:(access_for so) ~needed:(needed_for outer) so
+          ~access:(access_for so) ~needed:(needed_for outer)
+          (detach_access_label 0) so
       in
       let t_inner =
         traced_detach ~restriction:(restriction_of inner)
-          ~access:(access_for si) ~needed:(needed_for inner) si
+          ~access:(access_for si) ~needed:(needed_for inner)
+          (detach_access_label 1) si
       in
       temps := t_outer :: t_inner :: !temps;
       let os = { var = outer; rel = t_outer } in
       let is_ = { var = inner; rel = t_inner } in
-      Trace.within (Printf.sprintf "join(%s,%s)" outer inner) (fun tn ->
-          let inn = Trace.branch tn (Printf.sprintf "scan(%s)" inner) in
-          Relation_file.scan t_outer (fun _ ot ->
-              Trace.add_tuples tn 1;
-              Trace.enter inn;
+      drive (scan_stage_label ())
+        (fun scan_span ->
+          let nspan =
+            Trace.branch scan_span (Pipeline.stage_label (stage_at 1))
+          in
+          expand_stage nspan
+            (fun row push' ->
               Relation_file.scan t_inner (fun _ it ->
-                  Trace.add_tuples inn 1;
-                  emit { Eval.bindings = [ binding os ot; binding is_ it ]; now });
-              Trace.exit inn))
+                  push' (row @ [ binding is_ it ])))
+            (tail_sink nspan))
+        (fun span push ->
+          Relation_file.scan t_outer (fun _ ot ->
+              Trace.add_tuples span 1;
+              push [ binding os ot ]))
   | Plan.Nested_scan { outer; inner } ->
       let so = List.find (fun s -> s.var = outer) sources in
       let si = List.find (fun s -> s.var = inner) sources in
       let ro = restriction_of outer and ri = restriction_of inner in
-      Trace.within (Printf.sprintf "scan(%s)" outer) (fun on_ ->
-          let inn = Trace.branch on_ (Printf.sprintf "scan(%s)" inner) in
+      drive (scan_stage_label ())
+        (fun scan_span ->
+          let nspan =
+            Trace.branch scan_span (Pipeline.stage_label (stage_at 1))
+          in
+          expand_stage nspan
+            (fun row push' ->
+              iter_restricted ~now ~restriction:ri ~access:(fenced_scan si) si
+                (fun it -> push' (row @ [ binding si it ])))
+            (tail_sink nspan))
+        (fun span push ->
           iter_restricted ~now ~restriction:ro ~access:(fenced_scan so) so
             (fun ot ->
-              Trace.add_tuples on_ 1;
-              Trace.enter inn;
-              iter_restricted ~now ~restriction:ri ~access:(fenced_scan si) si
-                (fun it ->
-                  Trace.add_tuples inn 1;
-                  emit { Eval.bindings = [ binding so ot; binding si it ]; now });
-              Trace.exit inn))
-  | Plan.Nested_general { vars = []; _ } -> emit { Eval.bindings = []; now }
+              Trace.add_tuples span 1;
+              push [ binding so ot ]))
   | Plan.Nested_general { vars = v1 :: rest; probe } ->
-      let label v =
-        match probe with
-        | Some p when p.Plan.probe_var = v -> Printf.sprintf "probe(%s)" v
-        | _ -> Printf.sprintf "scan(%s)" v
-      in
-      Trace.within (label v1) (fun n1 ->
-          (* One span per variable, nested to mirror the loop structure;
-             inner spans are re-entered once per enclosing binding. *)
-          let rec build parent = function
-            | [] -> []
+      let s1 = List.find (fun s -> s.var = v1) sources in
+      drive (scan_stage_label ())
+        (fun scan_span ->
+          (* One stage per remaining variable, spans chained so the tree
+             mirrors the loop structure; the innermost variable probes its
+             key with the enclosing equi-join binding when the plan found
+             one (the tuple substitution move, one row at a time). *)
+          let rec build parent i = function
+            | [] -> tail_sink parent
             | v :: tl ->
-                let n = Trace.branch parent (label v) in
-                (v, n) :: build n tl
-          in
-          let rec loop bound = function
-            | [] -> emit { Eval.bindings = List.rev bound; now }
-            | (v, node, outermost) :: tl ->
                 let s = List.find (fun s -> s.var = v) sources in
-                let visit tuple =
-                  Trace.add_tuples node 1;
-                  loop (binding s tuple :: bound) tl
+                let span =
+                  Trace.branch parent (Pipeline.stage_label (stage_at i))
                 in
-                let run () =
+                let down = build span (i + 1) tl in
+                let expand =
                   match probe with
                   | Some p when p.Plan.probe_var = v && tl = [] ->
-                      (* Innermost variable: probe its key with the value
-                         bound by the enclosing equi-join variable (the
-                         tuple substitution move, one binding at a time). *)
-                      let b =
-                        List.find
-                          (fun (b : Eval.binding) -> b.Eval.var = p.Plan.from_var)
-                          bound
-                      in
-                      let idx =
-                        match Schema.index_of b.Eval.schema p.Plan.from_attr with
-                        | Some i -> i
-                        | None ->
-                            errf "probe attribute %s.%s not found"
-                              p.Plan.from_var p.Plan.from_attr
-                      in
                       let restriction = restriction_of v in
-                      let probe_val =
-                        coerce_probe (schema_of s) p.Plan.probe_attr
-                          b.Eval.tuple.(idx) ~now
-                      in
                       let window = fence_window_for s ~restriction in
-                      Relation_file.lookup ?window s.rel probe_val
-                        (fun _ tuple ->
-                          if restricted ~now restriction s tuple then
-                            visit tuple)
+                      let visit = restricted_visitor ~now ~restriction s in
+                      fun row push' ->
+                        let b =
+                          List.find
+                            (fun (b : Eval.binding) ->
+                              b.Eval.var = p.Plan.from_var)
+                            row
+                        in
+                        let idx =
+                          match
+                            Schema.index_of b.Eval.schema p.Plan.from_attr
+                          with
+                          | Some i -> i
+                          | None ->
+                              errf "probe attribute %s.%s not found"
+                                p.Plan.from_var p.Plan.from_attr
+                        in
+                        let probe_val =
+                          coerce_probe (schema_of s) p.Plan.probe_attr
+                            b.Eval.tuple.(idx) ~now
+                        in
+                        iter_probe ~window s probe_val
+                          (visit (fun t -> push' (row @ [ binding s t ])))
                   | _ ->
-                      iter_restricted ~now ~restriction:(restriction_of v)
-                        ~access:(fenced_scan s) s visit
+                      fun row push' ->
+                        iter_restricted ~now ~restriction:(restriction_of v)
+                          ~access:(fenced_scan s) s
+                          (fun t -> push' (row @ [ binding s t ]))
                 in
-                if outermost then run ()
-                else begin
-                  Trace.enter node;
-                  run ();
-                  Trace.exit node
-                end
+                expand_stage span expand down
           in
-          loop []
-            ((v1, n1, true)
-            :: List.map (fun (v, n) -> (v, n, false)) (build n1 rest))));
+          build scan_span 1 rest)
+        (fun span push ->
+          iter_restricted ~now ~restriction:(restriction_of v1)
+            ~access:(fenced_scan s1) s1
+            (fun t ->
+              Trace.add_tuples span 1;
+              push [ binding s1 t ])));
   if agg_mode then
     deliver
       (List.map (fun t -> fold_target accumulators t.value) r.targets

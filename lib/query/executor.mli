@@ -41,6 +41,12 @@ val plan_retrieve : sources:source list -> Tdb_tquel.Ast.retrieve -> Plan.t
 (** The plan {!run_retrieve} would execute, without running it (drives the
     CLI's [\explain]). *)
 
+val pipeline_retrieve :
+  sources:source list -> Tdb_tquel.Ast.retrieve -> Pipeline.t
+(** The batched operator pipeline {!run_retrieve} would run for the
+    statement — the same stage labels the trace spans carry (drives the
+    CLI's [\explain]). *)
+
 val result_schema :
   sources:source list ->
   Tdb_tquel.Ast.retrieve ->

@@ -1,0 +1,37 @@
+(* Batched operator pipelines: the executor's plan shapes rendered as the
+   linear operator chains they actually run.  The executor builds one of
+   these for every retrieve; the CLI's [\explain] prints it; the trace
+   spans carry the stage labels — so the explain output, the span tree and
+   the running code name the same operators by construction. *)
+
+type stage =
+  | Scan of string  (** row source: an access-path label, or [scan(v')] *)
+  | Nest of string  (** inner loop re-running the labelled access per row *)
+  | Probe of string  (** keyed inner loop, [v.key<-from.attr] *)
+  | Filter of int  (** residual (multi-variable) conjuncts *)
+  | Emit of bool  (** deliver rows; [true] when folding into aggregates *)
+
+type t = {
+  detaches : string list;
+      (** access labels of the detachment prologue, in execution order *)
+  stages : stage list;  (** source first, emit last *)
+}
+
+let batch_size = Tdb_storage.Cursor.target
+
+let stage_label = function
+  | Scan l -> l
+  | Nest l -> Printf.sprintf "nest(%s)" l
+  | Probe l -> Printf.sprintf "probe(%s)" l
+  | Filter n -> Printf.sprintf "filter(%d)" n
+  | Emit agg -> if agg then "emit(agg)" else "emit"
+
+let detach_label access = Printf.sprintf "detach(%s)" access
+
+let to_string t =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "batch pipeline [batch=%d]" batch_size;
+  List.iter (fun d -> Printf.bprintf b "\n  %s" (detach_label d)) t.detaches;
+  Printf.bprintf b "\n  %s"
+    (String.concat " -> " (List.map stage_label t.stages));
+  Buffer.contents b

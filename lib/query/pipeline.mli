@@ -1,0 +1,43 @@
+(** Batched operator pipelines.
+
+    The executor runs every retrieve as a chain of batch-at-a-time
+    operators: a row source (a {!Tdb_storage.Cursor} over an access
+    path), optional nested-loop or keyed-probe joins, a residual filter,
+    and an emit stage, with rows flowing between stages in batches of
+    {!batch_size}.  This module is the {e description} of such a chain:
+    the executor builds one per query, charges each trace span under its
+    stage's label, and the CLI's [\explain] prints it — the same names
+    everywhere by construction. *)
+
+type stage =
+  | Scan of string
+      (** the row source: an access-path label ([fence\[tx\](scan(h))])
+          or a temporary scan ([scan(h')]) *)
+  | Nest of string
+      (** nested loop: re-runs the labelled access once per input row *)
+  | Probe of string
+      (** keyed nested loop, labelled [v.key<-from.attr]: probes [v]'s
+          key with a value from each input row *)
+  | Filter of int  (** applies the residual (multi-variable) conjuncts *)
+  | Emit of bool
+      (** delivers rows (targets, valid clause, dedup); [true] when the
+          query folds into global aggregates instead *)
+
+type t = {
+  detaches : string list;
+      (** access labels of the detachment prologue, in execution order *)
+  stages : stage list;  (** source first, emit last *)
+}
+
+val batch_size : int
+(** Rows per inter-stage batch (= {!Tdb_storage.Cursor.target}). *)
+
+val stage_label : stage -> string
+(** The label used for the stage's trace span and its [\explain] line. *)
+
+val detach_label : string -> string
+(** [detach(<access>)] — the prologue stages' span labels. *)
+
+val to_string : t -> string
+(** Multi-line rendering: a header naming the batch size, one line per
+    detachment, then the stage chain [a -> b -> c]. *)

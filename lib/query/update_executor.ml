@@ -4,7 +4,7 @@ module Value = Tdb_relation.Value
 module Attr_type = Tdb_relation.Attr_type
 module Db_type = Tdb_relation.Db_type
 module Relation_file = Tdb_storage.Relation_file
-module Tid = Tdb_storage.Tid
+module Cursor = Tdb_storage.Cursor
 module Trace = Tdb_obs.Trace
 module Chronon = Tdb_time.Chronon
 module Period = Tdb_time.Period
@@ -91,27 +91,34 @@ let qualifies ~now ~(source : Executor.source) ~where ~when_ tuple =
   && match when_ with Some p -> Eval.temppred ctx p | None -> true
 
 let collect_qualifying ~now ~(source : Executor.source) ~where ~when_ =
-  (* Use keyed access when the where clause pins the relation's key. *)
+  (* Use keyed access when the where clause pins the relation's key; the
+     qualification scan then drains the access path's cursor in record
+     batches, exactly like a retrieve source. *)
   let conjuncts = Conjuncts.split where when_ in
   let schema = Relation_file.schema source.rel in
-  let acc = ref [] in
-  let visit tid tuple =
-    if qualifies ~now ~source ~where ~when_ tuple then acc := (tid, tuple) :: !acc
+  let access =
+    match
+      (Relation_file.organization source.rel, Relation_file.key_attr source.rel)
+    with
+    | (Relation_file.Hash _ | Relation_file.Isam _), Some i -> (
+        let attr = Schema.norm_name (Schema.attr schema i).Schema.name in
+        match Conjuncts.constant_key_probe conjuncts ~var:source.var ~attr with
+        | Some e ->
+            let probe = Eval.expr { Eval.bindings = []; now } e in
+            let probe =
+              match Value.coerce (Schema.attr schema i).Schema.ty probe with
+              | Ok v -> v
+              | Error e -> errf "bad key value: %s" e
+            in
+            Relation_file.Key_lookup probe
+        | None -> Relation_file.Full_scan)
+    | _ -> Relation_file.Full_scan
   in
-  (match (Relation_file.organization source.rel, Relation_file.key_attr source.rel) with
-  | (Relation_file.Hash _ | Relation_file.Isam _), Some i -> (
-      let attr = Schema.norm_name (Schema.attr schema i).Schema.name in
-      match Conjuncts.constant_key_probe conjuncts ~var:source.var ~attr with
-      | Some e ->
-          let probe = Eval.expr { Eval.bindings = []; now } e in
-          let probe =
-            match Value.coerce (Schema.attr schema i).Schema.ty probe with
-            | Ok v -> v
-            | Error e -> errf "bad key value: %s" e
-          in
-          Relation_file.lookup source.rel probe visit
-      | None -> Relation_file.scan source.rel visit)
-  | _ -> Relation_file.scan source.rel visit);
+  let acc = ref [] in
+  Cursor.iter (Relation_file.cursor source.rel access) (fun tid record ->
+      let tuple = Relation_file.decode source.rel record in
+      if qualifies ~now ~source ~where ~when_ tuple then
+        acc := (tid, tuple) :: !acc);
   List.rev !acc
 
 (* --- append --- *)

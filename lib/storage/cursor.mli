@@ -1,0 +1,91 @@
+(** Unified access-path cursors: batched record delivery for every access
+    method.
+
+    A cursor pulls page-sized chunks from a {!Pfile} walk and accumulates
+    them into batches of about {!target} records.  Batches are
+    page-aligned — a page's records are never split across two batches —
+    and the chunk functions are the same {!Pfile.page_step} /
+    {!Pfile.chain_step} primitives the eager iterators use, so a cursor
+    reads (and fence-skips) exactly the pages the equivalent eager walk
+    would, in the same order.  Only tuple flow is batched; page I/O is
+    invariant by construction. *)
+
+type batch = { tids : Tid.t array; records : bytes array }
+(** Parallel arrays; [records] are fresh copies, never page frames. *)
+
+val target : int
+(** Records per batch a cursor aims for (64).  Batches may run over —
+    they end on the page boundary that reaches the target — or under, on
+    the last batch of a walk. *)
+
+type t
+
+val next : t -> batch option
+(** The next non-empty batch, or [None] once exhausted.  Pulling reads
+    whole pages until the target is reached; every page read or skipped
+    is accounted exactly as in the eager walk. *)
+
+val iter : t -> (Tid.t -> bytes -> unit) -> unit
+(** Drain the cursor, batch by batch. *)
+
+val fold : t -> init:'a -> ('a -> Tid.t -> bytes -> 'a) -> 'a
+
+val empty : t
+
+val concat : t list -> t
+(** Chains cursors end to end (still page-aligned; batches never span
+    the seam's page boundaries beyond target accumulation). *)
+
+val filtered : t -> keep:(bytes -> bool) -> t
+(** A view of the cursor that drops records failing [keep] (page flow and
+    accounting untouched). *)
+
+val of_chunks : (unit -> (Tid.t * bytes) list option) -> t
+(** Builds a cursor from a raw chunk source: one page's records per
+    [Some] (possibly [[]]), [None] when exhausted.  For sources with
+    bespoke traversal (the two-level store's history segments). *)
+
+val of_pages :
+  ?window:Time_fence.window ->
+  ?filter:(bytes -> bool) ->
+  Pfile.t ->
+  pages:int Seq.t ->
+  t
+(** One chunk per page of [pages], via {!Pfile.page_step} (fence-skipped
+    pages yield nothing and are charged to the prune counters).  [filter]
+    drops records before they reach a batch (key-equality and range
+    predicates of the keyed access methods). *)
+
+val of_chains :
+  ?window:Time_fence.window ->
+  ?filter:(bytes -> bool) ->
+  Pfile.t ->
+  heads:int Seq.t ->
+  t
+(** One chunk per page of each overflow chain, via {!Pfile.chain_step};
+    completed walks feed the chain-length histogram exactly like
+    {!Pfile.chain_iter}.  [heads] is consumed lazily, so a head sequence
+    may depend on state the walk updates. *)
+
+(** The contract every access method implements (heap, hash, ISAM, and
+    the two-level store): cursors for scan, key probe and key range,
+    with the temporal window handled once in this shared layer. *)
+module type ACCESS_METHOD = sig
+  type file
+
+  val scan_cursor : ?window:Time_fence.window -> file -> t
+
+  val lookup_cursor :
+    ?window:Time_fence.window -> file -> Tdb_relation.Value.t -> t
+  (** Records whose key equals the probe (everything, for a keyless
+      file: the caller filters). *)
+
+  val range_cursor :
+    ?window:Time_fence.window ->
+    file ->
+    lo:Tdb_relation.Value.t option ->
+    hi:Tdb_relation.Value.t option ->
+    t
+  (** Records with lo <= key <= hi on the bounded sides (everything, for
+      a keyless file: the caller filters). *)
+end

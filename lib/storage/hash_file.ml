@@ -57,15 +57,38 @@ let read t tid = Pfile.read_record t.pf tid
 let update t tid record = Pfile.write_record t.pf tid record
 let delete t tid = Pfile.clear_record t.pf tid
 
-let lookup ?window t key f =
-  let head = bucket_of t key in
-  Pfile.chain_iter ?window t.pf ~head (fun tid record ->
-      if Value.equal (t.key_of record) key then f tid record)
+let scan_cursor ?window t =
+  Cursor.of_chains ?window t.pf ~heads:(Seq.init t.buckets Fun.id)
 
-let iter ?window t f =
-  for head = 0 to t.buckets - 1 do
-    Pfile.chain_iter ?window t.pf ~head f
-  done
+let lookup_cursor ?window t key =
+  (* Hashed access: the key's full bucket chain (any page may hold a
+     matching version), filtered down to equal keys. *)
+  Cursor.of_chains ?window t.pf
+    ~heads:(Seq.return (bucket_of t key))
+    ~filter:(fun record -> Value.equal (t.key_of record) key)
+
+let range_cursor ?window t ~lo ~hi =
+  (* No order in a hash file: filter a full scan. *)
+  match (lo, hi) with
+  | None, None -> scan_cursor ?window t
+  | _ ->
+      Cursor.of_chains ?window t.pf
+        ~heads:(Seq.init t.buckets Fun.id)
+        ~filter:(fun record ->
+          let k = t.key_of record in
+          (match lo with Some l -> Value.compare l k <= 0 | None -> true)
+          && match hi with Some u -> Value.compare k u <= 0 | None -> true)
+
+module Access = struct
+  type file = t
+
+  let scan_cursor = scan_cursor
+  let lookup_cursor = lookup_cursor
+  let range_cursor = range_cursor
+end
+
+let lookup ?window t key f = Cursor.iter (lookup_cursor ?window t key) f
+let iter ?window t f = Cursor.iter (scan_cursor ?window t) f
 
 let npages t = Pfile.npages t.pf
 

@@ -58,6 +58,23 @@ val iter :
 (** Sequential scan: every bucket chain; touches every page once (minus
     fence-skipped pages under [?window]). *)
 
+val scan_cursor : ?window:Time_fence.window -> t -> Cursor.t
+(** Batched sequential scan; {!iter} is this cursor, drained. *)
+
+val lookup_cursor :
+  ?window:Time_fence.window -> t -> Tdb_relation.Value.t -> Cursor.t
+(** Batched hashed access; {!lookup} is this cursor, drained. *)
+
+val range_cursor :
+  ?window:Time_fence.window ->
+  t ->
+  lo:Tdb_relation.Value.t option ->
+  hi:Tdb_relation.Value.t option ->
+  Cursor.t
+(** No order in a hash file: a full scan filtered to \[lo, hi\]. *)
+
+module Access : Cursor.ACCESS_METHOD with type file = t
+
 val npages : t -> int
 val chain_pages : t -> Tdb_relation.Value.t -> int
 (** Length (in pages) of the key's bucket chain. *)

@@ -55,10 +55,23 @@ let delete t tid =
   Pfile.clear_record t.pf tid;
   if tid.Tid.page < t.fill_hint then t.fill_hint <- tid.Tid.page
 
-let iter ?window t f =
-  for page = 0 to Pfile.npages t.pf - 1 do
-    Pfile.page_iter ?window t.pf ~page f
-  done
+let scan_cursor ?window t =
+  Cursor.of_pages ?window t.pf ~pages:(Seq.init (Pfile.npages t.pf) Fun.id)
+
+(* A heap has no key: probes and ranges present everything and let the
+   caller filter, as the eager paths always did. *)
+let lookup_cursor ?window t _key = scan_cursor ?window t
+let range_cursor ?window t ~lo:_ ~hi:_ = scan_cursor ?window t
+
+module Access = struct
+  type file = t
+
+  let scan_cursor = scan_cursor
+  let lookup_cursor = lookup_cursor
+  let range_cursor = range_cursor
+end
+
+let iter ?window t f = Cursor.iter (scan_cursor ?window t) f
 
 let npages t = Pfile.npages t.pf
 

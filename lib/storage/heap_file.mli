@@ -22,6 +22,20 @@ val iter :
 (** Sequential scan: every page, in order; with [?window], pages whose
     time fence cannot overlap the window are skipped without a read. *)
 
+val scan_cursor : ?window:Time_fence.window -> t -> Cursor.t
+(** Batched sequential scan; {!iter} is this cursor, drained. *)
+
+val lookup_cursor : ?window:Time_fence.window -> t -> Tdb_relation.Value.t -> Cursor.t
+val range_cursor :
+  ?window:Time_fence.window ->
+  t ->
+  lo:Tdb_relation.Value.t option ->
+  hi:Tdb_relation.Value.t option ->
+  Cursor.t
+(** Keyless: both present every record and the caller filters. *)
+
+module Access : Cursor.ACCESS_METHOD with type file = t
+
 val npages : t -> int
 val record_count : t -> int
 (** Counts by scanning (costs a scan's I/O). *)

@@ -233,31 +233,30 @@ let read t tid = Pfile.read_record t.pf tid
 let update t tid record = Pfile.write_record t.pf tid record
 let delete t tid = Pfile.clear_record t.pf tid
 
-let lookup ?window t key f =
+let scan_cursor ?window t =
+  Cursor.of_chains ?window t.pf ~heads:(Seq.init t.ndata Fun.id)
+
+let lookup_cursor ?window t key =
+  (* ISAM access: directory descent (counted I/O, performed here so the
+     cursor's first pull doesn't hide it), then forward through every
+     data page whose build-time first key does not exceed the probe: a
+     duplicate run can span several primary pages.  With unique keys
+     this is just the one located page. *)
   let start = locate_data_page t key in
-  (* Scan forward through every page whose build-time first key does not
-     exceed the probe: a duplicate run can span several primary pages.
-     With unique keys this is just the one located page. *)
-  let rec go page =
-    if page < t.ndata
-       && (page = start || Value.compare t.first_keys.(page) key <= 0)
-    then begin
-      Pfile.chain_iter ?window t.pf ~head:page (fun tid record ->
-          if Value.equal (t.key_of record) key then f tid record);
-      go (page + 1)
-    end
+  let heads =
+    Seq.unfold
+      (fun page ->
+        if page < t.ndata
+           && (page = start || Value.compare t.first_keys.(page) key <= 0)
+        then Some (page, page + 1)
+        else None)
+      start
   in
-  go start
+  Cursor.of_chains ?window t.pf ~heads
+    ~filter:(fun record -> Value.equal (t.key_of record) key)
 
-let iter ?window t f =
-  for page = 0 to t.ndata - 1 do
-    Pfile.chain_iter ?window t.pf ~head:page f
-  done
-
-let iter_range ?window t ?lo ?hi f =
-  let first =
-    match lo with Some k -> locate_data_page t k | None -> 0
-  in
+let range_cursor ?window t ~lo ~hi =
+  let first = match lo with Some k -> locate_data_page t k | None -> 0 in
   let in_range k =
     (match lo with Some l -> Value.compare l k <= 0 | None -> true)
     && match hi with Some h -> Value.compare k h <= 0 | None -> true
@@ -273,11 +272,29 @@ let iter_range ?window t ?lo ?hi f =
     | Some h -> Value.compare t.first_keys.(page) h <= 0
     | None -> true
   in
-  let page = ref first in
-  while !page < t.ndata && page_may_qualify !page do
-    Pfile.chain_iter ?window t.pf ~head:!page (fun tid record ->
-        if in_range (t.key_of record) then f tid record);
-    incr page
-  done
+  let heads =
+    Seq.unfold
+      (fun page ->
+        if page < t.ndata && page_may_qualify page then Some (page, page + 1)
+        else None)
+      first
+  in
+  Cursor.of_chains ?window t.pf ~heads
+    ~filter:(fun record -> in_range (t.key_of record))
+
+module Access = struct
+  type file = t
+
+  let scan_cursor = scan_cursor
+  let lookup_cursor = lookup_cursor
+
+  let range_cursor ?window t ~lo ~hi = range_cursor ?window t ~lo ~hi
+end
+
+let lookup ?window t key f = Cursor.iter (lookup_cursor ?window t key) f
+let iter ?window t f = Cursor.iter (scan_cursor ?window t) f
+
+let iter_range ?window t ?lo ?hi f =
+  Cursor.iter (range_cursor ?window t ~lo ~hi) f
 
 let npages t = Pfile.npages t.pf

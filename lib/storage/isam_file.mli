@@ -85,4 +85,22 @@ val iter_range :
     both ends; either bound may be omitted).  Reads the directory once to
     locate the first data page, then data pages and chains from there. *)
 
+val scan_cursor : ?window:Time_fence.window -> t -> Cursor.t
+(** Batched sequential scan; {!iter} is this cursor, drained. *)
+
+val lookup_cursor :
+  ?window:Time_fence.window -> t -> Tdb_relation.Value.t -> Cursor.t
+(** Batched ISAM access; {!lookup} is this cursor, drained.  The
+    directory descent happens at cursor-open time. *)
+
+val range_cursor :
+  ?window:Time_fence.window ->
+  t ->
+  lo:Tdb_relation.Value.t option ->
+  hi:Tdb_relation.Value.t option ->
+  Cursor.t
+(** Batched ordered range scan; {!iter_range} is this cursor, drained. *)
+
+module Access : Cursor.ACCESS_METHOD with type file = t
+
 val npages : t -> int

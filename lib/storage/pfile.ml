@@ -180,22 +180,47 @@ let chain_insert t ~head record =
   in
   go start
 
-let page_iter ?window t ~page f =
-  if skippable t window page then Time_fence.note_skipped 1
-  else begin
-    (* Copy the records out first: [f] may perform pool operations that
-       evict this frame. *)
-    let records = ref [] in
-    let frame = Buffer_pool.read t.pool page in
-    for slot = t.capacity - 1 downto 0 do
-      if Page.slot_used ~record_size:t.record_size frame slot then
-        records :=
-          ({ Tid.page; slot },
-           Page.read_record ~record_size:t.record_size frame slot)
-          :: !records
-    done;
-    List.iter (fun (tid, r) -> f tid r) !records
+(* Copy the used records of one page out of its frame: cursor batches (and
+   the iterators below) hand records to callers that may perform pool
+   operations evicting the frame, so nothing may alias it. *)
+let page_records t ~page =
+  let records = ref [] in
+  let frame = Buffer_pool.read t.pool page in
+  for slot = t.capacity - 1 downto 0 do
+    if Page.slot_used ~record_size:t.record_size frame slot then
+      records :=
+        ({ Tid.page; slot },
+         Page.read_record ~record_size:t.record_size frame slot)
+        :: !records
+  done;
+  !records
+
+let page_step ?window t ~page =
+  if skippable t window page then begin
+    Time_fence.note_skipped 1;
+    []
   end
+  else page_records t ~page
+
+let chain_step ?window t ~page =
+  if skippable t window page then begin
+    Time_fence.note_skipped 1;
+    ([], cached_link t page)
+  end
+  else begin
+    (* Trailer first, records second: the same frame serves both (the
+       second access is a pool hit), exactly like the eager walk always
+       did, so page-I/O accounting is bit-identical under batching. *)
+    let next = next_overflow t page in
+    (page_records t ~page, next)
+  end
+
+let observe_chain_length pages =
+  if Tdb_obs.Metric.enabled () then
+    Tdb_obs.Metric.observe h_chain_length (float_of_int pages)
+
+let page_iter ?window t ~page f =
+  List.iter (fun (tid, r) -> f tid r) (page_step ?window t ~page)
 
 let chain_iter ?window t ~head f =
   (* The page count observed here doubles as the chain-length sample: the
@@ -203,22 +228,11 @@ let chain_iter ?window t ~head f =
      pages still count as chain length — the chain's shape is unchanged;
      we just follow the mirrored link instead of reading the trailer. *)
   let rec go pages page_id =
-    let next =
-      if skippable t window page_id then begin
-        Time_fence.note_skipped 1;
-        cached_link t page_id
-      end
-      else begin
-        let next = next_overflow t page_id in
-        page_iter t ~page:page_id f;
-        next
-      end
-    in
+    let records, next = chain_step ?window t ~page:page_id in
+    List.iter (fun (tid, r) -> f tid r) records;
     match next with Some n -> go (pages + 1) n | None -> pages
   in
-  let pages = go 1 head in
-  if Tdb_obs.Metric.enabled () then
-    Tdb_obs.Metric.observe h_chain_length (float_of_int pages)
+  observe_chain_length (go 1 head)
 
 let rebuild_page_fence t ~page =
   match t.fencing with

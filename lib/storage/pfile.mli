@@ -55,6 +55,31 @@ val page_iter :
 (** Visits the used records of a single page (no chain traversal); with
     [?window], the page may be fence-skipped as in {!chain_iter}. *)
 
+(** {1 Cursor step primitives}
+
+    One pull of a page-at-a-time walk, shared by {!Cursor} and the eager
+    iterators above (which are defined in terms of them, so both paths
+    read — and skip — exactly the same pages in the same order). *)
+
+val page_step :
+  ?window:Time_fence.window -> t -> page:int -> (Tid.t * bytes) list
+(** The used records of one page, copied out of the frame, in slot order.
+    A fence-skipped page yields [[]] and is charged to the prune
+    counters, exactly like {!page_iter}. *)
+
+val chain_step :
+  ?window:Time_fence.window ->
+  t ->
+  page:int ->
+  (Tid.t * bytes) list * int option
+(** One step of an overflow-chain walk: the page's records (as
+    {!page_step}) and the successor page.  A fence-skipped page yields
+    [[]] and follows the mirrored link without any read. *)
+
+val observe_chain_length : int -> unit
+(** Feed one completed chain walk's page count to the chain-length
+    histogram (what {!chain_iter} records internally). *)
+
 val free_slots_on : t -> page:int -> int
 val drop_hints : t -> unit
 (** Clears first-fit hints (after a rebuild). *)

@@ -310,42 +310,83 @@ let delete t tid =
   | Hash_impl h -> Hash_file.delete h tid
   | Isam_impl i -> Isam_file.delete i tid
 
+(* --- the unified access-path layer --- *)
+
+type access_path =
+  | Full_scan
+  | Key_lookup of Value.t
+  | Key_range of { lo : Value.t option; hi : Value.t option }
+
+(* Every organization answers every access path with a batch cursor over
+   raw records; keyless organizations degrade gracefully (a heap answers
+   a probe with a full scan and the caller filters, as always).  This is
+   the single dispatch point the executor's plan nodes resolve through. *)
+let cursor ?window t access =
+  match (t.impl, access) with
+  | Heap_impl h, Full_scan -> Heap_file.scan_cursor ?window h
+  | Heap_impl h, Key_lookup key -> Heap_file.lookup_cursor ?window h key
+  | Heap_impl h, Key_range { lo; hi } -> Heap_file.range_cursor ?window h ~lo ~hi
+  | Hash_impl h, Full_scan -> Hash_file.scan_cursor ?window h
+  | Hash_impl h, Key_lookup key -> Hash_file.lookup_cursor ?window h key
+  | Hash_impl h, Key_range { lo; hi } -> Hash_file.range_cursor ?window h ~lo ~hi
+  | Isam_impl i, Full_scan -> Isam_file.scan_cursor ?window i
+  | Isam_impl i, Key_lookup key -> Isam_file.lookup_cursor ?window i key
+  | Isam_impl i, Key_range { lo; hi } -> Isam_file.range_cursor ?window i ~lo ~hi
+
+(* Test one record's transaction period against a fixed window straight
+   from its bytes, mirroring [Tuple.transaction_period] composed with
+   [Period.overlaps] exactly (including the degenerate stop < start event
+   normalisation and the boundary-chronon rule), so an executor can
+   refute a version against an as-of window before paying for a full
+   decode — without allocating per record on the hot scan path.  [None]
+   for schemas without transaction time — exactly when
+   [Tuple.transaction_period] answers [None] and the as-of test passes
+   every tuple. *)
+let transaction_overlaps t =
+  match
+    (Schema.transaction_start_index t.schema,
+     Schema.transaction_stop_index t.schema)
+  with
+  | Some s, Some e ->
+      let soff = attr_offset t.schema s and eoff = attr_offset t.schema e in
+      Some
+        (fun w ->
+          let wf = Tdb_time.Period.from_ w and wt = Tdb_time.Period.to_ w in
+          fun record ->
+            let start =
+              Chronon.of_seconds (Int32.to_int (Bytes.get_int32_be record soff))
+            in
+            let stop =
+              Chronon.of_seconds (Int32.to_int (Bytes.get_int32_be record eoff))
+            in
+            (* A degenerate stop < start pair denotes an event at start. *)
+            let pt = if Chronon.compare stop start < 0 then start else stop in
+            let lo = Chronon.max start wf and hi = Chronon.min pt wt in
+            match Chronon.compare lo hi with
+            | c when c < 0 -> true
+            | 0 ->
+                (* The shared boundary chronon counts only if both
+                   periods contain it (events do; half-open intervals
+                   exclude their end). *)
+                (if Chronon.equal start pt then Chronon.equal start lo
+                 else
+                   Chronon.compare start lo <= 0 && Chronon.compare lo pt < 0)
+                &&
+                if Chronon.equal wf wt then Chronon.equal wf lo
+                else Chronon.compare wf lo <= 0 && Chronon.compare lo wt < 0
+            | _ -> false)
+  | _ -> None
+
 let scan ?window t f =
-  let g tid record = f tid (decode t record) in
-  match t.impl with
-  | Heap_impl h -> Heap_file.iter ?window h g
-  | Hash_impl h -> Hash_file.iter ?window h g
-  | Isam_impl i -> Isam_file.iter ?window i g
+  Cursor.iter (cursor ?window t Full_scan) (fun tid r -> f tid (decode t r))
 
 let lookup ?window t key f =
-  let g tid record = f tid (decode t record) in
-  match t.impl with
-  | Heap_impl h ->
-      (* No key on a heap: filtered scan would need a key attribute; the
-         caller has none, so present everything and let it filter. *)
-      Heap_file.iter ?window h g
-  | Hash_impl h -> Hash_file.lookup ?window h key g
-  | Isam_impl i -> Isam_file.lookup ?window i key g
+  Cursor.iter (cursor ?window t (Key_lookup key)) (fun tid r ->
+      f tid (decode t r))
 
 let lookup_range ?window t ?lo ?hi f =
-  let g tid record = f tid (decode t record) in
-  match (t.impl, t.org) with
-  | Isam_impl i, _ -> Isam_file.iter_range ?window i ?lo ?hi g
-  | Hash_impl h, Hash { key_attr; _ } ->
-      (* no order in a hash file: filter a scan *)
-      let key_of = key_extractor t.schema key_attr in
-      Hash_file.iter ?window h (fun tid record ->
-          let k = key_of record in
-          let ok_lo =
-            match lo with Some l -> Value.compare l k <= 0 | None -> true
-          in
-          let ok_hi =
-            match hi with Some u -> Value.compare k u <= 0 | None -> true
-          in
-          if ok_lo && ok_hi then g tid record)
-  | (Heap_impl _ | Hash_impl _), _ ->
-      (* keyless: present everything, callers filter *)
-      scan ?window t f
+  Cursor.iter (cursor ?window t (Key_range { lo; hi })) (fun tid r ->
+      f tid (decode t r))
 
 let all_records t =
   let acc = ref [] in

@@ -42,6 +42,36 @@ val read : t -> Tid.t -> Tdb_relation.Tuple.t
 val update : t -> Tid.t -> Tdb_relation.Tuple.t -> unit
 val delete : t -> Tid.t -> unit
 
+type access_path =
+  | Full_scan
+  | Key_lookup of Tdb_relation.Value.t
+  | Key_range of {
+      lo : Tdb_relation.Value.t option;
+      hi : Tdb_relation.Value.t option;
+    }
+(** The three questions a plan can ask of a stored relation.  Every
+    organization answers every question (a heap answers a [Key_lookup]
+    with a full scan — it has no key — and the caller filters). *)
+
+val cursor : ?window:Time_fence.window -> t -> access_path -> Cursor.t
+(** The unified access-path entry point: a batched cursor over raw
+    records.  Batches are page-aligned, so the page I/O and fence-prune
+    accounting are identical to the callback iterators below (which are
+    these cursors, drained).  Decode records with {!decode}. *)
+
+val decode : t -> bytes -> Tdb_relation.Tuple.t
+(** Decodes one raw record yielded by {!cursor}. *)
+
+val transaction_overlaps :
+  t -> (Tdb_time.Period.t -> bytes -> bool) option
+(** Tests a record's transaction period against a window straight from
+    its encoded bytes — [Tuple.transaction_period] composed with
+    [Period.overlaps], exactly, without allocating per record; [None]
+    when the schema has no transaction time (then every tuple passes any
+    as-of test).  Lets an executor refute a version against an as-of
+    window without paying for a full decode.  Partially apply to the
+    window outside the record loop. *)
+
 val scan :
   ?window:Time_fence.window -> t -> (Tid.t -> Tdb_relation.Tuple.t -> unit) -> unit
 (** Sequential scan (data pages and overflow chains; ISAM directories are

@@ -3,6 +3,7 @@ module Tid = Tdb_storage.Tid
 module Page = Tdb_storage.Page
 module Buffer_pool = Tdb_storage.Buffer_pool
 module Time_fence = Tdb_storage.Time_fence
+module Cursor = Tdb_storage.Cursor
 module Value = Tdb_relation.Value
 module Chronon = Tdb_time.Chronon
 module Period = Tdb_time.Period
@@ -186,10 +187,11 @@ let walk t ~head f =
   in
   go head
 
+let scan_cursor ?window t =
+  Cursor.of_pages ?window t.pf ~pages:(Seq.init (Pfile.npages t.pf) Fun.id)
+
 let iter t f =
-  for page = 0 to Pfile.npages t.pf - 1 do
-    Pfile.page_iter t.pf ~page (fun tid record -> f tid (fst (decode t record)))
-  done
+  Cursor.iter (scan_cursor t) (fun tid record -> f tid (fst (decode t record)))
 
 (* [as of at]: visit (at least) every version whose transaction period
    overlaps [at], in store order.
@@ -204,7 +206,7 @@ let iter t f =
    touching any page.  Even if the caller's clock ever ran backwards the
    result stays sound: prefix segments are read, and fence checks do not
    depend on push order. *)
-let as_of_iter t ~at f =
+let as_of_cursor t ~at =
   let segs = Array.of_list (List.rev t.segments) in
   let n = Array.length segs in
   let lo = ref 0 and hi = ref n in
@@ -218,18 +220,49 @@ let as_of_iter t ~at f =
     { Time_fence.transaction = Some (Period.at at); valid = None }
   in
   let prune = Time_fence.pruning_enabled () && Option.is_some t.stamp in
-  Array.iteri
-    (fun i s ->
+  (* One chunk per surviving page, segment by segment: the segment-level
+     fence decision and the per-page checks fire in exactly the order and
+     number of the eager walk, just spread over the cursor's pulls. *)
+  let seg_i = ref 0 in
+  let page = ref 0 in
+  let in_segment = ref false in
+  let rec chunk () =
+    if !in_segment then begin
+      let s = segs.(!seg_i) in
+      if !page > s.last_page then begin
+        in_segment := false;
+        incr seg_i;
+        chunk ()
+      end
+      else begin
+        let p = !page in
+        incr page;
+        Some (Pfile.page_step ~window t.pf ~page:p)
+      end
+    end
+    else if !seg_i >= n then None
+    else begin
+      let s = segs.(!seg_i) in
       let segment_skippable =
-        i >= boundary && prune
+        !seg_i >= boundary && prune
         &&
         (Time_fence.note_check ();
          not (Time_fence.may_overlap s.fence window))
       in
-      if segment_skippable then Time_fence.note_skipped (segment_width s)
-      else
-        for page = s.first_page to s.last_page do
-          Pfile.page_iter ~window t.pf ~page (fun tid record ->
-              f tid (fst (decode t record)))
-        done)
-    segs
+      if segment_skippable then begin
+        Time_fence.note_skipped (segment_width s);
+        incr seg_i;
+        chunk ()
+      end
+      else begin
+        in_segment := true;
+        page := s.first_page;
+        chunk ()
+      end
+    end
+  in
+  Cursor.of_chunks chunk
+
+let as_of_iter t ~at f =
+  Cursor.iter (as_of_cursor t ~at) (fun tid record ->
+      f tid (fst (decode t record)))

@@ -70,6 +70,18 @@ val walk :
 val iter : t -> (Tdb_storage.Tid.t -> bytes -> unit) -> unit
 (** Full sequential scan of the store. *)
 
+val scan_cursor :
+  ?window:Tdb_storage.Time_fence.window -> t -> Tdb_storage.Cursor.t
+(** Batched sequential scan; {!iter} is this cursor (unwindowed),
+    drained.  Records carry the trailing back-pointer — decode the tuple
+    prefix with [Tuple.decode schema record 0].  [?window] fence-skips
+    pages when the store has stamps. *)
+
+val as_of_cursor : t -> at:Tdb_time.Chronon.t -> Tdb_storage.Cursor.t
+(** Batched rollback access; {!as_of_iter} is this cursor, drained, with
+    the same segment binary search, wholesale segment skips, and per-page
+    fence checks. *)
+
 val as_of_iter :
   t -> at:Tdb_time.Chronon.t -> (Tdb_storage.Tid.t -> bytes -> unit) -> unit
 (** Rollback access: visits at least every version whose transaction

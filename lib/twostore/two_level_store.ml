@@ -8,6 +8,7 @@ module Io_stats = Tdb_storage.Io_stats
 module Disk = Tdb_storage.Disk
 module Tid = Tdb_storage.Tid
 module Chronon = Tdb_time.Chronon
+module Cursor = Tdb_storage.Cursor
 
 type attached_index = {
   ix_attr : int;
@@ -184,25 +185,82 @@ let version_scan t key f =
           f (Tuple.decode t.schema tuple_bytes 0)))
     (List.rev !heads)
 
-let scan_all t f =
-  current_scan t f;
-  History_store.iter t.history (fun _ tuple_bytes ->
-      f (Tuple.decode t.schema tuple_bytes 0))
+(* --- batched cursors over both levels ---
 
-(* Rollback access: both stores restricted to versions whose transaction
-   period can overlap [at].  Presents a superset of the qualifying
-   versions (callers filter exactly, as with [scan_all]); pruning only
-   removes pages whose fences prove no version on them qualifies. *)
-let as_of_scan t ~at f =
+   Primary and history records alike decode with [Tuple.decode schema _ 0]
+   (history records carry a trailing back-pointer past the tuple bytes,
+   which the decoder never reads), so one cursor can span the seam. *)
+
+let decode_record t record = Tuple.decode t.schema record 0
+
+let scan_cursor ?window t =
+  Cursor.concat
+    [
+      Relation_file.cursor ?window t.primary Relation_file.Full_scan;
+      History_store.scan_cursor ?window t.history;
+    ]
+
+let as_of_cursor t ~at =
   let window =
     {
       Tdb_storage.Time_fence.transaction = Some (Tdb_time.Period.at at);
       valid = None;
     }
   in
-  Relation_file.scan ~window t.primary (fun _ tu -> f tu);
-  History_store.as_of_iter t.history ~at (fun _ tuple_bytes ->
-      f (Tuple.decode t.schema tuple_bytes 0))
+  Cursor.concat
+    [
+      Relation_file.cursor ~window t.primary Relation_file.Full_scan;
+      History_store.as_of_cursor t.history ~at;
+    ]
+
+let scan_all t f = Cursor.iter (scan_cursor t) (fun _ r -> f (decode_record t r))
+
+(* Rollback access: both stores restricted to versions whose transaction
+   period can overlap [at].  Presents a superset of the qualifying
+   versions (callers filter exactly, as with [scan_all]); pruning only
+   removes pages whose fences prove no version on them qualifies. *)
+let as_of_scan t ~at f =
+  Cursor.iter (as_of_cursor t ~at) (fun _ r -> f (decode_record t r))
+
+(* Access-path conformance: the two-level store answers the same three
+   questions as the flat access methods, spanning both levels.  Keyed
+   probes use the primary store's organization, then filter a history
+   scan on the key read straight from the record bytes (history versions
+   of one tuple keep its key). *)
+module Access = struct
+  type file = t
+
+  let scan_cursor = scan_cursor
+
+  let key_of_record t =
+    let ty = (Schema.attr t.schema t.key_index).Schema.ty in
+    let off = Relation_file.attr_offset t.schema t.key_index in
+    fun record -> Value.decode ty record off
+
+  let lookup_cursor ?window t key =
+    let key_of = key_of_record t in
+    Cursor.concat
+      [
+        Relation_file.cursor ?window t.primary (Relation_file.Key_lookup key);
+        Cursor.filtered
+          (History_store.scan_cursor ?window t.history)
+          ~keep:(fun record -> Value.equal (key_of record) key);
+      ]
+
+  let range_cursor ?window t ~lo ~hi =
+    let key_of = key_of_record t in
+    let in_range k =
+      (match lo with Some l -> Value.compare l k <= 0 | None -> true)
+      && match hi with Some h -> Value.compare k h <= 0 | None -> true
+    in
+    Cursor.concat
+      [
+        Relation_file.cursor ?window t.primary (Relation_file.Key_range { lo; hi });
+        Cursor.filtered
+          (History_store.scan_cursor ?window t.history)
+          ~keep:(fun record -> in_range (key_of record));
+      ]
+end
 
 let fetch_current t tid = Relation_file.read t.primary tid
 

@@ -65,6 +65,21 @@ val version_scan :
 val scan_all : t -> (Tdb_relation.Tuple.t -> unit) -> unit
 (** Every version in both stores (rollback and temporal-join queries). *)
 
+val scan_cursor : ?window:Tdb_storage.Time_fence.window -> t -> Tdb_storage.Cursor.t
+(** Batched scan of both levels (primary, then history); {!scan_all} is
+    this cursor, drained.  Decode records with {!decode_record}. *)
+
+val as_of_cursor : t -> at:Tdb_time.Chronon.t -> Tdb_storage.Cursor.t
+(** Batched rollback access; {!as_of_scan} is this cursor, drained. *)
+
+val decode_record : t -> bytes -> Tdb_relation.Tuple.t
+(** Decodes a record from either level's cursor (history records carry a
+    trailing back-pointer the decoder never reads). *)
+
+module Access : Tdb_storage.Cursor.ACCESS_METHOD with type file = t
+(** The two-level store as an access method: keyed probes use the
+    primary organization, then filter a history scan on the key. *)
+
 val as_of_scan :
   t -> at:Tdb_time.Chronon.t -> (Tdb_relation.Tuple.t -> unit) -> unit
 (** Rollback access: every version whose transaction period can overlap

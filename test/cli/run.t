@@ -47,7 +47,8 @@ trace tree with per-operator page I/O (wall times normalized here):
   +-----------+---------------------+----------+
   (2 rows)
   retrieve fence[tx,valid@"now"](scan(e))  [0 in, 0 out; _ ms]
-  `- fence(scan(e))  [1 in, 0 out, 2 tuples; _ ms]
+  `- fence[tx,valid@"now"](scan(e))  [1 in, 0 out, 2 tuples; _ ms]
+     `- emit  [0 in, 0 out, 2 tuples; _ ms]
   total: 1 pages in, 0 pages out
 
 \explain describes a retrieve's plan without running it; fence[...] marks
@@ -57,6 +58,8 @@ the time dimensions the storage layer will prune on:
   tquel - a temporal DBMS speaking TQuel (type \help for help)
   tquel> range of e is emp
   tquel> plan: fence[tx,valid@"now"](scan(e))
+  batch pipeline [batch=64]
+    fence[tx,valid@"now"](scan(e)) -> emit
   tquel>
 
 Errors are reported, not fatal, but a failed statement exits non-zero

@@ -1,0 +1,216 @@
+(* Batch-boundary regressions around the cursors' 64-record target: empty
+   sources, exactly one batch, one record either side of the target, an
+   overflow chain straddling a batch flush, and fence pruning under
+   batching — plus the executor pipeline's row batcher at the same
+   boundaries, observed end to end through the engine. *)
+
+module Disk = Tdb_storage.Disk
+module Buffer_pool = Tdb_storage.Buffer_pool
+module Io_stats = Tdb_storage.Io_stats
+module Pfile = Tdb_storage.Pfile
+module Cursor = Tdb_storage.Cursor
+module Time_fence = Tdb_storage.Time_fence
+module Heap_file = Tdb_storage.Heap_file
+module Hash_file = Tdb_storage.Hash_file
+module Value = Tdb_relation.Value
+module Chronon = Tdb_time.Chronon
+module Period = Tdb_time.Period
+module Engine = Tdb_core.Engine
+module Database = Tdb_core.Database
+
+(* 124-byte records: 8 per page, so the 64-record batch target is exactly
+   8 pages. *)
+let record_size = 124
+let c s = Chronon.of_seconds s
+
+let record k =
+  let b = Bytes.make record_size '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int k);
+  Bytes.set_int32_be b 4 (Int32.of_int (k * 10));
+  Bytes.set_int32_be b 8 (Int32.of_int ((k * 10) + 10));
+  b
+
+let field b off = Int32.to_int (Bytes.get_int32_be b off)
+
+let stamp b =
+  Time_fence.stamp
+    ~transaction:(Some (c (field b 4), c (field b 8)))
+    ~valid:None
+
+let fresh_pool () =
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create (Disk.create_mem ()) stats in
+  (pool, stats)
+
+let heap_of n =
+  let pool, stats = fresh_pool () in
+  let h = Heap_file.create pool ~record_size in
+  Pfile.enable_fences (Heap_file.pfile h) ~stamp;
+  for k = 0 to n - 1 do
+    ignore (Heap_file.insert h (record k))
+  done;
+  (h, pool, stats)
+
+let batch_sizes cursor =
+  let rec go acc =
+    match Cursor.next cursor with
+    | None -> List.rev acc
+    | Some b ->
+        Alcotest.(check int)
+          "tids and records stay parallel"
+          (Array.length b.Cursor.tids)
+          (Array.length b.Cursor.records);
+        go (Array.length b.Cursor.records :: acc)
+  in
+  go []
+
+let test_empty_relation () =
+  let h, _, _ = heap_of 0 in
+  Alcotest.(check (list int)) "no batches" []
+    (batch_sizes (Heap_file.scan_cursor h));
+  Alcotest.(check bool) "empty cursor" true
+    (Cursor.next Cursor.empty = None)
+
+let test_exactly_one_batch () =
+  let h, _, _ = heap_of Cursor.target in
+  Alcotest.(check (list int)) "one full batch" [ Cursor.target ]
+    (batch_sizes (Heap_file.scan_cursor h))
+
+let test_target_minus_one () =
+  let h, _, _ = heap_of (Cursor.target - 1) in
+  Alcotest.(check (list int)) "one short batch" [ Cursor.target - 1 ]
+    (batch_sizes (Heap_file.scan_cursor h))
+
+let test_target_plus_one () =
+  let h, _, _ = heap_of (Cursor.target + 1) in
+  Alcotest.(check (list int))
+    "a full batch, then the spilled page" [ Cursor.target; 1 ]
+    (batch_sizes (Heap_file.scan_cursor h))
+
+(* An overflow chain much longer than one batch: the walk must keep its
+   position across batch flushes, deliver every record once, and read
+   each chain page exactly once. *)
+let test_chain_straddles_flush () =
+  let key_of b = Value.Int (field b 0) in
+  let pool, stats = fresh_pool () in
+  let h =
+    Hash_file.build pool ~record_size ~key_of ~fillfactor:100
+      (List.map record (List.init 8 Fun.id))
+  in
+  (* Pile 200 duplicate versions of key 0 onto its bucket: a chain many
+     pages past one batch. *)
+  for _ = 1 to 200 do
+    ignore (Hash_file.insert h (record 0))
+  done;
+  let chain_pages = Hash_file.chain_pages h (Value.Int 0) in
+  Alcotest.(check bool) "chain outgrows a batch" true
+    (chain_pages * 8 > Cursor.target);
+  Buffer_pool.invalidate pool;
+  Io_stats.reset stats;
+  let seen = ref 0 in
+  let sizes = ref [] in
+  let cursor = Hash_file.lookup_cursor h (Value.Int 0) in
+  let rec go () =
+    match Cursor.next cursor with
+    | None -> ()
+    | Some b ->
+        sizes := Array.length b.Cursor.records :: !sizes;
+        Array.iter
+          (fun r ->
+            Alcotest.(check bool) "only the probed key" true
+              (Value.equal (key_of r) (Value.Int 0));
+            incr seen)
+          b.Cursor.records;
+        go ()
+  in
+  go ();
+  Alcotest.(check int) "every version exactly once" 201 !seen;
+  Alcotest.(check bool) "several batches" true (List.length !sizes > 1);
+  Alcotest.(check int) "each chain page read once" chain_pages
+    (Io_stats.snapshot stats).Io_stats.reads
+
+(* Fence pruning is batch-invariant: a window that skips pages in the
+   middle of a heap yields the same records, reads and skips whether the
+   records are drained batch by batch or page by page. *)
+let test_pruning_under_batching () =
+  let h, pool, stats = fresh_pool () |> fun (pool, stats) ->
+    let h = Heap_file.create pool ~record_size in
+    Pfile.enable_fences (Heap_file.pfile h) ~stamp;
+    for k = 0 to 127 do
+      ignore (Heap_file.insert h (record k))
+    done;
+    (h, pool, stats)
+  in
+  let window =
+    { Time_fence.transaction = Some (Period.make (c 305) (c 805));
+      valid = None }
+  in
+  let run f =
+    Buffer_pool.invalidate pool;
+    Io_stats.reset stats;
+    Time_fence.reset_pages_skipped ();
+    let out = ref [] in
+    f (fun r -> out := field r 0 :: !out);
+    ( List.sort compare !out,
+      (Io_stats.snapshot stats).Io_stats.reads,
+      Time_fence.pages_skipped () )
+  in
+  let batched =
+    run (fun visit ->
+        Cursor.iter (Heap_file.scan_cursor ~window h) (fun _ r -> visit r))
+  in
+  let paged =
+    run (fun visit ->
+        let pf = Heap_file.pfile h in
+        for page = 0 to Pfile.npages pf - 1 do
+          Pfile.page_iter ~window pf ~page (fun _ r -> visit r)
+        done)
+  in
+  Alcotest.(check bool) "same records, reads and skips" true (batched = paged);
+  let _, reads, skips = batched in
+  Alcotest.(check bool) "the window pruned" true (skips > 0);
+  Alcotest.(check int) "reads + skips cover the heap" 16 (reads + skips)
+
+(* The executor's row batcher at the same boundaries, end to end: result
+   cardinality through the engine with 63, 64 and 65 source tuples. *)
+let test_pipeline_row_boundaries () =
+  List.iter
+    (fun n ->
+      let db =
+        match Database.create () with
+        | Ok db -> db
+        | Error e -> Alcotest.failf "db: %s" e
+      in
+      let script = Buffer.create 1024 in
+      Buffer.add_string script "create t (k = i4)\nrange of x is t\n";
+      for k = 0 to n - 1 do
+        Buffer.add_string script (Printf.sprintf "append to t (k = %d)\n" k)
+      done;
+      (match Engine.execute db (Buffer.contents script) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "script: %s" e);
+      match Engine.execute_one db "retrieve (x.k) where x.k >= 0" with
+      | Ok (Engine.Rows { tuples; _ }) ->
+          Alcotest.(check int)
+            (Printf.sprintf "all %d rows" n)
+            n (List.length tuples)
+      | Ok _ -> Alcotest.fail "expected rows"
+      | Error e -> Alcotest.failf "retrieve: %s" e)
+    [ 63; 64; 65 ]
+
+let suites =
+  [
+    ( "batch",
+      [
+        Alcotest.test_case "empty relation" `Quick test_empty_relation;
+        Alcotest.test_case "exactly one batch" `Quick test_exactly_one_batch;
+        Alcotest.test_case "target - 1" `Quick test_target_minus_one;
+        Alcotest.test_case "target + 1" `Quick test_target_plus_one;
+        Alcotest.test_case "chain straddles a flush" `Quick
+          test_chain_straddles_flush;
+        Alcotest.test_case "pruning under batching" `Quick
+          test_pruning_under_batching;
+        Alcotest.test_case "pipeline row boundaries" `Quick
+          test_pipeline_row_boundaries;
+      ] );
+  ]

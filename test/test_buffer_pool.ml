@@ -3,7 +3,6 @@ module Buffer_pool = Tdb_storage.Buffer_pool
 module Io_stats = Tdb_storage.Io_stats
 module Page = Tdb_storage.Page
 module Fault = Tdb_storage.Fault
-module Tdb_error = Tdb_storage.Tdb_error
 
 let make ?(frames = 1) () =
   let disk = Disk.create_mem () in

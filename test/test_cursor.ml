@@ -1,0 +1,349 @@
+(* Access-path cursor conformance: for every access method, draining the
+   cursor yields the same record multiset as the eager page/chain walk it
+   replaced, with identical page I/O and identical fence skips — with and
+   without a temporal window.  The two-level store's access module is
+   checked at the tuple level across both of its stores. *)
+
+module Disk = Tdb_storage.Disk
+module Buffer_pool = Tdb_storage.Buffer_pool
+module Io_stats = Tdb_storage.Io_stats
+module Pfile = Tdb_storage.Pfile
+module Tid = Tdb_storage.Tid
+module Cursor = Tdb_storage.Cursor
+module Time_fence = Tdb_storage.Time_fence
+module Heap_file = Tdb_storage.Heap_file
+module Hash_file = Tdb_storage.Hash_file
+module Isam_file = Tdb_storage.Isam_file
+module Relation_file = Tdb_storage.Relation_file
+module Two_level_store = Tdb_twostore.Two_level_store
+module Schema = Tdb_relation.Schema
+module Tuple = Tdb_relation.Tuple
+module Value = Tdb_relation.Value
+module Attr_type = Tdb_relation.Attr_type
+module Db_type = Tdb_relation.Db_type
+module Chronon = Tdb_time.Chronon
+module Period = Tdb_time.Period
+
+(* 124-byte records (8 per page): an int32 key, then the four time
+   chronons as int32 seconds.  Record [k] lives in transaction and valid
+   period [10k, 10k+10), so time windows select contiguous key ranges and
+   heap pages develop tight, disjoint fences. *)
+let record_size = 124
+let c s = Chronon.of_seconds s
+
+let record k =
+  let b = Bytes.make record_size '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int k);
+  Bytes.set_int32_be b 4 (Int32.of_int (k * 10));
+  Bytes.set_int32_be b 8 (Int32.of_int ((k * 10) + 10));
+  Bytes.set_int32_be b 12 (Int32.of_int (k * 10));
+  Bytes.set_int32_be b 16 (Int32.of_int ((k * 10) + 10));
+  b
+
+let key_of b = Value.Int (Int32.to_int (Bytes.get_int32_be b 0))
+let field b off = Int32.to_int (Bytes.get_int32_be b off)
+
+let stamp b =
+  Time_fence.stamp
+    ~transaction:(Some (c (field b 4), c (field b 8)))
+    ~valid:(Some (c (field b 12), c (field b 16)))
+
+(* A window selecting records whose transaction period meets [lo, hi). *)
+let window lo hi =
+  { Time_fence.transaction = Some (Period.make (c lo) (c hi)); valid = None }
+
+let fresh_pool () =
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create (Disk.create_mem ()) stats in
+  (pool, stats)
+
+(* Run [f], observing page reads and fence skips from a cold cache. *)
+let measure stats pool f =
+  Buffer_pool.invalidate pool;
+  Io_stats.reset stats;
+  Time_fence.reset_pages_skipped ();
+  let out = ref [] in
+  f (fun tid record -> out := (tid, Bytes.to_string record) :: !out);
+  ( List.sort compare !out,
+    (Io_stats.snapshot stats).Io_stats.reads,
+    Time_fence.pages_skipped () )
+
+let check_same name (recs_c, reads_c, skips_c) (recs_d, reads_d, skips_d) =
+  Alcotest.(check int)
+    (name ^ ": same record count")
+    (List.length recs_d) (List.length recs_c);
+  Alcotest.(check bool) (name ^ ": same records") true (recs_c = recs_d);
+  Alcotest.(check int) (name ^ ": same reads") reads_d reads_c;
+  Alcotest.(check int) (name ^ ": same skips") skips_d skips_c
+
+let n_records = 100
+
+let test_heap_conformance () =
+  let pool, stats = fresh_pool () in
+  let h = Heap_file.create pool ~record_size in
+  Pfile.enable_fences (Heap_file.pfile h) ~stamp;
+  List.iter
+    (fun k -> ignore (Heap_file.insert h (record k)))
+    (List.init n_records Fun.id);
+  let pf = Heap_file.pfile h in
+  let direct ?window visit =
+    for page = 0 to Pfile.npages pf - 1 do
+      Pfile.page_iter ?window pf ~page visit
+    done
+  in
+  List.iter
+    (fun w ->
+      let name = if w = None then "heap" else "heap+window" in
+      check_same name
+        (measure stats pool (fun visit ->
+             Cursor.iter (Heap_file.scan_cursor ?window:w h) visit))
+        (measure stats pool (fun visit -> direct ?window:w visit)))
+    [ None; Some (window 305 455) ];
+  (* The window genuinely prunes: a fenced walk must skip pages. *)
+  let _, _, skips =
+    measure stats pool (fun visit ->
+        Cursor.iter (Heap_file.scan_cursor ~window:(window 305 455) h) visit)
+  in
+  Alcotest.(check bool) "heap window prunes" true (skips > 0)
+
+let test_hash_conformance () =
+  let pool, stats = fresh_pool () in
+  let h =
+    Hash_file.build pool ~record_size ~key_of ~fillfactor:50
+      (List.map record (List.init n_records Fun.id))
+  in
+  let pf = Hash_file.pfile h in
+  Pfile.enable_fences pf ~stamp;
+  for b = 0 to Hash_file.buckets h - 1 do
+    Pfile.rebuild_chain_fences pf ~head:b
+  done;
+  let direct_scan ?window visit =
+    for b = 0 to Hash_file.buckets h - 1 do
+      Pfile.chain_iter ?window pf ~head:b visit
+    done
+  in
+  List.iter
+    (fun w ->
+      let name = if w = None then "hash scan" else "hash scan+window" in
+      check_same name
+        (measure stats pool (fun visit ->
+             Cursor.iter (Hash_file.scan_cursor ?window:w h) visit))
+        (measure stats pool (fun visit -> direct_scan ?window:w visit)))
+    [ None; Some (window 305 455) ];
+  (* Keyed probe: cursor vs an eager walk of the key's bucket chain. *)
+  let key = Value.Int 42 in
+  let direct_lookup ?window visit =
+    Pfile.chain_iter ?window pf
+      ~head:(Hash_file.bucket_of h key)
+      (fun tid r -> if Value.equal (key_of r) key then visit tid r)
+  in
+  List.iter
+    (fun w ->
+      let name = if w = None then "hash probe" else "hash probe+window" in
+      let (recs, _, _) as cur =
+        measure stats pool (fun visit ->
+            Cursor.iter (Hash_file.lookup_cursor ?window:w h key) visit)
+      in
+      check_same name cur
+        (measure stats pool (fun visit -> direct_lookup ?window:w visit));
+      if w = None then
+        Alcotest.(check int) "hash probe finds its key" 1 (List.length recs))
+    [ None; Some (window 0 5000) ]
+
+let test_isam_conformance () =
+  let pool, stats = fresh_pool () in
+  let t =
+    Isam_file.build pool ~record_size ~key_of ~key_type:Attr_type.I4
+      ~fillfactor:100
+      (List.map record (List.init n_records Fun.id))
+  in
+  let pf = Isam_file.pfile t in
+  Pfile.enable_fences pf ~stamp;
+  for p = 0 to Isam_file.data_pages t - 1 do
+    Pfile.rebuild_chain_fences pf ~head:p
+  done;
+  let direct_scan ?window visit =
+    for p = 0 to Isam_file.data_pages t - 1 do
+      Pfile.chain_iter ?window pf ~head:p visit
+    done
+  in
+  List.iter
+    (fun w ->
+      let name = if w = None then "isam scan" else "isam scan+window" in
+      check_same name
+        (measure stats pool (fun visit ->
+             Cursor.iter (Isam_file.scan_cursor ?window:w t) visit))
+        (measure stats pool (fun visit -> direct_scan ?window:w visit)))
+    [ None; Some (window 305 455) ];
+  (* Keyed and range probes: ground-truth content, bounded cost. *)
+  let scan_reads =
+    let _, reads, _ =
+      measure stats pool (fun visit ->
+          Cursor.iter (Isam_file.scan_cursor t) visit)
+    in
+    reads
+  in
+  let probe_budget = scan_reads + Isam_file.directory_pages t in
+  let recs, reads, _ =
+    measure stats pool (fun visit ->
+        Cursor.iter (Isam_file.lookup_cursor t (Value.Int 42)) visit)
+  in
+  Alcotest.(check int) "isam probe finds its key" 1 (List.length recs);
+  List.iter
+    (fun (_, r) ->
+      Alcotest.(check bool) "isam probe key" true
+        (Value.equal (key_of (Bytes.of_string r)) (Value.Int 42)))
+    recs;
+  Alcotest.(check bool) "isam probe cheaper than scan" true
+    (reads <= probe_budget);
+  let recs, reads, _ =
+    measure stats pool (fun visit ->
+        Cursor.iter
+          (Isam_file.range_cursor t ~lo:(Some (Value.Int 10))
+             ~hi:(Some (Value.Int 19)))
+          visit)
+  in
+  Alcotest.(check int) "isam range finds 10..19" 10 (List.length recs);
+  Alcotest.(check bool) "isam range bounded cost" true (reads <= probe_budget)
+
+(* --- the two-level store, at the tuple level --- *)
+
+let ts_attr name ty = { Schema.name; ty }
+
+let ts_schema =
+  Schema.create_exn
+    ~db_type:(Db_type.Temporal Db_type.Interval)
+    [
+      ts_attr "id" Attr_type.I4;
+      ts_attr "amount" Attr_type.I4;
+      ts_attr "seq" Attr_type.I4;
+      ts_attr "string" (Attr_type.C 96);
+    ]
+
+let ts_tuple id =
+  [|
+    Value.Int id;
+    Value.Int (id * 10);
+    Value.Int 0;
+    Value.Str "x";
+    Value.Time (c 100);
+    Value.Time Chronon.forever;
+    Value.Time (c 100);
+    Value.Time Chronon.forever;
+  |]
+
+let ts_n = 32
+let ts_rounds = 2
+
+let evolved_store () =
+  let store =
+    Two_level_store.create ~schema:ts_schema
+      ~organization:(Relation_file.Hash { key_attr = 0; fillfactor = 100 })
+      ~clustered:true
+      (List.init ts_n ts_tuple)
+  in
+  for r = 1 to ts_rounds do
+    for id = 0 to ts_n - 1 do
+      ignore
+        (Two_level_store.replace store
+           ~now:(c (1000 * r))
+           ~key:(Value.Int id)
+           (fun tu ->
+             (match tu.(2) with
+             | Value.Int s -> tu.(2) <- Value.Int (s + 1)
+             | _ -> ());
+             tu))
+    done
+  done;
+  store
+
+let drain_tuples store cursor =
+  let out = ref [] in
+  Cursor.iter cursor (fun _ record ->
+      out := Two_level_store.decode_record store record :: !out);
+  List.sort compare !out
+
+let test_twostore_conformance () =
+  let store = evolved_store () in
+  (* Every replace pushes two history versions; the current version stays
+     in the primary store.  One cursor spans both levels. *)
+  let all = drain_tuples store (Two_level_store.scan_cursor store) in
+  Alcotest.(check int) "all versions"
+    (ts_n + (ts_n * ts_rounds * 2))
+    (List.length all);
+  let eager = ref [] in
+  Two_level_store.scan_all store (fun tu -> eager := tu :: !eager);
+  Alcotest.(check bool) "cursor = eager scan_all" true
+    (all = List.sort compare !eager);
+  (* Keyed probe: exactly the versions of that key, from both levels. *)
+  let key = Value.Int 7 in
+  let versions =
+    drain_tuples store (Two_level_store.Access.lookup_cursor store key)
+  in
+  Alcotest.(check int) "versions of one key"
+    (1 + (ts_rounds * 2))
+    (List.length versions);
+  List.iter
+    (fun tu ->
+      Alcotest.(check bool) "probe key" true (Value.equal tu.(0) key))
+    versions;
+  (* Range probe: all versions of keys 4..6. *)
+  let ranged =
+    drain_tuples store
+      (Two_level_store.Access.range_cursor store ~lo:(Some (Value.Int 4))
+         ~hi:(Some (Value.Int 6)))
+  in
+  Alcotest.(check int) "versions in range"
+    (3 * (1 + (ts_rounds * 2)))
+    (List.length ranged)
+
+let test_twostore_as_of_conformance () =
+  let store = evolved_store () in
+  (* Roll back to between the evolution rounds: the qualifying versions
+     (exact overlap test applied, as the executor does) must be identical
+     through the pruned rollback cursor and the full scan, with pruning
+     on and off. *)
+  let at = c 1500 in
+  let qualifying cursor =
+    let out = ref [] in
+    Cursor.iter cursor (fun _ record ->
+        let tu = Two_level_store.decode_record store record in
+        match Tuple.transaction_period ts_schema tu with
+        | Some p when Period.overlaps p (Period.at at) -> out := tu :: !out
+        | _ -> ());
+    List.sort compare !out
+  in
+  let reference =
+    Time_fence.with_pruning false (fun () ->
+        qualifying (Two_level_store.scan_cursor store))
+  in
+  (* Two versions per tuple overlap a mid-round instant: the round-1
+     replacement, and the "validity ended" version the temporal replace
+     semantics record (its transaction time never closes). *)
+  Alcotest.(check int) "two versions per tuple" (2 * ts_n)
+    (List.length reference);
+  List.iter
+    (fun prune ->
+      Two_level_store.reset_io store;
+      let got =
+        Time_fence.with_pruning prune (fun () ->
+            qualifying (Two_level_store.as_of_cursor store ~at))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "as-of cursor (pruning %b)" prune)
+        true (got = reference))
+    [ false; true ]
+
+let suites =
+  [
+    ( "cursor",
+      [
+        Alcotest.test_case "heap conformance" `Quick test_heap_conformance;
+        Alcotest.test_case "hash conformance" `Quick test_hash_conformance;
+        Alcotest.test_case "isam conformance" `Quick test_isam_conformance;
+        Alcotest.test_case "two-level conformance" `Quick
+          test_twostore_conformance;
+        Alcotest.test_case "two-level as-of conformance" `Quick
+          test_twostore_as_of_conformance;
+      ] );
+  ]

@@ -1,6 +1,5 @@
 module Disk = Tdb_storage.Disk
 module Page = Tdb_storage.Page
-module Tdb_error = Tdb_storage.Tdb_error
 
 let test_mem_basics () =
   let d = Disk.create_mem () in

@@ -10,7 +10,6 @@
 module Disk = Tdb_storage.Disk
 module Page = Tdb_storage.Page
 module Fault = Tdb_storage.Fault
-module Tdb_error = Tdb_storage.Tdb_error
 module Database = Tdb_core.Database
 module Engine = Tdb_core.Engine
 
