@@ -1104,6 +1104,155 @@ let json_of_throughput results =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel execution: wall time against worker domains                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The domain-pool executor must be invisible in results and visible only
+   in wall time.  Each query runs at 1..4 workers against the same
+   database; the rows are compared against the workers=1 run verbatim
+   (the partition-order merge is deterministic, so even row order must
+   survive), and the best-of-runs wall time gives the speedup curve.
+   Measured at update count 0 and at max_uc, since long version chains
+   are where partitioned scans have work to divide. *)
+
+type parallel_cell = {
+  pl_workers : int;
+  pl_wall_s : float;  (* best single-run wall time *)
+  pl_identical : bool;  (* rows verbatim-equal to the workers=1 run *)
+}
+
+type parallel_series = {
+  pl_qid : Paper_queries.id;
+  pl_uc : int;
+  pl_cells : parallel_cell list;
+}
+
+let parallel_queries = Paper_queries.[ Q01; Q03; Q04; Q11 ]
+let parallel_workers = [ 1; 2; 3; 4 ]
+
+let parallel_rows (w : Workload.t) src =
+  match Engine.execute w.Workload.db src with
+  | Ok [ Engine.Rows { tuples; _ } ] ->
+      List.map
+        (fun tu ->
+          String.concat "|" (Array.to_list (Array.map Value.to_string tu)))
+        tuples
+  | Ok _ -> Tdb_error.internal "expected rows: %s" src
+  | Error e -> Tdb_error.internal "bench query failed: %s" e
+
+let parallel_measure (w : Workload.t) ~uc qid =
+  let src = Option.get (Paper_queries.text qid Workload.Temporal) in
+  Engine.set_parallelism (Some 1);
+  let reference = parallel_rows w src in
+  let cells =
+    List.map
+      (fun workers ->
+        Engine.set_parallelism (Some workers);
+        let rows = parallel_rows w src in
+        let best = ref infinity in
+        let runs = ref 0 in
+        let deadline = Unix.gettimeofday () +. 0.3 in
+        while !runs < 3 || (!runs < 100 && Unix.gettimeofday () < deadline) do
+          let t0 = Unix.gettimeofday () in
+          ignore (parallel_rows w src);
+          let dt = Unix.gettimeofday () -. t0 in
+          if dt < !best then best := dt;
+          incr runs
+        done;
+        {
+          pl_workers = workers;
+          pl_wall_s = !best;
+          pl_identical = rows = reference;
+        })
+      parallel_workers
+  in
+  Engine.set_parallelism (Some 1);
+  { pl_qid = qid; pl_uc = uc; pl_cells = cells }
+
+let parallel_section (evolved : Workload.t) =
+  print_endline "== Parallel: wall time vs worker domains (temporal 100%) ==";
+  let fresh = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed in
+  let series =
+    List.map (parallel_measure fresh ~uc:0) parallel_queries
+    @ List.map (parallel_measure evolved ~uc:max_uc) parallel_queries
+  in
+  let rows =
+    List.map
+      (fun s ->
+        let wall k = (List.nth s.pl_cells k).pl_wall_s in
+        (Paper_queries.name s.pl_qid :: string_of_int s.pl_uc
+        :: List.map
+             (fun c -> Printf.sprintf "%.2f" (c.pl_wall_s *. 1e3))
+             s.pl_cells)
+        @ [
+            Printf.sprintf "%.2fx" (wall 0 /. wall 3);
+            (if List.for_all (fun c -> c.pl_identical) s.pl_cells then "yes"
+             else "NO");
+          ])
+      series
+  in
+  print_endline
+    (Report.table
+       ~header:
+         [ "Query"; "uc"; "w=1 ms"; "w=2 ms"; "w=3 ms"; "w=4 ms";
+           "speedup"; "same rows" ]
+       rows);
+  Printf.printf
+    "(best of repeated runs at each worker count; this machine recommends\n\
+    \ %d domain(s), speedups only appear above one)\n\n"
+    (Domain.recommended_domain_count ());
+  series
+
+(* Row identity across worker counts is a correctness property, not a
+   performance one: any divergence fails the benchmark run. *)
+let parallel_guard series =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun c ->
+          if not c.pl_identical then begin
+            Printf.eprintf
+              "FATAL: %s at uc %d returned different rows with %d workers\n"
+              (Paper_queries.name s.pl_qid) s.pl_uc c.pl_workers;
+            exit 1
+          end)
+        s.pl_cells)
+    series
+
+let json_of_parallel series =
+  Json.Obj
+    [
+      ("recommended_domains", Json.int (Domain.recommended_domain_count ()));
+      ("workers", Json.List (List.map Json.int parallel_workers));
+      ( "queries",
+        Json.List
+          (List.map
+             (fun s ->
+               let w1 = (List.hd s.pl_cells).pl_wall_s in
+               Json.Obj
+                 [
+                   ("query", Json.Str (Paper_queries.name s.pl_qid));
+                   ("uc", Json.int s.pl_uc);
+                   ( "cells",
+                     Json.List
+                       (List.map
+                          (fun c ->
+                            Json.Obj
+                              [
+                                ("workers", Json.int c.pl_workers);
+                                ("wall_s", Json.Num c.pl_wall_s);
+                                ("speedup", Json.Num (w1 /. c.pl_wall_s));
+                                ("identical", Json.Bool c.pl_identical);
+                              ])
+                          s.pl_cells) );
+                   ( "identical",
+                     Json.Bool
+                       (List.for_all (fun c -> c.pl_identical) s.pl_cells) );
+                 ])
+             series) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Section timing and the --json result document                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1149,7 +1298,7 @@ let json_of_run (r : run) =
       ("cells", Json.List (List.map cell cells));
     ]
 
-let result_document ~total_s ~pruning ~throughput runs =
+let result_document ~total_s ~pruning ~throughput ~parallel runs =
   Json.Obj
     [
       ( "meta",
@@ -1176,6 +1325,7 @@ let result_document ~total_s ~pruning ~throughput runs =
       ("grid", Json.List (List.map json_of_run runs));
       ("pruning", json_of_pruning pruning);
       ("throughput", json_of_throughput throughput);
+      ("parallel", json_of_parallel parallel);
       ("metrics", Tdb_obs.Metric.to_json ());
     ]
 
@@ -1195,6 +1345,11 @@ let run () =
      dissolves.  Only the pruning section turns fences on (and off)
      explicitly. *)
   Time_fence.set_pruning false;
+  (* Pin the executor to one worker so the cost grid and every figure
+     measure exactly what previous revisions measured, whatever the host's
+     core count; only the parallel section varies the worker count (and
+     restores this pin afterwards). *)
+  Engine.set_parallelism (Some 1);
   print_endline
     "Reproducing Ahn & Snodgrass, \"Performance Evaluation of a Temporal\n\
      Database Management System\" (SIGMOD 1986).\n";
@@ -1230,6 +1385,10 @@ let run () =
   timed "figure 10" (fun () -> figure10 temporal100 env);
   let pruning = timed "pruning" pruning_section in
   pruning_guard pruning;
+  let parallel =
+    timed "parallel" (fun () -> parallel_section temporal100_w)
+  in
+  parallel_guard parallel;
   if not smoke then begin
     timed "ablations" (fun () ->
         ablation_buffers temporal100_w;
@@ -1242,7 +1401,8 @@ let run () =
   let total_s = Unix.gettimeofday () -. t0 in
   Option.iter
     (fun path ->
-      write_json path (result_document ~total_s ~pruning ~throughput runs))
+      write_json path
+        (result_document ~total_s ~pruning ~throughput ~parallel runs))
     json_path;
   Printf.printf "Total benchmark time: %.1f s\n" total_s
 

@@ -250,8 +250,9 @@ let run_session dir script command =
 
 (* Storage-level failures — corruption, I/O — stop the process with a
    class-specific exit code and a one-line message, never a backtrace. *)
-let main dir script command profile =
+let main dir script command profile workers =
   if profile then Tdb_obs.Trace.set_enabled true;
+  Engine.set_parallelism workers;
   try run_session dir script command
   with Tdb_error.Error (cls, msg) ->
     Printf.eprintf "fatal %s\n" (Tdb_error.message cls msg);
@@ -278,9 +279,17 @@ let profile =
   in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
+let workers =
+  let doc =
+    "Number of worker domains for parallel scans (at least 1; 1 disables \
+     parallelism).  Defaults to the $(b,TDB_WORKERS) environment variable, \
+     or the machine's recommended domain count."
+  in
+  Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "a temporal database management system speaking TQuel" in
   let info = Cmd.info "tquel" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const main $ dir $ script $ command $ profile)
+  Cmd.v info Term.(const main $ dir $ script $ command $ profile $ workers)
 
 let () = exit (Cmd.eval' cmd)

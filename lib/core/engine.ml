@@ -36,6 +36,22 @@ type outcome =
 
 let ( let* ) = Result.bind
 
+(* --- parallelism --- *)
+
+let set_parallelism n = Tdb_par.Pool.set_workers n
+let parallelism () = Tdb_par.Pool.workers ()
+
+(* Statements are serialized: parallelism lives {e inside} one statement
+   (scan fan-out across domains), never across statements.  The lock is
+   what lets concurrent callers (the stress test, a future server loop)
+   share one engine while the executor's fold-on-join metric accounting
+   stays attributable to a single statement. *)
+let stmt_lock = Mutex.create ()
+
+let serialized f =
+  Mutex.lock stmt_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock stmt_lock) f
+
 let sources_of db =
   List.filter_map
     (fun (var, rel_name) ->
@@ -298,6 +314,7 @@ let statement_kind = function
   | Ast.Replace _ -> "replace"
 
 let execute_statement db stmt =
+  serialized @@ fun () ->
   let* () = Semck.check_statement (Database.semck_env db) stmt in
   if not (Metric.enabled ()) then execute_checked db stmt
   else begin
@@ -327,7 +344,9 @@ let explain db src =
           let sources = sources_of db in
           let plan = Executor.plan_retrieve ~sources r in
           let pipe = Executor.pipeline_retrieve ~sources r in
-          Plan.to_string plan ^ "\n" ^ Tdb_query.Pipeline.to_string pipe)
+          Plan.to_string plan ^ "\n"
+          ^ Tdb_query.Pipeline.to_string pipe
+          ^ "\n" ^ Executor.explain_parallelism ~sources r)
   | stmt ->
       Ok (Printf.sprintf "%s: no plan (only retrieve statements are planned)"
             (statement_kind stmt))

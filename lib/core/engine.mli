@@ -35,11 +35,24 @@ type outcome =
       (** [append] / [delete] / [replace] *)
   | Ack of string  (** DDL and session statements *)
 
+val set_parallelism : int option -> unit
+(** Overrides the scan fan-out width for subsequent statements ([Some n],
+    clamped to at least 1); [None] restores the default, which honours the
+    [TDB_WORKERS] environment variable and otherwise follows
+    [Domain.recommended_domain_count].  A width of 1 runs every scan
+    sequentially on the calling domain. *)
+
+val parallelism : unit -> int
+(** The scan fan-out width the next statement would use. *)
+
 val execute_statement :
   Database.t -> Tdb_tquel.Ast.statement -> (outcome, string) result
 (** Checks the statement against the database, then runs it.  Modification
     statements advance the database clock by one second before executing,
-    so transaction times are strictly increasing. *)
+    so transaction times are strictly increasing.  Statements are
+    serialized under an engine-wide lock: concurrent callers interleave at
+    statement granularity; parallelism lives inside a statement (see
+    {!set_parallelism}). *)
 
 val execute : Database.t -> string -> (outcome list, string) result
 (** Parses and runs a whole script, stopping at the first error. *)

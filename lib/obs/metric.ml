@@ -6,7 +6,9 @@ let now_s = Unix.gettimeofday
 
 type counter = {
   c_gated : bool;
-  mutable c_count : int;
+  c_count : int Atomic.t;
+      (* Atomic so hot counters can be bumped from worker domains during
+         parallel scans without tearing or lost updates. *)
 }
 
 type gauge = { mutable g_value : float }
@@ -33,6 +35,10 @@ type histogram = {
   mutable h_max : float;
 }
 
+(* Histograms update several fields per observation; a single lock keeps
+   them coherent when worker domains observe (e.g. chain lengths). *)
+let h_lock = Mutex.create ()
+
 type metric =
   | Counter of counter
   | Gauge of gauge
@@ -48,14 +54,14 @@ let find name labels =
 let register name labels metric =
   registry := { name; labels; metric } :: !registry
 
-let raw () = { c_gated = false; c_count = 0 }
+let raw () = { c_gated = false; c_count = Atomic.make 0 }
 
 let counter ?(labels = []) name =
   match find name labels with
   | Some { metric = Counter c; _ } -> c
   | Some _ -> invalid_arg (name ^ " is registered as a different metric kind")
   | None ->
-      let c = { c_gated = true; c_count = 0 } in
+      let c = { c_gated = true; c_count = Atomic.make 0 } in
       register name labels (Counter c);
       c
 
@@ -80,21 +86,23 @@ let histogram ?(labels = []) name =
       register name labels (Histogram h);
       h
 
-let incr c = if (not c.c_gated) || !on then c.c_count <- c.c_count + 1
-let add c n = if (not c.c_gated) || !on then c.c_count <- c.c_count + n
-let count c = c.c_count
-let reset_counter c = c.c_count <- 0
+let incr c = if (not c.c_gated) || !on then ignore (Atomic.fetch_and_add c.c_count 1)
+let add c n = if (not c.c_gated) || !on then ignore (Atomic.fetch_and_add c.c_count n)
+let count c = Atomic.get c.c_count
+let reset_counter c = Atomic.set c.c_count 0
 
 let set_gauge g v = if !on then g.g_value <- v
 let gauge_value g = g.g_value
 
 let observe h v =
   if !on then begin
+    Mutex.lock h_lock;
     let i = bucket_index v in
     h.h_buckets.(i) <- h.h_buckets.(i) + 1;
     h.h_sum <- h.h_sum +. v;
     h.h_count <- h.h_count + 1;
-    if v > h.h_max then h.h_max <- v
+    if v > h.h_max then h.h_max <- v;
+    Mutex.unlock h_lock
   end
 
 (* --- dump --- *)
@@ -119,7 +127,8 @@ let dump () =
   List.concat_map
     (fun (e : entry) ->
       match e.metric with
-      | Counter c -> [ { name = e.name; labels = e.labels; value = Int c.c_count } ]
+      | Counter c ->
+          [ { name = e.name; labels = e.labels; value = Int (Atomic.get c.c_count) } ]
       | Gauge g -> [ { name = e.name; labels = e.labels; value = Float g.g_value } ]
       | Histogram h ->
           let cumulative = ref 0 in
@@ -159,7 +168,7 @@ let table () =
     (fun (e : entry) ->
       let name = e.name ^ labels_str e.labels in
       match e.metric with
-      | Counter c -> [ name; "counter"; string_of_int c.c_count ]
+      | Counter c -> [ name; "counter"; string_of_int (Atomic.get c.c_count) ]
       | Gauge g -> [ name; "gauge"; Printf.sprintf "%g" g.g_value ]
       | Histogram h ->
           let summary =
@@ -192,7 +201,7 @@ let reset_all () =
   List.iter
     (fun (e : entry) ->
       match e.metric with
-      | Counter c -> c.c_count <- 0
+      | Counter c -> Atomic.set c.c_count 0
       | Gauge g -> g.g_value <- 0.0
       | Histogram h ->
           Array.fill h.h_buckets 0 buckets 0;

@@ -50,11 +50,21 @@ let fresh name =
     children = [];
   }
 
-(* The current-span stack.  Innermost span at the head. *)
+(* The current-span stack.  Innermost span at the head.
+
+   The tracer is single-threaded by construction: spans are opened and
+   closed only by the main domain.  Worker domains spawned for parallel
+   scans charge their page I/O to a private [Io_stats] instead, and the
+   executor notes the folded totals on the main domain after the join —
+   so the note_* hot paths below simply ignore calls from other domains
+   rather than corrupting the shared stack. *)
+let main_domain = Domain.self ()
+let on_main () = Domain.self () = main_domain
+
 let stack : node list ref = ref []
 
 let start name =
-  if not !on then dummy
+  if (not !on) || not (on_main ()) then dummy
   else begin
     let n = fresh name in
     (match !stack with
@@ -108,13 +118,16 @@ let exit n =
     | _ -> ()
 
 let note_read () =
-  match !stack with [] -> () | n :: _ -> n.reads <- n.reads + 1
+  if on_main () then
+    match !stack with [] -> () | n :: _ -> n.reads <- n.reads + 1
 
 let note_write () =
-  match !stack with [] -> () | n :: _ -> n.writes <- n.writes + 1
+  if on_main () then
+    match !stack with [] -> () | n :: _ -> n.writes <- n.writes + 1
 
 let note_skip k =
-  match !stack with [] -> () | n :: _ -> n.skips <- n.skips + k
+  if on_main () then
+    match !stack with [] -> () | n :: _ -> n.skips <- n.skips + k
 
 let add_tuples n k = if is_real n then n.tuples <- n.tuples + k
 let set_attr n k v = if is_real n then n.attrs <- (k, v) :: n.attrs

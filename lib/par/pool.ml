@@ -1,0 +1,66 @@
+(* Deterministic fan-out/join over OCaml 5 domains.
+
+   Domains are spawned per [run_tasks] call rather than kept hot: a
+   parallel scan dispatches a handful of partition drains that each run
+   for many pages, so spawn cost is noise, and spawn-per-run keeps the
+   pool free of shutdown obligations and cross-query state. *)
+
+let override = ref None
+
+let set_workers = function
+  | None -> override := None
+  | Some n -> override := Some (max 1 n)
+
+let env_workers () =
+  match Sys.getenv_opt "TDB_WORKERS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let workers () =
+  match !override with
+  | Some n -> n
+  | None -> (
+      match env_workers () with
+      | Some n -> n
+      | None -> max 1 (Domain.recommended_domain_count ()))
+
+let run_sequential n task =
+  (* Explicit 0..n-1 loop: [Array.init]'s evaluation order is
+     unspecified, and a failing task must raise exactly where the
+     sequential engine would. *)
+  let results = Array.make n None in
+  for i = 0 to n - 1 do
+    results.(i) <- Some (task i)
+  done;
+  Array.map Option.get results
+
+let run_tasks n task =
+  if n <= 0 then [||]
+  else
+    let k = min (workers ()) n in
+    if k <= 1 then run_sequential n task
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (results.(i) <- Some (try Ok (task i) with e -> Error e));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains = Array.init (k - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains;
+      (* Every task ran to completion (or failure) before the join, so
+         re-raising the lowest-indexed failure is deterministic and no
+         partial result escapes. *)
+      Array.iter (function Some (Error e) -> raise e | _ -> ()) results;
+      Array.map (function Some (Ok v) -> v | _ -> assert false) results
+    end

@@ -48,8 +48,11 @@ let for_var var conjuncts =
     (fun c -> match vars_of_conjunct c with [] -> false | vs -> vs = [ var ])
     conjuncts
 
+(* Everything that cannot be pushed down to a single variable: conjuncts
+   over two or more variables, and variable-free conjuncts (a constant
+   predicate still decides whether rows qualify). *)
 let multi_var conjuncts =
-  List.filter (fun c -> List.length (vars_of_conjunct c) >= 2) conjuncts
+  List.filter (fun c -> List.length (vars_of_conjunct c) <> 1) conjuncts
 
 let expr_is_constant e = vars_of_expr [] e = []
 

@@ -21,7 +21,9 @@ val for_var : string -> conjunct list -> conjunct list
     set. *)
 
 val multi_var : conjunct list -> conjunct list
-(** Conjuncts mentioning two or more variables (join conditions). *)
+(** The residual set: conjuncts that cannot be pushed down to a single
+    variable — join conditions over two or more variables, and
+    variable-free (constant) conjuncts. *)
 
 val expr_is_constant : Tdb_tquel.Ast.expr -> bool
 (** No tuple variables inside. *)

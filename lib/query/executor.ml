@@ -6,6 +6,8 @@ module Db_type = Tdb_relation.Db_type
 module Relation_file = Tdb_storage.Relation_file
 module Io_stats = Tdb_storage.Io_stats
 module Cursor = Tdb_storage.Cursor
+module Time_fence = Tdb_storage.Time_fence
+module Pool = Tdb_par.Pool
 module Trace = Tdb_obs.Trace
 module Chronon = Tdb_time.Chronon
 module Period = Tdb_time.Period
@@ -406,6 +408,63 @@ let iter_restricted ~now ~restriction ~access (source : source) f =
     (cursor_of_access ~now ~restriction ~access source)
     (restricted_visitor ~now ~restriction source f)
 
+(* --- parallel scans ---
+
+   A full scan (possibly fence-refined — never a keyed or range probe,
+   whose page sets depend on the probe value) can fan out over
+   page-disjoint partitions: [Some window] when the access is such a
+   scan, [None] otherwise. *)
+let parallel_scan_window ~now ~restriction = function
+  | Plan.Seq_scan -> Some None
+  | Plan.Time_fence { transaction; valid_const; base = Plan.Seq_scan } ->
+      Some (resolve_window ~now ~restriction ~transaction ~valid_const)
+  | _ -> None
+
+(* How many partitions a parallel drain of this source would use. *)
+let scan_partition_count (source : source) =
+  Relation_file.scan_partitions source.rel ~parts:(Pool.workers ())
+
+(* Drain a restricted source into [emit], fanning a full scan out over
+   the domain pool when more than one worker is configured.
+
+   Each worker drains page-disjoint partitions through private pools and
+   applies the same pure visitor (as-of prefilter, decode, pushed-down
+   conjuncts); the main domain then emits the surviving tuples partition
+   by partition, in partition order.  Partitions are contiguous ranges of
+   the scan order, so the emitted sequence — and everything downstream of
+   it — is bit-identical to the sequential scan's.  Partition I/O and
+   fence skips are folded into the source's stats and the current span
+   after the join; a failing worker's error is re-raised here (first by
+   partition order) once all workers have stopped. *)
+let scan_restricted ~now ~restriction ~access (source : source) emit =
+  let parallel =
+    if Pool.workers () <= 1 then None
+    else parallel_scan_window ~now ~restriction access
+  in
+  match parallel with
+  | None -> iter_restricted ~now ~restriction ~access source emit
+  | Some window ->
+      let parts =
+        Array.of_list
+          (Relation_file.partition_scan ?window source.rel
+             ~parts:(Pool.workers ()))
+      in
+      let visit = restricted_visitor ~now ~restriction source in
+      let skips_before = Time_fence.pages_skipped () in
+      let drained =
+        Pool.run_tasks (Array.length parts) (fun i ->
+            let cursor, _stats = parts.(i) in
+            let acc = ref [] in
+            Cursor.iter cursor (visit (fun tuple -> acc := tuple :: !acc));
+            List.rev !acc)
+      in
+      Array.iter
+        (fun (_, stats) ->
+          Io_stats.absorb ~into:(Relation_file.stats source.rel) stats)
+        parts;
+      Trace.note_skip (Time_fence.pages_skipped () - skips_before);
+      Array.iter (fun tuples -> List.iter emit tuples) drained
+
 (* A keyed probe under an already-resolved window (the inner side of a
    tuple substitution); [visit] is a {!restricted_visitor} partial
    application, built once for the whole join. *)
@@ -678,6 +737,33 @@ let pipeline_retrieve ~sources (r : retrieve) =
   let plan = Plan.choose ~sources:(List.map source_info sources) ~conjuncts in
   build_pipeline ~sources ~conjuncts r plan
 
+(* The parallelism line [\explain] prints: which scan would fan out, over
+   how many partitions, under the currently configured worker count. *)
+let explain_parallelism ~sources (r : retrieve) =
+  let sources = ordered_sources ~sources r in
+  let conjuncts = Conjuncts.split r.where r.when_ in
+  let plan = Plan.choose ~sources:(List.map source_info sources) ~conjuncts in
+  let workers = Pool.workers () in
+  let scan_var =
+    match plan with
+    | Plan.Single { var; access } -> (
+        match access with
+        | Plan.Seq_scan | Plan.Time_fence { base = Plan.Seq_scan; _ } ->
+            Some var
+        | _ -> None)
+    | Plan.Nested_scan { outer; _ } -> Some outer
+    | Plan.Nested_general { vars = v :: _; _ } -> Some v
+    | _ -> None
+  in
+  match scan_var with
+  | Some v when workers > 1 ->
+      let s = List.find (fun s -> s.var = v) sources in
+      let parts = scan_partition_count s in
+      Printf.sprintf "parallel: %d workers, scan(%s) in %d partition%s"
+        workers v parts
+        (if parts = 1 then "" else "s")
+  | _ -> Printf.sprintf "parallel: off (workers=%d)" workers
+
 let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
   let sources = ordered_sources ~sources r in
   let conjuncts = Conjuncts.split r.where r.when_ in
@@ -922,7 +1008,7 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
   | Plan.Single { var; access } ->
       let s = List.find (fun s -> s.var = var) sources in
       drive (scan_stage_label ()) tail_sink (fun span push ->
-          iter_restricted ~now ~restriction:(restriction_of var) ~access s
+          scan_restricted ~now ~restriction:(restriction_of var) ~access s
             (fun tuple ->
               Trace.add_tuples span 1;
               push [ binding s tuple ]))
@@ -1018,7 +1104,7 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
                 (fun it -> push' (row @ [ binding si it ])))
             (tail_sink nspan))
         (fun span push ->
-          iter_restricted ~now ~restriction:ro ~access:(fenced_scan so) so
+          scan_restricted ~now ~restriction:ro ~access:(fenced_scan so) so
             (fun ot ->
               Trace.add_tuples span 1;
               push [ binding so ot ]))
@@ -1076,7 +1162,7 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
           in
           build scan_span 1 rest)
         (fun span push ->
-          iter_restricted ~now ~restriction:(restriction_of v1)
+          scan_restricted ~now ~restriction:(restriction_of v1)
             ~access:(fenced_scan s1) s1
             (fun t ->
               Trace.add_tuples span 1;

@@ -47,6 +47,12 @@ val pipeline_retrieve :
     statement — the same stage labels the trace spans carry (drives the
     CLI's [\explain]). *)
 
+val explain_parallelism :
+  sources:source list -> Tdb_tquel.Ast.retrieve -> string
+(** One line for [\explain]: the worker count and, when the plan's outer
+    access is a parallelizable full scan, the partition count that scan
+    would fan out over ([parallel: off (workers=1)] otherwise). *)
+
 val result_schema :
   sources:source list ->
   Tdb_tquel.Ast.retrieve ->

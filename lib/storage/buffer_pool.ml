@@ -30,6 +30,7 @@ let create ?(frames = 1) disk stats =
   }
 
 let stats t = t.stats
+let disk t = t.disk
 let npages t = Disk.npages t.disk
 
 let m_hits = Tdb_obs.Metric.counter "tdb_pool_hits_total"

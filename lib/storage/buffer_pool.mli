@@ -18,6 +18,11 @@ val create : ?frames:int -> Disk.t -> Io_stats.t -> t
 (** [frames] defaults to 1 and must be positive. *)
 
 val stats : t -> Io_stats.t
+
+val disk : t -> Disk.t
+(** The backing disk, so parallel scan partitions can open private pools
+    over the same pages. *)
+
 val npages : t -> int
 
 val allocate : t -> int

@@ -50,7 +50,17 @@ type t = {
   fault : Fault.t option;
   mutable epoch : int;
   mutable recovery : recovery option;
+  lock : Mutex.t;
+      (* Serializes page-level operations.  Parallel scan partitions share
+         one disk through private buffer pools; a File backend positions a
+         shared fd with lseek before reading, the Mem backend grows its
+         page array in place, and the fault plan steps its counters — all
+         unsafe to interleave across domains. *)
 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let describe t =
   match t.backend with Mem _ -> "<mem>" | File f -> f.path
@@ -151,6 +161,7 @@ let create_mem ?fault () =
     fault;
     epoch = 0;
     recovery = None;
+    lock = Mutex.create ();
   }
 
 let npages t =
@@ -175,6 +186,7 @@ let mem_store m id sealed n =
   end
 
 let allocate t =
+  locked t @@ fun () ->
   match t.backend with
   | Mem m ->
       if m.used >= Array.length m.pages then begin
@@ -199,6 +211,7 @@ let allocate t =
       id
 
 let read_page t id =
+  locked t @@ fun () ->
   check_id t id;
   let buf = fetch_page t id in
   if not (Page.check buf) then begin
@@ -212,6 +225,7 @@ let read_page t id =
   buf
 
 let write_page t id page =
+  locked t @@ fun () ->
   check_id t id;
   if Bytes.length page <> Page.size then
     invalid_arg "Disk.write_page: wrong page size";
@@ -225,6 +239,7 @@ let write_page t id page =
               if n > 0 then raw_write_page f.fd id sealed ~len:n))
 
 let truncate t =
+  locked t @@ fun () ->
   match t.backend with
   | Mem m ->
       m.pages <- [||];
@@ -345,6 +360,7 @@ let open_file ?fault ?(recover = false) path =
       fault;
       epoch = 0;
       recovery = None;
+      lock = Mutex.create ();
     }
   in
   if recover then run_recovery t ~tail_bytes:tail;

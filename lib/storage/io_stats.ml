@@ -48,6 +48,24 @@ let count_sync_write t =
    through here.  Kept for call sites that flush outside the pool. *)
 let count_write = count_sync_write
 
+(* Fold a worker partition's private stats into the owning pool's.  The
+   worker already fed the registered global counters at count time (they
+   are atomic), so only the raw per-pool counters are added here; trace
+   attribution was a no-op on the worker domain, so the folded pages are
+   charged to the current (main-domain) span now, keeping the profile
+   tree summing to the query's page total. *)
+let absorb ~into src =
+  let r = reads src and ev = eviction_writes src and sy = sync_writes src in
+  Metric.add into.r r;
+  Metric.add into.ev_w ev;
+  Metric.add into.sy_w sy;
+  for _ = 1 to r do
+    Trace.note_read ()
+  done;
+  for _ = 1 to ev + sy do
+    Trace.note_write ()
+  done
+
 let reset t =
   Metric.reset_counter t.r;
   Metric.reset_counter t.ev_w;

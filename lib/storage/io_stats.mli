@@ -32,6 +32,12 @@ val count_write : t -> unit
 
 val reset : t -> unit
 
+val absorb : into:t -> t -> unit
+(** [absorb ~into part] folds a parallel-scan partition's private stats
+    into the owning pool's counters and charges the pages to the current
+    trace span.  The registered global [tdb_io_*] counters are {e not}
+    touched: the partition already fed them at count time. *)
+
 type snapshot = { reads : int; writes : int }
 
 val snapshot : t -> snapshot

@@ -43,6 +43,14 @@ let create pool ~record_size =
     fencing = None;
   }
 
+let with_pool t pool =
+  (* A read-path clone for parallel scan partitions: same record layout,
+     same fencing tables (read-only during scans), but page I/O goes
+     through [pool] — a private, privately-counted buffer pool — so no
+     frame is shared across domains.  Fresh hints so the clone never
+     aliases the insert path's mutable state. *)
+  { t with pool; hints = Hashtbl.create 8 }
+
 (* --- time fences --- *)
 
 let enable_fences t ~stamp =

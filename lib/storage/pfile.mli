@@ -7,6 +7,14 @@
 type t
 
 val create : Buffer_pool.t -> record_size:int -> t
+
+val with_pool : t -> Buffer_pool.t -> t
+(** A read-path clone over a different buffer pool: same record layout and
+    the {e same} fencing tables (safe while nothing writes), private
+    first-fit hints.  Parallel scan partitions use one clone per worker so
+    no page frame is shared across domains and each partition's I/O is
+    counted against its own pool. *)
+
 val pool : t -> Buffer_pool.t
 val record_size : t -> int
 val capacity : t -> int

@@ -333,6 +333,43 @@ let cursor ?window t access =
   | Isam_impl i, Key_lookup key -> Isam_file.lookup_cursor ?window i key
   | Isam_impl i, Key_range { lo; hi } -> Isam_file.range_cursor ?window i ~lo ~hi
 
+(* Split a full scan into [parts] page-disjoint partitions for parallel
+   execution.  Partitioning is by contiguous ranges of the data area's
+   chain heads in scan order: heap pages have no chains (each page is its
+   own head), and hash buckets / ISAM primary pages own their overflow
+   chains outright (overflow pages are allocated per chain), so no page
+   can appear in two partitions.  Each partition reads through a private
+   1-frame buffer pool with private stats — concatenating the partitions
+   in order yields exactly the sequential cursor's rows, and summing
+   their reads yields exactly the sequential read count (a fresh 1-frame
+   pool misses on precisely the pages a fresh sequential scan misses). *)
+let scan_partitions t ~parts = max 1 (min parts (data_heads t))
+
+let partition_scan ?window t ~parts =
+  (* Dirty frames in the relation's own pool are invisible to the private
+     pools, which read the disk directly; push them down first.  On the
+     read-only query path this is a no-op. *)
+  Buffer_pool.flush t.pool;
+  let heads = data_heads t in
+  let nparts = max 1 (min parts heads) in
+  let pf = data_pf t in
+  let mk lo hi =
+    let stats = Io_stats.create () in
+    let pool = Buffer_pool.create ~frames:1 t.disk stats in
+    let pf' = Pfile.with_pool pf pool in
+    let range = Seq.init (hi - lo) (fun i -> lo + i) in
+    let cursor =
+      match t.impl with
+      | Heap_impl _ -> Cursor.of_pages ?window pf' ~pages:range
+      | Hash_impl _ | Isam_impl _ -> Cursor.of_chains ?window pf' ~heads:range
+    in
+    (cursor, stats)
+  in
+  if heads = 0 then [ (Cursor.empty, Io_stats.create ()) ]
+  else
+    List.init nparts (fun i ->
+        mk (i * heads / nparts) ((i + 1) * heads / nparts))
+
 (* Test one record's transaction period against a fixed window straight
    from its bytes, mirroring [Tuple.transaction_period] composed with
    [Period.overlaps] exactly (including the degenerate stop < start event

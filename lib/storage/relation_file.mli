@@ -62,6 +62,24 @@ val cursor : ?window:Time_fence.window -> t -> access_path -> Cursor.t
 val decode : t -> bytes -> Tdb_relation.Tuple.t
 (** Decodes one raw record yielded by {!cursor}. *)
 
+val scan_partitions : t -> parts:int -> int
+(** How many partitions {!partition_scan} would return for [parts]
+    requested (bounded by the data area's chain-head count), without
+    building them.  For planners and [\explain]. *)
+
+val partition_scan :
+  ?window:Time_fence.window -> t -> parts:int -> (Cursor.t * Io_stats.t) list
+(** Splits a full scan into at most [parts] page-disjoint partitions for
+    parallel execution: contiguous ranges of the data area's chain heads
+    in scan order (heap pages, hash buckets, ISAM primary pages — each
+    owning its overflow chain outright).  Each partition reads through a
+    private 1-frame buffer pool counted by the returned private stats;
+    the relation's own pool and stats are untouched.  Concatenating the
+    partitions in list order yields the sequential cursor's rows exactly,
+    and the partitions' summed reads (plus fence skips) equal the
+    sequential scan's.  Fold the returned stats back with
+    {!Io_stats.absorb} after the join. *)
+
 val transaction_overlaps :
   t -> (Tdb_time.Period.t -> bytes -> bool) option
 (** Tests a record's transaction period against a window straight from

@@ -190,6 +190,32 @@ let walk t ~head f =
 let scan_cursor ?window t =
   Cursor.of_pages ?window t.pf ~pages:(Seq.init (Pfile.npages t.pf) Fun.id)
 
+(* Segment-aligned partitions of the full scan: each partition owns a
+   contiguous run of whole time segments (oldest first, matching scan
+   order), so no page is shared across partitions and the concatenation
+   of partition outputs in list order is the sequential scan exactly.
+   Each partition reads through a private 1-frame pool with private
+   stats, like [Relation_file.partition_scan]. *)
+let partition_scan ?window t ~parts =
+  Buffer_pool.flush (Pfile.pool t.pf);
+  let segs = Array.of_list (List.rev t.segments) in
+  let n = Array.length segs in
+  let nparts = max 1 (min parts n) in
+  if n = 0 then [ (Cursor.empty, Tdb_storage.Io_stats.create ()) ]
+  else
+    List.init nparts (fun i ->
+        let lo = i * n / nparts and hi = ((i + 1) * n / nparts) - 1 in
+        let first = segs.(lo).first_page and last = segs.(hi).last_page in
+        let stats = Tdb_storage.Io_stats.create () in
+        let pool =
+          Buffer_pool.create ~frames:1
+            (Buffer_pool.disk (Pfile.pool t.pf))
+            stats
+        in
+        let pf' = Pfile.with_pool t.pf pool in
+        let pages = Seq.init (last - first + 1) (fun k -> first + k) in
+        (Cursor.of_pages ?window pf' ~pages, stats))
+
 let iter t f =
   Cursor.iter (scan_cursor t) (fun tid record -> f tid (fst (decode t record)))
 

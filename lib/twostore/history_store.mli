@@ -77,6 +77,17 @@ val scan_cursor :
     prefix with [Tuple.decode schema record 0].  [?window] fence-skips
     pages when the store has stamps. *)
 
+val partition_scan :
+  ?window:Tdb_storage.Time_fence.window ->
+  t ->
+  parts:int ->
+  (Tdb_storage.Cursor.t * Tdb_storage.Io_stats.t) list
+(** Splits the sequential scan into at most [parts] partitions, each a
+    contiguous run of whole time segments (oldest first) read through a
+    private 1-frame pool with private stats.  No page appears in two
+    partitions; concatenating the partitions in list order yields
+    {!scan_cursor}'s rows exactly. *)
+
 val as_of_cursor : t -> at:Tdb_time.Chronon.t -> Tdb_storage.Cursor.t
 (** Batched rollback access; {!as_of_iter} is this cursor, drained, with
     the same segment binary search, wholesale segment skips, and per-page

@@ -200,6 +200,13 @@ let scan_cursor ?window t =
       History_store.scan_cursor ?window t.history;
     ]
 
+(* Partitioned scan of both levels: the primary store's page-disjoint
+   partitions followed by the history store's segment-aligned ones.  In
+   list order this is exactly [scan_cursor]'s row order. *)
+let partition_scan ?window t ~parts =
+  Relation_file.partition_scan ?window t.primary ~parts
+  @ History_store.partition_scan ?window t.history ~parts
+
 let as_of_cursor t ~at =
   let window =
     {

@@ -72,6 +72,16 @@ val scan_cursor : ?window:Tdb_storage.Time_fence.window -> t -> Tdb_storage.Curs
 val as_of_cursor : t -> at:Tdb_time.Chronon.t -> Tdb_storage.Cursor.t
 (** Batched rollback access; {!as_of_scan} is this cursor, drained. *)
 
+val partition_scan :
+  ?window:Tdb_storage.Time_fence.window ->
+  t ->
+  parts:int ->
+  (Tdb_storage.Cursor.t * Tdb_storage.Io_stats.t) list
+(** Page-disjoint partitions spanning both levels (primary partitions
+    first, then history segments); concatenated in list order they yield
+    {!scan_cursor}'s rows exactly.  See
+    {!Tdb_storage.Relation_file.partition_scan}. *)
+
 val decode_record : t -> bytes -> Tdb_relation.Tuple.t
 (** Decodes a record from either level's cursor (history records carry a
     trailing back-pointer the decoder never reads). *)

@@ -60,6 +60,7 @@ the time dimensions the storage layer will prune on:
   tquel> plan: fence[tx,valid@"now"](scan(e))
   batch pipeline [batch=64]
     fence[tx,valid@"now"](scan(e)) -> emit
+  parallel: off (workers=1)
   tquel>
 
 Errors are reported, not fatal, but a failed statement exits non-zero

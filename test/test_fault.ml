@@ -288,6 +288,70 @@ let test_eio_read_surfaces_as_io_error () =
               Database.abandon db;
               Alcotest.fail "injected EIO did not surface as an Io error"))
 
+(* --- faults under parallel execution ---------------------------------- *)
+
+(* A read fault firing inside a worker partition must surface exactly as
+   it does sequentially: one structured Io error (exit code 4) after all
+   workers join — no hang, no crash, and no partially emitted rows. *)
+let test_fault_in_worker_partition () =
+  List.iter
+    (fun (label, fault) ->
+      with_dir (fun dir ->
+          (match Database.create ~dir () with
+          | Error e -> Alcotest.fail e
+          | Ok db ->
+              must_ok db setup_src;
+              for i = 1 to 60 do
+                must_ok db (append_src i)
+              done;
+              Database.close db);
+          match Database.create ~dir ~fault () with
+          | Error e -> Alcotest.fail e
+          | Ok db ->
+              Engine.set_parallelism (Some 4);
+              Fun.protect
+                ~finally:(fun () ->
+                  Engine.set_parallelism None;
+                  Database.abandon db)
+                (fun () ->
+                  let rel =
+                    match Database.find_relation db "emp" with
+                    | Some r -> r
+                    | None -> Alcotest.fail "emp missing"
+                  in
+                  Alcotest.(check bool)
+                    (label ^ ": scan spans several partitions")
+                    true
+                    (Tdb_storage.Relation_file.scan_partitions rel ~parts:4
+                    >= 2);
+                  let r =
+                    match
+                      Tdb_tquel.Parser.parse_statement "retrieve (e.name)"
+                    with
+                    | Ok (Tdb_tquel.Ast.Retrieve r) -> r
+                    | _ -> Alcotest.fail "parse failed"
+                  in
+                  let emitted = ref 0 in
+                  (match
+                     Tdb_query.Executor.run_retrieve ~now:(Database.now db)
+                       ~sources:[ { Tdb_query.Executor.var = "e"; rel } ]
+                       r
+                       ~on_tuple:(fun _ -> incr emitted)
+                   with
+                  | exception Tdb_error.Error (Tdb_error.Io, _) -> ()
+                  | _ ->
+                      Alcotest.fail
+                        (label ^ ": injected fault did not surface as Io"));
+                  Alcotest.(check int) (label ^ ": no partial rows") 0 !emitted;
+                  Alcotest.(check int)
+                    (label ^ ": Io maps to exit code 4")
+                    4
+                    (Tdb_error.exit_code Tdb_error.Io))))
+    [
+      ("eio", Fault.create ~eio_read_at:2 ());
+      ("short read", Fault.create ~short_read_at:2 ());
+    ]
+
 let test_exit_codes_distinct () =
   let open Tdb_error in
   let codes = List.map exit_code [ Query; Corruption; Io; Internal ] in
@@ -311,6 +375,8 @@ let suites =
           test_flipped_byte_never_served;
         Alcotest.test_case "EIO surfaces as Io" `Quick
           test_eio_read_surfaces_as_io_error;
+        Alcotest.test_case "fault inside a worker partition" `Quick
+          test_fault_in_worker_partition;
         Alcotest.test_case "exit codes" `Quick test_exit_codes_distinct;
       ] );
   ]

@@ -205,6 +205,605 @@ let test_aggregate_oracle () =
     if got <> want then Alcotest.failf "aggregate trial %d diverged on %s" trial src
   done
 
+(* ====================================================================== *)
+(* Temporal oracle: random histories over all four database types         *)
+(* (static, rollback, historical, temporal), random temporal retrieves    *)
+(* (where / when / valid / as of), checked against a naive in-memory      *)
+(* model of the TQuel update and retrieve semantics.  Every query is      *)
+(* executed through BOTH the sequential and the parallel executor, which  *)
+(* must return exactly the same rows in the same order.                   *)
+(*                                                                        *)
+(* Failures are reproducible: the report names the RNG seed (settable    *)
+(* via TDB_ORACLE_SEED) and prints the full generated statement script.  *)
+(* ====================================================================== *)
+
+module Chronon = Tdb_time.Chronon
+module Period = Tdb_time.Period
+
+let oracle_seed =
+  match Sys.getenv_opt "TDB_ORACLE_SEED" with
+  | None -> 60102
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> Alcotest.failf "TDB_ORACLE_SEED must be an integer, got %S" s)
+
+let oracle_report ~seed ~script ~query ~detail =
+  Printf.sprintf
+    "temporal oracle mismatch (replay with TDB_ORACLE_SEED=%d)\n\
+     --- generated statement script ---\n\
+     %s\
+     --- failing query ---\n\
+     %s\n\
+     --- detail ---\n\
+     %s"
+    seed script query detail
+
+(* --- the four database types of the paper --- *)
+
+type db_kind = K_static | K_rollback | K_historical | K_temporal
+
+let kind_has_valid = function K_historical | K_temporal -> true | _ -> false
+let kind_has_tx = function K_rollback | K_temporal -> true | _ -> false
+
+let create_text = function
+  | K_static -> "create tr (id = i4, amount = i4)"
+  | K_rollback -> "create persistent tr (id = i4, amount = i4)"
+  | K_historical -> "create interval tr (id = i4, amount = i4)"
+  | K_temporal -> "create persistent interval tr (id = i4, amount = i4)"
+
+(* Time literals: offsets in seconds from the session clock's base, so
+   generated valid/as-of constants straddle the statement timestamps. *)
+let t_base = Chronon.parse_exn "1980-01-01"
+let chron n = Chronon.add_seconds t_base n
+let tlit n = Chronon.to_string (chron n)
+
+(* --- the model: a list of versions mirroring the stored tuples --- *)
+
+type version = {
+  mutable m_id : int;
+  mutable m_amount : int;
+  mutable v_from : Chronon.t;  (* meaningful iff the kind has valid time *)
+  mutable v_to : Chronon.t;
+  mutable tx_from : Chronon.t; (* meaningful iff the kind has tx time *)
+  mutable tx_to : Chronon.t;
+}
+
+(* Effective periods, with the same degenerate-interval rule as
+   [Tuple.valid_period]: a stop before the start reads as an event at the
+   start. *)
+let eff_period from_ to_ =
+  if Chronon.compare to_ from_ < 0 then Period.at from_
+  else Period.make from_ to_
+
+let eff_valid v = eff_period v.v_from v.v_to
+let eff_tx v = eff_period v.tx_from v.tx_to
+
+(* --- random where clauses over the two user attributes --- *)
+
+type tfield = F_id | F_amount
+
+type twhere =
+  | W_atom of tfield * cmp * int
+  | W_and of twhere * twhere
+  | W_or of twhere * twhere
+
+let tfield_text = function F_id -> "id" | F_amount -> "amount"
+let tfield_get v = function F_id -> v.m_id | F_amount -> v.m_amount
+
+let rec twhere_text = function
+  | W_atom (f, op, k) ->
+      Printf.sprintf "t.%s %s %d" (tfield_text f) (cmp_text op) k
+  | W_and (a, b) -> Printf.sprintf "(%s and %s)" (twhere_text a) (twhere_text b)
+  | W_or (a, b) -> Printf.sprintf "(%s or %s)" (twhere_text a) (twhere_text b)
+
+let rec twhere_fn p v =
+  match p with
+  | W_atom (f, op, k) -> cmp_fn op (tfield_get v f) k
+  | W_and (a, b) -> twhere_fn a v && twhere_fn b v
+  | W_or (a, b) -> twhere_fn a v || twhere_fn b v
+
+let gen_tatom rng =
+  W_atom
+    ( (if Random.State.bool rng then F_id else F_amount),
+      List.nth [ Lt; Le; Eq; Ge; Gt; Ne ] (Random.State.int rng 6),
+      Random.State.int rng 40 )
+
+let rec gen_twhere rng depth =
+  if depth = 0 || Random.State.int rng 2 = 0 then gen_tatom rng
+  else if Random.State.bool rng then
+    W_and (gen_twhere rng (depth - 1), gen_twhere rng (depth - 1))
+  else W_or (gen_twhere rng (depth - 1), gen_twhere rng (depth - 1))
+
+(* --- random when clauses: temporal predicates over the valid period --- *)
+
+type texpr = T_var | T_const of int
+
+type twhen =
+  | T_overlap of texpr * texpr
+  | T_precede of texpr * texpr
+  | T_equal of texpr * texpr
+  | T_and of twhen * twhen
+  | T_or of twhen * twhen
+  | T_not of twhen
+
+let texpr_text = function
+  | T_var -> "t"
+  | T_const n -> Printf.sprintf "%S" (tlit n)
+
+let rec twhen_text = function
+  | T_overlap (a, b) ->
+      Printf.sprintf "%s overlap %s" (texpr_text a) (texpr_text b)
+  | T_precede (a, b) ->
+      Printf.sprintf "%s precede %s" (texpr_text a) (texpr_text b)
+  | T_equal (a, b) -> Printf.sprintf "%s equal %s" (texpr_text a) (texpr_text b)
+  | T_and (a, b) -> Printf.sprintf "(%s and %s)" (twhen_text a) (twhen_text b)
+  | T_or (a, b) -> Printf.sprintf "(%s or %s)" (twhen_text a) (twhen_text b)
+  | T_not a -> Printf.sprintf "not (%s)" (twhen_text a)
+
+let texpr_period vp = function T_var -> vp | T_const n -> Period.at (chron n)
+
+let rec twhen_fn vp = function
+  | T_overlap (a, b) -> Period.overlaps (texpr_period vp a) (texpr_period vp b)
+  | T_precede (a, b) -> Period.precede (texpr_period vp a) (texpr_period vp b)
+  | T_equal (a, b) -> Period.equal (texpr_period vp a) (texpr_period vp b)
+  | T_and (a, b) -> twhen_fn vp a && twhen_fn vp b
+  | T_or (a, b) -> twhen_fn vp a || twhen_fn vp b
+  | T_not a -> not (twhen_fn vp a)
+
+let gen_texpr rng =
+  if Random.State.bool rng then T_var else T_const (Random.State.int rng 400)
+
+let gen_twhen_atom rng =
+  let a = gen_texpr rng and b = gen_texpr rng in
+  (* All-constant predicates are legal but degenerate; mostly make the
+     tuple variable appear on one side. *)
+  let a =
+    match (a, b) with
+    | T_const _, T_const _ when Random.State.int rng 3 > 0 -> T_var
+    | _ -> a
+  in
+  match Random.State.int rng 3 with
+  | 0 -> T_overlap (a, b)
+  | 1 -> T_precede (a, b)
+  | _ -> T_equal (a, b)
+
+let rec gen_twhen rng depth =
+  if depth = 0 || Random.State.int rng 2 = 0 then gen_twhen_atom rng
+  else
+    match Random.State.int rng 3 with
+    | 0 -> T_and (gen_twhen rng (depth - 1), gen_twhen rng (depth - 1))
+    | 1 -> T_or (gen_twhen rng (depth - 1), gen_twhen rng (depth - 1))
+    | _ -> T_not (gen_twhen rng (depth - 1))
+
+(* --- random modification statements --- *)
+
+type valid_iv = { vlo : int; vhi : int }  (* ordered offsets *)
+
+let gen_valid_iv rng =
+  let a = Random.State.int rng 400 and b = Random.State.int rng 400 in
+  { vlo = min a b; vhi = max a b }
+
+let valid_iv_text { vlo; vhi } =
+  Printf.sprintf " valid from %S to %S" (tlit vlo) (tlit vhi)
+
+type op =
+  | Op_append of { id : int; amount : int; valid : valid_iv option }
+  | Op_delete of { where : twhere option; when_ : twhen option }
+  | Op_replace of {
+      new_id : int option;
+      new_amount : int;
+      valid : valid_iv option;
+      where : twhere option;
+      when_ : twhen option;
+    }
+
+let where_text = function Some w -> " where " ^ twhere_text w | None -> ""
+let when_text = function Some p -> " when " ^ twhen_text p | None -> ""
+
+let op_text = function
+  | Op_append { id; amount; valid } ->
+      Printf.sprintf "append to tr (id = %d, amount = %d)%s" id amount
+        (match valid with Some iv -> valid_iv_text iv | None -> "")
+  | Op_delete { where; when_ } ->
+      "delete t" ^ where_text where ^ when_text when_
+  | Op_replace { new_id; new_amount; valid; where; when_ } ->
+      Printf.sprintf "replace t (%samount = %d)%s%s%s"
+        (match new_id with
+        | Some i -> Printf.sprintf "id = %d, " i
+        | None -> "")
+        new_amount
+        (match valid with Some iv -> valid_iv_text iv | None -> "")
+        (where_text where) (when_text when_)
+
+let gen_append rng kind =
+  Op_append
+    {
+      id = Random.State.int rng 9;
+      amount = Random.State.int rng 35;
+      valid =
+        (if kind_has_valid kind && Random.State.int rng 10 < 6 then
+           Some (gen_valid_iv rng)
+         else None);
+    }
+
+(* [allow_id_change] is false on keyed organizations: a static in-place
+   replace of the key attribute would strand the tuple in its old bucket,
+   which is outside what these histories mean to exercise. *)
+let gen_op rng kind ~allow_id_change =
+  match Random.State.int rng 4 with
+  | 0 | 1 -> gen_append rng kind
+  | 2 ->
+      Op_delete
+        {
+          where =
+            (if Random.State.int rng 10 < 8 then Some (gen_twhere rng 1)
+             else None);
+          when_ =
+            (if kind_has_valid kind && Random.State.int rng 10 < 4 then
+               Some (gen_twhen rng 1)
+             else None);
+        }
+  | _ ->
+      Op_replace
+        {
+          new_id =
+            (if allow_id_change && Random.State.int rng 4 = 0 then
+               Some (Random.State.int rng 9)
+             else None);
+          new_amount = Random.State.int rng 35;
+          valid =
+            (if kind_has_valid kind && Random.State.int rng 10 < 4 then
+               Some (gen_valid_iv rng)
+             else None);
+          where =
+            (if Random.State.int rng 10 < 8 then Some (gen_twhere rng 1)
+             else None);
+          when_ =
+            (if kind_has_valid kind && Random.State.int rng 10 < 3 then
+               Some (gen_twhen rng 1)
+             else None);
+        }
+
+(* --- applying a modification to the model (mirrors update_executor) --- *)
+
+let modifiable kind ~now v =
+  ((not (kind_has_tx kind)) || Chronon.is_forever v.tx_to)
+  && ((not (kind_has_valid kind)) || Chronon.compare now v.v_to < 0)
+
+let op_qualifies kind ~now ~where ~when_ v =
+  modifiable kind ~now v
+  && (match where with Some w -> twhere_fn w v | None -> true)
+  && match when_ with Some p -> twhen_fn (eff_valid v) p | None -> true
+
+let apply_op kind model ~now op =
+  match op with
+  | Op_append { id; amount; valid } ->
+      let v_from, v_to =
+        match valid with
+        | Some { vlo; vhi } when kind_has_valid kind -> (chron vlo, chron vhi)
+        | _ -> (now, Chronon.forever)
+      in
+      model :=
+        !model
+        @ [ { m_id = id; m_amount = amount; v_from; v_to; tx_from = now;
+              tx_to = Chronon.forever } ]
+  | Op_delete { where; when_ } -> (
+      let victims = List.filter (op_qualifies kind ~now ~where ~when_) !model in
+      match kind with
+      | K_static ->
+          model := List.filter (fun v -> not (List.memq v victims)) !model
+      | K_rollback -> List.iter (fun v -> v.tx_to <- now) victims
+      | K_historical -> List.iter (fun v -> v.v_to <- now) victims
+      | K_temporal ->
+          List.iter
+            (fun v ->
+              v.tx_to <- now;
+              model :=
+                !model
+                @ [ { m_id = v.m_id; m_amount = v.m_amount; v_from = v.v_from;
+                      v_to = now; tx_from = now; tx_to = Chronon.forever } ])
+            victims)
+  | Op_replace { new_id; new_amount; valid; where; when_ } ->
+      let victims = List.filter (op_qualifies kind ~now ~where ~when_) !model in
+      let fresh_valid () =
+        match valid with
+        | Some { vlo; vhi } when kind_has_valid kind -> (chron vlo, chron vhi)
+        | _ -> (now, Chronon.forever)
+      in
+      List.iter
+        (fun v ->
+          let id = match new_id with Some i -> i | None -> v.m_id in
+          match kind with
+          | K_static ->
+              v.m_id <- id;
+              v.m_amount <- new_amount
+          | K_rollback ->
+              v.tx_to <- now;
+              model :=
+                !model
+                @ [ { m_id = id; m_amount = new_amount; v_from = now;
+                      v_to = Chronon.forever; tx_from = now;
+                      tx_to = Chronon.forever } ]
+          | K_historical ->
+              v.v_to <- now;
+              let v_from, v_to = fresh_valid () in
+              model :=
+                !model
+                @ [ { m_id = id; m_amount = new_amount; v_from; v_to;
+                      tx_from = now; tx_to = Chronon.forever } ]
+          | K_temporal ->
+              v.tx_to <- now;
+              model :=
+                !model
+                @ [ { m_id = v.m_id; m_amount = v.m_amount; v_from = v.v_from;
+                      v_to = now; tx_from = now; tx_to = Chronon.forever } ];
+              let v_from, v_to = fresh_valid () in
+              model :=
+                !model
+                @ [ { m_id = id; m_amount = new_amount; v_from; v_to;
+                      tx_from = now; tx_to = Chronon.forever } ])
+        victims
+
+(* --- random retrieves --- *)
+
+type qvalid = QV_interval of int * int (* may be reversed *) | QV_event of int
+
+type oquery = {
+  q_where : twhere option;
+  q_when : twhen option;
+  q_valid : qvalid option;
+  q_as_of : (int * int option) option;
+}
+
+let query_text q =
+  "retrieve (t.id, t.amount)"
+  ^ (match q.q_valid with
+    | Some (QV_interval (a, b)) ->
+        Printf.sprintf " valid from %S to %S" (tlit a) (tlit b)
+    | Some (QV_event a) -> Printf.sprintf " valid at %S" (tlit a)
+    | None -> "")
+  ^ where_text q.q_where ^ when_text q.q_when
+  ^
+  match q.q_as_of with
+  | Some (a, None) -> Printf.sprintf " as of %S" (tlit a)
+  | Some (a, Some b) ->
+      Printf.sprintf " as of %S through %S" (tlit a) (tlit b)
+  | None -> ""
+
+(* The model's answer, mirroring the executor: the as-of window filters on
+   the transaction period (default window: the event at [now]); where and
+   when filter on user values and the valid period; an explicit valid
+   clause replaces the implicit time columns (a reversed interval drops
+   the row); the default time columns are the valid period rendered as
+   [from, exclusive end). *)
+let model_rows kind model ~now q =
+  let window =
+    match q.q_as_of with
+    | None -> Period.at now
+    | Some (a, None) -> Period.at (chron a)
+    | Some (a, Some b) -> Period.make (chron a) (Chronon.succ (chron b))
+  in
+  List.filter_map
+    (fun v ->
+      let tx_ok =
+        (not (kind_has_tx kind)) || Period.overlaps (eff_tx v) window
+      in
+      let where_ok =
+        match q.q_where with Some w -> twhere_fn w v | None -> true
+      in
+      let when_ok =
+        match q.q_when with Some p -> twhen_fn (eff_valid v) p | None -> true
+      in
+      if not (tx_ok && where_ok && when_ok) then None
+      else
+        let user = [ Value.Int v.m_id; Value.Int v.m_amount ] in
+        match q.q_valid with
+        | Some (QV_event a) -> Some (user @ [ Value.Time (chron a) ])
+        | Some (QV_interval (a, b)) ->
+            if b < a then None (* interval ends before it starts: dropped *)
+            else Some (user @ [ Value.Time (chron a); Value.Time (chron b) ])
+        | None ->
+            if kind_has_valid kind then
+              let p = eff_valid v in
+              let from_ = Period.from_ p in
+              let to_ =
+                if Period.is_event p then Chronon.succ from_ else Period.to_ p
+              in
+              Some (user @ [ Value.Time from_; Value.Time to_ ])
+            else Some user)
+    !model
+
+let render_row row = String.concat " | " (List.map Value.to_string row)
+
+(* Run one retrieve through both executor paths.  The rows are compared as
+   rendered strings so a mismatch report is directly readable. *)
+let run_both db src =
+  let rows () =
+    match Engine.execute_one db src with
+    | Ok (Engine.Rows { tuples; _ }) ->
+        Ok
+          (List.map (fun tu -> render_row (Array.to_list tu)) tuples)
+    | Ok _ -> Error "expected rows"
+    | Error e -> Error ("engine error: " ^ e)
+  in
+  Engine.set_parallelism (Some 1);
+  let seq = rows () in
+  Engine.set_parallelism (Some 4);
+  let par = rows () in
+  Engine.set_parallelism (Some 1);
+  (seq, par)
+
+let verify_rows ~seq ~par ~model_rows =
+  match (seq, par) with
+  | (Error e, _ | _, Error e) -> Error e
+  | Ok seq, Ok par ->
+      if seq <> par then
+        Error
+          (Printf.sprintf
+             "sequential and parallel executors disagree:\n\
+              sequential (%d rows):\n%s\nparallel (%d rows):\n%s"
+             (List.length seq)
+             (String.concat "\n" seq)
+             (List.length par)
+             (String.concat "\n" par))
+      else
+        let got = List.sort compare seq
+        and want = List.sort compare model_rows in
+        if got <> want then
+          Error
+            (Printf.sprintf
+               "engine disagrees with the model:\n\
+                engine (%d rows):\n%s\nmodel (%d rows):\n%s"
+               (List.length got)
+               (String.concat "\n" got)
+               (List.length want)
+               (String.concat "\n" want))
+        else Ok ()
+
+let test_temporal_oracle () =
+  let rng = Random.State.make [| oracle_seed |] in
+  let seen_where = ref 0 and seen_when = ref 0 in
+  let seen_valid = ref 0 and seen_as_of = ref 0 in
+  let kinds =
+    List.concat_map
+      (fun k -> [ k; k; k; k ])
+      [ K_static; K_rollback; K_historical; K_temporal ]
+  in
+  Fun.protect ~finally:(fun () -> Engine.set_parallelism None) @@ fun () ->
+  List.iteri
+    (fun trial kind ->
+      let db = ok (Database.create ()) in
+      let script = Buffer.create 4096 in
+      let model = ref [] in
+      let fail_with ~query detail =
+        Alcotest.fail
+          (oracle_report ~seed:oracle_seed ~script:(Buffer.contents script)
+             ~query ~detail)
+      in
+      let exec_stmt s =
+        Buffer.add_string script s;
+        Buffer.add_char script '\n';
+        match Engine.execute_one db s with
+        | Ok _ -> ()
+        | Error e -> fail_with ~query:s ("statement failed: " ^ e)
+      in
+      let run_op op =
+        exec_stmt (op_text op);
+        (* Modifications tick the clock before executing, so reading the
+           clock afterwards gives the [now] the statement used. *)
+        apply_op kind model ~now:(Database.now db) op
+      in
+      exec_stmt (create_text kind);
+      exec_stmt "range of t is tr";
+      let allow_id_change = trial mod 3 = 0 in
+      for _ = 1 to 60 + Random.State.int rng 60 do
+        run_op (gen_append rng kind)
+      done;
+      (match trial mod 3 with
+      | 1 -> exec_stmt "modify tr to hash on id where fillfactor = 50"
+      | 2 -> exec_stmt "modify tr to isam on id where fillfactor = 80"
+      | _ -> ());
+      for _ = 1 to 10 + Random.State.int rng 10 do
+        run_op (gen_op rng kind ~allow_id_change)
+      done;
+      for _ = 1 to 8 do
+        let q =
+          {
+            q_where =
+              (if Random.State.int rng 10 < 6 then begin
+                 incr seen_where;
+                 Some (gen_twhere rng 2)
+               end
+               else None);
+            q_when =
+              (if kind_has_valid kind && Random.State.int rng 2 = 0 then begin
+                 incr seen_when;
+                 Some (gen_twhen rng 1)
+               end
+               else None);
+            q_valid =
+              (if Random.State.int rng 10 < 4 then begin
+                 incr seen_valid;
+                 if Random.State.int rng 4 = 0 then
+                   Some (QV_event (Random.State.int rng 400))
+                 else
+                   let a = Random.State.int rng 400
+                   and b = Random.State.int rng 400 in
+                   let lo = min a b and hi = max a b in
+                   if Random.State.int rng 5 = 0 && lo < hi then
+                     Some (QV_interval (hi, lo))
+                   else Some (QV_interval (lo, hi))
+               end
+               else None);
+            q_as_of =
+              (if kind_has_tx kind && Random.State.int rng 2 = 0 then begin
+                 incr seen_as_of;
+                 let a = Random.State.int rng 120 in
+                 if Random.State.bool rng then Some (a, None)
+                 else Some (a, Some (a + Random.State.int rng 60))
+               end
+               else None);
+          }
+        in
+        let src = query_text q in
+        Buffer.add_string script src;
+        Buffer.add_char script '\n';
+        let seq, par = run_both db src in
+        let want =
+          List.map render_row (model_rows kind model ~now:(Database.now db) q)
+        in
+        match verify_rows ~seq ~par ~model_rows:want with
+        | Ok () -> ()
+        | Error detail -> fail_with ~query:src detail
+      done)
+    kinds;
+  (* The run must actually have covered all four clause kinds. *)
+  List.iter
+    (fun (name, n) ->
+      if !n = 0 then
+        Alcotest.failf "oracle never generated a %s clause (seed %d)" name
+          oracle_seed)
+    [ ("where", seen_where); ("when", seen_when); ("valid", seen_valid);
+      ("as of", seen_as_of) ]
+
+let test_oracle_mismatch_reporting () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  (* A forced sequential/parallel divergence surfaces through the same
+     reporting path the oracle uses, naming the seed and the script. *)
+  let detail =
+    match
+      verify_rows ~seq:(Ok [ "1 | 2" ]) ~par:(Ok [ "1 | 3" ])
+        ~model_rows:[ "1 | 2" ]
+    with
+    | Error d -> d
+    | Ok () -> Alcotest.fail "expected a mismatch"
+  in
+  let report =
+    oracle_report ~seed:4321 ~script:"append to tr (id = 1, amount = 2)\n"
+      ~query:"retrieve (t.id, t.amount)" ~detail
+  in
+  Alcotest.(check bool) "report names the seed" true
+    (contains report "TDB_ORACLE_SEED=4321");
+  Alcotest.(check bool) "report carries the script" true
+    (contains report "append to tr (id = 1, amount = 2)");
+  Alcotest.(check bool) "report carries the failing query" true
+    (contains report "retrieve (t.id, t.amount)");
+  Alcotest.(check bool) "report explains the divergence" true
+    (contains report "disagree");
+  (* A forced model divergence is reported too. *)
+  match
+    verify_rows ~seq:(Ok [ "1 | 2" ]) ~par:(Ok [ "1 | 2" ]) ~model_rows:[]
+  with
+  | Error d ->
+      Alcotest.(check bool) "model mismatch mentions the model" true
+        (contains d "model")
+  | Ok () -> Alcotest.fail "expected a model mismatch"
+
 let suites =
   [
     ( "oracle",
@@ -214,5 +813,9 @@ let suites =
         Alcotest.test_case "joins under every plan" `Quick test_join_oracle;
         Alcotest.test_case "range probes" `Quick test_range_oracle;
         Alcotest.test_case "aggregates" `Quick test_aggregate_oracle;
+        Alcotest.test_case "temporal histories, both executors" `Quick
+          test_temporal_oracle;
+        Alcotest.test_case "mismatch reports are reproducible" `Quick
+          test_oracle_mismatch_reporting;
       ] );
   ]

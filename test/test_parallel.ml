@@ -1,0 +1,124 @@
+(* Parallel query execution under concurrency.
+
+   Two properties guard the domain-pool executor:
+   - single caller: every paper query returns bit-identical rows through
+     the parallel executor, and the worker-private I/O counters folded on
+     join add up to exactly the sequential cold-pool read counts;
+   - many callers: N domains each running the full Q01..Q12 mix against
+     the same engine complete cleanly and every query's rows stay
+     bit-identical to the sequential baseline. *)
+
+module Workload = Tdb_benchkit.Workload
+module Evolve = Tdb_benchkit.Evolve
+module Paper_queries = Tdb_benchkit.Paper_queries
+module Engine = Tdb_core.Engine
+module Database = Tdb_core.Database
+module Executor = Tdb_query.Executor
+module Relation_file = Tdb_storage.Relation_file
+module Buffer_pool = Tdb_storage.Buffer_pool
+module Value = Tdb_relation.Value
+
+let render_rows tuples =
+  List.map
+    (fun tu -> String.concat "|" (Array.to_list (Array.map Value.to_string tu)))
+    tuples
+
+let evolved_temporal () =
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:23 in
+  for round = 1 to 2 do
+    Evolve.uniform_round w ~round
+  done;
+  w
+
+(* Drop every cached frame so both executors start from a cold pool and
+   their read counts are comparable. *)
+let chill (w : Workload.t) =
+  let db = w.Workload.db in
+  List.iter
+    (fun name ->
+      match Database.find_relation db name with
+      | Some rel -> Buffer_pool.invalidate (Relation_file.pool rel)
+      | None -> ())
+    (Database.relation_names db)
+
+let queries () =
+  List.filter_map
+    (fun qid ->
+      Option.map
+        (fun src -> (Paper_queries.name qid, src))
+        (Paper_queries.text qid Workload.Temporal))
+    Paper_queries.all
+
+let run_query (w : Workload.t) src =
+  Database.reset_io w.Workload.db;
+  match Engine.execute w.Workload.db src with
+  | Ok [ Engine.Rows { tuples; io; _ } ] ->
+      (render_rows tuples, io.Executor.input_reads)
+  | Ok _ -> Alcotest.failf "expected a single retrieve: %s" src
+  | Error e -> Alcotest.failf "query failed (%s): %s" e src
+
+let test_parallel_matches_sequential () =
+  let w = evolved_temporal () in
+  Fun.protect ~finally:(fun () -> Engine.set_parallelism None) @@ fun () ->
+  List.iter
+    (fun (name, src) ->
+      Engine.set_parallelism (Some 1);
+      chill w;
+      let rows_seq, reads_seq = run_query w src in
+      Engine.set_parallelism (Some 4);
+      chill w;
+      let rows_par, reads_par = run_query w src in
+      Alcotest.(check bool)
+        (name ^ ": identical rows") true
+        (rows_seq = rows_par);
+      Alcotest.(check int)
+        (name ^ ": folded reads match sequential")
+        reads_seq reads_par)
+    (queries ())
+
+let test_domain_stress () =
+  let w = evolved_temporal () in
+  let qs = Array.of_list (queries ()) in
+  let n = Array.length qs in
+  Fun.protect ~finally:(fun () -> Engine.set_parallelism None) @@ fun () ->
+  Engine.set_parallelism (Some 1);
+  let baseline =
+    Array.to_list
+      (Array.map (fun (name, src) -> (name, fst (run_query w src))) qs)
+  in
+  (* Workers > 1 so the stress domains also fan out scans internally. *)
+  Engine.set_parallelism (Some 2);
+  (* Each domain walks the mix from its own offset, maximizing statement
+     interleaving; results come back as data so all assertions run on the
+     test's own domain. *)
+  let run_mix k =
+    List.init n (fun i ->
+        let name, src = qs.((i + k) mod n) in
+        match Engine.execute w.Workload.db src with
+        | Ok [ Engine.Rows { tuples; _ } ] -> (name, render_rows tuples)
+        | Ok _ -> (name, [ "unexpected outcome" ])
+        | Error e -> (name, [ "error: " ^ e ]))
+  in
+  let spawned = List.init 4 (fun k -> Domain.spawn (fun () -> run_mix (k + 1))) in
+  let results = run_mix 0 :: List.map Domain.join spawned in
+  List.iteri
+    (fun d per_domain ->
+      List.iter
+        (fun (name, rows) ->
+          let want = List.assoc name baseline in
+          Alcotest.(check bool)
+            (Printf.sprintf "domain %d, %s: rows identical to sequential" d name)
+            true (rows = want))
+        per_domain)
+    results
+
+let suites =
+  [
+    ( "parallel",
+      [
+        Alcotest.test_case "paper queries: parallel = sequential" `Quick
+          test_parallel_matches_sequential;
+        Alcotest.test_case "domain stress: concurrent Q01..Q12 mix" `Quick
+          test_domain_stress;
+      ] );
+  ]
