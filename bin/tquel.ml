@@ -117,7 +117,7 @@ let help () =
      Prefix any input with 'profile' to print its operator trace tree:\n\
     \  profile retrieve (e.name) when e overlap \"now\";\n\
      Meta commands: \\q quit, \\l relations, \\ranges, \\timing, \\clock,\n\
-    \  \\advance N, \\metrics [json|reset], \\explain STMT, \\help\n\
+    \  \\advance N, \\metrics [json|reset], \\explain STMT, \\recoveries, \\help\n\
      \\explain shows a retrieve's plan (fence[...] marks temporal pruning)\n\
      without running it.\n"
 
@@ -178,6 +178,24 @@ let meta db line =
   | [ "\\explain" ] ->
       print_endline "usage: \\explain RETRIEVE-STATEMENT";
       `Continue
+  | [ "\\recoveries" ] ->
+      let page_level = Database.recoveries db in
+      let journal = Database.journal_recovery db in
+      if page_level = [] && journal = None then
+        print_endline "(no recovery was needed when this database was opened)"
+      else begin
+        Option.iter
+          (fun r ->
+            Printf.printf "journal: %s\n"
+              (Format.asprintf "%a" Tdb_storage.Journal.pp_report r))
+          journal;
+        List.iter
+          (fun (name, r) ->
+            Printf.printf "relation %s: %s\n" name
+              (Format.asprintf "%a" Disk.pp_recovery r))
+          page_level
+      end;
+      `Continue
   | [ "\\help" ] | [ "\\h" ] | [ "\\?" ] ->
       help ();
       `Continue
@@ -211,6 +229,12 @@ let repl db =
   loop ()
 
 let warn_recoveries db =
+  Option.iter
+    (fun r ->
+      Printf.eprintf
+        "notice: journal recovery ran: %s (details: \\recoveries)\n%!"
+        (Format.asprintf "%a" Tdb_storage.Journal.pp_report r))
+    (Database.journal_recovery db);
   List.iter
     (fun (name, r) ->
       Printf.eprintf "warning: recovered relation %s: %s\n%!" name

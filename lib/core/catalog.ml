@@ -83,12 +83,12 @@ let decode_entry line =
                   Ok { name; db_type; attrs; meta })))
   | _ -> Error (Printf.sprintf "bad catalog line %S" line)
 
-let save ~path entries =
+let save ?fault ~path entries =
   (* Atomically: the catalog is the database's identity — a crash during
      an in-place rewrite would orphan every relation. *)
   let buf = Buffer.create 256 in
   List.iter (fun e -> Buffer.add_string buf (encode_entry e ^ "\n")) entries;
-  Tdb_storage.Atomic_file.write ~path ~content:(Buffer.contents buf)
+  Tdb_storage.Atomic_file.write ?fault ~path (Buffer.contents buf)
 
 let load ~path =
   if not (Sys.file_exists path) then Ok []

@@ -21,6 +21,9 @@ val encode_entry : entry -> string
 
 val decode_entry : string -> (entry, string) result
 
-val save : path:string -> entry list -> unit
+val save : ?fault:Tdb_storage.Fault.t -> path:string -> entry list -> unit
+(** Atomic replacement; [fault] threads the database's fault plan through
+    the atomic writer's crash windows. *)
+
 val load : path:string -> (entry list, string) result
 (** An absent file is an empty catalog. *)

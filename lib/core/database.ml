@@ -5,6 +5,7 @@ module Io_stats = Tdb_storage.Io_stats
 module Disk = Tdb_storage.Disk
 module Fault = Tdb_storage.Fault
 module Atomic_file = Tdb_storage.Atomic_file
+module Journal = Tdb_storage.Journal
 module Clock = Tdb_time.Clock
 module Semck = Tdb_tquel.Semck
 
@@ -15,6 +16,11 @@ type t = {
   relations : (string, Relation_file.t) Hashtbl.t;
   mutable range_decls : (string * string) list;
   mutable recoveries : (string * Disk.recovery) list;
+  journal : Journal.t option;
+      (* the statement journal; present exactly when the database is
+         file-backed and journalling was not disabled *)
+  journal_recovery : Journal.report option;
+      (* what the journal replay found at open, if anything *)
 }
 
 let norm = Schema.norm_name
@@ -25,10 +31,9 @@ let pages_path dir name = Filename.concat dir (name ^ ".pages")
 (* The clock must persist: a reopened database may never stamp earlier
    than its existing data.  Written atomically — a torn clock would
    otherwise reset the whole database's notion of "now". *)
-let save_clock dir clock =
-  Atomic_file.write ~path:(clock_path dir)
-    ~content:
-      (string_of_int (Tdb_time.Chronon.to_seconds (Clock.now clock)))
+let save_clock ?fault dir clock =
+  Atomic_file.write ?fault ~path:(clock_path dir)
+    (string_of_int (Tdb_time.Chronon.to_seconds (Clock.now clock)))
 
 let load_clock dir =
   if not (Sys.file_exists (clock_path dir)) then None
@@ -58,11 +63,55 @@ let entries t =
 let save_catalog t =
   match t.dir with
   | None -> ()
-  | Some dir -> Catalog.save ~path:(catalog_path dir) (entries t)
+  | Some dir -> Catalog.save ?fault:t.fault ~path:(catalog_path dir) (entries t)
 
-let create ?dir ?fault ?start () =
+(* Journalling is on for file-backed databases unless disabled by the
+   [journal] argument or TDB_JOURNAL=0 in the environment (the bench's
+   on/off comparison uses the former). *)
+let journal_wanted journal =
+  match journal with
+  | Some b -> b
+  | None -> (
+      match Sys.getenv_opt "TDB_JOURNAL" with
+      | Some ("0" | "false" | "off") -> false
+      | _ -> true)
+
+(* A journal replay can make statements durable that ran after the last
+   clock save: their stamps are ahead of the persisted clock, and a
+   session that resumed from the stale clock could re-issue chronons
+   that already appear in the data (or silently hide the replayed
+   versions from as-of-now queries).  After a replay, advance the clock
+   past every finite stamp stored in the data. *)
+let bump_clock_past_stamps t =
+  Hashtbl.iter
+    (fun _ rel ->
+      let schema = Relation_file.schema rel in
+      let idxs =
+        List.filter_map
+          (fun f -> f schema)
+          [
+            Schema.transaction_start_index;
+            Schema.transaction_stop_index;
+            Schema.valid_from_index;
+            Schema.valid_to_index;
+          ]
+      in
+      if idxs <> [] then
+        Relation_file.scan rel (fun _ tu ->
+            List.iter
+              (fun i ->
+                match tu.(i) with
+                | Tdb_relation.Value.Time c
+                  when (not (Tdb_time.Chronon.is_forever c))
+                       && Tdb_time.Chronon.compare c (Clock.now t.clock) > 0 ->
+                    Clock.set t.clock c
+                | _ -> ())
+              idxs))
+    t.relations
+
+let create ?dir ?fault ?journal ?start () =
   let clock = Clock.create ?start () in
-  let t =
+  let fresh ?j ?jr () =
     {
       dir;
       fault;
@@ -70,10 +119,12 @@ let create ?dir ?fault ?start () =
       relations = Hashtbl.create 16;
       range_decls = [];
       recoveries = [];
+      journal = j;
+      journal_recovery = jr;
     }
   in
   match dir with
-  | None -> Ok t
+  | None -> Ok (fresh ())
   | Some dir -> (
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
       if not (Sys.is_directory dir) then
@@ -82,6 +133,19 @@ let create ?dir ?fault ?start () =
         match Catalog.load ~path:(catalog_path dir) with
         | Error e -> Error (Printf.sprintf "corrupt catalog: %s" e)
         | Ok es ->
+            (* Statement recovery first, on the raw files: committed
+               statements are replayed, uncommitted ones rolled back, so
+               the per-file validation below sees page images exactly on
+               a statement boundary.  This runs even when journalling is
+               disabled for the new session — a journal left by an
+               earlier crashed process must still be honoured. *)
+            let jr = Journal.recover ~dir in
+            let j =
+              if journal_wanted journal then
+                Some (Journal.open_ ~dir ?fault ())
+              else None
+            in
+            let t = fresh ?j ?jr () in
             (match load_clock dir with
             | Some persisted
               when Tdb_time.Chronon.compare persisted (Clock.now clock) > 0 ->
@@ -102,12 +166,21 @@ let create ?dir ?fault ?start () =
                 | Some r when Disk.recovery_repaired r ->
                     t.recoveries <- (e.Catalog.name, r) :: t.recoveries
                 | _ -> ());
+                Option.iter (Relation_file.set_journal rel) t.journal;
                 Hashtbl.replace t.relations e.Catalog.name rel)
               es;
+            (match jr with
+            | Some r when r.Journal.replayed > 0 -> bump_clock_past_stamps t
+            | _ -> ());
             t.recoveries <- List.rev t.recoveries;
             Ok t)
 
 let recoveries t = t.recoveries
+let journal_recovery t = t.journal_recovery
+let journaling t = t.journal <> None
+
+let begin_statement t = Option.iter Journal.begin_statement t.journal
+let commit_statement t = Option.iter Journal.commit_statement t.journal
 
 let clock t = t.clock
 let now t = Clock.now t.clock
@@ -125,6 +198,8 @@ let create_relation t ~name schema =
       | Some dir -> `File (pages_path dir name)
     in
     let rel = Relation_file.create ~backing ?fault:t.fault ~name ~schema () in
+    (if t.dir <> None then
+       Option.iter (Relation_file.set_journal rel) t.journal);
     Hashtbl.replace t.relations name rel;
     save_catalog t;
     Ok rel
@@ -150,6 +225,7 @@ let destroy_relation t name =
   | None -> Error (Printf.sprintf "relation %S does not exist" name)
   | Some rel ->
       Relation_file.close rel;
+      Option.iter (fun j -> Journal.unregister_file j ~file:name) t.journal;
       Hashtbl.remove t.relations name;
       t.range_decls <-
         List.filter (fun (_, r) -> r <> name) t.range_decls;
@@ -202,19 +278,28 @@ let semck_env t =
 
 let sync t =
   (* Data pages first (flush + fsync + epoch bump), then the metadata that
-     describes them, each file replaced atomically. *)
+     describes them, each file replaced atomically.  Once everything below
+     the journal is durable the journal itself can be truncated — unless a
+     statement is still open (copy-from syncs mid-statement), in which
+     case [Journal.checkpoint] refuses and the journal keeps its undo
+     information. *)
   Hashtbl.iter (fun _ rel -> Relation_file.sync rel) t.relations;
   save_catalog t;
-  match t.dir with None -> () | Some dir -> save_clock dir t.clock
+  (match t.dir with
+  | None -> ()
+  | Some dir -> save_clock ?fault:t.fault dir t.clock);
+  Option.iter Journal.checkpoint t.journal
 
 let close t =
   sync t;
   Hashtbl.iter (fun _ rel -> Relation_file.close rel) t.relations;
-  Hashtbl.reset t.relations
+  Hashtbl.reset t.relations;
+  Option.iter Journal.close t.journal
 
 let abandon t =
   Hashtbl.iter (fun _ rel -> Relation_file.abandon rel) t.relations;
-  Hashtbl.reset t.relations
+  Hashtbl.reset t.relations;
+  Option.iter Journal.abandon t.journal
 
 let reset_io t =
   Hashtbl.iter

@@ -12,6 +12,7 @@ type t
 val create :
   ?dir:string ->
   ?fault:Tdb_storage.Fault.t ->
+  ?journal:bool ->
   ?start:Tdb_time.Chronon.t ->
   unit ->
   (t, string) result
@@ -19,19 +20,53 @@ val create :
     already holds a catalog).  [start] sets the clock's origin for fresh
     databases (default 1980-01-01, as in the paper's benchmark).
 
-    Reopening runs a recovery pass over every relation file: checksums are
+    Opening a file-backed database first replays its write-ahead journal,
+    if one was left behind by a crashed session: committed statements are
+    rolled forward, the uncommitted one (there is at most one — statements
+    are serialized) rolled back, so the data files land exactly on a
+    statement boundary.  The replay's findings are reported by
+    {!journal_recovery}.
+
+    Then a recovery pass runs over every relation file: checksums are
     validated, torn tails truncated, dangling overflow pointers cleared;
     what was repaired is reported by {!recoveries}.  Damage that cannot be
     repaired (a checksum failure that is not a torn tail, a file shorter
     than its catalog accounting) raises {!Tdb_error.Error}
     with class [Corruption].
 
+    [journal] controls whether this session writes the journal (default:
+    on for file-backed databases unless [TDB_JOURNAL] is [0], [false] or
+    [off] in the environment; always off for in-memory databases).
+    Recovery of an existing journal happens regardless — a journal left
+    by an earlier crash must be honoured even by a non-journalling
+    session.
+
     [fault] attaches a deterministic fault-injection plan to every
     relation file opened by this database — the crash-consistency
-    harness's entry point. *)
+    harness's entry point.  The plan also covers journal writes and the
+    atomic catalog/clock replacement windows. *)
 
 val recoveries : t -> (string * Tdb_storage.Disk.recovery) list
 (** Relations whose backing file needed repair at open, oldest first. *)
+
+val journal_recovery : t -> Tdb_storage.Journal.report option
+(** What the journal replay at open found, if a journal with statements
+    was present. *)
+
+val journaling : t -> bool
+(** Whether this session writes the statement journal. *)
+
+val begin_statement : t -> unit
+(** Marks the start of a mutating statement in the journal (no-op without
+    one).  An unfinished previous statement is committed first.  Called
+    by the engine around every mutating statement; exposed for harnesses
+    that drive the storage layer directly. *)
+
+val commit_statement : t -> unit
+(** Makes the current statement's effects durable: post-images and final
+    extents are journalled, then the journal is fsynced.  The statement's
+    effects survive any later crash; without the matching call, a crash
+    rolls them back. *)
 
 val clock : t -> Tdb_time.Clock.t
 val now : t -> Tdb_time.Chronon.t

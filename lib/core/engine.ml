@@ -313,16 +313,45 @@ let statement_kind = function
   | Ast.Delete _ -> "delete"
   | Ast.Replace _ -> "replace"
 
+(* Does this statement write stored pages?  These run inside a journal
+   statement so a crash mid-way rolls their page writes back to the
+   statement boundary.  Catalog-only statements (range, create, destroy)
+   rely on the atomic catalog replacement instead. *)
+let mutates = function
+  | Ast.Append _ | Ast.Delete _ | Ast.Replace _ | Ast.Modify _ -> true
+  | Ast.Copy { direction = Ast.Copy_from; _ } -> true
+  | Ast.Retrieve { into = Some _; _ } -> true
+  | Ast.Range _ | Ast.Create _ | Ast.Destroy _
+  | Ast.Copy { direction = Ast.Copy_into; _ }
+  | Ast.Retrieve { into = None; _ } ->
+      false
+
+(* Bracket a mutating statement with the journal's begin/commit.  Commit
+   happens on any normal return — including [Error]: a failed statement
+   may already have made page writes (the executors have no undo of
+   their own), and those in-memory effects must stay durable so the
+   stored state matches what a reader of this session sees.  Exceptions
+   (injected crashes, real I/O failures) skip the commit deliberately:
+   recovery rolls the half-statement back. *)
+let execute_journaled db stmt =
+  if mutates stmt then begin
+    Database.begin_statement db;
+    let result = execute_checked db stmt in
+    Database.commit_statement db;
+    result
+  end
+  else execute_checked db stmt
+
 let execute_statement db stmt =
   serialized @@ fun () ->
   let* () = Semck.check_statement (Database.semck_env db) stmt in
-  if not (Metric.enabled ()) then execute_checked db stmt
+  if not (Metric.enabled ()) then execute_journaled db stmt
   else begin
     let kind = statement_kind stmt in
     Metric.incr
       (Metric.counter ~labels:[ ("kind", kind) ] "tdb_engine_statements_total");
     let t0 = Metric.now_s () in
-    let result = execute_checked db stmt in
+    let result = execute_journaled db stmt in
     Metric.observe
       (Metric.histogram ~labels:[ ("kind", kind) ]
          "tdb_engine_statement_seconds")

@@ -7,7 +7,22 @@ let fsync_dir dir =
       (try Unix.fsync fd with Unix.Unix_error _ -> ());
       Unix.close fd
 
-let write ~path ~content =
+(* One fault-plan consultation per crash window.  [`Torn] never fires
+   here (see the .mli): a userland write loop retries short writes, so
+   only a simultaneous crash can actually tear the file. *)
+let fault_point fault ~len ~tear =
+  match fault with
+  | None -> ()
+  | Some f -> (
+      match Fault.on_write f ~len with
+      | `Ok | `Torn _ -> ()
+      | `Eio -> Tdb_error.io "injected EIO on write"
+      | `Crash n ->
+          tear n;
+          raise Fault.Crashed
+      | `Crash_after -> raise Fault.Crashed)
+
+let write ?fault ~path content =
   let tmp = path ^ ".tmp" in
   (match
      Unix.openfile tmp
@@ -21,16 +36,27 @@ let write ~path ~content =
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
           let buf = Bytes.unsafe_of_string content in
-          let rec go off =
-            if off < Bytes.length buf then
-              go (off + Unix.write fd buf off (Bytes.length buf - off))
+          let write_prefix len =
+            let rec go off =
+              if off < len then go (off + Unix.write fd buf off (len - off))
+            in
+            go 0
           in
-          (try
-             go 0;
-             Unix.fsync fd
-           with Unix.Unix_error (e, op, _) ->
-             (try Sys.remove tmp with Sys_error _ -> ());
-             Tdb_error.io "%s: %s during %s" tmp (Unix.error_message e) op)));
+          try
+            (* crash window 1: the temp-file body.  A crash tears the
+               temp file; the target is untouched either way. *)
+            fault_point fault
+              ~len:(max 1 (Bytes.length buf))
+              ~tear:(fun n -> write_prefix (min n (Bytes.length buf)));
+            write_prefix (Bytes.length buf);
+            Unix.fsync fd
+          with Unix.Unix_error (e, op, _) ->
+            (try Sys.remove tmp with Sys_error _ -> ());
+            Tdb_error.io "%s: %s during %s" tmp (Unix.error_message e) op));
+  (* crash window 2: between the temp-file fsync and the rename.  A
+     crash here leaves a complete .tmp behind and the old file in
+     place — the reopened database must still see the old content. *)
+  fault_point fault ~len:1 ~tear:(fun _ -> ());
   (try Unix.rename tmp path
    with Unix.Unix_error (e, op, _) ->
      (try Sys.remove tmp with Sys_error _ -> ());

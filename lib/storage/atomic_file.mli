@@ -1,9 +1,20 @@
-(** Atomic small-file replacement for metadata (catalog, clock).
+(** Atomic small-file replacement for metadata (catalog, clock, fence
+    sidecars).
 
-    [write ~path content] writes [content] to [path ^ ".tmp"], fsyncs it,
+    [write ~path content] writes the content to [path ^ ".tmp"], fsyncs it,
     renames it over [path], then fsyncs the directory.  A crash at any
     point leaves either the old file or the new one — never a partially
     written mixture, which is what the previous in-place writers risked.
-    Raises {!Tdb_error.Io} on failure (the temp file is removed). *)
+    Raises {!Tdb_error.Io} on failure (the temp file is removed).
 
-val write : path:string -> content:string -> unit
+    [fault] threads the database's fault plan through both crash windows
+    so the crash-at-every-write harness covers them: one write position
+    for the temp-file body (a crash there leaves a partial [.tmp] and the
+    old file intact) and one for the commit point between the temp-file
+    fsync and the rename (a crash there leaves a complete [.tmp] and the
+    old file still in place — the window this fault point was added to
+    prove safe).  Torn decisions are treated as [`Ok]: the writer loops
+    until every byte is written, so a short write only tears if the
+    process also dies, which is the crash case. *)
+
+val write : ?fault:Fault.t -> path:string -> string -> unit

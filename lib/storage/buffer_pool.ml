@@ -14,6 +14,10 @@ type t = {
       (* page id -> frame, for every frame with page_id >= 0.  Keeps
          residency checks O(1) instead of O(frames); every page_id
          transition below updates it in the same step. *)
+  mutable journal : (Journal.t * string) option;
+      (* the write-ahead journal and this pool's file tag.  Attached only
+         to a persistent relation's main pool; private partition pools
+         and mem-backed pools leave it unset. *)
 }
 
 let make_frame () =
@@ -27,11 +31,31 @@ let create ?(frames = 1) disk stats =
     frames = Array.init frames (fun _ -> make_frame ());
     clock = 0;
     resident = Hashtbl.create (max 16 (2 * frames));
+    journal = None;
   }
 
 let stats t = t.stats
 let disk t = t.disk
 let npages t = Disk.npages t.disk
+
+(* A sealed, checksummed copy of the page's current logical content:
+   the resident frame if there is one (it may be dirtier than the disk),
+   the stored page otherwise.  This is what the journal captures as pre-
+   and post-images. *)
+let sealed_image t id =
+  match Hashtbl.find_opt t.resident id with
+  | Some f ->
+      let img = Bytes.copy f.data in
+      Page.seal ~epoch:(Disk.epoch t.disk) img;
+      img
+  | None -> Disk.read_page t.disk id
+
+let attach_journal t j ~file =
+  t.journal <- Some (j, file);
+  Journal.register_file j ~file ~image:(sealed_image t)
+    ~npages:(fun () -> Disk.npages t.disk)
+
+let journal t = t.journal
 
 let m_hits = Tdb_obs.Metric.counter "tdb_pool_hits_total"
 let m_misses = Tdb_obs.Metric.counter "tdb_pool_misses_total"
@@ -43,6 +67,13 @@ let touch t f =
 
 let flush_frame ~on_evict t f =
   if f.page_id >= 0 && f.dirty then begin
+    (* The write-ahead rule: the journal records covering this page (its
+       pre-image, at least) must be durable before the page itself can
+       reach the file — evictions out of a 1-frame pool hit this path
+       mid-statement all the time. *)
+    (match t.journal with
+    | Some (j, _) -> Journal.ensure_durable j
+    | None -> ());
     Disk.write_page t.disk f.page_id f.data;
     if on_evict then Io_stats.count_eviction_write t.stats
     else Io_stats.count_sync_write t.stats;
@@ -92,7 +123,14 @@ let load t id =
       f
 
 let allocate t =
+  (match t.journal with
+  | Some (j, file) when Journal.in_statement j -> Journal.note_extend j ~file
+  | _ -> ());
   let id = Disk.allocate t.disk in
+  (match t.journal with
+  | Some (j, file) when Journal.in_statement j ->
+      Journal.note_fresh_page j ~file ~page:id
+  | _ -> ());
   let f = victim t in
   if f.page_id >= 0 then Tdb_obs.Metric.incr m_evictions;
   flush_frame ~on_evict:true t f;
@@ -110,6 +148,13 @@ let read t id =
 
 let modify t id fn =
   let f = load t id in
+  (match t.journal with
+  | Some (j, file) when Journal.in_statement j ->
+      Journal.note_page_write j ~file ~page:id ~pre:(fun () ->
+          let img = Bytes.copy f.data in
+          Page.seal ~epoch:(Disk.epoch t.disk) img;
+          img)
+  | _ -> ());
   f.dirty <- true;
   fn f.data
 

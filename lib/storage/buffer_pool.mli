@@ -25,6 +25,17 @@ val disk : t -> Disk.t
 
 val npages : t -> int
 
+val attach_journal : t -> Journal.t -> file:string -> unit
+(** Routes this pool's writes through the write-ahead journal under the
+    given file tag: {!modify} captures first-touch pre-images,
+    {!allocate} records extents, and every dirty-frame flush first makes
+    the journal durable.  Also registers the pool with the journal as
+    the reader for the tag's post-images.  Attach only a persistent
+    relation's main pool — never the private partition pools, which are
+    read-only. *)
+
+val journal : t -> (Journal.t * string) option
+
 val allocate : t -> int
 (** A fresh zeroed page, resident and dirty. *)
 
@@ -35,7 +46,11 @@ val read : t -> int -> bytes
 
 val modify : t -> int -> (bytes -> 'a) -> 'a
 (** [modify t id f] applies [f] to the frame holding page [id] and marks it
-    dirty. *)
+    dirty (journalling a pre-image on the statement's first touch). *)
+
+val sealed_image : t -> int -> bytes
+(** A sealed, checksummed copy of the page's current logical content:
+    the resident frame if any, else the stored page. *)
 
 val flush : t -> unit
 (** Writes back all dirty frames (counting writes) but keeps them resident. *)

@@ -1,0 +1,567 @@
+(* The write-ahead intent journal.  See journal.mli for the protocol.
+
+   On-disk layout: a 6-byte magic header ("tdbj1\n") followed by
+   records.  Each record is
+
+     kind (1 byte) | seq (4 bytes BE) | paylen (4 bytes BE)
+     | payload (paylen bytes) | crc32 (4 bytes BE, over kind..payload)
+
+   Kinds: 'B' begin, 'P' pre-image, 'Q' post-image, 'X' base extent,
+   'F' final extent, 'C' commit.  Image payloads are
+   [nlen(2) | file-name | page(4) | image(Page.size)]; extent payloads
+   [nlen(2) | file-name | npages(4)].  The per-record CRC means a torn
+   journal tail simply stops the parse: every record before the tear is
+   trusted, everything after is treated as never written. *)
+
+let magic = "tdbj1\n"
+let header_len = String.length magic
+
+let m_statements = Tdb_obs.Metric.counter "tdb_journal_statements_total"
+let m_records = Tdb_obs.Metric.counter "tdb_journal_records_total"
+let m_bytes = Tdb_obs.Metric.counter "tdb_journal_bytes_total"
+let m_fsyncs = Tdb_obs.Metric.counter "tdb_journal_fsyncs_total"
+let m_checkpoints = Tdb_obs.Metric.counter "tdb_journal_checkpoints_total"
+let m_replayed = Tdb_obs.Metric.counter "tdb_journal_replayed_statements_total"
+
+let m_rolled_back =
+  Tdb_obs.Metric.counter "tdb_journal_rolled_back_statements_total"
+
+type hooks = { h_image : int -> bytes; h_npages : unit -> int }
+
+type t = {
+  jpath : string;
+  fd : Unix.file_descr;
+  fault : Fault.t option;
+  files : (string, hooks) Hashtbl.t;
+  buf : Buffer.t;  (* records appended but not yet written to the fd *)
+  mutable pos : int;  (* bytes of the file already written *)
+  mutable unsynced : bool;  (* bytes written to the fd but not fsynced *)
+  mutable seq : int;
+  mutable active : bool;
+  touched : (string * int, unit) Hashtbl.t;  (* pre-imaged this statement *)
+  dirtied : (string * int, unit) Hashtbl.t;  (* need a post-image at commit *)
+  based : (string, unit) Hashtbl.t;  (* base extent recorded this statement *)
+}
+
+let path ~dir = Filename.concat dir "journal.tdb"
+
+let wrap_unix path f =
+  try f ()
+  with Unix.Unix_error (e, op, _) ->
+    Tdb_error.io "%s: %s during %s" path (Unix.error_message e) op
+
+let write_exactly fd buf ~pos ~len =
+  let rec go off =
+    if off < len then go (off + Unix.write fd buf (pos + off) (len - off))
+  in
+  go 0
+
+let open_ ~dir ?fault () =
+  let jpath = path ~dir in
+  wrap_unix jpath @@ fun () ->
+  let fd =
+    Unix.openfile jpath [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644
+  in
+  let len = (Unix.fstat fd).Unix.st_size in
+  let pos =
+    if len < header_len then begin
+      ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+      write_exactly fd (Bytes.unsafe_of_string magic) ~pos:0 ~len:header_len;
+      header_len
+    end
+    else begin
+      ignore (Unix.lseek fd len Unix.SEEK_SET);
+      len
+    end
+  in
+  {
+    jpath;
+    fd;
+    fault;
+    files = Hashtbl.create 8;
+    buf = Buffer.create 4096;
+    pos;
+    unsynced = false;
+    seq = 0;
+    active = false;
+    touched = Hashtbl.create 64;
+    dirtied = Hashtbl.create 64;
+    based = Hashtbl.create 8;
+  }
+
+let register_file t ~file ~image ~npages =
+  Hashtbl.replace t.files file { h_image = image; h_npages = npages }
+
+let unregister_file t ~file = Hashtbl.remove t.files file
+let in_statement t = t.active
+
+(* --- record encoding -------------------------------------------------- *)
+
+let add_u16 b v =
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_u32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let append_record t kind payload =
+  let rec_buf = Buffer.create (16 + Bytes.length payload) in
+  Buffer.add_char rec_buf kind;
+  add_u32 rec_buf t.seq;
+  add_u32 rec_buf (Bytes.length payload);
+  Buffer.add_bytes rec_buf payload;
+  let body = Buffer.to_bytes rec_buf in
+  let crc = Crc32.digest body in
+  add_u32 rec_buf crc;
+  Buffer.add_buffer t.buf rec_buf;
+  Tdb_obs.Metric.incr m_records
+
+let image_payload ~file ~page image =
+  let b = Buffer.create (8 + String.length file + Bytes.length image) in
+  add_u16 b (String.length file);
+  Buffer.add_string b file;
+  add_u32 b page;
+  Buffer.add_bytes b image;
+  Buffer.to_bytes b
+
+let extent_payload ~file npages =
+  let b = Buffer.create (8 + String.length file) in
+  add_u16 b (String.length file);
+  Buffer.add_string b file;
+  add_u32 b npages;
+  Buffer.to_bytes b
+
+(* --- durability -------------------------------------------------------- *)
+
+(* Flush buffered records through the fault filter, then fsync.  A torn
+   flush persists a prefix whose last record fails its CRC: everything
+   from that record on reads as "never written", which recovery treats
+   as an uncommitted statement — the conservative, correct outcome. *)
+let ensure_durable t =
+  let len = Buffer.length t.buf in
+  if len > 0 then begin
+    let bytes = Buffer.to_bytes t.buf in
+    Buffer.clear t.buf;
+    let persist n =
+      if n > 0 then
+        wrap_unix t.jpath (fun () ->
+            ignore (Unix.lseek t.fd t.pos Unix.SEEK_SET);
+            write_exactly t.fd bytes ~pos:0 ~len:n;
+            t.pos <- t.pos + n;
+            t.unsynced <- true)
+    in
+    (match t.fault with
+    | None -> persist len
+    | Some f -> (
+        match Fault.on_write f ~len with
+        | `Ok -> persist len
+        | `Eio -> Tdb_error.io "%s: injected EIO on write" t.jpath
+        | `Torn n -> persist n
+        | `Crash n ->
+            persist n;
+            raise Fault.Crashed
+        | `Crash_after ->
+            persist len;
+            raise Fault.Crashed));
+    Tdb_obs.Metric.add m_bytes len
+  end;
+  if t.unsynced then begin
+    wrap_unix t.jpath (fun () -> Unix.fsync t.fd);
+    t.unsynced <- false;
+    Tdb_obs.Metric.incr m_fsyncs
+  end
+
+(* --- the statement protocol ------------------------------------------- *)
+
+let hooks t file =
+  match Hashtbl.find_opt t.files file with
+  | Some h -> h
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Journal: file %S was never registered" file)
+
+let ensure_base t file =
+  if not (Hashtbl.mem t.based file) then begin
+    Hashtbl.add t.based file ();
+    append_record t 'X' (extent_payload ~file ((hooks t file).h_npages ()))
+  end
+
+let note_page_write t ~file ~page ~pre =
+  if t.active then begin
+    ensure_base t file;
+    if not (Hashtbl.mem t.touched (file, page)) then begin
+      Hashtbl.add t.touched (file, page) ();
+      append_record t 'P' (image_payload ~file ~page (pre ()))
+    end;
+    Hashtbl.replace t.dirtied (file, page) ()
+  end
+
+let note_extend t ~file = if t.active then ensure_base t file
+
+let note_fresh_page t ~file ~page =
+  if t.active then begin
+    (* A fresh page needs no pre-image: undo truncates to the base
+       extent.  Marking it touched suppresses the pointless pre-image a
+       later in-place write would otherwise capture. *)
+    Hashtbl.replace t.touched (file, page) ();
+    Hashtbl.replace t.dirtied (file, page) ()
+  end
+
+let note_truncate t ~file =
+  if t.active then begin
+    ensure_base t file;
+    let h = hooks t file in
+    let n = h.h_npages () in
+    for page = 0 to n - 1 do
+      if not (Hashtbl.mem t.touched (file, page)) then begin
+        Hashtbl.add t.touched (file, page) ();
+        append_record t 'P' (image_payload ~file ~page (h.h_image page))
+      end
+    done
+  end
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+
+let commit_statement t =
+  if t.active then begin
+    (* Redo records: the current content of every page the statement
+       dirtied (bounded by the file's final extent — a reorganization
+       may have truncated pages away), then each touched file's final
+       extent, then the commit mark.  One fsync covers the group. *)
+    List.iter
+      (fun (file, page) ->
+        let h = hooks t file in
+        if page < h.h_npages () then
+          append_record t 'Q' (image_payload ~file ~page (h.h_image page)))
+      (sorted_keys t.dirtied);
+    List.iter
+      (fun file ->
+        append_record t 'F' (extent_payload ~file ((hooks t file).h_npages ())))
+      (sorted_keys t.based);
+    append_record t 'C' Bytes.empty;
+    t.active <- false;
+    Hashtbl.reset t.touched;
+    Hashtbl.reset t.dirtied;
+    Hashtbl.reset t.based;
+    ensure_durable t
+  end
+
+let begin_statement t =
+  if t.active then commit_statement t;
+  t.seq <- t.seq + 1;
+  append_record t 'B' Bytes.empty;
+  t.active <- true;
+  Tdb_obs.Metric.incr m_statements
+
+let checkpoint t =
+  if not t.active then begin
+    Buffer.clear t.buf;
+    if t.pos > header_len || t.unsynced then
+      wrap_unix t.jpath (fun () ->
+          Unix.ftruncate t.fd header_len;
+          Unix.fsync t.fd);
+    t.pos <- header_len;
+    t.unsynced <- false;
+    Tdb_obs.Metric.incr m_checkpoints
+  end
+
+let abandon t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let close t =
+  checkpoint t;
+  abandon t
+
+(* --- recovery ---------------------------------------------------------- *)
+
+type report = {
+  statements : int;
+  replayed : int;
+  rolled_back : int;
+  pages_restored : int;
+  pages_replayed : int;
+  files_resized : int;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "%d statement(s) journalled" r.statements;
+  if r.replayed > 0 then
+    Fmt.pf ppf ", %d committed statement(s) replayed (%d page(s))" r.replayed
+      r.pages_replayed;
+  if r.rolled_back > 0 then
+    Fmt.pf ppf ", %d uncommitted statement(s) rolled back (%d page(s) restored)"
+      r.rolled_back r.pages_restored;
+  if r.files_resized > 0 then
+    Fmt.pf ppf ", %d file extent(s) restored" r.files_resized
+
+type record =
+  | Begin
+  | Pre of { file : string; page : int; image : bytes }
+  | Post of { file : string; page : int; image : bytes }
+  | Base of { file : string; npages : int }
+  | Final of { file : string; npages : int }
+  | Commit
+
+let u16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let u32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+(* Parse records until the data runs out or a record fails its CRC; both
+   simply end the trusted prefix. *)
+let parse_records data =
+  let len = Bytes.length data in
+  let records = ref [] in
+  let off = ref 0 in
+  (try
+     while !off + 13 <= len do
+       let kind = Bytes.get data !off in
+       let paylen = u32 data (!off + 5) in
+       if paylen < 0 || !off + 13 + paylen > len then raise Exit;
+       let body_len = 9 + paylen in
+       let crc = u32 data (!off + body_len) in
+       if Crc32.digest ~pos:!off ~len:body_len data <> crc then raise Exit;
+       let payload off = off + 9 in
+       let parse_image () =
+         let p = payload !off in
+         let nlen = u16 data p in
+         let file = Bytes.sub_string data (p + 2) nlen in
+         let page = u32 data (p + 2 + nlen) in
+         let image = Bytes.sub data (p + 6 + nlen) Page.size in
+         (file, page, image)
+       in
+       let parse_extent () =
+         let p = payload !off in
+         let nlen = u16 data p in
+         let file = Bytes.sub_string data (p + 2) nlen in
+         (file, u32 data (p + 2 + nlen))
+       in
+       (match kind with
+       | 'B' -> records := Begin :: !records
+       | 'C' -> records := Commit :: !records
+       | 'P' ->
+           if paylen < 6 + Page.size then raise Exit;
+           let file, page, image = parse_image () in
+           records := Pre { file; page; image } :: !records
+       | 'Q' ->
+           if paylen < 6 + Page.size then raise Exit;
+           let file, page, image = parse_image () in
+           records := Post { file; page; image } :: !records
+       | 'X' ->
+           let file, npages = parse_extent () in
+           records := Base { file; npages } :: !records
+       | 'F' ->
+           let file, npages = parse_extent () in
+           records := Final { file; npages } :: !records
+       | _ -> raise Exit);
+       off := !off + body_len + 4
+     done
+   with Exit | Invalid_argument _ -> ());
+  List.rev !records
+
+(* Group the record stream into statements: each begins at 'B' and is
+   committed when its 'C' arrived intact. *)
+let group_statements records =
+  let stmts = ref [] in
+  let current = ref None in
+  List.iter
+    (fun r ->
+      match (r, !current) with
+      | Begin, Some body -> stmts := (List.rev body, false) :: !stmts;
+                            current := Some []
+      | Begin, None -> current := Some []
+      | Commit, Some body ->
+          stmts := (List.rev body, true) :: !stmts;
+          current := None
+      | Commit, None -> ()
+      | r, Some body -> current := Some (r :: body)
+      | _, None -> () (* records before any Begin: ignore *))
+    records;
+  (match !current with
+  | Some body -> stmts := (List.rev body, false) :: !stmts
+  | None -> ());
+  List.rev !stmts
+
+let recover ~dir =
+  let jpath = path ~dir in
+  if not (Sys.file_exists jpath) then None
+  else begin
+    wrap_unix jpath @@ fun () ->
+    let fd = Unix.openfile jpath [ Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 in
+    Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+    let len = (Unix.fstat fd).Unix.st_size in
+    let data = Bytes.create (max 0 (len - header_len)) in
+    let valid_header =
+      len >= header_len
+      &&
+      let hdr = Bytes.create header_len in
+      let rec go off =
+        if off >= header_len then true
+        else
+          match Unix.read fd hdr off (header_len - off) with
+          | 0 -> false
+          | n -> go (off + n)
+      in
+      go 0 && Bytes.to_string hdr = magic
+    in
+    let truncate_empty () =
+      if len > header_len || not valid_header then begin
+        Unix.ftruncate fd 0;
+        ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+        write_exactly fd (Bytes.unsafe_of_string magic) ~pos:0 ~len:header_len;
+        Unix.fsync fd
+      end
+    in
+    if not valid_header then begin
+      (* not a journal we wrote: distrust and reset it *)
+      truncate_empty ();
+      None
+    end
+    else begin
+      let rec fill off =
+        if off < Bytes.length data then
+          match Unix.read fd data off (Bytes.length data - off) with
+          | 0 -> ()
+          | n -> fill (off + n)
+      in
+      fill 0;
+      let stmts = group_statements (parse_records data) in
+      if stmts = [] then begin
+        truncate_empty ();
+        None
+      end
+      else begin
+        let touched_fds : (string, Unix.file_descr) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        let data_fd file =
+          match Hashtbl.find_opt touched_fds file with
+          | Some fd -> Some fd
+          | None ->
+              let p = Filename.concat dir (file ^ ".pages") in
+              (* A file that no longer exists belonged to a relation
+                 destroyed after these records were written: skip it
+                 rather than resurrect it. *)
+              if not (Sys.file_exists p) then None
+              else begin
+                let fd =
+                  Unix.openfile p [ Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644
+                in
+                Hashtbl.add touched_fds file fd;
+                Some fd
+              end
+        in
+        let pages_restored = ref 0 in
+        let pages_replayed = ref 0 in
+        let files_resized = ref 0 in
+        let write_image fd page image =
+          ignore (Unix.lseek fd (page * Page.size) Unix.SEEK_SET);
+          write_exactly fd image ~pos:0 ~len:Page.size
+        in
+        let resize fd npages =
+          let size = (Unix.fstat fd).Unix.st_size in
+          if size <> npages * Page.size then begin
+            if size < npages * Page.size then begin
+              (* extend with sealed empty pages so every page checks *)
+              let blank = Page.create () in
+              Page.seal ~epoch:0 blank;
+              for page = size / Page.size to npages - 1 do
+                write_image fd page blank
+              done
+            end;
+            Unix.ftruncate fd (npages * Page.size);
+            incr files_resized
+          end
+        in
+        let committed, uncommitted =
+          List.partition (fun (_, committed) -> committed) stmts
+        in
+        (* Undo newest-first: a page touched by two uncommitted
+           statements ends at the older one's pre-image. *)
+        List.iter
+          (fun (body, _) ->
+            List.iter
+              (fun r ->
+                match r with
+                | Pre { file; page; image } -> (
+                    match data_fd file with
+                    | Some fd ->
+                        write_image fd page image;
+                        incr pages_restored
+                    | None -> ())
+                | _ -> ())
+              (List.rev body);
+            List.iter
+              (fun r ->
+                match r with
+                | Base { file; npages } -> (
+                    match data_fd file with
+                    | Some fd -> resize fd npages
+                    | None -> ())
+                | _ -> ())
+              body)
+          (List.rev uncommitted);
+        (* Redo oldest-first: post-images then final extents. *)
+        List.iter
+          (fun (body, _) ->
+            List.iter
+              (fun r ->
+                match r with
+                | Post { file; page; image } -> (
+                    match data_fd file with
+                    | Some fd ->
+                        write_image fd page image;
+                        incr pages_replayed
+                    | None -> ())
+                | _ -> ())
+              body;
+            List.iter
+              (fun r ->
+                match r with
+                | Final { file; npages } -> (
+                    match data_fd file with
+                    | Some fd -> resize fd npages
+                    | None -> ())
+                | _ -> ())
+              body)
+          committed;
+        Hashtbl.iter
+          (fun _ fd ->
+            Unix.fsync fd;
+            Unix.close fd)
+          touched_fds;
+        Hashtbl.reset touched_fds;
+        truncate_empty ();
+        let report =
+          {
+            statements = List.length stmts;
+            replayed = List.length committed;
+            rolled_back = List.length uncommitted;
+            pages_restored = !pages_restored;
+            pages_replayed = !pages_replayed;
+            files_resized = !files_resized;
+          }
+        in
+        Tdb_obs.Metric.add m_replayed report.replayed;
+        Tdb_obs.Metric.add m_rolled_back report.rolled_back;
+        if report.replayed > 0 || report.rolled_back > 0 then
+          Tdb_obs.Trace.event "journal_recovery"
+            ~attrs:
+              [
+                ("dir", dir);
+                ("statements", string_of_int report.statements);
+                ("replayed", string_of_int report.replayed);
+                ("rolled_back", string_of_int report.rolled_back);
+                ("pages_restored", string_of_int report.pages_restored);
+                ("pages_replayed", string_of_int report.pages_replayed);
+              ];
+        Some report
+      end
+    end
+  end

@@ -1,0 +1,123 @@
+(** The write-ahead intent journal: statement-atomic durability.
+
+    One journal file per database ([journal.tdb]) makes every mutating
+    statement atomic with respect to crashes.  The protocol is classic
+    undo/redo logging at page granularity, scoped to single statements
+    (the engine serializes statements, so at most one is in flight):
+
+    - [begin_statement] opens a statement and stamps it with a
+      monotonically increasing sequence number (the journal's epoch);
+    - the buffer pools report every page they are about to dirty; the
+      journal captures a {e pre-image} of the first touch of each page
+      (the undo record) and notes the file's {e base extent} on first
+      contact (so undo can truncate pages the statement appended);
+    - before any data page reaches its file the buffered journal records
+      are flushed and fsynced ({!ensure_durable} — the write-ahead rule,
+      honoured by the buffer pool's flush path, so mid-statement
+      evictions are safe even with the paper's 1-frame pools);
+    - [commit_statement] appends a {e post-image} of every page the
+      statement dirtied plus each touched file's {e final extent} (the
+      redo records), then a commit record, and performs one group fsync.
+
+    Recovery ({!recover}) runs before any relation file is attached: it
+    parses the journal up to the first torn or checksum-failing record,
+    rolls back statements without an intact commit record (pre-images
+    restored newest-first, files truncated to their base extents) and
+    replays committed ones (post-images re-applied oldest-first, extents
+    restored), leaving every file exactly on a statement boundary.  The
+    journal is then truncated.  Checkpoints ({!checkpoint}, driven by
+    [Database.sync] once data, catalog and clock are durable) also
+    truncate it, so the journal never outgrows one checkpoint interval.
+
+    Every record is CRC-32-guarded and stamped with its statement
+    sequence number; a torn journal tail therefore parses as "statement
+    never committed" and rolls back — exactly the right answer. *)
+
+type t
+
+val open_ : dir:string -> ?fault:Fault.t -> unit -> t
+(** Opens (creating if missing) [dir]/journal.tdb for appending.  The
+    fault plan, shared with the database's disks, is consulted on every
+    journal flush so crash sweeps cover journal writes too. *)
+
+val path : dir:string -> string
+(** The journal file's path under [dir]. *)
+
+(* --- registration ---------------------------------------------------- *)
+
+val register_file :
+  t -> file:string -> image:(int -> bytes) -> npages:(unit -> int) -> unit
+(** Registers a relation under its catalog name ([file] maps to
+    [<dir>/<file>.pages] at recovery).  [image page] must return the
+    page's {e current} logical content as a sealed, checksummed image
+    (resident frame or disk); [npages] the file's current page count.
+    Both are consulted when capturing post-images and extents. *)
+
+val unregister_file : t -> file:string -> unit
+
+(* --- the statement protocol ------------------------------------------ *)
+
+val in_statement : t -> bool
+
+val begin_statement : t -> unit
+(** Opens a statement.  If one is somehow still open (a caller caught an
+    error and moved on), it is committed first: its partial effects are
+    what the in-memory database now shows, so durability must agree. *)
+
+val commit_statement : t -> unit
+(** Appends redo records and the commit record, then group-fsyncs. *)
+
+val note_page_write : t -> file:string -> page:int -> pre:(unit -> bytes) -> unit
+(** The buffer pool is about to dirty [page].  On the statement's first
+    touch of the page, [pre ()] (a sealed copy of the current content) is
+    journalled as the undo record; later touches are free.  Outside a
+    statement this is a no-op (setup writes are not journalled). *)
+
+val note_extend : t -> file:string -> unit
+(** The file is about to grow by one page: records the base extent on
+    first contact.  The extension itself needs no pre-image — a fresh
+    page holds no records, and undo truncates back to the base extent. *)
+
+val note_fresh_page : t -> file:string -> page:int -> unit
+(** A page was just allocated: it needs no pre-image (see above) but
+    does need a post-image at commit. *)
+
+val note_truncate : t -> file:string -> unit
+(** The file is about to be truncated and rebuilt (a [modify]
+    reorganization): captures a pre-image of {e every} live page plus
+    the base extent, so undo can reconstruct the whole file.  Callers
+    must {!ensure_durable} before actually truncating. *)
+
+val ensure_durable : t -> unit
+(** Flushes buffered records and fsyncs if anything new was written.
+    Must run before any journalled file write reaches stable storage. *)
+
+val checkpoint : t -> unit
+(** Truncates the journal — call only once every journalled file, the
+    catalog and the clock are durable.  A no-op while a statement is
+    open (a statement-internal sync must not discard its undo records). *)
+
+val close : t -> unit
+val abandon : t -> unit
+(** [close] checkpoints first; [abandon] just drops the descriptor
+    (simulated process death). *)
+
+(* --- recovery -------------------------------------------------------- *)
+
+type report = {
+  statements : int;  (** statements found in the journal *)
+  replayed : int;  (** committed statements whose redo records were re-applied *)
+  rolled_back : int;  (** uncommitted statements undone *)
+  pages_restored : int;  (** pre-images written back by undo *)
+  pages_replayed : int;  (** post-images re-applied by redo *)
+  files_resized : int;  (** files truncated or extended to a recorded extent *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val recover : dir:string -> report option
+(** Replays and truncates [dir]'s journal as described above, using raw
+    file I/O (no fault plan: recovery models the fresh process).  [None]
+    when no journal exists or it holds no statements.  Raises
+    {!Tdb_error.Error} ([Io]) only on real I/O failure — a damaged
+    journal tail is data loss already paid for, never an error. *)

@@ -35,6 +35,12 @@ type t = {
          static relation, which then keeps no fences *)
   sidecar : string option;
       (* where the fence summary persists for file-backed relations *)
+  fault : Fault.t option;
+      (* the database's fault plan, threaded into sidecar writes so the
+         crash harness covers their windows too *)
+  mutable journal : Journal.t option;
+      (* the database's write-ahead journal, when statements are
+         journalled; the pool carries the per-page hooks *)
 }
 
 let attr_offset schema i =
@@ -122,7 +128,13 @@ let make ~frames ~backing ~fault ~recover ~name ~schema =
     stamp = stamp_extractor schema;
     sidecar =
       (match backing with `Mem -> None | `File p -> Some (sidecar_path p));
+    fault;
+    journal = None;
   }
+
+let set_journal t j =
+  t.journal <- Some j;
+  Buffer_pool.attach_journal t.pool j ~file:t.name
 
 let data_pf t =
   match t.impl with
@@ -175,7 +187,7 @@ let write_sidecar t ~epoch =
         (fun (page, next) ->
           Buffer.add_string buf (Printf.sprintf "link %d %d\n" page next))
         (List.sort compare (Pfile.link_entries pf));
-      Atomic_file.write ~path ~content:(Buffer.contents buf)
+      Atomic_file.write ?fault:t.fault ~path (Buffer.contents buf)
   | _ -> ()
 
 let load_sidecar t path =
@@ -436,6 +448,16 @@ let all_records t =
 
 let modify t org =
   let records = all_records t in
+  (* A reorganization destroys the whole file and rebuilds it — the
+     largest crash window there is.  Journal a pre-image of every live
+     page (plus the base extent) and make them durable before the
+     truncate; the rebuild's own writes are then journalled page by page
+     through the pool, and commit captures the post-state. *)
+  (match t.journal with
+  | Some j when Journal.in_statement j ->
+      Journal.note_truncate j ~file:t.name;
+      Journal.ensure_durable j
+  | _ -> ());
   Buffer_pool.invalidate t.pool;
   Disk.truncate t.disk;
   let record_size = t.record_size in

@@ -26,6 +26,14 @@ val create :
 (** A new empty heap relation.  [fault] attaches a fault-injection plan to
     the backing disk (see {!Fault}). *)
 
+val set_journal : t -> Journal.t -> unit
+(** Routes every write to this relation through the database's
+    write-ahead journal (registering the relation under its name as the
+    journal's file tag): page modifications capture pre-images, extents
+    are recorded, dirty flushes wait for journal durability, and
+    {!modify} journals the whole file before truncating it.  Called by
+    the database right after create/attach for persistent relations. *)
+
 val name : t -> string
 val schema : t -> Tdb_relation.Schema.t
 val organization : t -> organization

@@ -9,6 +9,7 @@ module Disk = Tdb_storage.Disk
 module Tid = Tdb_storage.Tid
 module Chronon = Tdb_time.Chronon
 module Cursor = Tdb_storage.Cursor
+module Journal = Tdb_storage.Journal
 
 type attached_index = {
   ix_attr : int;
@@ -28,6 +29,9 @@ type t = {
          primary store for pointer storage; keeping heads out of line
          follows that accounting. *)
   indexes : (string, attached_index) Hashtbl.t;
+  journal : Journal.t option;
+      (* when attached, every mutating entry point below runs as one
+         journal statement (unless the caller already opened one) *)
   key_index : int;
   tstart : int;
   tstop : int;
@@ -40,8 +44,8 @@ let primary t = t.primary
 let history_pages t = History_store.npages t.history
 let primary_pages t = Relation_file.npages t.primary
 
-let create ?(name = "primary") ?segment_pages ~schema ~organization ~clustered
-    tuples =
+let create ?(name = "primary") ?segment_pages ?journal ~schema ~organization
+    ~clustered tuples =
   (match Schema.db_type schema with
   | Db_type.Temporal Db_type.Interval -> ()
   | ty ->
@@ -68,6 +72,15 @@ let create ?(name = "primary") ?segment_pages ~schema ~organization ~clustered
       ~tuple_size:(Schema.tuple_size schema)
       ~clustered
   in
+  (* Route both levels through the caller's journal: the primary store
+     under its own name, the history pages under a derived tag.  The
+     bulk load above happens outside any statement, so it is not
+     journalled — it is the store's initial state, not an update. *)
+  Option.iter
+    (fun j ->
+      Relation_file.set_journal primary j;
+      Buffer_pool.attach_journal history_pool j ~file:(name ^ ".history"))
+    journal;
   {
     schema;
     primary;
@@ -76,6 +89,7 @@ let create ?(name = "primary") ?segment_pages ~schema ~organization ~clustered
     history_pool;
     heads = Hashtbl.create 1024;
     indexes = Hashtbl.create 4;
+    journal;
     key_index;
     tstart = Option.get (Schema.transaction_start_index schema);
     tstop = Option.get (Schema.transaction_stop_index schema);
@@ -101,7 +115,19 @@ let index_history_insert t tuple htid =
     (fun _ ix -> Secondary_index.insert ix.history_ix tuple.(ix.ix_attr) htid)
     t.indexes
 
+(* One mutating entry point = one journal statement, unless the caller
+   (the engine, say) already opened one — then we ride along in it. *)
+let journaled t f =
+  match t.journal with
+  | Some j when not (Journal.in_statement j) ->
+      Journal.begin_statement j;
+      let r = f () in
+      Journal.commit_statement j;
+      r
+  | _ -> f ()
+
 let append t ~now tuple =
+  journaled t @@ fun () ->
   let tuple = Array.copy tuple in
   tuple.(t.tstart) <- Value.Time now;
   tuple.(t.tstop) <- Value.Time Chronon.forever;
@@ -139,6 +165,7 @@ let retire t ~now ~tid ~old_tuple =
   push_history t ~now ~cluster ~tuple:terminated ~prev:(Some head1)
 
 let replace t ~now ~key update =
+  journaled t @@ fun () ->
   let victims = ref [] in
   Relation_file.lookup t.primary key (fun tid tu -> victims := (tid, tu) :: !victims);
   List.iter
@@ -158,6 +185,7 @@ let replace t ~now ~key update =
   List.length !victims
 
 let delete t ~now ~key =
+  journaled t @@ fun () ->
   let victims = ref [] in
   Relation_file.lookup t.primary key (fun tid tu -> victims := (tid, tu) :: !victims);
   List.iter

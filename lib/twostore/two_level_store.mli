@@ -17,6 +17,7 @@ type t
 val create :
   ?name:string ->
   ?segment_pages:int ->
+  ?journal:Tdb_storage.Journal.t ->
   schema:Tdb_relation.Schema.t ->
   organization:Tdb_storage.Relation_file.organization ->
   clustered:bool ->
@@ -25,7 +26,13 @@ val create :
 (** Bulk-loads the given current versions into the primary store.  Raises
     [Invalid_argument] unless the schema is temporal-interval and the
     organization is keyed (hash or ISAM).  [segment_pages] sets the
-    history store's time-segment page budget (see {!History_store}). *)
+    history store's time-segment page budget (see {!History_store}).
+
+    [journal] routes both levels' page writes through a write-ahead
+    journal — the primary store under [name], history pages under
+    [name ^ ".history"] — and makes each {!append}, {!replace} and
+    {!delete} its own journal statement (or part of the caller's, when
+    one is already open).  The bulk load itself is not journalled. *)
 
 val schema : t -> Tdb_relation.Schema.t
 val primary : t -> Tdb_storage.Relation_file.t
