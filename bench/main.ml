@@ -39,7 +39,15 @@
                   this build under the current update count in PATH
                   (merging with any other update counts already there);
                   later runs load the file and report their speedup
-                  against it *)
+                  against it
+     --compare OLD NEW
+                  run no benchmark: diff two --json result documents
+                  (grid cell equality, section wall-time drift, the
+                  pruning/parallel/durability gates) and exit non-zero
+                  on a hard regression; see Tdb_benchkit.Compare
+     --compare-tolerance F
+                  relative noise tolerance for drift warnings in
+                  --compare (default 0.5 = 50%) *)
 
 module Workload = Tdb_benchkit.Workload
 module Evolve = Tdb_benchkit.Evolve
@@ -47,6 +55,8 @@ module Paper_queries = Tdb_benchkit.Paper_queries
 module Cost_model = Tdb_benchkit.Cost_model
 module Report = Tdb_benchkit.Report
 module Pruning = Tdb_benchkit.Pruning
+module Compare = Tdb_benchkit.Compare
+module Obs_json = Tdb_benchkit.Obs_json
 module Time_fence = Tdb_storage.Time_fence
 module Json = Tdb_obs.Json
 module Database = Tdb_core.Database
@@ -79,6 +89,19 @@ let flag_value name =
 
 let json_path = flag_value "--json"
 let throughput_baseline_path = flag_value "--throughput-baseline"
+
+(* --compare OLD NEW: a pure document diff, no benchmark run. *)
+let compare_paths =
+  let r = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--compare" && i + 2 < Array.length Sys.argv then
+        r := Some (Sys.argv.(i + 1), Sys.argv.(i + 2)))
+    Sys.argv;
+  !r
+
+let compare_tolerance =
+  Option.bind (flag_value "--compare-tolerance") float_of_string_opt
 
 let max_uc = if smoke then 3 else 15
 let report_uc = if smoke then 2 else 14
@@ -1563,7 +1586,7 @@ let result_document ~total_s ~pruning ~throughput ~parallel ~durability runs =
       ("throughput", json_of_throughput throughput);
       ("parallel", json_of_parallel parallel);
       ("durability", json_of_durability durability);
-      ("metrics", Tdb_obs.Metric.to_json ());
+      ("metrics", Obs_json.metrics ());
     ]
 
 let write_json path doc =
@@ -1649,7 +1672,12 @@ let run () =
 (* Storage-level failures — corruption, I/O — stop the benchmark with a
    class-specific exit code and a one-line message, never a backtrace. *)
 let () =
-  try run ()
-  with Tdb_error.Error (cls, msg) ->
-    Printf.eprintf "fatal %s\n" (Tdb_error.message cls msg);
-    exit (Tdb_error.exit_code cls)
+  match compare_paths with
+  | Some (old_path, new_path) ->
+      exit
+        (Compare.run ?tolerance:compare_tolerance ~old_path ~new_path ())
+  | None -> (
+      try run ()
+      with Tdb_error.Error (cls, msg) ->
+        Printf.eprintf "fatal %s\n" (Tdb_error.message cls msg);
+        exit (Tdb_error.exit_code cls))

@@ -1,0 +1,24 @@
+(* bench_compare OLD.json NEW.json [TOLERANCE]
+
+   The CI entry point for the bench trend harness: diff two bench result
+   documents and exit 0 (clean), 1 (hard regression: a cost-grid cell
+   changed between comparable runs, rows diverged, a durability or
+   parallel gate failed) or 2 (unreadable input).  The report goes to
+   stdout so CI can tee it into an artifact.  Equivalent to
+   `bench --compare OLD NEW`, without dragging the benchmark's workload
+   machinery along. *)
+
+let () =
+  match Sys.argv with
+  | [| _; old_path; new_path |] ->
+      exit (Tdb_benchkit.Compare.run ~old_path ~new_path ())
+  | [| _; old_path; new_path; tol |] -> (
+      match float_of_string_opt tol with
+      | Some tolerance ->
+          exit (Tdb_benchkit.Compare.run ~tolerance ~old_path ~new_path ())
+      | None ->
+          prerr_endline ("bench_compare: bad tolerance: " ^ tol);
+          exit 2)
+  | _ ->
+      prerr_endline "usage: bench_compare OLD.json NEW.json [TOLERANCE]";
+      exit 2

@@ -10,11 +10,16 @@
    Meta commands: \q quit, \l list relations, \ranges, \timing toggles
    page-I/O reporting, \clock shows the session clock, \advance N moves it
    forward N seconds, \metrics [json|reset] dumps engine metrics, \explain
-   shows a retrieve's plan without running it, \help.
+   shows a retrieve's plan without running it, \explain analyze executes a
+   statement and prints the executed plan tree with per-stage counters,
+   \help.
 
    Prefixing input with "profile" enables span tracing for just that
    input and prints each statement's operator tree with per-node page I/O
-   and wall time; --profile keeps tracing on for the whole session. *)
+   and wall time; --profile keeps tracing on for the whole session.
+   Prefixing input with "explain analyze" runs each statement through
+   Engine.analyze instead.  --log PATH appends one JSON record per
+   statement to PATH (see Tdb_obs.Statement_log). *)
 
 module Engine = Tdb_core.Engine
 module Database = Tdb_core.Database
@@ -58,17 +63,24 @@ let print_outcome outcome =
       print_string (Tdb_obs.Trace.render node)
   | _ -> ()
 
-(* "profile <statements>" runs the rest of the input with span tracing
-   enabled for just that input. *)
-let strip_profile src =
+(* Leading-keyword prefixes: "profile <statements>" runs the rest of the
+   input with span tracing enabled for just that input; "explain analyze
+   <statements>" runs each statement through [Engine.analyze]. *)
+let strip_word w src =
   let t = String.trim src in
+  let n = String.length w in
   let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
   if
-    String.length t > 8
-    && String.lowercase_ascii (String.sub t 0 7) = "profile"
-    && is_space t.[7]
-  then Some (String.sub t 8 (String.length t - 8))
+    String.length t > n
+    && String.lowercase_ascii (String.sub t 0 n) = w
+    && is_space t.[n]
+  then Some (String.sub t (n + 1) (String.length t - n - 1))
   else None
+
+let strip_profile = strip_word "profile"
+
+let strip_analyze src =
+  Option.bind (strip_word "explain" src) (strip_word "analyze")
 
 let run_plain db src =
   match Engine.execute db src with
@@ -79,15 +91,35 @@ let run_plain db src =
       Printf.printf "error: %s\n" e;
       false
 
+let run_analyze db src =
+  match Tdb_tquel.Parser.parse_program src with
+  | Error e ->
+      Printf.printf "error: %s\n" e;
+      false
+  | Ok stmts ->
+      List.for_all
+        (fun stmt ->
+          match Engine.analyze_statement db stmt with
+          | Ok a ->
+              print_string (Engine.render_analysis a);
+              true
+          | Error e ->
+              Printf.printf "error: %s\n" e;
+              false)
+        stmts
+
 let run_source db src =
-  match strip_profile src with
-  | None -> run_plain db src
-  | Some rest ->
-      let prev = Tdb_obs.Trace.enabled () in
-      Tdb_obs.Trace.set_enabled true;
-      Fun.protect
-        ~finally:(fun () -> Tdb_obs.Trace.set_enabled prev)
-        (fun () -> run_plain db rest)
+  match strip_analyze src with
+  | Some rest -> run_analyze db rest
+  | None -> (
+      match strip_profile src with
+      | None -> run_plain db src
+      | Some rest ->
+          let prev = Tdb_obs.Trace.enabled () in
+          Tdb_obs.Trace.set_enabled true;
+          Fun.protect
+            ~finally:(fun () -> Tdb_obs.Trace.set_enabled prev)
+            (fun () -> run_plain db rest))
 
 let list_relations db =
   match Database.relation_names db with
@@ -116,10 +148,21 @@ let help () =
     \  retrieve (e.salary) as of \"1980-06-01\";\n\
      Prefix any input with 'profile' to print its operator trace tree:\n\
     \  profile retrieve (e.name) when e overlap \"now\";\n\
+     Prefix with 'explain analyze' to execute and print per-stage counters:\n\
+    \  explain analyze retrieve (e.name) when e overlap \"now\";\n\
      Meta commands: \\q quit, \\l relations, \\ranges, \\timing, \\clock,\n\
-    \  \\advance N, \\metrics [json|reset], \\explain STMT, \\recoveries, \\help\n\
+    \  \\advance N, \\metrics [json|reset], \\explain STMT,\n\
+    \  \\explain analyze [json] STMT, \\recoveries, \\help\n\
      \\explain shows a retrieve's plan (fence[...] marks temporal pruning)\n\
-     without running it.\n"
+     without running it; \\explain analyze runs the statement and reports\n\
+     the executed plan (rows, batches, pages, skips, wall time per stage).\n"
+
+(* tolerate a trailing ';' as in ordinary statements *)
+let strip_semi words =
+  let t = String.trim (String.concat " " words) in
+  if String.length t > 0 && t.[String.length t - 1] = ';' then
+    String.sub t 0 (String.length t - 1)
+  else t
 
 let meta db line =
   match String.split_on_char ' ' (String.trim line) with
@@ -156,27 +199,32 @@ let meta db line =
            (Tdb_obs.Metric.table ()));
       `Continue
   | [ "\\metrics"; "json" ] ->
-      print_endline (Tdb_obs.Json.to_string (Tdb_obs.Metric.to_json ()));
+      (* Shared schema with `bench --json`: Obs_json validates the dump
+         before it reaches any consumer. *)
+      print_endline (Tdb_obs.Json.to_string (Tdb_benchkit.Obs_json.metrics ()));
       `Continue
   | [ "\\metrics"; "reset" ] ->
       Tdb_obs.Metric.reset_all ();
       print_endline "metrics reset";
       `Continue
+  | "\\explain" :: "analyze" :: "json" :: rest when rest <> [] ->
+      (match Engine.analyze db (strip_semi rest) with
+      | Ok a -> print_endline (Tdb_obs.Json.to_string (Engine.analysis_to_json a))
+      | Error e -> Printf.printf "error: %s\n" e);
+      `Continue
+  | "\\explain" :: "analyze" :: rest when rest <> [] ->
+      (match Engine.analyze db (strip_semi rest) with
+      | Ok a -> print_string (Engine.render_analysis a)
+      | Error e -> Printf.printf "error: %s\n" e);
+      `Continue
   | "\\explain" :: rest when rest <> [] ->
-      let stmt = String.concat " " rest in
-      let stmt =
-        (* tolerate a trailing ';' as in ordinary statements *)
-        let t = String.trim stmt in
-        if String.length t > 0 && t.[String.length t - 1] = ';' then
-          String.sub t 0 (String.length t - 1)
-        else t
-      in
+      let stmt = strip_semi rest in
       (match Engine.explain db stmt with
       | Ok plan -> Printf.printf "plan: %s\n" plan
       | Error e -> Printf.printf "error: %s\n" e);
       `Continue
   | [ "\\explain" ] ->
-      print_endline "usage: \\explain RETRIEVE-STATEMENT";
+      print_endline "usage: \\explain [analyze [json]] STATEMENT";
       `Continue
   | [ "\\recoveries" ] ->
       let page_level = Database.recoveries db in
@@ -274,8 +322,21 @@ let run_session dir script command =
 
 (* Storage-level failures — corruption, I/O — stop the process with a
    class-specific exit code and a one-line message, never a backtrace. *)
-let main dir script command profile workers =
+let main dir script command profile workers log =
   if profile then Tdb_obs.Trace.set_enabled true;
+  Option.iter
+    (fun path ->
+      (* --log overrides TDB_LOG but keeps the env-tuned knobs. *)
+      let slow_s =
+        Option.map
+          (fun ms -> ms /. 1000.)
+          (Option.bind (Sys.getenv_opt "TDB_LOG_SLOW_MS") float_of_string_opt)
+      in
+      let max_bytes =
+        Option.bind (Sys.getenv_opt "TDB_LOG_MAX_BYTES") int_of_string_opt
+      in
+      Tdb_obs.Statement_log.set ?slow_s ?max_bytes (Some path))
+    log;
   Engine.set_parallelism workers;
   try run_session dir script command
   with Tdb_error.Error (cls, msg) ->
@@ -311,9 +372,18 @@ let workers =
   in
   Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
 
+let log =
+  let doc =
+    "Append one JSON record per executed statement to $(docv) (statement \
+     text, outcome, latency, page I/O, journal bytes).  Equivalent to \
+     setting $(b,TDB_LOG); $(b,TDB_LOG_SLOW_MS) and $(b,TDB_LOG_MAX_BYTES) \
+     tune the slow-statement threshold and size-based rotation."
+  in
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"PATH" ~doc)
+
 let cmd =
   let doc = "a temporal database management system speaking TQuel" in
   let info = Cmd.info "tquel" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const main $ dir $ script $ command $ profile $ workers)
+  Cmd.v info Term.(const main $ dir $ script $ command $ profile $ workers $ log)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,474 @@
+(* The bench trend/regression harness: diff two bench result documents.
+
+   The committed BENCH_N.json snapshots are the repo's reproduction of
+   the paper's tables; this module is the check that a revision did not
+   silently move them.  Three classes of signal come out of a diff:
+
+   - {b failures} — hard gates: a cost-grid cell changed between two
+     comparable runs (same update counts and seed), a query's rows
+     diverged under pruning/parallelism/journalling, the journal costs
+     more than naive sync-per-statement durability, or the parallel
+     speedup floor is missed on a machine with cores to spend.  These
+     are exactly the invariants CI used to re-assert with ad-hoc inline
+     scripts; a failure makes [run] exit non-zero.
+   - {b warnings} — drift beyond the noise tolerance: a section's wall
+     time, a query's throughput or the journal overhead moved by more
+     than [tolerance] (relative).  Wall clocks differ across machines,
+     so drift never fails the comparison on its own.
+   - {b info} — the full ledger, printed so the uploaded report shows
+     what was compared and what was skipped (e.g. the grid when one run
+     is a smoke run and the other is not). *)
+
+module Json = Tdb_obs.Json
+
+type outcome = { failures : string list; warnings : string list; report : string }
+
+(* --- JSON accessors (missing fields surface as comparison failures,
+   never exceptions: a malformed document is itself a regression) --- *)
+
+(* All accessors take and return options, so a chain over a malformed
+   document collapses to [None] instead of raising. *)
+let field name = function
+  | Some (Json.Obj fs) -> List.assoc_opt name fs
+  | _ -> None
+
+let num = function Some (Json.Num f) -> Some f | _ -> None
+let str = function Some (Json.Str s) -> Some s | _ -> None
+let boolean = function Some (Json.Bool b) -> Some b | _ -> None
+let items = function Some (Json.List l) -> Some l | _ -> None
+let fnum j name = num (field name j)
+let fint j name = Option.map int_of_float (fnum j name)
+let fstr j name = str (field name j)
+let fbool j name = boolean (field name j)
+let flist j name = items (field name j)
+
+type ctx = {
+  buf : Buffer.t;
+  mutable failures : string list;
+  mutable warnings : string list;
+  tolerance : float;
+}
+
+let info ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let fail ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      ctx.failures <- s :: ctx.failures;
+      info ctx "FAIL %s" s)
+    fmt
+
+let warn ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      ctx.warnings <- s :: ctx.warnings;
+      info ctx "warn %s" s)
+    fmt
+
+let pct_change ~old_v ~new_v =
+  if old_v = 0.0 then 0.0 else 100.0 *. ((new_v /. old_v) -. 1.0)
+
+(* --- the cost grid: cell-for-cell equality --- *)
+
+(* Two full runs with the same seed and update-count range must agree on
+   every page count: the instrumentation layers (tracing, logging,
+   journalling) are required to be invisible in the paper's numbers. *)
+let grid_comparable ctx ~old_doc ~new_doc =
+  let meta d = (fint d "max_uc", fint d "seed", fbool d "smoke") in
+  match (field "meta" old_doc, field "meta" new_doc) with
+  | Some om, Some nm when meta (Some om) = meta (Some nm) -> true
+  | Some om, Some nm ->
+      info ctx
+        "grid: equality skipped (incomparable runs: old max_uc=%s smoke=%s, \
+         new max_uc=%s smoke=%s)"
+        (match fint (Some om) "max_uc" with Some n -> string_of_int n | None -> "?")
+        (match fbool (Some om) "smoke" with Some b -> string_of_bool b | None -> "?")
+        (match fint (Some nm) "max_uc" with Some n -> string_of_int n | None -> "?")
+        (match fbool (Some nm) "smoke" with Some b -> string_of_bool b | None -> "?");
+      false
+  | _ ->
+      fail ctx "meta section missing";
+      false
+
+let run_key run = (fstr run "kind", fint run "loading")
+
+let compare_grid ctx ~old_doc ~new_doc =
+  match (flist old_doc "grid", flist new_doc "grid") with
+  | None, _ | _, None -> fail ctx "grid section missing"
+  | Some old_runs, Some new_runs ->
+      if grid_comparable ctx ~old_doc ~new_doc then begin
+        let identical = ref 0 in
+        List.iter
+          (fun nrun ->
+            let nrun = Some nrun in
+            let kind =
+              Option.value (fstr nrun "kind") ~default:"?"
+            and loading = Option.value (fint nrun "loading") ~default:(-1) in
+            match
+              List.find_opt (fun o -> run_key (Some o) = run_key nrun) old_runs
+            with
+            | None -> warn ctx "grid: %s %d%% has no old counterpart" kind loading
+            | Some orun -> (
+                match (flist (Some orun) "cells", flist nrun "cells") with
+                | Some oc, Some nc when List.length oc = List.length nc ->
+                    let diverged =
+                      List.find_index
+                        (fun (o, n) -> not (Json.equal o n))
+                        (List.combine oc nc)
+                    in
+                    (match diverged with
+                    | None -> incr identical
+                    | Some i ->
+                        fail ctx "grid: %s %d%% diverges at cell %d (uc %d)"
+                          kind loading i i)
+                | Some oc, Some nc ->
+                    fail ctx "grid: %s %d%% cell count changed (%d -> %d)" kind
+                      loading (List.length oc) (List.length nc)
+                | _ -> fail ctx "grid: %s %d%% cells missing" kind loading))
+          new_runs;
+        List.iter
+          (fun orun ->
+            if
+              not
+                (List.exists
+                   (fun n -> run_key (Some n) = run_key (Some orun))
+                   new_runs)
+            then
+              fail ctx "grid: %s %d%% dropped from the new run"
+                (Option.value (fstr (Some orun) "kind") ~default:"?")
+                (Option.value (fint (Some orun) "loading") ~default:(-1)))
+          old_runs;
+        info ctx "grid: %d/%d database configurations identical cell-for-cell"
+          !identical (List.length new_runs)
+      end
+
+(* --- per-section wall-time deltas --- *)
+
+(* Sub-50ms sections are dominated by scheduling noise; drift warnings
+   only fire above that floor. *)
+let wall_noise_floor_s = 0.05
+
+let compare_sections ctx ~old_doc ~new_doc =
+  match (flist old_doc "sections", flist new_doc "sections") with
+  | None, _ | _, None -> info ctx "sections: missing; wall-time deltas skipped"
+  | Some olds, Some news ->
+      List.iter
+        (fun n ->
+          let n = Some n in
+          match fstr n "label" with
+          | None -> ()
+          | Some label -> (
+              match
+                List.find_opt (fun o -> fstr (Some o) "label" = Some label) olds
+              with
+              | None -> info ctx "section %-20s (new; no old timing)" label
+              | Some o -> (
+                  match (fnum (Some o) "wall_s", fnum n "wall_s") with
+                  | Some old_v, Some new_v ->
+                      let delta = pct_change ~old_v ~new_v in
+                      info ctx "section %-20s %8.3fs -> %8.3fs (%+6.1f%%)" label
+                        old_v new_v delta;
+                      if
+                        new_v > wall_noise_floor_s
+                        && new_v > old_v *. (1.0 +. ctx.tolerance)
+                      then
+                        warn ctx
+                          "section %s slowed %.1f%% (tolerance %.0f%%)" label
+                          delta (100.0 *. ctx.tolerance)
+                  | _ -> ())))
+        news
+
+(* --- pruning: internal gates on the new run, ratio drift vs the old --- *)
+
+let compare_pruning ctx ~old_doc ~new_doc =
+  match (field "pruning" old_doc, field "pruning" new_doc) with
+  | _, None -> fail ctx "pruning section missing from the new run"
+  | old_p, Some np -> (
+      let np = Some np in
+      (match fbool np "all_identical" with
+      | Some true -> ()
+      | _ -> fail ctx "pruning: fences changed a query result");
+      (match field "as_of" np with
+      | None -> fail ctx "pruning: as_of summary missing"
+      | Some asof ->
+          let asof = Some asof in
+          (match fint asof "skipped" with
+          | Some n when n > 0 ->
+              info ctx "pruning: %d pages skipped on rollback queries" n
+          | _ -> fail ctx "pruning: rollback queries skipped no pages");
+          (match fnum asof "worst_ratio" with
+          | Some r when r < 1.0 ->
+              info ctx "pruning: worst growth-rate ratio %.3f" r
+          | Some r -> fail ctx "pruning: growth-rate ratio %.3f not reduced" r
+          | None -> fail ctx "pruning: worst_ratio missing"));
+      match
+        ( Option.bind old_p (fun o -> field "as_of" (Some o)),
+          field "as_of" np )
+      with
+      | Some oa, Some na -> (
+          match
+            (fnum (Some oa) "worst_ratio", fnum (Some na) "worst_ratio")
+          with
+          | Some old_v, Some new_v
+            when new_v > (old_v *. (1.0 +. ctx.tolerance)) +. 0.01 ->
+              warn ctx "pruning: growth-rate ratio drifted %.3f -> %.3f" old_v
+                new_v
+          | _ -> ())
+      | _ -> ())
+
+(* --- throughput: positive rates, per-query drift --- *)
+
+let compare_throughput ctx ~old_doc ~new_doc =
+  match (field "throughput" old_doc, field "throughput" new_doc) with
+  | _, None -> fail ctx "throughput section missing from the new run"
+  | old_t, Some nt -> (
+      let nt = Some nt in
+      match flist nt "queries" with
+      | None | Some [] -> fail ctx "throughput: section is empty"
+      | Some qs ->
+          List.iter
+            (fun q ->
+              let q = Some q in
+              let name = Option.value (fstr q "query") ~default:"?" in
+              (match fnum q "tuples_per_s" with
+              | Some r when r > 0.0 -> ()
+              | _ -> fail ctx "throughput: %s reports no throughput" name);
+              (match (fnum q "reads", fnum q "wall_s") with
+              | Some r, Some w when r >= 0.0 && w > 0.0 -> ()
+              | _ -> fail ctx "throughput: %s has bad reads/wall fields" name);
+              match
+                Option.bind old_t (fun o ->
+                    Option.bind (flist (Some o) "queries") (fun oqs ->
+                        List.find_opt
+                          (fun oq -> fstr (Some oq) "query" = Some name)
+                          oqs))
+              with
+              | None -> ()
+              | Some oq -> (
+                  match
+                    (fnum (Some oq) "tuples_per_s", fnum q "tuples_per_s")
+                  with
+                  | Some old_v, Some new_v ->
+                      info ctx "throughput %-4s %12.0f/s -> %12.0f/s (%+6.1f%%)"
+                        name old_v new_v (pct_change ~old_v ~new_v);
+                      if new_v < old_v /. (1.0 +. ctx.tolerance) then
+                        warn ctx "throughput: %s dropped %.1f%%" name
+                          (-.pct_change ~old_v ~new_v)
+                  | _ -> ()))
+            qs)
+
+(* --- parallel: row identity always; the speedup floor when the
+   machine has cores; speedup drift as a warning --- *)
+
+let speedup_floor = 1.5
+
+let parallel_best_speedup q ~workers =
+  Option.bind (flist q "cells") (fun cells ->
+      List.fold_left
+        (fun acc c ->
+          let c = Some c in
+          if fint c "workers" = Some workers then
+            match (fnum c "speedup", acc) with
+            | Some s, Some b -> Some (Float.max s b)
+            | Some s, None -> Some s
+            | None, _ -> acc
+          else acc)
+        None cells)
+
+let compare_parallel ctx ~old_doc ~new_doc =
+  match (field "parallel" old_doc, field "parallel" new_doc) with
+  | _, None -> fail ctx "parallel section missing from the new run"
+  | old_p, Some np -> (
+      let np = Some np in
+      match flist np "queries" with
+      | None | Some [] -> fail ctx "parallel: section is empty"
+      | Some qs ->
+          List.iter
+            (fun q ->
+              let q = Some q in
+              let name = Option.value (fstr q "query") ~default:"?" in
+              let uc = Option.value (fint q "uc") ~default:(-1) in
+              (match fbool q "identical" with
+              | Some true -> ()
+              | _ -> fail ctx "parallel: %s uc%d rows diverge" name uc);
+              Option.iter
+                (List.iter (fun c ->
+                     let c = Some c in
+                     let w = Option.value (fint c "workers") ~default:(-1) in
+                     (match fbool c "identical" with
+                     | Some true -> ()
+                     | _ ->
+                         fail ctx "parallel: %s uc%d w%d rows diverge" name uc w);
+                     match fnum c "wall_s" with
+                     | Some s when s > 0.0 -> ()
+                     | _ -> fail ctx "parallel: %s uc%d w%d has no wall time" name uc w))
+                (flist q "cells"))
+            qs;
+          let cores = Option.value (fint np "recommended_domains") ~default:0 in
+          if cores >= 4 then begin
+            let top_uc =
+              Option.value
+                (Option.bind (field "meta" new_doc) (fun m -> fint (Some m) "max_uc"))
+                ~default:(-1)
+            in
+            List.iter
+              (fun name ->
+                match
+                  List.find_opt
+                    (fun q ->
+                      fstr (Some q) "query" = Some name
+                      && fint (Some q) "uc" = Some top_uc)
+                    qs
+                with
+                | None -> fail ctx "parallel: %s uc%d missing" name top_uc
+                | Some q -> (
+                    match parallel_best_speedup (Some q) ~workers:4 with
+                    | Some best when best >= speedup_floor ->
+                        info ctx "parallel: %s uc%d %.2fx at 4 workers" name
+                          top_uc best
+                    | Some best ->
+                        fail ctx
+                          "parallel: %s uc%d %.2fx < %.1fx at 4 workers" name
+                          top_uc best speedup_floor
+                    | None ->
+                        fail ctx "parallel: %s uc%d has no 4-worker cell" name
+                          top_uc))
+              [ "Q03"; "Q11" ]
+          end
+          else
+            info ctx
+              "parallel: %d recommended domain(s); speedup floor skipped" cores;
+          (* speedup drift against the old run, same query/uc, 4 workers *)
+          Option.iter
+            (fun op ->
+              Option.iter
+                (List.iter (fun oq ->
+                     let oq = Some oq in
+                     let name = Option.value (fstr oq "query") ~default:"?" in
+                     let uc = fint oq "uc" in
+                     match
+                       List.find_opt
+                         (fun q ->
+                           fstr (Some q) "query" = Some name
+                           && fint (Some q) "uc" = uc)
+                         qs
+                     with
+                     | None -> ()
+                     | Some q -> (
+                         match
+                           ( parallel_best_speedup oq ~workers:4,
+                             parallel_best_speedup (Some q) ~workers:4 )
+                         with
+                         | Some old_v, Some new_v
+                           when old_v > 1.0
+                                && new_v < old_v /. (1.0 +. ctx.tolerance) ->
+                             warn ctx
+                               "parallel: %s uc%d 4-worker speedup %.2fx -> %.2fx"
+                               name
+                               (Option.value uc ~default:(-1))
+                               old_v new_v
+                         | _ -> ())))
+                (flist (Some op) "queries"))
+            old_p)
+
+(* --- durability: identity and the sync-per-statement ceiling --- *)
+
+let compare_durability ctx ~old_doc ~new_doc =
+  match (field "durability" old_doc, field "durability" new_doc) with
+  | _, None -> fail ctx "durability section missing from the new run"
+  | old_d, Some nd ->
+      let nd = Some nd in
+      (match fbool nd "identical" with
+      | Some true -> ()
+      | _ -> fail ctx "durability: journal changed stored tuples");
+      (match (fnum nd "overhead_vs_sync_per_stmt", fnum nd "ceiling") with
+      | Some o, Some c when o <= c ->
+          info ctx "durability: journal %.3fx of naive sync (ceiling %.0fx)" o c
+      | Some o, Some _ -> fail ctx "durability: journal %.2fx of naive sync" o
+      | _ -> fail ctx "durability: overhead fields missing");
+      (match flist nd "phases" with
+      | Some ps when List.length ps >= 4 ->
+          List.iter
+            (fun p ->
+              match fnum (Some p) "journal_s" with
+              | Some s when s >= 0.0 -> ()
+              | _ ->
+                  fail ctx "durability: phase %s has no journal time"
+                    (Option.value (fstr (Some p) "phase") ~default:"?"))
+            ps
+      | _ -> fail ctx "durability: phases missing");
+      (match
+         ( Option.bind old_d (fun o -> fnum (Some o) "overhead_vs_sync_per_stmt"),
+           fnum nd "overhead_vs_sync_per_stmt" )
+       with
+      | Some old_v, Some new_v
+        when old_v > 0.0 && new_v > old_v *. (1.0 +. ctx.tolerance) ->
+          warn ctx "durability: overhead drifted %.3fx -> %.3fx" old_v new_v
+      | _ -> ())
+
+let compare_metrics ctx ~new_doc =
+  match field "metrics" new_doc with
+  | None -> fail ctx "metrics section missing from the new run"
+  | Some m -> (
+      match Obs_json.validate m with
+      | Ok () -> info ctx "metrics: dump matches the shared schema"
+      | Error e -> fail ctx "metrics: %s" e)
+
+(* --- entry points --- *)
+
+let compare_docs ?(tolerance = 0.5) ~old_label ~new_label old_doc new_doc =
+  let old_doc = Some old_doc and new_doc = Some new_doc in
+  let ctx =
+    { buf = Buffer.create 1024; failures = []; warnings = []; tolerance }
+  in
+  info ctx "bench compare: %s (old) vs %s (new), tolerance %.0f%%" old_label
+    new_label (100.0 *. tolerance);
+  compare_grid ctx ~old_doc ~new_doc;
+  compare_sections ctx ~old_doc ~new_doc;
+  compare_pruning ctx ~old_doc ~new_doc;
+  compare_throughput ctx ~old_doc ~new_doc;
+  compare_parallel ctx ~old_doc ~new_doc;
+  compare_durability ctx ~old_doc ~new_doc;
+  compare_metrics ctx ~new_doc;
+  let failures = List.rev ctx.failures and warnings = List.rev ctx.warnings in
+  info ctx "result: %s (%d failure(s), %d warning(s))"
+    (if failures = [] then "OK" else "REGRESSION")
+    (List.length failures) (List.length warnings);
+  { failures; warnings; report = Buffer.contents ctx.buf }
+
+let load path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "no such bench document: %s" path)
+  else begin
+    let ic = open_in_bin path in
+    let src =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse src with
+    | Ok doc -> Ok doc
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  end
+
+let compare_files ?tolerance ~old_path ~new_path () =
+  match (load old_path, load new_path) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok old_doc, Ok new_doc ->
+      Ok
+        (compare_docs ?tolerance ~old_label:(Filename.basename old_path)
+           ~new_label:(Filename.basename new_path) old_doc new_doc)
+
+let run ?tolerance ~old_path ~new_path () =
+  match compare_files ?tolerance ~old_path ~new_path () with
+  | Error e ->
+      prerr_endline ("bench compare: " ^ e);
+      2
+  | Ok outcome ->
+      print_string outcome.report;
+      if outcome.failures = [] then 0 else 1

@@ -1,0 +1,56 @@
+(* The one schema every metrics dump in the system uses.
+
+   Both serializers of engine metrics — the CLI's [\metrics json] and the
+   bench's result document — route through [metrics] here, so they cannot
+   drift apart: a dump is a JSON list of {name; labels; value} objects,
+   names are non-empty strings, labels map strings to strings, values are
+   numbers.  [validate] is the executable statement of that schema; the
+   bench comparator applies it to documents read back from disk. *)
+
+module Json = Tdb_obs.Json
+module Metric = Tdb_obs.Metric
+
+let validate_record i = function
+  | Json.Obj [ ("name", name); ("labels", labels); ("value", value) ] -> (
+      (match name with
+      | Json.Str n when n <> "" -> Ok ()
+      | Json.Str _ -> Error (Printf.sprintf "metric %d: empty name" i)
+      | _ -> Error (Printf.sprintf "metric %d: name is not a string" i))
+      |> fun r ->
+      Result.bind r (fun () ->
+          match labels with
+          | Json.Obj ls ->
+              if
+                List.for_all
+                  (function _, Json.Str _ -> true | _ -> false)
+                  ls
+              then Ok ()
+              else
+                Error
+                  (Printf.sprintf "metric %d: non-string label value" i)
+          | _ -> Error (Printf.sprintf "metric %d: labels is not an object" i))
+      |> fun r ->
+      Result.bind r (fun () ->
+          match value with
+          | Json.Num _ -> Ok ()
+          | _ -> Error (Printf.sprintf "metric %d: value is not a number" i)))
+  | Json.Obj _ ->
+      Error
+        (Printf.sprintf
+           "metric %d: expected exactly the fields name, labels, value" i)
+  | _ -> Error (Printf.sprintf "metric %d: not an object" i)
+
+let validate = function
+  | Json.List records ->
+      let rec go i = function
+        | [] -> Ok ()
+        | r :: rest -> Result.bind (validate_record i r) (fun () -> go (i + 1) rest)
+      in
+      go 0 records
+  | _ -> Error "metrics dump is not a list"
+
+let metrics () =
+  let j = Metric.to_json () in
+  match validate j with
+  | Ok () -> j
+  | Error e -> Tdb_error.internal "metrics dump violates its own schema: %s" e

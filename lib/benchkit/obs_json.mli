@@ -1,0 +1,15 @@
+(** The shared schema for engine-metric dumps.
+
+    Every serializer of [Tdb_obs.Metric] state — the CLI's
+    [\metrics json] and the bench result document — goes through
+    {!metrics}, so there is exactly one wire format: a JSON list of
+    [{name; labels; value}] objects with string names, string-to-string
+    labels and numeric values. *)
+
+val validate : Tdb_obs.Json.t -> (unit, string) result
+(** Check a dump (freshly built or parsed back from disk) against the
+    schema; the error pinpoints the first offending record. *)
+
+val metrics : unit -> Tdb_obs.Json.t
+(** [Metric.to_json ()], validated.  Raises [Tdb_error.Error Internal]
+    if the dump ever stops matching its own schema. *)

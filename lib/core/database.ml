@@ -173,6 +173,27 @@ let create ?dir ?fault ?journal ?start () =
             | Some r when r.Journal.replayed > 0 -> bump_clock_past_stamps t
             | _ -> ());
             t.recoveries <- List.rev t.recoveries;
+            (* Recovery work done at open lands in the statement log as
+               notices, so a log reader sees repairs next to the
+               statements that followed them. *)
+            Option.iter
+              (fun r ->
+                Tdb_obs.Statement_log.note "journal-recovery"
+                  ~attrs:
+                    [
+                      ("dir", dir);
+                      ("report", Format.asprintf "%a" Journal.pp_report r);
+                    ])
+              jr;
+            List.iter
+              (fun (name, r) ->
+                Tdb_obs.Statement_log.note "relation-recovery"
+                  ~attrs:
+                    [
+                      ("relation", name);
+                      ("report", Format.asprintf "%a" Disk.pp_recovery r);
+                    ])
+              t.recoveries;
             Ok t)
 
 let recoveries t = t.recoveries

@@ -15,6 +15,9 @@ module Update_executor = Tdb_query.Update_executor
 module Plan = Tdb_query.Plan
 module Metric = Tdb_obs.Metric
 module Trace = Tdb_obs.Trace
+module Json = Tdb_obs.Json
+module Statement_log = Tdb_obs.Statement_log
+module Pretty = Tdb_tquel.Pretty
 
 type outcome =
   | Rows of {
@@ -342,22 +345,77 @@ let execute_journaled db stmt =
   end
   else execute_checked db stmt
 
+let outcome_trace = function
+  | Rows { trace; _ } | Stored { trace; _ } | Modified { trace; _ } -> trace
+  | Ack _ -> None
+
+let outcome_rows = function
+  | Rows { tuples; _ } -> Some (List.length tuples)
+  | Stored { count; _ } -> Some count
+  | Modified { inserted; _ } -> Some inserted
+  | Ack _ -> None
+
+(* Registered elsewhere (journal, buffer pool) at module init; looking
+   them up by name here avoids new cross-layer hooks just to read them. *)
+let journal_bytes_counter = Metric.counter "tdb_journal_bytes_total"
+let pool_hits_counter = Metric.counter "tdb_pool_hits_total"
+let pool_misses_counter = Metric.counter "tdb_pool_misses_total"
+
+(* One JSONL record per statement, emitted while the statement lock is
+   still held so records are totally ordered.  The deltas lean on the
+   raw page counters ([Database.total_io]) and the registered journal
+   counter; when the log is off this is a single branch. *)
+let log_statement db stmt ~t0 ~io0 ~jb0 result =
+  let io1 = Database.total_io db in
+  let outcome, rows, error =
+    match result with
+    | Ok o -> (
+        ( (match o with
+          | Rows _ -> "rows"
+          | Stored _ -> "stored"
+          | Modified _ -> "modified"
+          | Ack _ -> "ack"),
+          outcome_rows o,
+          None ))
+    | Error e -> ("error", None, Some e)
+  in
+  Statement_log.log
+    {
+      Statement_log.kind = statement_kind stmt;
+      text = Pretty.statement stmt;
+      outcome;
+      error;
+      rows;
+      latency_s = Metric.now_s () -. t0;
+      reads = io1.Io_stats.reads - io0.Io_stats.reads;
+      writes = io1.Io_stats.writes - io0.Io_stats.writes;
+      journal_bytes = Metric.count journal_bytes_counter - jb0;
+    }
+
 let execute_statement db stmt =
   serialized @@ fun () ->
-  let* () = Semck.check_statement (Database.semck_env db) stmt in
-  if not (Metric.enabled ()) then execute_journaled db stmt
-  else begin
-    let kind = statement_kind stmt in
-    Metric.incr
-      (Metric.counter ~labels:[ ("kind", kind) ] "tdb_engine_statements_total");
-    let t0 = Metric.now_s () in
-    let result = execute_journaled db stmt in
-    Metric.observe
-      (Metric.histogram ~labels:[ ("kind", kind) ]
-         "tdb_engine_statement_seconds")
-      (Metric.now_s () -. t0);
-    result
-  end
+  let logging = Statement_log.enabled () in
+  let t0 = if logging then Metric.now_s () else 0.0 in
+  let io0 = if logging then Database.total_io db else Io_stats.zero in
+  let jb0 = if logging then Metric.count journal_bytes_counter else 0 in
+  let result =
+    let* () = Semck.check_statement (Database.semck_env db) stmt in
+    if not (Metric.enabled ()) then execute_journaled db stmt
+    else begin
+      let kind = statement_kind stmt in
+      Metric.incr
+        (Metric.counter ~labels:[ ("kind", kind) ] "tdb_engine_statements_total");
+      let t0 = Metric.now_s () in
+      let result = execute_journaled db stmt in
+      Metric.observe
+        (Metric.histogram ~labels:[ ("kind", kind) ]
+           "tdb_engine_statement_seconds")
+        (Metric.now_s () -. t0);
+      result
+    end
+  in
+  if logging then log_statement db stmt ~t0 ~io0 ~jb0 result;
+  result
 
 (* The plan a retrieve would run, without running it (the CLI's
    [\explain]): the decomposition plan, then the batch pipeline it
@@ -379,6 +437,95 @@ let explain db src =
   | stmt ->
       Ok (Printf.sprintf "%s: no plan (only retrieve statements are planned)"
             (statement_kind stmt))
+
+(* --- explain analyze: run the statement, report the executed plan --- *)
+
+type analysis = {
+  a_outcome : outcome;
+  a_kind : string;
+  a_text : string;
+  a_wall_s : float;
+  a_hits : int;  (** buffer-pool hits during the statement *)
+  a_misses : int;  (** buffer-pool misses during the statement *)
+  a_journal_bytes : int;
+  a_workers : int;
+}
+
+(* Execute one statement with span tracing forced on, and capture the
+   counter deltas the trace tree cannot carry (buffer hits/misses and
+   journal bytes are global registered counters, not per-span).  The
+   trace tree itself rides in the outcome; for parallel scans it holds
+   one child span per partition with that worker's busy time, pages and
+   rows (see [Trace.note_partition]). *)
+let analyze_statement db stmt =
+  let trace_was = Trace.enabled () in
+  Trace.set_enabled true;
+  Fun.protect ~finally:(fun () -> Trace.set_enabled trace_was) @@ fun () ->
+  let h0 = Metric.count pool_hits_counter in
+  let m0 = Metric.count pool_misses_counter in
+  let jb0 = Metric.count journal_bytes_counter in
+  let t0 = Metric.monotonic_s () in
+  let* o = execute_statement db stmt in
+  let wall_s = Metric.monotonic_s () -. t0 in
+  Ok
+    {
+      a_outcome = o;
+      a_kind = statement_kind stmt;
+      a_text = Pretty.statement stmt;
+      a_wall_s = wall_s;
+      a_hits = Metric.count pool_hits_counter - h0;
+      a_misses = Metric.count pool_misses_counter - m0;
+      a_journal_bytes = Metric.count journal_bytes_counter - jb0;
+      a_workers = parallelism ();
+    }
+
+let analyze db src =
+  let* stmt = Parser.parse_statement src in
+  analyze_statement db stmt
+
+let render_analysis a =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "explain analyze (%s)\n" a.a_kind);
+  (match outcome_trace a.a_outcome with
+  | Some t -> Buffer.add_string buf (Trace.render t)
+  | None ->
+      Buffer.add_string buf "(no operator tree for this statement)\n");
+  (match a.a_outcome with
+  | Ack msg -> Buffer.add_string buf (Printf.sprintf "ack: %s\n" msg)
+  | _ -> ());
+  let rows =
+    match outcome_rows a.a_outcome with
+    | Some r -> Printf.sprintf "; rows: %d" r
+    | None -> ""
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "wall: %.2f ms; workers: %d%s\n" (1000.0 *. a.a_wall_s)
+       a.a_workers rows);
+  Buffer.add_string buf
+    (Printf.sprintf "buffer: %d hits, %d misses; journal: %d bytes\n" a.a_hits
+       a.a_misses a.a_journal_bytes);
+  Buffer.contents buf
+
+let analysis_to_json a =
+  Json.Obj
+    [
+      ("statement", Json.Str a.a_text);
+      ("kind", Json.Str a.a_kind);
+      ("wall_s", Json.Num a.a_wall_s);
+      ("workers", Json.int a.a_workers);
+      ( "rows",
+        match outcome_rows a.a_outcome with
+        | Some r -> Json.int r
+        | None -> Json.Null );
+      ( "buffer",
+        Json.Obj
+          [ ("hits", Json.int a.a_hits); ("misses", Json.int a.a_misses) ] );
+      ("journal_bytes", Json.int a.a_journal_bytes);
+      ( "tree",
+        match outcome_trace a.a_outcome with
+        | Some t -> Trace.to_json t
+        | None -> Json.Null );
+    ]
 
 let execute db src =
   let* stmts = Parser.parse_program src in

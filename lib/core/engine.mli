@@ -65,6 +65,42 @@ val explain : Database.t -> string -> (string, string) result
     would execute — including fence refinements showing which time
     dimensions the storage layer will prune on — without running it. *)
 
+(** {1 Explain analyze} *)
+
+type analysis = {
+  a_outcome : outcome;
+  a_kind : string;
+  a_text : string;  (** the statement, pretty-printed *)
+  a_wall_s : float;
+  a_hits : int;  (** buffer-pool hits during the statement *)
+  a_misses : int;  (** buffer-pool misses during the statement *)
+  a_journal_bytes : int;  (** intent-journal bytes appended *)
+  a_workers : int;  (** scan fan-out width in effect *)
+}
+
+val analyze_statement :
+  Database.t -> Tdb_tquel.Ast.statement -> (analysis, string) result
+(** Execute the statement with span tracing forced on and return the
+    executed plan tree (via the outcome's trace) plus the counter deltas
+    a span cannot carry: buffer hits/misses and journal bytes.  Parallel
+    scans report one child span per partition with the worker's domain
+    id, busy time, pages and rows. *)
+
+val analyze : Database.t -> string -> (analysis, string) result
+(** [analyze_statement] on one parsed statement (the CLI's
+    [\explain analyze] and the [explain analyze] input prefix). *)
+
+val render_analysis : analysis -> string
+(** The annotated executed-plan tree plus a wall/workers/rows line and a
+    buffer/journal counter line. *)
+
+val analysis_to_json : analysis -> Tdb_obs.Json.t
+(** The same report in the shared obs JSON form (tree included). *)
+
+val outcome_trace : outcome -> Tdb_obs.Trace.node option
+(** The span tree an outcome carries, if tracing was on ([Ack] never
+    carries one). *)
+
 val format_rows :
   ?max_rows:int ->
   Tdb_relation.Schema.t ->

@@ -4,6 +4,20 @@ let enabled () = !on
 
 let now_s = Unix.gettimeofday
 
+(* A non-decreasing clock for stage timers.  [Unix.gettimeofday] can step
+   backwards under NTP adjustment; a CAS-max over the last reading keeps
+   elapsed-time subtraction from ever going negative.  The float is boxed
+   through [Atomic.t], which is fine for a per-stage (not per-page) clock. *)
+let monotonic_last = Atomic.make 0.0
+
+let rec monotonic_s () =
+  let now = now_s () in
+  let last = Atomic.get monotonic_last in
+  if now >= last then
+    if Atomic.compare_and_set monotonic_last last now then now
+    else monotonic_s ()
+  else last
+
 type counter = {
   c_gated : bool;
   c_count : int Atomic.t;

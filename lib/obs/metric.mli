@@ -82,3 +82,8 @@ val reset_all : unit -> unit
 val now_s : unit -> float
 (** Wall-clock seconds ([Unix.gettimeofday]); exposed so libraries that
     do not link [unix] can still time spans. *)
+
+val monotonic_s : unit -> float
+(** Like [now_s] but clamped to be non-decreasing across all domains
+    (a CAS-max over the last reading), so stage timers never observe a
+    negative interval when the wall clock steps backwards. *)

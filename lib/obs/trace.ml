@@ -6,6 +6,7 @@ type node = {
   mutable writes : int;
   mutable skips : int;
   mutable tuples : int;
+  mutable batches : int;
   mutable started : float;
   mutable elapsed : float;
   mutable children : node list;
@@ -24,6 +25,7 @@ let dummy =
     writes = 0;
     skips = 0;
     tuples = 0;
+    batches = 0;
     started = 0.0;
     elapsed = 0.0;
     children = [];
@@ -45,7 +47,8 @@ let fresh name =
     writes = 0;
     skips = 0;
     tuples = 0;
-    started = Metric.now_s ();
+    batches = 0;
+    started = Metric.monotonic_s ();
     elapsed = 0.0;
     children = [];
   }
@@ -76,7 +79,7 @@ let start name =
 
 let finish n =
   if is_real n then begin
-    let now = Metric.now_s () in
+    let now = Metric.monotonic_s () in
     (* Pop until (and including) [n]: anything above it was left open by
        an exception unwinding through [within]. *)
     let rec pop () =
@@ -105,7 +108,7 @@ let branch parent name =
 
 let enter n =
   if is_real n then begin
-    n.started <- Metric.now_s ();
+    n.started <- Metric.monotonic_s ();
     stack := n :: !stack
   end
 
@@ -114,8 +117,10 @@ let exit n =
     match !stack with
     | top :: rest when top == n ->
         stack := rest;
-        top.elapsed <- top.elapsed +. (Metric.now_s () -. top.started)
+        top.elapsed <- top.elapsed +. (Metric.monotonic_s () -. top.started)
     | _ -> ()
+
+let current () = match !stack with n :: _ when on_main () -> n | _ -> dummy
 
 let note_read () =
   if on_main () then
@@ -130,8 +135,26 @@ let note_skip k =
     match !stack with [] -> () | n :: _ -> n.skips <- n.skips + k
 
 let add_tuples n k = if is_real n then n.tuples <- n.tuples + k
+let note_batch n = if is_real n then n.batches <- n.batches + 1
 let set_attr n k v = if is_real n then n.attrs <- (k, v) :: n.attrs
 let children n = List.rev n.children
+
+(* One child span per parallel-scan partition, built after the Pool join
+   from the worker's private Io_stats and its measured busy time.  The
+   worker domain could not touch the span stack itself (the tracer is
+   main-domain only), so the fold attributes its pages here instead of
+   dumping them on the parent — making per-domain skew visible while the
+   subtree still sums to the query's exact page total. *)
+let note_partition ~parent ~index ~domain ~busy_s ~rows ~reads ~writes =
+  if is_real parent then begin
+    let n = fresh (Printf.sprintf "partition %d" index) in
+    n.attrs <- [ ("domain", string_of_int domain) ];
+    n.reads <- reads;
+    n.writes <- writes;
+    n.tuples <- rows;
+    n.elapsed <- busy_s;
+    parent.children <- n :: parent.children
+  end
 
 let rec total_reads n =
   List.fold_left (fun acc c -> acc + total_reads c) n.reads n.children
@@ -151,11 +174,16 @@ let describe n =
         ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
   in
   let tuples = if n.tuples > 0 then Printf.sprintf ", %d tuples" n.tuples else "" in
+  let batches =
+    if n.batches > 0 then
+      Printf.sprintf ", %d batch%s" n.batches (if n.batches = 1 then "" else "es")
+    else ""
+  in
   let skips =
     if n.skips > 0 then Printf.sprintf ", %d pruned" n.skips else ""
   in
-  Printf.sprintf "%s%s  [%d in, %d out%s%s; %.2f ms]" n.name attrs n.reads
-    n.writes skips tuples (1000.0 *. n.elapsed)
+  Printf.sprintf "%s%s  [%d in, %d out%s%s%s; %.2f ms]" n.name attrs n.reads
+    n.writes skips tuples batches (1000.0 *. n.elapsed)
 
 let render root =
   let buf = Buffer.create 256 in
@@ -181,6 +209,22 @@ let render root =
     (Printf.sprintf "total: %d pages in, %d pages out%s\n" (total_reads root)
        (total_writes root) pruned);
   Buffer.contents buf
+
+(* The executed-plan tree in the shared obs JSON form; [explain analyze]
+   emits this next to the rendered text tree. *)
+let rec to_json n =
+  Json.Obj
+    [
+      ("name", Json.Str n.name);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) (List.rev n.attrs)));
+      ("reads", Json.int n.reads);
+      ("writes", Json.int n.writes);
+      ("skips", Json.int n.skips);
+      ("tuples", Json.int n.tuples);
+      ("batches", Json.int n.batches);
+      ("elapsed_s", Json.Num n.elapsed);
+      ("children", Json.List (List.map to_json (children n)));
+    ]
 
 (* --- event log --- *)
 

@@ -19,6 +19,7 @@ type node = {
   mutable writes : int;
   mutable skips : int;  (** pages skipped by temporal pruning *)
   mutable tuples : int;
+  mutable batches : int;  (** pipeline batches produced by this stage *)
   mutable started : float;
   mutable elapsed : float;  (** seconds, accumulated over enter/exit *)
   mutable children : node list;  (** reverse order; see [children] *)
@@ -55,7 +56,29 @@ val note_skip : int -> unit
     span; no-op with no span. *)
 
 val add_tuples : node -> int -> unit
+
+val note_batch : node -> unit
+(** Count one pipeline batch produced by this span's stage. *)
+
 val set_attr : node -> string -> string -> unit
+
+val current : unit -> node
+(** The innermost active span, or [dummy] when there is none (or when
+    called off the main domain). *)
+
+val note_partition :
+  parent:node ->
+  index:int ->
+  domain:int ->
+  busy_s:float ->
+  rows:int ->
+  reads:int ->
+  writes:int ->
+  unit
+(** Record one parallel-scan partition as a child span of [parent],
+    carrying the worker's folded page I/O, row count, domain id and busy
+    wall time.  Built on the main domain after the Pool join (the tracer
+    stack is main-domain only); keeps the subtree page sum exact. *)
 
 val is_real : node -> bool
 (** [false] exactly for the shared disabled-path [dummy] node. *)
@@ -74,6 +97,10 @@ val total_skips : node -> int
 val render : node -> string
 (** An indented tree: per node its page I/O, tuple count and wall time,
     with subtree totals on the root line. *)
+
+val to_json : node -> Json.t
+(** The span tree in the shared obs JSON form: per node name, attrs,
+    reads/writes/skips, tuples, batches, elapsed seconds, children. *)
 
 (** {1 Event log} *)
 

@@ -9,6 +9,7 @@ module Cursor = Tdb_storage.Cursor
 module Time_fence = Tdb_storage.Time_fence
 module Pool = Tdb_par.Pool
 module Trace = Tdb_obs.Trace
+module Metric = Tdb_obs.Metric
 module Chronon = Tdb_time.Chronon
 module Period = Tdb_time.Period
 open Tdb_tquel.Ast
@@ -454,16 +455,30 @@ let scan_restricted ~now ~restriction ~access (source : source) emit =
       let drained =
         Pool.run_tasks (Array.length parts) (fun i ->
             let cursor, _stats = parts.(i) in
+            let t0 = Metric.monotonic_s () in
             let acc = ref [] in
             Cursor.iter cursor (visit (fun tuple -> acc := tuple :: !acc));
-            List.rev !acc)
+            (List.rev !acc, Metric.monotonic_s () -. t0,
+             (Domain.self () :> int)))
       in
-      Array.iter
-        (fun (_, stats) ->
-          Io_stats.absorb ~into:(Relation_file.stats source.rel) stats)
+      (* Fold each partition's private I/O into the pool's counters and
+         attribute it to a per-partition child span (instead of dumping
+         it on the scan span), so [explain analyze] can show per-domain
+         busy time, pages and rows while the subtree still sums to the
+         query's exact page total.  Fence skips stay on the scan span:
+         the prune counter is global, not per-partition. *)
+      let scan_span = Trace.current () in
+      Array.iteri
+        (fun i (_, stats) ->
+          Io_stats.absorb ~trace:false ~into:(Relation_file.stats source.rel)
+            stats;
+          let rows, busy_s, domain = drained.(i) in
+          Trace.note_partition ~parent:scan_span ~index:i ~domain ~busy_s
+            ~rows:(List.length rows) ~reads:(Io_stats.reads stats)
+            ~writes:(Io_stats.writes stats))
         parts;
       Trace.note_skip (Time_fence.pages_skipped () - skips_before);
-      Array.iter (fun tuples -> List.iter emit tuples) drained
+      Array.iter (fun (tuples, _, _) -> List.iter emit tuples) drained
 
 (* A keyed probe under an already-resolved window (the inner side of a
    tuple substitution); [visit] is a {!restricted_visitor} partial
@@ -573,8 +588,9 @@ type row = Eval.binding list
 type sink = { push : row array -> unit; close : unit -> unit }
 
 (* Accumulate rows into batches of [Pipeline.batch_size] before pushing
-   them downstream; [flush] sends a final short batch. *)
-let row_batcher down =
+   them downstream; [flush] sends a final short batch.  [span], when
+   given, counts each pushed batch against the producing stage. *)
+let row_batcher ?span down =
   let cap = Pipeline.batch_size in
   let buf = Array.make cap [] in
   let n = ref 0 in
@@ -582,6 +598,7 @@ let row_batcher down =
     if !n > 0 then begin
       let batch = Array.sub buf 0 !n in
       n := 0;
+      (match span with Some s -> Trace.note_batch s | None -> ());
       down.push batch
     end
   in
@@ -596,7 +613,7 @@ let row_batcher down =
    scans, keyed probes): its span is entered for each input batch, so the
    inner access's page I/O lands on it, and its output is re-batched. *)
 let expand_stage span expand down =
-  let push_out, flush = row_batcher down in
+  let push_out, flush = row_batcher ~span down in
   {
     push =
       (fun rows ->
@@ -634,6 +651,7 @@ let filter_stage ~now residual span down =
         | _ ->
             let out = Array.of_list keep in
             Trace.add_tuples span (Array.length out);
+            Trace.note_batch span;
             down.push out);
         Trace.exit span);
     close = down.close;
@@ -645,6 +663,7 @@ let emit_stage span emit_row =
       (fun rows ->
         Trace.enter span;
         Trace.add_tuples span (Array.length rows);
+        Trace.note_batch span;
         Array.iter emit_row rows;
         Trace.exit span);
     close = (fun () -> ());
@@ -995,7 +1014,7 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
   let drive label build_rest produce =
     Trace.within label (fun span ->
         let sink = build_rest span in
-        let push, flush = row_batcher sink in
+        let push, flush = row_batcher ~span sink in
         produce span push;
         flush ();
         sink.close ())

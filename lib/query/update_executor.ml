@@ -260,8 +260,17 @@ let run_delete ~now ~(source : Executor.source) (d : delete) =
   Fun.protect ~finally:(fun () -> Trace.finish qnode) @@ fun () ->
   let rel = source.rel in
   let schema = Relation_file.schema rel in
-  let victims = collect_qualifying ~now ~source ~where:d.where ~when_:d.when_ in
+  let victims =
+    Trace.within
+      (Printf.sprintf "qualify(%s)" source.var)
+      (fun qn ->
+        let vs = collect_qualifying ~now ~source ~where:d.where ~when_:d.when_ in
+        Trace.add_tuples qn (List.length vs);
+        vs)
+  in
   let inserted = ref 0 in
+  Trace.within "apply" @@ fun apply_span ->
+  Trace.add_tuples apply_span (List.length victims);
   List.iter
     (fun (tid, tuple) ->
       match Schema.db_type schema with
@@ -316,7 +325,14 @@ let run_replace ~now ~(source : Executor.source) (r : replace) =
   Fun.protect ~finally:(fun () -> Trace.finish qnode) @@ fun () ->
   let rel = source.rel in
   let schema = Relation_file.schema rel in
-  let victims = collect_qualifying ~now ~source ~where:r.where ~when_:r.when_ in
+  let victims =
+    Trace.within
+      (Printf.sprintf "qualify(%s)" source.var)
+      (fun qn ->
+        let vs = collect_qualifying ~now ~source ~where:r.where ~when_:r.when_ in
+        Trace.add_tuples qn (List.length vs);
+        vs)
+  in
   let inserted = ref 0 in
   let new_user_values old_tuple =
     let ctx =
@@ -344,6 +360,8 @@ let run_replace ~now ~(source : Executor.source) (r : replace) =
               | Error e -> errf "attribute %s: %s" a.Schema.name e))
         (Schema.user_attrs schema) )
   in
+  Trace.within "apply" @@ fun apply_span ->
+  Trace.add_tuples apply_span (List.length victims);
   List.iter
     (fun (tid, old_tuple) ->
       let ctx, user_values = new_user_values old_tuple in

@@ -51,20 +51,24 @@ let count_write = count_sync_write
 (* Fold a worker partition's private stats into the owning pool's.  The
    worker already fed the registered global counters at count time (they
    are atomic), so only the raw per-pool counters are added here; trace
-   attribution was a no-op on the worker domain, so the folded pages are
-   charged to the current (main-domain) span now, keeping the profile
-   tree summing to the query's page total. *)
-let absorb ~into src =
+   attribution was a no-op on the worker domain, so by default the folded
+   pages are charged to the current (main-domain) span now, keeping the
+   profile tree summing to the query's page total.  A caller that builds
+   its own per-partition child spans (the parallel scan path) passes
+   ~trace:false to keep the pages from being double-counted. *)
+let absorb ?(trace = true) ~into src =
   let r = reads src and ev = eviction_writes src and sy = sync_writes src in
   Metric.add into.r r;
   Metric.add into.ev_w ev;
   Metric.add into.sy_w sy;
-  for _ = 1 to r do
-    Trace.note_read ()
-  done;
-  for _ = 1 to ev + sy do
-    Trace.note_write ()
-  done
+  if trace then begin
+    for _ = 1 to r do
+      Trace.note_read ()
+    done;
+    for _ = 1 to ev + sy do
+      Trace.note_write ()
+    done
+  end
 
 let reset t =
   Metric.reset_counter t.r;

@@ -32,11 +32,13 @@ val count_write : t -> unit
 
 val reset : t -> unit
 
-val absorb : into:t -> t -> unit
+val absorb : ?trace:bool -> into:t -> t -> unit
 (** [absorb ~into part] folds a parallel-scan partition's private stats
     into the owning pool's counters and charges the pages to the current
     trace span.  The registered global [tdb_io_*] counters are {e not}
-    touched: the partition already fed them at count time. *)
+    touched: the partition already fed them at count time.  Pass
+    [~trace:false] when the caller attributes the pages itself (e.g. to
+    per-partition child spans) to avoid double-counting. *)
 
 type snapshot = { reads : int; writes : int }
 

@@ -47,8 +47,8 @@ trace tree with per-operator page I/O (wall times normalized here):
   +-----------+---------------------+----------+
   (2 rows)
   retrieve fence[tx,valid@"now"](scan(e))  [0 in, 0 out; _ ms]
-  `- fence[tx,valid@"now"](scan(e))  [1 in, 0 out, 2 tuples; _ ms]
-     `- emit  [0 in, 0 out, 2 tuples; _ ms]
+  `- fence[tx,valid@"now"](scan(e))  [1 in, 0 out, 2 tuples, 1 batch; _ ms]
+     `- emit  [0 in, 0 out, 2 tuples, 1 batch; _ ms]
   total: 1 pages in, 0 pages out
 
 \explain describes a retrieve's plan without running it; fence[...] marks
@@ -62,6 +62,32 @@ the time dimensions the storage layer will prune on:
     fence[tx,valid@"now"](scan(e)) -> emit
   parallel: off (workers=1)
   tquel>
+
+"explain analyze" executes a statement and reports the executed plan —
+per-stage rows, batches, page I/O and wall time, plus statement-level
+buffer and journal counters (wall clocks and buffer counts normalized):
+
+  $ ../../bin/tquel.exe -d mydb -c "explain analyze range of e is emp; retrieve (e.name) when e overlap \"now\"" | sed -E -e 's/[0-9]+\.[0-9]+ ms/_ ms/' -e 's/[0-9]+ hits, [0-9]+ misses/_ hits, _ misses/'
+  explain analyze (range)
+  (no operator tree for this statement)
+  ack: range of e is emp
+  wall: _ ms; workers: 1
+  buffer: _ hits, _ misses; journal: 0 bytes
+  explain analyze (retrieve)
+  retrieve fence[tx,valid@"now"](scan(e))  [0 in, 0 out; _ ms]
+  `- fence[tx,valid@"now"](scan(e))  [1 in, 0 out, 2 tuples, 1 batch; _ ms]
+     `- emit  [0 in, 0 out, 2 tuples, 1 batch; _ ms]
+  total: 1 pages in, 0 pages out
+  wall: _ ms; workers: 1; rows: 2
+  buffer: _ hits, _ misses; journal: 0 bytes
+
+--log appends one JSON record per executed statement:
+
+  $ ../../bin/tquel.exe -d mydb --log stmt.jsonl -c "range of e is emp retrieve (e.name) when e overlap \"now\"" > /dev/null
+  $ grep -c '"record":"statement"' stmt.jsonl
+  2
+  $ grep -c '"kind":"retrieve"' stmt.jsonl
+  1
 
 Errors are reported, not fatal, but a failed statement exits non-zero
 (2 = query error):

@@ -141,6 +141,233 @@ let test_report_plot () =
   in
   Alcotest.(check bool) "plot renders" true (String.length p > 100)
 
+(* --- the shared metrics schema (\metrics json and bench --json) --- *)
+
+module Json = Tdb_obs.Json
+module Metric = Tdb_obs.Metric
+module Obs_json = Tdb_benchkit.Obs_json
+module Compare = Tdb_benchkit.Compare
+
+let test_obs_json_schema () =
+  (* the live dump round-trips through the validator *)
+  Metric.incr (Metric.counter "test_benchkit_schema_total");
+  (match Obs_json.validate (Obs_json.metrics ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Json.parse (Json.to_string (Obs_json.metrics ())) with
+  | Ok v -> (
+      match Obs_json.validate v with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("parsed dump rejected: " ^ e))
+  | Error e -> Alcotest.fail e);
+  (* malformed documents are rejected with a reason *)
+  let rejected doc =
+    match Obs_json.validate doc with Ok () -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "non-list rejected" true (rejected (Json.Obj []));
+  Alcotest.(check bool) "missing labels rejected" true
+    (rejected
+       (Json.List [ Json.Obj [ ("name", Json.Str "x"); ("value", Json.int 1) ] ]));
+  Alcotest.(check bool) "string value rejected" true
+    (rejected
+       (Json.List
+          [
+            Json.Obj
+              [
+                ("name", Json.Str "x");
+                ("labels", Json.Obj []);
+                ("value", Json.Str "1");
+              ];
+          ]));
+  Alcotest.(check bool) "empty name rejected" true
+    (rejected
+       (Json.List
+          [
+            Json.Obj
+              [
+                ("name", Json.Str "");
+                ("labels", Json.Obj []);
+                ("value", Json.int 1);
+              ];
+          ]))
+
+(* --- the bench trend harness --- *)
+
+(* A minimal document that passes every internal gate, with knobs for the
+   fields the tests perturb. *)
+let bench_doc ?(max_uc = 3) ?(smoke = false) ?(h_pages = 7) ?(overhead = 0.5)
+    ?(tuples_per_s = 100.0) () =
+  Json.Obj
+    [
+      ( "meta",
+        Json.Obj
+          [
+            ("max_uc", Json.int max_uc);
+            ("seed", Json.int 850331);
+            ("smoke", Json.Bool smoke);
+          ] );
+      ( "sections",
+        Json.List
+          [
+            Json.Obj [ ("label", Json.Str "grid"); ("wall_s", Json.Num 1.0) ];
+          ] );
+      ( "grid",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("kind", Json.Str "temporal");
+                ("loading", Json.int 100);
+                ( "cells",
+                  Json.List
+                    [
+                      Json.Obj
+                        [ ("h_pages", Json.int h_pages); ("i_pages", Json.int 9) ];
+                    ] );
+              ];
+          ] );
+      ( "pruning",
+        Json.Obj
+          [
+            ("all_identical", Json.Bool true);
+            ( "as_of",
+              Json.Obj
+                [
+                  ("queries", Json.int 4);
+                  ("skipped", Json.int 10);
+                  ("worst_ratio", Json.Num 0.4);
+                ] );
+          ] );
+      ( "throughput",
+        Json.Obj
+          [
+            ( "queries",
+              Json.List
+                [
+                  Json.Obj
+                    [
+                      ("query", Json.Str "Q01");
+                      ("tuples_per_s", Json.Num tuples_per_s);
+                      ("reads", Json.Num 5.0);
+                      ("wall_s", Json.Num 0.1);
+                    ];
+                ] );
+          ] );
+      ( "parallel",
+        Json.Obj
+          [
+            ("recommended_domains", Json.int 1);
+            ( "queries",
+              Json.List
+                [
+                  Json.Obj
+                    [
+                      ("query", Json.Str "Q03");
+                      ("uc", Json.int max_uc);
+                      ("identical", Json.Bool true);
+                      ( "cells",
+                        Json.List
+                          [
+                            Json.Obj
+                              [
+                                ("workers", Json.int 4);
+                                ("wall_s", Json.Num 0.1);
+                                ("speedup", Json.Num 2.0);
+                                ("identical", Json.Bool true);
+                              ];
+                          ] );
+                    ];
+                ] );
+          ] );
+      ( "durability",
+        Json.Obj
+          [
+            ("identical", Json.Bool true);
+            ("overhead_vs_sync_per_stmt", Json.Num overhead);
+            ("ceiling", Json.Num 1.0);
+            ( "phases",
+              Json.List
+                (List.init 4 (fun i ->
+                     Json.Obj
+                       [
+                         ("phase", Json.Str (Printf.sprintf "p%d" i));
+                         ("journal_s", Json.Num 0.1);
+                       ])) );
+          ] );
+      ( "metrics",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("name", Json.Str "tdb_test_total");
+                ("labels", Json.Obj []);
+                ("value", Json.int 1);
+              ];
+          ] );
+    ]
+
+let mentions outcome needle =
+  List.exists
+    (fun f ->
+      let n = String.length needle in
+      let rec go i =
+        i + n <= String.length f && (String.sub f i n = needle || go (i + 1))
+      in
+      go 0)
+    outcome.Compare.failures
+
+let test_compare_identical_docs () =
+  let doc = bench_doc () in
+  let o = Compare.compare_docs ~old_label:"a" ~new_label:"b" doc doc in
+  Alcotest.(check (list string)) "no failures" [] o.Compare.failures;
+  Alcotest.(check (list string)) "no warnings" [] o.Compare.warnings
+
+let test_compare_grid_divergence () =
+  let o =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b" (bench_doc ())
+      (bench_doc ~h_pages:8 ())
+  in
+  Alcotest.(check bool) "a cell change is a hard failure" true
+    (o.Compare.failures <> []);
+  Alcotest.(check bool) "failure names the grid" true (mentions o "grid")
+
+let test_compare_smoke_runs_skip_grid () =
+  (* a smoke run is incomparable on the grid but still passes through the
+     internal gates *)
+  let o =
+    Compare.compare_docs ~old_label:"full" ~new_label:"smoke" (bench_doc ())
+      (bench_doc ~max_uc:1 ~smoke:true ~h_pages:99 ())
+  in
+  Alcotest.(check (list string)) "grid skipped, gates pass" []
+    o.Compare.failures
+
+let test_compare_durability_gate () =
+  let o =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b" (bench_doc ())
+      (bench_doc ~overhead:1.4 ())
+  in
+  Alcotest.(check bool) "overhead past the ceiling fails" true
+    (mentions o "durability");
+  (* drift within the ceiling only warns *)
+  let o' =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b"
+      (bench_doc ~overhead:0.2 ())
+      (bench_doc ~overhead:0.9 ())
+  in
+  Alcotest.(check (list string)) "within ceiling: no failure" []
+    o'.Compare.failures;
+  Alcotest.(check bool) "but drift warns" true (o'.Compare.warnings <> [])
+
+let test_compare_throughput_drift_warns () =
+  let o =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b"
+      (bench_doc ~tuples_per_s:100.0 ())
+      (bench_doc ~tuples_per_s:10.0 ())
+  in
+  Alcotest.(check (list string)) "drop is not a hard failure" []
+    o.Compare.failures;
+  Alcotest.(check bool) "but it warns" true (o.Compare.warnings <> [])
+
 let suites =
   [
     ( "benchkit",
@@ -157,5 +384,16 @@ let suites =
         Alcotest.test_case "decompose/predict" `Quick test_decompose_predict;
         Alcotest.test_case "report table" `Quick test_report_table;
         Alcotest.test_case "report plot" `Quick test_report_plot;
+        Alcotest.test_case "metrics schema" `Quick test_obs_json_schema;
+        Alcotest.test_case "compare: identical docs" `Quick
+          test_compare_identical_docs;
+        Alcotest.test_case "compare: grid divergence" `Quick
+          test_compare_grid_divergence;
+        Alcotest.test_case "compare: smoke runs skip the grid" `Quick
+          test_compare_smoke_runs_skip_grid;
+        Alcotest.test_case "compare: durability gates" `Quick
+          test_compare_durability_gate;
+        Alcotest.test_case "compare: throughput drift warns" `Quick
+          test_compare_throughput_drift_warns;
       ] );
   ]

@@ -6,6 +6,8 @@ module Evolve = Tdb_benchkit.Evolve
 module Paper_queries = Tdb_benchkit.Paper_queries
 module Database = Tdb_core.Database
 module Engine = Tdb_core.Engine
+module Relation_file = Tdb_storage.Relation_file
+module Buffer_pool = Tdb_storage.Buffer_pool
 
 (* Global observability state is shared across the whole test binary:
    every test restores the enabled flags it touched. *)
@@ -287,6 +289,85 @@ let test_nested_query_span_sum () =
       | Ok _ -> Alcotest.fail "expected a traced Rows outcome"
       | Error e -> Alcotest.fail e)
 
+(* --- parallel scans: partition attribution --- *)
+
+let chill (w : Workload.t) =
+  let db = w.Workload.db in
+  List.iter
+    (fun name ->
+      match Database.find_relation db name with
+      | Some rel -> Buffer_pool.invalidate (Relation_file.pool rel)
+      | None -> ())
+    (Database.relation_names db)
+
+let rec collect_partitions (n : Trace.node) acc =
+  let acc =
+    if
+      String.length n.Trace.name >= 9
+      && String.sub n.Trace.name 0 9 = "partition"
+    then n :: acc
+    else acc
+  in
+  List.fold_left (fun acc c -> collect_partitions c acc) acc (Trace.children n)
+
+let test_parallel_partition_span_sum () =
+  (* The acceptance bar for explain-analyze under parallelism: at update
+     count 15 with 4 workers, the executed plan must carry one child span
+     per partition with that worker's domain and busy time, and the page
+     reads must still sum to the Io_stats total exactly — the
+     worker-private counters are folded without double counting. *)
+  with_flags ~metrics:true ~tracing:false @@ fun () ->
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:31 in
+  for round = 1 to 15 do
+    Evolve.uniform_round w ~round
+  done;
+  Fun.protect ~finally:(fun () -> Engine.set_parallelism None) @@ fun () ->
+  Engine.set_parallelism (Some 4);
+  List.iter
+    (fun (qid, scan_only) ->
+      let name = Paper_queries.name qid in
+      match Paper_queries.text qid Workload.Temporal with
+      | None -> Alcotest.failf "%s undefined" name
+      | Some src -> (
+          chill w;
+          match Engine.analyze w.Workload.db src with
+          | Error e -> Alcotest.failf "%s: %s" name e
+          | Ok a -> (
+              Alcotest.(check int)
+                (name ^ ": ran with 4 workers") 4 a.Engine.a_workers;
+              match a.Engine.a_outcome with
+              | Engine.Rows { io; trace = Some node; _ } ->
+                  Alcotest.(check int)
+                    (name ^ ": span tree sums to the Io_stats total")
+                    io.Tdb_query.Executor.input_reads (Trace.total_reads node);
+                  let parts = collect_partitions node [] in
+                  Alcotest.(check bool)
+                    (name ^ ": scan split into partitions") true
+                    (List.length parts >= 2);
+                  List.iter
+                    (fun (p : Trace.node) ->
+                      Alcotest.(check bool)
+                        (name ^ ": partition records its domain") true
+                        (List.mem_assoc "domain" p.Trace.attrs);
+                      Alcotest.(check bool)
+                        (name ^ ": partition busy time recorded") true
+                        (p.Trace.elapsed >= 0.0))
+                    parts;
+                  let part_reads =
+                    List.fold_left (fun s (p : Trace.node) -> s + p.Trace.reads) 0 parts
+                  in
+                  if scan_only then
+                    (* single-relation scan: every page read happens inside
+                       a partition's private pool *)
+                    Alcotest.(check int)
+                      (name ^ ": partition reads sum to the Io_stats total")
+                      io.Tdb_query.Executor.input_reads part_reads
+                  else
+                    Alcotest.(check bool)
+                      (name ^ ": partitions read pages") true (part_reads > 0)
+              | _ -> Alcotest.failf "%s: expected a traced Rows outcome" name)))
+    [ (Paper_queries.Q03, true); (Paper_queries.Q11, false) ]
+
 let suites =
   [
     ( "obs",
@@ -312,5 +393,7 @@ let suites =
           test_q05_span_sum_equals_io_total;
         Alcotest.test_case "nested query span sum" `Quick
           test_nested_query_span_sum;
+        Alcotest.test_case "parallel partition span sum (uc 15, 4 workers)"
+          `Slow test_parallel_partition_span_sum;
       ] );
   ]
