@@ -75,21 +75,33 @@ let pct_change ~old_v ~new_v =
 
 (* --- the cost grid: cell-for-cell equality --- *)
 
-(* Two full runs with the same seed and update-count range must agree on
-   every page count: the instrumentation layers (tracing, logging,
-   journalling) are required to be invisible in the paper's numbers. *)
+(* Two full runs with the same seed, update-count range and generator
+   scale must agree on every page count: the instrumentation layers
+   (tracing, logging, journalling) are required to be invisible in the
+   paper's numbers.  Documents that predate the scale axis carry no
+   meta.scale key and compare as scale 1. *)
+let meta_scale d =
+  Option.value
+    (Option.bind (field "meta" d) (fun m -> fint (Some m) "scale"))
+    ~default:1
+
 let grid_comparable ctx ~old_doc ~new_doc =
-  let meta d = (fint d "max_uc", fint d "seed", fbool d "smoke") in
+  let meta d =
+    (fint d "max_uc", fint d "seed", fbool d "smoke",
+     Option.value (fint d "scale") ~default:1)
+  in
   match (field "meta" old_doc, field "meta" new_doc) with
   | Some om, Some nm when meta (Some om) = meta (Some nm) -> true
   | Some om, Some nm ->
       info ctx
-        "grid: equality skipped (incomparable runs: old max_uc=%s smoke=%s, \
-         new max_uc=%s smoke=%s)"
+        "grid: equality skipped (incomparable runs: old max_uc=%s smoke=%s \
+         scale=%d, new max_uc=%s smoke=%s scale=%d)"
         (match fint (Some om) "max_uc" with Some n -> string_of_int n | None -> "?")
         (match fbool (Some om) "smoke" with Some b -> string_of_bool b | None -> "?")
+        (meta_scale old_doc)
         (match fint (Some nm) "max_uc" with Some n -> string_of_int n | None -> "?")
-        (match fbool (Some nm) "smoke" with Some b -> string_of_bool b | None -> "?");
+        (match fbool (Some nm) "smoke" with Some b -> string_of_bool b | None -> "?")
+        (meta_scale new_doc);
       false
   | _ ->
       fail ctx "meta section missing";
@@ -262,6 +274,61 @@ let compare_throughput ctx ~old_doc ~new_doc =
                   | _ -> ()))
             qs)
 
+(* --- speedup-vs-workers trend tables --- *)
+
+let speedup_at q ~workers =
+  Option.bind (flist q "cells") (fun cells ->
+      List.find_map
+        (fun c ->
+          let c = Some c in
+          if fint c "workers" = Some workers then fnum c "speedup" else None)
+        cells)
+
+(* One report line per query configuration: the whole speedup curve of
+   the new run next to the old one, so a parallel-efficiency regression
+   is visible even when every hard gate still passes.  [tag] names the
+   per-query axis key ("uc" for the parallel section, "scale" for the
+   scale sweep); an old document without the section shows "-". *)
+let trend_table ctx ~section ~tag old_sec new_sec =
+  match flist new_sec "queries" with
+  | None | Some [] -> ()
+  | Some qs ->
+      let workers =
+        Option.value
+          (Option.map
+             (List.filter_map (function
+               | Json.Num f -> Some (int_of_float f)
+               | _ -> None))
+             (flist new_sec "workers"))
+          ~default:[]
+      in
+      info ctx "%s trend (speedup vs workers, old -> new):" section;
+      List.iter
+        (fun q ->
+          let q = Some q in
+          let name = Option.value (fstr q "query") ~default:"?" in
+          let key = Option.value (fint q tag) ~default:(-1) in
+          let oq =
+            Option.bind (flist old_sec "queries") (fun oqs ->
+                List.find_opt
+                  (fun oq ->
+                    fstr (Some oq) "query" = Some name
+                    && fint (Some oq) tag = Some key)
+                  oqs)
+          in
+          let cell w =
+            let show = function
+              | Some v -> Printf.sprintf "%.2fx" v
+              | None -> "-"
+            in
+            Printf.sprintf "w%d %5s -> %5s" w
+              (show (Option.bind oq (fun o -> speedup_at (Some o) ~workers:w)))
+              (show (speedup_at q ~workers:w))
+          in
+          info ctx "  %-4s %s %-4d %s" name tag key
+            (String.concat "   " (List.map cell workers)))
+        qs
+
 (* --- parallel: row identity always; the speedup floor when the
    machine has cores; speedup drift as a warning --- *)
 
@@ -374,7 +441,86 @@ let compare_parallel ctx ~old_doc ~new_doc =
                                old_v new_v
                          | _ -> ())))
                 (flist (Some op) "queries"))
-            old_p)
+            old_p;
+          trend_table ctx ~section:"parallel" ~tag:"uc" old_p np)
+
+(* --- scale sweep: row identity always; where the machine has the
+   cores, parallelism must pay at scale (>= 2x on Q03/Q11 with 4
+   workers at scale >= 10) and must not hurt at paper scale (no query
+   below 0.9x at scale 1 — the admission threshold is supposed to
+   decline fan-outs too small to amortize) --- *)
+
+let scale10_speedup_floor = 2.0
+let scale1_speedup_floor = 0.9
+
+let compare_scale ctx ~old_doc ~new_doc =
+  match (field "scale" old_doc, field "scale" new_doc) with
+  | _, None -> fail ctx "scale section missing from the new run"
+  | old_s, Some ns -> (
+      let ns = Some ns in
+      match flist ns "queries" with
+      | None | Some [] -> fail ctx "scale: section is empty"
+      | Some qs ->
+          List.iter
+            (fun q ->
+              let q = Some q in
+              let name = Option.value (fstr q "query") ~default:"?" in
+              let sc = Option.value (fint q "scale") ~default:(-1) in
+              (match fbool q "identical" with
+              | Some true -> ()
+              | _ -> fail ctx "scale: %s at scale %d rows diverge" name sc);
+              Option.iter
+                (List.iter (fun c ->
+                     let c = Some c in
+                     let w = Option.value (fint c "workers") ~default:(-1) in
+                     (match fbool c "identical" with
+                     | Some true -> ()
+                     | _ ->
+                         fail ctx "scale: %s scale %d w%d rows diverge" name sc
+                           w);
+                     match fnum c "wall_s" with
+                     | Some s when s > 0.0 -> ()
+                     | _ ->
+                         fail ctx "scale: %s scale %d w%d has no wall time" name
+                           sc w))
+                (flist q "cells"))
+            qs;
+          let cores = Option.value (fint ns "recommended_domains") ~default:0 in
+          if cores >= 4 then
+            List.iter
+              (fun q ->
+                let q = Some q in
+                let name = Option.value (fstr q "query") ~default:"?" in
+                let sc = Option.value (fint q "scale") ~default:1 in
+                if sc >= 10 && List.mem name [ "Q03"; "Q11" ] then begin
+                  match speedup_at q ~workers:4 with
+                  | Some s when s >= scale10_speedup_floor ->
+                      info ctx "scale: %s at scale %d %.2fx at 4 workers" name
+                        sc s
+                  | Some s ->
+                      fail ctx "scale: %s at scale %d %.2fx < %.1fx at 4 workers"
+                        name sc s scale10_speedup_floor
+                  | None ->
+                      fail ctx "scale: %s at scale %d has no 4-worker cell" name
+                        sc
+                end
+                else if sc = 1 then
+                  Option.iter
+                    (List.iter (fun c ->
+                         let c = Some c in
+                         match (fint c "workers", fnum c "speedup") with
+                         | Some w, Some s when s < scale1_speedup_floor ->
+                             fail ctx
+                               "scale: %s at scale 1 regresses to %.2fx with \
+                                %d workers (floor %.1fx)"
+                               name s w scale1_speedup_floor
+                         | _ -> ()))
+                    (flist q "cells"))
+              qs
+          else
+            info ctx "scale: %d recommended domain(s); speedup gates skipped"
+              cores;
+          trend_table ctx ~section:"scale" ~tag:"scale" old_s ns)
 
 (* --- durability: identity and the sync-per-statement ceiling --- *)
 
@@ -433,6 +579,7 @@ let compare_docs ?(tolerance = 0.5) ~old_label ~new_label old_doc new_doc =
   compare_pruning ctx ~old_doc ~new_doc;
   compare_throughput ctx ~old_doc ~new_doc;
   compare_parallel ctx ~old_doc ~new_doc;
+  compare_scale ctx ~old_doc ~new_doc;
   compare_durability ctx ~old_doc ~new_doc;
   compare_metrics ctx ~new_doc;
   let failures = List.rev ctx.failures and warnings = List.rev ctx.warnings in

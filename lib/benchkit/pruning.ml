@@ -55,8 +55,8 @@ let measure (w : Workload.t) src =
   let skipped = Time_fence.pages_skipped () in
   { cost_off; cost_on; skipped; identical = rows_off = rows_on }
 
-let run ~kind ~loading ~seed ~max_uc =
-  let w = Workload.build ~kind ~loading ~seed in
+let run ?(scale = 1) ~kind ~loading ~seed ~max_uc () =
+  let w = Workload.build ~scale ~kind ~loading ~seed () in
   let texted =
     List.filter_map
       (fun qid ->

@@ -31,7 +31,14 @@ val as_of_queries : Paper_queries.id list
 (** Q03, Q04 and Q11 — the queries whose [as of] bound falls before the
     evolution epoch, where pruning must bite. *)
 
-val run : kind:Workload.kind -> loading:int -> seed:int -> max_uc:int -> t
+val run :
+  ?scale:int ->
+  kind:Workload.kind ->
+  loading:int ->
+  seed:int ->
+  max_uc:int ->
+  unit ->
+  t
 (** Build a fresh workload and measure every applicable query twice (via
     {!Tdb_storage.Time_fence.with_pruning}) at each update count,
     evolving one uniform round between counts.  The global pruning switch

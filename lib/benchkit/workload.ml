@@ -25,6 +25,7 @@ type t = {
   db : Database.t;
   kind : kind;
   loading : int;
+  scale : int;
   h_name : string;
   i_name : string;
 }
@@ -66,11 +67,15 @@ let random_amount rng =
   in
   draw ()
 
-let tuples_for ~kind ~seed ~which schema =
+let tuples_for ?(scale = 1) ~kind ~seed ~which schema =
+  if scale < 1 then invalid_arg "Workload.tuples_for: scale must be >= 1";
   let rng =
     Random.State.make [| seed; (match which with `H -> 17; | `I -> 23) |]
   in
-  List.init n_tuples (fun id ->
+  (* Scaling multiplies the paper's row count; ids stay dense from 0, so
+     every scale includes the scale-1 ids (the hot probe tuples keep
+     their identity and stay unique at any scale). *)
+  List.init (n_tuples * scale) (fun id ->
       let amount =
         match which with
         | `H when id = hot_h_id -> hot_h_amount
@@ -98,7 +103,8 @@ let tuples_for ~kind ~seed ~which schema =
       assert (Array.length tuple = Schema.arity schema);
       tuple)
 
-let build ~kind ~loading ~seed =
+let build ?(scale = 1) ~kind ~loading ~seed () =
+  if scale < 1 then invalid_arg "Workload.build: scale must be >= 1";
   let db =
     match Database.create ~start:evolution_base () with
     | Ok db -> db
@@ -115,7 +121,7 @@ let build ~kind ~loading ~seed =
     in
     List.iter
       (fun tu -> ignore (Relation_file.insert rel tu))
-      (tuples_for ~kind ~seed ~which schema);
+      (tuples_for ~scale ~kind ~seed ~which schema);
     match Database.modify_relation db name org with
     | Ok () -> ()
     | Error e -> Tdb_error.internal "workload setup: %s" e
@@ -129,7 +135,7 @@ let build ~kind ~loading ~seed =
   | Ok () -> ()
   | Error e -> Tdb_error.internal "workload setup: %s" e);
   Clock.set (Database.clock db) evolution_base;
-  { db; kind; loading; h_name; i_name }
+  { db; kind; loading; scale; h_name; i_name }
 
 let h_rel t = Option.get (Database.find_relation t.db t.h_name)
 let i_rel t = Option.get (Database.find_relation t.db t.i_name)

@@ -18,26 +18,35 @@ type t = {
   db : Tdb_core.Database.t;
   kind : kind;
   loading : int;  (** fillfactor percentage: 100 or 50 *)
+  scale : int;  (** row-count multiplier over the paper's 1024 *)
   h_name : string;
   i_name : string;
 }
 
-val build : kind:kind -> loading:int -> seed:int -> t
+val build : ?scale:int -> kind:kind -> loading:int -> seed:int -> unit -> t
 (** Builds and loads the database, organizes the files, declares the ranges
     [h] and [i], and leaves the clock at 1980-03-01 (after every initial
-    stamp). *)
+    stamp).  [scale] (default 1) multiplies the paper's 1024-row count:
+    ids stay dense from 0, so every scale is a superset of scale 1 and
+    the hot probe tuples keep their identity.  Raises [Invalid_argument]
+    when [scale < 1]. *)
 
 val h_rel : t -> Tdb_storage.Relation_file.t
 val i_rel : t -> Tdb_storage.Relation_file.t
 
 val tuples_for :
+  ?scale:int ->
   kind:kind ->
   seed:int ->
   which:[ `H | `I ] ->
   Tdb_relation.Schema.t ->
   Tdb_relation.Tuple.t list
 (** The raw initial tuples (used to feed alternative stores the same
-    data). *)
+    data).  [scale] as in {!build}. *)
+
+val n_tuples : int
+(** The paper's row count (1024) at scale 1; a scaled workload holds
+    [n_tuples * scale] rows with ids dense from 0. *)
 
 val schema_for : kind -> Tdb_relation.Schema.t
 

@@ -433,7 +433,8 @@ let explain db src =
           let pipe = Executor.pipeline_retrieve ~sources r in
           Plan.to_string plan ^ "\n"
           ^ Tdb_query.Pipeline.to_string pipe
-          ^ "\n" ^ Executor.explain_parallelism ~sources r)
+          ^ "\n"
+          ^ Executor.explain_parallelism ~now:(Database.now db) ~sources r)
   | stmt ->
       Ok (Printf.sprintf "%s: no plan (only retrieve statements are planned)"
             (statement_kind stmt))
@@ -449,6 +450,7 @@ type analysis = {
   a_misses : int;  (** buffer-pool misses during the statement *)
   a_journal_bytes : int;
   a_workers : int;
+  a_parallel : string option;
 }
 
 (* Execute one statement with span tracing forced on, and capture the
@@ -467,6 +469,19 @@ let analyze_statement db stmt =
   let t0 = Metric.monotonic_s () in
   let* o = execute_statement db stmt in
   let wall_s = Metric.monotonic_s () -. t0 in
+  (* The parallelism decision the executor took (admission is
+     deterministic, so re-deriving it after the run describes the run);
+     charge-free — previews size partitions from fence summaries only. *)
+  let parallel =
+    match stmt with
+    | Ast.Retrieve r -> (
+        try
+          Some
+            (Executor.explain_parallelism ~now:(Database.now db)
+               ~sources:(sources_of db) r)
+        with _ -> None)
+    | _ -> None
+  in
   Ok
     {
       a_outcome = o;
@@ -477,6 +492,7 @@ let analyze_statement db stmt =
       a_misses = Metric.count pool_misses_counter - m0;
       a_journal_bytes = Metric.count journal_bytes_counter - jb0;
       a_workers = parallelism ();
+      a_parallel = parallel;
     }
 
 let analyze db src =
@@ -501,6 +517,9 @@ let render_analysis a =
   Buffer.add_string buf
     (Printf.sprintf "wall: %.2f ms; workers: %d%s\n" (1000.0 *. a.a_wall_s)
        a.a_workers rows);
+  (match a.a_parallel with
+  | Some p -> Buffer.add_string buf (p ^ "\n")
+  | None -> ());
   Buffer.add_string buf
     (Printf.sprintf "buffer: %d hits, %d misses; journal: %d bytes\n" a.a_hits
        a.a_misses a.a_journal_bytes);
@@ -513,6 +532,8 @@ let analysis_to_json a =
       ("kind", Json.Str a.a_kind);
       ("wall_s", Json.Num a.a_wall_s);
       ("workers", Json.int a.a_workers);
+      ( "parallel",
+        match a.a_parallel with Some p -> Json.Str p | None -> Json.Null );
       ( "rows",
         match outcome_rows a.a_outcome with
         | Some r -> Json.int r

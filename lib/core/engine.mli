@@ -76,6 +76,9 @@ type analysis = {
   a_misses : int;  (** buffer-pool misses during the statement *)
   a_journal_bytes : int;  (** intent-journal bytes appended *)
   a_workers : int;  (** scan fan-out width in effect *)
+  a_parallel : string option;
+      (** the parallelism decision line(s) for retrieves — admitted
+          fan-out, [declined (too small)], or off — as in [\explain] *)
 }
 
 val analyze_statement :

@@ -347,23 +347,25 @@ let resolve_window ~now ~restriction ~transaction ~valid_const =
   | None, None -> None
   | _ -> Some { Tdb_storage.Time_fence.transaction; valid }
 
-(* Resolve a plan access into the storage layer's unified batch cursor. *)
-let cursor_of_access ~now ~restriction ~access (source : source) =
+(* Resolve a plan access into the storage layer's terms: the fence window
+   (if the plan wrapped one) and the unified access path.  Evaluating the
+   probe constants here costs no I/O, so planners (the parallelism
+   admission below, [\explain]) can call this freely. *)
+let resolve_access ~now ~restriction ~access (source : source) =
   let key_attr_name () =
     match Relation_file.key_attr source.rel with
     | Some i -> (Schema.attr (Relation_file.schema source.rel) i).Schema.name
     | None -> errf "keyed probe on a heap relation"
   in
   let rec go ?window = function
-    | Plan.Seq_scan ->
-        Relation_file.cursor ?window source.rel Relation_file.Full_scan
+    | Plan.Seq_scan -> (window, Relation_file.Full_scan)
     | Plan.Keyed_probe e ->
         let probe = Eval.expr { Eval.bindings = []; now } e in
         let probe =
           coerce_probe (Relation_file.schema source.rel) (key_attr_name ())
             probe ~now
         in
-        Relation_file.cursor ?window source.rel (Relation_file.Key_lookup probe)
+        (window, Relation_file.Key_lookup probe)
     | Plan.Range_probe (lo, hi) ->
         (* Strict bounds are widened to inclusive here; the restriction
            conjuncts (which include the original comparisons) re-filter. *)
@@ -375,13 +377,17 @@ let cursor_of_access ~now ~restriction ~access (source : source) =
                 ~now)
             b
         in
-        Relation_file.cursor ?window source.rel
-          (Relation_file.Key_range { lo = bound lo; hi = bound hi })
+        (window, Relation_file.Key_range { lo = bound lo; hi = bound hi })
     | Plan.Time_fence { transaction; valid_const; base } ->
         let window = resolve_window ~now ~restriction ~transaction ~valid_const in
         go ?window base
   in
   go access
+
+(* Resolve a plan access into the storage layer's unified batch cursor. *)
+let cursor_of_access ~now ~restriction ~access (source : source) =
+  let window, path = resolve_access ~now ~restriction ~access source in
+  Relation_file.cursor ?window source.rel path
 
 (* Apply the full single-variable restriction to one raw record: the
    as-of test straight on the bytes when possible (skipping the decode of
@@ -409,84 +415,160 @@ let iter_restricted ~now ~restriction ~access (source : source) f =
     (cursor_of_access ~now ~restriction ~access source)
     (restricted_visitor ~now ~restriction source f)
 
-(* --- parallel scans ---
+(* --- parallel execution ---
 
-   A full scan (possibly fence-refined — never a keyed or range probe,
-   whose page sets depend on the probe value) can fan out over
-   page-disjoint partitions: [Some window] when the access is such a
-   scan, [None] otherwise. *)
-let parallel_scan_window ~now ~restriction = function
-  | Plan.Seq_scan -> Some None
-  | Plan.Time_fence { transaction; valid_const; base = Plan.Seq_scan } ->
-      Some (resolve_window ~now ~restriction ~transaction ~valid_const)
-  | _ -> None
+   Any access — a full scan, a keyed probe, a range probe, possibly
+   fence-refined — can fan out over page-disjoint partitions (see
+   {!Relation_file.partition_access}).  Whether it {e should} is an
+   admission decision: fan-out costs domain wake-ups and private cold
+   pools, which at the paper's 1986 row counts outweigh the work itself.
+   The executor therefore declines to parallelize any access whose
+   post-prune page count (sized for free from the fence summaries) falls
+   below a floor, even when more workers are configured. *)
 
-(* How many partitions a parallel drain of this source would use. *)
-let scan_partition_count (source : source) =
-  Relation_file.scan_partitions source.rel ~parts:(Pool.workers ())
+let default_parallel_min_pages = 128
 
-(* Drain a restricted source into [emit], fanning a full scan out over
-   the domain pool when more than one worker is configured.
+let parallel_min_pages_override = ref None
+let set_parallel_min_pages v = parallel_min_pages_override := v
 
-   Each worker drains page-disjoint partitions through private pools and
-   applies the same pure visitor (as-of prefilter, decode, pushed-down
+let parallel_min_pages () =
+  match !parallel_min_pages_override with
+  | Some v -> max 0 v
+  | None -> (
+      match Sys.getenv_opt "TDB_PAR_MIN_PAGES" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some v when v >= 0 -> v
+          | _ -> default_parallel_min_pages)
+      | None -> default_parallel_min_pages)
+
+type parallel_decision =
+  | Par_off  (** one worker configured: nothing to decide *)
+  | Par_unavailable  (** the access cannot fan out on this organization *)
+  | Par_declined of { pages : int; floor : int }
+      (** partitionable, but too small to pay for the fan-out *)
+  | Par_go of {
+      window : Time_fence.window option;
+      path : Relation_file.access_path;
+      parts : int;
+      pages : int;
+      pruned : int;
+    }
+
+let admit ~window ~path (source : source) =
+  let workers = Pool.workers () in
+  match
+    Relation_file.partition_preview ?window source.rel ~parts:workers path
+  with
+  | None -> Par_unavailable
+  | Some p ->
+      let floor = parallel_min_pages () in
+      if p.Relation_file.pp_parts < 2 || p.Relation_file.pp_pages < floor then
+        Par_declined { pages = p.Relation_file.pp_pages; floor }
+      else
+        Par_go
+          {
+            window;
+            path;
+            parts = p.Relation_file.pp_parts;
+            pages = p.Relation_file.pp_pages;
+            pruned = p.Relation_file.pp_pruned_pages;
+          }
+
+let parallel_decision ~now ~restriction ~access (source : source) =
+  if Pool.workers () <= 1 then Par_off
+  else
+    let window, path = resolve_access ~now ~restriction ~access source in
+    admit ~window ~path source
+
+(* Drain pre-built page-disjoint partitions into [emit] through the
+   domain pool.
+
+   Each worker drains its partitions through private pools and applies
+   the same pure visitor (as-of prefilter, decode, pushed-down
    conjuncts); the main domain then emits the surviving tuples partition
-   by partition, in partition order.  Partitions are contiguous ranges of
-   the scan order, so the emitted sequence — and everything downstream of
-   it — is bit-identical to the sequential scan's.  Partition I/O and
-   fence skips are folded into the source's stats and the current span
-   after the join; a failing worker's error is re-raised here (first by
-   partition order) once all workers have stopped. *)
-let scan_restricted ~now ~restriction ~access (source : source) emit =
-  let parallel =
-    if Pool.workers () <= 1 then None
-    else parallel_scan_window ~now ~restriction access
+   by partition, in partition order.  Partitions are contiguous ranges
+   of the sequential walk order, so the emitted sequence — and
+   everything downstream of it — is bit-identical to the sequential
+   access's.  Partition I/O and fence skips are folded into the source's
+   stats and the current span after the join; a failing worker's error
+   is re-raised here (first by partition order) once all workers have
+   stopped.  [build_parts] runs inside the skip snapshot so shard-level
+   prunes charged at partition-build time land on the span too. *)
+let drain_partitions (source : source) build_parts visit emit =
+  let skips_before = Time_fence.pages_skipped () in
+  let parts = Array.of_list (build_parts ()) in
+  let drained =
+    Pool.run_tasks (Array.length parts) (fun i ->
+        let cursor, _stats = parts.(i) in
+        let t0 = Metric.monotonic_s () in
+        let acc = ref [] in
+        Cursor.iter cursor (visit (fun tuple -> acc := tuple :: !acc));
+        (List.rev !acc, Metric.monotonic_s () -. t0,
+         (Domain.self () :> int)))
   in
-  match parallel with
-  | None -> iter_restricted ~now ~restriction ~access source emit
-  | Some window ->
-      let parts =
-        Array.of_list
-          (Relation_file.partition_scan ?window source.rel
-             ~parts:(Pool.workers ()))
-      in
-      let visit = restricted_visitor ~now ~restriction source in
-      let skips_before = Time_fence.pages_skipped () in
-      let drained =
-        Pool.run_tasks (Array.length parts) (fun i ->
-            let cursor, _stats = parts.(i) in
-            let t0 = Metric.monotonic_s () in
-            let acc = ref [] in
-            Cursor.iter cursor (visit (fun tuple -> acc := tuple :: !acc));
-            (List.rev !acc, Metric.monotonic_s () -. t0,
-             (Domain.self () :> int)))
-      in
-      (* Fold each partition's private I/O into the pool's counters and
-         attribute it to a per-partition child span (instead of dumping
-         it on the scan span), so [explain analyze] can show per-domain
-         busy time, pages and rows while the subtree still sums to the
-         query's exact page total.  Fence skips stay on the scan span:
-         the prune counter is global, not per-partition. *)
-      let scan_span = Trace.current () in
-      Array.iteri
-        (fun i (_, stats) ->
-          Io_stats.absorb ~trace:false ~into:(Relation_file.stats source.rel)
-            stats;
-          let rows, busy_s, domain = drained.(i) in
-          Trace.note_partition ~parent:scan_span ~index:i ~domain ~busy_s
-            ~rows:(List.length rows) ~reads:(Io_stats.reads stats)
-            ~writes:(Io_stats.writes stats))
-        parts;
-      Trace.note_skip (Time_fence.pages_skipped () - skips_before);
-      Array.iter (fun (tuples, _, _) -> List.iter emit tuples) drained
+  (* Fold each partition's private I/O into the pool's counters and
+     attribute it to a per-partition child span (instead of dumping
+     it on the scan span), so [explain analyze] can show per-domain
+     busy time, pages and rows while the subtree still sums to the
+     query's exact page total.  Fence skips stay on the scan span:
+     the prune counter is global, not per-partition. *)
+  let scan_span = Trace.current () in
+  Array.iteri
+    (fun i (_, stats) ->
+      Io_stats.absorb ~trace:false ~into:(Relation_file.stats source.rel)
+        stats;
+      let rows, busy_s, domain = drained.(i) in
+      Trace.note_partition ~parent:scan_span ~index:i ~domain ~busy_s
+        ~rows:(List.length rows) ~reads:(Io_stats.reads stats)
+        ~writes:(Io_stats.writes stats))
+    parts;
+  Trace.note_skip (Time_fence.pages_skipped () - skips_before);
+  Array.iter (fun (tuples, _, _) -> List.iter emit tuples) drained
 
-(* A keyed probe under an already-resolved window (the inner side of a
+let drain_admitted (source : source) ~window ~path ~parts visit emit =
+  drain_partitions source
+    (fun () ->
+      match
+        Relation_file.partition_access ?window source.rel ~parts path
+      with
+      | Some ps -> ps
+      | None ->
+          (* partition_preview admitted, so the access fans out *)
+          assert false)
+    visit emit
+
+(* Drain a restricted source into [emit], fanning the access out over
+   the domain pool when more than one worker is configured and the
+   admission rule clears. *)
+let scan_restricted ~now ~restriction ~access (source : source) emit =
+  match parallel_decision ~now ~restriction ~access source with
+  | Par_go { window; path; parts; _ } ->
+      let visit = restricted_visitor ~now ~restriction source in
+      drain_admitted source ~window ~path ~parts visit emit
+  | Par_off | Par_unavailable | Par_declined _ ->
+      iter_restricted ~now ~restriction ~access source emit
+
+(* Keyed probes under an already-resolved window (the inner side of a
    tuple substitution); [visit] is a {!restricted_visitor} partial
-   application, built once for the whole join. *)
-let iter_probe ~window (source : source) probe visit =
-  Cursor.iter
-    (Relation_file.cursor ?window source.rel (Relation_file.Key_lookup probe))
-    visit
+   application, built once for the whole join.  Each probe value decides
+   parallelism for itself — chain lengths differ per key — against the
+   same admission floor as scans; the single-worker / cold-key case
+   stays a plain inline cursor walk. *)
+let probe_runner ~window (source : source) visit =
+  let inline probe emitter =
+    Cursor.iter
+      (Relation_file.cursor ?window source.rel
+         (Relation_file.Key_lookup probe))
+      (visit emitter)
+  in
+  if Pool.workers () <= 1 then inline
+  else fun probe emitter ->
+    let path = Relation_file.Key_lookup probe in
+    match admit ~window ~path source with
+    | Par_go { window; path; parts; _ } ->
+        drain_admitted source ~window ~path ~parts visit emitter
+    | Par_off | Par_unavailable | Par_declined _ -> inline probe emitter
 
 (* --- one-variable detachment --- *)
 
@@ -756,32 +838,81 @@ let pipeline_retrieve ~sources (r : retrieve) =
   let plan = Plan.choose ~sources:(List.map source_info sources) ~conjuncts in
   build_pipeline ~sources ~conjuncts r plan
 
-(* The parallelism line [\explain] prints: which scan would fan out, over
-   how many partitions, under the currently configured worker count. *)
-let explain_parallelism ~sources (r : retrieve) =
+(* The parallelism line [\explain] prints: the decision the executor
+   would take for the plan's driving access under the currently
+   configured worker count — including declines, so the admission floor
+   is visible — plus a note for probe-driven inner sides, whose fan-out
+   is decided per probe value at run time. *)
+let explain_parallelism ~now ~sources (r : retrieve) =
   let sources = ordered_sources ~sources r in
   let conjuncts = Conjuncts.split r.where r.when_ in
   let plan = Plan.choose ~sources:(List.map source_info sources) ~conjuncts in
   let workers = Pool.workers () in
-  let scan_var =
-    match plan with
-    | Plan.Single { var; access } -> (
-        match access with
-        | Plan.Seq_scan | Plan.Time_fence { base = Plan.Seq_scan; _ } ->
-            Some var
-        | _ -> None)
-    | Plan.Nested_scan { outer; _ } -> Some outer
-    | Plan.Nested_general { vars = v :: _; _ } -> Some v
-    | _ -> None
-  in
-  match scan_var with
-  | Some v when workers > 1 ->
-      let s = List.find (fun s -> s.var = v) sources in
-      let parts = scan_partition_count s in
-      Printf.sprintf "parallel: %d workers, scan(%s) in %d partition%s"
-        workers v parts
-        (if parts = 1 then "" else "s")
-  | _ -> Printf.sprintf "parallel: off (workers=%d)" workers
+  if workers <= 1 then Printf.sprintf "parallel: off (workers=%d)" workers
+  else begin
+    let window = as_of_window ~now r.as_of in
+    let restriction_of var =
+      { conjuncts = Conjuncts.for_var var conjuncts; window }
+    in
+    let find v = List.find (fun s -> s.var = v) sources in
+    let driving =
+      match plan with
+      | Plan.Single { var; access } -> Some (var, access)
+      | Plan.Nested_scan { outer; _ } ->
+          Some (outer, fenced_scan conjuncts (find outer))
+      | Plan.Nested_general { vars = v :: _; _ } ->
+          Some (v, fenced_scan conjuncts (find v))
+      | _ -> None
+    in
+    let kind_of = function
+      | Relation_file.Full_scan -> "scan"
+      | Relation_file.Key_lookup _ -> "probe"
+      | Relation_file.Key_range _ -> "range"
+    in
+    let main =
+      match driving with
+      | None ->
+          Printf.sprintf "parallel: off (workers=%d, no driving scan)" workers
+      | Some (v, access) -> (
+          match
+            parallel_decision ~now ~restriction:(restriction_of v) ~access
+              (find v)
+          with
+          | Par_off -> Printf.sprintf "parallel: off (workers=%d)" workers
+          | Par_unavailable ->
+              Printf.sprintf "parallel: off (workers=%d, %s does not fan out)"
+                workers v
+          | Par_declined { pages; floor } ->
+              Printf.sprintf
+                "parallel: declined (too small): %s has %d post-prune \
+                 page%s, floor %d"
+                v pages
+                (if pages = 1 then "" else "s")
+                floor
+          | Par_go { path; parts; pages; pruned; _ } ->
+              Printf.sprintf
+                "parallel: %d workers, %s(%s) in %d partition%s (%d live \
+                 page%s, %d shard-pruned)"
+                workers (kind_of path) v parts
+                (if parts = 1 then "" else "s")
+                pages
+                (if pages = 1 then "" else "s")
+                pruned)
+    in
+    let probe_note =
+      match plan with
+      | Plan.Tuple_substitution { substituted; _ } -> Some substituted
+      | Plan.Nested_general { probe = Some p; _ } -> Some p.Plan.probe_var
+      | _ -> None
+    in
+    match probe_note with
+    | Some v ->
+        main
+        ^ Printf.sprintf
+            "\nparallel probes: %s decided per key (floor %d pages)" v
+            (parallel_min_pages ())
+    | None -> main
+  end
 
 let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
   let sources = ordered_sources ~sources r in
@@ -1058,6 +1189,7 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
       let inner_visit =
         restricted_visitor ~now ~restriction:inner_restriction si
       in
+      let run_probe = probe_runner ~window:inner_window si inner_visit in
       drive (scan_stage_label ())
         (fun scan_span ->
           let pspan =
@@ -1070,9 +1202,8 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
                 coerce_probe (schema_of si) inner_key_attr
                   outer_tuple.(probe_index) ~now
               in
-              iter_probe ~window:inner_window si probe
-                (inner_visit (fun inner_tuple ->
-                     push' (row @ [ binding si inner_tuple ]))))
+              run_probe probe (fun inner_tuple ->
+                  push' (row @ [ binding si inner_tuple ])))
             (tail_sink pspan))
         (fun span push ->
           Relation_file.scan temp (fun _ ot ->
@@ -1149,6 +1280,7 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
                       let restriction = restriction_of v in
                       let window = fence_window_for s ~restriction in
                       let visit = restricted_visitor ~now ~restriction s in
+                      let run_probe = probe_runner ~window s visit in
                       fun row push' ->
                         let b =
                           List.find
@@ -1169,8 +1301,8 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
                           coerce_probe (schema_of s) p.Plan.probe_attr
                             b.Eval.tuple.(idx) ~now
                         in
-                        iter_probe ~window s probe_val
-                          (visit (fun t -> push' (row @ [ binding s t ])))
+                        run_probe probe_val (fun t ->
+                            push' (row @ [ binding s t ]))
                   | _ ->
                       fun row push' ->
                         iter_restricted ~now ~restriction:(restriction_of v)

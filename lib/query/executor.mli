@@ -48,10 +48,28 @@ val pipeline_retrieve :
     CLI's [\explain]). *)
 
 val explain_parallelism :
-  sources:source list -> Tdb_tquel.Ast.retrieve -> string
-(** One line for [\explain]: the worker count and, when the plan's outer
-    access is a parallelizable full scan, the partition count that scan
-    would fan out over ([parallel: off (workers=1)] otherwise). *)
+  now:Tdb_time.Chronon.t ->
+  sources:source list ->
+  Tdb_tquel.Ast.retrieve ->
+  string
+(** The parallelism line(s) for [\explain]: the decision the executor
+    would take for the plan's driving access under the configured worker
+    count — [parallel: N workers, scan(v) in K partitions ...] when
+    admitted, [parallel: declined (too small): ...] when the post-prune
+    page count is under the admission floor, [parallel: off ...]
+    otherwise — plus a note for probe-driven inner sides, whose fan-out
+    is decided per probe value at run time.  Charge-free: previews size
+    partitions from in-memory fence summaries only. *)
+
+val set_parallel_min_pages : int option -> unit
+(** Overrides the parallelism admission floor (minimum post-prune pages
+    an access must cover to fan out; default 128, or the
+    [TDB_PAR_MIN_PAGES] environment variable).  [Some 0] admits
+    everything — the tests use it to exercise fan-out on tiny relations;
+    [None] restores the default chain. *)
+
+val parallel_min_pages : unit -> int
+(** The admission floor currently in effect. *)
 
 val result_schema :
   sources:source list ->

@@ -79,6 +79,18 @@ let range_cursor ?window t ~lo ~hi =
           (match lo with Some l -> Value.compare l k <= 0 | None -> true)
           && match hi with Some u -> Value.compare k u <= 0 | None -> true)
 
+(* The record filters the probe cursors above apply, exposed so a
+   partitioned probe (sub-runs of the bucket chain, or of the whole
+   primary area for a range) filters records exactly as the sequential
+   cursor does. *)
+
+let lookup_filter t key record = Value.equal (t.key_of record) key
+
+let range_filter t ~lo ~hi record =
+  let k = t.key_of record in
+  (match lo with Some l -> Value.compare l k <= 0 | None -> true)
+  && match hi with Some u -> Value.compare k u <= 0 | None -> true
+
 module Access = struct
   type file = t
 

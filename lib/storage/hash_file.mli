@@ -73,6 +73,16 @@ val range_cursor :
   Cursor.t
 (** No order in a hash file: a full scan filtered to \[lo, hi\]. *)
 
+val lookup_filter : t -> Tdb_relation.Value.t -> bytes -> bool
+(** The record filter {!lookup_cursor} applies (key equality), for
+    partitioned probes that must filter exactly as the sequential cursor
+    does. *)
+
+val range_filter :
+  t -> lo:Tdb_relation.Value.t option -> hi:Tdb_relation.Value.t option ->
+  bytes -> bool
+(** The record filter {!range_cursor} applies (key within [\[lo, hi\]]). *)
+
 module Access : Cursor.ACCESS_METHOD with type file = t
 
 val npages : t -> int

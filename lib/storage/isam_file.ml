@@ -282,6 +282,68 @@ let range_cursor ?window t ~lo ~hi =
   Cursor.of_chains ?window t.pf ~heads
     ~filter:(fun record -> in_range (t.key_of record))
 
+(* --- probe runs, for partition-parallel probes ---
+
+   [lookup_cursor key] walks exactly the pages [range_cursor ~lo:(Some
+   key) ~hi:(Some key)] walks, with the same filter (the unfold
+   conditions coincide once lo = hi = key), so a single run abstraction
+   covers both.  A run is the contiguous data-page interval [start, stop)
+   the probe's heads come from; partitioning it into sub-runs of heads
+   (each owning its overflow chain) is page-disjoint and order-preserving
+   by construction. *)
+
+let run_from t ~first ~hi =
+  let qualifies page =
+    page = first
+    ||
+    match hi with
+    | Some h -> Value.compare t.first_keys.(page) h <= 0
+    | None -> true
+  in
+  let stop = ref first in
+  while !stop < t.ndata && qualifies !stop do
+    incr stop
+  done;
+  (first, !stop)
+
+let range_run t ~lo ~hi =
+  let first = match lo with Some k -> locate_data_page t k | None -> 0 in
+  run_from t ~first ~hi
+
+(* [locate_data_page] without the directory I/O: the directory levels are
+   built from (and never diverge from) the in-memory [first_keys], so the
+   descent's result — the largest leaf entry <= key, then the duplicate
+   back-walk — can be re-derived by binary search.  For sizing previews
+   only; the real probe still pays the descent reads. *)
+let locate_data_page_mem t key =
+  let located =
+    if Value.compare t.first_keys.(0) key > 0 then 0
+    else begin
+      let lo = ref 0 and hi = ref t.ndata in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if Value.compare t.first_keys.(mid) key <= 0 then lo := mid
+        else hi := mid
+      done;
+      !lo
+    end
+  in
+  let rec back page =
+    if page > 0 && Value.compare t.last_keys.(page - 1) key >= 0 then
+      back (page - 1)
+    else page
+  in
+  back located
+
+let range_run_mem t ~lo ~hi =
+  let first = match lo with Some k -> locate_data_page_mem t k | None -> 0 in
+  run_from t ~first ~hi
+
+let range_filter t ~lo ~hi record =
+  let k = t.key_of record in
+  (match lo with Some l -> Value.compare l k <= 0 | None -> true)
+  && match hi with Some h -> Value.compare k h <= 0 | None -> true
+
 module Access = struct
   type file = t
 

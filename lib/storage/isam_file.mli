@@ -104,3 +104,30 @@ val range_cursor :
 module Access : Cursor.ACCESS_METHOD with type file = t
 
 val npages : t -> int
+
+(** {1 Probe runs}
+
+    A probe's primary data pages always form one contiguous run
+    [\[start, stop)]: {!lookup_cursor} over [key] walks exactly the pages
+    {!range_cursor} walks at [lo = hi = Some key], with the same record
+    filter, so these three suffice to rebuild either probe as partitioned
+    sub-runs (each data page owning its whole overflow chain). *)
+
+val range_run :
+  t -> lo:Tdb_relation.Value.t option -> hi:Tdb_relation.Value.t option ->
+  int * int
+(** The probe's data-page run [(start, stop)].  Performs the charged
+    directory descent when [lo] is bounded — exactly the reads the
+    sequential cursor would pay at open time. *)
+
+val range_run_mem :
+  t -> lo:Tdb_relation.Value.t option -> hi:Tdb_relation.Value.t option ->
+  int * int
+(** {!range_run} recomputed from the in-memory page-key bounds: no page is
+    read, nothing is charged.  For admission previews only. *)
+
+val range_filter :
+  t -> lo:Tdb_relation.Value.t option -> hi:Tdb_relation.Value.t option ->
+  bytes -> bool
+(** The record filter {!range_cursor} applies — key within [\[lo, hi\]];
+    with [lo = hi = Some key] it is {!lookup_cursor}'s equality filter. *)

@@ -274,6 +274,20 @@ let chain_pages t ~head =
   in
   go [] head
 
+(* The chain's page list from the mirrored links alone — no page I/O.
+   Only meaningful with fencing on: the link table is complete then
+   (every [set_next_overflow] mirrors, and rebuild/sidecar-load seed it),
+   so a missing entry really means "no successor". *)
+let cached_chain_pages t ~head =
+  if not (fences_enabled t) then None
+  else
+    let rec go acc page_id =
+      match cached_link t page_id with
+      | Some n -> go (page_id :: acc) n
+      | None -> List.rev (page_id :: acc)
+    in
+    Some (go [] head)
+
 let chain_length t ~head = List.length (chain_pages t ~head)
 
 let free_slots_on t ~page =

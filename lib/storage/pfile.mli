@@ -58,6 +58,12 @@ val chain_iter :
 val chain_pages : t -> head:int -> int list
 val chain_length : t -> head:int -> int
 
+val cached_chain_pages : t -> head:int -> int list option
+(** The chain's page list derived from the mirrored overflow links alone —
+    no page is read, so nothing is charged to any counter.  [None] when
+    fencing is off (the link table only exists, and is only complete,
+    with fencing on).  Lets planners size and shard chains for free. *)
+
 val page_iter :
   ?window:Time_fence.window -> t -> page:int -> (Tid.t -> bytes -> unit) -> unit
 (** Visits the used records of a single page (no chain traversal); with

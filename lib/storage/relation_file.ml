@@ -345,42 +345,264 @@ let cursor ?window t access =
   | Isam_impl i, Key_lookup key -> Isam_file.lookup_cursor ?window i key
   | Isam_impl i, Key_range { lo; hi } -> Isam_file.range_cursor ?window i ~lo ~hi
 
-(* Split a full scan into [parts] page-disjoint partitions for parallel
-   execution.  Partitioning is by contiguous ranges of the data area's
-   chain heads in scan order: heap pages have no chains (each page is its
-   own head), and hash buckets / ISAM primary pages own their overflow
-   chains outright (overflow pages are allocated per chain), so no page
-   can appear in two partitions.  Each partition reads through a private
-   1-frame buffer pool with private stats — concatenating the partitions
-   in order yields exactly the sequential cursor's rows, and summing
-   their reads yields exactly the sequential read count (a fresh 1-frame
-   pool misses on precisely the pages a fresh sequential scan misses). *)
-let scan_partitions t ~parts = max 1 (min parts (data_heads t))
+(* --- partition-parallel execution ---
+
+   Split an access path into [parts] page-disjoint partitions for
+   parallel execution.  Partitioning is by contiguous ranges of the
+   chain heads the access walks, in walk order: heap pages have no
+   chains (each page is its own head), and hash buckets / ISAM primary
+   pages own their overflow chains outright (overflow pages are
+   allocated per chain), so no page can appear in two partitions.  A
+   keyed hash probe walks a single chain, so it partitions by contiguous
+   page runs of that chain instead.  Each partition reads through a
+   private 1-frame buffer pool with private stats — concatenating the
+   partitions in order yields exactly the sequential cursor's rows, and
+   summing their reads yields exactly the sequential read count (a fresh
+   1-frame pool misses on precisely the pages a fresh sequential access
+   misses).
+
+   Time shards: with fencing on and a bounded window, a head whose every
+   chain page is fence-refuted is dropped before any worker sees it.
+   The drop is charged exactly what the sequential per-page walk would
+   have charged — one fence check and one skipped page per page — and
+   heads that survive are charged nothing here (their workers re-check
+   each page, as the sequential walk does), so the prune counters stay
+   bit-identical to sequential execution. *)
+
+type par_plan = {
+  pp_parts : int;
+  pp_pages : int;
+  pp_pruned_pages : int;
+}
+
+(* The window under which shard pruning may act at all — mirrors the
+   preconditions of [Pfile.skippable] so build-time refutation agrees
+   exactly with what each worker's per-page walk would decide. *)
+let prune_window t window =
+  match (window, t.stamp) with
+  | Some w, Some _
+    when Pfile.fences_enabled (data_pf t)
+         && Time_fence.pruning_enabled ()
+         && not (Time_fence.window_is_unbounded w) ->
+      Some w
+  | _ -> None
+
+(* Missing fence entry = nothing written since fencing was enabled =
+   empty page: refuted under any bounded window, as in [Pfile]. *)
+let page_refuted pf w page =
+  match Pfile.fence_of pf page with
+  | Some f -> not (Time_fence.may_overlap f w)
+  | None -> true
+
+(* The partitionable shape of an access path on the current
+   organization: which chain heads the access walks (plus the record
+   filter the sequential cursor applies), or — for a keyed hash probe —
+   which single chain's pages. *)
+type shape =
+  | Heads of { heads : int list; filter : (bytes -> bool) option }
+  | Chain of { pages : int list; filter : bytes -> bool }
+
+let all_heads t = List.init (data_heads t) Fun.id
+
+(* An ISAM probe's primary pages form one contiguous run; [charged]
+   selects the real (counted) directory descent for execution vs the
+   in-memory replay for charge-free previews. *)
+let isam_shape ~charged i ~lo ~hi =
+  let first, stop =
+    if charged then Isam_file.range_run i ~lo ~hi
+    else Isam_file.range_run_mem i ~lo ~hi
+  in
+  let heads = List.init (stop - first) (fun k -> first + k) in
+  Some (Heads { heads; filter = Some (Isam_file.range_filter i ~lo ~hi) })
+
+let shape ~charged t access =
+  match (t.impl, access) with
+  | _, Full_scan -> Some (Heads { heads = all_heads t; filter = None })
+  | Heap_impl _, (Key_lookup _ | Key_range _) ->
+      (* a heap answers probes with a full scan; callers filter *)
+      Some (Heads { heads = all_heads t; filter = None })
+  | Hash_impl h, Key_lookup key -> (
+      match
+        Pfile.cached_chain_pages (Hash_file.pfile h)
+          ~head:(Hash_file.bucket_of h key)
+      with
+      | Some pages ->
+          Some (Chain { pages; filter = Hash_file.lookup_filter h key })
+      | None -> None (* fencing off: the chain's length is unknown for free *))
+  | Hash_impl _, Key_range { lo = None; hi = None } ->
+      Some (Heads { heads = all_heads t; filter = None })
+  | Hash_impl h, Key_range { lo; hi } ->
+      (* no order in a hash file: a filtered full scan *)
+      Some
+        (Heads
+           {
+             heads = all_heads t;
+             filter = Some (Hash_file.range_filter h ~lo ~hi);
+           })
+  | Isam_impl i, Key_lookup key ->
+      isam_shape ~charged i ~lo:(Some key) ~hi:(Some key)
+  | Isam_impl i, Key_range { lo; hi } -> isam_shape ~charged i ~lo ~hi
+
+(* A head's full page list, from the mirrored overflow links alone (no
+   I/O); [None] when fencing is off and the org is chained. *)
+let head_pages t pf head =
+  match t.impl with
+  | Heap_impl _ -> Some [ head ]
+  | Hash_impl _ | Isam_impl _ -> Pfile.cached_chain_pages pf ~head
+
+let split_runs lst nparts =
+  let arr = Array.of_list lst in
+  let n = Array.length arr in
+  List.init nparts (fun i ->
+      let lo = i * n / nparts and hi = (i + 1) * n / nparts in
+      Array.to_list (Array.sub arr lo (hi - lo)))
+
+let partition_preview ?window t ~parts access =
+  match shape ~charged:false t access with
+  | None -> None
+  | Some sh ->
+      let pf = data_pf t in
+      let w = prune_window t window in
+      let plan ~live_units ~live_pages ~pruned =
+        Some
+          {
+            pp_parts = max 1 (min parts (max 1 live_units));
+            pp_pages = live_pages;
+            pp_pruned_pages = pruned;
+          }
+      in
+      (match (sh, w) with
+      | Chain { pages; _ }, None ->
+          let n = List.length pages in
+          plan ~live_units:n ~live_pages:n ~pruned:0
+      | Chain { pages; _ }, Some w ->
+          let total = List.length pages in
+          let alive =
+            List.length
+              (List.filter (fun p -> not (page_refuted pf w p)) pages)
+          in
+          plan ~live_units:alive ~live_pages:alive ~pruned:(total - alive)
+      | Heads { heads; _ }, Some w ->
+          (* a bounded prune window implies fencing is on, so every
+             head's chain is enumerable for free *)
+          let live_heads = ref 0 and live_pages = ref 0 and pruned = ref 0 in
+          List.iter
+            (fun head ->
+              match head_pages t pf head with
+              | Some pages ->
+                  let alive =
+                    List.length
+                      (List.filter (fun p -> not (page_refuted pf w p)) pages)
+                  in
+                  if alive > 0 then incr live_heads;
+                  live_pages := !live_pages + alive;
+                  pruned := !pruned + List.length pages - alive
+              | None ->
+                  incr live_heads;
+                  incr live_pages)
+            heads;
+          plan ~live_units:!live_heads ~live_pages:!live_pages ~pruned:!pruned
+      | Heads { heads; _ }, None ->
+          let nheads = List.length heads in
+          let pages =
+            match t.impl with
+            | Heap_impl _ -> nheads
+            | Hash_impl _ | Isam_impl _ ->
+                if Pfile.fences_enabled pf then
+                  List.fold_left
+                    (fun acc head ->
+                      match head_pages t pf head with
+                      | Some pages -> acc + List.length pages
+                      | None -> acc + 1)
+                    0 heads
+                else
+                  (* fence-free estimate: the whole file (for a subset
+                     run this overshoots; admission only needs an order
+                     of magnitude) *)
+                  Pfile.npages pf
+          in
+          plan ~live_units:nheads ~live_pages:pages ~pruned:0)
+
+let partition_access ?window t ~parts access =
+  match shape ~charged:true t access with
+  | None -> None
+  | Some sh ->
+      (* Dirty frames in the relation's own pool are invisible to the
+         private pools, which read the disk directly; push them down
+         first.  On the read-only query path this is a no-op. *)
+      Buffer_pool.flush t.pool;
+      let pf = data_pf t in
+      let w = prune_window t window in
+      let mk_part cursor_of =
+        let stats = Io_stats.create () in
+        let pool = Buffer_pool.create ~frames:1 t.disk stats in
+        let pf' = Pfile.with_pool pf pool in
+        (cursor_of pf', stats)
+      in
+      (* A refuted shard is charged exactly what the sequential per-page
+         walk would have charged: one fence check and one skip per page. *)
+      let charge_refuted npages =
+        for _ = 1 to npages do
+          Time_fence.note_check ()
+        done;
+        Time_fence.note_skipped npages
+      in
+      let parts_of live mk =
+        if live = [] then [ (Cursor.empty, Io_stats.create ()) ]
+        else
+          let nparts = max 1 (min parts (List.length live)) in
+          List.map (fun slice -> mk_part (mk slice)) (split_runs live nparts)
+      in
+      (match sh with
+      | Chain { pages; filter } ->
+          let live =
+            match w with
+            | None -> pages
+            | Some w ->
+                List.filter
+                  (fun p ->
+                    if page_refuted pf w p then begin
+                      charge_refuted 1;
+                      false
+                    end
+                    else true)
+                  pages
+          in
+          Some
+            (parts_of live (fun slice pf' ->
+                 Cursor.of_pages ?window ~filter pf'
+                   ~pages:(List.to_seq slice)))
+      | Heads { heads; filter } ->
+          let live =
+            match w with
+            | None -> heads
+            | Some w ->
+                List.filter
+                  (fun head ->
+                    match head_pages t pf head with
+                    | Some pages when List.for_all (page_refuted pf w) pages ->
+                        charge_refuted (List.length pages);
+                        false
+                    | _ -> true)
+                  heads
+          in
+          Some
+            (parts_of live (fun slice pf' ->
+                 let hs = List.to_seq slice in
+                 match t.impl with
+                 | Heap_impl _ -> Cursor.of_pages ?window ?filter pf' ~pages:hs
+                 | Hash_impl _ | Isam_impl _ ->
+                     Cursor.of_chains ?window ?filter pf' ~heads:hs)))
+
+let scan_partitions ?window t ~parts =
+  match partition_preview ?window t ~parts Full_scan with
+  | Some p -> p.pp_parts
+  | None -> max 1 (min parts (data_heads t))
 
 let partition_scan ?window t ~parts =
-  (* Dirty frames in the relation's own pool are invisible to the private
-     pools, which read the disk directly; push them down first.  On the
-     read-only query path this is a no-op. *)
-  Buffer_pool.flush t.pool;
-  let heads = data_heads t in
-  let nparts = max 1 (min parts heads) in
-  let pf = data_pf t in
-  let mk lo hi =
-    let stats = Io_stats.create () in
-    let pool = Buffer_pool.create ~frames:1 t.disk stats in
-    let pf' = Pfile.with_pool pf pool in
-    let range = Seq.init (hi - lo) (fun i -> lo + i) in
-    let cursor =
-      match t.impl with
-      | Heap_impl _ -> Cursor.of_pages ?window pf' ~pages:range
-      | Hash_impl _ | Isam_impl _ -> Cursor.of_chains ?window pf' ~heads:range
-    in
-    (cursor, stats)
-  in
-  if heads = 0 then [ (Cursor.empty, Io_stats.create ()) ]
-  else
-    List.init nparts (fun i ->
-        mk (i * heads / nparts) ((i + 1) * heads / nparts))
+  match partition_access ?window t ~parts Full_scan with
+  | Some parts -> parts
+  | None -> assert false (* a full scan always has a shape *)
 
 (* Test one record's transaction period against a fixed window straight
    from its bytes, mirroring [Tuple.transaction_period] composed with

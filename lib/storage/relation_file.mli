@@ -70,23 +70,61 @@ val cursor : ?window:Time_fence.window -> t -> access_path -> Cursor.t
 val decode : t -> bytes -> Tdb_relation.Tuple.t
 (** Decodes one raw record yielded by {!cursor}. *)
 
-val scan_partitions : t -> parts:int -> int
+type par_plan = {
+  pp_parts : int;  (** partitions {!partition_access} would build *)
+  pp_pages : int;  (** pages a worker would actually read (post-prune) *)
+  pp_pruned_pages : int;  (** pages shard pruning would refute outright *)
+}
+(** What a partitioned execution of an access path would look like —
+    the planner's admission evidence, also surfaced by [\explain]. *)
+
+val partition_preview :
+  ?window:Time_fence.window -> t -> parts:int -> access_path -> par_plan option
+(** Sizes a partitioned execution without performing it: derived entirely
+    from in-memory structures (fence tables, mirrored overflow links,
+    ISAM page-key bounds), so no page is read and {e nothing} is charged
+    to any counter — call it freely before deciding.  [None] when the
+    access cannot fan out at all (a keyed hash probe with fencing off:
+    its chain cannot even be sized without I/O). *)
+
+val partition_access :
+  ?window:Time_fence.window ->
+  t ->
+  parts:int ->
+  access_path ->
+  (Cursor.t * Io_stats.t) list option
+(** Splits any access path into at most [parts] page-disjoint partitions
+    for parallel execution: contiguous ranges of the chain heads the
+    access walks (heap pages, hash buckets, ISAM primary pages — each
+    owning its overflow chain outright), or, for a keyed hash probe,
+    contiguous page runs of the key's single bucket chain.  Probe
+    partitions carry the sequential cursor's record filter, and an ISAM
+    probe pays its directory descent here, against the relation's own
+    stats, exactly as the sequential cursor does at open time.
+
+    With a bounded [?window] (fencing on, pruning on), a head whose
+    every page is fence-refuted is dropped before assignment — a time
+    shard never handed to any worker — and charged exactly the fence
+    checks and page skips the sequential walk would have charged, so
+    prune accounting stays bit-identical.
+
+    Each partition reads through a private 1-frame buffer pool counted
+    by the returned private stats; the relation's own pool and stats are
+    untouched.  Concatenating the partitions in list order yields the
+    sequential cursor's rows exactly, and the partitions' summed reads
+    (plus fence skips) equal the sequential access's.  Fold the returned
+    stats back with {!Io_stats.absorb} after the join.  [None] exactly
+    when {!partition_preview} answers [None]. *)
+
+val scan_partitions : ?window:Time_fence.window -> t -> parts:int -> int
 (** How many partitions {!partition_scan} would return for [parts]
-    requested (bounded by the data area's chain-head count), without
-    building them.  For planners and [\explain]. *)
+    requested (bounded by the data area's chain-head count, after shard
+    pruning under [?window]), without building them and without charging
+    anything.  For planners and [\explain]. *)
 
 val partition_scan :
   ?window:Time_fence.window -> t -> parts:int -> (Cursor.t * Io_stats.t) list
-(** Splits a full scan into at most [parts] page-disjoint partitions for
-    parallel execution: contiguous ranges of the data area's chain heads
-    in scan order (heap pages, hash buckets, ISAM primary pages — each
-    owning its overflow chain outright).  Each partition reads through a
-    private 1-frame buffer pool counted by the returned private stats;
-    the relation's own pool and stats are untouched.  Concatenating the
-    partitions in list order yields the sequential cursor's rows exactly,
-    and the partitions' summed reads (plus fence skips) equal the
-    sequential scan's.  Fold the returned stats back with
-    {!Io_stats.absorb} after the join. *)
+(** [partition_access] at [Full_scan] (which always fans out). *)
 
 val transaction_overlaps :
   t -> (Tdb_time.Period.t -> bytes -> bool) option

@@ -195,17 +195,68 @@ let scan_cursor ?window t =
    order), so no page is shared across partitions and the concatenation
    of partition outputs in list order is the sequential scan exactly.
    Each partition reads through a private 1-frame pool with private
-   stats, like [Relation_file.partition_scan]. *)
+   stats, like [Relation_file.partition_scan].
+
+   Segments are the store's time shards: under a bounded window (with
+   pruning on) a segment whose fence cannot overlap the window is
+   dropped before any worker sees it.  The drop charges exactly what
+   the sequential per-page scan would have charged for those pages —
+   one fence check and one skip each (the segment fence is the union of
+   its page fences, so a refuted segment's pages are all individually
+   refutable) — and surviving segments are charged nothing here: their
+   workers re-check page by page, as the sequential scan does.  The
+   prune counters therefore stay bit-identical to sequential. *)
+let prune_window t window =
+  match window with
+  | Some w
+    when Option.is_some t.stamp
+         && Time_fence.pruning_enabled ()
+         && not (Time_fence.window_is_unbounded w) ->
+      Some w
+  | _ -> None
+
+let live_segments ~charge t window =
+  let segs = List.rev t.segments in
+  match prune_window t window with
+  | None -> segs
+  | Some w ->
+      List.filter
+        (fun s ->
+          Time_fence.may_overlap s.fence w
+          ||
+          (if charge then begin
+             let width = segment_width s in
+             for _ = 1 to width do
+               Time_fence.note_check ()
+             done;
+             Time_fence.note_skipped width
+           end;
+           false))
+        segs
+
+let scan_partitions ?window t ~parts =
+  max 1 (min parts (List.length (live_segments ~charge:false t window)))
+
+(* Charge-free sizing for the planner's admission decision:
+   [(live_pages, pruned_pages)] under [?window]. *)
+let scan_preview ?window t =
+  let live =
+    List.fold_left
+      (fun acc s -> acc + segment_width s)
+      0
+      (live_segments ~charge:false t window)
+  in
+  (live, Pfile.npages t.pf - live)
+
 let partition_scan ?window t ~parts =
   Buffer_pool.flush (Pfile.pool t.pf);
-  let segs = Array.of_list (List.rev t.segments) in
+  let segs = Array.of_list (live_segments ~charge:true t window) in
   let n = Array.length segs in
   let nparts = max 1 (min parts n) in
   if n = 0 then [ (Cursor.empty, Tdb_storage.Io_stats.create ()) ]
   else
     List.init nparts (fun i ->
         let lo = i * n / nparts and hi = ((i + 1) * n / nparts) - 1 in
-        let first = segs.(lo).first_page and last = segs.(hi).last_page in
         let stats = Tdb_storage.Io_stats.create () in
         let pool =
           Buffer_pool.create ~frames:1
@@ -213,7 +264,11 @@ let partition_scan ?window t ~parts =
             stats
         in
         let pf' = Pfile.with_pool t.pf pool in
-        let pages = Seq.init (last - first + 1) (fun k -> first + k) in
+        let pages =
+          Seq.concat_map
+            (fun s -> Seq.init (segment_width s) (fun k -> s.first_page + k))
+            (Seq.init (hi - lo + 1) (fun k -> segs.(lo + k)))
+        in
         (Cursor.of_pages ?window pf' ~pages, stats))
 
 let iter t f =

@@ -84,9 +84,25 @@ val partition_scan :
   (Tdb_storage.Cursor.t * Tdb_storage.Io_stats.t) list
 (** Splits the sequential scan into at most [parts] partitions, each a
     contiguous run of whole time segments (oldest first) read through a
-    private 1-frame pool with private stats.  No page appears in two
-    partitions; concatenating the partitions in list order yields
-    {!scan_cursor}'s rows exactly. *)
+    private 1-frame pool with private stats.  Segments are time shards:
+    under a bounded [?window] (pruning on, store stamped) a
+    fence-refuted segment is dropped before assignment, charged exactly
+    the per-page checks and skips the sequential scan would have
+    charged.  No page appears in two partitions; concatenating the
+    partitions in list order yields {!scan_cursor}'s rows exactly, with
+    identical read and prune accounting. *)
+
+val scan_partitions :
+  ?window:Tdb_storage.Time_fence.window -> t -> parts:int -> int
+(** How many partitions {!partition_scan} would return (bounded by the
+    count of segments surviving shard pruning under [?window]), without
+    building them and without charging anything. *)
+
+val scan_preview :
+  ?window:Tdb_storage.Time_fence.window -> t -> int * int
+(** Charge-free sizing for parallelism admission:
+    [(live_pages, pruned_pages)] — pages in segments surviving shard
+    pruning under [?window], and pages refuted outright. *)
 
 val as_of_cursor : t -> at:Tdb_time.Chronon.t -> Tdb_storage.Cursor.t
 (** Batched rollback access; {!as_of_iter} is this cursor, drained, with

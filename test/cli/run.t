@@ -79,6 +79,7 @@ buffer and journal counters (wall clocks and buffer counts normalized):
      `- emit  [0 in, 0 out, 2 tuples, 1 batch; _ ms]
   total: 1 pages in, 0 pages out
   wall: _ ms; workers: 1; rows: 2
+  parallel: off (workers=1)
   buffer: _ hits, _ misses; journal: 0 bytes
 
 --log appends one JSON record per executed statement:

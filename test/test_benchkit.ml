@@ -6,20 +6,20 @@ module Report = Tdb_benchkit.Report
 module Relation_file = Tdb_storage.Relation_file
 
 let test_workload_shapes () =
-  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:42 in
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:42 () in
   Alcotest.(check int) "h = 128 pages" 128
     (Relation_file.npages (Workload.h_rel w));
   Alcotest.(check int) "i = 129 pages (128 data + directory)" 129
     (Relation_file.npages (Workload.i_rel w));
   Alcotest.(check int) "1024 tuples in h" 1024
     (Relation_file.tuple_count (Workload.h_rel w));
-  let w50 = Workload.build ~kind:Workload.Static ~loading:50 ~seed:42 in
+  let w50 = Workload.build ~kind:Workload.Static ~loading:50 ~seed:42 () in
   Alcotest.(check int) "static 50%: 1024 tuples" 1024
     (Relation_file.tuple_count (Workload.h_rel w50))
 
 let test_workload_deterministic () =
-  let a = Workload.build ~kind:Workload.Rollback ~loading:100 ~seed:7 in
-  let b = Workload.build ~kind:Workload.Rollback ~loading:100 ~seed:7 in
+  let a = Workload.build ~kind:Workload.Rollback ~loading:100 ~seed:7 () in
+  let b = Workload.build ~kind:Workload.Rollback ~loading:100 ~seed:7 () in
   let dump w =
     let acc = ref [] in
     Relation_file.scan (Workload.h_rel w) (fun _ tu ->
@@ -27,7 +27,7 @@ let test_workload_deterministic () =
     !acc
   in
   Alcotest.(check bool) "same seed, same data" true (dump a = dump b);
-  let c = Workload.build ~kind:Workload.Rollback ~loading:100 ~seed:8 in
+  let c = Workload.build ~kind:Workload.Rollback ~loading:100 ~seed:8 () in
   Alcotest.(check bool) "different seed, different data" true (dump a <> dump c)
 
 let test_query_applicability () =
@@ -45,7 +45,7 @@ let test_queries_parse_and_check () =
      its database *)
   List.iter
     (fun kind ->
-      let w = Workload.build ~kind ~loading:100 ~seed:3 in
+      let w = Workload.build ~kind ~loading:100 ~seed:3 () in
       List.iter
         (fun qid ->
           match Paper_queries.text qid kind with
@@ -58,7 +58,7 @@ let test_queries_parse_and_check () =
 
 let test_q01_law () =
   (* the paper's headline law on the real workload: Q01 costs 1 + 2n *)
-  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:5 in
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:5 () in
   let q01 = Option.get (Paper_queries.text Paper_queries.Q01 Workload.Temporal) in
   Alcotest.(check int) "UC 0" 1 (Evolve.measure_query w q01);
   Evolve.uniform_round w ~round:1;
@@ -67,7 +67,7 @@ let test_q01_law () =
   Alcotest.(check int) "UC 2" 5 (Evolve.measure_query w q01)
 
 let test_q05_single_row () =
-  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:5 in
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:5 () in
   Evolve.uniform_round w ~round:1;
   let q05 = Option.get (Paper_queries.text Paper_queries.Q05 Workload.Temporal) in
   let _cost, rows = Evolve.measure_query_result w q05 in
@@ -80,7 +80,7 @@ let test_section54_worked_example () =
      257 page accesses, while a hashed access to any tuple residing on a
      page without an overflow costs just one page access.  Therefore, the
      average cost becomes three page accesses." *)
-  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:11 in
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:11 () in
   Evolve.non_uniform_round w ~round:1 ~key:500;
   let hot = Evolve.hashed_access_cost w ~key:500 in
   Alcotest.(check int) "hot bucket chain = 257 pages" 257 hot;
@@ -196,7 +196,28 @@ let test_obs_json_schema () =
 (* A minimal document that passes every internal gate, with knobs for the
    fields the tests perturb. *)
 let bench_doc ?(max_uc = 3) ?(smoke = false) ?(h_pages = 7) ?(overhead = 0.5)
-    ?(tuples_per_s = 100.0) () =
+    ?(tuples_per_s = 100.0) ?(scale_domains = 1) ?(scale1_speedup = 1.0)
+    ?(scale10_speedup = 2.5) () =
+  let scale_query ~sc ~speedup =
+    Json.Obj
+      [
+        ("query", Json.Str "Q03");
+        ("scale", Json.int sc);
+        ("identical", Json.Bool true);
+        ( "cells",
+          Json.List
+            (List.map
+               (fun (w, s) ->
+                 Json.Obj
+                   [
+                     ("workers", Json.int w);
+                     ("wall_s", Json.Num (0.1 /. s));
+                     ("speedup", Json.Num s);
+                     ("identical", Json.Bool true);
+                   ])
+               [ (1, 1.0); (4, speedup) ]) );
+      ]
+  in
   Json.Obj
     [
       ( "meta",
@@ -205,6 +226,7 @@ let bench_doc ?(max_uc = 3) ?(smoke = false) ?(h_pages = 7) ?(overhead = 0.5)
             ("max_uc", Json.int max_uc);
             ("seed", Json.int 850331);
             ("smoke", Json.Bool smoke);
+            ("scale", Json.int 1);
           ] );
       ( "sections",
         Json.List
@@ -277,6 +299,20 @@ let bench_doc ?(max_uc = 3) ?(smoke = false) ?(h_pages = 7) ?(overhead = 0.5)
                               ];
                           ] );
                     ];
+                ] );
+          ] );
+      ( "scale",
+        Json.Obj
+          [
+            ("recommended_domains", Json.int scale_domains);
+            ("scales", Json.List [ Json.int 1; Json.int 10 ]);
+            ("workers", Json.List [ Json.int 1; Json.int 4 ]);
+            ("rounds", Json.int 2);
+            ( "queries",
+              Json.List
+                [
+                  scale_query ~sc:1 ~speedup:scale1_speedup;
+                  scale_query ~sc:10 ~speedup:scale10_speedup;
                 ] );
           ] );
       ( "durability",
@@ -368,6 +404,47 @@ let test_compare_throughput_drift_warns () =
     o.Compare.failures;
   Alcotest.(check bool) "but it warns" true (o.Compare.warnings <> [])
 
+let test_compare_scale_gates () =
+  (* on a small machine the speedup gates self-skip *)
+  let small = bench_doc ~scale10_speedup:1.2 ~scale1_speedup:0.5 () in
+  let o = Compare.compare_docs ~old_label:"a" ~new_label:"b" small small in
+  Alcotest.(check (list string)) "gates skipped below 4 domains" []
+    o.Compare.failures;
+  (* with cores to spend, scale >= 10 must clear 2x at 4 workers *)
+  let o =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b" (bench_doc ())
+      (bench_doc ~scale_domains:4 ~scale10_speedup:1.5 ())
+  in
+  Alcotest.(check bool) "slow scale-10 speedup fails" true (mentions o "scale");
+  (* and scale 1 must never dip below 0.9x *)
+  let o =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b" (bench_doc ())
+      (bench_doc ~scale_domains:4 ~scale1_speedup:0.5 ())
+  in
+  Alcotest.(check bool) "scale-1 regression fails" true (mentions o "scale");
+  (* a healthy 4-core document passes both *)
+  let o =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b" (bench_doc ())
+      (bench_doc ~scale_domains:4 ())
+  in
+  Alcotest.(check (list string)) "healthy doc passes" [] o.Compare.failures
+
+let test_compare_trend_tables () =
+  let o =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b" (bench_doc ())
+      (bench_doc ())
+  in
+  let has needle =
+    let n = String.length needle in
+    let s = o.Compare.report in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "parallel trend printed" true (has "parallel trend");
+  Alcotest.(check bool) "scale trend printed" true (has "scale trend")
+
 let suites =
   [
     ( "benchkit",
@@ -395,5 +472,9 @@ let suites =
           test_compare_durability_gate;
         Alcotest.test_case "compare: throughput drift warns" `Quick
           test_compare_throughput_drift_warns;
+        Alcotest.test_case "compare: scale gates" `Quick
+          test_compare_scale_gates;
+        Alcotest.test_case "compare: trend tables" `Quick
+          test_compare_trend_tables;
       ] );
   ]

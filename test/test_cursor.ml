@@ -461,6 +461,144 @@ let test_partition_conformance () =
       ("isam", true, Some (Relation_file.Isam { key_attr = 0; fillfactor = 100 }));
     ]
 
+(* Shard-level pruning: a window past every stamp refutes every shard at
+   partition-build time, so no worker is assigned any pages (the list
+   collapses to one empty partition), nothing is read, and the skip
+   accounting still matches the sequential fenced scan page for page. *)
+let test_shard_prune_zero_assignment () =
+  List.iter
+    (fun (label, org) ->
+      let rel = pr_rel org in
+      let w = Some (window 5000 5100) in
+      (* Sequential fenced scan: the baseline skip count. *)
+      Buffer_pool.invalidate (Relation_file.pool rel);
+      Io_stats.reset (Relation_file.stats rel);
+      Time_fence.reset_pages_skipped ();
+      let rows_seq =
+        drain_cursor (Relation_file.cursor ?window:w rel Relation_file.Full_scan)
+      in
+      let reads_seq =
+        (Io_stats.snapshot (Relation_file.stats rel)).Io_stats.reads
+      in
+      let skips_seq = Time_fence.pages_skipped () in
+      Alcotest.(check int) (label ^ ": sequential reads nothing") 0 reads_seq;
+      Alcotest.(check int) (label ^ ": sequential rows empty") 0
+        (List.length rows_seq);
+      (* The partition build must refute every shard up front. *)
+      (match
+         Relation_file.partition_preview ?window:w rel ~parts:4
+           Relation_file.Full_scan
+       with
+      | None -> Alcotest.failf "%s: full scan must preview" label
+      | Some p ->
+          Alcotest.(check int) (label ^ ": preview sees no live pages") 0
+            p.Relation_file.pp_pages);
+      Alcotest.(check int)
+        (label ^ ": scan_partitions collapses")
+        1
+        (Relation_file.scan_partitions ?window:w rel ~parts:4);
+      Io_stats.reset (Relation_file.stats rel);
+      Time_fence.reset_pages_skipped ();
+      let ps = Relation_file.partition_scan ?window:w rel ~parts:4 in
+      let drains = List.map (fun (cursor, _) -> drain_cursor cursor) ps in
+      Alcotest.(check int) (label ^ ": one empty partition") 1 (List.length ps);
+      Alcotest.(check int) (label ^ ": zero rows assigned") 0
+        (List.length (List.concat drains));
+      Alcotest.(check int)
+        (label ^ ": zero reads")
+        0
+        (sum_reads (List.map snd ps)
+        + (Io_stats.snapshot (Relation_file.stats rel)).Io_stats.reads);
+      Alcotest.(check int)
+        (label ^ ": skips match the sequential fenced scan")
+        skips_seq (Time_fence.pages_skipped ()))
+    [
+      ("heap", None);
+      ("hash", Some (Relation_file.Hash { key_attr = 0; fillfactor = 50 }));
+      ("isam", Some (Relation_file.Isam { key_attr = 0; fillfactor = 100 }));
+    ]
+
+(* Keyed and range probes through [partition_access]: concatenating the
+   partitions reproduces the sequential probe cursor's rows, pages stay
+   disjoint, and reads plus fence skips are conserved — including the
+   charged ISAM directory descent. *)
+let check_probe_partitions name rel window parts access =
+  Buffer_pool.invalidate (Relation_file.pool rel);
+  Io_stats.reset (Relation_file.stats rel);
+  Time_fence.reset_pages_skipped ();
+  let rows_seq = drain_cursor (Relation_file.cursor ?window rel access) in
+  let reads_seq = (Io_stats.snapshot (Relation_file.stats rel)).Io_stats.reads in
+  let skips_seq = Time_fence.pages_skipped () in
+  (* Both measurements start cold: the ISAM descent at partition-build
+     time goes through the relation's shared pool, like the sequential
+     cursor open. *)
+  Buffer_pool.invalidate (Relation_file.pool rel);
+  Io_stats.reset (Relation_file.stats rel);
+  Time_fence.reset_pages_skipped ();
+  match Relation_file.partition_access ?window rel ~parts access with
+  | None -> Alcotest.failf "%s: expected a partitionable access" name
+  | Some ps ->
+      let drains = List.map (fun (cursor, _) -> drain_cursor cursor) ps in
+      let skips_par = Time_fence.pages_skipped () in
+      (* The ISAM descent is charged to the relation's own counters at
+         partition-build time, exactly as the sequential cursor open
+         charges it. *)
+      let reads_par =
+        sum_reads (List.map snd ps)
+        + (Io_stats.snapshot (Relation_file.stats rel)).Io_stats.reads
+      in
+      Alcotest.(check bool) (name ^ ": at most requested parts") true
+        (List.length ps <= max 1 parts);
+      Alcotest.(check bool)
+        (name ^ ": concatenation = sequential") true
+        (List.concat drains = rows_seq);
+      Alcotest.(check int)
+        (name ^ ": reads+skips conserved")
+        (reads_seq + skips_seq) (reads_par + skips_par);
+      let page_sets =
+        List.map
+          (fun rows ->
+            List.sort_uniq compare
+              (List.map (fun ((tid : Tid.t), _) -> tid.Tid.page) rows))
+          drains
+      in
+      Alcotest.(check bool) (name ^ ": page-disjoint") true
+        (pairwise_disjoint page_sets)
+
+let test_probe_partition_conformance () =
+  let probes =
+    [
+      ("lookup-hit", Relation_file.Key_lookup (Value.Int 50));
+      ("lookup-miss", Relation_file.Key_lookup (Value.Int 5000));
+      ( "range",
+        Relation_file.Key_range
+          { lo = Some (Value.Int 20); hi = Some (Value.Int 60) } );
+      ("range-open", Relation_file.Key_range { lo = None; hi = None });
+    ]
+  in
+  List.iter
+    (fun (label, org) ->
+      let rel = pr_rel org in
+      List.iter
+        (fun parts ->
+          List.iter
+            (fun w ->
+              List.iter
+                (fun (tag, access) ->
+                  let name =
+                    Printf.sprintf "%s %s parts=%d%s" label tag parts
+                      (if w = None then "" else "+window")
+                  in
+                  check_probe_partitions name rel w parts access)
+                probes)
+            [ None; Some (window 305 455) ])
+        part_counts)
+    [
+      ("hash", Some (Relation_file.Hash { key_attr = 0; fillfactor = 50 }));
+      ("isam", Some (Relation_file.Isam { key_attr = 0; fillfactor = 100 }));
+      ("heap", None);
+    ]
+
 let test_partition_empty () =
   let rel = Relation_file.create ~name:"empty_part" ~schema:pr_schema () in
   let ps = Relation_file.partition_scan rel ~parts:4 in
@@ -517,6 +655,10 @@ let suites =
           test_twostore_as_of_conformance;
         Alcotest.test_case "partition conformance" `Quick
           test_partition_conformance;
+        Alcotest.test_case "shard pruning: zero assignments" `Quick
+          test_shard_prune_zero_assignment;
+        Alcotest.test_case "probe partition conformance" `Quick
+          test_probe_partition_conformance;
         Alcotest.test_case "partitioning an empty relation" `Quick
           test_partition_empty;
         Alcotest.test_case "two-level partition conformance" `Quick

@@ -239,7 +239,7 @@ let test_disabled_metrics_same_page_counts () =
      enabled and disabled. *)
   let measure ~metrics ~tracing =
     with_flags ~metrics ~tracing @@ fun () ->
-    let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:99 in
+    let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:99 () in
     List.map
       (fun qid ->
         match Paper_queries.text qid Workload.Temporal with
@@ -257,7 +257,7 @@ let test_q05_span_sum_equals_io_total () =
   (* profile on Q05: the summed per-operator reads of the span tree must
      equal the executor's Io_stats total. *)
   with_flags ~metrics:true ~tracing:true @@ fun () ->
-  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:7 in
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:7 () in
   Database.reset_io w.Workload.db;
   match Engine.execute w.Workload.db (q05 Workload.Temporal) with
   | Ok [ Engine.Rows { io; trace = Some node; _ } ] ->
@@ -275,7 +275,7 @@ let test_q05_span_sum_equals_io_total () =
 let test_nested_query_span_sum () =
   (* Same invariant on a join (nested-loop plan, branch/enter/exit path). *)
   with_flags ~metrics:true ~tracing:true @@ fun () ->
-  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:7 in
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:7 () in
   match Paper_queries.text Paper_queries.Q11 Workload.Temporal with
   | None -> Alcotest.fail "Q11 undefined"
   | Some src -> (
@@ -317,12 +317,19 @@ let test_parallel_partition_span_sum () =
      reads must still sum to the Io_stats total exactly — the
      worker-private counters are folded without double counting. *)
   with_flags ~metrics:true ~tracing:false @@ fun () ->
-  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:31 in
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:31 () in
   for round = 1 to 15 do
     Evolve.uniform_round w ~round
   done;
-  Fun.protect ~finally:(fun () -> Engine.set_parallelism None) @@ fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.set_parallelism None;
+      Tdb_query.Executor.set_parallel_min_pages None)
+  @@ fun () ->
   Engine.set_parallelism (Some 4);
+  (* paper-scale relations sit under the parallelism admission floor;
+     drop it so the fan-out machinery is exercised *)
+  Tdb_query.Executor.set_parallel_min_pages (Some 0);
   List.iter
     (fun (qid, scan_only) ->
       let name = Paper_queries.name qid in

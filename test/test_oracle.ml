@@ -804,6 +804,95 @@ let test_oracle_mismatch_reporting () =
         (contains d "model")
   | Ok () -> Alcotest.fail "expected a model mismatch"
 
+(* Scale-10 probe oracle: the paper workload at ten times the paper's
+   row count, queried through randomized keyed and range probes with the
+   admission floor dropped to zero so every eligible probe fans out
+   across the pool.  Two invariants per query: the 4-worker rows are
+   verbatim the sequential rows, and the folded per-partition read
+   counters equal the sequential cold-pool read counts exactly. *)
+let test_scale10_parallel_probes () =
+  let module Workload = Tdb_benchkit.Workload in
+  let module Evolve = Tdb_benchkit.Evolve in
+  let module Executor = Tdb_query.Executor in
+  let module Relation_file = Tdb_storage.Relation_file in
+  let module Buffer_pool = Tdb_storage.Buffer_pool in
+  let w =
+    Workload.build ~scale:10 ~kind:Workload.Temporal ~loading:100 ~seed:77 ()
+  in
+  for round = 1 to 2 do
+    Evolve.uniform_round w ~round
+  done;
+  let db = w.Workload.db in
+  let chill () =
+    List.iter
+      (fun name ->
+        match Database.find_relation db name with
+        | Some rel -> Buffer_pool.invalidate (Relation_file.pool rel)
+        | None -> ())
+      (Database.relation_names db)
+  in
+  let measure src =
+    chill ();
+    Database.reset_io db;
+    match Engine.execute_one db src with
+    | Ok (Engine.Rows { tuples; io; _ }) ->
+        ( List.map
+            (fun tu ->
+              String.concat "|"
+                (Array.to_list (Array.map Value.to_string tu)))
+            tuples,
+          io.Tdb_query.Executor.input_reads )
+    | Ok _ -> Alcotest.failf "expected rows: %s" src
+    | Error e -> Alcotest.failf "query failed (%s): %s" e src
+  in
+  let rng = Random.State.make [| 8086 |] in
+  let n_ids = Workload.n_tuples * 10 in
+  let gen_query () =
+    let var = if Random.State.bool rng then "h" else "i" in
+    let probe =
+      match Random.State.int rng 3 with
+      | 0 -> Printf.sprintf "%s.id = %d" var (Random.State.int rng n_ids)
+      | 1 ->
+          let lo = Random.State.int rng n_ids in
+          let hi = min (n_ids - 1) (lo + 1 + Random.State.int rng 400) in
+          Printf.sprintf "%s.id >= %d and %s.id <= %d" var lo var hi
+      | _ ->
+          let hi = Random.State.int rng n_ids in
+          Printf.sprintf "%s.id <= %d and %s.id >= %d" var hi var
+            (max 0 (hi - 200))
+    in
+    let temporal =
+      match Random.State.int rng 4 with
+      | 0 -> Printf.sprintf {| when %s overlap "now"|} var
+      | 1 -> {| as of "08:00 1/1/80"|}
+      | 2 -> {| as of "now"|}
+      | _ -> ""
+    in
+    Printf.sprintf "retrieve (%s.id, %s.seq, %s.amount) where %s%s" var var
+      var probe temporal
+  in
+  Fun.protect ~finally:(fun () ->
+      Engine.set_parallelism None;
+      Tdb_query.Executor.set_parallel_min_pages None)
+  @@ fun () ->
+  Executor.set_parallel_min_pages (Some 0);
+  for _ = 1 to 40 do
+    let src = gen_query () in
+    Engine.set_parallelism (Some 1);
+    let rows_seq, reads_seq = measure src in
+    Engine.set_parallelism (Some 4);
+    let rows_par, reads_par = measure src in
+    Engine.set_parallelism (Some 1);
+    if rows_seq <> rows_par then
+      Alcotest.failf
+        "scale-10 probe rows diverge (%s):\nsequential (%d rows)\nparallel \
+         (%d rows)"
+        src (List.length rows_seq) (List.length rows_par);
+    if reads_seq <> reads_par then
+      Alcotest.failf "scale-10 probe reads diverge (%s): %d seq vs %d par" src
+        reads_seq reads_par
+  done
+
 let suites =
   [
     ( "oracle",
@@ -817,5 +906,7 @@ let suites =
           test_temporal_oracle;
         Alcotest.test_case "mismatch reports are reproducible" `Quick
           test_oracle_mismatch_reporting;
+        Alcotest.test_case "scale 10: parallel probes vs sequential" `Slow
+          test_scale10_parallel_probes;
       ] );
   ]

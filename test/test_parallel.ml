@@ -24,7 +24,7 @@ let render_rows tuples =
     tuples
 
 let evolved_temporal () =
-  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:23 in
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:23 () in
   for round = 1 to 2 do
     Evolve.uniform_round w ~round
   done;
@@ -59,7 +59,13 @@ let run_query (w : Workload.t) src =
 
 let test_parallel_matches_sequential () =
   let w = evolved_temporal () in
-  Fun.protect ~finally:(fun () -> Engine.set_parallelism None) @@ fun () ->
+  Fun.protect ~finally:(fun () ->
+      Engine.set_parallelism None;
+      Executor.set_parallel_min_pages None)
+  @@ fun () ->
+  (* Paper-scale relations sit under the admission floor; drop it so the
+     fan-out machinery is what this test exercises. *)
+  Executor.set_parallel_min_pages (Some 0);
   List.iter
     (fun (name, src) ->
       Engine.set_parallelism (Some 1);
@@ -76,11 +82,69 @@ let test_parallel_matches_sequential () =
         reads_seq reads_par)
     (queries ())
 
+(* The same parity contract at ten times the paper's row count, with the
+   admission floor dropped to zero so keyed and range probes actually fan
+   out (at the default floor many stay inline).  Folded per-partition
+   read counters must still equal the sequential cold-pool counts for
+   every paper query. *)
+let test_scale10_matches_sequential () =
+  let w = Workload.build ~scale:10 ~kind:Workload.Temporal ~loading:100 ~seed:23 () in
+  for round = 1 to 2 do
+    Evolve.uniform_round w ~round
+  done;
+  Fun.protect ~finally:(fun () ->
+      Engine.set_parallelism None;
+      Executor.set_parallel_min_pages None)
+  @@ fun () ->
+  Executor.set_parallel_min_pages (Some 0);
+  List.iter
+    (fun (name, src) ->
+      Engine.set_parallelism (Some 1);
+      chill w;
+      let rows_seq, reads_seq = run_query w src in
+      Engine.set_parallelism (Some 4);
+      chill w;
+      let rows_par, reads_par = run_query w src in
+      Alcotest.(check bool)
+        (name ^ " (scale 10): identical rows") true
+        (rows_seq = rows_par);
+      Alcotest.(check int)
+        (name ^ " (scale 10): folded reads match sequential")
+        reads_seq reads_par)
+    (queries ())
+
+(* A keyed probe at paper scale touches a single bucket chain, far under
+   the admission floor: the planner must decline the fan-out and say so
+   in \explain. *)
+let test_explain_declines_small () =
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:23 () in
+  Fun.protect ~finally:(fun () -> Engine.set_parallelism None) @@ fun () ->
+  Engine.set_parallelism (Some 4);
+  match Engine.explain w.Workload.db "retrieve (h.id, h.seq) where h.id = 500" with
+  | Error e -> Alcotest.failf "explain failed: %s" e
+  | Ok text ->
+      let contains needle =
+        let nh = String.length text and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub text i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        "explain declines the too-small fan-out" true
+        (contains "parallel: declined (too small)")
+
 let test_domain_stress () =
   let w = evolved_temporal () in
   let qs = Array.of_list (queries ()) in
   let n = Array.length qs in
-  Fun.protect ~finally:(fun () -> Engine.set_parallelism None) @@ fun () ->
+  Fun.protect ~finally:(fun () ->
+      Engine.set_parallelism None;
+      Executor.set_parallel_min_pages None)
+  @@ fun () ->
+  (* Drop the admission floor so the stress domains really do fan out
+     internally, not just interleave statements. *)
+  Executor.set_parallel_min_pages (Some 0);
   Engine.set_parallelism (Some 1);
   let baseline =
     Array.to_list
@@ -118,6 +182,10 @@ let suites =
       [
         Alcotest.test_case "paper queries: parallel = sequential" `Quick
           test_parallel_matches_sequential;
+        Alcotest.test_case "scale 10: parallel probes = sequential" `Slow
+          test_scale10_matches_sequential;
+        Alcotest.test_case "explain declines small fan-outs" `Quick
+          test_explain_declines_small;
         Alcotest.test_case "domain stress: concurrent Q01..Q12 mix" `Quick
           test_domain_stress;
       ] );

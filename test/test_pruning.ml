@@ -14,7 +14,7 @@ module Relation_file = Tdb_storage.Relation_file
 module Value = Tdb_relation.Value
 
 let evolved_temporal ~rounds =
-  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:11 in
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:11 () in
   for round = 1 to rounds do
     Evolve.uniform_round w ~round
   done;
