@@ -74,6 +74,8 @@ module Buffer_pool = Tdb_storage.Buffer_pool
 module Io_stats = Tdb_storage.Io_stats
 module Two_level_store = Tdb_twostore.Two_level_store
 module Secondary_index = Tdb_twostore.Secondary_index
+module Db_instance = Tdb_session.Db_instance
+module Session = Tdb_session.Session
 module Schema = Tdb_relation.Schema
 module Value = Tdb_relation.Value
 module Attr_type = Tdb_relation.Attr_type
@@ -1691,6 +1693,194 @@ let json_of_durability d =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Concurrency: snapshot readers vs the big lock                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The session layer's claim: read-only statements pin the published
+   commit epoch and run with no lock held, so N readers scale while one
+   writer keeps committing.  Three cells measure it — 1 reader and 4
+   readers through snapshot sessions, plus 4 readers through the
+   engine's serialized path (the old big-lock build, every statement
+   through one mutex) as the contrast.  Each cell gets a fresh workload
+   so accumulated versions don't tilt later cells; readers run keyed
+   probes, the writer cycles temporal replaces.  The speedup gate (4r
+   snapshot throughput over 1r) lives in Compare, where
+   recommended_domains decides whether this host's numbers mean
+   anything. *)
+
+type concurrency_cell = {
+  cy_readers : int;
+  cy_mode : string;  (* "snapshot" | "serialized" *)
+  cy_reader_stmts : int;
+  cy_reader_per_s : float;
+  cy_p50_ms : float;
+  cy_p99_ms : float;
+  cy_writer_stmts : int;
+}
+
+type concurrency = {
+  cy_duration_s : float;
+  cy_cells : concurrency_cell list;
+  cy_speedup : float;  (* 4r/1w snapshot reader throughput over 1r/1w *)
+}
+
+let concurrency_duration = if smoke then 0.3 else 1.0
+
+let concurrency_measure ~readers ~mode =
+  let w = Workload.build ~scale ~kind:Workload.Temporal ~loading:100 ~seed () in
+  let inst = Db_instance.of_database w.Workload.db in
+  let nkeys = Workload.n_tuples * w.Workload.scale in
+  let stop = Atomic.make false in
+  let execute session src =
+    match mode with
+    | `Serialized -> Result.map (fun _ -> ()) (Engine.execute w.Workload.db src)
+    | `Snapshot -> Result.map (fun _ -> ()) (Session.execute_one session src)
+  in
+  let writer () =
+    let s = Session.open_ ~name:"bench-w" inst in
+    let n = ref 0 in
+    let i = ref 0 in
+    while not (Atomic.get stop) do
+      let src =
+        Printf.sprintf "replace h (amount = %d) where h.id = %d;"
+          (1000 + (!i mod 9000))
+          (!i mod nkeys)
+      in
+      incr i;
+      (match execute s src with
+      | Ok () -> incr n
+      | Error e -> Tdb_error.internal "bench concurrency writer: %s" e)
+    done;
+    Session.close s;
+    !n
+  in
+  let reader r () =
+    let s = Session.open_ ~name:(Printf.sprintf "bench-r%d" r) inst in
+    let lats = ref [] in
+    let i = ref (r * 131) in
+    while not (Atomic.get stop) do
+      let src =
+        Printf.sprintf "retrieve (h.amount) where h.id = %d;" (!i mod nkeys)
+      in
+      incr i;
+      let t0 = Unix.gettimeofday () in
+      match execute s src with
+      | Ok () -> lats := (Unix.gettimeofday () -. t0) :: !lats
+      | Error e -> Tdb_error.internal "bench concurrency reader: %s" e
+    done;
+    Session.close s;
+    !lats
+  in
+  let wd = Domain.spawn writer in
+  let rds = List.init readers (fun r -> Domain.spawn (reader r)) in
+  Unix.sleepf concurrency_duration;
+  Atomic.set stop true;
+  let writer_stmts = Domain.join wd in
+  let lats = Array.of_list (List.concat_map Domain.join rds) in
+  Array.sort compare lats;
+  let pct p =
+    match Array.length lats with
+    | 0 -> 0.0
+    | n -> 1e3 *. lats.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let stmts = Array.length lats in
+  Database.close w.Workload.db;
+  {
+    cy_readers = readers;
+    cy_mode =
+      (match mode with `Snapshot -> "snapshot" | `Serialized -> "serialized");
+    cy_reader_stmts = stmts;
+    cy_reader_per_s = float_of_int stmts /. concurrency_duration;
+    cy_p50_ms = pct 0.50;
+    cy_p99_ms = pct 0.99;
+    cy_writer_stmts = writer_stmts;
+  }
+
+let concurrency_section () =
+  print_endline
+    "== Concurrency: snapshot readers vs the big lock (1 writer) ==";
+  let cells =
+    [
+      concurrency_measure ~readers:1 ~mode:`Snapshot;
+      concurrency_measure ~readers:4 ~mode:`Snapshot;
+      concurrency_measure ~readers:4 ~mode:`Serialized;
+    ]
+  in
+  let per_s ~readers ~mode =
+    List.find_map
+      (fun c ->
+        if c.cy_readers = readers && c.cy_mode = mode then
+          Some c.cy_reader_per_s
+        else None)
+      cells
+  in
+  let speedup =
+    match (per_s ~readers:4 ~mode:"snapshot", per_s ~readers:1 ~mode:"snapshot")
+    with
+    | Some four, Some one when one > 0.0 -> four /. one
+    | _ -> 0.0
+  in
+  print_endline
+    (Report.table
+       ~header:
+         [ "readers"; "mode"; "stmts/s"; "p50 ms"; "p99 ms"; "writer stmts" ]
+       (List.map
+          (fun c ->
+            [
+              string_of_int c.cy_readers;
+              c.cy_mode;
+              Printf.sprintf "%.0f" c.cy_reader_per_s;
+              Printf.sprintf "%.3f" c.cy_p50_ms;
+              Printf.sprintf "%.3f" c.cy_p99_ms;
+              string_of_int c.cy_writer_stmts;
+            ])
+          cells));
+  Printf.printf
+    "(4 snapshot readers run %.2fx the statements of 1 while a writer\n\
+    \ commits; this machine recommends %d domain(s), scaling only appears\n\
+    \ above one)\n\n"
+    speedup
+    (Domain.recommended_domain_count ());
+  { cy_duration_s = concurrency_duration; cy_cells = cells; cy_speedup = speedup }
+
+(* Zero completed reader statements in any cell means the harness never
+   ran — a correctness failure, not a slow machine. *)
+let concurrency_guard c =
+  List.iter
+    (fun cell ->
+      if cell.cy_reader_stmts = 0 then begin
+        Printf.eprintf
+          "FATAL: concurrency cell %dr/%s completed no reader statements\n"
+          cell.cy_readers cell.cy_mode;
+        exit 1
+      end)
+    c.cy_cells
+
+let json_of_concurrency c =
+  Json.Obj
+    [
+      ("recommended_domains", Json.int (Domain.recommended_domain_count ()));
+      ("duration_s", Json.Num c.cy_duration_s);
+      ("speedup_4r_vs_1r", Json.Num c.cy_speedup);
+      ( "cells",
+        Json.List
+          (List.map
+             (fun cell ->
+               Json.Obj
+                 [
+                   ("readers", Json.int cell.cy_readers);
+                   ("writers", Json.int 1);
+                   ("mode", Json.Str cell.cy_mode);
+                   ("reader_stmts", Json.int cell.cy_reader_stmts);
+                   ("reader_stmts_per_s", Json.Num cell.cy_reader_per_s);
+                   ("p50_ms", Json.Num cell.cy_p50_ms);
+                   ("p99_ms", Json.Num cell.cy_p99_ms);
+                   ("writer_stmts", Json.int cell.cy_writer_stmts);
+                 ])
+             c.cy_cells) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Section timing and the --json result document                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1737,7 +1927,7 @@ let json_of_run (r : run) =
     ]
 
 let result_document ~total_s ~pruning ~throughput ~parallel ~scale_sweep
-    ~durability runs =
+    ~durability ~concurrency runs =
   Json.Obj
     [
       ( "meta",
@@ -1768,6 +1958,7 @@ let result_document ~total_s ~pruning ~throughput ~parallel ~scale_sweep
       ("parallel", json_of_parallel parallel);
       ("scale", json_of_scale_sweep scale_sweep);
       ("durability", json_of_durability durability);
+      ("concurrency", json_of_concurrency concurrency);
       ("metrics", Obs_json.metrics ());
     ]
 
@@ -1835,6 +2026,8 @@ let run () =
   scale_guard scale_sweep;
   let durability = timed "durability" durability_section in
   durability_guard durability;
+  let concurrency = timed "concurrency" concurrency_section in
+  concurrency_guard concurrency;
   if not smoke then begin
     timed "ablations" (fun () ->
         ablation_buffers temporal100_w;
@@ -1849,7 +2042,7 @@ let run () =
     (fun path ->
       write_json path
         (result_document ~total_s ~pruning ~throughput ~parallel ~scale_sweep
-           ~durability runs))
+           ~durability ~concurrency runs))
     json_path;
   Printf.printf "Total benchmark time: %.1f s\n" total_s
 

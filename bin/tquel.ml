@@ -9,10 +9,18 @@
    Inside the shell, statements may span lines and end with ';'.
    Meta commands: \q quit, \l list relations, \ranges, \timing toggles
    page-I/O reporting, \clock shows the session clock, \advance N moves it
-   forward N seconds, \metrics [json|reset] dumps engine metrics, \explain
-   shows a retrieve's plan without running it, \explain analyze executes a
+   forward N seconds, \session shows the session and its commit epoch,
+   \metrics [json|reset] dumps engine metrics, \explain shows a
+   retrieve's plan without running it, \explain analyze executes a
    statement and prints the executed plan tree with per-stage counters,
    \help.
+
+   Statements route through the session layer (lib/session): displayed
+   retrieves resolve the published commit epoch and run on the snapshot
+   path, everything else serializes through the writer and publishes the
+   next epoch.  --sessions N is a stress mode: every displayed retrieve
+   is executed by N concurrent snapshot sessions on separate domains and
+   their answers are checked for agreement.
 
    Prefixing input with "profile" enables span tracing for just that
    input and prints each statement's operator tree with per-node page I/O
@@ -23,6 +31,8 @@
 
 module Engine = Tdb_core.Engine
 module Database = Tdb_core.Database
+module Db_instance = Tdb_session.Db_instance
+module Session = Tdb_session.Session
 module Relation_file = Tdb_storage.Relation_file
 module Disk = Tdb_storage.Disk
 module Schema = Tdb_relation.Schema
@@ -30,6 +40,12 @@ module Chronon = Tdb_time.Chronon
 module Clock = Tdb_time.Clock
 module Executor = Tdb_query.Executor
 module Plan = Tdb_query.Plan
+
+(* The shell's execution context: the shared instance, the interactive
+   session, and the --sessions stress width. *)
+type ctx = { inst : Db_instance.t; session : Session.t; stress : int }
+
+let db_of ctx = Db_instance.database ctx.inst
 
 let show_timing = ref false
 
@@ -82,16 +98,89 @@ let strip_profile = strip_word "profile"
 let strip_analyze src =
   Option.bind (strip_word "explain" src) (strip_word "analyze")
 
-let run_plain db src =
-  match Engine.execute db src with
-  | Ok outcomes ->
-      List.iter print_outcome outcomes;
-      true
-  | Error e ->
-      Printf.printf "error: %s\n" e;
-      false
+(* --sessions N: run one displayed retrieve through N concurrent
+   snapshot sessions, one domain each, and require identical answers.
+   The first session's rows are printed (all are checked equal), then
+   an agreement line naming the epochs the readers pinned. *)
+let run_stress_retrieve ctx stmt =
+  let n = ctx.stress in
+  let results =
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            let s =
+              Session.open_ ~name:(Printf.sprintf "stress%d" i) ctx.inst
+            in
+            Fun.protect
+              ~finally:(fun () -> Session.close s)
+              (fun () ->
+                let r = Session.execute_statement s stmt in
+                (r, Session.pinned_epoch s))))
+    |> List.map Domain.join
+  in
+  match results with
+  | [] -> true
+  | ((first, _) :: _ as all) -> (
+      match first with
+      | Error e ->
+          Printf.printf "error: %s\n" e;
+          false
+      | Ok outcome ->
+          let render = function
+            | Ok (Engine.Rows { schema; tuples; _ }) ->
+                Engine.format_rows schema tuples
+            | Ok _ -> "(not rows)"
+            | Error e -> "error: " ^ e
+          in
+          let reference = render first in
+          let disagree =
+            List.filter (fun (r, _) -> render r <> reference) all
+          in
+          print_outcome outcome;
+          if disagree <> [] then begin
+            Printf.printf
+              "error: %d of %d concurrent sessions disagreed with the first\n"
+              (List.length disagree) n;
+            false
+          end
+          else begin
+            let epochs =
+              List.sort_uniq compare (List.map (fun (_, e) -> e) all)
+            in
+            Printf.printf "sessions: %d concurrent readers agreed (epoch %s)\n"
+              n
+              (String.concat ", " (List.map string_of_int epochs));
+            true
+          end)
 
-let run_analyze db src =
+let run_plain ctx src =
+  if ctx.stress > 1 then
+    match Tdb_tquel.Parser.parse_program src with
+    | Error e ->
+        Printf.printf "error: %s\n" e;
+        false
+    | Ok stmts ->
+        List.for_all
+          (fun stmt ->
+            if Engine.read_only stmt then run_stress_retrieve ctx stmt
+            else
+              match Session.execute_statement ctx.session stmt with
+              | Ok outcome ->
+                  print_outcome outcome;
+                  true
+              | Error e ->
+                  Printf.printf "error: %s\n" e;
+                  false)
+          stmts
+  else
+    match Session.execute ctx.session src with
+    | Ok outcomes ->
+        List.iter print_outcome outcomes;
+        true
+    | Error e ->
+        Printf.printf "error: %s\n" e;
+        false
+
+let run_analyze ctx src =
   match Tdb_tquel.Parser.parse_program src with
   | Error e ->
       Printf.printf "error: %s\n" e;
@@ -99,7 +188,7 @@ let run_analyze db src =
   | Ok stmts ->
       List.for_all
         (fun stmt ->
-          match Engine.analyze_statement db stmt with
+          match Session.analyze_statement ctx.session stmt with
           | Ok a ->
               print_string (Engine.render_analysis a);
               true
@@ -108,18 +197,18 @@ let run_analyze db src =
               false)
         stmts
 
-let run_source db src =
+let run_source ctx src =
   match strip_analyze src with
-  | Some rest -> run_analyze db rest
+  | Some rest -> run_analyze ctx rest
   | None -> (
       match strip_profile src with
-      | None -> run_plain db src
+      | None -> run_plain ctx src
       | Some rest ->
           let prev = Tdb_obs.Trace.enabled () in
           Tdb_obs.Trace.set_enabled true;
           Fun.protect
             ~finally:(fun () -> Tdb_obs.Trace.set_enabled prev)
-            (fun () -> run_plain db rest))
+            (fun () -> run_plain ctx rest))
 
 let list_relations db =
   match Database.relation_names db with
@@ -151,7 +240,7 @@ let help () =
      Prefix with 'explain analyze' to execute and print per-stage counters:\n\
     \  explain analyze retrieve (e.name) when e overlap \"now\";\n\
      Meta commands: \\q quit, \\l relations, \\ranges, \\timing, \\clock,\n\
-    \  \\advance N, \\metrics [json|reset], \\explain STMT,\n\
+    \  \\advance N, \\session, \\metrics [json|reset], \\explain STMT,\n\
     \  \\explain analyze [json] STMT, \\recoveries, \\help\n\
      \\explain shows a retrieve's plan (fence[...] marks temporal pruning)\n\
      without running it; \\explain analyze runs the statement and reports\n\
@@ -164,7 +253,8 @@ let strip_semi words =
     String.sub t 0 (String.length t - 1)
   else t
 
-let meta db line =
+let meta ctx line =
+  let db = db_of ctx in
   match String.split_on_char ' ' (String.trim line) with
   | [ "\\q" ] | [ "\\quit" ] -> `Quit
   | [ "\\l" ] | [ "\\list" ] ->
@@ -186,12 +276,22 @@ let meta db line =
       match int_of_string_opt n with
       | Some s when s >= 0 ->
           Clock.advance (Database.clock db) s;
+          (* snapshots pin published state: make the moved clock
+             visible to them *)
+          Db_instance.republish ctx.inst;
           Printf.printf "session clock: %s\n"
             (Chronon.to_string (Database.now db));
           `Continue
       | _ ->
           print_endline "usage: \\advance SECONDS";
           `Continue)
+  | [ "\\session" ] ->
+      let c = Db_instance.commit ctx.inst in
+      Printf.printf "session: %s\nepoch: %d (stamp %s)\nopen sessions: %d\n"
+        (Session.name ctx.session) c.Db_instance.epoch
+        (Chronon.to_string c.Db_instance.stamp)
+        (Atomic.get (Db_instance.open_sessions ctx.inst));
+      `Continue
   | [ "\\metrics" ] ->
       print_endline
         (Tdb_benchkit.Report.table ~title:"engine metrics"
@@ -208,18 +308,18 @@ let meta db line =
       print_endline "metrics reset";
       `Continue
   | "\\explain" :: "analyze" :: "json" :: rest when rest <> [] ->
-      (match Engine.analyze db (strip_semi rest) with
+      (match Session.analyze ctx.session (strip_semi rest) with
       | Ok a -> print_endline (Tdb_obs.Json.to_string (Engine.analysis_to_json a))
       | Error e -> Printf.printf "error: %s\n" e);
       `Continue
   | "\\explain" :: "analyze" :: rest when rest <> [] ->
-      (match Engine.analyze db (strip_semi rest) with
+      (match Session.analyze ctx.session (strip_semi rest) with
       | Ok a -> print_string (Engine.render_analysis a)
       | Error e -> Printf.printf "error: %s\n" e);
       `Continue
   | "\\explain" :: rest when rest <> [] ->
       let stmt = strip_semi rest in
-      (match Engine.explain db stmt with
+      (match Session.explain ctx.session stmt with
       | Ok plan -> Printf.printf "plan: %s\n" plan
       | Error e -> Printf.printf "error: %s\n" e);
       `Continue
@@ -251,7 +351,7 @@ let meta db line =
       print_endline "unknown meta command (try \\help)";
       `Continue
 
-let repl db =
+let repl ctx =
   print_endline
     "tquel - a temporal DBMS speaking TQuel (type \\help for help)";
   let buffer = Buffer.create 256 in
@@ -261,7 +361,7 @@ let repl db =
     | exception End_of_file -> print_newline ()
     | line when Buffer.length buffer = 0 && String.length (String.trim line) > 0
                 && (String.trim line).[0] = '\\' -> (
-        match meta db line with `Quit -> () | `Continue -> loop ())
+        match meta ctx line with `Quit -> () | `Continue -> loop ())
     | line ->
         Buffer.add_string buffer line;
         Buffer.add_char buffer '\n';
@@ -270,7 +370,7 @@ let repl db =
         if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';'
         then begin
           Buffer.clear buffer;
-          ignore (run_source db trimmed)
+          ignore (run_source ctx trimmed)
         end;
         loop ()
   in
@@ -291,14 +391,18 @@ let warn_recoveries db =
 
 let statement_exit ok = if ok then 0 else Tdb_error.exit_code Tdb_error.Query
 
-let run_session dir script command =
+let run_session dir script command stress =
   match Database.create ?dir () with
   | Error e ->
       Printf.eprintf "cannot open database: %s\n" e;
       1
   | Ok db ->
       warn_recoveries db;
+      let inst = Db_instance.of_database db in
+      let session = Session.open_ ~name:"main" inst in
+      let ctx = { inst; session; stress } in
       let finish code =
+        Session.close session;
         Database.close db;
         code
       in
@@ -313,16 +417,16 @@ let run_session dir script command =
             let n = in_channel_length ic in
             let src = really_input_string ic n in
             close_in ic;
-            finish (statement_exit (run_source db src))
+            finish (statement_exit (run_source ctx src))
           end
-      | None, Some stmt -> finish (statement_exit (run_source db stmt))
+      | None, Some stmt -> finish (statement_exit (run_source ctx stmt))
       | None, None ->
-          repl db;
+          repl ctx;
           finish 0)
 
 (* Storage-level failures — corruption, I/O — stop the process with a
    class-specific exit code and a one-line message, never a backtrace. *)
-let main dir script command profile workers log =
+let main dir script command profile workers log sessions =
   if profile then Tdb_obs.Trace.set_enabled true;
   Option.iter
     (fun path ->
@@ -338,7 +442,8 @@ let main dir script command profile workers log =
       Tdb_obs.Statement_log.set ?slow_s ?max_bytes (Some path))
     log;
   Engine.set_parallelism workers;
-  try run_session dir script command
+  let stress = max 1 sessions in
+  try run_session dir script command stress
   with Tdb_error.Error (cls, msg) ->
     Printf.eprintf "fatal %s\n" (Tdb_error.message cls msg);
     Tdb_error.exit_code cls
@@ -381,9 +486,20 @@ let log =
   in
   Arg.(value & opt (some string) None & info [ "log" ] ~docv:"PATH" ~doc)
 
+let sessions =
+  let doc =
+    "Stress mode: run every displayed retrieve on $(docv) concurrent \
+     snapshot sessions (each pins the published epoch and executes with \
+     no lock held) and check they agree.  1 (the default) keeps the \
+     ordinary single-session behaviour."
+  in
+  Arg.(value & opt int 1 & info [ "sessions" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "a temporal database management system speaking TQuel" in
   let info = Cmd.info "tquel" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const main $ dir $ script $ command $ profile $ workers $ log)
+  Cmd.v info
+    Term.(
+      const main $ dir $ script $ command $ profile $ workers $ log $ sessions)
 
 let () = exit (Cmd.eval' cmd)

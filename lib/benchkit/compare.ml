@@ -557,6 +557,77 @@ let compare_durability ctx ~old_doc ~new_doc =
           warn ctx "durability: overhead drifted %.3fx -> %.3fx" old_v new_v
       | _ -> ())
 
+(* --- concurrency: snapshot readers must scale past the big lock --- *)
+
+(* Hard floor on the session layer's reason to exist: with 4 reader
+   domains and 1 writer, snapshot readers must push at least twice the
+   statements a single reader does — on machines with the cores to show
+   it.  Old documents predating the section are tolerated (the section
+   is new); a new run without it is a regression. *)
+let concurrency_speedup_floor = 2.0
+
+let concurrency_reader_rate sec ~readers ~mode =
+  Option.bind (flist sec "cells") (fun cells ->
+      List.find_map
+        (fun c ->
+          let c = Some c in
+          if fint c "readers" = Some readers && fstr c "mode" = Some mode then
+            fnum c "reader_stmts_per_s"
+          else None)
+        cells)
+
+let compare_concurrency ctx ~old_doc ~new_doc =
+  match (field "concurrency" old_doc, field "concurrency" new_doc) with
+  | _, None -> fail ctx "concurrency section missing from the new run"
+  | old_c, Some nc -> (
+      let nc = Some nc in
+      (match flist nc "cells" with
+      | None | Some [] -> fail ctx "concurrency: section is empty"
+      | Some cells ->
+          List.iter
+            (fun c ->
+              let c = Some c in
+              let readers = Option.value (fint c "readers") ~default:(-1) in
+              let mode = Option.value (fstr c "mode") ~default:"?" in
+              (match fint c "reader_stmts" with
+              | Some n when n > 0 -> ()
+              | _ ->
+                  fail ctx "concurrency: %dr/%s completed no reader statements"
+                    readers mode);
+              match (fnum c "p50_ms", fnum c "p99_ms") with
+              | Some p50, Some p99 when p50 >= 0.0 && p99 >= p50 -> ()
+              | _ ->
+                  fail ctx "concurrency: %dr/%s has bad latency percentiles"
+                    readers mode)
+            cells);
+      let cores = Option.value (fint nc "recommended_domains") ~default:0 in
+      (if cores >= 4 then
+         match fnum nc "speedup_4r_vs_1r" with
+         | Some s when s >= concurrency_speedup_floor ->
+             info ctx "concurrency: 4 snapshot readers run %.2fx of 1" s
+         | Some s ->
+             fail ctx
+               "concurrency: 4 snapshot readers run %.2fx < %.1fx of 1" s
+               concurrency_speedup_floor
+         | None -> fail ctx "concurrency: speedup_4r_vs_1r missing"
+       else
+         info ctx
+           "concurrency: %d recommended domain(s); speedup floor skipped" cores);
+      match old_c with
+      | None -> info ctx "concurrency: no old section; trend skipped"
+      | Some oc -> (
+          match
+            ( concurrency_reader_rate (Some oc) ~readers:4 ~mode:"snapshot",
+              concurrency_reader_rate nc ~readers:4 ~mode:"snapshot" )
+          with
+          | Some old_v, Some new_v ->
+              info ctx "concurrency: 4r snapshot %.0f/s -> %.0f/s (%+.1f%%)"
+                old_v new_v (pct_change ~old_v ~new_v);
+              if new_v < old_v /. (1.0 +. ctx.tolerance) then
+                warn ctx "concurrency: 4r snapshot throughput dropped %.1f%%"
+                  (-.pct_change ~old_v ~new_v)
+          | _ -> ()))
+
 let compare_metrics ctx ~new_doc =
   match field "metrics" new_doc with
   | None -> fail ctx "metrics section missing from the new run"
@@ -581,6 +652,7 @@ let compare_docs ?(tolerance = 0.5) ~old_label ~new_label old_doc new_doc =
   compare_parallel ctx ~old_doc ~new_doc;
   compare_scale ctx ~old_doc ~new_doc;
   compare_durability ctx ~old_doc ~new_doc;
+  compare_concurrency ctx ~old_doc ~new_doc;
   compare_metrics ctx ~new_doc;
   let failures = List.rev ctx.failures and warnings = List.rev ctx.warnings in
   info ctx "result: %s (%d failure(s), %d warning(s))"

@@ -54,3 +54,51 @@ let metrics () =
   match validate j with
   | Ok () -> j
   | Error e -> Tdb_error.internal "metrics dump violates its own schema: %s" e
+
+(* The statement-log line schema (lib/obs/statement_log): every line is
+   an object with an id and timestamp, then either a statement body or a
+   free-form notice.  Statement bodies carry the session/epoch
+   attribution fields (null when the statement ran outside a session). *)
+let validate_statement_record j =
+  let ( let* ) = Result.bind in
+  match j with
+  | Json.Obj fields ->
+      let field name = List.assoc_opt name fields in
+      let str name =
+        match field name with
+        | Some (Json.Str _) -> Ok ()
+        | _ -> Error (Printf.sprintf "%s: expected a string" name)
+      in
+      let num name =
+        match field name with
+        | Some (Json.Num _) -> Ok ()
+        | _ -> Error (Printf.sprintf "%s: expected a number" name)
+      in
+      let opt_str name =
+        match field name with
+        | Some (Json.Str _ | Json.Null) -> Ok ()
+        | _ -> Error (Printf.sprintf "%s: expected a string or null" name)
+      in
+      let opt_num name =
+        match field name with
+        | Some (Json.Num _ | Json.Null) -> Ok ()
+        | _ -> Error (Printf.sprintf "%s: expected a number or null" name)
+      in
+      let* () = str "id" in
+      let* () = num "ts" in
+      (match field "record" with
+      | Some (Json.Str "statement") ->
+          let* () = str "kind" in
+          let* () = str "text" in
+          let* () = str "outcome" in
+          let* () = opt_str "error" in
+          let* () = opt_num "rows" in
+          let* () = num "latency_s" in
+          let* () = num "reads" in
+          let* () = num "writes" in
+          let* () = num "journal_bytes" in
+          let* () = opt_str "session" in
+          opt_num "epoch"
+      | Some (Json.Str "notice") -> str "notice"
+      | _ -> Error {|record: expected "statement" or "notice"|})
+  | _ -> Error "statement-log record is not an object"

@@ -13,3 +13,9 @@ val validate : Tdb_obs.Json.t -> (unit, string) result
 val metrics : unit -> Tdb_obs.Json.t
 (** [Metric.to_json ()], validated.  Raises [Tdb_error.Error Internal]
     if the dump ever stops matching its own schema. *)
+
+val validate_statement_record : Tdb_obs.Json.t -> (unit, string) result
+(** Check one parsed statement-log line (see [Tdb_obs.Statement_log])
+    against its schema: id and timestamp, then a statement body —
+    including the nullable [session] and [epoch] attribution fields —
+    or a notice. *)

@@ -283,6 +283,16 @@ let set_range t ~var ~rel =
 let find_range t var = List.assoc_opt (norm var) t.range_decls
 let ranges t = t.range_decls
 
+let relations t =
+  Hashtbl.fold (fun name rel acc -> (name, rel) :: acc) t.relations []
+
+(* Push every dirty frame down to the disks, without fsync or epoch
+   bumps: after this, snapshot reader views (which read the shared disk
+   through private pools) see every page the writer has published.
+   Called by the session layer before publishing a commit epoch. *)
+let flush_pools t =
+  Hashtbl.iter (fun _ rel -> Buffer_pool.flush (Relation_file.pool rel)) t.relations
+
 let semck_env t =
   {
     Semck.find_relation =

@@ -90,6 +90,15 @@ val set_range : t -> var:string -> rel:string -> (unit, string) result
 val find_range : t -> string -> string option
 val ranges : t -> (string * string) list
 
+val relations : t -> (string * Tdb_storage.Relation_file.t) list
+(** Snapshot of the open relations, [(normalized name, file)]. *)
+
+val flush_pools : t -> unit
+(** Flushes every relation's buffer pool down to its disk (no fsync, no
+    epoch bump), so snapshot reader views reading the shared disks see
+    every published page.  Called by the session layer before publishing
+    a commit epoch. *)
+
 val semck_env : t -> Tdb_tquel.Semck.env
 
 val sync : t -> unit

@@ -329,6 +329,25 @@ let mutates = function
   | Ast.Retrieve { into = None; _ } ->
       false
 
+(* The one classification the session layer routes on: a read-only
+   statement touches neither stored pages nor the catalog, so a session
+   can run it against a pinned snapshot with no lock held.  Note this is
+   strictly narrower than [not (mutates stmt)]: range/create/destroy and
+   [copy into] don't write pages, but they read or change state a
+   snapshot doesn't pin (catalog, the filesystem), so they stay on the
+   serialized path. *)
+let read_only = function
+  | Ast.Retrieve { into = None; _ } -> true
+  | Ast.Range _ | Ast.Create _ | Ast.Destroy _ | Ast.Modify _ | Ast.Copy _
+  | Ast.Retrieve { into = Some _; _ }
+  | Ast.Append _ | Ast.Delete _ | Ast.Replace _ ->
+      false
+
+let isolation_label ?epoch stmt =
+  match epoch with
+  | Some e when read_only stmt -> Printf.sprintf "snapshot@%d" e
+  | _ -> "serialized (writer)"
+
 (* Bracket a mutating statement with the journal's begin/commit.  Commit
    happens on any normal return — including [Error]: a failed statement
    may already have made page writes (the executors have no undo of
@@ -365,23 +384,27 @@ let pool_misses_counter = Metric.counter "tdb_pool_misses_total"
    still held so records are totally ordered.  The deltas lean on the
    raw page counters ([Database.total_io]) and the registered journal
    counter; when the log is off this is a single branch. *)
-let log_statement db stmt ~t0 ~io0 ~jb0 result =
+let outcome_fields result =
+  match result with
+  | Ok o ->
+      ( (match o with
+        | Rows _ -> "rows"
+        | Stored _ -> "stored"
+        | Modified _ -> "modified"
+        | Ack _ -> "ack"),
+        outcome_rows o,
+        None )
+  | Error e -> ("error", None, Some e)
+
+let log_statement db stmt ~t0 ~io0 ~jb0 ?id ?session ?epoch result =
   let io1 = Database.total_io db in
-  let outcome, rows, error =
-    match result with
-    | Ok o -> (
-        ( (match o with
-          | Rows _ -> "rows"
-          | Stored _ -> "stored"
-          | Modified _ -> "modified"
-          | Ack _ -> "ack"),
-          outcome_rows o,
-          None ))
-    | Error e -> ("error", None, Some e)
-  in
+  let outcome, rows, error = outcome_fields result in
   Statement_log.log
     {
-      Statement_log.kind = statement_kind stmt;
+      Statement_log.id;
+      session;
+      epoch;
+      kind = statement_kind stmt;
       text = Pretty.statement stmt;
       outcome;
       error;
@@ -392,7 +415,7 @@ let log_statement db stmt ~t0 ~io0 ~jb0 result =
       journal_bytes = Metric.count journal_bytes_counter - jb0;
     }
 
-let execute_statement db stmt =
+let execute_serialized db ?session ?epoch ?log_id stmt =
   serialized @@ fun () ->
   let logging = Statement_log.enabled () in
   let t0 = if logging then Metric.now_s () else 0.0 in
@@ -414,17 +437,111 @@ let execute_statement db stmt =
       result
     end
   in
-  if logging then log_statement db stmt ~t0 ~io0 ~jb0 result;
+  if logging then log_statement db stmt ~t0 ~io0 ~jb0 ?id:log_id ?session ?epoch result;
   result
+
+let execute_statement db stmt = execute_serialized db stmt
+
+(* --- snapshot execution (the session layer's lock-free read path) ---
+
+   Runs a read-only retrieve against an explicit snapshot: the caller
+   supplies the pinned timestamp [now] (queries see exactly the state as
+   of it — post-snapshot appends carry later transaction times and are
+   refuted by value), the reader-view [sources], and a semantic-check
+   environment built from the published commit record rather than the
+   live catalog.  No engine lock is taken; any number of these run
+   concurrently with each other and with one serialized writer.
+
+   Constraints the caller (the session layer) upholds: the calling
+   domain is pinned sequential (no nested fan-out, no cross-domain trace
+   notes), and the sources are private reader views so I/O accounting
+   never races the shared pools. *)
+
+(* Pre-registered at module init: snapshot readers must never touch the
+   metric registry at runtime (find-or-register walks a shared list
+   unlocked); these are the same series the serialized path looks up by
+   name, so single-session counts land in the same place. *)
+let retrieve_statements_counter =
+  Metric.counter ~labels:[ ("kind", "retrieve") ] "tdb_engine_statements_total"
+
+let retrieve_seconds_histogram =
+  Metric.histogram ~labels:[ ("kind", "retrieve") ]
+    "tdb_engine_statement_seconds"
+
+let run_snapshot_retrieve ~now ~sources r =
+  run_protected (fun () ->
+      let tuples = ref [] in
+      let outcome =
+        Executor.run_retrieve ~now ~sources r ~on_tuple:(fun t ->
+            tuples := t :: !tuples)
+      in
+      Rows
+        {
+          schema = outcome.Executor.schema;
+          tuples = List.rev !tuples;
+          io = outcome.Executor.io;
+          plan = outcome.Executor.plan;
+          trace = outcome.Executor.trace;
+        })
+
+let execute_snapshot ~now ~sources ~semck_env ~epoch ?session ?log_id stmt =
+  match (stmt : Ast.statement) with
+  | Ast.Retrieve ({ into = None; _ } as r) ->
+      let logging = Statement_log.enabled () in
+      let metrics = Metric.enabled () in
+      let t0 = if logging || metrics then Metric.now_s () else 0.0 in
+      let result =
+        let* () = Semck.check_statement semck_env stmt in
+        if metrics then Metric.incr retrieve_statements_counter;
+        let result = run_snapshot_retrieve ~now ~sources r in
+        if metrics then
+          Metric.observe retrieve_seconds_histogram (Metric.now_s () -. t0);
+        result
+      in
+      if logging then begin
+        let outcome, rows, error = outcome_fields result in
+        (* The snapshot path charges the outcome's own I/O summary:
+           [Database.total_io] sums the shared pools, which concurrent
+           writers are moving. *)
+        let reads =
+          match result with
+          | Ok (Rows { io; _ }) -> io.Executor.input_reads
+          | _ -> 0
+        in
+        Statement_log.log
+          {
+            Statement_log.id = log_id;
+            session;
+            epoch = Some epoch;
+            kind = statement_kind stmt;
+            text = Pretty.statement stmt;
+            outcome;
+            error;
+            rows;
+            latency_s = Metric.now_s () -. t0;
+            reads;
+            writes = 0;
+            journal_bytes = 0;
+          }
+      end;
+      result
+  | stmt ->
+      Error
+        (Printf.sprintf
+           "%s is not read-only: snapshot sessions route it to the writer"
+           (statement_kind stmt))
 
 (* The plan a retrieve would run, without running it (the CLI's
    [\explain]): the decomposition plan, then the batch pipeline it
    lowers to.  Fence refinements show which time dimensions the storage
    layer will prune on; the pipeline stages carry the same labels the
    trace spans use. *)
-let explain db src =
+let explain ?epoch db src =
   let* stmt = Parser.parse_statement src in
   let* () = Semck.check_statement (Database.semck_env db) stmt in
+  let isolation =
+    Printf.sprintf "isolation: %s" (isolation_label ?epoch stmt)
+  in
   match stmt with
   | Ast.Retrieve r ->
       run_protected (fun () ->
@@ -434,10 +551,11 @@ let explain db src =
           Plan.to_string plan ^ "\n"
           ^ Tdb_query.Pipeline.to_string pipe
           ^ "\n"
-          ^ Executor.explain_parallelism ~now:(Database.now db) ~sources r)
+          ^ Executor.explain_parallelism ~now:(Database.now db) ~sources r
+          ^ "\n" ^ isolation)
   | stmt ->
-      Ok (Printf.sprintf "%s: no plan (only retrieve statements are planned)"
-            (statement_kind stmt))
+      Ok (Printf.sprintf "%s: no plan (only retrieve statements are planned)\n%s"
+            (statement_kind stmt) isolation)
 
 (* --- explain analyze: run the statement, report the executed plan --- *)
 
@@ -451,6 +569,7 @@ type analysis = {
   a_journal_bytes : int;
   a_workers : int;
   a_parallel : string option;
+  a_isolation : string;  (** "snapshot@N" or "serialized (writer)" *)
 }
 
 (* Execute one statement with span tracing forced on, and capture the
@@ -459,7 +578,7 @@ type analysis = {
    trace tree itself rides in the outcome; for parallel scans it holds
    one child span per partition with that worker's busy time, pages and
    rows (see [Trace.note_partition]). *)
-let analyze_statement db stmt =
+let analyze_core ~parallel_ctx ~isolation stmt run =
   let trace_was = Trace.enabled () in
   Trace.set_enabled true;
   Fun.protect ~finally:(fun () -> Trace.set_enabled trace_was) @@ fun () ->
@@ -467,7 +586,7 @@ let analyze_statement db stmt =
   let m0 = Metric.count pool_misses_counter in
   let jb0 = Metric.count journal_bytes_counter in
   let t0 = Metric.monotonic_s () in
-  let* o = execute_statement db stmt in
+  let* o = run () in
   let wall_s = Metric.monotonic_s () -. t0 in
   (* The parallelism decision the executor took (admission is
      deterministic, so re-deriving it after the run describes the run);
@@ -476,9 +595,8 @@ let analyze_statement db stmt =
     match stmt with
     | Ast.Retrieve r -> (
         try
-          Some
-            (Executor.explain_parallelism ~now:(Database.now db)
-               ~sources:(sources_of db) r)
+          let now, sources = parallel_ctx () in
+          Some (Executor.explain_parallelism ~now ~sources r)
         with _ -> None)
     | _ -> None
   in
@@ -493,7 +611,24 @@ let analyze_statement db stmt =
       a_journal_bytes = Metric.count journal_bytes_counter - jb0;
       a_workers = parallelism ();
       a_parallel = parallel;
+      a_isolation = isolation;
     }
+
+let analyze_statement db stmt =
+  analyze_core
+    ~parallel_ctx:(fun () -> (Database.now db, sources_of db))
+    ~isolation:(isolation_label stmt) stmt
+    (fun () -> execute_statement db stmt)
+
+(* [explain analyze] on a session's snapshot: the statement executes on
+   the snapshot path (no lock) with tracing forced on — sound because
+   the caller runs on the main domain (off-main domains trace-silently)
+   and the sources are private reader views. *)
+let analyze_snapshot ~now ~sources ~semck_env ~epoch ?session ?log_id stmt =
+  analyze_core
+    ~parallel_ctx:(fun () -> (now, sources))
+    ~isolation:(isolation_label ~epoch stmt) stmt
+    (fun () -> execute_snapshot ~now ~sources ~semck_env ~epoch ?session ?log_id stmt)
 
 let analyze db src =
   let* stmt = Parser.parse_statement src in
@@ -520,6 +655,7 @@ let render_analysis a =
   (match a.a_parallel with
   | Some p -> Buffer.add_string buf (p ^ "\n")
   | None -> ());
+  Buffer.add_string buf (Printf.sprintf "isolation: %s\n" a.a_isolation);
   Buffer.add_string buf
     (Printf.sprintf "buffer: %d hits, %d misses; journal: %d bytes\n" a.a_hits
        a.a_misses a.a_journal_bytes);
@@ -534,6 +670,7 @@ let analysis_to_json a =
       ("workers", Json.int a.a_workers);
       ( "parallel",
         match a.a_parallel with Some p -> Json.Str p | None -> Json.Null );
+      ("isolation", Json.Str a.a_isolation);
       ( "rows",
         match outcome_rows a.a_outcome with
         | Some r -> Json.int r

@@ -54,16 +54,67 @@ val execute_statement :
     statement granularity; parallelism lives inside a statement (see
     {!set_parallelism}). *)
 
+(** {1 Statement classification and isolation} *)
+
+val mutates : Tdb_tquel.Ast.statement -> bool
+(** Whether the statement writes stored pages (and therefore runs inside
+    a journal statement). *)
+
+val read_only : Tdb_tquel.Ast.statement -> bool
+(** Whether the statement touches neither stored pages nor the catalog —
+    a displayed [retrieve] — and so can run against a pinned snapshot
+    with no lock held.  Strictly narrower than [not (mutates stmt)]:
+    catalog statements and [copy] aren't page writers but aren't
+    snapshot-safe either. *)
+
+val isolation_label : ?epoch:int -> Tdb_tquel.Ast.statement -> string
+(** ["snapshot@N"] for a read-only statement with a pinned epoch,
+    ["serialized (writer)"] otherwise. *)
+
+(** {1 Session entry points}
+
+    [execute_serialized] is {!execute_statement} with log attribution —
+    the session layer's writer path.  [execute_snapshot] is the lock-free
+    reader path: the caller (see [Tdb_session.Session]) supplies the
+    pinned snapshot — timestamp, reader-view sources, a semantic-check
+    environment built from the published commit record — and upholds two
+    invariants: the calling domain is pinned sequential
+    ([Tdb_par.Pool.pin_sequential]) and the sources are private reader
+    views ([Relation_file.reader_view]). *)
+
+val execute_serialized :
+  Database.t ->
+  ?session:string ->
+  ?epoch:int ->
+  ?log_id:int ->
+  Tdb_tquel.Ast.statement ->
+  (outcome, string) result
+
+val execute_snapshot :
+  now:Tdb_time.Chronon.t ->
+  sources:Tdb_query.Executor.source list ->
+  semck_env:Tdb_tquel.Semck.env ->
+  epoch:int ->
+  ?session:string ->
+  ?log_id:int ->
+  Tdb_tquel.Ast.statement ->
+  (outcome, string) result
+(** Rejects non-read-only statements with an [Error]. *)
+
 val execute : Database.t -> string -> (outcome list, string) result
 (** Parses and runs a whole script, stopping at the first error. *)
 
 val execute_one : Database.t -> string -> (outcome, string) result
 (** Parses and runs exactly one statement. *)
 
-val explain : Database.t -> string -> (string, string) result
+val explain : ?epoch:int -> Database.t -> string -> (string, string) result
 (** Parses and checks one statement and describes the plan a [retrieve]
     would execute — including fence refinements showing which time
-    dimensions the storage layer will prune on — without running it. *)
+    dimensions the storage layer will prune on — without running it.
+    The report ends with the isolation the statement would run at:
+    [isolation: snapshot@N] when [?epoch] pins a session snapshot and
+    the statement is read-only, [isolation: serialized (writer)]
+    otherwise. *)
 
 (** {1 Explain analyze} *)
 
@@ -79,6 +130,9 @@ type analysis = {
   a_parallel : string option;
       (** the parallelism decision line(s) for retrieves — admitted
           fan-out, [declined (too small)], or off — as in [\explain] *)
+  a_isolation : string;
+      (** the isolation the statement ran at: ["snapshot@N"] or
+          ["serialized (writer)"] *)
 }
 
 val analyze_statement :
@@ -92,6 +146,19 @@ val analyze_statement :
 val analyze : Database.t -> string -> (analysis, string) result
 (** [analyze_statement] on one parsed statement (the CLI's
     [\explain analyze] and the [explain analyze] input prefix). *)
+
+val analyze_snapshot :
+  now:Tdb_time.Chronon.t ->
+  sources:Tdb_query.Executor.source list ->
+  semck_env:Tdb_tquel.Semck.env ->
+  epoch:int ->
+  ?session:string ->
+  ?log_id:int ->
+  Tdb_tquel.Ast.statement ->
+  (analysis, string) result
+(** {!analyze_statement} on the snapshot path: the statement executes
+    via {!execute_snapshot} with tracing forced on.  Only sound from the
+    main domain (other domains trace silently). *)
 
 val render_analysis : analysis -> string
 (** The annotated executed-plan tree plus a wall/workers/rows line and a

@@ -106,7 +106,7 @@ let write_line s line =
   flush s.oc;
   s.size <- s.size + len
 
-let emit ~always fields =
+let emit ?id ~always fields =
   Mutex.lock lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock lock)
@@ -128,7 +128,14 @@ let emit ~always fields =
             | None, _ -> true
           in
           if keep then begin
-            let id = Atomic.fetch_and_add seq 1 in
+            (* A caller-provided id (the session layer's per-instance
+               sequence) wins over the process-wide fallback counter, so
+               multi-instance runs stay gap-free per database. *)
+            let id =
+              match id with
+              | Some i -> i
+              | None -> Atomic.fetch_and_add seq 1
+            in
             let record =
               Json.Obj
                 (("id", Json.Str (Printf.sprintf "S%d" id))
@@ -139,6 +146,9 @@ let emit ~always fields =
           end)
 
 type entry = {
+  id : int option;
+  session : string option;
+  epoch : int option;
   kind : string;
   text : string;
   outcome : string;
@@ -151,7 +161,7 @@ type entry = {
 }
 
 let log e =
-  emit ~always:false
+  emit ?id:e.id ~always:false
     [
       ("record", Json.Str "statement");
       ("kind", Json.Str e.kind);
@@ -163,6 +173,9 @@ let log e =
       ("reads", Json.int e.reads);
       ("writes", Json.int e.writes);
       ("journal_bytes", Json.int e.journal_bytes);
+      ( "session",
+        match e.session with None -> Json.Null | Some s -> Json.Str s );
+      ("epoch", match e.epoch with None -> Json.Null | Some n -> Json.int n);
     ]
 
 let note ?(attrs = []) name =

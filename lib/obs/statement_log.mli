@@ -28,6 +28,14 @@ val enabled : unit -> bool
 val path : unit -> string option
 
 type entry = {
+  id : int option;
+      (** per-database-instance statement id (the session layer's
+          gap-free sequence); [None] falls back to the process-wide
+          counter *)
+  session : string option;  (** issuing session's name, when known *)
+  epoch : int option;
+      (** snapshot epoch a read ran at, or the commit epoch a write
+          published *)
   kind : string;  (** statement kind, e.g. "retrieve", "append" *)
   text : string;  (** the statement, pretty-printed *)
   outcome : string;  (** "rows" | "stored" | "modified" | "ack" | "error" *)

@@ -11,6 +11,15 @@ let set_workers = function
   | None -> override := None
   | Some n -> override := Some (max 1 n)
 
+(* Per-domain sequential pin.  A snapshot-isolated reader runs on its own
+   domain concurrently with other sessions; pinning that domain to one
+   worker keeps its statements from fanning out further (nested spawns,
+   cross-domain trace/span interleavings) without touching the global
+   worker configuration other sessions resolve against. *)
+let sequential_here = Domain.DLS.new_key (fun () -> false)
+let pin_sequential v = Domain.DLS.set sequential_here v
+let pinned_sequential () = Domain.DLS.get sequential_here
+
 let env_workers () =
   match Sys.getenv_opt "TDB_WORKERS" with
   | None -> None
@@ -20,12 +29,14 @@ let env_workers () =
       | _ -> None)
 
 let workers () =
-  match !override with
-  | Some n -> n
-  | None -> (
-      match env_workers () with
-      | Some n -> n
-      | None -> max 1 (Domain.recommended_domain_count ()))
+  if pinned_sequential () then 1
+  else
+    match !override with
+    | Some n -> n
+    | None -> (
+        match env_workers () with
+        | Some n -> n
+        | None -> max 1 (Domain.recommended_domain_count ()))
 
 let run_sequential n task =
   (* Explicit 0..n-1 loop: [Array.init]'s evaluation order is

@@ -24,7 +24,18 @@ val set_workers : int option -> unit
     to environment/hardware resolution ([None]). *)
 
 val workers : unit -> int
-(** The resolved worker count (always >= 1). *)
+(** The resolved worker count (always >= 1).  Returns 1 on a domain pinned
+    by {!pin_sequential}. *)
+
+val pin_sequential : bool -> unit
+(** Pins (or unpins) the {e calling domain} to sequential execution:
+    while pinned, {!workers} answers 1 on this domain regardless of the
+    global configuration.  Snapshot-isolated reader sessions pin their
+    domain so concurrent statements never fan out into nested domain
+    spawns; other domains are unaffected. *)
+
+val pinned_sequential : unit -> bool
+(** Whether the calling domain is pinned by {!pin_sequential}. *)
 
 val run_tasks : int -> (int -> 'a) -> 'a array
 (** [run_tasks n task] evaluates [task i] for [0 <= i < n] across the

@@ -211,9 +211,16 @@ let allocate t =
       id
 
 let read_page t id =
-  locked t @@ fun () ->
-  check_id t id;
-  let buf = fetch_page t id in
+  (* Fetch under the lock (shared fd position / page array), but verify
+     the checksum outside it: [fetch_page] hands back a private copy, and
+     the CRC over a full page is the expensive part of a read — hoisting
+     it lets concurrent snapshot readers overlap their checksum work
+     instead of convoying on the disk mutex. *)
+  let buf =
+    locked t @@ fun () ->
+    check_id t id;
+    fetch_page t id
+  in
   if not (Page.check buf) then begin
     Tdb_obs.Metric.incr m_checksum_failures;
     Tdb_obs.Trace.event "checksum_failure"

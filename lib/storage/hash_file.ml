@@ -53,6 +53,9 @@ let attach pool ~record_size ~key_of ~fillfactor ~buckets =
 let buckets t = t.buckets
 let fillfactor t = t.fillfactor
 let pfile t = t.pf
+
+(* A read-path clone over a different buffer pool (see [Pfile.with_pool]). *)
+let with_pool t pool = { t with pf = Pfile.with_pool t.pf pool }
 let read t tid = Pfile.read_record t.pf tid
 let update t tid record = Pfile.write_record t.pf tid record
 let delete t tid = Pfile.clear_record t.pf tid

@@ -35,6 +35,11 @@ val attach :
 val buckets : t -> int
 val fillfactor : t -> int
 val pfile : t -> Pfile.t
+
+val with_pool : t -> Buffer_pool.t -> t
+(** A read-path clone over a different (typically private) buffer pool;
+    the underlying pages are shared.  See {!Pfile.with_pool}. *)
+
 val bucket_of : t -> Tdb_relation.Value.t -> int
 
 val insert : t -> bytes -> Tid.t

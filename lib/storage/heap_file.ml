@@ -11,6 +11,10 @@ let attach pool ~record_size =
 
 let pfile t = t.pf
 
+(* A read-path clone over a different buffer pool (see [Pfile.with_pool]):
+   snapshot readers walk the same pages through private frames. *)
+let with_pool t pool = { pf = Pfile.with_pool t.pf pool; fill_hint = t.fill_hint }
+
 let insert t record =
   let n = Pfile.npages t.pf in
   if n = 0 then begin

@@ -13,6 +13,12 @@ val attach : Buffer_pool.t -> record_size:int -> t
 (** A view over a disk that already holds heap pages. *)
 
 val pfile : t -> Pfile.t
+
+val with_pool : t -> Buffer_pool.t -> t
+(** A read-path clone of the file over a different (typically private)
+    buffer pool; the underlying pages are shared.  See
+    {!Pfile.with_pool}. *)
+
 val insert : t -> bytes -> Tid.t
 val read : t -> Tid.t -> bytes
 val update : t -> Tid.t -> bytes -> unit

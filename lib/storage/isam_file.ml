@@ -184,6 +184,14 @@ let levels t =
   Array.to_list (Array.map (fun l -> (l.first_page, l.entry_count)) t.levels)
 
 let pfile t = t.pf
+
+(* A read-path clone over a different buffer pool (see [Pfile.with_pool]).
+   Both the data pfile {e and} the directory pfile rebind: a probe's
+   directory descent performs page I/O too, and it must go through the
+   clone's private frames. *)
+let with_pool t pool =
+  { t with pf = Pfile.with_pool t.pf pool; dir = Pfile.with_pool t.dir pool }
+
 let fillfactor t = t.fillfactor
 let data_pages t = t.ndata
 let directory_height t = Array.length t.levels

@@ -44,6 +44,12 @@ val levels : t -> (int * int) list
     first. *)
 
 val pfile : t -> Pfile.t
+
+val with_pool : t -> Buffer_pool.t -> t
+(** A read-path clone over a different (typically private) buffer pool;
+    rebinds both the data and the directory pfile.  The underlying pages
+    are shared.  See {!Pfile.with_pool}. *)
+
 val fillfactor : t -> int
 val data_pages : t -> int
 (** Primary data pages (ids [0 .. data_pages - 1]). *)

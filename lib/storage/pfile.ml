@@ -1,11 +1,29 @@
+module Imap = Map.Make (Int)
+
+(* The fence and link tables are immutable maps held in mutable fields:
+   writers replace the whole map when a page gains its first fence entry
+   or an overflow link changes, and mutate existing fence values in place
+   (fences only widen, field by field).  This is what makes the tables
+   readable from concurrent snapshot-reader domains with no lock:
+
+   - a map read is one mutable-field load of an immutable structure, so a
+     reader always sees a coherent (if slightly stale) table — never a
+     Hashtbl mid-resize;
+   - staleness is conservative: a missing entry describes a page created
+     after the reader's snapshot, whose records all post-date it, so
+     skipping is exactly right; a widened fence only admits more pages;
+   - in-place widening races at worst show a reader a per-field mix of
+     old and new bounds, and every mix is at least as wide as the bounds
+     published before its snapshot (each field moves monotonically), so
+     no page holding a pre-snapshot record is ever skipped. *)
 type fencing = {
   stamp : bytes -> Time_fence.stamp;
-  fences : (int, Time_fence.t) Hashtbl.t;
+  mutable fences : Time_fence.t Imap.t;
       (* page -> fence over every record ever written there.  A missing
          entry means no record was written since fencing was enabled, i.e.
          the page is empty (callers must rebuild after attaching to a
          non-empty file), so it is skippable under any window. *)
-  links : (int, int) Hashtbl.t;
+  mutable links : int Imap.t;
       (* page -> overflow successor, mirrored from the page trailers so a
          skip-scan can follow a chain past a pruned page without reading
          it.  A missing entry means no successor. *)
@@ -54,41 +72,40 @@ let with_pool t pool =
 (* --- time fences --- *)
 
 let enable_fences t ~stamp =
-  t.fencing <-
-    Some { stamp; fences = Hashtbl.create 64; links = Hashtbl.create 16 }
+  t.fencing <- Some { stamp; fences = Imap.empty; links = Imap.empty }
 
 let fences_enabled t = Option.is_some t.fencing
 
 let fence_of t page =
   match t.fencing with
   | None -> None
-  | Some fc -> Hashtbl.find_opt fc.fences page
+  | Some fc -> Imap.find_opt page fc.fences
 
 let set_fence t page fence =
   match t.fencing with
   | None -> ()
-  | Some fc -> Hashtbl.replace fc.fences page fence
+  | Some fc -> fc.fences <- Imap.add page fence fc.fences
 
 let cached_link t page =
   match t.fencing with
   | None -> None
-  | Some fc -> Hashtbl.find_opt fc.links page
+  | Some fc -> Imap.find_opt page fc.links
 
 let set_cached_link t page next =
   match t.fencing with
   | None -> ()
   | Some fc -> (
       match next with
-      | Some n -> Hashtbl.replace fc.links page n
-      | None -> Hashtbl.remove fc.links page)
+      | Some n -> fc.links <- Imap.add page n fc.links
+      | None -> fc.links <- Imap.remove page fc.links)
 
 let stamp_record (fc : fencing) page record =
   let fence =
-    match Hashtbl.find_opt fc.fences page with
+    match Imap.find_opt page fc.fences with
     | Some f -> f
     | None ->
         let f = Time_fence.empty () in
-        Hashtbl.replace fc.fences page f;
+        fc.fences <- Imap.add page f fc.fences;
         f
   in
   Time_fence.note fence (fc.stamp record)
@@ -102,7 +119,7 @@ let skippable t window page =
          && not (Time_fence.window_is_unbounded w) ->
       Time_fence.note_check ();
       let admits =
-        match Hashtbl.find_opt fc.fences page with
+        match Imap.find_opt page fc.fences with
         | Some f -> Time_fence.may_overlap f w
         | None -> false
       in
@@ -259,12 +276,12 @@ let rebuild_chain_fences t ~head =
 let fence_entries t =
   match t.fencing with
   | None -> []
-  | Some fc -> Hashtbl.fold (fun page f acc -> (page, f) :: acc) fc.fences []
+  | Some fc -> Imap.fold (fun page f acc -> (page, f) :: acc) fc.fences []
 
 let link_entries t =
   match t.fencing with
   | None -> []
-  | Some fc -> Hashtbl.fold (fun page n acc -> (page, n) :: acc) fc.links []
+  | Some fc -> Imap.fold (fun page n acc -> (page, n) :: acc) fc.links []
 
 let chain_pages t ~head =
   let rec go acc page_id =

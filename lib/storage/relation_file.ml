@@ -142,6 +142,27 @@ let data_pf t =
   | Hash_impl h -> Hash_file.pfile h
   | Isam_impl i -> Isam_file.pfile i
 
+(* A snapshot reader's private view of the relation: same disk, same
+   pages, but a private 1-frame buffer pool and private I/O counters, so
+   concurrent readers never contend on (or dirty) the relation's own pool
+   and never skew its statistics.  The clone is built by rebinding the
+   pools of the {e current} impl values — never via [attach], which
+   performs page I/O to rebuild in-memory metadata.  [journal = None]:
+   a view never writes, and must not install journal hooks.  The caller
+   is responsible for flushing the relation's own pool first (see
+   [Database.flush_pools]) so the shared disk holds every published
+   page. *)
+let reader_view t =
+  let stats = Io_stats.create () in
+  let pool = Buffer_pool.create ~frames:1 t.disk stats in
+  let impl =
+    match t.impl with
+    | Heap_impl h -> Heap_impl (Heap_file.with_pool h pool)
+    | Hash_impl h -> Hash_impl (Hash_file.with_pool h pool)
+    | Isam_impl i -> Isam_impl (Isam_file.with_pool i pool)
+  in
+  { t with pool; stats; impl; journal = None }
+
 (* The chain heads of the data area: every record lives on a chain rooted
    at one of these (heap pages have no chains, so each page is its own
    head).  Directory pages of an ISAM file are excluded — they hold keys,

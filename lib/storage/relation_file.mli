@@ -42,6 +42,14 @@ val pool : t -> Buffer_pool.t
 val npages : t -> int
 val record_size : t -> int
 
+val reader_view : t -> t
+(** A snapshot reader's private view: same disk and pages, but a private
+    1-frame buffer pool and private I/O counters, so concurrent readers
+    never contend on the relation's own pool or skew its statistics.
+    The view must only be read through; it installs no journal hooks.
+    Flush the relation's own pool before taking a view so the shared
+    disk holds every published page. *)
+
 val key_attr : t -> int option
 (** The key attribute index for hash/ISAM organizations. *)
 

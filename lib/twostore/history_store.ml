@@ -37,6 +37,13 @@ type t = {
   segment_pages : int;
   mutable segments : segment list;  (** newest first *)
   page_seg : (int, segment) Hashtbl.t;  (** page -> owning segment *)
+  page_records : (int, int) Hashtbl.t;
+      (** page -> records stored on it.  The store is append-only and
+          never deletes, so slots fill [0, 1, 2, ...] in push order and
+          these counts are per-page high-water marks: a record at slot
+          [s] of page [p] existed at some past instant iff [s] was below
+          the count recorded for [p] at that instant.  That turns
+          point-in-time visibility into a {!boundary} bounds check. *)
 }
 
 let ptr_size = 4
@@ -60,6 +67,7 @@ let create ?stamp ?(segment_pages = 16) pool ~tuple_size ~clustered =
     segment_pages;
     segments = [];
     page_seg = Hashtbl.create 64;
+    page_records = Hashtbl.create 64;
   }
 
 let clustered t = t.clustered
@@ -173,7 +181,20 @@ let push t ~now ~cluster ~tuple ~prev =
     end
   in
   note_push t ~now ~page:tid.Tid.page record;
+  Hashtbl.replace t.page_records tid.Tid.page
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.page_records tid.Tid.page));
   tid
+
+(* --- epoch-fenced visibility --- *)
+
+type boundary = int array
+
+let boundary t =
+  Array.init (Pfile.npages t.pf) (fun p ->
+      Option.value ~default:0 (Hashtbl.find_opt t.page_records p))
+
+let within b tid =
+  tid.Tid.page < Array.length b && tid.Tid.slot < b.(tid.Tid.page)
 
 let read t tid = decode t (Pfile.read_record t.pf tid)
 

@@ -60,6 +60,24 @@ val push :
 val read : t -> Tdb_storage.Tid.t -> bytes * Tdb_storage.Tid.t option
 (** The stored tuple and its back-pointer. *)
 
+type boundary
+(** A point-in-time extent of the store: per-page record counts at the
+    instant {!boundary} was called.  The store is append-only and never
+    deletes, so a record is {!within} a boundary iff it had been pushed
+    when the boundary was captured — even when a later clustered push
+    lands in the free tail of a page that predates the boundary.  This
+    is the epoch fence of the session layer: a snapshot reader captures
+    the boundary at a published commit and filters scans with {!within},
+    so a concurrent statement's pushes are invisible by a bounds check,
+    with no lock held. *)
+
+val boundary : t -> boundary
+(** Capture the store's current extent.  O(pages), no page I/O. *)
+
+val within : boundary -> Tdb_storage.Tid.t -> bool
+(** Whether the record at this address existed when the boundary was
+    captured. *)
+
 val walk :
   t ->
   head:Tdb_storage.Tid.t option ->

@@ -8,6 +8,7 @@ module Io_stats = Tdb_storage.Io_stats
 module Disk = Tdb_storage.Disk
 module Tid = Tdb_storage.Tid
 module Chronon = Tdb_time.Chronon
+module Period = Tdb_time.Period
 module Cursor = Tdb_storage.Cursor
 module Journal = Tdb_storage.Journal
 
@@ -249,6 +250,46 @@ let as_of_cursor t ~at =
     ]
 
 let scan_all t f = Cursor.iter (scan_cursor t) (fun _ r -> f (decode_record t r))
+
+(* --- epoch-fenced snapshot reads ---
+
+   The session layer's visibility rule, specialized to the two levels:
+
+   - the history store is append-only, so "what existed at the snapshot"
+     is a {!History_store.boundary} bounds check per record — a
+     concurrent statement's pushes (which may land in the free tail of a
+     pre-boundary page under the clustered policy) are simply out of
+     bounds, no lock needed;
+   - the primary store answers through the transaction-time window at
+     the boundary stamp: versions written by later statements carry a
+     later transaction-start and are refuted by value.
+
+   A statement later than the boundary is therefore never half-observed:
+   its history pushes are out of bounds and its primary appends are
+   refuted.  In-place primary churn (replace/delete overwriting the very
+   slot a reader is about to visit) is the one motion a bounds check
+   cannot fence — those statements serialize against snapshot readers at
+   the session layer, the same caveat class as DDL in the engine. *)
+
+type boundary = { b_stamp : Chronon.t; b_history : History_store.boundary }
+
+let boundary t ~at = { b_stamp = at; b_history = History_store.boundary t.history }
+let boundary_stamp b = b.b_stamp
+
+let snapshot_scan t b f =
+  let window =
+    {
+      Tdb_storage.Time_fence.transaction = Some (Period.at b.b_stamp);
+      valid = None;
+    }
+  in
+  Cursor.iter
+    (Relation_file.cursor ~window t.primary Relation_file.Full_scan)
+    (fun _ r -> f (decode_record t r));
+  Cursor.iter
+    (History_store.as_of_cursor t.history ~at:b.b_stamp)
+    (fun tid r ->
+      if History_store.within b.b_history tid then f (decode_record t r))
 
 (* Rollback access: both stores restricted to versions whose transaction
    period can overlap [at].  Presents a superset of the qualifying

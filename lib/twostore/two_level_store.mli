@@ -72,6 +72,29 @@ val version_scan :
 val scan_all : t -> (Tdb_relation.Tuple.t -> unit) -> unit
 (** Every version in both stores (rollback and temporal-join queries). *)
 
+type boundary
+(** A snapshot bound: a transaction-time stamp plus the history store's
+    append-only extent ({!History_store.boundary}) at capture time — the
+    session layer's epoch fence, specialized to the two levels. *)
+
+val boundary : t -> at:Tdb_time.Chronon.t -> boundary
+(** Capture a bound pinning stamp [at] (a published commit's stamp, when
+    used for snapshot isolation).  O(history pages), no page I/O. *)
+
+val boundary_stamp : boundary -> Tdb_time.Chronon.t
+
+val snapshot_scan : t -> boundary -> (Tdb_relation.Tuple.t -> unit) -> unit
+(** Every version visible at the bound: {!as_of_scan} at the boundary
+    stamp, with history records filtered to the boundary's extent by a
+    bounds check.  A statement later than the bound is never
+    half-observed — its history pushes are out of bounds (even when they
+    land in the free tail of a pre-boundary page) and its primary
+    appends carry a later transaction-start, refuted by value.  Like
+    {!as_of_scan} this presents a fence-pruned superset of the
+    qualifying versions; callers apply the exact overlap test.  In-place
+    primary churn (replace/delete) must still serialize against the
+    reader, as at the session layer. *)
+
 val scan_cursor : ?window:Tdb_storage.Time_fence.window -> t -> Tdb_storage.Cursor.t
 (** Batched scan of both levels (primary, then history); {!scan_all} is
     this cursor, drained.  Decode records with {!decode_record}. *)

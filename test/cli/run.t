@@ -61,6 +61,7 @@ the time dimensions the storage layer will prune on:
   batch pipeline [batch=64]
     fence[tx,valid@"now"](scan(e)) -> emit
   parallel: off (workers=1)
+  isolation: snapshot@1
   tquel>
 
 "explain analyze" executes a statement and reports the executed plan —
@@ -72,6 +73,7 @@ buffer and journal counters (wall clocks and buffer counts normalized):
   (no operator tree for this statement)
   ack: range of e is emp
   wall: _ ms; workers: 1
+  isolation: serialized (writer)
   buffer: _ hits, _ misses; journal: 0 bytes
   explain analyze (retrieve)
   retrieve fence[tx,valid@"now"](scan(e))  [0 in, 0 out; _ ms]
@@ -80,6 +82,7 @@ buffer and journal counters (wall clocks and buffer counts normalized):
   total: 1 pages in, 0 pages out
   wall: _ ms; workers: 1; rows: 2
   parallel: off (workers=1)
+  isolation: snapshot@1
   buffer: _ hits, _ misses; journal: 0 bytes
 
 --log appends one JSON record per executed statement:

@@ -197,7 +197,21 @@ let test_obs_json_schema () =
    fields the tests perturb. *)
 let bench_doc ?(max_uc = 3) ?(smoke = false) ?(h_pages = 7) ?(overhead = 0.5)
     ?(tuples_per_s = 100.0) ?(scale_domains = 1) ?(scale1_speedup = 1.0)
-    ?(scale10_speedup = 2.5) () =
+    ?(scale10_speedup = 2.5) ?(cy_domains = 1) ?(cy_speedup = 2.5)
+    ?(cy_rate4 = 400.0) () =
+  let concurrency_cell ~readers ~mode ~rate =
+    Json.Obj
+      [
+        ("readers", Json.int readers);
+        ("writers", Json.int 1);
+        ("mode", Json.Str mode);
+        ("reader_stmts", Json.int (int_of_float rate));
+        ("reader_stmts_per_s", Json.Num rate);
+        ("p50_ms", Json.Num 0.1);
+        ("p99_ms", Json.Num 0.5);
+        ("writer_stmts", Json.int 50);
+      ]
+  in
   let scale_query ~sc ~speedup =
     Json.Obj
       [
@@ -330,6 +344,22 @@ let bench_doc ?(max_uc = 3) ?(smoke = false) ?(h_pages = 7) ?(overhead = 0.5)
                          ("journal_s", Json.Num 0.1);
                        ])) );
           ] );
+      ( "concurrency",
+        Json.Obj
+          [
+            ("recommended_domains", Json.int cy_domains);
+            ("duration_s", Json.Num 1.0);
+            ("speedup_4r_vs_1r", Json.Num cy_speedup);
+            ( "cells",
+              Json.List
+                [
+                  concurrency_cell ~readers:1 ~mode:"snapshot"
+                    ~rate:(cy_rate4 /. cy_speedup);
+                  concurrency_cell ~readers:4 ~mode:"snapshot" ~rate:cy_rate4;
+                  concurrency_cell ~readers:4 ~mode:"serialized"
+                    ~rate:(cy_rate4 /. 2.0);
+                ] );
+          ] );
       ( "metrics",
         Json.List
           [
@@ -393,6 +423,37 @@ let test_compare_durability_gate () =
   Alcotest.(check (list string)) "within ceiling: no failure" []
     o'.Compare.failures;
   Alcotest.(check bool) "but drift warns" true (o'.Compare.warnings <> [])
+
+let test_compare_concurrency_gates () =
+  (* on a small machine the reader-scaling floor self-skips *)
+  let small =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b" (bench_doc ())
+      (bench_doc ~cy_domains:1 ~cy_speedup:1.1 ())
+  in
+  Alcotest.(check (list string)) "1 domain: floor skipped" []
+    small.Compare.failures;
+  (* with >= 4 domains, sub-floor reader scaling is a hard failure *)
+  let flat =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b" (bench_doc ())
+      (bench_doc ~cy_domains:4 ~cy_speedup:1.1 ())
+  in
+  Alcotest.(check bool) "4 domains below the floor fails" true
+    (mentions flat "concurrency");
+  let fast =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b" (bench_doc ())
+      (bench_doc ~cy_domains:4 ~cy_speedup:3.0 ())
+  in
+  Alcotest.(check (list string)) "4 domains above the floor passes" []
+    fast.Compare.failures;
+  (* a throughput collapse on the 4r snapshot cell warns, never fails *)
+  let drift =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b"
+      (bench_doc ~cy_rate4:400.0 ())
+      (bench_doc ~cy_rate4:40.0 ())
+  in
+  Alcotest.(check (list string)) "drop is not a hard failure" []
+    drift.Compare.failures;
+  Alcotest.(check bool) "but it warns" true (drift.Compare.warnings <> [])
 
 let test_compare_throughput_drift_warns () =
   let o =
@@ -470,6 +531,8 @@ let suites =
           test_compare_smoke_runs_skip_grid;
         Alcotest.test_case "compare: durability gates" `Quick
           test_compare_durability_gate;
+        Alcotest.test_case "compare: concurrency gates" `Quick
+          test_compare_concurrency_gates;
         Alcotest.test_case "compare: throughput drift warns" `Quick
           test_compare_throughput_drift_warns;
         Alcotest.test_case "compare: scale gates" `Quick

@@ -36,7 +36,11 @@ let read_lines path =
 
 let parse_line line =
   match Json.parse line with
-  | Ok (Json.Obj fields) -> fields
+  | Ok (Json.Obj fields as j) -> (
+      (* every line must satisfy the shared schema validator *)
+      match Tdb_benchkit.Obs_json.validate_statement_record j with
+      | Ok () -> fields
+      | Error e -> Alcotest.failf "schema violation (%s): %s" e line)
   | Ok _ -> Alcotest.failf "record is not an object: %s" line
   | Error e -> Alcotest.failf "unparseable record (%s): %s" e line
 

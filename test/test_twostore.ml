@@ -398,6 +398,93 @@ let prop_index_complete =
           List.length (Secondary_index.lookup idx (Value.Int k)) = expected)
         (List.sort_uniq compare keys))
 
+(* --- epoch-fenced snapshot boundaries --- *)
+
+let test_history_boundary_within () =
+  let pool = Buffer_pool.create (Disk.create_mem ()) (Io_stats.create ()) in
+  let hs = History_store.create pool ~tuple_size:124 ~clustered:true in
+  let push i prev =
+    History_store.push hs ~now:(Chronon.of_seconds (100 + i))
+      ~cluster:(Value.Int 1)
+      ~tuple:(Tuple.encode schema (tuple i))
+      ~prev
+  in
+  let t1 = push 1 None in
+  let t2 = push 2 (Some t1) in
+  let b = History_store.boundary hs in
+  (* same cluster, so this lands in the free tail of t1/t2's page: the
+     page is within the boundary but the slot is not *)
+  let t3 = push 3 (Some t2) in
+  Alcotest.(check bool) "t3 shares the page" true (t3.Tid.page = t1.Tid.page);
+  Alcotest.(check bool) "t1 within" true (History_store.within b t1);
+  Alcotest.(check bool) "t2 within" true (History_store.within b t2);
+  Alcotest.(check bool) "t3 beyond (slot)" false (History_store.within b t3);
+  (* a fresh cluster allocates a new page: beyond by the page bound *)
+  let t4 =
+    History_store.push hs ~now:(Chronon.of_seconds 200)
+      ~cluster:(Value.Int 2)
+      ~tuple:(Tuple.encode schema (tuple 4))
+      ~prev:None
+  in
+  Alcotest.(check bool) "t4 beyond (page)" false (History_store.within b t4)
+
+let ts_index = Option.get (Schema.transaction_start_index schema)
+let te_index = Option.get (Schema.transaction_stop_index schema)
+
+let visible_at s tu =
+  match (tu.(ts_index), tu.(te_index)) with
+  | Value.Time a, Value.Time b ->
+      Chronon.compare a s <= 0 && Chronon.compare s b < 0
+  | _ -> false
+
+let test_snapshot_scan_fenced () =
+  let store = make ~clustered:true in
+  (* retire ids 32..63 before the boundary so the versions visible at the
+     boundary stamp (500) all live where later statements never write:
+     untouched primary slots (ids 0..31) and pre-boundary history records
+     (ids 32..63, superseded at 1100) *)
+  for id = 32 to 63 do
+    ignore
+      (Two_level_store.replace store ~now:(Chronon.of_seconds 1100)
+         ~key:(Value.Int id) bump_seq)
+  done;
+  let s = Chronon.of_seconds 500 in
+  let b = Two_level_store.boundary store ~at:s in
+  Alcotest.(check bool) "boundary stamp" true
+    (Chronon.equal (Two_level_store.boundary_stamp b) s);
+  let collect () =
+    let acc = ref [] in
+    Two_level_store.snapshot_scan store b (fun tu ->
+        if visible_at s tu then acc := tu :: !acc);
+    List.sort compare
+      (List.map (fun tu -> Array.to_list (Array.map Value.to_string tu)) !acc)
+  in
+  let baseline = collect () in
+  Alcotest.(check int) "one version per tuple at the stamp" n_tuples
+    (List.length baseline);
+  (* post-boundary statements: more churn on the already-retired tuples
+     (their clustered pushes land in the free tails of pre-boundary
+     pages), deletes, and brand-new appends *)
+  let pages_before = Two_level_store.history_pages store in
+  for id = 32 to 63 do
+    ignore
+      (Two_level_store.replace store ~now:(Chronon.of_seconds 2000)
+         ~key:(Value.Int id) bump_seq)
+  done;
+  for id = 32 to 39 do
+    ignore
+      (Two_level_store.delete store ~now:(Chronon.of_seconds 2100)
+         ~key:(Value.Int id))
+  done;
+  for id = 100 to 107 do
+    Two_level_store.append store ~now:(Chronon.of_seconds 2200) (tuple id)
+  done;
+  Alcotest.(check int)
+    "clustered pushes landed in pre-boundary pages" pages_before
+    (Two_level_store.history_pages store);
+  Alcotest.(check bool) "snapshot unchanged by later statements" true
+    (collect () = baseline)
+
 let suites =
   [
     ( "twostore",
@@ -426,6 +513,10 @@ let suites =
         Alcotest.test_case "attached index maintained" `Quick
           test_attached_index_maintained;
         Alcotest.test_case "indexed lookup cost" `Quick test_indexed_lookup_cost;
+        Alcotest.test_case "history boundary bounds check" `Quick
+          test_history_boundary_within;
+        Alcotest.test_case "snapshot scan fenced at boundary" `Quick
+          test_snapshot_scan_fenced;
         QCheck_alcotest.to_alcotest prop_index_complete;
       ] );
   ]
