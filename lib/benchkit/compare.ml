@@ -628,6 +628,89 @@ let compare_concurrency ctx ~old_doc ~new_doc =
                   (-.pct_change ~old_v ~new_v)
           | _ -> ()))
 
+(* --- temporal join: the merge join must return the nested loop's rows
+   verbatim and, where the nested wall is big enough to mean anything,
+   beat it --- *)
+
+(* The section's own noise floor keeps the gate off the sub-millisecond
+   cells (the selective paper queries at uc 0), where the ratio is
+   scheduling noise; old documents predating the section are tolerated,
+   a new run without it is a regression. *)
+let tjoin_speedup_floor = 2.0
+let tjoin_gated_queries = [ "Q09c"; "Q11" ]
+
+let tjoin_cell_key q = (fstr q "query", fint q "uc", fint q "scale")
+
+let compare_tjoin ctx ~old_doc ~new_doc =
+  match (field "tjoin" old_doc, field "tjoin" new_doc) with
+  | _, None -> fail ctx "tjoin section missing from the new run"
+  | old_t, Some nt -> (
+      let nt = Some nt in
+      let floor_s = Option.value (fnum nt "noise_floor_s") ~default:0.05 in
+      match flist nt "queries" with
+      | None | Some [] -> fail ctx "tjoin: section is empty"
+      | Some qs ->
+          let cores = Option.value (fint nt "recommended_domains") ~default:0 in
+          List.iter
+            (fun q ->
+              let q = Some q in
+              let name = Option.value (fstr q "query") ~default:"?" in
+              let uc = Option.value (fint q "uc") ~default:(-1) in
+              let sc = Option.value (fint q "scale") ~default:(-1) in
+              (match fbool q "identical" with
+              | Some true -> ()
+              | _ ->
+                  fail ctx "tjoin: %s uc%d scale%d rows diverge from the \
+                            nested loop"
+                    name uc sc);
+              match (fnum q "off_wall_s", fnum q "on_wall_s") with
+              | Some off, Some on when off > 0.0 && on > 0.0 ->
+                  info ctx "tjoin %-4s uc%-2d scale%-3d %9.2fms -> %8.2fms (%.2fx)"
+                    name uc sc (1e3 *. off) (1e3 *. on) (off /. on);
+                  if
+                    cores >= 4
+                    && List.mem name tjoin_gated_queries
+                    && off >= floor_s
+                  then
+                    if off /. on >= tjoin_speedup_floor then
+                      info ctx "tjoin: %s uc%d scale%d %.2fx at the gate" name
+                        uc sc (off /. on)
+                    else
+                      fail ctx "tjoin: %s uc%d scale%d %.2fx < %.1fx over the \
+                                nested loop"
+                        name uc sc (off /. on) tjoin_speedup_floor
+              | _ -> fail ctx "tjoin: %s uc%d scale%d has bad wall fields" name uc sc)
+            qs;
+          if cores < 4 then
+            info ctx "tjoin: %d recommended domain(s); speedup floor skipped"
+              cores;
+          match Option.bind old_t (fun o -> flist (Some o) "queries") with
+          | None -> info ctx "tjoin: no old section; trend skipped"
+          | Some oqs ->
+              List.iter
+                (fun q ->
+                  let q = Some q in
+                  match
+                    List.find_opt
+                      (fun oq -> tjoin_cell_key (Some oq) = tjoin_cell_key q)
+                      oqs
+                  with
+                  | None -> ()
+                  | Some oq -> (
+                      match
+                        (fnum (Some oq) "speedup", fnum q "speedup")
+                      with
+                      | Some old_v, Some new_v
+                        when old_v > 1.0
+                             && new_v < old_v /. (1.0 +. ctx.tolerance) ->
+                          warn ctx "tjoin: %s uc%d scale%d speedup %.2fx -> %.2fx"
+                            (Option.value (fstr q "query") ~default:"?")
+                            (Option.value (fint q "uc") ~default:(-1))
+                            (Option.value (fint q "scale") ~default:(-1))
+                            old_v new_v
+                      | _ -> ()))
+                qs)
+
 let compare_metrics ctx ~new_doc =
   match field "metrics" new_doc with
   | None -> fail ctx "metrics section missing from the new run"
@@ -653,6 +736,7 @@ let compare_docs ?(tolerance = 0.5) ~old_label ~new_label old_doc new_doc =
   compare_scale ctx ~old_doc ~new_doc;
   compare_durability ctx ~old_doc ~new_doc;
   compare_concurrency ctx ~old_doc ~new_doc;
+  compare_tjoin ctx ~old_doc ~new_doc;
   compare_metrics ctx ~new_doc;
   let failures = List.rev ctx.failures and warnings = List.rev ctx.warnings in
   info ctx "result: %s (%d failure(s), %d warning(s))"

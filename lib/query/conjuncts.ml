@@ -115,6 +115,67 @@ type join_equality = {
   right_attr : string;
 }
 
+(* --- Allen-relation classification of [when] conjuncts ---
+
+   A temporal-join conjunct relates (endpoints of) two variables' valid
+   periods through a single primitive predicate.  The three primitives
+   partition Allen's thirteen relations into classes over the operand
+   periods:
+
+     overlap  <->  { o, oi, s, si, d, di, f, fi, = }   (intersecting)
+     precede  <->  { before, meets }                    (end <= start)
+     equal    <->  { = }
+
+   Anything else — compound predicates, constants, derived periods such
+   as [a overlap b] used as an operand — is left unclassified and the
+   planner falls back to the nested-loop strategies. *)
+
+type allen_endpoint = Ep_whole | Ep_start | Ep_end
+
+type allen_class = [ `Overlap | `Equal | `Precede ]
+
+type allen_operand = { op_var : string; op_endpoint : allen_endpoint }
+
+type allen_join = {
+  aj_left : allen_operand;
+  aj_right : allen_operand;
+  aj_class : allen_class;
+}
+
+let allen_operand = function
+  | Tvar v -> Some { op_var = v; op_endpoint = Ep_whole }
+  | Tstart_of (Tvar v) -> Some { op_var = v; op_endpoint = Ep_start }
+  | Tend_of (Tvar v) -> Some { op_var = v; op_endpoint = Ep_end }
+  | _ -> None
+
+let classify_allen = function
+  | Where _ -> None
+  | When p -> (
+      let prim = function
+        | Poverlap (a, b) -> Some (a, b, `Overlap)
+        | Pequal (a, b) -> Some (a, b, `Equal)
+        | Pprecede (a, b) -> Some (a, b, `Precede)
+        | Pand _ | Por _ | Pnot _ -> None
+      in
+      match prim p with
+      | None -> None
+      | Some (a, b, cls) -> (
+          match (allen_operand a, allen_operand b) with
+          | Some l, Some r when l.op_var <> r.op_var ->
+              Some { aj_left = l; aj_right = r; aj_class = cls }
+          | _ -> None))
+
+let temporal_join_between conjuncts ~a ~b =
+  List.find_map
+    (fun c ->
+      match classify_allen c with
+      | Some aj
+        when (aj.aj_left.op_var = a && aj.aj_right.op_var = b)
+             || (aj.aj_left.op_var = b && aj.aj_right.op_var = a) ->
+          Some aj
+      | _ -> None)
+    conjuncts
+
 let join_equalities conjuncts =
   List.filter_map
     (function

@@ -61,3 +61,35 @@ type join_equality = {
 val join_equalities : conjunct list -> join_equality list
 (** Conjuncts of the shape [v.a = w.b] with [v <> w], both orientations
     reported once as written. *)
+
+type allen_endpoint =
+  | Ep_whole  (** the variable's whole valid period *)
+  | Ep_start  (** [start of v] *)
+  | Ep_end  (** [end of v] *)
+
+type allen_class = [ `Overlap | `Equal | `Precede ]
+(** The partition of Allen's thirteen interval relations induced by
+    TQuel's primitive temporal predicates: [`Overlap] covers the nine
+    intersecting relations (o, oi, s, si, d, di, f, fi, =), [`Precede]
+    covers before and meets (end <= start under the engine's period
+    semantics), [`Equal] covers = alone. *)
+
+type allen_operand = { op_var : string; op_endpoint : allen_endpoint }
+
+type allen_join = {
+  aj_left : allen_operand;
+  aj_right : allen_operand;
+  aj_class : allen_class;
+}
+
+val classify_allen : conjunct -> allen_join option
+(** A [when] conjunct of the shape [e1 OP e2] where [OP] is a primitive
+    temporal predicate and each operand is a variable's period or one of
+    its endpoints, over two {e distinct} variables.  Compound predicates
+    ([and]/[or]/[not]), constants and derived periods classify as [None]
+    — the safe fallback to nested-loop evaluation. *)
+
+val temporal_join_between :
+  conjunct list -> a:string -> b:string -> allen_join option
+(** The first classifiable conjunct joining variables [a] and [b], in
+    either orientation. *)

@@ -29,6 +29,33 @@ exception Execution_error of string
 
 let errf fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
 
+(* --- temporal-join toggle --- *)
+
+let temporal_join_override = ref None
+let set_temporal_join v = temporal_join_override := v
+
+let temporal_join_enabled () =
+  match !temporal_join_override with
+  | Some v -> v
+  | None -> (
+      match Sys.getenv_opt "TDB_TJOIN" with
+      | Some ("0" | "false" | "off") -> false
+      | _ -> true)
+
+let with_temporal_join v f =
+  let saved = !temporal_join_override in
+  temporal_join_override := Some v;
+  Fun.protect ~finally:(fun () -> temporal_join_override := saved) f
+
+(* --- operator metrics --- *)
+
+let m_tjoin_statements = Metric.counter "tdb_tjoin_statements_total"
+let m_tjoin_input_rows = Metric.counter "tdb_tjoin_input_rows_total"
+let m_tjoin_pairs = Metric.counter "tdb_tjoin_candidate_pairs_total"
+let m_coalesce_statements = Metric.counter "tdb_coalesce_statements_total"
+let m_coalesce_rows_in = Metric.counter "tdb_coalesce_rows_in_total"
+let m_coalesce_rows_out = Metric.counter "tdb_coalesce_rows_out_total"
+
 (* --- used variables, in order of first appearance --- *)
 
 let used_vars (r : retrieve) =
@@ -141,9 +168,13 @@ let result_db_type ~sources (r : retrieve) =
   let used = used_vars r in
   let used_sources = List.filter (fun s -> List.mem s.var used) sources in
   if aggregate_mode r then
-    (* Aggregation collapses the qualifying versions into one row; the
-       result carries no time attributes. *)
-    Db_type.Static
+    if r.coalesce then
+      (* Temporal aggregation: one row per maximal constant interval. *)
+      Db_type.Historical Db_type.Interval
+    else
+      (* Aggregation collapses the qualifying versions into one row; the
+         result carries no time attributes. *)
+      Db_type.Static
   else
     match r.valid with
     | Some (Valid_event _) -> Db_type.Historical Db_type.Event
@@ -176,8 +207,7 @@ let rec aggregate_nodes acc = function
   | Euminus e -> aggregate_nodes acc e
   | Eattr _ | Eint _ | Efloat _ | Estring _ -> acc
 
-let accumulate ctx a =
-  let v = Eval.expr ctx a.operand in
+let accumulate_value v a =
   a.rows <- a.rows + 1;
   (match a.agg with
   | Sum | Avg ->
@@ -192,6 +222,12 @@ let accumulate ctx a =
       | Some b when Value.compare b v >= 0 -> ()
       | _ -> a.best <- Some v)
   | Count | Any -> ())
+
+let accumulate ctx a = accumulate_value (Eval.expr ctx a.operand) a
+
+(* The exclusive upper bound of a period: just past an event's instant. *)
+let period_end_excl p =
+  if Period.is_event p then Chronon.succ (Period.from_ p) else Period.to_ p
 
 let finish a =
   match a.agg with
@@ -549,6 +585,23 @@ let scan_restricted ~now ~restriction ~access (source : source) emit =
   | Par_off | Par_unavailable | Par_declined _ ->
       iter_restricted ~now ~restriction ~access source emit
 
+(* Like {!scan_restricted}, but under an explicitly resolved (possibly
+   narrowed) fence window — the temporal join pushes the outer side's
+   valid envelope into the inner scan this way.  Parallel admission runs
+   against the narrowed window, so envelope-refuted shards are never
+   assigned to workers. *)
+let scan_with_window ~now ~restriction ~window ~path (source : source) emit =
+  let visit = restricted_visitor ~now ~restriction source in
+  let inline () =
+    Cursor.iter (Relation_file.cursor ?window source.rel path) (visit emit)
+  in
+  if Pool.workers () <= 1 then inline ()
+  else
+    match admit ~window ~path source with
+    | Par_go { window; path; parts; _ } ->
+        drain_admitted source ~window ~path ~parts visit emit
+    | Par_off | Par_unavailable | Par_declined _ -> inline ()
+
 (* Keyed probes under an already-resolved window (the inner side of a
    tuple substitution); [visit] is a {!restricted_visitor} partial
    application, built once for the whole join.  Each probe value decides
@@ -662,6 +715,157 @@ let access_for conjuncts s =
 let fenced_scan conjuncts s =
   Plan.refine_access (source_info s) conjuncts Plan.Seq_scan
 
+(* --- temporal-join helpers --- *)
+
+(* The classified conjunct a [Temporal_join] plan runs on, oriented to the
+   plan's outer/inner assignment. *)
+type tjoin_spec = {
+  tj_class : Conjuncts.allen_class;
+  tj_outer_ep : Conjuncts.allen_endpoint;
+  tj_inner_ep : Conjuncts.allen_endpoint;
+  tj_outer_is_left : bool;
+}
+
+let tjoin_spec conjuncts ~outer ~inner =
+  match Conjuncts.temporal_join_between conjuncts ~a:outer ~b:inner with
+  | None -> None
+  | Some aj ->
+      let outer_is_left = aj.Conjuncts.aj_left.Conjuncts.op_var = outer in
+      let oep, iep =
+        if outer_is_left then
+          (aj.aj_left.Conjuncts.op_endpoint, aj.aj_right.Conjuncts.op_endpoint)
+        else
+          (aj.aj_right.Conjuncts.op_endpoint, aj.aj_left.Conjuncts.op_endpoint)
+      in
+      Some
+        {
+          tj_class = aj.Conjuncts.aj_class;
+          tj_outer_ep = oep;
+          tj_inner_ep = iep;
+          tj_outer_is_left = outer_is_left;
+        }
+
+let tj_class_label = function
+  | `Overlap -> "overlap"
+  | `Equal -> "equal"
+  | `Precede -> "precede"
+
+(* Equi-join conjuncts between the two sides hash-partition the sweep.  A
+   partition key must group values exactly like the equality the residual
+   filter re-applies: numeric columns canonicalize through float (i4
+   values are exact in a double, so int-vs-float equalities land in one
+   group), strings through identity.  [time] columns (which the filter
+   compares with string-parsing coercion) and mixed families decline —
+   partitioning is an optimization, and declining never loses rows,
+   whereas under-grouping would. *)
+type tjoin_partition = {
+  tp_outer_key : Tuple.t -> string;
+  tp_inner_key : Tuple.t -> string;
+  tp_label : string;
+}
+
+let tjoin_partition (so : source) (si : source) ~outer ~inner conjuncts =
+  let column schema attr =
+    match Schema.index_of schema attr with
+    | None -> None
+    | Some i -> Some (i, (Schema.attr schema i).Schema.ty)
+  in
+  let family ty =
+    if Attr_type.is_numeric ty then Some `Num
+    else if Attr_type.is_string ty then Some `Str
+    else None
+  in
+  let canon fam i (tuple : Tuple.t) =
+    match (fam, tuple.(i)) with
+    | `Num, Value.Int n -> Printf.sprintf "%h" (float_of_int n)
+    | `Num, Value.Float f -> Printf.sprintf "%h" f
+    | _, v -> Value.to_string v
+  in
+  let pairs =
+    Conjuncts.join_equalities conjuncts
+    |> List.filter_map (fun (je : Conjuncts.join_equality) ->
+           let oriented =
+             if je.left_var = outer && je.right_var = inner then
+               Some (je.left_attr, je.right_attr)
+             else if je.left_var = inner && je.right_var = outer then
+               Some (je.right_attr, je.left_attr)
+             else None
+           in
+           match oriented with
+           | None -> None
+           | Some (oa, ia) -> (
+               match (column (schema_of so) oa, column (schema_of si) ia) with
+               | Some (oi, oty), Some (ii, ity) -> (
+                   match (family oty, family ity) with
+                   | Some fo, Some fi when fo = fi ->
+                       Some
+                         ( canon fo oi,
+                           canon fi ii,
+                           Printf.sprintf "%s=%s" (Schema.norm_name oa)
+                             (Schema.norm_name ia) )
+                   | _ -> None)
+               | _ -> None))
+  in
+  match pairs with
+  | [] -> None
+  | ps ->
+      let key fns tuple =
+        String.concat "\x00" (List.map (fun f -> f tuple) fns)
+      in
+      Some
+        {
+          tp_outer_key = key (List.map (fun (f, _, _) -> f) ps);
+          tp_inner_key = key (List.map (fun (_, f, _) -> f) ps);
+          tp_label =
+            String.concat "," (List.map (fun (_, _, l) -> l) ps);
+        }
+
+(* Valid envelope of the outer side's reduced operand periods: any inner
+   tuple that can pair with some outer tuple has a valid period
+   overlapping this window, so pushing it into the inner scan's fence
+   window only skips pages that provably produce no candidate.  The
+   envelope rests on the same fence invariant as every other valid-window
+   prune: no record's valid period starts at [forever].  Degenerate
+   envelopes (everything saturated at [forever]) decline — narrowing is
+   an optimization. *)
+let tjoin_envelope spec outer_periods =
+  match outer_periods with
+  | [] -> None
+  | p0 :: rest -> (
+      match spec.tj_class with
+      | `Overlap | `Equal ->
+          let lo =
+            List.fold_left
+              (fun acc p -> Chronon.min acc (Period.from_ p))
+              (Period.from_ p0) rest
+          in
+          let hi =
+            List.fold_left
+              (fun acc p -> Chronon.max acc (period_end_excl p))
+              (period_end_excl p0) rest
+          in
+          if Chronon.compare lo hi < 0 then Some (Period.make lo hi)
+          else None
+      | `Precede ->
+          if spec.tj_outer_is_left then
+            (* candidates start at or after the earliest outer end *)
+            let lo =
+              List.fold_left
+                (fun acc p -> Chronon.min acc (Period.to_ p))
+                (Period.to_ p0) rest
+            in
+            if Chronon.is_forever lo then None
+            else Some (Period.make lo Chronon.forever)
+          else
+            (* candidates end at or before the latest outer start *)
+            let hi =
+              List.fold_left
+                (fun acc p -> Chronon.max acc (Period.from_ p))
+                (Period.from_ p0) rest
+            in
+            if Chronon.is_forever hi then None
+            else Some (Period.make Chronon.beginning (Chronon.succ hi)))
+
 (* --- the batched operator pipeline --- *)
 
 (* A row is the bindings accumulated so far, outermost variable first. *)
@@ -766,6 +970,10 @@ let build_pipeline ~sources ~conjuncts (r : retrieve) plan =
   let tail =
     (if residual = [] then [] else [ Pipeline.Filter (List.length residual) ])
     @ [ Pipeline.Emit agg ]
+    @
+    if r.coalesce then
+      [ (if agg then Pipeline.Temporal_agg else Pipeline.Coalesce) ]
+    else []
   in
   match plan with
   | Plan.Const_emit | Plan.Nested_general { vars = []; _ } ->
@@ -782,6 +990,22 @@ let build_pipeline ~sources ~conjuncts (r : retrieve) plan =
                   (key_name (find substituted))
                   detached
                   (Schema.norm_name probe_attr))
+          :: tail;
+      }
+  | Plan.Temporal_join { outer; inner; cls } ->
+      let on =
+        match tjoin_partition (find outer) (find inner) ~outer ~inner conjuncts
+        with
+        | None -> ""
+        | Some p -> " on " ^ p.tp_label
+      in
+      {
+        Pipeline.detaches = [];
+        stages =
+          Pipeline.Scan (label outer (access_for conjuncts (find outer)))
+          :: Pipeline.Tjoin
+               (Printf.sprintf "tjoin[%s%s](%s)" (tj_class_label cls) on
+                  (label inner (access_for conjuncts (find inner))))
           :: tail;
       }
   | Plan.Detach_both { outer; inner } ->
@@ -830,12 +1054,14 @@ let build_pipeline ~sources ~conjuncts (r : retrieve) plan =
 let plan_retrieve ~sources (r : retrieve) =
   let sources = ordered_sources ~sources r in
   let conjuncts = Conjuncts.split r.where r.when_ in
-  Plan.choose ~sources:(List.map source_info sources) ~conjuncts
+  Plan.choose ~temporal_join:(temporal_join_enabled ())
+      ~sources:(List.map source_info sources) ~conjuncts ()
 
 let pipeline_retrieve ~sources (r : retrieve) =
   let sources = ordered_sources ~sources r in
   let conjuncts = Conjuncts.split r.where r.when_ in
-  let plan = Plan.choose ~sources:(List.map source_info sources) ~conjuncts in
+  let plan = Plan.choose ~temporal_join:(temporal_join_enabled ())
+      ~sources:(List.map source_info sources) ~conjuncts () in
   build_pipeline ~sources ~conjuncts r plan
 
 (* The parallelism line [\explain] prints: the decision the executor
@@ -846,7 +1072,8 @@ let pipeline_retrieve ~sources (r : retrieve) =
 let explain_parallelism ~now ~sources (r : retrieve) =
   let sources = ordered_sources ~sources r in
   let conjuncts = Conjuncts.split r.where r.when_ in
-  let plan = Plan.choose ~sources:(List.map source_info sources) ~conjuncts in
+  let plan = Plan.choose ~temporal_join:(temporal_join_enabled ())
+      ~sources:(List.map source_info sources) ~conjuncts () in
   let workers = Pool.workers () in
   if workers <= 1 then Printf.sprintf "parallel: off (workers=%d)" workers
   else begin
@@ -860,6 +1087,8 @@ let explain_parallelism ~now ~sources (r : retrieve) =
       | Plan.Single { var; access } -> Some (var, access)
       | Plan.Nested_scan { outer; _ } ->
           Some (outer, fenced_scan conjuncts (find outer))
+      | Plan.Temporal_join { outer; _ } ->
+          Some (outer, access_for conjuncts (find outer))
       | Plan.Nested_general { vars = v :: _; _ } ->
           Some (v, fenced_scan conjuncts (find v))
       | _ -> None
@@ -930,7 +1159,8 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
         resolve_window ~now ~restriction ~transaction ~valid_const
     | None -> None
   in
-  let plan = Plan.choose ~sources:(List.map source_info sources) ~conjuncts in
+  let plan = Plan.choose ~temporal_join:(temporal_join_enabled ())
+      ~sources:(List.map source_info sources) ~conjuncts () in
   let pipe = build_pipeline ~sources ~conjuncts r plan in
   let result = result_schema ~sources r in
   (* I/O accounting: deltas on the sources plus everything the temporaries
@@ -960,6 +1190,26 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
     else []
   in
   let seen = if r.unique then Some (Hashtbl.create 64) else None in
+  (* [retrieve coalesced]: non-aggregate rows are staged whole and merged
+     at pipeline close; aggregate rows contribute (period, operand values)
+     triples that the temporal-aggregation sweep folds per elementary
+     interval. *)
+  let coalesce_staged = ref [] in
+  let agg_contribs = ref [] in
+  if r.coalesce then Metric.incr m_coalesce_statements;
+  let participating_overlap (bindings : Eval.binding list) =
+    match
+      List.filter_map
+        (fun (b : Eval.binding) -> Tuple.valid_period b.schema b.tuple)
+        bindings
+    with
+    | [] -> None
+    | p :: rest ->
+        List.fold_left
+          (fun acc q ->
+            match acc with None -> None | Some a -> Period.overlap a q)
+          (Some p) rest
+  in
   let deliver tuple =
     match seen with
     | None ->
@@ -1049,7 +1299,20 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
      stage; a row that reaches here joins the result). *)
   let emit_row (row : row) =
     let ctx = { Eval.bindings = row; now } in
-    if agg_mode then List.iter (accumulate ctx) accumulators
+    if agg_mode then begin
+      if r.coalesce then begin
+        match participating_overlap ctx.Eval.bindings with
+        | None -> ()
+        | Some p ->
+            let vals =
+              List.map (fun a -> Eval.expr ctx a.operand) accumulators
+              |> Array.of_list
+            in
+            agg_contribs :=
+              (Period.from_ p, period_end_excl p, vals) :: !agg_contribs
+      end
+      else List.iter (accumulate ctx) accumulators
+    end
     else begin
       let user_values =
         List.map (fun t -> eval_target ctx t.value) r.targets |> Array.of_list
@@ -1105,8 +1368,131 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
         | Db_type.Rollback | Db_type.Temporal _ -> assert false
       in
       match time_values with
-      | Some tv -> deliver (Array.append user_values tv)
+      | Some tv ->
+          let tuple = Array.append user_values tv in
+          if r.coalesce then coalesce_staged := tuple :: !coalesce_staged
+          else deliver tuple
       | None -> ()
+    end
+  in
+  (* Coalescing (non-aggregate): merge value-equivalent staged rows whose
+     periods touch or overlap into maximal periods.  The output is
+     canonical — sorted by (user values, valid-from) and minimal (no two
+     remaining value-equivalent rows touch) — so it is independent of the
+     order the plan produced the rows in. *)
+  let finalize_coalesce cspan =
+    let rows = !coalesce_staged in
+    Metric.add m_coalesce_rows_in (List.length rows);
+    let n = List.length r.targets in
+    let chron = function Value.Time t -> t | _ -> assert false in
+    let cmp_user (a : Tuple.t) (b : Tuple.t) =
+      let rec go i =
+        if i >= n then 0
+        else
+          let c = Value.compare a.(i) b.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+    in
+    let cmp a b =
+      let c = cmp_user a b in
+      if c <> 0 then c else Chronon.compare (chron a.(n)) (chron b.(n))
+    in
+    let sorted = List.sort cmp rows in
+    let out = ref [] in
+    let flush = function
+      | None -> ()
+      | Some (u, f, t) -> out := (u, f, t) :: !out
+    in
+    let cur = ref None in
+    List.iter
+      (fun (row : Tuple.t) ->
+        let f = chron row.(n) and t = chron row.(n + 1) in
+        match !cur with
+        | Some (u, cf, ct) when cmp_user u row = 0 && Chronon.compare f ct <= 0
+          ->
+            cur := Some (u, cf, Chronon.max ct t)
+        | prev ->
+            flush prev;
+            cur := Some (row, f, t))
+      sorted;
+    flush !cur;
+    List.iter
+      (fun (u, f, t) ->
+        let tuple = Array.copy u in
+        tuple.(n) <- Value.Time f;
+        tuple.(n + 1) <- Value.Time t;
+        Metric.incr m_coalesce_rows_out;
+        Trace.add_tuples cspan 1;
+        deliver tuple)
+      (List.rev !out)
+  in
+  (* Temporal aggregation (snapshot semantics): every result chronon [c]
+     carries the aggregate folded over exactly the contributions whose
+     period contains [c] — i.e. the aggregate of the database snapshot at
+     [c].  Sweep the elementary intervals between contribution endpoints,
+     fold fresh accumulators per interval, then merge adjacent intervals
+     with identical values into maximal constant intervals. *)
+  let finalize_temporal_agg cspan =
+    let contribs = Array.of_list (List.rev !agg_contribs) in
+    Metric.add m_coalesce_rows_in (Array.length contribs);
+    if Array.length contribs > 0 then begin
+      let module Cs = Set.Make (struct
+        type t = Chronon.t
+
+        let compare = Chronon.compare
+      end) in
+      let bounds =
+        Array.fold_left
+          (fun acc (f, t, _) -> Cs.add f (Cs.add t acc))
+          Cs.empty contribs
+      in
+      let bounds = Array.of_list (Cs.elements bounds) in
+      let out = ref [] in
+      for k = 0 to Array.length bounds - 2 do
+        let lo = bounds.(k) and hi = bounds.(k + 1) in
+        let active =
+          Array.to_seq contribs
+          |> Seq.filter (fun (f, t, _) ->
+                 Chronon.compare f lo <= 0 && Chronon.compare lo t < 0)
+          |> List.of_seq
+        in
+        if active <> [] then begin
+          let accs =
+            List.map
+              (fun a -> fresh_accumulator a.node a.agg a.operand)
+              accumulators
+          in
+          List.iter
+            (fun (_, _, vals) ->
+              List.iteri (fun j a -> accumulate_value vals.(j) a) accs)
+            active;
+          let user =
+            List.map (fun t -> fold_target accs t.value) r.targets
+            |> Array.of_list
+          in
+          out := (lo, hi, user) :: !out
+        end
+      done;
+      let merged =
+        List.fold_left
+          (fun acc (lo, hi, user) ->
+            match acc with
+            | (plo, phi, puser) :: tl
+              when Chronon.compare phi lo = 0 && Stdlib.compare puser user = 0
+              ->
+                (plo, hi, puser) :: tl
+            | _ -> (lo, hi, user) :: acc)
+          []
+          (List.rev !out)
+      in
+      List.iter
+        (fun (lo, hi, user) ->
+          Metric.incr m_coalesce_rows_out;
+          Trace.add_tuples cspan 1;
+          deliver
+            (Array.append user [| Value.Time lo; Value.Time hi |]))
+        (List.rev merged)
     end
   in
   (* The Filter?/Emit tail of the pipeline, with spans chained under
@@ -1114,16 +1500,57 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
   let tail_sink parent =
     let tail =
       List.filter
-        (function Pipeline.Filter _ | Pipeline.Emit _ -> true | _ -> false)
+        (function
+          | Pipeline.Filter _ | Pipeline.Emit _ | Pipeline.Coalesce
+          | Pipeline.Temporal_agg ->
+              true
+          | _ -> false)
         pipe.Pipeline.stages
+    in
+    (* A trailing coalesce/temporal-agg stage buffers inside [emit_row]
+       and finalizes when the pipeline closes; its span sits under the
+       emit span and performs no page I/O, so the subtree-sum invariant
+       is untouched. *)
+    let with_post espan sink = function
+      | None -> sink
+      | Some post ->
+          let cspan = Trace.branch espan (Pipeline.stage_label post) in
+          let finalize =
+            match post with
+            | Pipeline.Temporal_agg -> finalize_temporal_agg
+            | _ -> finalize_coalesce
+          in
+          {
+            push = sink.push;
+            close =
+              (fun () ->
+                sink.close ();
+                Trace.enter cspan;
+                finalize cspan;
+                Trace.exit cspan);
+          }
     in
     match tail with
     | [ (Pipeline.Emit _ as e) ] ->
         emit_stage (Trace.branch parent (Pipeline.stage_label e)) emit_row
+    | [ (Pipeline.Emit _ as e); ((Pipeline.Coalesce | Pipeline.Temporal_agg) as c) ]
+      ->
+        let espan = Trace.branch parent (Pipeline.stage_label e) in
+        with_post espan (emit_stage espan emit_row) (Some c)
     | [ (Pipeline.Filter _ as fl); (Pipeline.Emit _ as e) ] ->
         let fspan = Trace.branch parent (Pipeline.stage_label fl) in
         let espan = Trace.branch fspan (Pipeline.stage_label e) in
         filter_stage ~now residual fspan (emit_stage espan emit_row)
+    | [
+        (Pipeline.Filter _ as fl);
+        (Pipeline.Emit _ as e);
+        ((Pipeline.Coalesce | Pipeline.Temporal_agg) as c);
+      ] ->
+        let fspan = Trace.branch parent (Pipeline.stage_label fl) in
+        let espan = Trace.branch fspan (Pipeline.stage_label e) in
+        with_post espan
+          (filter_stage ~now residual fspan (emit_stage espan emit_row))
+          (Some c)
     | _ -> assert false
   in
   let traced_detach ~restriction ~access ~needed label s =
@@ -1209,6 +1636,138 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
           Relation_file.scan temp (fun _ ot ->
               Trace.add_tuples span 1;
               push [ binding temp_source ot ]))
+  | Plan.Temporal_join { outer; inner; cls = _ } ->
+      let so = List.find (fun s -> s.var = outer) sources in
+      let si = List.find (fun s -> s.var = inner) sources in
+      let spec =
+        match tjoin_spec conjuncts ~outer ~inner with
+        | Some s -> s
+        | None -> assert false (* the plan was chosen off this conjunct *)
+      in
+      let part = tjoin_partition so si ~outer ~inner conjuncts in
+      (* A tuple with no valid period binds the whole lifetime, mirroring
+         {!Eval.valid_of_tuple}. *)
+      let valid_of s tuple =
+        match Tuple.valid_period (schema_of s) tuple with
+        | Some p -> p
+        | None -> Period.make Chronon.beginning Chronon.forever
+      in
+      Metric.incr m_tjoin_statements;
+      drive (scan_stage_label ())
+        (fun scan_span ->
+          let jspan =
+            Trace.branch scan_span (Pipeline.stage_label (stage_at 1))
+          in
+          let down = tail_sink jspan in
+          let outer_rows = ref [] in
+          let close () =
+            let outer_arr = Array.of_list (List.rev !outer_rows) in
+            Trace.enter jspan;
+            Fun.protect ~finally:(fun () -> Trace.exit jspan) @@ fun () ->
+            let outer_tuple row = (List.hd row).Eval.tuple in
+            let outer_periods =
+              Array.map
+                (fun row ->
+                  Tjoin.reduce spec.tj_outer_ep (valid_of so (outer_tuple row)))
+                outer_arr
+            in
+            (* Inner side materializes under the join span (its page pulls
+               and shard partitions charge here), fence-narrowed to the
+               outer side's valid envelope. *)
+            let inner_tuples = ref [] in
+            if Array.length outer_arr > 0 then begin
+              let ri = restriction_of inner in
+              let window0, path =
+                resolve_access ~now ~restriction:ri ~access:(access_for si) si
+              in
+              let envelope =
+                tjoin_envelope spec (Array.to_list outer_periods)
+              in
+              let window = Time_fence.narrow_valid window0 envelope in
+              scan_with_window ~now ~restriction:ri ~window ~path si (fun t ->
+                  inner_tuples := t :: !inner_tuples)
+            end;
+            let inner_arr = Array.of_list (List.rev !inner_tuples) in
+            Metric.add m_tjoin_input_rows
+              (Array.length outer_arr + Array.length inner_arr);
+            let inner_periods =
+              Array.map
+                (fun t -> Tjoin.reduce spec.tj_inner_ep (valid_of si t))
+                inner_arr
+            in
+            (* Candidate pairs via the interval sweep, hash-partitioned on
+               the equi-join keys when the predicate has any; pairs come
+               back as (outer index, inner index). *)
+            let run o_items i_items =
+              if spec.tj_outer_is_left then
+                Tjoin.join ~cls:spec.tj_class ~left:o_items ~right:i_items
+              else
+                Tjoin.join ~cls:spec.tj_class ~left:i_items ~right:o_items
+                |> List.map (fun (l, r) -> (r, l))
+            in
+            let o_tagged = Array.mapi (fun i p -> (p, i)) outer_periods in
+            let i_tagged = Array.mapi (fun i p -> (p, i)) inner_periods in
+            let raw_pairs =
+              match part with
+              | None -> run o_tagged i_tagged
+              | Some p ->
+                  let groups = Hashtbl.create 64 in
+                  let add k side item =
+                    let o, i =
+                      Option.value
+                        (Hashtbl.find_opt groups k)
+                        ~default:([], [])
+                    in
+                    Hashtbl.replace groups k
+                      (match side with
+                      | `O -> (item :: o, i)
+                      | `I -> (o, item :: i))
+                  in
+                  Array.iter
+                    (fun (per, i) ->
+                      add
+                        (p.tp_outer_key (outer_tuple outer_arr.(i)))
+                        `O (per, i))
+                    o_tagged;
+                  Array.iter
+                    (fun (per, i) ->
+                      add (p.tp_inner_key inner_arr.(i)) `I (per, i))
+                    i_tagged;
+                  Hashtbl.fold
+                    (fun _ (os, is_) acc ->
+                      match (os, is_) with
+                      | [], _ | _, [] -> acc
+                      | _ ->
+                          run (Array.of_list os) (Array.of_list is_) @ acc)
+                    groups []
+            in
+            (* Sorting by (outer, inner) index restores the nested-loop
+               row order, so results are bit-identical to the fallback. *)
+            let pairs = List.sort compare raw_pairs in
+            Metric.add m_tjoin_pairs (List.length pairs);
+            let push_out, flush_out = row_batcher ~span:jspan down in
+            List.iter
+              (fun (oi, ii) ->
+                Trace.add_tuples jspan 1;
+                push_out (outer_arr.(oi) @ [ binding si inner_arr.(ii) ]))
+              pairs;
+            flush_out ()
+          in
+          {
+            push =
+              (fun rows ->
+                Array.iter (fun row -> outer_rows := row :: !outer_rows) rows);
+            close =
+              (fun () ->
+                close ();
+                down.close ());
+          })
+        (fun span push ->
+          scan_restricted ~now ~restriction:(restriction_of outer)
+            ~access:(access_for so) so
+            (fun t ->
+              Trace.add_tuples span 1;
+              push [ binding so t ]))
   | Plan.Detach_both { outer; inner } ->
       let so = List.find (fun s -> s.var = outer) sources in
       let si = List.find (fun s -> s.var = inner) sources in
@@ -1318,7 +1877,7 @@ let run_retrieve ~now ~sources (r : retrieve) ~on_tuple =
             (fun t ->
               Trace.add_tuples span 1;
               push [ binding s1 t ])));
-  if agg_mode then
+  if agg_mode && not r.coalesce then
     deliver
       (List.map (fun t -> fold_target accumulators t.value) r.targets
       |> Array.of_list);

@@ -61,6 +61,21 @@ val explain_parallelism :
     is decided per probe value at run time.  Charge-free: previews size
     partitions from in-memory fence summaries only. *)
 
+val set_temporal_join : bool option -> unit
+(** Overrides temporal-join planning.  [Some false] forces the classic
+    nested-loop/detachment plans even when a [when] conjunct classifies
+    as an Allen overlap/precede join; [Some true] forces it on; [None]
+    restores the default chain (the [TDB_TJOIN] environment variable,
+    else enabled). *)
+
+val temporal_join_enabled : unit -> bool
+(** Whether the planner may currently pick {!Plan.Temporal_join}. *)
+
+val with_temporal_join : bool -> (unit -> 'a) -> 'a
+(** Runs the thunk with temporal-join planning pinned to the given value,
+    restoring the previous override afterwards (benchmarks use it to
+    measure both sides of the crossover). *)
+
 val set_parallel_min_pages : int option -> unit
 (** Overrides the parallelism admission floor (minimum post-prune pages
     an access must cover to fan out; default 128, or the

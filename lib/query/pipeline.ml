@@ -8,8 +8,11 @@ type stage =
   | Scan of string  (** row source: an access-path label, or [scan(v')] *)
   | Nest of string  (** inner loop re-running the labelled access per row *)
   | Probe of string  (** keyed inner loop, [v.key<-from.attr] *)
+  | Tjoin of string  (** merge temporal join, label pre-rendered *)
   | Filter of int  (** residual (multi-variable) conjuncts *)
   | Emit of bool  (** deliver rows; [true] when folding into aggregates *)
+  | Coalesce  (** merge value-equivalent adjacent/overlapping result rows *)
+  | Temporal_agg  (** fold aggregates per maximal constant interval *)
 
 type t = {
   detaches : string list;
@@ -23,8 +26,11 @@ let stage_label = function
   | Scan l -> l
   | Nest l -> Printf.sprintf "nest(%s)" l
   | Probe l -> Printf.sprintf "probe(%s)" l
+  | Tjoin l -> l
   | Filter n -> Printf.sprintf "filter(%d)" n
   | Emit agg -> if agg then "emit(agg)" else "emit"
+  | Coalesce -> "coalesce"
+  | Temporal_agg -> "temporal-agg"
 
 let detach_label access = Printf.sprintf "detach(%s)" access
 

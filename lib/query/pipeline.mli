@@ -18,10 +18,25 @@ type stage =
   | Probe of string
       (** keyed nested loop, labelled [v.key<-from.attr]: probes [v]'s
           key with a value from each input row *)
+  | Tjoin of string
+      (** merge temporal join: buffers the outer rows, materializes the
+          inner side under a valid-envelope-narrowed fence window, sweeps
+          for candidate pairs and re-emits them in (outer, inner) order;
+          the label carries the Allen class, any equi-partition
+          attributes, and the inner access
+          ([tjoin\[overlap\](scan(i))]) *)
   | Filter of int  (** applies the residual (multi-variable) conjuncts *)
   | Emit of bool
       (** delivers rows (targets, valid clause, dedup); [true] when the
           query folds into global aggregates instead *)
+  | Coalesce
+      (** [retrieve coalesced]: buffers emitted rows and merges
+          value-equivalent adjacent/overlapping versions into maximal
+          periods, delivered sorted *)
+  | Temporal_agg
+      (** [retrieve coalesced] with global aggregates: folds the
+          aggregates once per maximal interval over which the qualifying
+          set is constant (snapshot semantics) *)
 
 type t = {
   detaches : string list;

@@ -23,6 +23,11 @@ type t =
       substituted : string;
       probe_attr : string;
     }
+  | Temporal_join of {
+      outer : string;
+      inner : string;
+      cls : Conjuncts.allen_class;
+    }
   | Detach_both of { outer : string; inner : string }
   | Nested_scan of { outer : string; inner : string }
   | Nested_general of { vars : string list; probe : inner_probe option }
@@ -114,7 +119,22 @@ let innermost_probe sources conjuncts =
           in
           List.find_map hit (Conjuncts.join_equalities conjuncts))
 
-let choose ~sources ~conjuncts =
+(* A two-variable query with no keyed equi-join qualifies for the merge
+   temporal join when both variables carry valid time and a [when]
+   conjunct between them classifies into an Allen class: the sweep
+   replaces the nested inner loop of [Detach_both]/[Nested_scan], and
+   since both baselines stream outer-order x inner-order, sorting the
+   candidate pairs by (outer, inner) sequence restores the identical row
+   order. *)
+let temporal_join_plan a b conjuncts =
+  if a.valid_time && b.valid_time then
+    match Conjuncts.temporal_join_between conjuncts ~a:a.var ~b:b.var with
+    | Some aj ->
+        Some (Temporal_join { outer = a.var; inner = b.var; cls = aj.aj_class })
+    | None -> None
+  else None
+
+let choose ?(temporal_join = false) ~sources ~conjuncts () =
   match sources with
   | [] -> Const_emit
   | [ s ] -> Single { var = s.var; access = single_access s conjuncts }
@@ -138,10 +158,17 @@ let choose ~sources ~conjuncts =
       match List.find_map keyed_side (Conjuncts.join_equalities conjuncts) with
       | Some (substituted, detached, probe_attr) ->
           Tuple_substitution { detached; substituted; probe_attr }
-      | None ->
-          if has_restriction a.var conjuncts && has_restriction b.var conjuncts
-          then Detach_both { outer = a.var; inner = b.var }
-          else Nested_scan { outer = a.var; inner = b.var })
+      | None -> (
+          match
+            if temporal_join then temporal_join_plan a b conjuncts else None
+          with
+          | Some plan -> plan
+          | None ->
+              if
+                has_restriction a.var conjuncts
+                && has_restriction b.var conjuncts
+              then Detach_both { outer = a.var; inner = b.var }
+              else Nested_scan { outer = a.var; inner = b.var }))
   | many ->
       Nested_general
         {
@@ -170,6 +197,13 @@ let to_string = function
   | Tuple_substitution { detached; substituted; probe_attr } ->
       Printf.sprintf "detach(%s) then substitute into %s via %s.%s" detached
         substituted detached probe_attr
+  | Temporal_join { outer; inner; cls } ->
+      Printf.sprintf "temporal %s join(%s, %s)"
+        (match cls with
+        | `Overlap -> "overlap"
+        | `Equal -> "equal"
+        | `Precede -> "precede")
+        outer inner
   | Detach_both { outer; inner } ->
       Printf.sprintf "detach(%s) join detach(%s)" outer inner
   | Nested_scan { outer; inner } ->

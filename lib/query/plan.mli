@@ -53,6 +53,21 @@ type t =
       substituted : string;  (** probed by key for each temporary tuple *)
       probe_attr : string;  (** the detached variable's attribute whose value probes *)
     }
+  | Temporal_join of {
+      outer : string;
+      inner : string;
+      cls : Conjuncts.allen_class;
+          (** the Allen class of the classified [when] conjunct driving
+              the sweep *)
+    }
+      (** sort-merge/partition interval join: both sides are materialized
+          under their single-variable restrictions, candidate pairs come
+          from an endpoint sweep over the conjunct's operand periods, and
+          the residual filter re-applies the exact predicates — replacing
+          the nested inner loop where {!Detach_both}/{!Nested_scan} would
+          otherwise run (chosen only when enabled, both variables carry
+          valid time, and a [when] conjunct between them classifies;
+          keyed tuple substitution still wins) *)
   | Detach_both of { outer : string; inner : string }
   | Nested_scan of { outer : string; inner : string }
   | Nested_general of { vars : string list; probe : inner_probe option }
@@ -68,8 +83,15 @@ type source_info = {
 }
 
 val choose :
-  sources:source_info list -> conjuncts:Conjuncts.conjunct list -> t
-(** [sources] in order of first appearance in the query. *)
+  ?temporal_join:bool ->
+  sources:source_info list ->
+  conjuncts:Conjuncts.conjunct list ->
+  unit ->
+  t
+(** [sources] in order of first appearance in the query.
+    [temporal_join] (default [false]) admits the {!t.Temporal_join}
+    strategy for qualifying two-variable queries; the executor passes its
+    toggle ({!Executor.temporal_join_enabled}). *)
 
 val refine_access :
   source_info -> Conjuncts.conjunct list -> access -> access

@@ -1,0 +1,103 @@
+module Period = Tdb_time.Period
+module Chronon = Tdb_time.Chronon
+
+(* Candidate generation for temporal joins: near-linear sweeps that emit a
+   superset of the matching pairs.  Exactness is the executor's residual
+   filter's job — the classified [when] conjunct always mentions both
+   variables, so it lands in the multi-variable residual and re-applies the
+   precise predicate to every candidate.  The sweeps below only need to
+   never *miss* a pair. *)
+
+let reduce ep p =
+  match ep with
+  | Conjuncts.Ep_whole -> p
+  | Conjuncts.Ep_start -> Period.start_of p
+  | Conjuncts.Ep_end -> Period.end_of p
+
+(* Normalized half-open bounds: an event at [t] becomes [t, succ t), an
+   interval keeps its bounds.  Under this normalization
+   [Period.overlaps a b  <=>  max from < min to'] — except for events at
+   [forever], where [succ] saturates and the normalized range collapses to
+   empty; those are split off and handled directly. *)
+let norm p =
+  let from_ = Period.from_ p in
+  let to_ = if Period.is_event p then Chronon.succ from_ else Period.to_ p in
+  (from_, to_)
+
+let saturated (p, _) =
+  Period.is_event p && Chronon.is_forever (Period.from_ p)
+
+type item = { nfrom : Chronon.t; nto : Chronon.t; idx : int }
+
+(* Plane sweep over both sides merged in order of normalized start: when an
+   item is processed, the other side's still-active items are exactly those
+   whose normalized range reaches past this start — each such pair overlaps
+   and is emitted exactly once (by whichever item starts later). *)
+let overlap_join left right =
+  let acc = ref [] in
+  let sat_l = Array.to_list left |> List.filter saturated |> List.map snd in
+  let sat_r = Array.to_list right |> List.filter saturated |> List.map snd in
+  (* events at forever overlap each other and nothing else *)
+  List.iter
+    (fun li -> List.iter (fun ri -> acc := (li, ri) :: !acc) sat_r)
+    sat_l;
+  let items side arr =
+    Array.to_list arr
+    |> List.filter (fun x -> not (saturated x))
+    |> List.map (fun (p, idx) ->
+           let nfrom, nto = norm p in
+           (side, { nfrom; nto; idx }))
+  in
+  let combined =
+    List.sort
+      (fun (_, a) (_, b) -> Chronon.compare a.nfrom b.nfrom)
+      (items `L left @ items `R right)
+  in
+  let active_l = ref [] and active_r = ref [] in
+  List.iter
+    (fun (side, x) ->
+      let live y = Chronon.compare y.nto x.nfrom > 0 in
+      active_l := List.filter live !active_l;
+      active_r := List.filter live !active_r;
+      match side with
+      | `L ->
+          List.iter (fun y -> acc := (x.idx, y.idx) :: !acc) !active_r;
+          active_l := x :: !active_l
+      | `R ->
+          List.iter (fun y -> acc := (y.idx, x.idx) :: !acc) !active_l;
+          active_r := x :: !active_r)
+    combined;
+  !acc
+
+(* [precede] compares raw bounds ([to_ <= from_], no event adjustment), so
+   the prefix join runs on the periods as given: walking the right side by
+   ascending start, the eligible left items only ever grow. *)
+let precede_join left right =
+  let by_chronon (a, _) (b, _) = Chronon.compare a b in
+  let la =
+    Array.map (fun (p, i) -> (Period.to_ p, i)) left
+    |> Array.to_list |> List.sort by_chronon |> Array.of_list
+  in
+  let ra =
+    Array.map (fun (p, i) -> (Period.from_ p, i)) right
+    |> Array.to_list |> List.sort by_chronon |> Array.of_list
+  in
+  let acc = ref [] and elig = ref [] and li = ref 0 in
+  Array.iter
+    (fun (rf, ri) ->
+      while
+        !li < Array.length la && Chronon.compare (fst la.(!li)) rf <= 0
+      do
+        elig := snd la.(!li) :: !elig;
+        incr li
+      done;
+      List.iter (fun lidx -> acc := (lidx, ri) :: !acc) !elig)
+    ra;
+  !acc
+
+let join ~cls ~left ~right =
+  match (cls : Conjuncts.allen_class) with
+  | `Overlap | `Equal ->
+      (* equal implies overlaps: the sweep's candidates cover it *)
+      overlap_join left right
+  | `Precede -> precede_join left right

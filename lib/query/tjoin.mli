@@ -1,0 +1,26 @@
+(** Temporal-join candidate generation: sort-merge interval sweeps over
+    the operand periods of a classified [when] conjunct
+    (see {!Conjuncts.classify_allen}).
+
+    The sweeps emit a {e superset} of the matching pairs in
+    O(n log n + candidates) — never missing a pair — and the executor's
+    residual filter re-applies the exact predicate to each candidate, so
+    results stay bit-identical to the nested-loop strategies. *)
+
+val reduce :
+  Conjuncts.allen_endpoint -> Tdb_time.Period.t -> Tdb_time.Period.t
+(** The operand period a conjunct actually compares: the variable's valid
+    period, or the event at its first/last chronon ([start of] /
+    [end of]). *)
+
+val join :
+  cls:Conjuncts.allen_class ->
+  left:(Tdb_time.Period.t * int) array ->
+  right:(Tdb_time.Period.t * int) array ->
+  (int * int) list
+(** [join ~cls ~left ~right] pairs the tagged (already
+    {!reduce}d) periods: [(l, r)] is returned iff the periods tagged [l]
+    and [r] satisfy the class's period test ([Period.overlaps] for
+    [`Overlap]/[`Equal] — equality implies overlap — and
+    [Period.precede] for [`Precede]).  Each qualifying pair appears
+    exactly once; order is unspecified. *)

@@ -192,6 +192,7 @@ let run_append ~now ~rel ~sources (a : append) =
       {
         into = None;
         unique = false;
+        coalesce = false;
         targets = a.targets;
         valid = a.valid;
         where = a.where;

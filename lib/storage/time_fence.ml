@@ -80,6 +80,18 @@ type window = { transaction : Period.t option; valid : Period.t option }
 
 let no_window = { transaction = None; valid = None }
 
+(* Adding a bound is only sound when the dimension was unbounded: a page
+   whose records satisfy two independent constraints separately need not
+   contain a record satisfying their intersection, so an existing bound is
+   kept rather than narrowed. *)
+let narrow_valid window period =
+  match period with
+  | None -> window
+  | Some _ -> (
+      match window with
+      | None -> Some { transaction = None; valid = period }
+      | Some w -> if w.valid = None then Some { w with valid = period } else window)
+
 let window_is_unbounded w =
   Option.is_none w.transaction && Option.is_none w.valid
 

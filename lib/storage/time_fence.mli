@@ -58,6 +58,15 @@ type window = { transaction : Period.t option; valid : Period.t option }
 val no_window : window
 val window_is_unbounded : window -> bool
 
+val narrow_valid : window option -> Period.t option -> window option
+(** [narrow_valid w p] bounds [w]'s valid dimension by [p] when it was
+    unbounded — the temporal join pushes the outer side's valid envelope
+    into the inner scan this way.  A window whose valid dimension is
+    already bounded is returned unchanged: its existing bound was derived
+    from a different conjunct, and a page can satisfy two bounds
+    separately without any single record satisfying both, so replacing
+    either with their intersection could skip wrongly. *)
+
 val may_overlap : t -> window -> bool
 (** Whether any record covered by the fence can overlap the window on
     every bounded dimension; mirrors [Period.overlaps] exactly, so a page

@@ -101,6 +101,11 @@ type as_of_clause = { at : string; through : string option }
 type retrieve = {
   into : string option;
   unique : bool;  (** [retrieve unique (...)]: drop duplicate result tuples *)
+  coalesce : bool;
+      (** [retrieve coalesced (...)]: merge value-equivalent
+          adjacent/overlapping result versions into maximal periods; with
+          global aggregates, fold them per maximal constant interval
+          (snapshot-semantics temporal aggregation) *)
   targets : target list;
   valid : valid_clause option;
   where : pred option;

@@ -354,16 +354,28 @@ let parse_clauses ?(allow_as_of = true) ?(allow_valid = true) cur =
 (* --- statements --- *)
 
 let parse_retrieve cur =
-  (* after [retrieve] *)
-  let unique = accept_kw cur "unique" in
+  (* after [retrieve]; [unique] and [coalesced] may appear in either
+     order, before or after [into rel] *)
+  let modifiers () =
+    let unique = ref false and coalesce = ref false in
+    let rec go () =
+      if accept_kw cur "unique" then (unique := true; go ())
+      else if accept_kw cur "coalesced" then (coalesce := true; go ())
+    in
+    go ();
+    (!unique, !coalesce)
+  in
+  let unique, coalesce = modifiers () in
   let into = if accept_kw cur "into" then Some (ident cur) else None in
-  let unique = unique || accept_kw cur "unique" in
+  let unique', coalesce' = modifiers () in
+  let unique = unique || unique' and coalesce = coalesce || coalesce' in
   let targets = parse_target_list cur in
   let c = parse_clauses cur in
   Retrieve
     {
       into;
       unique;
+      coalesce;
       targets;
       valid = c.c_valid;
       where = c.c_where;

@@ -90,6 +90,7 @@ let statement = function
         [
           "retrieve";
           (if r.unique then "unique" else "");
+          (if r.coalesce then "coalesced" else "");
           (match r.into with Some rel -> "into " ^ rel | None -> "");
           target_list r.targets;
           clauses ~valid:r.valid ~where:r.where ~when_:r.when_ ~as_of:r.as_of ();

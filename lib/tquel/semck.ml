@@ -378,6 +378,32 @@ let check_statement env stmt =
           | None -> Ok ()
         else check_all (fun t -> check_by_aggregate_nesting t.value) r.targets
       in
+      let* () =
+        if not r.coalesce then Ok ()
+        else
+          let rec has_by_aggregate = function
+            | Eagg (_, _, _ :: _) -> true
+            | Eagg (_, e, []) | Euminus e -> has_by_aggregate e
+            | Ebinop (_, a, b) -> has_by_aggregate a || has_by_aggregate b
+            | Eattr _ | Eint _ | Efloat _ | Estring _ -> false
+          in
+          let valid_time_var v =
+            match resolve_var env v with
+            | Ok (_, info) -> Db_type.has_valid_time info.db_type
+            | Error _ -> false
+          in
+          if List.exists (fun t -> has_by_aggregate t.value) r.targets then
+            errf "coalesced cannot be combined with by-aggregates"
+          else if not (List.exists valid_time_var vars) then
+            errf
+              "coalesced needs a tuple variable ranging over a valid-time \
+               relation"
+          else
+            match r.valid with
+            | Some (Valid_event _) ->
+                errf "coalesced produces intervals; valid at cannot apply"
+            | Some (Valid_interval _) | None -> Ok ()
+      in
       let* () = check_opt_valid r.valid in
       let* () = check_opt_pred r.where in
       let* () = check_opt_tp r.when_ in

@@ -29,6 +29,7 @@ let keywords =
     "valid"; "from"; "to"; "at"; "as"; "append"; "delete"; "replace";
     "create"; "destroy"; "modify"; "copy"; "persistent"; "interval"; "event";
     "on"; "and"; "or"; "not"; "overlap"; "extend"; "precede"; "equal";
+    "coalesced";
     "start"; "end"; "hash"; "isam"; "heap"; "fillfactor"; "through"; "mod";
     "by";
   ]

@@ -1,0 +1,223 @@
+(* The Allen-relation oracle suite guarding the temporal-join operator.
+
+   Allen's thirteen interval relations partition every configuration of
+   two intervals.  TQuel's primitive temporal predicates induce a coarser
+   partition — [overlap] covers the nine intersecting relations,
+   [precede] covers before and meets, [equal] covers equality alone —
+   and the planner's classifier plus the sweep-based join must agree
+   with that partition exactly: a missed pair would silently drop result
+   rows, an unsafe classification would change answers. *)
+
+module Conjuncts = Tdb_query.Conjuncts
+module Tjoin = Tdb_query.Tjoin
+module Plan = Tdb_query.Plan
+module Parser = Tdb_tquel.Parser
+module Chronon = Tdb_time.Chronon
+module Period = Tdb_time.Period
+open Tdb_tquel.Ast
+
+let conjuncts_of src =
+  match Parser.parse_statement src with
+  | Ok (Retrieve r) -> Conjuncts.split r.where r.when_
+  | Ok _ -> Alcotest.fail "not a retrieve"
+  | Error e -> Alcotest.fail e
+
+(* --- classifier: syntactic shapes --- *)
+
+let classify src = Conjuncts.temporal_join_between (conjuncts_of src) ~a:"h" ~b:"i"
+
+let check_class src want_class =
+  match classify src with
+  | Some aj ->
+      let name = function
+        | `Overlap -> "overlap"
+        | `Equal -> "equal"
+        | `Precede -> "precede"
+      in
+      Alcotest.(check string) src (name want_class) (name aj.Conjuncts.aj_class)
+  | None -> Alcotest.failf "%s: expected a classification" src
+
+let check_none src =
+  match classify src with
+  | None -> ()
+  | Some _ -> Alcotest.failf "%s: must not classify (safe fallback)" src
+
+let test_classifier () =
+  check_class "retrieve (h.id) when h overlap i" `Overlap;
+  check_class "retrieve (h.id) when i overlap h" `Overlap;
+  check_class "retrieve (h.id) when h equal i" `Equal;
+  check_class "retrieve (h.id) when h precede i" `Precede;
+  check_class "retrieve (h.id) when start of h precede i" `Precede;
+  check_class "retrieve (h.id) when h precede end of i" `Precede;
+  check_class "retrieve (h.id) when end of h overlap start of i" `Overlap;
+  (* endpoints survive classification *)
+  (match classify "retrieve (h.id) when start of h precede end of i" with
+  | Some
+      {
+        Conjuncts.aj_left = { op_var = "h"; op_endpoint = Conjuncts.Ep_start };
+        aj_right = { op_var = "i"; op_endpoint = Conjuncts.Ep_end };
+        aj_class = `Precede;
+      } ->
+      ()
+  | _ -> Alcotest.fail "endpoint operands lost in classification");
+  (* a conjunction splits; the classifiable conjunct is still found *)
+  check_class {|retrieve (h.id) when h overlap i and h overlap "now"|} `Overlap;
+  (* safe fallbacks: constants, same variable twice, compound predicates,
+     derived periods *)
+  check_none {|retrieve (h.id) when h overlap "now"|};
+  check_none "retrieve (h.id) when h overlap h";
+  check_none "retrieve (h.id) when not (h overlap i)";
+  check_none "retrieve (h.id) when (h overlap i) or (h precede i)";
+  check_none "retrieve (h.id) when (h extend h) overlap i";
+  (* where clauses never classify *)
+  check_none "retrieve (h.id) where h.id = i.id"
+
+(* --- the thirteen relations, concretely --- *)
+
+let t0 = Chronon.parse_exn "1980-01-01"
+let c n = Chronon.add_seconds t0 n
+let iv a b = Period.make (c a) (c b)
+
+(* (name, A, B, intersects?) with B fixed at [10, 20).  [precede A B] and
+   [precede B A] follow from the endpoints; the nine remaining relations
+   all intersect. *)
+let thirteen =
+  [
+    ("before", iv 0 5, false);
+    ("meets", iv 0 10, false);
+    ("overlaps", iv 5 15, true);
+    ("finished-by", iv 5 20, true);
+    ("contains", iv 5 25, true);
+    ("starts", iv 10 15, true);
+    ("equals", iv 10 20, true);
+    ("started-by", iv 10 25, true);
+    ("during", iv 12 18, true);
+    ("finishes", iv 15 20, true);
+    ("overlapped-by", iv 15 25, true);
+    ("met-by", iv 20 25, false);
+    ("after", iv 25 30, false);
+  ]
+
+let b_ref = iv 10 20
+
+let pairs_of cls a b =
+  Tjoin.join ~cls ~left:[| (a, 0) |] ~right:[| (b, 0) |]
+
+let test_thirteen_relations () =
+  List.iter
+    (fun (name, a, intersects) ->
+      (* the period primitives are the ground truth for the partition *)
+      Alcotest.(check bool)
+        (name ^ ": Period.overlaps") intersects (Period.overlaps a b_ref);
+      let precedes = Chronon.compare (Period.to_ a) (Period.from_ b_ref) <= 0 in
+      Alcotest.(check bool)
+        (name ^ ": Period.precede") precedes (Period.precede a b_ref);
+      (* the sweep join must agree with the primitives, pair by pair *)
+      Alcotest.(check bool)
+        (name ^ ": overlap join") intersects
+        (pairs_of `Overlap a b_ref = [ (0, 0) ]);
+      Alcotest.(check bool)
+        (name ^ ": precede join") precedes
+        (pairs_of `Precede a b_ref = [ (0, 0) ]);
+      Alcotest.(check bool)
+        (name ^ ": equal join superset")
+        (* equal pairs via the overlap sweep: a superset filtered later *)
+        (Period.overlaps a b_ref)
+        (pairs_of `Equal a b_ref = [ (0, 0) ]))
+    thirteen;
+  (* equality itself, for the record *)
+  Alcotest.(check bool) "equals: Period.equal" true (Period.equal (iv 10 20) b_ref)
+
+(* --- the sweep against a naive quadratic reference --- *)
+
+let gen_period rng =
+  let from = Random.State.int rng 400 in
+  match Random.State.int rng 10 with
+  | 0 -> Period.at (c from) (* event *)
+  | 1 -> Period.make (c from) Chronon.forever
+  | 2 when Random.State.int rng 20 = 0 -> Period.at Chronon.forever
+  | _ -> Period.make (c from) (c (from + 1 + Random.State.int rng 120))
+
+let naive cls left right =
+  let test =
+    match cls with
+    | `Overlap | `Equal -> Period.overlaps
+    | `Precede -> Period.precede
+  in
+  Array.to_list left
+  |> List.concat_map (fun (lp, li) ->
+         Array.to_list right
+         |> List.filter_map (fun (rp, ri) ->
+                if test lp rp then Some (li, ri) else None))
+
+let test_sweep_matches_naive () =
+  let rng = Random.State.make [| 19851 |] in
+  for trial = 1 to 200 do
+    let n = 1 + Random.State.int rng 40 in
+    let m = 1 + Random.State.int rng 40 in
+    let left = Array.init n (fun i -> (gen_period rng, i)) in
+    let right = Array.init m (fun i -> (gen_period rng, i)) in
+    let cls =
+      List.nth [ `Overlap; `Equal; `Precede ] (Random.State.int rng 3)
+    in
+    let got = List.sort compare (Tjoin.join ~cls ~left ~right) in
+    let want = List.sort compare (naive cls left right) in
+    if got <> want then
+      Alcotest.failf
+        "sweep diverged from the quadratic reference (trial %d, %s): %d vs %d \
+         pairs"
+        trial
+        (match cls with
+        | `Overlap -> "overlap"
+        | `Equal -> "equal"
+        | `Precede -> "precede")
+        (List.length got) (List.length want)
+  done
+
+(* --- plan selection respects classification and the toggle --- *)
+
+let temporal_info var =
+  { Plan.var; key = None; transaction_time = true; valid_time = true }
+
+let static_info var =
+  { Plan.var; key = None; transaction_time = false; valid_time = false }
+
+let choose ?(temporal_join = true) sources src =
+  Plan.choose ~temporal_join ~sources ~conjuncts:(conjuncts_of src) ()
+
+let test_plan_classification () =
+  let two = [ temporal_info "h"; temporal_info "i" ] in
+  (match choose two "retrieve (h.id) when h overlap i" with
+  | Plan.Temporal_join { cls = `Overlap; _ } -> ()
+  | p -> Alcotest.failf "wanted temporal overlap join, got %s" (Plan.to_string p));
+  (match choose two "retrieve (h.id) when start of h precede i" with
+  | Plan.Temporal_join { cls = `Precede; _ } -> ()
+  | p -> Alcotest.failf "wanted temporal precede join, got %s" (Plan.to_string p));
+  (* unclassifiable predicates fall back to nested evaluation *)
+  (match choose two "retrieve (h.id) when not (h overlap i)" with
+  | Plan.Nested_scan _ -> ()
+  | p -> Alcotest.failf "wanted nested-scan fallback, got %s" (Plan.to_string p));
+  (* a side without valid time cannot temporal-join *)
+  (match
+     choose [ temporal_info "h"; static_info "i" ]
+       "retrieve (h.id) when h overlap i"
+   with
+  | Plan.Temporal_join _ -> Alcotest.fail "static side must not temporal-join"
+  | _ -> ());
+  (* the toggle forces the classic plans *)
+  match choose ~temporal_join:false two "retrieve (h.id) when h overlap i" with
+  | Plan.Temporal_join _ -> Alcotest.fail "toggle off must suppress the join"
+  | _ -> ()
+
+let suites =
+  [
+    ( "allen",
+      [
+        Alcotest.test_case "when-clause classifier" `Quick test_classifier;
+        Alcotest.test_case "thirteen relations" `Quick test_thirteen_relations;
+        Alcotest.test_case "sweep = quadratic reference" `Quick
+          test_sweep_matches_naive;
+        Alcotest.test_case "plan classification + toggle" `Quick
+          test_plan_classification;
+      ] );
+  ]

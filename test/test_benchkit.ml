@@ -198,7 +198,8 @@ let test_obs_json_schema () =
 let bench_doc ?(max_uc = 3) ?(smoke = false) ?(h_pages = 7) ?(overhead = 0.5)
     ?(tuples_per_s = 100.0) ?(scale_domains = 1) ?(scale1_speedup = 1.0)
     ?(scale10_speedup = 2.5) ?(cy_domains = 1) ?(cy_speedup = 2.5)
-    ?(cy_rate4 = 400.0) () =
+    ?(cy_rate4 = 400.0) ?(tj_domains = 1) ?(tj_speedup = 3.0)
+    ?(tj_off = 1.0) ?(tj_identical = true) () =
   let concurrency_cell ~readers ~mode ~rate =
     Json.Obj
       [
@@ -360,6 +361,27 @@ let bench_doc ?(max_uc = 3) ?(smoke = false) ?(h_pages = 7) ?(overhead = 0.5)
                     ~rate:(cy_rate4 /. 2.0);
                 ] );
           ] );
+      ( "tjoin",
+        Json.Obj
+          [
+            ("recommended_domains", Json.int tj_domains);
+            ("noise_floor_s", Json.Num 0.05);
+            ( "queries",
+              Json.List
+                [
+                  Json.Obj
+                    [
+                      ("query", Json.Str "Q09c");
+                      ("uc", Json.int 0);
+                      ("scale", Json.int 1);
+                      ("rows", Json.int 5);
+                      ("off_wall_s", Json.Num tj_off);
+                      ("on_wall_s", Json.Num (tj_off /. tj_speedup));
+                      ("speedup", Json.Num tj_speedup);
+                      ("identical", Json.Bool tj_identical);
+                    ];
+                ] );
+          ] );
       ( "metrics",
         Json.List
           [
@@ -455,6 +477,44 @@ let test_compare_concurrency_gates () =
     drift.Compare.failures;
   Alcotest.(check bool) "but it warns" true (drift.Compare.warnings <> [])
 
+let test_compare_tjoin_gates () =
+  (* row divergence between the strategies is a hard failure anywhere *)
+  let diverged =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b" (bench_doc ())
+      (bench_doc ~tj_identical:false ())
+  in
+  Alcotest.(check bool) "diverging rows fail" true (mentions diverged "tjoin");
+  (* on a small machine the speedup floor self-skips *)
+  let small =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b" (bench_doc ())
+      (bench_doc ~tj_domains:1 ~tj_speedup:1.1 ())
+  in
+  Alcotest.(check (list string)) "1 domain: floor skipped" []
+    small.Compare.failures;
+  (* with the cores and a nested wall past the noise floor, sub-2x fails *)
+  let slow =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b" (bench_doc ())
+      (bench_doc ~tj_domains:4 ~tj_speedup:1.1 ())
+  in
+  Alcotest.(check bool) "4 domains below the floor fails" true
+    (mentions slow "tjoin");
+  (* a sub-noise nested wall keeps the gate off whatever the ratio *)
+  let tiny =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b" (bench_doc ())
+      (bench_doc ~tj_domains:4 ~tj_speedup:0.9 ~tj_off:0.001 ())
+  in
+  Alcotest.(check (list string)) "sub-noise cell: floor skipped" []
+    tiny.Compare.failures;
+  (* a speedup collapse against the old document warns, never fails *)
+  let drift =
+    Compare.compare_docs ~old_label:"a" ~new_label:"b"
+      (bench_doc ~tj_speedup:10.0 ())
+      (bench_doc ~tj_speedup:2.5 ())
+  in
+  Alcotest.(check (list string)) "speedup drop is not a hard failure" []
+    drift.Compare.failures;
+  Alcotest.(check bool) "but it warns" true (drift.Compare.warnings <> [])
+
 let test_compare_throughput_drift_warns () =
   let o =
     Compare.compare_docs ~old_label:"a" ~new_label:"b"
@@ -533,6 +593,8 @@ let suites =
           test_compare_durability_gate;
         Alcotest.test_case "compare: concurrency gates" `Quick
           test_compare_concurrency_gates;
+        Alcotest.test_case "compare: tjoin gates" `Quick
+          test_compare_tjoin_gates;
         Alcotest.test_case "compare: throughput drift warns" `Quick
           test_compare_throughput_drift_warns;
         Alcotest.test_case "compare: scale gates" `Quick

@@ -1,0 +1,226 @@
+(* Conformance tests for [retrieve coalesced]: value-equivalent versions
+   whose periods touch or overlap merge into maximal periods, and with
+   global aggregates the result is the snapshot-semantics temporal
+   aggregate (one row per maximal interval of constant value).  The
+   rewrite path is pinned against a naive reference built from the same
+   query without [coalesced] — output must be bit-identical. *)
+
+module Engine = Tdb_core.Engine
+module Database = Tdb_core.Database
+module Value = Tdb_relation.Value
+module Chronon = Tdb_time.Chronon
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+let exec db src = ignore (ok (Engine.execute db src))
+let t0 = Chronon.parse_exn "1980-01-01"
+let c n = Chronon.add_seconds t0 n
+let tlit n = Chronon.to_string (c n)
+
+let historical_db () =
+  let db = ok (Database.create ()) in
+  exec db
+    {|create interval tr (id = i4, amount = i4)
+      range of t is tr|};
+  db
+
+let append db ~id ~amount ~lo ~hi =
+  exec db
+    (Printf.sprintf
+       {|append to tr (id = %d, amount = %d) valid from %S to %S|} id amount
+       (tlit lo) (tlit hi))
+
+let rows db src =
+  match ok (Engine.execute_one db src) with
+  | Engine.Rows { tuples; _ } ->
+      List.map
+        (fun tu ->
+          String.concat " | " (Array.to_list (Array.map Value.to_string tu)))
+        tuples
+  | _ -> Alcotest.fail "expected rows"
+
+let row vals times =
+  String.concat " | "
+    (List.map Value.to_string
+       (List.map (fun n -> Value.Int n) vals
+       @ List.map (fun n -> Value.Time (c n)) times))
+
+let check_rows name got want =
+  Alcotest.(check (list string)) name want got
+
+let test_touching_endpoints () =
+  let db = historical_db () in
+  append db ~id:1 ~amount:7 ~lo:0 ~hi:10;
+  append db ~id:1 ~amount:7 ~lo:10 ~hi:20;
+  append db ~id:1 ~amount:7 ~lo:25 ~hi:30;
+  (* [0,10) + [10,20) merge; the gap before [25,30) survives *)
+  check_rows "touching endpoints merge"
+    (rows db "retrieve coalesced (t.id, t.amount)")
+    [ row [ 1; 7 ] [ 0; 20 ]; row [ 1; 7 ] [ 25; 30 ] ]
+
+let test_contained_and_overlapping () =
+  let db = historical_db () in
+  append db ~id:2 ~amount:5 ~lo:0 ~hi:100;
+  append db ~id:2 ~amount:5 ~lo:20 ~hi:30;
+  (* contained *)
+  append db ~id:2 ~amount:5 ~lo:90 ~hi:120;
+  (* overlapping tail *)
+  append db ~id:3 ~amount:5 ~lo:20 ~hi:30;
+  (* different value: untouched *)
+  check_rows "containment and overlap"
+    (rows db "retrieve coalesced (t.id, t.amount)")
+    [ row [ 2; 5 ] [ 0; 120 ]; row [ 3; 5 ] [ 20; 30 ] ]
+
+let test_output_minimal_and_sorted () =
+  let db = historical_db () in
+  (* appended out of order: the output must still be sorted and minimal *)
+  append db ~id:9 ~amount:1 ~lo:50 ~hi:60;
+  append db ~id:4 ~amount:1 ~lo:30 ~hi:40;
+  append db ~id:4 ~amount:1 ~lo:10 ~hi:20;
+  append db ~id:4 ~amount:1 ~lo:20 ~hi:30;
+  let got = rows db "retrieve coalesced (t.id)" in
+  check_rows "sorted, minimal" got
+    [ row [ 4 ] [ 10; 40 ]; row [ 9 ] [ 50; 60 ] ]
+
+(* The naive reference: coalesce the plain (uncoalesced) rows in OCaml. *)
+let naive_coalesce n_user plain =
+  let parse r = String.split_on_char '|' r |> List.map String.trim in
+  let rows = List.map parse plain in
+  let user r = List.filteri (fun i _ -> i < n_user) r in
+  let times r =
+    match List.filteri (fun i _ -> i >= n_user) r with
+    | [ f; t ] -> (Chronon.parse_exn f, Chronon.parse_exn t)
+    | _ -> Alcotest.fail "expected two time columns"
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare (user a) (user b) with
+        | 0 -> Chronon.compare (fst (times a)) (fst (times b))
+        | n -> n)
+      rows
+  in
+  let out = ref [] in
+  List.iter
+    (fun r ->
+      let f, t = times r in
+      match !out with
+      | (u, cf, ct) :: tl
+        when u = user r && Chronon.compare f ct <= 0 ->
+          out := (u, cf, Chronon.max ct t) :: tl
+      | _ -> out := (user r, f, t) :: !out)
+    sorted;
+  List.rev_map
+    (fun (u, f, t) ->
+      String.concat " | " (u @ [ Chronon.to_string f; Chronon.to_string t ]))
+    !out
+
+let test_rewrite_matches_naive () =
+  let rng = Random.State.make [| 5150 |] in
+  for trial = 1 to 25 do
+    let db = historical_db () in
+    for _ = 1 to 30 + Random.State.int rng 40 do
+      let lo = Random.State.int rng 300 in
+      append db
+        ~id:(Random.State.int rng 4)
+        ~amount:(Random.State.int rng 3)
+        ~lo
+        ~hi:(lo + 1 + Random.State.int rng 80)
+    done;
+    if trial mod 3 = 0 then exec db "modify tr to isam on id where fillfactor = 50";
+    let where =
+      if Random.State.bool rng then
+        Printf.sprintf " where t.amount <= %d" (Random.State.int rng 3)
+      else ""
+    in
+    let plain = rows db ("retrieve (t.id, t.amount)" ^ where) in
+    let got = rows db ("retrieve coalesced (t.id, t.amount)" ^ where) in
+    let want = naive_coalesce 2 plain in
+    if got <> want then
+      Alcotest.failf "trial %d: rewrite diverged from naive (%d vs %d rows)"
+        trial (List.length got) (List.length want)
+  done
+
+let test_chain_across_pages () =
+  (* a single value-equivalent chain of 400 touching versions spans many
+     heap pages (and, reorganized, many ISAM data segments): the merge
+     must not be fooled by storage boundaries *)
+  let db = historical_db () in
+  for k = 0 to 399 do
+    append db ~id:1 ~amount:1 ~lo:(k * 10) ~hi:((k + 1) * 10)
+  done;
+  check_rows "heap chain"
+    (rows db "retrieve coalesced (t.id)")
+    [ row [ 1 ] [ 0; 4000 ] ];
+  exec db "modify tr to isam on id where fillfactor = 100";
+  check_rows "isam chain"
+    (rows db "retrieve coalesced (t.id)")
+    [ row [ 1 ] [ 0; 4000 ] ]
+
+let test_temporal_aggregation () =
+  let db = historical_db () in
+  append db ~id:1 ~amount:10 ~lo:0 ~hi:10;
+  append db ~id:2 ~amount:20 ~lo:5 ~hi:15;
+  (* snapshots: [0,5) -> {1}, [5,10) -> {1,2}, [10,15) -> {2} *)
+  check_rows "count per constant interval"
+    (rows db "retrieve coalesced (c = count(t.id), s = sum(t.amount))")
+    [
+      row [ 1; 10 ] [ 0; 5 ];
+      row [ 2; 30 ] [ 5; 10 ];
+      row [ 1; 20 ] [ 10; 15 ];
+    ];
+  (* equal-valued adjacent intervals merge to the maximal interval *)
+  let db2 = historical_db () in
+  append db2 ~id:1 ~amount:10 ~lo:0 ~hi:10;
+  append db2 ~id:2 ~amount:10 ~lo:10 ~hi:20;
+  check_rows "constant runs merge"
+    (rows db2 "retrieve coalesced (c = count(t.id))")
+    [ row [ 1 ] [ 0; 20 ] ];
+  (* empty input: no rows *)
+  let db3 = historical_db () in
+  check_rows "empty aggregation"
+    (rows db3 "retrieve coalesced (c = count(t.id))")
+    []
+
+let test_semck_rejections () =
+  let db = historical_db () in
+  exec db
+    {|create st (id = i4)
+      range of s is st|};
+  let expect_error src fragment =
+    match Engine.execute_one db src with
+    | Error e ->
+        if
+          not
+            (let nh = String.length e and nn = String.length fragment in
+             let rec go i =
+               i + nn <= nh && (String.sub e i nn = fragment || go (i + 1))
+             in
+             go 0)
+        then Alcotest.failf "%s: error %S lacks %S" src e fragment
+    | Ok _ -> Alcotest.failf "%s: expected a semantic error" src
+  in
+  expect_error "retrieve coalesced (s.id)" "valid-time";
+  expect_error "retrieve coalesced (c = count(t.id by t.amount))"
+    "by-aggregates";
+  expect_error
+    (Printf.sprintf {|retrieve coalesced (t.id) valid at %S|} (tlit 3))
+    "valid at"
+
+let suites =
+  [
+    ( "coalesce",
+      [
+        Alcotest.test_case "touching endpoints" `Quick test_touching_endpoints;
+        Alcotest.test_case "containment and overlap" `Quick
+          test_contained_and_overlapping;
+        Alcotest.test_case "sorted, minimal output" `Quick
+          test_output_minimal_and_sorted;
+        Alcotest.test_case "rewrite = naive reference" `Quick
+          test_rewrite_matches_naive;
+        Alcotest.test_case "chains across pages and segments" `Quick
+          test_chain_across_pages;
+        Alcotest.test_case "temporal aggregation" `Quick
+          test_temporal_aggregation;
+        Alcotest.test_case "semantic rejections" `Quick test_semck_rejections;
+      ] );
+  ]

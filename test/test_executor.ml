@@ -68,18 +68,34 @@ let test_plan_selection () =
     (plan_of db
        {|retrieve (i.id, h.id) where i.id = h.amount
          when h overlap i and h overlap "now"|});
-  Alcotest.(check string) "temporal join nested scan (Q11 shape)"
-    "nested scan(h, i)"
-    (plan_of db
-       {|retrieve (h.id, i.id)
-         valid from start of h to end of i
-         when start of h precede i|});
-  Alcotest.(check string) "both restricted -> detach both (Q12 shape)"
-    "detach(h) join detach(i)"
-    (plan_of db
-       {|retrieve (h.id, i.id)
-         where h.id = 5 and i.amount = 7
-         when h overlap i|})
+  Executor.with_temporal_join true (fun () ->
+      Alcotest.(check string) "temporal join (Q11 shape)"
+        "temporal precede join(h, i)"
+        (plan_of db
+           {|retrieve (h.id, i.id)
+             valid from start of h to end of i
+             when start of h precede i|}));
+  Executor.with_temporal_join false (fun () ->
+      Alcotest.(check string) "Q11 shape falls back to nested scan"
+        "nested scan(h, i)"
+        (plan_of db
+           {|retrieve (h.id, i.id)
+             valid from start of h to end of i
+             when start of h precede i|}));
+  Executor.with_temporal_join true (fun () ->
+      Alcotest.(check string) "overlap join (Q12 shape)"
+        "temporal overlap join(h, i)"
+        (plan_of db
+           {|retrieve (h.id, i.id)
+             where h.id = 5 and i.amount = 7
+             when h overlap i|}));
+  Executor.with_temporal_join false (fun () ->
+      Alcotest.(check string) "Q12 shape falls back to detach both"
+        "detach(h) join detach(i)"
+        (plan_of db
+           {|retrieve (h.id, i.id)
+             where h.id = 5 and i.amount = 7
+             when h overlap i|}))
 
 let test_exact_costs_small () =
   let db = small_temporal () in

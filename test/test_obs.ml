@@ -375,6 +375,81 @@ let test_parallel_partition_span_sum () =
               | _ -> Alcotest.failf "%s: expected a traced Rows outcome" name)))
     [ (Paper_queries.Q03, true); (Paper_queries.Q11, false) ]
 
+let rec find_span pred (n : Trace.node) =
+  if pred n then Some n
+  else List.find_map (find_span pred) (Trace.children n)
+
+let test_temporal_join_span_sum () =
+  (* The operator I/O attribution pin for the temporal join: on a
+     Q11-class query at update count 15 with 4 workers, the trace must
+     carry a tjoin operator span, the subtree page reads must sum to the
+     Io_stats total exactly (the envelope-narrowed inner scan and its
+     partitions charge under the join span), and the invariant must hold
+     identically with the operator disabled. *)
+  with_flags ~metrics:true ~tracing:false @@ fun () ->
+  let w = Workload.build ~kind:Workload.Temporal ~loading:100 ~seed:43 () in
+  for round = 1 to 15 do
+    Evolve.uniform_round w ~round
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.set_parallelism None;
+      Tdb_query.Executor.set_parallel_min_pages None)
+  @@ fun () ->
+  Engine.set_parallelism (Some 4);
+  Tdb_query.Executor.set_parallel_min_pages (Some 0);
+  let src =
+    match Paper_queries.text Paper_queries.Q11 Workload.Temporal with
+    | Some src -> src
+    | None -> Alcotest.fail "Q11 undefined"
+  in
+  let analyze () =
+    chill w;
+    match Engine.analyze w.Workload.db src with
+    | Error e -> Alcotest.fail e
+    | Ok a -> (
+        match a.Engine.a_outcome with
+        | Engine.Rows { io; tuples; trace = Some node; _ } ->
+            (io, tuples, node)
+        | _ -> Alcotest.fail "expected a traced Rows outcome")
+  in
+  let statements = Metric.counter "tdb_tjoin_statements_total" in
+  let before = Metric.count statements in
+  let io_tj, tuples_tj, node_tj =
+    Tdb_query.Executor.with_temporal_join true (fun () -> analyze ())
+  in
+  Alcotest.(check bool) "temporal join metric ticked" true
+    (Metric.count statements > before);
+  let is_tjoin (n : Trace.node) =
+    String.length n.Trace.name >= 6 && String.sub n.Trace.name 0 6 = "tjoin["
+  in
+  let jspan =
+    match find_span is_tjoin node_tj with
+    | Some n -> n
+    | None -> Alcotest.fail "no tjoin operator span in the trace"
+  in
+  Alcotest.(check int) "tjoin span tree sums to the Io_stats total"
+    io_tj.Tdb_query.Executor.input_reads
+    (Trace.total_reads node_tj);
+  (* the inner side's pages (and its parallel partitions) charge under
+     the join span, not to some sibling *)
+  Alcotest.(check bool) "inner scan charges under the join span" true
+    (Trace.total_reads jspan > 0);
+  Alcotest.(check bool) "inner partitions hang off the join span" true
+    (collect_partitions jspan [] <> []);
+  (* the fallback path keeps both the rows and the invariant *)
+  let io_nl, tuples_nl, node_nl =
+    Tdb_query.Executor.with_temporal_join false (fun () -> analyze ())
+  in
+  (match find_span is_tjoin node_nl with
+  | Some _ -> Alcotest.fail "toggle off must not produce a tjoin span"
+  | None -> ());
+  Alcotest.(check int) "fallback span tree sums to the Io_stats total"
+    io_nl.Tdb_query.Executor.input_reads
+    (Trace.total_reads node_nl);
+  Alcotest.(check bool) "rows identical across strategies" true
+    (tuples_tj = tuples_nl)
+
 let suites =
   [
     ( "obs",
@@ -402,5 +477,7 @@ let suites =
           test_nested_query_span_sum;
         Alcotest.test_case "parallel partition span sum (uc 15, 4 workers)"
           `Slow test_parallel_partition_span_sum;
+        Alcotest.test_case "temporal join span sum (uc 15, 4 workers)" `Slow
+          test_temporal_join_span_sum;
       ] );
   ]

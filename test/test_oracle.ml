@@ -893,6 +893,313 @@ let test_scale10_parallel_probes () =
         reads_seq reads_par
   done
 
+(* ====================================================================== *)
+(* Temporal-join oracle: random valid-time histories on two relations,    *)
+(* random Allen-classifiable when clauses.  Three invariants per query:   *)
+(* the temporal-join plan's rows are VERBATIM the nested-loop rows (same  *)
+(* order), the 4-worker rows are verbatim the sequential rows, and the    *)
+(* user columns match a naive cross-product model.                        *)
+(* ====================================================================== *)
+
+type jatom = {
+  j_ep_l : [ `Whole | `Start | `End ];
+  j_ep_r : [ `Whole | `Start | `End ];
+  j_op : [ `Overlap | `Equal | `Precede ];
+}
+
+let jatom_text a =
+  let ep e v =
+    match e with
+    | `Whole -> v
+    | `Start -> "start of " ^ v
+    | `End -> "end of " ^ v
+  in
+  let op =
+    match a.j_op with
+    | `Overlap -> "overlap"
+    | `Equal -> "equal"
+    | `Precede -> "precede"
+  in
+  Printf.sprintf "%s %s %s" (ep a.j_ep_l "h") op (ep a.j_ep_r "i")
+
+let jatom_fn a pl pr =
+  let ep e p =
+    match e with
+    | `Whole -> p
+    | `Start -> Period.start_of p
+    | `End -> Period.end_of p
+  in
+  let l = ep a.j_ep_l pl and r = ep a.j_ep_r pr in
+  match a.j_op with
+  | `Overlap -> Period.overlaps l r
+  | `Equal -> Period.equal l r
+  | `Precede -> Period.precede l r
+
+let gen_jatom rng =
+  let ep () =
+    match Random.State.int rng 4 with
+    | 0 -> `Start
+    | 1 -> `End
+    | _ -> `Whole
+  in
+  {
+    j_ep_l = ep ();
+    j_ep_r = ep ();
+    j_op =
+      List.nth [ `Overlap; `Equal; `Precede ] (Random.State.int rng 3);
+  }
+
+let test_temporal_join_oracle () =
+  let module Executor = Tdb_query.Executor in
+  let rng = Random.State.make [| oracle_seed + 17 |] in
+  Fun.protect ~finally:(fun () -> Engine.set_parallelism None) @@ fun () ->
+  for trial = 1 to 24 do
+    let db = ok (Database.create ()) in
+    exec db
+      {|create interval th (id = i4, amount = i4)
+        create interval ti (id = i4, amount = i4)
+        range of h is th
+        range of i is ti|};
+    let gen_side rel n =
+      List.init n (fun _ ->
+          let id = Random.State.int rng 8
+          and amount = Random.State.int rng 6 in
+          let lo = Random.State.int rng 300 in
+          let hi = lo + Random.State.int rng 150 in
+          (* hi = lo appends a degenerate interval: stored as an event *)
+          exec db
+            (Printf.sprintf
+               {|append to %s (id = %d, amount = %d) valid from %S to %S|}
+               rel id amount (tlit lo) (tlit hi));
+          (id, amount, eff_period (chron lo) (chron hi)))
+    in
+    let hs = gen_side "th" (10 + Random.State.int rng 30) in
+    let is_ = gen_side "ti" (10 + Random.State.int rng 30) in
+    if trial mod 3 = 0 then exec db "modify ti to isam on id where fillfactor = 50";
+    let atom = gen_jatom rng in
+    let equi = Random.State.int rng 3 = 0 in
+    let src =
+      Printf.sprintf
+        {|retrieve (h.id, i.id, h.amount) valid from %S to %S %swhen %s|}
+        (tlit 0) (tlit 500)
+        (if equi then "where h.amount = i.amount " else "")
+        (jatom_text atom)
+    in
+    let run () =
+      match Engine.execute_one db src with
+      | Ok (Engine.Rows { tuples; plan; _ }) ->
+          ( List.map (fun tu -> render_row (Array.to_list tu)) tuples,
+            Tdb_query.Plan.to_string plan )
+      | Ok _ -> Alcotest.failf "expected rows: %s" src
+      | Error e -> Alcotest.failf "query failed (%s): %s" e src
+    in
+    Engine.set_parallelism (Some 1);
+    let rows_tj, plan_tj =
+      Executor.with_temporal_join true (fun () -> run ())
+    in
+    let rows_nl, plan_nl =
+      Executor.with_temporal_join false (fun () -> run ())
+    in
+    Engine.set_parallelism (Some 4);
+    let rows_tj4, _ = Executor.with_temporal_join true (fun () -> run ()) in
+    Engine.set_parallelism (Some 1);
+    (* the plans really are different strategies for the same query *)
+    if String.length plan_tj < 8 || String.sub plan_tj 0 8 <> "temporal" then
+      Alcotest.failf "trial %d (%s): wanted a temporal join, got %s" trial src
+        plan_tj;
+    if String.length plan_nl >= 8 && String.sub plan_nl 0 8 = "temporal" then
+      Alcotest.failf "trial %d: toggle off still picked %s" trial plan_nl;
+    if rows_tj <> rows_nl then
+      Alcotest.failf
+        "trial %d (seed %d): temporal join and nested loop diverge on %s\n\
+         tjoin (%s, %d rows):\n%s\nnested (%s, %d rows):\n%s"
+        trial oracle_seed src plan_tj (List.length rows_tj)
+        (String.concat "\n" rows_tj)
+        plan_nl (List.length rows_nl)
+        (String.concat "\n" rows_nl);
+    if rows_tj <> rows_tj4 then
+      Alcotest.failf "trial %d: 4-worker rows diverge on %s" trial src;
+    (* naive cross-product model over the user columns *)
+    let want =
+      List.concat_map
+        (fun (hid, hamt, hp) ->
+          List.filter_map
+            (fun (iid, iamt, ip) ->
+              if jatom_fn atom hp ip && ((not equi) || hamt = iamt) then
+                Some
+                  (render_row
+                     [ Value.Int hid; Value.Int iid; Value.Int hamt;
+                       Value.Time (chron 0); Value.Time (chron 500) ])
+              else None)
+            is_)
+        hs
+    in
+    let got = List.sort compare rows_tj and want = List.sort compare want in
+    if got <> want then
+      Alcotest.failf
+        "trial %d (seed %d): engine disagrees with the model on %s (%d vs %d \
+         rows)"
+        trial oracle_seed src (List.length got) (List.length want)
+  done
+
+(* ====================================================================== *)
+(* Snapshot-semantics oracle (the reduction used by Dignös et al.): a     *)
+(* coalesced result restricted to any time point must equal the           *)
+(* non-temporal evaluation over the snapshot at that point — distinct     *)
+(* user rows for plain retrieves, folded aggregates for aggregate ones.   *)
+(* ====================================================================== *)
+
+let test_snapshot_semantics_oracle () =
+  let rng = Random.State.make [| oracle_seed + 23 |] in
+  Fun.protect ~finally:(fun () -> Engine.set_parallelism None) @@ fun () ->
+  for trial = 1 to 16 do
+    let db = ok (Database.create ()) in
+    let script = Buffer.create 2048 in
+    let model = ref [] in
+    let exec_stmt s =
+      Buffer.add_string script s;
+      Buffer.add_char script '\n';
+      match Engine.execute_one db s with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "statement failed (%s): %s" e s
+    in
+    let run_op op =
+      exec_stmt (op_text op);
+      apply_op K_historical model ~now:(Database.now db) op
+    in
+    exec_stmt (create_text K_historical);
+    exec_stmt "range of t is tr";
+    for _ = 1 to 25 + Random.State.int rng 30 do
+      run_op (gen_append rng K_historical)
+    done;
+    if trial mod 3 = 1 then exec_stmt "modify tr to hash on id where fillfactor = 50";
+    for _ = 1 to 6 + Random.State.int rng 6 do
+      run_op (gen_op rng K_historical ~allow_id_change:false)
+    done;
+    let where = if Random.State.bool rng then Some (gen_twhere rng 1) else None in
+    let live v =
+      (match where with Some w -> twhere_fn w v | None -> true)
+    in
+    (* sample points: every version endpoint, its neighbors, and noise *)
+    let samples =
+      List.concat_map
+        (fun v ->
+          [ v.v_from; Chronon.succ v.v_from; v.v_to; Chronon.succ v.v_to ])
+        !model
+      @ List.init 20 (fun _ -> chron (Random.State.int rng 500))
+    in
+    let snapshot_at c =
+      List.filter
+        (fun v -> live v && Period.contains (eff_valid v) c)
+        !model
+    in
+    let structured src =
+      match Engine.execute_one db src with
+      | Ok (Engine.Rows { tuples; _ }) -> tuples
+      | Ok _ -> Alcotest.failf "expected rows: %s" src
+      | Error e -> Alcotest.failf "query failed (%s): %s" e src
+    in
+    let fail_at src c detail =
+      Alcotest.fail
+        (oracle_report ~seed:oracle_seed ~script:(Buffer.contents script)
+           ~query:src
+           ~detail:
+             (Printf.sprintf "at chronon %s: %s" (Chronon.to_string c) detail))
+    in
+    let row_period tu =
+      let n = Array.length tu in
+      match (tu.(n - 2), tu.(n - 1)) with
+      | Value.Time f, Value.Time t -> (f, t)
+      | _ -> Alcotest.fail "expected trailing time columns"
+    in
+    let covers (f, t) c =
+      Chronon.compare f c <= 0 && Chronon.compare c t < 0
+    in
+    let check_workers src =
+      Engine.set_parallelism (Some 1);
+      let seq = structured src in
+      Engine.set_parallelism (Some 4);
+      let par = structured src in
+      Engine.set_parallelism (Some 1);
+      if seq <> par then
+        Alcotest.failf
+          "sequential and 4-worker coalesced rows diverge (seed %d) on %s"
+          oracle_seed src;
+      seq
+    in
+    (* --- plain coalesced retrieve: rows at c = distinct snapshot rows --- *)
+    let src = "retrieve coalesced (t.id, t.amount)" ^ where_text where in
+    Buffer.add_string script (src ^ "\n");
+    let rows = check_workers src in
+    (* minimality: no two value-equivalent rows touch or overlap *)
+    let by_user = Hashtbl.create 16 in
+    List.iter
+      (fun tu ->
+        let key = (tu.(0), tu.(1)) in
+        let f, t = row_period tu in
+        let prev = Option.value (Hashtbl.find_opt by_user key) ~default:[] in
+        List.iter
+          (fun (pf, pt) ->
+            if Chronon.compare f pt <= 0 && Chronon.compare pf t <= 0 then
+              fail_at src f "value-equivalent result rows touch or overlap")
+          prev;
+        Hashtbl.replace by_user key ((f, t) :: prev))
+      rows;
+    List.iter
+      (fun c ->
+        let got =
+          List.filter_map
+            (fun tu ->
+              if covers (row_period tu) c then Some (tu.(0), tu.(1)) else None)
+            rows
+          |> List.sort_uniq compare
+        in
+        let want =
+          snapshot_at c
+          |> List.map (fun v -> (Value.Int v.m_id, Value.Int v.m_amount))
+          |> List.sort_uniq compare
+        in
+        if got <> want then
+          fail_at src c
+            (Printf.sprintf
+               "coalesced slice has %d distinct rows, snapshot has %d"
+               (List.length got) (List.length want)))
+      samples;
+    (* --- temporal aggregation: the aggregate at c = snapshot fold --- *)
+    let src =
+      "retrieve coalesced (c = count(t.id), s = sum(t.amount))"
+      ^ where_text where
+    in
+    Buffer.add_string script (src ^ "\n");
+    let rows = check_workers src in
+    List.iter
+      (fun c ->
+        let covering =
+          List.filter (fun tu -> covers (row_period tu) c) rows
+        in
+        let snap = snapshot_at c in
+        let want_count = List.length snap in
+        let want_sum =
+          List.fold_left (fun acc v -> acc + v.m_amount) 0 snap
+        in
+        match covering with
+        | [] ->
+            if want_count > 0 then
+              fail_at src c
+                (Printf.sprintf "no aggregate row, snapshot has %d versions"
+                   want_count)
+        | [ tu ] -> (
+            match (tu.(0), tu.(1)) with
+            | Value.Int gc, Value.Int gs ->
+                if gc <> want_count || gs <> want_sum then
+                  fail_at src c
+                    (Printf.sprintf "aggregate (%d, %d) vs snapshot (%d, %d)"
+                       gc gs want_count want_sum)
+            | _ -> fail_at src c "non-integer aggregate values")
+        | _ -> fail_at src c "overlapping aggregate intervals")
+      samples
+  done
+
 let suites =
   [
     ( "oracle",
@@ -906,6 +1213,10 @@ let suites =
           test_temporal_oracle;
         Alcotest.test_case "mismatch reports are reproducible" `Quick
           test_oracle_mismatch_reporting;
+        Alcotest.test_case "temporal joins vs nested loop, both executors"
+          `Quick test_temporal_join_oracle;
+        Alcotest.test_case "snapshot semantics of coalesced results" `Quick
+          test_snapshot_semantics_oracle;
         Alcotest.test_case "scale 10: parallel probes vs sequential" `Slow
           test_scale10_parallel_probes;
       ] );

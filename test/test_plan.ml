@@ -83,7 +83,7 @@ let temporal_hash_info var =
 
 let test_plan_choice () =
   let choose sources src =
-    Plan.choose ~sources ~conjuncts:(conjuncts_of src)
+    Plan.choose ~sources ~conjuncts:(conjuncts_of src) ()
   in
   (match choose [ hash_info "h" ] "retrieve (h.id) where h.id = 5" with
   | Plan.Single { access = Plan.Keyed_probe _; _ } -> ()
@@ -129,6 +129,7 @@ let test_nested_general_no_probe () =
     Plan.choose
       ~sources:[ hash_info "a"; hash_info "b"; heap_info "c" ]
       ~conjuncts:(conjuncts_of "retrieve (a.id) where a.id = b.id and b.seq = c.seq")
+      ()
   with
   | Plan.Nested_general { vars = [ "a"; "b"; "c" ]; probe = None } -> ()
   | p -> Alcotest.failf "wanted general without probe, got %s" (Plan.to_string p)
@@ -139,6 +140,7 @@ let test_time_fence_refinement () =
      Plan.choose
        ~sources:[ temporal_hash_info "h" ]
        ~conjuncts:(conjuncts_of {|retrieve (h.id) when h overlap "now"|})
+       ()
    with
   | Plan.Single
       { access =
@@ -150,6 +152,7 @@ let test_time_fence_refinement () =
      Plan.choose
        ~sources:[ temporal_hash_info "h" ]
        ~conjuncts:(conjuncts_of "retrieve (h.id) where h.id = 5")
+       ()
    with
   | Plan.Single
       { access =
@@ -160,6 +163,7 @@ let test_time_fence_refinement () =
   match
     Plan.choose ~sources:[ hash_info "h" ]
       ~conjuncts:(conjuncts_of "retrieve (h.id) where h.seq = 1")
+      ()
   with
   | Plan.Single { access = Plan.Seq_scan; _ } -> ()
   | p -> Alcotest.failf "static source must not be fenced, got %s" (Plan.to_string p)
@@ -176,7 +180,7 @@ let test_overlap_constant () =
     (Conjuncts.overlap_constant cs2 ~var:"h")
 
 let test_no_sources () =
-  match Plan.choose ~sources:[] ~conjuncts:[] with
+  match Plan.choose ~sources:[] ~conjuncts:[] () with
   | Plan.Const_emit -> ()
   | p -> Alcotest.failf "wanted const emit, got %s" (Plan.to_string p)
 

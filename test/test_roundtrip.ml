@@ -107,6 +107,7 @@ let gen_temppred =
 let gen_retrieve =
   QCheck2.Gen.(
     let* unique = bool in
+    let* coalesce = bool in
     let* targets =
       list_size (int_range 1 4)
         (let* name = oneofl [ "a"; "b"; "c"; "total" ] in
@@ -129,7 +130,9 @@ let gen_retrieve =
          let* through = option (oneofl [ "1981" ]) in
          return { at; through })
     in
-    return (Retrieve { into = None; unique; targets; valid; where; when_; as_of }))
+    return
+      (Retrieve
+         { into = None; unique; coalesce; targets; valid; where; when_; as_of }))
 
 let prop_round_trip =
   QCheck2.Test.make ~name:"parse (pretty stmt) = stmt" ~count:500 gen_retrieve
